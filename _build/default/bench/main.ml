@@ -1,0 +1,391 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation section (see DESIGN.md section 4 for the index).
+
+     dune exec bench/main.exe            full run (both tables, exhibits,
+                                         ablations, Bechamel micro-benches)
+     dune exec bench/main.exe -- --table1 [--budget S]
+     dune exec bench/main.exe -- --table2
+     dune exec bench/main.exe -- --figures
+     dune exec bench/main.exe -- --ablation
+     dune exec bench/main.exe -- --beyond      (K=6 generalization)
+     dune exec bench/main.exe -- --extensions  (LB / refine / balance)
+     dune exec bench/main.exe -- --micro *)
+
+module D = Mpl.Decomposer
+module C = Mpl.Coloring
+
+let ilp_budget = ref 20.
+
+type row = {
+  circuit : string;
+  cells : (string * (int * int * float * bool)) list;
+      (* algorithm -> cn, st, cpu, timed_out *)
+}
+
+let run_algorithm ~params algo g =
+  let report = D.assign ~params algo g in
+  ( report.D.cost.C.conflicts,
+    report.D.cost.C.stitches,
+    report.D.elapsed_s,
+    report.D.timed_out )
+
+let build_graph ~min_s name =
+  let layout = Mpl_layout.Benchgen.circuit name in
+  Mpl.Decomp_graph.of_layout layout ~min_s
+
+let print_table ~title ~algorithms rows =
+  Format.printf "@.=== %s ===@." title;
+  Format.printf "%-8s " "Circuit";
+  List.iter (fun a -> Format.printf "| %13s: cn#  st#  CPU(s) " a) algorithms;
+  Format.printf "@.";
+  let sums = Hashtbl.create 8 in
+  List.iter
+    (fun r ->
+      Format.printf "%-8s " r.circuit;
+      List.iter
+        (fun a ->
+          let cn, st, cpu, timed_out = List.assoc a r.cells in
+          if timed_out then
+            Format.printf "|                 N/A  N/A  >%-6.0f" !ilp_budget
+          else begin
+            Format.printf "|                %4d %4d  %6.3f " cn st cpu;
+            let scn, sst, scpu, k =
+              match Hashtbl.find_opt sums a with
+              | Some t -> t
+              | None -> (0, 0, 0., 0)
+            in
+            Hashtbl.replace sums a (scn + cn, sst + st, scpu +. cpu, k + 1)
+          end)
+        algorithms;
+      Format.printf "@.")
+    rows;
+  Format.printf "%-8s " "avg.";
+  List.iter
+    (fun a ->
+      match Hashtbl.find_opt sums a with
+      | Some (cn, st, cpu, k) when k > 0 ->
+        let fk = float_of_int k in
+        Format.printf "|               %5.1f %5.1f %7.3f "
+          (float_of_int cn /. fk)
+          (float_of_int st /. fk)
+          (cpu /. fk)
+      | Some _ | None -> Format.printf "|                  -    -       - ")
+    algorithms;
+  Format.printf "@."
+
+let table1 () =
+  Format.printf
+    "@.Table 1: quadruple patterning (k=4, min_s=80nm, alpha=0.1); ILP \
+     budget %.0fs (stand-in for the paper's 3600s)@."
+    !ilp_budget;
+  let algorithms = [ "ILP"; "SDP+Backtrack"; "SDP+Greedy"; "Linear" ] in
+  let rows =
+    List.map
+      (fun name ->
+        let g = build_graph ~min_s:80 name in
+        let params budget =
+          { D.default_params with D.solver_budget_s = budget }
+        in
+        let cells =
+          [
+            ("ILP", run_algorithm ~params:(params !ilp_budget) D.Ilp g);
+            ( "SDP+Backtrack",
+              run_algorithm ~params:(params 0.) D.Sdp_backtrack g );
+            ("SDP+Greedy", run_algorithm ~params:(params 0.) D.Sdp_greedy g);
+            ("Linear", run_algorithm ~params:(params 0.) D.Linear g);
+          ]
+        in
+        { circuit = name; cells })
+      Mpl_layout.Benchgen.table1_circuits
+  in
+  print_table ~title:"Table 1 — Quadruple Patterning" ~algorithms rows
+
+let table2 () =
+  Format.printf "@.Table 2: pentuple patterning (k=5, min_s=110nm)@.";
+  let algorithms = [ "SDP+Backtrack"; "SDP+Greedy"; "Linear" ] in
+  let params = { D.default_params with D.k = 5 } in
+  let rows =
+    List.map
+      (fun name ->
+        let g = build_graph ~min_s:110 name in
+        let cells =
+          [
+            ("SDP+Backtrack", run_algorithm ~params D.Sdp_backtrack g);
+            ("SDP+Greedy", run_algorithm ~params D.Sdp_greedy g);
+            ("Linear", run_algorithm ~params D.Linear g);
+          ]
+        in
+        { circuit = name; cells })
+      Mpl_layout.Benchgen.table2_circuits
+  in
+  print_table ~title:"Table 2 — Pentuple Patterning" ~algorithms rows
+
+(* ------------------------------------------------------------------ *)
+(* Figure exhibits: the worked examples of the paper, checked live.    *)
+
+let contact x y =
+  Mpl_geometry.Polygon.of_rect
+    (Mpl_geometry.Rect.make ~x0:x ~y0:y ~x1:(x + 20) ~y1:(y + 20))
+
+let fig1 () =
+  (* A 2x2 contact clique: a native conflict under TPL (K4 with three
+     masks), resolved by QPL (paper Fig. 1). *)
+  let layout =
+    Mpl_layout.Layout.make Mpl_layout.Layout.default_tech
+      [ contact 0 0; contact 40 0; contact 0 40; contact 40 40 ]
+  in
+  let g = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+  let cn k =
+    let params = { D.default_params with D.k } in
+    (D.assign ~params D.Exact g).D.cost.C.conflicts
+  in
+  Format.printf
+    "Fig 1 exhibit: 2x2 contact clique -> TPL (k=3) conflicts: %d, QPL \
+     (k=4) conflicts: %d@."
+    (cn 3) (cn 4)
+
+let fig7 () =
+  (* A brick pattern of 1-D regular wires: at min_s = 2 s_m + w_m = 60nm
+     it contains a K5, hence is not 4-colorable (paper Fig. 7); five
+     masks decompose it cleanly. *)
+  let bar x y w =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:x ~y0:y ~x1:(x + w) ~y1:(y + 20))
+  in
+  let bricks = ref [] in
+  for r = 0 to 4 do
+    (* Stagger each row by 30 nm so a bar, its right neighbor, the two
+       bars bridging them one row up, and the bar bridging them two rows
+       up are pairwise within 60 nm: a K5. *)
+    let offset = r * 30 mod 120 in
+    for i = 0 to 3 do
+      bricks := bar (offset + (i * 120)) (r * 40) 100 :: !bricks
+    done
+  done;
+  let layout = Mpl_layout.Layout.make Mpl_layout.Layout.default_tech !bricks in
+  let g =
+    Mpl.Decomp_graph.of_layout ~max_stitches_per_feature:0 layout ~min_s:60
+  in
+  let cn k =
+    let params = { D.default_params with D.k } in
+    (D.assign ~params D.Exact g).D.cost.C.conflicts
+  in
+  Format.printf
+    "Fig 7 exhibit: brick pattern at min_s=60nm -> k=4 conflicts: %d (>0: \
+     K5 present, not 4-colorable), k=5 conflicts: %d@."
+    (cn 4) (cn 5)
+
+let figures () =
+  Format.printf "@.=== Figure exhibits ===@.";
+  fig1 ();
+  fig7 ()
+
+(* ------------------------------------------------------------------ *)
+(* Ablations of the design choices DESIGN.md calls out.                *)
+
+let ablation () =
+  Format.printf
+    "@.=== Ablation: graph division stages (S38417, Linear, k=4) ===@.";
+  let g = build_graph ~min_s:80 "S38417" in
+  let cases =
+    [
+      ("full pipeline", Mpl.Division.all_stages);
+      ( "no GH-tree cuts",
+        { Mpl.Division.all_stages with Mpl.Division.use_ghtree = false } );
+      ( "no biconnected",
+        { Mpl.Division.all_stages with Mpl.Division.use_biconnected = false }
+      );
+      ( "no peeling",
+        { Mpl.Division.all_stages with Mpl.Division.use_peel = false } );
+      ( "components only",
+        {
+          Mpl.Division.use_components = true;
+          use_peel = false;
+          use_biconnected = false;
+          use_ghtree = false;
+        } );
+    ]
+  in
+  List.iter
+    (fun (name, stages) ->
+      let params = { D.default_params with D.stages } in
+      let r = D.assign ~params D.Linear g in
+      Format.printf
+        "%-16s cn#=%-3d st#=%-4d CPU=%.3fs pieces=%d largest=%d@." name
+        r.D.cost.C.conflicts r.D.cost.C.stitches r.D.elapsed_s
+        r.D.division.Mpl.Division.pieces
+        r.D.division.Mpl.Division.largest_piece)
+    cases;
+  Format.printf "@.=== Ablation: color-friendly rule (Linear, k=4) ===@.";
+  List.iter
+    (fun name ->
+      let g = build_graph ~min_s:80 name in
+      let cost solver =
+        let colors = Mpl.Division.assign ~k:4 ~alpha:0.1 ~solver g in
+        C.evaluate g colors
+      in
+      let with_rule = cost (Mpl.Linear_color.solve ~k:4 ~alpha:0.1) in
+      let without =
+        cost (Mpl.Linear_color.solve_no_friendly ~k:4 ~alpha:0.1)
+      in
+      Format.printf
+        "%-8s with friendly: cn#=%d st#=%d; without: cn#=%d st#=%d@." name
+        with_rule.C.conflicts with_rule.C.stitches without.C.conflicts
+        without.C.stitches)
+    [ "C6288"; "S38417" ];
+  Format.printf "@.=== Ablation: SDP solver mode (one hard block, k=4) ===@.";
+  let spec =
+    {
+      (Mpl_layout.Benchgen.spec_of_circuit "S38417") with
+      Mpl_layout.Benchgen.rows = 1;
+      cells_per_row = 1;
+      native_five = 0;
+      native_six = 0;
+      hard_blocks = 1;
+      stitch_gadgets = 0;
+      penta_six = 0;
+      wire_fraction = 0.;
+      name = "hardblock";
+    }
+  in
+  let layout = Mpl_layout.Benchgen.generate spec in
+  let g = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+  List.iter
+    (fun (name, mode) ->
+      let sdp_options = { Mpl_numeric.Sdp.default_options with mode } in
+      let params = { D.default_params with D.sdp_options } in
+      let r, secs =
+        Mpl_util.Timer.time (fun () -> D.assign ~params D.Sdp_backtrack g)
+      in
+      Format.printf "%-12s cn#=%d st#=%d CPU=%.3fs@." name
+        r.D.cost.C.conflicts r.D.cost.C.stitches secs)
+    [
+      ("projected", Mpl_numeric.Sdp.Projected);
+      ("lagrangian", Mpl_numeric.Sdp.Lagrangian);
+      ("penalty", Mpl_numeric.Sdp.Penalty);
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Beyond pentuple: the Section 5 generalization at K = 6.             *)
+
+let beyond () =
+  Format.printf "@.=== Beyond: hexuple patterning (k=6, min_s=135nm) ===@.";
+  let algorithms = [ "SDP+Backtrack"; "Linear" ] in
+  let params = { D.default_params with D.k = 6 } in
+  let rows =
+    List.map
+      (fun name ->
+        let g = build_graph ~min_s:135 name in
+        let cells =
+          [
+            ("SDP+Backtrack", run_algorithm ~params D.Sdp_backtrack g);
+            ("Linear", run_algorithm ~params D.Linear g);
+          ]
+        in
+        { circuit = name; cells })
+      Mpl_layout.Benchgen.table2_circuits
+  in
+  print_table ~title:"Hexuple Patterning (beyond the paper's K=5)"
+    ~algorithms rows
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: certified lower bounds and post passes.                 *)
+
+let extensions () =
+  Format.printf
+    "@.=== Extensions: clique lower bounds, refinement, balance ===@.";
+  List.iter
+    (fun name ->
+      let g = build_graph ~min_s:80 name in
+      let lb = Mpl.Lower_bound.conflict_lower_bound ~k:4 g in
+      let base = D.assign D.Linear g in
+      let refined =
+        D.assign
+          ~params:{ D.default_params with D.post = D.Local_search }
+          D.Linear g
+      in
+      let balanced =
+        D.assign ~params:{ D.default_params with D.balance = true } D.Linear g
+      in
+      Format.printf
+        "%-8s LB=%-3d linear cn#=%-3d (gap %d) refined cn#=%-3d imbalance \
+         %.3f -> %.3f@."
+        name lb base.D.cost.C.conflicts
+        (base.D.cost.C.conflicts - lb)
+        refined.D.cost.C.conflicts
+        (Mpl.Balance.imbalance ~k:4 base.D.colors)
+        (Mpl.Balance.imbalance ~k:4 balanced.D.colors))
+    [ "C6288"; "C7552"; "S38417" ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table.                 *)
+
+let micro () =
+  let open Bechamel in
+  let open Toolkit in
+  Format.printf "@.=== Bechamel micro-benchmarks ===@.";
+  let g1 = build_graph ~min_s:80 "C880" in
+  let g2 = build_graph ~min_s:110 "C6288" in
+  let params5 = { D.default_params with D.k = 5 } in
+  let tests =
+    Test.make_grouped ~name:"mpld"
+      [
+        Test.make_grouped ~name:"table1"
+          [
+            Test.make ~name:"linear-C880"
+              (Staged.stage (fun () -> ignore (D.assign D.Linear g1)));
+            Test.make ~name:"sdp-backtrack-C880"
+              (Staged.stage (fun () -> ignore (D.assign D.Sdp_backtrack g1)));
+            Test.make ~name:"sdp-greedy-C880"
+              (Staged.stage (fun () -> ignore (D.assign D.Sdp_greedy g1)));
+            Test.make ~name:"exact-C880"
+              (Staged.stage (fun () -> ignore (D.assign D.Exact g1)));
+          ];
+        Test.make_grouped ~name:"table2"
+          [
+            Test.make ~name:"linear-C6288-k5"
+              (Staged.stage (fun () ->
+                   ignore (D.assign ~params:params5 D.Linear g2)));
+            Test.make ~name:"sdp-backtrack-C6288-k5"
+              (Staged.stage (fun () ->
+                   ignore (D.assign ~params:params5 D.Sdp_backtrack g2)));
+          ];
+      ]
+  in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg Instance.[ monotonic_clock ] tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some [ est ] -> Format.printf "%-40s %12.0f ns/run@." name est
+      | Some _ | None -> Format.printf "%-40s (no estimate)@." name)
+    results
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let rec parse = function
+    | "--budget" :: v :: rest ->
+      ilp_budget := float_of_string v;
+      parse rest
+    | _ :: rest -> parse rest
+    | [] -> ()
+  in
+  parse args;
+  let has flag = List.mem flag args in
+  let any =
+    has "--table1" || has "--table2" || has "--figures" || has "--ablation"
+    || has "--micro" || has "--beyond" || has "--extensions"
+  in
+  if (not any) || has "--table1" then table1 ();
+  if (not any) || has "--table2" then table2 ();
+  if (not any) || has "--figures" then figures ();
+  if (not any) || has "--ablation" then ablation ();
+  if (not any) || has "--beyond" then beyond ();
+  if (not any) || has "--extensions" then extensions ();
+  if (not any) || has "--micro" then micro ()

@@ -1,0 +1,290 @@
+(* mpld — multiple-patterning layout decomposer CLI.
+
+   Subcommands:
+     gen        generate a synthetic benchmark layout file
+     decompose  decompose a layout file (or named benchmark) and report
+     stats      print decomposition-graph statistics for a layout *)
+
+open Cmdliner
+
+let algorithm_conv =
+  let parse = function
+    | "ilp" -> Ok Mpl.Decomposer.Ilp
+    | "exact" -> Ok Mpl.Decomposer.Exact
+    | "sdp-backtrack" | "sdp" -> Ok Mpl.Decomposer.Sdp_backtrack
+    | "sdp-greedy" -> Ok Mpl.Decomposer.Sdp_greedy
+    | "linear" -> Ok Mpl.Decomposer.Linear
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Mpl.Decomposer.Ilp -> "ilp"
+      | Mpl.Decomposer.Exact -> "exact"
+      | Mpl.Decomposer.Sdp_backtrack -> "sdp-backtrack"
+      | Mpl.Decomposer.Sdp_greedy -> "sdp-greedy"
+      | Mpl.Decomposer.Linear -> "linear")
+  in
+  Arg.conv (parse, print)
+
+let load_layout source =
+  if Sys.file_exists source then Mpl_layout.Layout_io.load source
+  else
+    try Mpl_layout.Benchgen.circuit source
+    with Not_found ->
+      Printf.eprintf
+        "error: %s is neither a file nor a known benchmark circuit\n" source;
+      exit 2
+
+let circuit_arg =
+  let doc =
+    "Layout file, or a benchmark circuit name (C432 .. S15850) generated \
+     on the fly."
+  in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"LAYOUT" ~doc)
+
+let k_arg =
+  let doc = "Number of masks (colors); 4 = quadruple patterning." in
+  Arg.(value & opt int 4 & info [ "k" ] ~docv:"K" ~doc)
+
+let min_s_arg =
+  let doc =
+    "Minimum coloring distance in nm. Default: the paper's setting for \
+     the chosen K (80 for K=4, 110 for K=5)."
+  in
+  Arg.(value & opt (some int) None & info [ "min-s" ] ~docv:"NM" ~doc)
+
+let algo_arg =
+  let doc = "Color assignment algorithm: ilp, exact, sdp-backtrack, sdp-greedy, linear." in
+  Arg.(
+    value
+    & opt algorithm_conv Mpl.Decomposer.Linear
+    & info [ "a"; "algorithm" ] ~docv:"ALGO" ~doc)
+
+let budget_arg =
+  let doc = "Wall-clock budget in seconds for exact algorithms." in
+  Arg.(value & opt float 60. & info [ "budget" ] ~docv:"S" ~doc)
+
+let refine_arg =
+  let doc = "Run a local-search refinement pass after division." in
+  Arg.(value & flag & info [ "refine" ] ~doc)
+
+let balance_arg =
+  let doc = "Rebalance mask densities (cost-free) after assignment." in
+  Arg.(value & flag & info [ "balance" ] ~doc)
+
+let resolve_min_s ~k ~min_s =
+  match min_s with
+  | Some m -> m
+  | None ->
+    let tech = Mpl_layout.Layout.default_tech in
+    if k >= 5 then Mpl_layout.Layout.pentuple_min_s tech
+    else Mpl_layout.Layout.quadruple_min_s tech
+
+let decompose_cmd =
+  let run source k min_s algo budget refine balance =
+    let layout = load_layout source in
+    let min_s = resolve_min_s ~k ~min_s in
+    let params =
+      {
+        Mpl.Decomposer.default_params with
+        k;
+        solver_budget_s = budget;
+        post =
+          (if refine then Mpl.Decomposer.Local_search
+           else Mpl.Decomposer.No_post);
+        balance;
+      }
+    in
+    let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
+    Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
+    Format.printf "graph: %a (min_s=%d, k=%d)@." Mpl.Decomp_graph.pp g min_s k;
+    Format.printf "%a@." Mpl.Decomposer.pp_report report;
+    if balance then
+      Format.printf "mask usage: %s@."
+        (String.concat " "
+           (Array.to_list
+              (Array.map string_of_int
+                 (Mpl.Balance.usage ~k report.Mpl.Decomposer.colors))))
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
+      $ refine_arg $ balance_arg)
+  in
+  Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
+
+let gen_cmd =
+  let out_arg =
+    let doc = "Output layout file." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let run name out =
+    match Mpl_layout.Benchgen.spec_of_circuit name with
+    | spec ->
+      let layout = Mpl_layout.Benchgen.generate spec in
+      Mpl_layout.Layout_io.save layout out;
+      Format.printf "wrote %a to %s@." Mpl_layout.Layout.pp_summary layout out
+    | exception Not_found ->
+      Printf.eprintf "error: unknown circuit %s\n" name;
+      exit 2
+  in
+  let name_arg =
+    let doc = "Benchmark circuit name (C432 .. S15850)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
+  in
+  let term = Term.(const run $ name_arg $ out_arg) in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic benchmark layout") term
+
+let stats_cmd =
+  let run source k min_s =
+    let layout = load_layout source in
+    let min_s = resolve_min_s ~k ~min_s in
+    let g = Mpl.Decomp_graph.of_layout layout ~min_s in
+    let ug = Mpl.Decomp_graph.union_graph g in
+    let comps = Mpl_graph.Connectivity.components ug in
+    let sizes = Array.map Array.length comps in
+    Array.sort compare sizes;
+    let largest = if Array.length sizes = 0 then 0 else sizes.(Array.length sizes - 1) in
+    Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
+    Format.printf "graph: %a (min_s=%d)@." Mpl.Decomp_graph.pp g min_s;
+    Format.printf "components: %d (largest %d)@." (Array.length comps) largest
+  in
+  let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg) in
+  Cmd.v (Cmd.info "stats" ~doc:"Print decomposition-graph statistics") term
+
+let conflicts_cmd =
+  let run source k min_s budget =
+    let layout = load_layout source in
+    let min_s = resolve_min_s ~k ~min_s in
+    let params =
+      { Mpl.Decomposer.default_params with k; solver_budget_s = budget }
+    in
+    let g, report =
+      Mpl.Decomposer.decompose ~params ~min_s Mpl.Decomposer.Exact layout
+    in
+    Format.printf "%a@." Mpl.Decomposer.pp_report report;
+    let colors = report.Mpl.Decomposer.colors in
+    List.iter
+      (fun (u, v) ->
+        if colors.(u) = colors.(v) then begin
+          let fu = g.Mpl.Decomp_graph.feature.(u)
+          and fv = g.Mpl.Decomp_graph.feature.(v) in
+          let center f =
+            Mpl_geometry.Rect.center
+              (Mpl_geometry.Polygon.bbox layout.Mpl_layout.Layout.features.(f))
+          in
+          let xu, yu = center fu and xv, yv = center fv in
+          Format.printf
+            "conflict: features %d (%.0f,%.0f) and %d (%.0f,%.0f), color %d@."
+            fu xu yu fv xv yv colors.(u)
+        end)
+      (Mpl.Decomp_graph.conflict_edges g)
+  in
+  let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg $ budget_arg) in
+  Cmd.v
+    (Cmd.info "conflicts"
+       ~doc:"Locate the unresolved conflicts of an exact decomposition")
+    term
+
+let svg_cmd =
+  let out_arg =
+    let doc = "Output SVG file." in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
+  in
+  let run source out k min_s algo budget =
+    let layout = load_layout source in
+    let min_s = resolve_min_s ~k ~min_s in
+    let params =
+      { Mpl.Decomposer.default_params with k; solver_budget_s = budget }
+    in
+    let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
+    Mpl.Render.save ~min_s layout g report.Mpl.Decomposer.colors out;
+    Format.printf "%a@." Mpl.Decomposer.pp_report report;
+    Format.printf "wrote %s@." out
+  in
+  let term =
+    Term.(const run $ circuit_arg $ out_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg)
+  in
+  Cmd.v (Cmd.info "svg" ~doc:"Decompose a layout and render the masks to SVG") term
+
+let report_cmd =
+  let run source k min_s budget =
+    let layout = load_layout source in
+    let min_s = resolve_min_s ~k ~min_s in
+    let g = Mpl.Decomp_graph.of_layout layout ~min_s in
+    let lb = Mpl.Lower_bound.conflict_lower_bound ~k g in
+    Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
+    Format.printf "graph: %a (min_s=%d, k=%d)@." Mpl.Decomp_graph.pp g min_s k;
+    Format.printf "clique lower bound on conflicts: %d@." lb;
+    List.iter
+      (fun algo ->
+        let params =
+          { Mpl.Decomposer.default_params with k; solver_budget_s = budget }
+        in
+        let r = Mpl.Decomposer.assign ~params algo g in
+        let balanced =
+          Mpl.Balance.rebalance ~k ~alpha:0.1 g r.Mpl.Decomposer.colors
+        in
+        Format.printf "%a | gap vs LB: %d | imbalance %.3f -> %.3f@."
+          Mpl.Decomposer.pp_report r
+          (r.Mpl.Decomposer.cost.Mpl.Coloring.conflicts - lb)
+          (Mpl.Balance.imbalance ~k r.Mpl.Decomposer.colors)
+          (Mpl.Balance.imbalance ~k balanced))
+      [
+        Mpl.Decomposer.Sdp_backtrack;
+        Mpl.Decomposer.Sdp_greedy;
+        Mpl.Decomposer.Linear;
+      ]
+  in
+  let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg $ budget_arg) in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Compare the heuristic algorithms on one layout, with certified \
+          lower bounds and mask-density balance")
+    term
+
+let density_cmd =
+  let window_arg =
+    let doc = "Density window side in nm." in
+    Arg.(value & opt int 2000 & info [ "window" ] ~docv:"NM" ~doc)
+  in
+  let run source k min_s algo budget window =
+    let layout = load_layout source in
+    let min_s = resolve_min_s ~k ~min_s in
+    let params =
+      { Mpl.Decomposer.default_params with k; solver_budget_s = budget }
+    in
+    let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
+    Format.printf "%a@." Mpl.Decomposer.pp_report report;
+    let d =
+      Mpl.Density.compute ~min_s ~window ~k layout g
+        report.Mpl.Decomposer.colors
+    in
+    Format.printf "%a@." Mpl.Density.pp_summary d
+  in
+  let term =
+    Term.(
+      const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
+      $ window_arg)
+  in
+  Cmd.v
+    (Cmd.info "density" ~doc:"Per-mask pattern-density map of a decomposition")
+    term
+
+let () =
+  let doc = "multiple-patterning (K>=4) layout decomposition" in
+  let info = Cmd.info "mpld" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            decompose_cmd;
+            gen_cmd;
+            stats_cmd;
+            conflicts_cmd;
+            svg_cmd;
+            report_cmd;
+            density_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/balanced_masks.ml: Array Format Mpl Mpl_geometry Mpl_layout Printf String Sys

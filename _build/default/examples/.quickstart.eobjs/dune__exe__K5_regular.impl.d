@@ -1,0 +1,1 @@
+examples/k5_regular.ml: Format List Mpl Mpl_geometry Mpl_layout

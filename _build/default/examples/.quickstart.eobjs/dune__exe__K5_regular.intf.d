@@ -1,0 +1,1 @@
+examples/k5_regular.mli:

@@ -1,0 +1,1 @@
+examples/kpattern_sweep.ml: Array Format List Mpl Mpl_layout Printf Sys

@@ -1,0 +1,1 @@
+examples/kpattern_sweep.mli:

@@ -1,0 +1,1 @@
+examples/native_conflict.ml: Format List Mpl Mpl_geometry Mpl_layout

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format Mpl Mpl_geometry Mpl_layout

@@ -1,0 +1,49 @@
+(* Section 5 of the paper: the whole framework generalizes to any
+   K-patterning. Sweep K = 3..6 over one benchmark circuit, using the
+   paper's coloring distance for each K (the radius grows with the mask
+   count in a real process; we reuse the paper's two calibrated points
+   and interpolate for the others).
+
+     dune exec examples/kpattern_sweep.exe [CIRCUIT] *)
+
+let min_s_for_k tech k =
+  match k with
+  | 3 -> Mpl_layout.Layout.kclique_min_s tech (* 60 nm *)
+  | 4 -> Mpl_layout.Layout.quadruple_min_s tech (* 80 nm *)
+  | 5 -> Mpl_layout.Layout.pentuple_min_s tech (* 110 nm *)
+  | _ -> Mpl_layout.Layout.pentuple_min_s tech + ((k - 5) * 25)
+
+let () =
+  let circuit = if Array.length Sys.argv > 1 then Sys.argv.(1) else "C6288" in
+  let layout =
+    try Mpl_layout.Benchgen.circuit circuit
+    with Not_found ->
+      Printf.eprintf "unknown circuit %s\n" circuit;
+      exit 2
+  in
+  Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
+  Format.printf "%3s %6s %9s %5s %5s %8s %8s@." "k" "min_s" "algorithm"
+    "cn#" "st#" "CPU(s)" "pieces";
+  List.iter
+    (fun k ->
+      let min_s = min_s_for_k layout.Mpl_layout.Layout.tech k in
+      let graph = Mpl.Decomp_graph.of_layout layout ~min_s in
+      List.iter
+        (fun algo ->
+          let params =
+            { Mpl.Decomposer.default_params with Mpl.Decomposer.k }
+          in
+          let r = Mpl.Decomposer.assign ~params algo graph in
+          Format.printf "%3d %6d %9s %5d %5d %8.3f %8d@." k min_s
+            (match algo with
+            | Mpl.Decomposer.Linear -> "linear"
+            | Mpl.Decomposer.Sdp_backtrack -> "sdp+bt"
+            | Mpl.Decomposer.Ilp | Mpl.Decomposer.Exact
+            | Mpl.Decomposer.Sdp_greedy ->
+              "other")
+            r.Mpl.Decomposer.cost.Mpl.Coloring.conflicts
+            r.Mpl.Decomposer.cost.Mpl.Coloring.stitches
+            r.Mpl.Decomposer.elapsed_s
+            r.Mpl.Decomposer.division.Mpl.Division.pieces)
+        [ Mpl.Decomposer.Sdp_backtrack; Mpl.Decomposer.Linear ])
+    [ 3; 4; 5; 6 ]

@@ -1,0 +1,34 @@
+(* Quickstart: build a tiny layout, decompose it into four masks, and
+   print the assignment.
+
+     dune exec examples/quickstart.exe *)
+
+let () =
+  (* Four contacts in a 2x2 cluster plus a wire passing above them. *)
+  let contact x y =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:x ~y0:y ~x1:(x + 20) ~y1:(y + 20))
+  in
+  let wire =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:(-60) ~y0:105 ~x1:160 ~y1:125)
+  in
+  let layout =
+    Mpl_layout.Layout.make ~name:"quickstart" Mpl_layout.Layout.default_tech
+      [ contact 0 0; contact 40 0; contact 0 40; contact 40 40; wire ]
+  in
+  (* Decompose for quadruple patterning at the paper's 80 nm coloring
+     distance using the linear color assignment. *)
+  let min_s = Mpl_layout.Layout.quadruple_min_s layout.Mpl_layout.Layout.tech in
+  let graph, report =
+    Mpl.Decomposer.decompose ~min_s Mpl.Decomposer.Linear layout
+  in
+  Format.printf "layout: %a@." Mpl_layout.Layout.pp_summary layout;
+  Format.printf "decomposition graph: %a@." Mpl.Decomp_graph.pp graph;
+  Format.printf "result: %a@." Mpl.Decomposer.pp_report report;
+  Array.iteri
+    (fun v color ->
+      Format.printf "  node %d (feature %d) -> mask %d@." v
+        graph.Mpl.Decomp_graph.feature.(v)
+        color)
+    report.Mpl.Decomposer.colors

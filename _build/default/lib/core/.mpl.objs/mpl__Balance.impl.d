@@ -1,0 +1,1 @@
+lib/core/balance.ml: Array Coloring Decomp_graph Refine

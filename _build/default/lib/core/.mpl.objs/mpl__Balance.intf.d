@@ -1,0 +1,1 @@
+lib/core/balance.mli: Coloring Decomp_graph

@@ -1,0 +1,1 @@
+lib/core/bnb.ml: Array Coloring Decomp_graph List Mpl_util Queue

@@ -1,0 +1,1 @@
+lib/core/bnb.mli: Decomp_graph Mpl_util

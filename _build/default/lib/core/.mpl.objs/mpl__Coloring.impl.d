@@ -1,0 +1,1 @@
+lib/core/coloring.ml: Array Decomp_graph Float

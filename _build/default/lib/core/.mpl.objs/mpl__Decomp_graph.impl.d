@@ -1,0 +1,1 @@
+lib/core/decomp_graph.ml: Array Format Hashtbl List Mpl_geometry Mpl_graph Mpl_layout

@@ -1,0 +1,1 @@
+lib/core/decomp_graph.mli: Format Mpl_graph Mpl_layout

@@ -1,0 +1,1 @@
+lib/core/decomposer.ml: Array Balance Bnb Coloring Decomp_graph Division Exact_color Format Ilp_color Linear_color Mpl_numeric Mpl_util Refine Sdp_color

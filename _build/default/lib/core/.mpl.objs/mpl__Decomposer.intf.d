@@ -1,0 +1,1 @@
+lib/core/decomposer.mli: Coloring Decomp_graph Division Format Mpl_layout Mpl_numeric

@@ -1,0 +1,1 @@
+lib/core/density.ml: Array Decomp_graph Format List Mpl_geometry Mpl_layout

@@ -1,0 +1,1 @@
+lib/core/density.mli: Coloring Decomp_graph Format Mpl_layout

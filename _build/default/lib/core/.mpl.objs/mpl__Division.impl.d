@@ -1,0 +1,1 @@
+lib/core/division.ml: Array Coloring Decomp_graph Hashtbl List Mpl_graph Queue

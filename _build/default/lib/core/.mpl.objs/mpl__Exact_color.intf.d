@@ -1,0 +1,1 @@
+lib/core/exact_color.mli: Bnb Decomp_graph Mpl_util

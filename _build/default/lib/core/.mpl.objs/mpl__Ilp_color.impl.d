@@ -1,0 +1,1 @@
+lib/core/ilp_color.ml: Array Bnb Coloring Decomp_graph List Mpl_ilp

@@ -1,0 +1,1 @@
+lib/core/ilp_color.mli: Decomp_graph Mpl_ilp Mpl_util

@@ -1,0 +1,1 @@
+lib/core/linear_color.ml: Array Coloring Decomp_graph Hashtbl List Queue

@@ -1,0 +1,1 @@
+lib/core/linear_color.mli: Decomp_graph

@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Decomp_graph Fun Hashtbl List Mpl_graph

@@ -1,0 +1,1 @@
+lib/core/refine.ml: Array Coloring Decomp_graph Mpl_util

@@ -1,0 +1,1 @@
+lib/core/render.ml: Array Buffer Decomp_graph Fun List Mpl_geometry Mpl_layout Printf

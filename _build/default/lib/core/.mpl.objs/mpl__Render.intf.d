@@ -1,0 +1,1 @@
+lib/core/render.mli: Coloring Decomp_graph Mpl_layout

@@ -1,0 +1,1 @@
+lib/core/sdp_color.ml: Array Bnb Coloring Decomp_graph Hashtbl List Mpl_graph Mpl_numeric

@@ -1,0 +1,1 @@
+lib/core/sdp_color.mli: Decomp_graph Mpl_numeric Mpl_util

@@ -1,0 +1,44 @@
+type t = int array
+
+let weight_conflict = 1000
+
+let stitch_weight ~alpha = int_of_float (Float.round (alpha *. 1000.))
+
+type cost = { conflicts : int; stitches : int; scaled : int }
+
+let evaluate ?(alpha = 0.1) (g : Decomp_graph.t) colors =
+  let conflicts = ref 0 in
+  let stitches = ref 0 in
+  Array.iteri
+    (fun u nbrs ->
+      if colors.(u) >= 0 then
+        Array.iter
+          (fun v -> if u < v && colors.(v) = colors.(u) then incr conflicts)
+          nbrs)
+    g.Decomp_graph.conflict;
+  Array.iteri
+    (fun u nbrs ->
+      if colors.(u) >= 0 then
+        Array.iter
+          (fun v ->
+            if u < v && colors.(v) >= 0 && colors.(v) <> colors.(u) then
+              incr stitches)
+          nbrs)
+    g.Decomp_graph.stitch;
+  let scaled =
+    (weight_conflict * !conflicts) + (stitch_weight ~alpha * !stitches)
+  in
+  { conflicts = !conflicts; stitches = !stitches; scaled }
+
+let check_range ~k colors =
+  Array.for_all (fun c -> c >= -1 && c < k) colors
+
+let is_complete colors = Array.for_all (fun c -> c >= 0) colors
+
+let permute colors sigma =
+  Array.map (fun c -> if c < 0 then c else sigma.(c)) colors
+
+let rotate_in_place colors vs ~k ~by =
+  Array.iter
+    (fun v -> if colors.(v) >= 0 then colors.(v) <- (colors.(v) + by) mod k)
+    vs

@@ -1,0 +1,170 @@
+module Ugraph = Mpl_graph.Ugraph
+module Polygon = Mpl_geometry.Polygon
+module Grid_index = Mpl_geometry.Grid_index
+
+type t = {
+  n : int;
+  conflict : int array array;
+  stitch : int array array;
+  friendly : int array array;
+  feature : int array;
+}
+
+let normalize_edges n edges =
+  let seen = Hashtbl.create (List.length edges) in
+  List.filter
+    (fun (u, v) ->
+      if u = v then invalid_arg "Decomp_graph: self-loop";
+      if u < 0 || v < 0 || u >= n || v >= n then
+        invalid_arg "Decomp_graph: vertex out of range";
+      let key = (min u v, max u v) in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    edges
+  |> List.map (fun (u, v) -> (min u v, max u v))
+
+let adjacency n edges =
+  let adj = Array.make n [] in
+  List.iter
+    (fun (u, v) ->
+      adj.(u) <- v :: adj.(u);
+      adj.(v) <- u :: adj.(v))
+    edges;
+  Array.map
+    (fun l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      a)
+    adj
+
+let of_edges ?(stitch_edges = []) ?(friendly_edges = []) ?feature ~n
+    conflict_edges =
+  let ce = normalize_edges n conflict_edges in
+  let se = normalize_edges n stitch_edges in
+  let fe = normalize_edges n friendly_edges in
+  let ce_set = Hashtbl.create (List.length ce) in
+  List.iter (fun e -> Hashtbl.add ce_set e ()) ce;
+  List.iter
+    (fun e ->
+      if Hashtbl.mem ce_set e then
+        invalid_arg "Decomp_graph: edge is both conflict and stitch")
+    se;
+  let feature =
+    match feature with Some f -> f | None -> Array.init n (fun i -> i)
+  in
+  if Array.length feature <> n then
+    invalid_arg "Decomp_graph: feature array length mismatch";
+  {
+    n;
+    conflict = adjacency n ce;
+    stitch = adjacency n se;
+    friendly = adjacency n fe;
+    feature;
+  }
+
+let of_layout ?max_stitches_per_feature (layout : Mpl_layout.Layout.t) ~min_s =
+  let split =
+    Mpl_layout.Stitch.split ?max_stitches_per_feature layout ~min_s
+  in
+  let nodes = split.Mpl_layout.Stitch.nodes in
+  let n = Array.length nodes in
+  let hp = layout.Mpl_layout.Layout.tech.Mpl_layout.Layout.half_pitch in
+  let friendly_radius = min_s + hp in
+  let index = Grid_index.create ~cell:(max friendly_radius 16) in
+  Array.iteri
+    (fun i node ->
+      Grid_index.add index i (Polygon.bbox node.Mpl_layout.Stitch.shape))
+    nodes;
+  let conflicts = ref [] in
+  let friendlies = ref [] in
+  let min_s2 = min_s * min_s in
+  let friendly2 = friendly_radius * friendly_radius in
+  Grid_index.iter_pairs index ~radius:friendly_radius (fun i j ->
+      let ni = nodes.(i) and nj = nodes.(j) in
+      if ni.Mpl_layout.Stitch.feature <> nj.Mpl_layout.Stitch.feature then begin
+        let d2 =
+          Polygon.distance2 ni.Mpl_layout.Stitch.shape
+            nj.Mpl_layout.Stitch.shape
+        in
+        if d2 <= min_s2 then conflicts := (i, j) :: !conflicts
+        else if d2 <= friendly2 then friendlies := (i, j) :: !friendlies
+      end);
+  let feature =
+    Array.map (fun node -> node.Mpl_layout.Stitch.feature) nodes
+  in
+  of_edges ~stitch_edges:split.Mpl_layout.Stitch.stitch_edges
+    ~friendly_edges:!friendlies ~feature ~n !conflicts
+
+let edges_of adj =
+  let out = ref [] in
+  Array.iteri
+    (fun u nbrs -> Array.iter (fun v -> if u < v then out := (u, v) :: !out) nbrs)
+    adj;
+  List.rev !out
+
+let conflict_edges t = edges_of t.conflict
+let stitch_edges t = edges_of t.stitch
+let friendly_edges t = edges_of t.friendly
+
+let conflict_degree t v = Array.length t.conflict.(v)
+let stitch_degree t v = Array.length t.stitch.(v)
+
+let has_conflict t u v =
+  (* Adjacency is sorted: binary search. *)
+  let a = t.conflict.(u) in
+  let rec bin lo hi =
+    if lo >= hi then false
+    else begin
+      let mid = (lo + hi) / 2 in
+      if a.(mid) = v then true
+      else if a.(mid) < v then bin (mid + 1) hi
+      else bin lo mid
+    end
+  in
+  bin 0 (Array.length a)
+
+let union_graph t =
+  let g = Ugraph.create t.n in
+  List.iter (fun (u, v) -> Ugraph.add_edge g u v) (conflict_edges t);
+  List.iter (fun (u, v) -> Ugraph.add_edge g u v) (stitch_edges t);
+  g
+
+let conflict_graph t =
+  let g = Ugraph.create t.n in
+  List.iter (fun (u, v) -> Ugraph.add_edge g u v) (conflict_edges t);
+  g
+
+let subgraph t vs =
+  let m = Array.length vs in
+  let fwd = Hashtbl.create m in
+  Array.iteri (fun i v -> Hashtbl.add fwd v i) vs;
+  let restrict adj =
+    Array.map
+      (fun v ->
+        let nbrs =
+          Array.to_list adj.(v)
+          |> List.filter_map (fun u -> Hashtbl.find_opt fwd u)
+        in
+        let a = Array.of_list nbrs in
+        Array.sort compare a;
+        a)
+      vs
+  in
+  let sub =
+    {
+      n = m;
+      conflict = restrict t.conflict;
+      stitch = restrict t.stitch;
+      friendly = restrict t.friendly;
+      feature = Array.map (fun v -> t.feature.(v)) vs;
+    }
+  in
+  (sub, Array.copy vs)
+
+let pp ppf t =
+  let ce = List.length (conflict_edges t) in
+  let se = List.length (stitch_edges t) in
+  Format.fprintf ppf "decomp_graph(n=%d, ce=%d, se=%d)" t.n ce se

@@ -1,0 +1,55 @@
+(** The decomposition graph (paper Definition 1), plus the color-friendly
+    relation (paper Definition 2).
+
+    Vertices are sub-features (features after stitch splitting). Conflict
+    edges join distinct features within the minimum coloring distance
+    [min_s]; stitch edges join touching segments of one split feature;
+    color-friendly edges join features at distance in (min_s, min_s+hp],
+    which the linear color assignment uses as a same-color hint. *)
+
+type t = private {
+  n : int;
+  conflict : int array array;  (** sorted adjacency *)
+  stitch : int array array;
+  friendly : int array array;
+  feature : int array;  (** vertex -> originating feature id *)
+}
+
+val of_edges :
+  ?stitch_edges:(int * int) list ->
+  ?friendly_edges:(int * int) list ->
+  ?feature:int array ->
+  n:int ->
+  (int * int) list ->
+  t
+(** Direct construction (tests, paper figures). The positional edge list
+    is the conflict edges. Duplicate edges are collapsed; self-loops and
+    edges that are both conflict and stitch are rejected. *)
+
+val of_layout :
+  ?max_stitches_per_feature:int -> Mpl_layout.Layout.t -> min_s:int -> t
+(** Build from a layout: stitch-split the features, then join sub-features
+    of distinct features by conflict (distance <= min_s) and
+    color-friendly (min_s < distance <= min_s + half_pitch) edges. *)
+
+val conflict_edges : t -> (int * int) list
+(** Each conflict edge once, [(u, v)] with [u < v]. *)
+
+val stitch_edges : t -> (int * int) list
+val friendly_edges : t -> (int * int) list
+
+val conflict_degree : t -> int -> int
+val stitch_degree : t -> int -> int
+
+val has_conflict : t -> int -> int -> bool
+
+val union_graph : t -> Mpl_graph.Ugraph.t
+(** Conflict and stitch edges together — connectivity for division. *)
+
+val conflict_graph : t -> Mpl_graph.Ugraph.t
+
+val subgraph : t -> int array -> t * int array
+(** [subgraph g vs] is the induced graph on [vs] (no duplicates),
+    relabeled [0..], and the map back to the original vertex ids. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,136 @@
+type algorithm = Ilp | Exact | Sdp_backtrack | Sdp_greedy | Linear
+
+let algorithm_name = function
+  | Ilp -> "ILP"
+  | Exact -> "Exact-BnB"
+  | Sdp_backtrack -> "SDP+Backtrack"
+  | Sdp_greedy -> "SDP+Greedy"
+  | Linear -> "Linear"
+
+type post_pass = No_post | Local_search | Anneal of int
+
+type params = {
+  k : int;
+  alpha : float;
+  tth : float;
+  sdp_options : Mpl_numeric.Sdp.options;
+  solver_budget_s : float;
+  node_cap : int;
+  stages : Division.stages;
+  post : post_pass;
+  balance : bool;
+}
+
+let default_params =
+  {
+    k = 4;
+    alpha = 0.1;
+    tth = 0.9;
+    sdp_options = Mpl_numeric.Sdp.default_options;
+    solver_budget_s = 60.;
+    node_cap = 2_000_000;
+    stages = Division.all_stages;
+    post = No_post;
+    balance = false;
+  }
+
+type report = {
+  algorithm : algorithm;
+  params : params;
+  cost : Coloring.cost;
+  colors : Coloring.t;
+  elapsed_s : float;
+  timed_out : bool;
+  division : Division.stats;
+}
+
+(* Leaf solver for one divided piece. The exact algorithms share one
+   wall-clock budget across all pieces (the paper reports a single CPU
+   number per circuit); when it expires, remaining pieces fall back to a
+   greedy coloring and the run is flagged N/A. *)
+let make_solver ~params ~budget ~timed_out algorithm (piece : Decomp_graph.t) =
+  let k = params.k and alpha = params.alpha in
+  match algorithm with
+  | Linear -> Linear_color.solve ~k ~alpha piece
+  | Exact ->
+    let r =
+      Exact_color.solve ~node_cap:params.node_cap ~budget ~k ~alpha piece
+    in
+    if not r.Bnb.optimal then timed_out := true;
+    r.Bnb.colors
+  | Ilp ->
+    if Mpl_util.Timer.expired budget then begin
+      timed_out := true;
+      Bnb.greedy ~k (Bnb.instance_of_graph ~alpha piece)
+    end
+    else begin
+      let r = Ilp_color.solve ~budget ~k ~alpha piece in
+      if not r.Ilp_color.optimal then timed_out := true;
+      r.Ilp_color.colors
+    end
+  | Sdp_greedy ->
+    if piece.Decomp_graph.n <= 1 then Array.make piece.Decomp_graph.n 0
+    else begin
+      let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
+      Sdp_color.greedy_map ~k sol piece
+    end
+  | Sdp_backtrack ->
+    if piece.Decomp_graph.n <= 1 then Array.make piece.Decomp_graph.n 0
+    else begin
+      let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
+      Sdp_color.backtrack ~tth:params.tth ~node_cap:params.node_cap ~k ~alpha
+        sol piece
+    end
+
+let assign ?(params = default_params) algorithm g =
+  let stats = Division.fresh_stats () in
+  let timed_out = ref false in
+  let budget =
+    match algorithm with
+    | Ilp | Exact -> Mpl_util.Timer.budget params.solver_budget_s
+    | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
+  in
+  let solver = make_solver ~params ~budget ~timed_out algorithm in
+  let (colors, elapsed_s) =
+    Mpl_util.Timer.time (fun () ->
+        let colors =
+          Division.assign ~stages:params.stages ~stats ~k:params.k
+            ~alpha:params.alpha ~solver g
+        in
+        let colors =
+          match params.post with
+          | No_post -> colors
+          | Local_search ->
+            Refine.local_search ~k:params.k ~alpha:params.alpha g colors
+          | Anneal iterations ->
+            Refine.anneal ~iterations ~k:params.k ~alpha:params.alpha g colors
+        in
+        if params.balance then
+          Balance.rebalance ~k:params.k ~alpha:params.alpha g colors
+        else colors)
+  in
+  assert (Coloring.is_complete colors);
+  assert (Coloring.check_range ~k:params.k colors);
+  let cost = Coloring.evaluate ~alpha:params.alpha g colors in
+  {
+    algorithm;
+    params;
+    cost;
+    colors;
+    elapsed_s;
+    timed_out = !timed_out;
+    division = stats;
+  }
+
+let decompose ?params ?max_stitches_per_feature ~min_s algorithm layout =
+  let g = Decomp_graph.of_layout ?max_stitches_per_feature layout ~min_s in
+  (g, assign ?params algorithm g)
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "%-13s cn#=%-4d st#=%-5d cost=%.1f CPU=%.3fs pieces=%d largest=%d%s"
+    (algorithm_name r.algorithm) r.cost.Coloring.conflicts
+    r.cost.Coloring.stitches
+    (float_of_int r.cost.Coloring.scaled /. 1000.)
+    r.elapsed_s r.division.Division.pieces r.division.Division.largest_piece
+    (if r.timed_out then " (TIMEOUT)" else "")

@@ -1,0 +1,59 @@
+(** End-to-end layout decomposition (paper Fig. 2): decomposition-graph
+    construction, graph division, per-piece color assignment, and cost
+    reporting. *)
+
+type algorithm =
+  | Ilp  (** exact baseline via the MILP encoding (budgeted) *)
+  | Exact  (** exact baseline via specialized branch-and-bound (budgeted) *)
+  | Sdp_backtrack  (** paper Algorithm 1 *)
+  | Sdp_greedy
+  | Linear  (** paper Algorithm 2 *)
+
+val algorithm_name : algorithm -> string
+
+type post_pass =
+  | No_post
+  | Local_search  (** steepest-descent recoloring ({!Refine}) *)
+  | Anneal of int  (** simulated annealing with the given iterations *)
+
+type params = {
+  k : int;  (** number of masks; 4 = QPLD *)
+  alpha : float;  (** stitch weight, paper: 0.1 *)
+  tth : float;  (** SDP merge threshold, paper: 0.9 *)
+  sdp_options : Mpl_numeric.Sdp.options;
+  solver_budget_s : float;
+      (** total wall-clock budget for exact solvers (Ilp / Exact) across
+          all components; <= 0 means unlimited *)
+  node_cap : int;  (** branch-and-bound node cap per piece *)
+  stages : Division.stages;
+  post : post_pass;  (** optional global refinement after division *)
+  balance : bool;  (** cost-free mask-density rebalancing ({!Balance}) *)
+}
+
+val default_params : params
+(** QPLD defaults: k = 4, alpha = 0.1, tth = 0.9, 60 s exact budget,
+    full division pipeline. *)
+
+type report = {
+  algorithm : algorithm;
+  params : params;
+  cost : Coloring.cost;
+  colors : Coloring.t;
+  elapsed_s : float;  (** color-assignment time (graph already built) *)
+  timed_out : bool;  (** exact solver hit its budget: treat as N/A *)
+  division : Division.stats;
+}
+
+val assign : ?params:params -> algorithm -> Decomp_graph.t -> report
+(** Run division + color assignment on a prebuilt decomposition graph. *)
+
+val decompose :
+  ?params:params ->
+  ?max_stitches_per_feature:int ->
+  min_s:int ->
+  algorithm ->
+  Mpl_layout.Layout.t ->
+  Decomp_graph.t * report
+(** Build the decomposition graph from the layout, then [assign]. *)
+
+val pp_report : Format.formatter -> report -> unit

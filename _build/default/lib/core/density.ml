@@ -1,0 +1,105 @@
+module Rect = Mpl_geometry.Rect
+module Polygon = Mpl_geometry.Polygon
+module Stitch = Mpl_layout.Stitch
+
+type t = {
+  window : int;
+  nx : int;
+  ny : int;
+  x0 : int;
+  y0 : int;
+  area : int array array array;
+}
+
+(* Area of [r] clipped to the window at (ix, iy). *)
+let clipped_area t (r : Rect.t) ix iy =
+  let wx0 = t.x0 + (ix * t.window) and wy0 = t.y0 + (iy * t.window) in
+  let x0 = max r.Rect.x0 wx0 and y0 = max r.Rect.y0 wy0 in
+  let x1 = min r.Rect.x1 (wx0 + t.window) and y1 = min r.Rect.y1 (wy0 + t.window) in
+  if x0 < x1 && y0 < y1 then (x1 - x0) * (y1 - y0) else 0
+
+let compute ?(max_stitches_per_feature = 3) ?min_s ~window ~k
+    (layout : Mpl_layout.Layout.t) (g : Decomp_graph.t) colors =
+  if window <= 0 then invalid_arg "Density.compute: window must be positive";
+  let min_s =
+    match min_s with
+    | Some m -> m
+    | None -> Mpl_layout.Layout.quadruple_min_s layout.Mpl_layout.Layout.tech
+  in
+  let split = Stitch.split ~max_stitches_per_feature layout ~min_s in
+  let nodes = split.Stitch.nodes in
+  if Array.length nodes <> g.Decomp_graph.n then
+    invalid_arg "Density.compute: node count mismatch";
+  let bbox =
+    match Mpl_layout.Layout.bbox layout with
+    | Some b -> b
+    | None -> Rect.make ~x0:0 ~y0:0 ~x1:window ~y1:window
+  in
+  let nx = ((Rect.width bbox + window - 1) / window) + 1 in
+  let ny = ((Rect.height bbox + window - 1) / window) + 1 in
+  let t =
+    {
+      window;
+      nx;
+      ny;
+      x0 = bbox.Rect.x0;
+      y0 = bbox.Rect.y0;
+      area = Array.init k (fun _ -> Array.make_matrix nx ny 0);
+    }
+  in
+  Array.iteri
+    (fun v node ->
+      let mask = colors.(v) in
+      if mask >= 0 && mask < k then
+        List.iter
+          (fun r ->
+            (* Only windows the rect overlaps. *)
+            let ix0 = max 0 ((r.Rect.x0 - t.x0) / window) in
+            let ix1 = min (nx - 1) ((r.Rect.x1 - t.x0) / window) in
+            let iy0 = max 0 ((r.Rect.y0 - t.y0) / window) in
+            let iy1 = min (ny - 1) ((r.Rect.y1 - t.y0) / window) in
+            for ix = ix0 to ix1 do
+              for iy = iy0 to iy1 do
+                t.area.(mask).(ix).(iy) <-
+                  t.area.(mask).(ix).(iy) + clipped_area t r ix iy
+              done
+            done)
+          (Polygon.rects node.Stitch.shape))
+    nodes;
+  t
+
+let mask_totals t =
+  Array.map
+    (fun grid -> Array.fold_left (fun acc col -> acc + Array.fold_left ( + ) 0 col) 0 grid)
+    t.area
+
+let worst_window_imbalance t =
+  let k = Array.length t.area in
+  if k = 0 then 0.
+  else begin
+    let worst = ref 0. in
+    let wa = float_of_int (t.window * t.window) in
+    for ix = 0 to t.nx - 1 do
+      for iy = 0 to t.ny - 1 do
+        let mx = ref min_int and mn = ref max_int in
+        for m = 0 to k - 1 do
+          let a = t.area.(m).(ix).(iy) in
+          if a > !mx then mx := a;
+          if a < !mn then mn := a
+        done;
+        if !mx > 0 then begin
+          let spread = float_of_int (!mx - !mn) /. wa in
+          if spread > !worst then worst := spread
+        end
+      done
+    done;
+    !worst
+  end
+
+let pp_summary ppf t =
+  let totals = mask_totals t in
+  Format.fprintf ppf "@[<h>density %dx%d windows of %dnm; mask areas:" t.nx
+    t.ny t.window;
+  Array.iteri (fun m a -> Format.fprintf ppf " m%d=%d" m a) totals;
+  Format.fprintf ppf "; worst window spread %.4f@]"
+    (worst_window_imbalance t)

@@ -1,0 +1,37 @@
+(** Per-mask pattern-density maps.
+
+    Mask balance in {!Balance} counts vertices; what lithography actually
+    cares about is *area* density per mask, uniform across the die. This
+    module rasterizes a decomposed layout into square windows and reports
+    per-window, per-mask area — the standard density-map check run
+    before accepting a decomposition. *)
+
+type t = {
+  window : int;  (** window side in nm *)
+  nx : int;
+  ny : int;
+  x0 : int;
+  y0 : int;
+  area : int array array array;  (** [area.(mask).(ix).(iy)] in nm^2 *)
+}
+
+val compute :
+  ?max_stitches_per_feature:int ->
+  ?min_s:int ->
+  window:int ->
+  k:int ->
+  Mpl_layout.Layout.t ->
+  Decomp_graph.t ->
+  Coloring.t ->
+  t
+(** Rasterize. Node shapes are recomputed from the layout exactly as
+    {!Render.to_svg} does; [g.n] must match. *)
+
+val mask_totals : t -> int array
+(** Total area per mask over the whole die. *)
+
+val worst_window_imbalance : t -> float
+(** Max over windows of (max mask area - min mask area) / window area;
+    0 when every window is perfectly balanced or empty. *)
+
+val pp_summary : Format.formatter -> t -> unit

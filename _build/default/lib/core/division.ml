@@ -1,0 +1,274 @@
+module Connectivity = Mpl_graph.Connectivity
+module Biconnected = Mpl_graph.Biconnected
+module Gomory_hu = Mpl_graph.Gomory_hu
+module Maxflow = Mpl_graph.Maxflow
+
+type stages = {
+  use_components : bool;
+  use_peel : bool;
+  use_biconnected : bool;
+  use_ghtree : bool;
+}
+
+let all_stages =
+  { use_components = true; use_peel = true; use_biconnected = true; use_ghtree = true }
+
+let no_stages =
+  {
+    use_components = false;
+    use_peel = false;
+    use_biconnected = false;
+    use_ghtree = false;
+  }
+
+type stats = {
+  mutable pieces : int;
+  mutable largest_piece : int;
+  mutable peeled : int;
+  mutable cuts : int;
+}
+
+let fresh_stats () = { pieces = 0; largest_piece = 0; peeled = 0; cuts = 0 }
+
+(* Division-level peel: only vertices with NO stitch edges qualify (the
+   reduced problem then has exactly the same optimum), unlike Algorithm
+   2's internal d_stit < 2 rule which is heuristic. *)
+let peel ~k (g : Decomp_graph.t) =
+  let n = g.Decomp_graph.n in
+  let alive = Array.make n true in
+  let dconf = Array.init n (fun v -> Array.length g.Decomp_graph.conflict.(v)) in
+  let stack = ref [] in
+  let queue = Queue.create () in
+  let queued = Array.make n false in
+  let removable v =
+    alive.(v) && dconf.(v) < k && Array.length g.Decomp_graph.stitch.(v) = 0
+  in
+  for v = 0 to n - 1 do
+    if removable v then begin
+      Queue.add v queue;
+      queued.(v) <- true
+    end
+  done;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    queued.(v) <- false;
+    if removable v then begin
+      alive.(v) <- false;
+      stack := v :: !stack;
+      Array.iter
+        (fun u ->
+          if alive.(u) then begin
+            dconf.(u) <- dconf.(u) - 1;
+            if removable u && not queued.(u) then begin
+              Queue.add u queue;
+              queued.(u) <- true
+            end
+          end)
+        g.Decomp_graph.conflict.(v)
+    end
+  done;
+  (alive, !stack)
+
+(* Conflict-free color for a popped vertex, friendly-tie-broken. *)
+let pop_color ~k (g : Decomp_graph.t) colors v =
+  let wc = Coloring.weight_conflict in
+  let best = ref 0 and best_pen = ref max_int in
+  for c = 0 to k - 1 do
+    let pen = ref 0 in
+    Array.iter
+      (fun u -> if colors.(u) = c then pen := !pen + wc)
+      g.Decomp_graph.conflict.(v);
+    Array.iter
+      (fun u -> if colors.(u) = c then pen := !pen - 1)
+      g.Decomp_graph.friendly.(v);
+    if !pen < !best_pen then begin
+      best_pen := !pen;
+      best := c
+    end
+  done;
+  !best
+
+(* Rotation of side-B colors minimizing the crossing cost; crossing
+   conflict edges each forbid exactly one rotation, so with fewer than k
+   of them a conflict-free rotation exists (paper Lemma 1). *)
+let best_rotation ~k ~alpha colors_a colors_b crossing_conflict crossing_stitch =
+  let wc = Coloring.weight_conflict in
+  let ws = Coloring.stitch_weight ~alpha in
+  let best_r = ref 0 and best_cost = ref max_int in
+  for r = 0 to k - 1 do
+    let cost = ref 0 in
+    List.iter
+      (fun (a, b) ->
+        if colors_a.(a) = (colors_b.(b) + r) mod k then cost := !cost + wc)
+      crossing_conflict;
+    List.iter
+      (fun (a, b) ->
+        if colors_a.(a) <> (colors_b.(b) + r) mod k then cost := !cost + ws)
+      crossing_stitch;
+    if !cost < !best_cost then begin
+      best_cost := !cost;
+      best_r := r
+    end
+  done;
+  !best_r
+
+let assign ?(stages = all_stages) ?stats ~k ~alpha ~solver (g : Decomp_graph.t) =
+  if k < 2 then invalid_arg "Division.assign: k < 2";
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
+  let leaf sub =
+    stats.pieces <- stats.pieces + 1;
+    if sub.Decomp_graph.n > stats.largest_piece then
+      stats.largest_piece <- sub.Decomp_graph.n;
+    let colors = solver sub in
+    assert (Array.length colors = sub.Decomp_graph.n);
+    colors
+  in
+  let rec conquer sub =
+    if stages.use_components then begin
+      let comps = Connectivity.components (Decomp_graph.union_graph sub) in
+      if Array.length comps > 1 then begin
+        let colors = Array.make sub.Decomp_graph.n (-1) in
+        Array.iter
+          (fun comp ->
+            let piece, back = Decomp_graph.subgraph sub comp in
+            let pc = connected piece in
+            Array.iteri (fun i v -> colors.(v) <- pc.(i)) back)
+          comps;
+        colors
+      end
+      else connected sub
+    end
+    else connected sub
+  and connected sub =
+    if stages.use_peel then begin
+      let alive, stack = peel ~k sub in
+      match stack with
+      | [] -> blocks sub
+      | _ ->
+        stats.peeled <- stats.peeled + List.length stack;
+        let core =
+          Array.of_list
+            (List.filter
+               (fun v -> alive.(v))
+               (List.init sub.Decomp_graph.n (fun v -> v)))
+        in
+        let colors = Array.make sub.Decomp_graph.n (-1) in
+        if Array.length core > 0 then begin
+          let piece, back = Decomp_graph.subgraph sub core in
+          let pc = conquer piece in
+          Array.iteri (fun i v -> colors.(v) <- pc.(i)) back
+        end;
+        List.iter (fun v -> colors.(v) <- pop_color ~k sub colors v) stack;
+        colors
+    end
+    else blocks sub
+  and blocks sub =
+    if stages.use_biconnected then begin
+      let bl = Array.of_list (Biconnected.blocks (Decomp_graph.union_graph sub)) in
+      if Array.length bl <= 1 then ghtree sub
+      else begin
+        let colors = Array.make sub.Decomp_graph.n (-1) in
+        (* BFS over the block-cut tree so every non-root block meets
+           exactly one pre-colored (articulation) vertex. *)
+        let blocks_of = Array.make sub.Decomp_graph.n [] in
+        Array.iteri
+          (fun bi verts ->
+            Array.iter (fun v -> blocks_of.(v) <- bi :: blocks_of.(v)) verts)
+          bl;
+        let visited = Array.make (Array.length bl) false in
+        let queue = Queue.create () in
+        for start = 0 to Array.length bl - 1 do
+          if not visited.(start) then begin
+            visited.(start) <- true;
+            Queue.add start queue;
+            while not (Queue.is_empty queue) do
+              let bi = Queue.pop queue in
+              let verts = bl.(bi) in
+              let piece, back = Decomp_graph.subgraph sub verts in
+              let pc = conquer piece in
+              (* Align with the already-colored shared vertex, if any. *)
+              let rotation = ref 0 in
+              Array.iteri
+                (fun i v ->
+                  if colors.(v) >= 0 && !rotation = 0 then
+                    rotation := ((colors.(v) - pc.(i)) mod k + k) mod k)
+                back;
+              Array.iteri
+                (fun i v ->
+                  if colors.(v) < 0 then
+                    colors.(v) <- (pc.(i) + !rotation) mod k)
+                back;
+              Array.iter
+                (fun v ->
+                  List.iter
+                    (fun bj ->
+                      if not visited.(bj) then begin
+                        visited.(bj) <- true;
+                        Queue.add bj queue
+                      end)
+                    blocks_of.(v))
+                verts
+            done
+          end
+        done;
+        colors
+      end
+    end
+    else ghtree sub
+  and ghtree sub =
+    if stages.use_ghtree && sub.Decomp_graph.n >= 2 then begin
+      let ug = Decomp_graph.union_graph sub in
+      let ght = Gomory_hu.build ug in
+      let edges = Gomory_hu.tree_edges ght in
+      let best = ref None in
+      Array.iter
+        (fun (v, p, w) ->
+          match !best with
+          | Some (_, _, bw) when bw <= w -> ()
+          | _ -> if w < k then best := Some (v, p, w))
+        edges;
+      match !best with
+      | None -> leaf sub
+      | Some (s, t, _) ->
+        stats.cuts <- stats.cuts + 1;
+        (* Gusfield trees are only flow-equivalent: recover an actual
+           minimum cut with one more max-flow before splitting. *)
+        let net = Maxflow.of_ugraph ug in
+        let _ = Maxflow.max_flow net ~s ~t in
+        let side = Maxflow.min_cut_side net ~s in
+        let in_a = Array.make sub.Decomp_graph.n false in
+        Array.iter (fun v -> in_a.(v) <- true) side;
+        let part flag =
+          Array.of_list
+            (List.filter
+               (fun v -> in_a.(v) = flag)
+               (List.init sub.Decomp_graph.n (fun v -> v)))
+        in
+        let va = part true and vb = part false in
+        let piece_a, back_a = Decomp_graph.subgraph sub va in
+        let piece_b, back_b = Decomp_graph.subgraph sub vb in
+        let ca = conquer piece_a and cb = conquer piece_b in
+        let colors = Array.make sub.Decomp_graph.n (-1) in
+        Array.iteri (fun i v -> colors.(v) <- ca.(i)) back_a;
+        (* Collect crossing edges expressed in local (A-global, B-local)
+           indices for the rotation scan. *)
+        let pos_b = Hashtbl.create (Array.length vb) in
+        Array.iteri (fun i v -> Hashtbl.add pos_b v i) back_b;
+        let crossing edges_of =
+          List.filter_map
+            (fun (u, v) ->
+              match (in_a.(u), in_a.(v)) with
+              | true, false -> Some (u, Hashtbl.find pos_b v)
+              | false, true -> Some (v, Hashtbl.find pos_b u)
+              | true, true | false, false -> None)
+            edges_of
+        in
+        let cross_conf = crossing (Decomp_graph.conflict_edges sub) in
+        let cross_stit = crossing (Decomp_graph.stitch_edges sub) in
+        let r = best_rotation ~k ~alpha colors cb cross_conf cross_stit in
+        Array.iteri (fun i v -> colors.(v) <- (cb.(i) + r) mod k) back_b;
+        colors
+    end
+    else leaf sub
+  in
+  conquer g

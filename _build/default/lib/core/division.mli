@@ -1,0 +1,55 @@
+(** Graph division for K-patterning (paper Section 4).
+
+    The pipeline recursively shrinks the decomposition graph before any
+    color assignment runs:
+
+    + independent (connected) components;
+    + iterative removal of vertices with conflict degree < K and no
+      stitch edges (safe: such a vertex always has a conflict-free color
+      and contributes no stitch cost, so the reduced optimum equals the
+      full optimum);
+    + biconnected-component splitting — blocks meet at one articulation
+      vertex, and any color permutation aligns a block with its parent
+      without changing the block's internal cost;
+    + GH-tree based (K-1)-cut removal (paper Algorithm 3 / Theorem 2):
+      if the Gomory-Hu tree of a piece has an edge of weight < K, one
+      max-flow recovers an actual minimum cut; both sides are solved
+      recursively and reconnected by *color rotation* — each crossing
+      conflict edge forbids exactly one of the K rotations, so with at
+      most K-1 crossing edges a conflict-free rotation always exists
+      (Lemma 1); among those the rotation with the cheapest crossing
+      stitch cost is chosen.
+
+    Every leaf piece is handed to the provided color-assignment
+    [solver]. *)
+
+type stages = {
+  use_components : bool;
+  use_peel : bool;
+  use_biconnected : bool;
+  use_ghtree : bool;
+}
+
+val all_stages : stages
+val no_stages : stages
+(** For ablation: the solver sees whole components / the whole graph. *)
+
+type stats = {
+  mutable pieces : int;  (** leaf pieces handed to the solver *)
+  mutable largest_piece : int;
+  mutable peeled : int;  (** vertices removed by low-degree peeling *)
+  mutable cuts : int;  (** GH-tree splits performed *)
+}
+
+val assign :
+  ?stages:stages ->
+  ?stats:stats ->
+  k:int ->
+  alpha:float ->
+  solver:(Decomp_graph.t -> int array) ->
+  Decomp_graph.t ->
+  int array
+(** Divide, color every piece with [solver], reassemble. The result
+    assigns every vertex a color in [0..k-1]. *)
+
+val fresh_stats : unit -> stats

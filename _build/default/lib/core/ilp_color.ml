@@ -1,0 +1,105 @@
+module Lp = Mpl_ilp.Lp
+module Milp = Mpl_ilp.Milp
+
+type result = { colors : int array; objective : float; optimal : bool }
+
+let build_model ~k ~alpha (g : Decomp_graph.t) =
+  let n = g.Decomp_graph.n in
+  let ce = Decomp_graph.conflict_edges g in
+  let se = Decomp_graph.stitch_edges g in
+  let nce = List.length ce and nse = List.length se in
+  let x v c = (v * k) + c in
+  let z_base = n * k in
+  let s_base = z_base + nce in
+  let nvars = s_base + nse in
+  let objective = Array.make nvars 0. in
+  for e = 0 to nce - 1 do
+    objective.(z_base + e) <- 1.
+  done;
+  for e = 0 to nse - 1 do
+    objective.(s_base + e) <- alpha
+  done;
+  let constraints = ref [] in
+  (* One color per vertex. *)
+  for v = 0 to n - 1 do
+    let coeffs = List.init k (fun c -> (x v c, 1.)) in
+    constraints := { Lp.coeffs; rel = Lp.Eq; rhs = 1. } :: !constraints
+  done;
+  (* Conflict indicators: x_uc + x_vc - z_e <= 1 for every color. *)
+  List.iteri
+    (fun e (u, v) ->
+      for c = 0 to k - 1 do
+        constraints :=
+          {
+            Lp.coeffs = [ (x u c, 1.); (x v c, 1.); (z_base + e, -1.) ];
+            rel = Lp.Le;
+            rhs = 1.;
+          }
+          :: !constraints
+      done)
+    ce;
+  (* Stitch indicators: x_uc - x_vc - s_e <= 0 both ways. *)
+  List.iteri
+    (fun e (u, v) ->
+      for c = 0 to k - 1 do
+        constraints :=
+          {
+            Lp.coeffs = [ (x u c, 1.); (x v c, -1.); (s_base + e, -1.) ];
+            rel = Lp.Le;
+            rhs = 0.;
+          }
+          :: !constraints;
+        constraints :=
+          {
+            Lp.coeffs = [ (x v c, 1.); (x u c, -1.); (s_base + e, -1.) ];
+            rel = Lp.Le;
+            rhs = 0.;
+          }
+          :: !constraints
+      done)
+    se;
+  let binary = Array.make nvars false in
+  for v = 0 to n - 1 do
+    for c = 0 to k - 1 do
+      binary.(x v c) <- true
+    done
+  done;
+  { Milp.lp = { Lp.nvars; objective; constraints = !constraints }; binary }
+
+let extract_colors ~k n x =
+  Array.init n (fun v ->
+      let best = ref 0 and best_val = ref neg_infinity in
+      for c = 0 to k - 1 do
+        let value = x.((v * k) + c) in
+        if value > !best_val then begin
+          best_val := value;
+          best := c
+        end
+      done;
+      !best)
+
+let solve ?budget ~k ~alpha (g : Decomp_graph.t) =
+  let n = g.Decomp_graph.n in
+  let model = build_model ~k ~alpha g in
+  let fallback () =
+    let inst = Bnb.instance_of_graph ~alpha g in
+    Bnb.greedy ~k inst
+  in
+  let finish colors optimal =
+    let cost = Coloring.evaluate ~alpha g colors in
+    {
+      colors;
+      objective =
+        float_of_int cost.Coloring.conflicts
+        +. (alpha *. float_of_int cost.Coloring.stitches);
+      optimal;
+    }
+  in
+  match Milp.solve ?budget model with
+  | Milp.Optimal (_, x) -> finish (extract_colors ~k n x) true
+  | Milp.Timeout (Some (_, x)) -> finish (extract_colors ~k n x) false
+  | Milp.Timeout None -> finish (fallback ()) false
+  | Milp.Infeasible ->
+    (* The one-hot model is always feasible; reaching this means the LP
+       ran into numerical trouble. Degrade gracefully. *)
+    finish (fallback ()) false

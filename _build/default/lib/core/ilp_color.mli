@@ -1,0 +1,29 @@
+(** ILP color assignment (the paper's exact baseline, extended from the
+    triple-patterning formulation of ref. [4]).
+
+    One-hot encoding: binary [x_vc] selects vertex v's color; a
+    continuous conflict indicator [z_e >= x_uc + x_vc - 1] counts
+    monochromatic conflict edges and a stitch indicator
+    [s_e >= x_uc - x_vc] counts bichromatic stitch edges. The model is
+    solved with the in-repo branch-and-bound MILP solver; see DESIGN.md
+    for the GUROBI substitution note. *)
+
+type result = {
+  colors : int array;
+  objective : float;  (** conflict# + alpha * stitch# of [colors] *)
+  optimal : bool;  (** false when the budget expired first *)
+}
+
+val solve :
+  ?budget:Mpl_util.Timer.budget ->
+  k:int ->
+  alpha:float ->
+  Decomp_graph.t ->
+  result
+(** On timeout without incumbent the greedy fallback coloring is
+    returned with [optimal = false]. *)
+
+val build_model : k:int -> alpha:float -> Decomp_graph.t -> Mpl_ilp.Milp.t
+(** The raw MILP model (exposed for tests). Variable layout: [x_vc] at
+    index [v*k + c], then one [z] per conflict edge, then one [s] per
+    stitch edge. *)

@@ -1,0 +1,91 @@
+module Rect = Mpl_geometry.Rect
+module Polygon = Mpl_geometry.Polygon
+module Stitch = Mpl_layout.Stitch
+
+let mask_palette =
+  [|
+    "#4477aa"; "#ee6677"; "#228833"; "#ccbb44";
+    "#66ccee"; "#aa3377"; "#bbbbbb"; "#000000";
+  |]
+
+let center_of (p : Polygon.t) = Rect.center (Polygon.bbox p)
+
+let to_svg ?(max_stitches_per_feature = 3) ?min_s (layout : Mpl_layout.Layout.t)
+    (g : Decomp_graph.t) colors =
+  let min_s =
+    match min_s with
+    | Some m -> m
+    | None -> Mpl_layout.Layout.quadruple_min_s layout.Mpl_layout.Layout.tech
+  in
+  let split = Stitch.split ~max_stitches_per_feature layout ~min_s in
+  let nodes = split.Stitch.nodes in
+  if Array.length nodes <> g.Decomp_graph.n then
+    invalid_arg
+      "Render.to_svg: node count mismatch (wrong min_s or stitch limit?)";
+  let buf = Buffer.create 65536 in
+  let bbox =
+    match Mpl_layout.Layout.bbox layout with
+    | Some b -> Rect.inflate b 40
+    | None -> Rect.make ~x0:0 ~y0:0 ~x1:100 ~y1:100
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<svg xmlns=\"http://www.w3.org/2000/svg\" viewBox=\"%d %d %d %d\">\n"
+       bbox.Rect.x0 bbox.Rect.y0 (Rect.width bbox) (Rect.height bbox));
+  Buffer.add_string buf
+    (Printf.sprintf
+       "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"#ffffff\"/>\n"
+       bbox.Rect.x0 bbox.Rect.y0 (Rect.width bbox) (Rect.height bbox));
+  (* Feature geometry, filled by mask. *)
+  Array.iteri
+    (fun v node ->
+      let color =
+        let c = colors.(v) in
+        if c >= 0 && c < Array.length mask_palette then mask_palette.(c)
+        else "#888888"
+      in
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf
+               "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" \
+                fill=\"%s\" stroke=\"#333333\" stroke-width=\"1\"/>\n"
+               r.Rect.x0 r.Rect.y0 (Rect.width r) (Rect.height r) color))
+        (Polygon.rects node.Stitch.shape))
+    nodes;
+  (* Paid stitches: dashed dark links between segment centers. *)
+  List.iter
+    (fun (u, v) ->
+      if colors.(u) >= 0 && colors.(v) >= 0 && colors.(u) <> colors.(v) then begin
+        let xu, yu = center_of nodes.(u).Stitch.shape in
+        let xv, yv = center_of nodes.(v).Stitch.shape in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+              stroke=\"#222222\" stroke-width=\"3\" \
+              stroke-dasharray=\"6,4\"/>\n"
+             xu yu xv yv)
+      end)
+    (Decomp_graph.stitch_edges g);
+  (* Unresolved conflicts: thick red links. *)
+  List.iter
+    (fun (u, v) ->
+      if colors.(u) >= 0 && colors.(u) = colors.(v) then begin
+        let xu, yu = center_of nodes.(u).Stitch.shape in
+        let xv, yv = center_of nodes.(v).Stitch.shape in
+        Buffer.add_string buf
+          (Printf.sprintf
+             "<line x1=\"%.1f\" y1=\"%.1f\" x2=\"%.1f\" y2=\"%.1f\" \
+              stroke=\"#dd0000\" stroke-width=\"4\"/>\n"
+             xu yu xv yv)
+      end)
+    (Decomp_graph.conflict_edges g);
+  Buffer.add_string buf "</svg>\n";
+  Buffer.contents buf
+
+let save ?max_stitches_per_feature ?min_s layout g colors path =
+  let svg = to_svg ?max_stitches_per_feature ?min_s layout g colors in
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc svg)

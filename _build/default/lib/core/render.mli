@@ -1,0 +1,32 @@
+(** SVG rendering of decomposed layouts.
+
+    Draws every decomposition-graph node (feature or wire segment)
+    filled with its mask color, overlays unresolved conflicts as red
+    links and paid stitches as dashed links — the visual a mask engineer
+    checks first. *)
+
+val mask_palette : string array
+(** Hex fill colors for masks 0..7 (K up to 8 renders distinctly). *)
+
+val to_svg :
+  ?max_stitches_per_feature:int ->
+  ?min_s:int ->
+  Mpl_layout.Layout.t ->
+  Decomp_graph.t ->
+  Coloring.t ->
+  string
+(** [to_svg layout g colors] renders the layout with the given
+    assignment. [g] must be the graph built from [layout] with the same
+    [max_stitches_per_feature] and [min_s] (defaults: 3 and the
+    quadruple-patterning distance) — the node shapes are recomputed from
+    the layout, and a mismatch with [g.n] raises [Invalid_argument]. *)
+
+val save :
+  ?max_stitches_per_feature:int ->
+  ?min_s:int ->
+  Mpl_layout.Layout.t ->
+  Decomp_graph.t ->
+  Coloring.t ->
+  string ->
+  unit
+(** Write the SVG to a file path. *)

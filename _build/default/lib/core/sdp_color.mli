@@ -1,0 +1,32 @@
+(** SDP relaxation of a decomposition-graph component (paper Section 3.1
+    / Section 5) and the two mappings of its Gram matrix back to colors:
+    greedy (the baseline from ref. [4]) and backtrack (paper
+    Algorithm 1). *)
+
+val relax :
+  ?options:Mpl_numeric.Sdp.options ->
+  k:int ->
+  alpha:float ->
+  Decomp_graph.t ->
+  Mpl_numeric.Sdp.solution
+(** Solve the vector-program relaxation for the component. *)
+
+val greedy_map :
+  k:int -> Mpl_numeric.Sdp.solution -> Decomp_graph.t -> int array
+(** Vertices in conflict-degree order each take the color with the
+    highest accumulated Gram affinity to already-colored vertices,
+    hard-penalizing same-color conflict neighbors. *)
+
+val backtrack :
+  ?tth:float ->
+  ?node_cap:int ->
+  ?budget:Mpl_util.Timer.budget ->
+  k:int ->
+  alpha:float ->
+  Mpl_numeric.Sdp.solution ->
+  Decomp_graph.t ->
+  int array
+(** Paper Algorithm 1: merge every pair with Gram entry >= [tth]
+    (default 0.9) into one vertex of a weighted merged graph, then
+    branch-and-bound search on the merged graph. Anytime under the node
+    cap; seeded with the greedy mapping so it never does worse. *)

@@ -1,0 +1,1 @@
+lib/geometry/grid_index.ml: Array Hashtbl List Rect

@@ -1,0 +1,1 @@
+lib/geometry/polygon.mli: Format Rect

@@ -1,0 +1,77 @@
+type entry = { id : int; box : Rect.t }
+
+type t = {
+  cell : int;
+  buckets : (int * int, entry list ref) Hashtbl.t;
+  mutable entries : entry list;
+}
+
+let create ~cell =
+  if cell <= 0 then invalid_arg "Grid_index.create: cell must be positive";
+  { cell; buckets = Hashtbl.create 1024; entries = [] }
+
+let cell_range t lo hi =
+  let a = if lo >= 0 then lo / t.cell else (lo - t.cell + 1) / t.cell in
+  let b = if hi >= 0 then hi / t.cell else (hi - t.cell + 1) / t.cell in
+  (a, b)
+
+let iter_cells t (r : Rect.t) f =
+  let cx0, cx1 = cell_range t r.Rect.x0 r.Rect.x1 in
+  let cy0, cy1 = cell_range t r.Rect.y0 r.Rect.y1 in
+  for cx = cx0 to cx1 do
+    for cy = cy0 to cy1 do
+      f (cx, cy)
+    done
+  done
+
+let add t id box =
+  let e = { id; box } in
+  t.entries <- e :: t.entries;
+  let record key =
+    match Hashtbl.find_opt t.buckets key with
+    | Some l -> l := e :: !l
+    | None -> Hashtbl.add t.buckets key (ref [ e ])
+  in
+  iter_cells t box record
+
+let query t r ~radius =
+  let grown = Rect.inflate r radius in
+  let seen = Hashtbl.create 16 in
+  let out = ref [] in
+  let visit key =
+    match Hashtbl.find_opt t.buckets key with
+    | None -> ()
+    | Some l ->
+      List.iter
+        (fun e ->
+          if not (Hashtbl.mem seen e.id) then begin
+            Hashtbl.add seen e.id ();
+            if Rect.touches grown e.box then out := e.id :: !out
+          end)
+        !l
+  in
+  iter_cells t grown visit;
+  !out
+
+let iter_pairs t ~radius f =
+  let entries = Array.of_list t.entries in
+  (* Visit each entry once; query the grid for candidate partners and
+     report the pair only from the lower id so it fires exactly once. *)
+  Array.iter
+    (fun e ->
+      let grown = Rect.inflate e.box radius in
+      let seen = Hashtbl.create 16 in
+      let visit key =
+        match Hashtbl.find_opt t.buckets key with
+        | None -> ()
+        | Some l ->
+          List.iter
+            (fun e' ->
+              if e'.id > e.id && not (Hashtbl.mem seen e'.id) then begin
+                Hashtbl.add seen e'.id ();
+                if Rect.touches grown e'.box then f e.id e'.id
+              end)
+            !l
+      in
+      iter_cells t grown visit)
+    entries

@@ -1,0 +1,25 @@
+(** Uniform-grid spatial index over rectangles.
+
+    Decomposition-graph construction needs all feature pairs within the
+    minimum coloring distance. Bucketing feature bounding boxes into a
+    uniform grid of cells sized to that query radius makes the
+    neighbor sweep linear in the number of features for realistic
+    layouts. *)
+
+type t
+
+val create : cell:int -> t
+(** Fresh index with square cells of side [cell] (> 0). *)
+
+val add : t -> int -> Rect.t -> unit
+(** [add t id r] registers item [id] with bounding box [r]. *)
+
+val query : t -> Rect.t -> radius:int -> int list
+(** [query t r ~radius] returns ids whose registered boxes may lie within
+    [radius] of [r] (a superset: exact distance must be re-checked by the
+    caller). Each id is returned at most once. *)
+
+val iter_pairs : t -> radius:int -> (int -> int -> unit) -> unit
+(** [iter_pairs t ~radius f] calls [f i j] (with [i < j]) for every pair
+    of registered items whose boxes may be within [radius]. Pairs are
+    visited exactly once. *)

@@ -1,0 +1,1 @@
+lib/graph/biconnected.ml: Array Hashtbl List Ugraph

@@ -1,0 +1,1 @@
+lib/graph/oracle.ml: Array List Ugraph

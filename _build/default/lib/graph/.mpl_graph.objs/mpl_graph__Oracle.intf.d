@@ -1,0 +1,1 @@
+lib/graph/oracle.mli: Ugraph

@@ -1,0 +1,115 @@
+(* Iterative Hopcroft-Tarjan DFS. An explicit stack of (vertex, parent,
+   neighbor cursor) frames avoids native stack overflow on path-like
+   layout graphs with tens of thousands of vertices.
+
+   Invariant: tree and back edges are pushed on [edge_stack] in DFS
+   order. When a child v of u finishes with low(v) >= disc(u), every
+   edge pushed at or after the tree edge (u, v) belongs to one
+   biconnected component, so popping up to and including (u, v) emits
+   exactly that block. Since the root is discovered first in its
+   component, every root child closes a block, and the edge stack is
+   empty between components. *)
+
+type frame = { v : int; parent : int; mutable rest : int list; mutable children : int }
+
+let run g ~on_block =
+  let n = Ugraph.n g in
+  let disc = Array.make n (-1) in
+  let low = Array.make n 0 in
+  let timer = ref 0 in
+  let edge_stack = ref [] in
+  let is_art = Array.make n false in
+  let pop_block u v =
+    let block = ref [] in
+    let rec pop () =
+      match !edge_stack with
+      | [] -> ()
+      | (a, b) :: rest ->
+        edge_stack := rest;
+        block := (a, b) :: !block;
+        if not (a = u && b = v) then pop ()
+    in
+    pop ();
+    on_block !block
+  in
+  for root = 0 to n - 1 do
+    if disc.(root) < 0 then begin
+      if Ugraph.degree g root = 0 then on_block []
+      else begin
+        disc.(root) <- !timer;
+        low.(root) <- !timer;
+        incr timer;
+        let stack =
+          ref [ { v = root; parent = -1; rest = Ugraph.neighbors g root; children = 0 } ]
+        in
+        let rec step () =
+          match !stack with
+          | [] -> ()
+          | frame :: tail -> begin
+            match frame.rest with
+            | [] ->
+              stack := tail;
+              (match tail with
+              | [] ->
+                if frame.children >= 2 then is_art.(frame.v) <- true
+              | pframe :: _ ->
+                if low.(frame.v) < low.(pframe.v) then
+                  low.(pframe.v) <- low.(frame.v);
+                if low.(frame.v) >= disc.(pframe.v) then begin
+                  if pframe.parent >= 0 then is_art.(pframe.v) <- true;
+                  pop_block pframe.v frame.v
+                end);
+              step ()
+            | w :: rest ->
+              frame.rest <- rest;
+              if w <> frame.parent then begin
+                if disc.(w) < 0 then begin
+                  frame.children <- frame.children + 1;
+                  edge_stack := (frame.v, w) :: !edge_stack;
+                  disc.(w) <- !timer;
+                  low.(w) <- !timer;
+                  incr timer;
+                  stack :=
+                    { v = w; parent = frame.v; rest = Ugraph.neighbors g w; children = 0 }
+                    :: !stack
+                end
+                else if disc.(w) < disc.(frame.v) then begin
+                  edge_stack := (frame.v, w) :: !edge_stack;
+                  if disc.(w) < low.(frame.v) then low.(frame.v) <- disc.(w)
+                end
+              end;
+              step ()
+          end
+        in
+        step ()
+      end
+    end
+  done;
+  is_art
+
+let articulation_points g = run g ~on_block:(fun _ -> ())
+
+let blocks g =
+  let out = ref [] in
+  let iso = ref 0 in
+  let record edge_list =
+    match edge_list with
+    | [] -> incr iso (* isolated vertex; resolved after the walk *)
+    | _ ->
+      let verts = Hashtbl.create 8 in
+      List.iter
+        (fun (a, b) ->
+          Hashtbl.replace verts a ();
+          Hashtbl.replace verts b ())
+        edge_list;
+      let a = Array.of_list (Hashtbl.fold (fun v () acc -> v :: acc) verts []) in
+      Array.sort compare a;
+      out := a :: !out
+  in
+  let _ = run g ~on_block:record in
+  (* Isolated vertices become singleton blocks. *)
+  for v = 0 to Ugraph.n g - 1 do
+    if Ugraph.degree g v = 0 then out := [| v |] :: !out
+  done;
+  ignore !iso;
+  List.rev !out

@@ -1,0 +1,15 @@
+(** Biconnected (2-vertex-connected) components.
+
+    Splitting the decomposition graph at articulation vertices lets each
+    block be colored independently: the shared cut vertex has one color in
+    each block, and a color permutation aligns them without changing
+    either block's internal cost. *)
+
+val articulation_points : Ugraph.t -> bool array
+(** [articulation_points g] flags every cut vertex. *)
+
+val blocks : Ugraph.t -> int array list
+(** The biconnected components (blocks) of the graph, each as the sorted
+    array of its vertices. An articulation vertex appears in every block
+    it joins; bridge edges form 2-vertex blocks; isolated vertices form
+    singleton blocks. *)

@@ -1,0 +1,50 @@
+type t = { parent : int array; rank : int array; mutable count : int }
+
+let create n =
+  { parent = Array.init n (fun i -> i); rank = Array.make n 0; count = n }
+
+let rec find t i =
+  let p = t.parent.(i) in
+  if p = i then i
+  else begin
+    let root = find t p in
+    t.parent.(i) <- root;
+    root
+  end
+
+let union t a b =
+  let ra = find t a and rb = find t b in
+  if ra = rb then false
+  else begin
+    let ra, rb =
+      if t.rank.(ra) < t.rank.(rb) then (rb, ra) else (ra, rb)
+    in
+    t.parent.(rb) <- ra;
+    if t.rank.(ra) = t.rank.(rb) then t.rank.(ra) <- t.rank.(ra) + 1;
+    t.count <- t.count - 1;
+    true
+  end
+
+let same t a b = find t a = find t b
+
+let groups t =
+  let n = Array.length t.parent in
+  let index = Hashtbl.create 16 in
+  let next = ref 0 in
+  let buckets = Array.make t.count [] in
+  for i = n - 1 downto 0 do
+    let r = find t i in
+    let g =
+      match Hashtbl.find_opt index r with
+      | Some g -> g
+      | None ->
+        let g = !next in
+        incr next;
+        Hashtbl.add index r g;
+        g
+    in
+    buckets.(g) <- i :: buckets.(g)
+  done;
+  buckets
+
+let count t = t.count

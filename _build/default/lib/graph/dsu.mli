@@ -1,0 +1,24 @@
+(** Disjoint-set union (union-find) with path compression and union by
+    rank. Used for independent-component computation and for merging SDP
+    pairs into the merged graph of paper Algorithm 1. *)
+
+type t
+
+val create : int -> t
+(** [create n] makes [n] singleton sets named [0 .. n-1]. *)
+
+val find : t -> int -> int
+(** Canonical representative. *)
+
+val union : t -> int -> int -> bool
+(** Merge the two sets; returns [false] if they were already one. *)
+
+val same : t -> int -> int -> bool
+(** Are the two elements in the same set? *)
+
+val groups : t -> int list array
+(** All current sets, each as a list of members; indexed arbitrarily but
+    deterministically. *)
+
+val count : t -> int
+(** Number of distinct sets. *)

@@ -1,0 +1,55 @@
+type t = { parent : int array; weight : int array }
+
+let build g =
+  let n = Ugraph.n g in
+  let parent = Array.make n 0 in
+  let weight = Array.make n 0 in
+  if n > 1 then begin
+    let net = Maxflow.of_ugraph g in
+    for i = 1 to n - 1 do
+      let f = Maxflow.max_flow net ~s:i ~t:parent.(i) in
+      weight.(i) <- f;
+      let side = Maxflow.min_cut_side net ~s:i in
+      let on_side = Array.make n false in
+      Array.iter (fun v -> on_side.(v) <- true) side;
+      for j = i + 1 to n - 1 do
+        if on_side.(j) && parent.(j) = parent.(i) then parent.(j) <- i
+      done
+    done
+  end;
+  { parent; weight }
+
+let n t = Array.length t.parent
+
+let tree_edges t =
+  Array.init
+    (Array.length t.parent - 1)
+    (fun k ->
+      let v = k + 1 in
+      (v, t.parent.(v), t.weight.(v)))
+
+let min_cut_value t u v =
+  if u = v then invalid_arg "Gomory_hu.min_cut_value: u = v";
+  let n = Array.length t.parent in
+  let depth = Array.make n (-1) in
+  let rec d x = if x = 0 then 0 else if depth.(x) >= 0 then depth.(x) else begin
+    let dx = 1 + d t.parent.(x) in
+    depth.(x) <- dx;
+    dx
+  end in
+  depth.(0) <- 0;
+  let rec walk a b acc =
+    if a = b then acc
+    else if d a >= d b then walk t.parent.(a) b (min acc t.weight.(a))
+    else walk a t.parent.(b) (min acc t.weight.(b))
+  in
+  walk u v max_int
+
+let components_with_min_weight t w =
+  let n = Array.length t.parent in
+  let dsu = Dsu.create n in
+  for v = 1 to n - 1 do
+    if t.weight.(v) >= w then ignore (Dsu.union dsu v t.parent.(v))
+  done;
+  let groups = Dsu.groups dsu in
+  Array.map Array.of_list groups

@@ -1,0 +1,30 @@
+(** Gomory-Hu tree by Gusfield's algorithm (paper refs. [20, 21]).
+
+    The tree encodes all-pairs minimum-cut *values* of a connected
+    undirected unit-capacity graph with n-1 max-flow computations: the
+    minimum cut between u and v equals the smallest edge weight on the
+    tree path between them. Note that Gusfield's variant is
+    flow-equivalent only — the bipartition induced by a tree edge is not
+    necessarily a minimum cut, so consumers that need an actual cut must
+    re-run one max-flow (see [Mpl.Division]). *)
+
+type t
+
+val build : Ugraph.t -> t
+(** Build the tree. The graph must be connected (verify with
+    [Connectivity.is_connected]); otherwise results are undefined. *)
+
+val n : t -> int
+
+val tree_edges : t -> (int * int * int) array
+(** [(v, parent, weight)] for every non-root vertex [v]; the root is
+    vertex 0. *)
+
+val min_cut_value : t -> int -> int -> int
+(** Minimum cut value between two distinct vertices, read off the tree
+    path. *)
+
+val components_with_min_weight : t -> int -> int array array
+(** [components_with_min_weight t w] removes every tree edge of weight
+    < [w] and returns the resulting vertex groups (paper Algorithm 3,
+    line 2-3). *)

@@ -1,0 +1,152 @@
+(* Arc-array representation: arc 2k and 2k+1 are mutual residuals. For an
+   undirected edge of capacity c both arcs start at capacity c; pushing
+   flow on one increases the residual of the other, which models
+   undirected capacity exactly. *)
+
+type t = {
+  n : int;
+  mutable head : int array; (* arc -> target vertex *)
+  mutable cap : int array; (* arc -> residual capacity *)
+  mutable cap0 : int array; (* arc -> initial capacity *)
+  mutable first : int list array; (* vertex -> incident arc ids *)
+  mutable arcs : int;
+  level : int array;
+  cursor : int list array;
+}
+
+let create n =
+  {
+    n;
+    head = Array.make 16 0;
+    cap = Array.make 16 0;
+    cap0 = Array.make 16 0;
+    first = Array.make n [];
+    arcs = 0;
+    level = Array.make n (-1);
+    cursor = Array.make n [];
+  }
+
+let grow t =
+  let len = Array.length t.head in
+  if t.arcs + 2 > len then begin
+    let len' = len * 2 in
+    let head' = Array.make len' 0 in
+    let cap' = Array.make len' 0 in
+    let cap0' = Array.make len' 0 in
+    Array.blit t.head 0 head' 0 len;
+    Array.blit t.cap 0 cap' 0 len;
+    Array.blit t.cap0 0 cap0' 0 len;
+    t.head <- head';
+    t.cap <- cap';
+    t.cap0 <- cap0'
+  end
+
+let add_edge t u v ~cap =
+  if u = v then invalid_arg "Maxflow.add_edge: self-loop";
+  if u < 0 || u >= t.n || v < 0 || v >= t.n then
+    invalid_arg "Maxflow.add_edge: vertex out of range";
+  grow t;
+  let a = t.arcs in
+  t.head.(a) <- v;
+  t.cap.(a) <- cap;
+  t.cap0.(a) <- cap;
+  t.head.(a + 1) <- u;
+  t.cap.(a + 1) <- cap;
+  t.cap0.(a + 1) <- cap;
+  t.first.(u) <- a :: t.first.(u);
+  t.first.(v) <- (a + 1) :: t.first.(v);
+  t.arcs <- t.arcs + 2
+
+let of_ugraph g =
+  let t = create (Ugraph.n g) in
+  List.iter (fun (u, v) -> add_edge t u v ~cap:1) (Ugraph.edges g);
+  t
+
+let reset t = Array.blit t.cap0 0 t.cap 0 t.arcs
+
+(* BFS building the level graph; true iff t is reachable. *)
+let bfs t ~s ~t:sink =
+  Array.fill t.level 0 t.n (-1);
+  let q = Queue.create () in
+  t.level.(s) <- 0;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun a ->
+        let v = t.head.(a) in
+        if t.cap.(a) > 0 && t.level.(v) < 0 then begin
+          t.level.(v) <- t.level.(u) + 1;
+          Queue.add v q
+        end)
+      t.first.(u)
+  done;
+  t.level.(sink) >= 0
+
+(* DFS with arc cursors sending one augmenting unit at a time along the
+   level graph. *)
+let rec dfs t u sink pushed =
+  if u = sink then pushed
+  else begin
+    let rec advance () =
+      match t.cursor.(u) with
+      | [] -> 0
+      | a :: rest ->
+        let v = t.head.(a) in
+        if t.cap.(a) > 0 && t.level.(v) = t.level.(u) + 1 then begin
+          let got = dfs t v sink (min pushed t.cap.(a)) in
+          if got > 0 then begin
+            t.cap.(a) <- t.cap.(a) - got;
+            t.cap.(a lxor 1) <- t.cap.(a lxor 1) + got;
+            got
+          end
+          else begin
+            t.cursor.(u) <- rest;
+            advance ()
+          end
+        end
+        else begin
+          t.cursor.(u) <- rest;
+          advance ()
+        end
+    in
+    advance ()
+  end
+
+let max_flow t ~s ~t:sink =
+  if s = sink then invalid_arg "Maxflow.max_flow: s = t";
+  reset t;
+  let flow = ref 0 in
+  while bfs t ~s ~t:sink do
+    for v = 0 to t.n - 1 do
+      t.cursor.(v) <- t.first.(v)
+    done;
+    let continue = ref true in
+    while !continue do
+      let got = dfs t s sink max_int in
+      if got = 0 then continue := false else flow := !flow + got
+    done
+  done;
+  !flow
+
+let min_cut_side t ~s =
+  let seen = Array.make t.n false in
+  let q = Queue.create () in
+  seen.(s) <- true;
+  Queue.add s q;
+  while not (Queue.is_empty q) do
+    let u = Queue.pop q in
+    List.iter
+      (fun a ->
+        let v = t.head.(a) in
+        if t.cap.(a) > 0 && not seen.(v) then begin
+          seen.(v) <- true;
+          Queue.add v q
+        end)
+      t.first.(u)
+  done;
+  let out = ref [] in
+  for v = t.n - 1 downto 0 do
+    if seen.(v) then out := v :: !out
+  done;
+  Array.of_list !out

@@ -1,0 +1,24 @@
+(** Dinic's blocking-flow maximum-flow algorithm (paper ref. [22]).
+
+    The GH-tree construction needs many unit-capacity s-t flows on the
+    same undirected graph, so the network is built once and reset between
+    queries. *)
+
+type t
+
+val of_ugraph : Ugraph.t -> t
+(** Unit-capacity undirected network with one arc pair per edge. *)
+
+val create : int -> t
+(** Empty network on [n] vertices (for weighted use). *)
+
+val add_edge : t -> int -> int -> cap:int -> unit
+(** Add an undirected edge with capacity [cap] in both directions. *)
+
+val max_flow : t -> s:int -> t:int -> int
+(** Maximum flow value between two distinct vertices. Resets any previous
+    flow first. *)
+
+val min_cut_side : t -> s:int -> int array
+(** After [max_flow], the source-side vertex set of a minimum cut
+    (vertices reachable from [s] in the residual network), ascending. *)

@@ -1,0 +1,76 @@
+let min_st_cut g ~s ~t =
+  let n = Ugraph.n g in
+  if n > 20 then invalid_arg "Oracle.min_st_cut: graph too large";
+  let edges = Ugraph.edges g in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl n) - 1 do
+    if mask land (1 lsl s) <> 0 && mask land (1 lsl t) = 0 then begin
+      let crossing =
+        List.fold_left
+          (fun acc (u, v) ->
+            let su = mask land (1 lsl u) <> 0
+            and sv = mask land (1 lsl v) <> 0 in
+            if su <> sv then acc + 1 else acc)
+          0 edges
+      in
+      if crossing < !best then best := crossing
+    end
+  done;
+  !best
+
+(* Components of the graph restricted to V \ {skip} (skip = -1 for none). *)
+let count_components g skip =
+  let n = Ugraph.n g in
+  let seen = Array.make n false in
+  let comps = ref 0 in
+  for s = 0 to n - 1 do
+    if s <> skip && not seen.(s) then begin
+      incr comps;
+      let stack = ref [ s ] in
+      seen.(s) <- true;
+      while !stack <> [] do
+        match !stack with
+        | [] -> ()
+        | u :: rest ->
+          stack := rest;
+          List.iter
+            (fun w ->
+              if w <> skip && not seen.(w) then begin
+                seen.(w) <- true;
+                stack := w :: !stack
+              end)
+            (Ugraph.neighbors g u)
+      done
+    end
+  done;
+  !comps
+
+(* comps(G - v) = comps(G) - 1 + pieces, where pieces is the number of
+   components v's former neighborhood splits into; v is an articulation
+   point iff pieces >= 2, i.e. iff comps(G - v) > comps(G). *)
+let is_articulation g v =
+  Ugraph.degree g v > 0 && count_components g v > count_components g (-1)
+
+let chromatic_cost g ~k =
+  let n = Ugraph.n g in
+  if n > 14 then invalid_arg "Oracle.chromatic_cost: graph too large";
+  let edges = Ugraph.edges g in
+  let colors = Array.make n 0 in
+  let best = ref max_int in
+  let rec assign i =
+    if i = n then begin
+      let cost =
+        List.fold_left
+          (fun acc (u, v) -> if colors.(u) = colors.(v) then acc + 1 else acc)
+          0 edges
+      in
+      if cost < !best then best := cost
+    end
+    else
+      for c = 0 to k - 1 do
+        colors.(i) <- c;
+        assign (i + 1)
+      done
+  in
+  assign 0;
+  !best

@@ -1,0 +1,14 @@
+(** Brute-force reference implementations used only by the test suite to
+    validate the real algorithms on small random graphs. *)
+
+val min_st_cut : Ugraph.t -> s:int -> t:int -> int
+(** Exact minimum s-t edge cut by subset enumeration. Only usable for
+    graphs with at most ~16 vertices. *)
+
+val is_articulation : Ugraph.t -> int -> bool
+(** Does deleting the vertex increase the number of connected components
+    among the remaining vertices? *)
+
+val chromatic_cost : Ugraph.t -> k:int -> int
+(** Minimum number of monochromatic edges over all k-colorings, by
+    exhaustive enumeration. Only usable for at most ~12 vertices. *)

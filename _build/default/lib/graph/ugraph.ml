@@ -1,0 +1,70 @@
+type t = {
+  n : int;
+  adj : (int, unit) Hashtbl.t array;
+  mutable edge_count : int;
+}
+
+let create n =
+  { n; adj = Array.init n (fun _ -> Hashtbl.create 4); edge_count = 0 }
+
+let n t = t.n
+
+let check t v =
+  if v < 0 || v >= t.n then invalid_arg "Ugraph: vertex out of range"
+
+let mem_edge t u v =
+  check t u;
+  check t v;
+  Hashtbl.mem t.adj.(u) v
+
+let add_edge t u v =
+  check t u;
+  check t v;
+  if u = v then invalid_arg "Ugraph.add_edge: self-loop";
+  if not (Hashtbl.mem t.adj.(u) v) then begin
+    Hashtbl.add t.adj.(u) v ();
+    Hashtbl.add t.adj.(v) u ();
+    t.edge_count <- t.edge_count + 1
+  end
+
+let degree t v =
+  check t v;
+  Hashtbl.length t.adj.(v)
+
+let neighbors t v =
+  check t v;
+  Hashtbl.fold (fun u () acc -> u :: acc) t.adj.(v) []
+
+let edges t =
+  let out = ref [] in
+  for u = 0 to t.n - 1 do
+    Hashtbl.iter (fun v () -> if u < v then out := (u, v) :: !out) t.adj.(u)
+  done;
+  !out
+
+let edge_count t = t.edge_count
+
+let of_edges n es =
+  let g = create n in
+  List.iter (fun (u, v) -> add_edge g u v) es;
+  g
+
+let induced t vs =
+  let m = Array.length vs in
+  let back = Array.copy vs in
+  let fwd = Hashtbl.create m in
+  Array.iteri (fun i v -> Hashtbl.add fwd v i) vs;
+  let g = create m in
+  Array.iteri
+    (fun i v ->
+      Hashtbl.iter
+        (fun u () ->
+          match Hashtbl.find_opt fwd u with
+          | Some j when j > i -> add_edge g i j
+          | Some _ | None -> ())
+        t.adj.(v))
+    vs;
+  (g, back)
+
+let pp ppf t =
+  Format.fprintf ppf "@[<h>graph(n=%d, m=%d)@]" t.n t.edge_count

@@ -1,0 +1,40 @@
+(** Simple undirected graphs on vertices [0 .. n-1].
+
+    This is the shared substrate for the division pipeline: adjacency is
+    stored as growable lists during construction and can be frozen into
+    arrays for traversal-heavy algorithms. Parallel edges are collapsed;
+    self-loops are rejected. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty graph on [n] vertices. *)
+
+val n : t -> int
+(** Vertex count. *)
+
+val add_edge : t -> int -> int -> unit
+(** Add the undirected edge. Ignores duplicates; raises
+    [Invalid_argument] on self-loops or out-of-range endpoints. *)
+
+val mem_edge : t -> int -> int -> bool
+val degree : t -> int -> int
+
+val neighbors : t -> int -> int list
+(** Neighbor list (unsorted, no duplicates). *)
+
+val edges : t -> (int * int) list
+(** Every edge once, as [(u, v)] with [u < v]. *)
+
+val edge_count : t -> int
+
+val of_edges : int -> (int * int) list -> t
+(** Graph with the given vertex count and edges. *)
+
+val induced : t -> int array -> t * int array
+(** [induced g vs] is the subgraph induced by the vertex set [vs]
+    (which must not contain duplicates), relabeled to [0..|vs|-1] in the
+    order given, together with the map from new index to original
+    vertex. *)
+
+val pp : Format.formatter -> t -> unit

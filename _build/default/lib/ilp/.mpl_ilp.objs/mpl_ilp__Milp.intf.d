@@ -1,0 +1,1 @@
+lib/ilp/milp.mli: Lp Mpl_util

@@ -1,0 +1,208 @@
+type relation = Le | Ge | Eq
+
+type constr = { coeffs : (int * float) list; rel : relation; rhs : float }
+
+type t = { nvars : int; objective : float array; constraints : constr list }
+
+type result = Optimal of float * float array | Infeasible | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: columns are [structural | slack/surplus | artificial],
+   plus a separate rhs column. [basis.(row)] names the basic column of
+   each row. The reduced-cost row is recomputed from the cost vector on
+   every pricing step; at these sizes the O(m n) recomputation is cheaper
+   than keeping the row consistent through pivots and avoids drift. *)
+type tableau = {
+  m : int;
+  ncols : int;
+  a : float array array; (* m x ncols *)
+  b : float array; (* m *)
+  basis : int array; (* m *)
+  art_start : int; (* first artificial column *)
+}
+
+let pivot tab ~row ~col =
+  let arow = tab.a.(row) in
+  let p = arow.(col) in
+  for j = 0 to tab.ncols - 1 do
+    arow.(j) <- arow.(j) /. p
+  done;
+  tab.b.(row) <- tab.b.(row) /. p;
+  for i = 0 to tab.m - 1 do
+    if i <> row then begin
+      let f = tab.a.(i).(col) in
+      if abs_float f > 0. then begin
+        let airow = tab.a.(i) in
+        for j = 0 to tab.ncols - 1 do
+          airow.(j) <- airow.(j) -. (f *. arow.(j))
+        done;
+        tab.b.(i) <- tab.b.(i) -. (f *. tab.b.(row))
+      end
+    end
+  done;
+  tab.basis.(row) <- col
+
+(* Reduced costs r_j = c_j - c_B . (column j of the tableau). *)
+let reduced_costs tab cost =
+  let r = Array.copy cost in
+  for i = 0 to tab.m - 1 do
+    let cb = cost.(tab.basis.(i)) in
+    if cb <> 0. then begin
+      let arow = tab.a.(i) in
+      for j = 0 to tab.ncols - 1 do
+        r.(j) <- r.(j) -. (cb *. arow.(j))
+      done
+    end
+  done;
+  r
+
+let objective_value tab cost =
+  let z = ref 0. in
+  for i = 0 to tab.m - 1 do
+    z := !z +. (cost.(tab.basis.(i)) *. tab.b.(i))
+  done;
+  !z
+
+(* Minimize cost over the tableau; allowed.(j) = false forbids entering.
+   Returns `Opt or `Unbounded. Bland's rule (lowest eligible index) kicks
+   in after a pivot budget to break potential cycles. *)
+let optimize tab cost allowed =
+  let max_iters = 200 + (50 * (tab.ncols + tab.m)) in
+  let rec loop iter =
+    if iter > max_iters then `Opt (* numerically stuck: accept current *)
+    else begin
+      let r = reduced_costs tab cost in
+      let bland = iter > max_iters / 2 in
+      let enter = ref (-1) in
+      (* Dantzig pricing normally, Bland's rule when cycling is a risk. *)
+      for j = 0 to tab.ncols - 1 do
+        if allowed.(j) && r.(j) < -.eps then
+          if bland then begin
+            if !enter < 0 then enter := j
+          end
+          else if !enter < 0 || r.(j) < r.(!enter) then enter := j
+      done;
+      if !enter < 0 then `Opt
+      else begin
+        let col = !enter in
+        let leave = ref (-1) in
+        let best_ratio = ref infinity in
+        for i = 0 to tab.m - 1 do
+          let aij = tab.a.(i).(col) in
+          if aij > eps then begin
+            let ratio = tab.b.(i) /. aij in
+            if
+              ratio < !best_ratio -. eps
+              || (bland
+                 && ratio < !best_ratio +. eps
+                 && !leave >= 0
+                 && tab.basis.(i) < tab.basis.(!leave))
+            then begin
+              best_ratio := ratio;
+              leave := i
+            end
+          end
+        done;
+        if !leave < 0 then `Unbounded
+        else begin
+          pivot tab ~row:!leave ~col;
+          loop (iter + 1)
+        end
+      end
+    end
+  in
+  loop 0
+
+let solve lp =
+  let constrs = Array.of_list lp.constraints in
+  let m = Array.length constrs in
+  if m = 0 then
+    (* No constraints: optimum is 0 unless some objective coefficient is
+       negative (then unbounded below with x >= 0). *)
+    if Array.exists (fun c -> c < -.eps) lp.objective then Unbounded
+    else Optimal (0., Array.make lp.nvars 0.)
+  else begin
+    (* Count extra columns: one slack/surplus per inequality, one
+       artificial per Ge/Eq row (after sign normalization). *)
+    let rows =
+      Array.map
+        (fun c ->
+          if c.rhs < 0. then
+            ( List.map (fun (v, x) -> (v, -.x)) c.coeffs,
+              (match c.rel with Le -> Ge | Ge -> Le | Eq -> Eq),
+              -.c.rhs )
+          else (c.coeffs, c.rel, c.rhs))
+        constrs
+    in
+    let n_slack = Array.fold_left (fun acc (_, rel, _) -> match rel with Eq -> acc | Le | Ge -> acc + 1) 0 rows in
+    let n_art = Array.fold_left (fun acc (_, rel, _) -> match rel with Le -> acc | Ge | Eq -> acc + 1) 0 rows in
+    let art_start = lp.nvars + n_slack in
+    let ncols = art_start + n_art in
+    let a = Array.make_matrix m ncols 0. in
+    let b = Array.make m 0. in
+    let basis = Array.make m (-1) in
+    let next_slack = ref lp.nvars in
+    let next_art = ref art_start in
+    Array.iteri
+      (fun i (coeffs, rel, rhs) ->
+        List.iter (fun (v, x) -> a.(i).(v) <- a.(i).(v) +. x) coeffs;
+        b.(i) <- rhs;
+        (match rel with
+        | Le ->
+          a.(i).(!next_slack) <- 1.;
+          basis.(i) <- !next_slack;
+          incr next_slack
+        | Ge ->
+          a.(i).(!next_slack) <- -1.;
+          incr next_slack;
+          a.(i).(!next_art) <- 1.;
+          basis.(i) <- !next_art;
+          incr next_art
+        | Eq ->
+          a.(i).(!next_art) <- 1.;
+          basis.(i) <- !next_art;
+          incr next_art))
+      rows;
+    let tab = { m; ncols; a; b; basis; art_start } in
+    let allowed = Array.make ncols true in
+    (* Phase 1: drive artificials to zero. *)
+    if n_art > 0 then begin
+      let cost1 = Array.make ncols 0. in
+      for j = art_start to ncols - 1 do
+        cost1.(j) <- 1.
+      done;
+      (match optimize tab cost1 allowed with
+      | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+      | `Opt -> ());
+      if objective_value tab cost1 > 1e-6 then raise Exit
+    end;
+    (* Forbid artificials from re-entering; pivot out any still basic. *)
+    for j = art_start to ncols - 1 do
+      allowed.(j) <- false
+    done;
+    for i = 0 to m - 1 do
+      if tab.basis.(i) >= art_start then begin
+        let found = ref (-1) in
+        for j = 0 to art_start - 1 do
+          if !found < 0 && abs_float tab.a.(i).(j) > 1e-7 then found := j
+        done;
+        if !found >= 0 then pivot tab ~row:i ~col:!found
+        (* else: redundant row; the basic artificial stays at value 0 and
+           never changes, which is harmless. *)
+      end
+    done;
+    (* Phase 2. *)
+    let cost2 = Array.make ncols 0. in
+    Array.blit lp.objective 0 cost2 0 lp.nvars;
+    match optimize tab cost2 allowed with
+    | `Unbounded -> Unbounded
+    | `Opt ->
+      let x = Array.make lp.nvars 0. in
+      for i = 0 to m - 1 do
+        if tab.basis.(i) < lp.nvars then x.(tab.basis.(i)) <- tab.b.(i)
+      done;
+      Optimal (objective_value tab cost2, x)
+  end
+
+let solve lp = try solve lp with Exit -> Infeasible

@@ -1,0 +1,31 @@
+(** Linear programs in inequality form and a dense two-phase primal
+    simplex solver.
+
+    This is the relaxation engine under the branch-and-bound MILP solver
+    that stands in for the paper's GUROBI baseline. Problems are
+    "minimize c.x subject to linear constraints, x >= 0"; the coloring
+    encodings never need explicit upper bounds because one-hot rows bound
+    the binaries. Sizes after graph division are tiny (tens of
+    variables), so a dense tableau is the right tool. *)
+
+type relation = Le | Ge | Eq
+
+type constr = {
+  coeffs : (int * float) list;  (** sparse row: (variable, coefficient) *)
+  rel : relation;
+  rhs : float;
+}
+
+type t = {
+  nvars : int;
+  objective : float array;  (** minimized; length [nvars] *)
+  constraints : constr list;
+}
+
+type result =
+  | Optimal of float * float array  (** objective value, primal point *)
+  | Infeasible
+  | Unbounded
+
+val solve : t -> result
+(** Two-phase primal simplex with Bland's anti-cycling rule. *)

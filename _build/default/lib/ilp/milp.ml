@@ -1,0 +1,103 @@
+type t = { lp : Lp.t; binary : bool array }
+
+type outcome =
+  | Optimal of float * float array
+  | Infeasible
+  | Timeout of (float * float array) option
+
+let int_eps = 1e-6
+
+(* Substitute fixed variables into the LP: their columns vanish and their
+   contribution moves into the right-hand side / objective constant. *)
+let restrict lp (fixed : float option array) =
+  let constraints =
+    List.map
+      (fun (c : Lp.constr) ->
+        let rhs = ref c.Lp.rhs in
+        let coeffs =
+          List.filter
+            (fun (v, x) ->
+              match fixed.(v) with
+              | Some value ->
+                rhs := !rhs -. (x *. value);
+                false
+              | None -> true)
+            c.Lp.coeffs
+        in
+        { Lp.coeffs; rel = c.Lp.rel; rhs = !rhs })
+      lp.Lp.constraints
+  in
+  let const = ref 0. in
+  let objective = Array.copy lp.Lp.objective in
+  Array.iteri
+    (fun v fx ->
+      match fx with
+      | Some value ->
+        const := !const +. (objective.(v) *. value);
+        objective.(v) <- 0.
+      | None -> ())
+    fixed;
+  ({ lp with Lp.constraints; objective }, !const)
+
+let solve ?(budget = Mpl_util.Timer.budget 0.) t =
+  let nvars = t.lp.Lp.nvars in
+  let fixed = Array.make nvars None in
+  let incumbent = ref None in
+  let timed_out = ref false in
+  let better obj =
+    match !incumbent with None -> true | Some (best, _) -> obj < best -. 1e-9
+  in
+  let rec branch () =
+    if Mpl_util.Timer.expired budget then timed_out := true
+    else begin
+      let sub, const = restrict t.lp fixed in
+      match Lp.solve sub with
+      | Lp.Infeasible -> ()
+      | Lp.Unbounded ->
+        (* With binaries fixed or in [0,1]-implied rows this should not
+           happen for well-posed models; treat as a dead branch. *)
+        ()
+      | Lp.Optimal (obj, x) ->
+        let obj = obj +. const in
+        if better obj then begin
+          (* Most fractional branching variable. *)
+          let pick = ref (-1) in
+          let frac_dist = ref 0. in
+          for v = 0 to nvars - 1 do
+            if t.binary.(v) && fixed.(v) = None then begin
+              let f = x.(v) -. Float.round x.(v) in
+              let d = abs_float f in
+              if d > int_eps && d > !frac_dist then begin
+                frac_dist := d;
+                pick := v
+              end
+            end
+          done;
+          if !pick < 0 then begin
+            (* LP solution is integral on all binaries: feasible. *)
+            let full = Array.copy x in
+            Array.iteri
+              (fun v fx -> match fx with Some value -> full.(v) <- value | None -> ())
+              fixed;
+            (* Round residual noise on binaries. *)
+            Array.iteri
+              (fun v b -> if b then full.(v) <- Float.round full.(v))
+              t.binary;
+            if better obj then incumbent := Some (obj, full)
+          end
+          else begin
+            let v = !pick in
+            (* Explore the side the relaxation leans toward first. *)
+            let first, second = if x.(v) >= 0.5 then (1., 0.) else (0., 1.) in
+            fixed.(v) <- Some first;
+            branch ();
+            fixed.(v) <- Some second;
+            branch ();
+            fixed.(v) <- None
+          end
+        end
+    end
+  in
+  branch ();
+  if !timed_out then Timeout !incumbent
+  else match !incumbent with None -> Infeasible | Some (obj, x) -> Optimal (obj, x)

@@ -1,0 +1,20 @@
+(** 0/1 mixed-integer programming by LP-relaxation branch-and-bound.
+
+    This is the exact "ILP" engine of the paper's Table 1 baseline. A
+    depth-first search branches on the most fractional binary variable;
+    each node's LP relaxation (with branched variables substituted out)
+    gives the lower bound. A wall-clock budget reproduces the paper's
+    ">3600 s -> N/A" behaviour on large instances. *)
+
+type t = {
+  lp : Lp.t;  (** relaxation; binaries additionally constrained to 0/1 *)
+  binary : bool array;  (** length [lp.nvars]; non-binary vars stay continuous *)
+}
+
+type outcome =
+  | Optimal of float * float array
+  | Infeasible
+  | Timeout of (float * float array) option
+      (** budget exhausted; carries the incumbent if one was found *)
+
+val solve : ?budget:Mpl_util.Timer.budget -> t -> outcome

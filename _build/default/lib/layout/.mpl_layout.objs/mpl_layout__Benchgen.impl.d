@@ -1,0 +1,1 @@
+lib/layout/benchgen.ml: Layout List Mpl_geometry Mpl_util

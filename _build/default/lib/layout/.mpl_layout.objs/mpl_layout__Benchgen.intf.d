@@ -1,0 +1,1 @@
+lib/layout/benchgen.mli: Layout

@@ -1,0 +1,1 @@
+lib/layout/layout.ml: Array Format Mpl_geometry

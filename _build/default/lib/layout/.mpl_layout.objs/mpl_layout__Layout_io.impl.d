@@ -1,0 +1,1 @@
+lib/layout/layout_io.ml: Array Buffer Fun Layout List Mpl_geometry Printf String

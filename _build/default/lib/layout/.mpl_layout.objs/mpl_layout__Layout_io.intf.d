@@ -1,0 +1,1 @@
+lib/layout/layout_io.mli: Layout

@@ -1,0 +1,1 @@
+lib/layout/stitch.ml: Array Layout List Mpl_geometry

@@ -1,0 +1,1 @@
+lib/layout/stitch.mli: Layout Mpl_geometry

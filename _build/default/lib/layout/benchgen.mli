@@ -1,0 +1,55 @@
+(** Synthetic ISCAS-like benchmark layouts.
+
+    The paper evaluates on Metal1 layers of the ISCAS-85/89 suites scaled
+    to 20 nm half-pitch; that data is not redistributable, so this module
+    generates layouts with the same structural knobs the decomposition
+    algorithms are sensitive to (see DESIGN.md, substitutions):
+
+    - rows of standard-cell-like contact motifs on a 40 nm grid, chained
+      across cell boundaries into multi-cell conflict components;
+    - routing wires above each row that couple neighboring rows, carry
+      stitch candidates over inter-cell gaps, and chain along tracks;
+    - injected K5 / K6 contact clusters reproducing the paper's native
+      conflicts (Figs. 1 and 7);
+    - injected "hard blocks" — 5 x 10 king-graph contact grids (4-edge-
+      connected after division, so no cut-based splitting applies) fused
+      with a K6, which is what makes exact ILP blow up on the S-series
+      while the heuristics stay fast.
+
+    All generation is deterministic in the spec's seed. *)
+
+type spec = {
+  name : string;
+  seed : int;
+  rows : int;
+  cells_per_row : int;
+  density : float;  (** 0..1, shifts motif weights toward dense clusters *)
+  wire_fraction : float;  (** probability a cell seeds a routing wire *)
+  sparse_gap_prob : float;
+      (** probability a cell boundary gets a 2-column (non-conflicting)
+          gap instead of a 1-column (chaining) gap *)
+  native_five : int;  (** K5 clusters to inject (1 QPL conflict each) *)
+  native_six : int;  (** K6 clusters to inject (2 QPL conflicts each) *)
+  hard_blocks : int;  (** dense 4-connected blocks that stall exact ILP *)
+  stitch_gadgets : int;
+      (** wide-K4-under-wire gadgets, each forcing exactly one stitch in
+          the QPL optimum (and none under pentuple) *)
+  penta_six : int;
+      (** 2x3 clusters at 55 nm pitch: conflict-free under QPL, one
+          native conflict each under pentuple *)
+}
+
+val generate : spec -> Layout.t
+(** Deterministic layout for the spec. *)
+
+val table1_circuits : string list
+(** The 15 circuit names of paper Table 1, in order. *)
+
+val table2_circuits : string list
+(** The 6 densest circuits of paper Table 2, in order. *)
+
+val spec_of_circuit : string -> spec
+(** Spec for a named circuit. Raises [Not_found] for unknown names. *)
+
+val circuit : string -> Layout.t
+(** [generate (spec_of_circuit name)]. *)

@@ -1,0 +1,101 @@
+module Rect = Mpl_geometry.Rect
+module Polygon = Mpl_geometry.Polygon
+
+exception Parse_error of string
+
+let to_string (t : Layout.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf (Printf.sprintf "NAME %s\n" t.Layout.name);
+  Buffer.add_string buf
+    (Printf.sprintf "TECH %d %d %d\n" t.Layout.tech.Layout.half_pitch
+       t.Layout.tech.Layout.min_width t.Layout.tech.Layout.min_space);
+  Array.iter
+    (fun p ->
+      Buffer.add_string buf "FEATURE\n";
+      List.iter
+        (fun r ->
+          Buffer.add_string buf
+            (Printf.sprintf "R %d %d %d %d\n" r.Rect.x0 r.Rect.y0 r.Rect.x1
+               r.Rect.y1))
+        (Polygon.rects p);
+      Buffer.add_string buf "END\n")
+    t.Layout.features;
+  Buffer.contents buf
+
+let of_string s =
+  let lines = String.split_on_char '\n' s in
+  let name = ref "layout" in
+  let tech = ref Layout.default_tech in
+  let features = ref [] in
+  let current = ref None in
+  let fail lineno msg =
+    raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
+  in
+  List.iteri
+    (fun idx line ->
+      let lineno = idx + 1 in
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then ()
+      else begin
+        match String.split_on_char ' ' line with
+        | "NAME" :: rest -> name := String.concat " " rest
+        | [ "TECH"; hp; wm; sm ] -> begin
+          match (int_of_string_opt hp, int_of_string_opt wm, int_of_string_opt sm) with
+          | Some half_pitch, Some min_width, Some min_space ->
+            tech := { Layout.half_pitch; min_width; min_space }
+          | _ -> fail lineno "bad TECH line"
+        end
+        | [ "FEATURE" ] ->
+          if !current <> None then fail lineno "nested FEATURE";
+          current := Some []
+        | [ "R"; a; b; c; d ] -> begin
+          match !current with
+          | None -> fail lineno "R outside FEATURE block"
+          | Some rl -> begin
+            match
+              ( int_of_string_opt a,
+                int_of_string_opt b,
+                int_of_string_opt c,
+                int_of_string_opt d )
+            with
+            | Some x0, Some y0, Some x1, Some y1 ->
+              let r =
+                try Rect.make ~x0 ~y0 ~x1 ~y1
+                with Invalid_argument m -> fail lineno m
+              in
+              current := Some (r :: rl)
+          | _ -> fail lineno "bad R line"
+          end
+        end
+        | [ "END" ] -> begin
+          match !current with
+          | None -> fail lineno "END without FEATURE"
+          | Some [] -> fail lineno "empty FEATURE"
+          | Some rl ->
+            let poly =
+              try Polygon.of_rects (List.rev rl)
+              with Invalid_argument m -> fail lineno m
+            in
+            features := poly :: !features;
+            current := None
+        end
+        | _ -> fail lineno (Printf.sprintf "unrecognized line %S" line)
+      end)
+    lines;
+  if !current <> None then raise (Parse_error "unterminated FEATURE block");
+  { Layout.tech = !tech; features = Array.of_list (List.rev !features); name = !name }
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string t))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let len = in_channel_length ic in
+      let s = really_input_string ic len in
+      of_string s)

@@ -1,0 +1,26 @@
+(** Plain-text layout interchange format.
+
+    {v
+    # comment
+    NAME <identifier>
+    TECH <half_pitch> <min_width> <min_space>
+    FEATURE
+    R <x0> <y0> <x1> <y1>
+    R ...
+    END
+    v}
+
+    Each [FEATURE .. END] block is one polygon given by its rectangle
+    decomposition. *)
+
+exception Parse_error of string
+(** Raised with a message naming the offending line. *)
+
+val to_string : Layout.t -> string
+val of_string : string -> Layout.t
+
+val save : Layout.t -> string -> unit
+(** Write to a file path. *)
+
+val load : string -> Layout.t
+(** Read from a file path. Raises [Parse_error] or [Sys_error]. *)

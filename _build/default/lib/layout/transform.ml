@@ -1,0 +1,32 @@
+module Rect = Mpl_geometry.Rect
+module Polygon = Mpl_geometry.Polygon
+
+let map_rects f (layout : Layout.t) =
+  {
+    layout with
+    Layout.features =
+      Array.map
+        (fun p -> Polygon.of_rects (List.map f (Polygon.rects p)))
+        layout.Layout.features;
+  }
+
+let translate ~dx ~dy layout =
+  map_rects (fun r -> Rect.translate r ~dx ~dy) layout
+
+let mirror_x layout =
+  map_rects
+    (fun r ->
+      Rect.make ~x0:(-r.Rect.x1) ~y0:r.Rect.y0 ~x1:(-r.Rect.x0) ~y1:r.Rect.y1)
+    layout
+
+let mirror_y layout =
+  map_rects
+    (fun r ->
+      Rect.make ~x0:r.Rect.x0 ~y0:(-r.Rect.y1) ~x1:r.Rect.x1 ~y1:(-r.Rect.y0))
+    layout
+
+let rotate90 layout =
+  map_rects
+    (fun r ->
+      Rect.make ~x0:(-r.Rect.y1) ~y0:r.Rect.x0 ~x1:(-r.Rect.y0) ~y1:r.Rect.x1)
+    layout

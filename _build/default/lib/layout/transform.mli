@@ -1,0 +1,17 @@
+(** Rigid layout transformations.
+
+    Decomposition is invariant under translation, mirroring, and 90°
+    rotation — useful for placing reusable blocks, and a strong
+    end-to-end property for the test suite (the decomposition graph of a
+    transformed layout is isomorphic, so optimal costs are identical). *)
+
+val translate : dx:int -> dy:int -> Layout.t -> Layout.t
+
+val mirror_x : Layout.t -> Layout.t
+(** Reflect across the y-axis (x -> -x). *)
+
+val mirror_y : Layout.t -> Layout.t
+(** Reflect across the x-axis (y -> -y). *)
+
+val rotate90 : Layout.t -> Layout.t
+(** Rotate 90° counterclockwise about the origin ((x,y) -> (-y,x)). *)

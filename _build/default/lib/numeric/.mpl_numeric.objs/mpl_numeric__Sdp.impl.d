@@ -1,0 +1,1 @@
+lib/numeric/sdp.ml: Array List Mpl_util Symmetric Vec

@@ -1,0 +1,249 @@
+type problem = {
+  n : int;
+  conflict_edges : (int * int) array;
+  stitch_edges : (int * int) array;
+  k : int;
+  alpha : float;
+}
+
+type mode = Auto | Projected | Lagrangian | Penalty
+
+type options = {
+  mode : mode;
+  projected_max : int;
+  pg_iters : int;
+  pg_step : float;
+  dykstra_rounds : int;
+  rank : int option;
+  max_sweeps : int;
+  tol : float;
+  outer_rounds : int;
+  dual_step : float;
+  penalties : float list;
+  seed : int;
+}
+
+let default_options =
+  {
+    mode = Auto;
+    projected_max = 150;
+    pg_iters = 60;
+    pg_step = 0.6;
+    dykstra_rounds = 3;
+    rank = None;
+    max_sweeps = 60;
+    tol = 1e-4;
+    outer_rounds = 12;
+    dual_step = 1.0;
+    penalties = [ 0.; 2.; 8. ];
+    seed = 2014;
+  }
+
+type solution = { gram : float array array; objective : float }
+
+let ideal_offdiag k =
+  if k < 2 then invalid_arg "Sdp.ideal_offdiag: k < 2";
+  -1. /. float_of_int (k - 1)
+
+let objective_of_gram p x =
+  let s = ref 0. in
+  Array.iter (fun (i, j) -> s := !s +. x.(i).(j)) p.conflict_edges;
+  Array.iter (fun (i, j) -> s := !s -. (p.alpha *. x.(i).(j))) p.stitch_edges;
+  !s
+
+(* ------------------------------------------------------------------ *)
+(* Projected subgradient on the Gram matrix (convex, exact).           *)
+
+(* Componentwise projection onto diag = 1, X_ij >= b on CE, and
+   -1 <= X_ij <= 1. *)
+let project_box p ~bound x =
+  let n = Array.length x in
+  for i = 0 to n - 1 do
+    x.(i).(i) <- 1.;
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        if x.(i).(j) > 1. then x.(i).(j) <- 1.;
+        if x.(i).(j) < -1. then x.(i).(j) <- -1.
+      end
+    done
+  done;
+  Array.iter
+    (fun (i, j) ->
+      if x.(i).(j) < bound then begin
+        x.(i).(j) <- bound;
+        x.(j).(i) <- bound
+      end)
+    p.conflict_edges
+
+let matrix_sub a b =
+  Array.mapi (fun i row -> Array.mapi (fun j v -> v -. b.(i).(j)) row) a
+
+let matrix_add a b =
+  Array.mapi (fun i row -> Array.mapi (fun j v -> v +. b.(i).(j)) row) a
+
+(* Dykstra's alternating projection onto PSD /\ box: unlike plain
+   alternation, the correction terms make it converge to the exact
+   projection onto the intersection. *)
+let dykstra p ~bound ~rounds y =
+  let n = Array.length y in
+  let zero () = Array.make_matrix n n 0. in
+  let pc = ref (zero ()) and qc = ref (zero ()) in
+  let cur = ref y in
+  for _ = 1 to rounds do
+    let t = matrix_add !cur !pc in
+    let a = Symmetric.project_psd t in
+    pc := matrix_sub t a;
+    let t2 = matrix_add a !qc in
+    let b = Array.map Array.copy t2 in
+    project_box p ~bound b;
+    qc := matrix_sub t2 b;
+    cur := b
+  done;
+  !cur
+
+let solve_projected ~options p =
+  let n = p.n in
+  let bound = ideal_offdiag p.k in
+  (* Identity start: PSD, unit diagonal, all constraints slack. *)
+  let x = ref (Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))) in
+  let grad = Array.make_matrix n n 0. in
+  Array.iter
+    (fun (i, j) ->
+      grad.(i).(j) <- grad.(i).(j) +. 1.;
+      grad.(j).(i) <- grad.(j).(i) +. 1.)
+    p.conflict_edges;
+  Array.iter
+    (fun (i, j) ->
+      grad.(i).(j) <- grad.(i).(j) -. p.alpha;
+      grad.(j).(i) <- grad.(j).(i) -. p.alpha)
+    p.stitch_edges;
+  for t = 0 to options.pg_iters - 1 do
+    let eta = options.pg_step /. sqrt (float_of_int (t + 1)) in
+    let y =
+      Array.mapi
+        (fun i row -> Array.mapi (fun j v -> v -. (eta *. grad.(i).(j))) row)
+        !x
+    in
+    x := dykstra p ~bound ~rounds:options.dykstra_rounds y
+  done;
+  (* Final cleanup projection so reported Gram entries are near-feasible. *)
+  x := dykstra p ~bound ~rounds:(2 * options.dykstra_rounds) !x;
+  { gram = !x; objective = objective_of_gram p !x }
+
+(* ------------------------------------------------------------------ *)
+(* Burer-Monteiro fallback for oversized pieces.                       *)
+
+type adj = { conflict : (int * int) list array; stitch : int list array }
+
+let build_adj p =
+  let conflict = Array.make p.n [] in
+  let stitch = Array.make p.n [] in
+  Array.iteri
+    (fun e (i, j) ->
+      conflict.(i) <- (j, e) :: conflict.(i);
+      conflict.(j) <- (i, e) :: conflict.(j))
+    p.conflict_edges;
+  Array.iter
+    (fun (i, j) ->
+      stitch.(i) <- j :: stitch.(i);
+      stitch.(j) <- i :: stitch.(j))
+    p.stitch_edges;
+  { conflict; stitch }
+
+(* One Gauss-Seidel sweep of the linear (Mixing-method) subproblem: with
+   all other vectors fixed the objective is linear in v_i, so
+   v_i <- -normalize(weighted neighbor sum) is its exact spherical
+   minimizer. *)
+let sweep p adj vectors coeff g =
+  let moved = ref 0. in
+  for i = 0 to p.n - 1 do
+    Array.fill g 0 (Array.length g) 0.;
+    let vi = vectors.(i) in
+    List.iter
+      (fun (j, e) -> Vec.axpy ~alpha:coeff.(e) vectors.(j) g)
+      adj.conflict.(i);
+    List.iter (fun j -> Vec.axpy ~alpha:(-.p.alpha) vectors.(j) g) adj.stitch.(i);
+    let gnorm = Vec.norm g in
+    if gnorm > 1e-12 then
+      for d = 0 to Array.length g - 1 do
+        let nv = -.g.(d) /. gnorm in
+        let delta = abs_float (nv -. vi.(d)) in
+        if delta > !moved then moved := delta;
+        vi.(d) <- nv
+      done
+  done;
+  !moved
+
+let run_inner ~max_sweeps ~tol p adj vectors coeff g =
+  let rec go s =
+    if s < max_sweeps && sweep p adj vectors coeff g > tol then go (s + 1)
+  in
+  go 0
+
+let gram_of_vectors vectors =
+  let n = Array.length vectors in
+  Array.init n (fun i -> Array.init n (fun j -> Vec.dot vectors.(i) vectors.(j)))
+
+let solve_factorized ~options ~lagrangian p =
+  let r =
+    match options.rank with Some r -> max 2 r | None -> max (p.k - 1) 8
+  in
+  let rng = Mpl_util.Rng.create options.seed in
+  let vectors = Array.init p.n (fun _ -> Vec.random_unit rng r) in
+  let adj = build_adj p in
+  let bound = ideal_offdiag p.k in
+  let g = Vec.zero r in
+  let ne = Array.length p.conflict_edges in
+  let coeff = Array.make ne 1.0 in
+  if lagrangian then begin
+    let lambda = Array.make ne 0.0 in
+    for _ = 1 to options.outer_rounds do
+      run_inner ~max_sweeps:options.max_sweeps ~tol:options.tol p adj vectors
+        coeff g;
+      Array.iteri
+        (fun e (i, j) ->
+          let x = Vec.dot vectors.(i) vectors.(j) in
+          lambda.(e) <-
+            max 0. (lambda.(e) +. (options.dual_step *. (bound -. x)));
+          coeff.(e) <- 1. -. lambda.(e))
+        p.conflict_edges
+    done;
+    run_inner ~max_sweeps:options.max_sweeps ~tol:options.tol p adj vectors
+      coeff g
+  end
+  else
+    List.iter
+      (fun mu ->
+        let rec go s =
+          if s < options.max_sweeps then begin
+            Array.iteri
+              (fun e (i, j) ->
+                let x = Vec.dot vectors.(i) vectors.(j) in
+                let violation = bound -. x in
+                coeff.(e) <-
+                  (if violation > 0. then 1. -. (2. *. mu *. violation)
+                   else 1.))
+              p.conflict_edges;
+            if sweep p adj vectors coeff g > options.tol then go (s + 1)
+          end
+        in
+        go 0)
+      options.penalties;
+  let gram = gram_of_vectors vectors in
+  { gram; objective = objective_of_gram p gram }
+
+let solve ?(options = default_options) p =
+  if p.n = 0 then { gram = [||]; objective = 0. }
+  else begin
+    match options.mode with
+    | Projected -> solve_projected ~options p
+    | Lagrangian -> solve_factorized ~options ~lagrangian:true p
+    | Penalty -> solve_factorized ~options ~lagrangian:false p
+    | Auto ->
+      if p.n <= options.projected_max then solve_projected ~options p
+      else solve_factorized ~options ~lagrangian:true p
+  end
+
+let gram s i j =
+  let x = s.gram.(i).(j) in
+  if x > 1. then 1. else if x < -1. then -1. else x

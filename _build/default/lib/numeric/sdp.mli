@@ -1,0 +1,73 @@
+(** Solver for the multiple-patterning coloring SDP
+    (paper Eq. (2) for K = 4, Eq. (3) for general K):
+
+    {v
+      min   sum_(ij in CE) vi.vj  -  alpha * sum_(ij in SE) vi.vj
+      s.t.  vi.vi = 1                    for all i
+            vi.vj >= -1/(K-1)            for all ij in CE
+    v}
+
+    The paper uses CSDP; this repo substitutes two in-house methods (see
+    DESIGN.md):
+
+    - [Projected] (default for post-division piece sizes): projected
+      subgradient on the Gram matrix X itself, with Dykstra alternating
+      projections between the PSD cone (exact projection by Jacobi
+      eigendecomposition) and the box {diag = 1, X_ij >= -1/(K-1) on CE,
+      |X_ij| <= 1}. The problem is convex, so this converges to the true
+      SDP optimum; at tens of vertices per piece the O(n^3)
+      eigendecompositions are cheap.
+    - [Lagrangian] (fallback for oversized pieces): low-rank
+      Burer-Monteiro factorization optimized by Mixing-method coordinate
+      descent, with augmented-Lagrangian multipliers for the conflict
+      inequality.
+    - [Penalty]: the one-sided quadratic-penalty variant, kept for the
+      ablation bench.
+
+    Consumers only read Gram entries [gram s i j], which is all the
+    paper's backtrack / greedy mapping stages use. *)
+
+type problem = {
+  n : int;  (** number of vertices *)
+  conflict_edges : (int * int) array;
+  stitch_edges : (int * int) array;
+  k : int;  (** number of colors (>= 2); bound is -1/(k-1) *)
+  alpha : float;  (** stitch weight (paper: 0.1) *)
+}
+
+type mode =
+  | Auto  (** [Projected] up to [projected_max] vertices, else [Lagrangian] *)
+  | Projected
+  | Lagrangian
+  | Penalty
+
+type options = {
+  mode : mode;
+  projected_max : int;  (** Auto threshold; default 150 *)
+  pg_iters : int;  (** projected-gradient steps; default 60 *)
+  pg_step : float;  (** initial step size (decays 1/sqrt t); default 0.6 *)
+  dykstra_rounds : int;  (** projection rounds per step; default 3 *)
+  rank : int option;  (** BM vector dimension; default max (k-1) 8 *)
+  max_sweeps : int;  (** BM sweeps per inner solve; default 60 *)
+  tol : float;  (** movement tolerance; default 1e-4 *)
+  outer_rounds : int;  (** BM Lagrangian dual updates; default 12 *)
+  dual_step : float;  (** BM dual ascent step; default 1.0 *)
+  penalties : float list;  (** penalty-mode schedule; default [0;2;8] *)
+  seed : int;  (** deterministic initialization *)
+}
+
+val default_options : options
+
+type solution = {
+  gram : float array array;  (** the solved Gram matrix X *)
+  objective : float;  (** paper objective (2)/(3) value at X *)
+}
+
+val solve : ?options:options -> problem -> solution
+
+val gram : solution -> int -> int -> float
+(** [gram s i j] is [X_ij], clamped to [-1, 1]. *)
+
+val ideal_offdiag : int -> float
+(** [-1/(k-1)], the pairwise inner product of the K ideal color vectors
+    (paper Fig. 3 for K = 4). *)

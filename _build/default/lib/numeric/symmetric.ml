@@ -1,0 +1,91 @@
+(* Cyclic Jacobi eigendecomposition. Each rotation zeroes one
+   off-diagonal pair; sweeps repeat until the off-diagonal mass is
+   negligible. Quadratic convergence once nearly diagonal. *)
+let eigh a0 =
+  let n = Array.length a0 in
+  let a = Array.map Array.copy a0 in
+  let v = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.)) in
+  let off () =
+    let s = ref 0. in
+    for p = 0 to n - 1 do
+      for q = p + 1 to n - 1 do
+        s := !s +. (a.(p).(q) *. a.(p).(q))
+      done
+    done;
+    !s
+  in
+  let rotate p q =
+    let apq = a.(p).(q) in
+    if abs_float apq > 1e-13 then begin
+      let tau = (a.(q).(q) -. a.(p).(p)) /. (2. *. apq) in
+      let t =
+        let s = if tau >= 0. then 1. else -1. in
+        s /. (abs_float tau +. sqrt (1. +. (tau *. tau)))
+      in
+      let c = 1. /. sqrt (1. +. (t *. t)) in
+      let s = t *. c in
+      (* Update rows/columns p and q of A. *)
+      for i = 0 to n - 1 do
+        if i <> p && i <> q then begin
+          let aip = a.(i).(p) and aiq = a.(i).(q) in
+          a.(i).(p) <- (c *. aip) -. (s *. aiq);
+          a.(p).(i) <- a.(i).(p);
+          a.(i).(q) <- (s *. aip) +. (c *. aiq);
+          a.(q).(i) <- a.(i).(q)
+        end
+      done;
+      let app = a.(p).(p) and aqq = a.(q).(q) in
+      a.(p).(p) <- app -. (t *. apq);
+      a.(q).(q) <- aqq +. (t *. apq);
+      a.(p).(q) <- 0.;
+      a.(q).(p) <- 0.;
+      for i = 0 to n - 1 do
+        let vip = v.(i).(p) and viq = v.(i).(q) in
+        v.(i).(p) <- (c *. vip) -. (s *. viq);
+        v.(i).(q) <- (s *. vip) +. (c *. viq)
+      done
+    end
+  in
+  let max_sweeps = 30 in
+  let rec sweeps k =
+    if k < max_sweeps && off () > 1e-18 *. float_of_int (n * n) then begin
+      for p = 0 to n - 1 do
+        for q = p + 1 to n - 1 do
+          rotate p q
+        done
+      done;
+      sweeps (k + 1)
+    end
+  in
+  if n > 0 then sweeps 0;
+  let w = Array.init n (fun i -> a.(i).(i)) in
+  (w, v)
+
+let project_psd m =
+  let n = Array.length m in
+  let w, v = eigh m in
+  let out = Array.make_matrix n n 0. in
+  for e = 0 to n - 1 do
+    if w.(e) > 0. then begin
+      let we = w.(e) in
+      for i = 0 to n - 1 do
+        let vie = v.(i).(e) *. we in
+        if vie <> 0. then
+          for j = 0 to n - 1 do
+            out.(i).(j) <- out.(i).(j) +. (vie *. v.(j).(e))
+          done
+      done
+    end
+  done;
+  out
+
+let frobenius_distance a b =
+  let n = Array.length a in
+  let s = ref 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      let d = a.(i).(j) -. b.(i).(j) in
+      s := !s +. (d *. d)
+    done
+  done;
+  sqrt !s

@@ -1,0 +1,16 @@
+(** Dense symmetric-matrix kernels for the projected SDP solver.
+
+    Matrices are [float array array] of shape n x n; symmetry is the
+    caller's invariant. Sizes here are post-division component sizes
+    (tens of vertices), so O(n^3) cyclic Jacobi is the right tool. *)
+
+val eigh : float array array -> float array * float array array
+(** [eigh a] returns [(w, v)] with eigenvalues [w] and orthonormal
+    eigenvectors as the COLUMNS of [v] ([v.(i).(j)] is component i of
+    eigenvector j), such that [a = v diag(w) v^T]. [a] is not modified. *)
+
+val project_psd : float array array -> float array array
+(** Nearest (Frobenius) positive-semidefinite matrix: negative
+    eigenvalues clipped to zero. *)
+
+val frobenius_distance : float array array -> float array array -> float

@@ -1,0 +1,37 @@
+type t = float array
+
+let zero n = Array.make n 0.
+
+let copy = Array.copy
+
+let dot a b =
+  let s = ref 0. in
+  for i = 0 to Array.length a - 1 do
+    s := !s +. (a.(i) *. b.(i))
+  done;
+  !s
+
+let norm a = sqrt (dot a a)
+
+let axpy ~alpha x y =
+  for i = 0 to Array.length x - 1 do
+    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  done
+
+let scale c a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- c *. a.(i)
+  done
+
+let normalize a =
+  let n = norm a in
+  if n < 1e-12 then begin
+    Array.fill a 0 (Array.length a) 0.;
+    a.(0) <- 1.
+  end
+  else scale (1. /. n) a
+
+let random_unit rng r =
+  let v = Array.init r (fun _ -> Mpl_util.Rng.float rng 2.0 -. 1.0) in
+  normalize v;
+  v

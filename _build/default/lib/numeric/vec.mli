@@ -1,0 +1,23 @@
+(** Small dense float vectors (the unit "color vectors" of the SDP
+    relaxation live in R^r for a configurable rank r). *)
+
+type t = float array
+
+val zero : int -> t
+val copy : t -> t
+val dot : t -> t -> float
+val norm : t -> float
+
+val axpy : alpha:float -> t -> t -> unit
+(** [axpy ~alpha x y] sets [y <- alpha * x + y]. *)
+
+val scale : float -> t -> unit
+(** In-place scalar multiply. *)
+
+val normalize : t -> unit
+(** Rescale to unit norm. Vectors of norm below 1e-12 are replaced by the
+    first canonical basis vector (an arbitrary deterministic direction,
+    as the objective is indifferent there). *)
+
+val random_unit : Mpl_util.Rng.t -> int -> t
+(** Uniform-ish random unit vector by normalizing a cube sample. *)

@@ -1,0 +1,1 @@
+lib/util/intset.ml: Array List

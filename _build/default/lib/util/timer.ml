@@ -1,0 +1,18 @@
+type t = float
+
+let start () = Unix.gettimeofday ()
+
+let elapsed_s t = Unix.gettimeofday () -. t
+
+let time f =
+  let t = start () in
+  let x = f () in
+  (x, elapsed_s t)
+
+type budget = float option
+
+let budget s = if s <= 0. then None else Some (Unix.gettimeofday () +. s)
+
+let expired = function
+  | None -> false
+  | Some deadline -> Unix.gettimeofday () > deadline

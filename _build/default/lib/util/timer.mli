@@ -1,0 +1,24 @@
+(** Wall-clock timing helpers used by the decomposition flow and the
+    benchmark harness. *)
+
+type t
+(** A started stopwatch. *)
+
+val start : unit -> t
+(** Start a stopwatch now. *)
+
+val elapsed_s : t -> float
+(** Seconds elapsed since [start]. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
+
+type budget
+(** A deadline for bounded searches (e.g. the ILP baseline). *)
+
+val budget : float -> budget
+(** [budget s] expires [s] seconds from now. Non-positive [s] never
+    expires. *)
+
+val expired : budget -> bool
+(** Has the deadline passed? *)

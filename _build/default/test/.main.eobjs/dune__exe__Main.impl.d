@@ -1,0 +1,1 @@
+test/main.ml: Alcotest Test_core Test_extensions Test_geometry Test_graph Test_ilp Test_layout Test_numeric Test_paper Test_util

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Hashtbl List Mpl Mpl_graph Mpl_layout Mpl_util Printf QCheck QCheck_alcotest String

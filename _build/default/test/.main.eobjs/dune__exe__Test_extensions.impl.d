@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array List Mpl Mpl_geometry Mpl_graph Mpl_layout Mpl_util Printf QCheck QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_geometry.ml: Alcotest Array Format Hashtbl List Mpl_geometry QCheck QCheck_alcotest

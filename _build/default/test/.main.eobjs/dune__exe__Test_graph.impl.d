@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array Fun List Mpl_graph Printf QCheck QCheck_alcotest String

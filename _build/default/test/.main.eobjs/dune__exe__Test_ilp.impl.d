@@ -1,0 +1,1 @@
+test/test_ilp.ml: Alcotest Array Fun List Mpl Mpl_ilp Mpl_util Printf QCheck QCheck_alcotest String Unix

@@ -1,0 +1,1 @@
+test/test_layout.ml: Alcotest Array List Mpl Mpl_geometry Mpl_layout Mpl_util Printf QCheck QCheck_alcotest

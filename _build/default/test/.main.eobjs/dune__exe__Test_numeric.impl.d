@@ -1,0 +1,1 @@
+test/test_numeric.ml: Alcotest Array List Mpl_numeric Printf QCheck QCheck_alcotest

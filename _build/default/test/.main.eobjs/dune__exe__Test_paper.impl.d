@@ -1,0 +1,1 @@
+test/test_paper.ml: Alcotest Array List Mpl Mpl_geometry Mpl_graph Mpl_layout Mpl_numeric

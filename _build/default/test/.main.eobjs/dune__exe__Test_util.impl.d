@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Fun List Mpl_util QCheck QCheck_alcotest Unix

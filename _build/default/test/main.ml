@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "mpl"
+    [
+      ("util", Test_util.suite);
+      ("geometry", Test_geometry.suite);
+      ("graph", Test_graph.suite);
+      ("ilp", Test_ilp.suite);
+      ("numeric", Test_numeric.suite);
+      ("layout", Test_layout.suite);
+      ("core", Test_core.suite);
+      ("extensions", Test_extensions.suite);
+      ("paper", Test_paper.suite);
+    ]

@@ -1,0 +1,345 @@
+(* Tests for the core decomposition library: graph model, cost model,
+   every color-assignment algorithm (cross-checked against the
+   brute-force chromatic oracle), and the division pipeline's
+   optimality-preservation guarantees. *)
+
+module G = Mpl.Decomp_graph
+module C = Mpl.Coloring
+module D = Mpl.Decomposer
+
+let clique n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  G.of_edges ~n !edges
+
+(* Random decomposition graph: conflict edges with probability p plus a
+   few stitch edges on otherwise-unrelated pairs. *)
+let dg_gen =
+  QCheck.Gen.(
+    int_range 2 9 >>= fun n ->
+    int_range 10 60 >>= fun p ->
+    int_range 0 2 >>= fun stitches ->
+    int_range 0 10000 >|= fun seed ->
+    let rng = Mpl_util.Rng.create seed in
+    let ce = ref [] and used = Hashtbl.create 16 in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Mpl_util.Rng.int rng 100 < p then begin
+          ce := (i, j) :: !ce;
+          Hashtbl.replace used (i, j) ()
+        end
+      done
+    done;
+    let se = ref [] in
+    let attempts = ref 0 in
+    while List.length !se < stitches && !attempts < 50 do
+      incr attempts;
+      let i = Mpl_util.Rng.int rng n and j = Mpl_util.Rng.int rng n in
+      let i, j = (min i j, max i j) in
+      if i <> j && (not (Hashtbl.mem used (i, j))) then begin
+        Hashtbl.replace used (i, j) ();
+        se := (i, j) :: !se
+      end
+    done;
+    (n, !ce, !se))
+
+let dg_print (n, ce, se) =
+  Printf.sprintf "n=%d ce=[%s] se=[%s]" n
+    (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) ce))
+    (String.concat ";" (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) se))
+
+let dg_arb = QCheck.make ~print:dg_print dg_gen
+
+let build (n, ce, se) = G.of_edges ~stitch_edges:se ~n ce
+
+let test_of_edges_validation () =
+  Alcotest.check_raises "self loop" (Invalid_argument "Decomp_graph: self-loop")
+    (fun () -> ignore (G.of_edges ~n:3 [ (1, 1) ]));
+  Alcotest.check_raises "both conflict and stitch"
+    (Invalid_argument "Decomp_graph: edge is both conflict and stitch")
+    (fun () -> ignore (G.of_edges ~stitch_edges:[ (0, 1) ] ~n:2 [ (1, 0) ]));
+  let g = G.of_edges ~n:3 [ (0, 1); (1, 0); (1, 2) ] in
+  Alcotest.(check int) "duplicates collapsed" 2 (List.length (G.conflict_edges g))
+
+let test_degrees_and_lookup () =
+  let g = G.of_edges ~stitch_edges:[ (0, 2) ] ~n:3 [ (0, 1) ] in
+  Alcotest.(check int) "conflict degree" 1 (G.conflict_degree g 0);
+  Alcotest.(check int) "stitch degree" 1 (G.stitch_degree g 0);
+  Alcotest.(check bool) "has_conflict" true (G.has_conflict g 1 0);
+  Alcotest.(check bool) "no conflict" false (G.has_conflict g 0 2)
+
+let test_subgraph () =
+  let g = G.of_edges ~stitch_edges:[ (2, 3) ] ~n:4 [ (0, 1); (1, 2) ] in
+  let sub, back = G.subgraph g [| 1; 2; 3 |] in
+  Alcotest.(check int) "sub n" 3 sub.G.n;
+  Alcotest.(check int) "sub conflicts" 1 (List.length (G.conflict_edges sub));
+  Alcotest.(check int) "sub stitches" 1 (List.length (G.stitch_edges sub));
+  Alcotest.(check (array int)) "back" [| 1; 2; 3 |] back
+
+let test_coloring_cost () =
+  let g = G.of_edges ~stitch_edges:[ (2, 3) ] ~n:4 [ (0, 1); (1, 2) ] in
+  let cost = C.evaluate g [| 0; 0; 1; 2 |] in
+  Alcotest.(check int) "conflicts" 1 cost.C.conflicts;
+  Alcotest.(check int) "stitches" 1 cost.C.stitches;
+  Alcotest.(check int) "scaled" 1100 cost.C.scaled;
+  (* Unassigned vertices count for nothing. *)
+  let partial = C.evaluate g [| 0; 0; -1; 2 |] in
+  Alcotest.(check int) "partial conflicts" 1 partial.C.conflicts;
+  Alcotest.(check int) "partial stitches" 0 partial.C.stitches
+
+let test_permutation_invariance () =
+  let g = G.of_edges ~stitch_edges:[ (0, 3) ] ~n:4 [ (0, 1); (1, 2); (2, 3) ] in
+  let colors = [| 0; 1; 2; 0 |] in
+  let sigma = [| 3; 0; 2; 1 |] in
+  let c1 = C.evaluate g colors in
+  let c2 = C.evaluate g (C.permute colors sigma) in
+  Alcotest.(check int) "conflicts invariant" c1.C.conflicts c2.C.conflicts;
+  Alcotest.(check int) "stitches invariant" c1.C.stitches c2.C.stitches
+
+(* Conflict-only optimality: every solver path must match the oracle. *)
+let conflict_optimum (n, ce) =
+  Mpl_graph.Oracle.chromatic_cost (Mpl_graph.Ugraph.of_edges n ce) ~k:4
+
+let prop_exact_matches_oracle =
+  QCheck.Test.make ~name:"Exact B&B conflicts = chromatic oracle" ~count:200
+    dg_arb
+    (fun ((n, ce, _) as inst) ->
+      let g = build inst in
+      let r = Mpl.Exact_color.solve ~k:4 ~alpha:0.1 g in
+      let cost = C.evaluate g r.Mpl.Bnb.colors in
+      (* With alpha << 1 the exact optimum always minimizes conflicts
+         first when stitch edges are few. *)
+      ignore n;
+      cost.C.conflicts <= conflict_optimum (n, ce)
+      && r.Mpl.Bnb.optimal)
+
+let prop_ilp_matches_exact =
+  QCheck.Test.make ~name:"ILP encoding optimum = exact B&B optimum" ~count:60
+    dg_arb
+    (fun ((_, _, _) as inst) ->
+      let g = build inst in
+      let exact = Mpl.Exact_color.solve ~k:4 ~alpha:0.1 g in
+      let ilp = Mpl.Ilp_color.solve ~k:4 ~alpha:0.1 g in
+      let ec = C.evaluate g exact.Mpl.Bnb.colors in
+      let ic = C.evaluate g ilp.Mpl.Ilp_color.colors in
+      ilp.Mpl.Ilp_color.optimal && ic.C.scaled = ec.C.scaled)
+
+let prop_sdp_backtrack_near_optimal =
+  QCheck.Test.make ~name:"SDP+Backtrack = exact optimum on small graphs"
+    ~count:60 dg_arb
+    (fun inst ->
+      let g = build inst in
+      let exact = Mpl.Exact_color.solve ~k:4 ~alpha:0.1 g in
+      let sol = Mpl.Sdp_color.relax ~k:4 ~alpha:0.1 g in
+      let colors = Mpl.Sdp_color.backtrack ~k:4 ~alpha:0.1 sol g in
+      let bc = C.evaluate g colors in
+      (* Backtrack explores the merged graph exhaustively at these sizes,
+         so it must reach the exact optimum. *)
+      bc.C.scaled <= exact.Mpl.Bnb.scaled_cost + 100)
+
+let prop_linear_legal_and_bounded =
+  QCheck.Test.make ~name:"Linear assignment complete, in-range, sane"
+    ~count:300 dg_arb
+    (fun inst ->
+      let g = build inst in
+      let colors = Mpl.Linear_color.solve ~k:4 ~alpha:0.1 g in
+      C.is_complete colors && C.check_range ~k:4 colors)
+
+let prop_linear_popped_conflict_free =
+  (* Vertices with conflict degree < k and stitch degree < 2 are peeled;
+     Algorithm 2 guarantees they never pay a conflict. Whole-graph low
+     degree => zero conflicts. *)
+  QCheck.Test.make ~name:"Linear: sparse graphs color conflict-free"
+    ~count:300
+    (QCheck.make
+       QCheck.Gen.(
+         int_range 2 12 >|= fun n ->
+         (n, List.init (n - 1) (fun i -> (i, i + 1)))))
+    (fun (n, path) ->
+      let g = G.of_edges ~n path in
+      let colors = Mpl.Linear_color.solve ~k:4 ~alpha:0.1 g in
+      (C.evaluate g colors).C.conflicts = 0)
+
+let prop_greedy_map_complete =
+  QCheck.Test.make ~name:"SDP greedy mapping complete and in range"
+    ~count:100 dg_arb
+    (fun inst ->
+      let g = build inst in
+      if g.G.n = 0 then true
+      else begin
+        let sol = Mpl.Sdp_color.relax ~k:4 ~alpha:0.1 g in
+        let colors = Mpl.Sdp_color.greedy_map ~k:4 sol g in
+        C.is_complete colors && C.check_range ~k:4 colors
+      end)
+
+(* Division must preserve the conflict optimum when the per-piece solver
+   is exact (peel removes only cost-free vertices, biconnected blocks are
+   cost-additive, GH cuts always admit a conflict-free rotation). *)
+let prop_division_preserves_conflict_optimum =
+  QCheck.Test.make
+    ~name:"division + exact solver preserves the conflict optimum"
+    ~count:150 dg_arb
+    (fun ((n, ce, _) as inst) ->
+      let g = build inst in
+      let solver piece =
+        (Mpl.Exact_color.solve ~k:4 ~alpha:0.1 piece).Mpl.Bnb.colors
+      in
+      let colors = Mpl.Division.assign ~k:4 ~alpha:0.1 ~solver g in
+      let cost = C.evaluate g colors in
+      ignore n;
+      C.is_complete colors && cost.C.conflicts = conflict_optimum (n, ce))
+
+let prop_division_no_worse_for_heuristics =
+  QCheck.Test.make
+    ~name:"divided linear never beats the exact optimum (sanity)" ~count:150
+    dg_arb
+    (fun ((n, ce, _) as inst) ->
+      let g = build inst in
+      let solver piece = Mpl.Linear_color.solve ~k:4 ~alpha:0.1 piece in
+      let colors = Mpl.Division.assign ~k:4 ~alpha:0.1 ~solver g in
+      (C.evaluate g colors).C.conflicts >= conflict_optimum (n, ce))
+
+let prop_division_stage_toggles =
+  QCheck.Test.make ~name:"every stage subset yields a complete coloring"
+    ~count:100 dg_arb
+    (fun inst ->
+      let g = build inst in
+      List.for_all
+        (fun stages ->
+          let solver piece =
+            (Mpl.Exact_color.solve ~k:4 ~alpha:0.1 piece).Mpl.Bnb.colors
+          in
+          let colors = Mpl.Division.assign ~stages ~k:4 ~alpha:0.1 ~solver g in
+          C.is_complete colors)
+        [
+          Mpl.Division.all_stages;
+          Mpl.Division.no_stages;
+          { Mpl.Division.all_stages with Mpl.Division.use_ghtree = false };
+          { Mpl.Division.all_stages with Mpl.Division.use_peel = false };
+          {
+            Mpl.Division.all_stages with
+            Mpl.Division.use_biconnected = false;
+          };
+        ])
+
+let prop_k_patterning_general =
+  (* Section 5: the whole pipeline works for any K; K_n needs exactly
+     C(n - k, 2)-free... just check cliques: cn(K_n, k) = sum of excess
+     pairings, i.e. the oracle. *)
+  QCheck.Test.make ~name:"general K-patterning matches oracle (k=3..6)"
+    ~count:40
+    (QCheck.make QCheck.Gen.(pair (int_range 2 8) (int_range 3 6)))
+    (fun (n, k) ->
+      let g = clique n in
+      let params = { D.default_params with D.k } in
+      let report = D.assign ~params D.Exact g in
+      report.D.cost.C.conflicts
+      = Mpl_graph.Oracle.chromatic_cost (G.conflict_graph g) ~k)
+
+let test_rotation_lemma () =
+  (* Lemma 1: two K5s joined by a 3-cut. Every vertex has conflict degree
+     >= 4, so peeling leaves the graph intact and the GH-tree stage must
+     find the 3-cut; rotation then reconnects the two K5s without adding
+     a conflict beyond their two native ones. *)
+  let k5 base =
+    let edges = ref [] in
+    for i = 0 to 4 do
+      for j = i + 1 to 4 do
+        edges := (base + i, base + j) :: !edges
+      done
+    done;
+    !edges
+  in
+  let edges = k5 0 @ k5 5 @ [ (0, 5); (1, 6); (2, 7) ] in
+  let g = G.of_edges ~n:10 edges in
+  let solver piece =
+    (Mpl.Exact_color.solve ~k:4 ~alpha:0.1 piece).Mpl.Bnb.colors
+  in
+  let stats = Mpl.Division.fresh_stats () in
+  let colors = Mpl.Division.assign ~stats ~k:4 ~alpha:0.1 ~solver g in
+  Alcotest.(check int) "exactly the two native conflicts" 2
+    (C.evaluate g colors).C.conflicts;
+  Alcotest.(check bool) "a GH cut actually fired" true
+    (stats.Mpl.Division.cuts >= 1)
+
+let test_report_consistency () =
+  let g = clique 6 in
+  List.iter
+    (fun algo ->
+      let r = D.assign algo g in
+      let re = C.evaluate g r.D.colors in
+      Alcotest.(check int)
+        (D.algorithm_name algo ^ " cost matches colors")
+        r.D.cost.C.scaled re.C.scaled)
+    [ D.Ilp; D.Exact; D.Sdp_backtrack; D.Sdp_greedy; D.Linear ]
+
+let test_k6_needs_two () =
+  let g = clique 6 in
+  List.iter
+    (fun algo ->
+      let r = D.assign algo g in
+      Alcotest.(check int) (D.algorithm_name algo ^ " K6 cost") 2
+        r.D.cost.C.conflicts)
+    [ D.Ilp; D.Exact; D.Sdp_backtrack; D.Sdp_greedy; D.Linear ]
+
+let test_decomposer_deterministic () =
+  let layout = Mpl_layout.Benchgen.circuit "C499" in
+  let g = G.of_edges ~n:0 [] in
+  ignore g;
+  let graph = G.of_layout layout ~min_s:80 in
+  List.iter
+    (fun algo ->
+      let a = D.assign algo graph and b = D.assign algo graph in
+      Alcotest.(check (array int))
+        (D.algorithm_name algo ^ " deterministic")
+        a.D.colors b.D.colors)
+    [ D.Exact; D.Sdp_backtrack; D.Sdp_greedy; D.Linear ]
+
+let test_post_passes () =
+  let layout = Mpl_layout.Benchgen.circuit "C432" in
+  let graph = G.of_layout layout ~min_s:80 in
+  let base = D.assign D.Linear graph in
+  List.iter
+    (fun post ->
+      let params = { D.default_params with D.post } in
+      let r = D.assign ~params D.Linear graph in
+      Alcotest.(check bool) "post pass never worse" true
+        (r.D.cost.C.scaled <= base.D.cost.C.scaled))
+    [ D.No_post; D.Local_search; D.Anneal 2000 ];
+  let params = { D.default_params with D.balance = true } in
+  let r = D.assign ~params D.Linear graph in
+  Alcotest.(check int) "balance keeps cost" base.D.cost.C.scaled
+    r.D.cost.C.scaled;
+  Alcotest.(check bool) "balance helps imbalance" true
+    (Mpl.Balance.imbalance ~k:4 r.D.colors
+    <= Mpl.Balance.imbalance ~k:4 base.D.colors +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "decomposer deterministic" `Quick
+      test_decomposer_deterministic;
+    Alcotest.test_case "post passes" `Quick test_post_passes;
+    Alcotest.test_case "of_edges validation" `Quick test_of_edges_validation;
+    Alcotest.test_case "degrees and lookup" `Quick test_degrees_and_lookup;
+    Alcotest.test_case "subgraph" `Quick test_subgraph;
+    Alcotest.test_case "coloring cost" `Quick test_coloring_cost;
+    Alcotest.test_case "permutation invariance" `Quick
+      test_permutation_invariance;
+    QCheck_alcotest.to_alcotest prop_exact_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_ilp_matches_exact;
+    QCheck_alcotest.to_alcotest prop_sdp_backtrack_near_optimal;
+    QCheck_alcotest.to_alcotest prop_linear_legal_and_bounded;
+    QCheck_alcotest.to_alcotest prop_linear_popped_conflict_free;
+    QCheck_alcotest.to_alcotest prop_greedy_map_complete;
+    QCheck_alcotest.to_alcotest prop_division_preserves_conflict_optimum;
+    QCheck_alcotest.to_alcotest prop_division_no_worse_for_heuristics;
+    QCheck_alcotest.to_alcotest prop_division_stage_toggles;
+    QCheck_alcotest.to_alcotest prop_k_patterning_general;
+    Alcotest.test_case "rotation lemma (3-cut)" `Quick test_rotation_lemma;
+    Alcotest.test_case "report consistency" `Quick test_report_consistency;
+    Alcotest.test_case "K6 costs two conflicts" `Quick test_k6_needs_two;
+  ]

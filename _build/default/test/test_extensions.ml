@@ -1,0 +1,307 @@
+(* Tests for the extension modules: clique lower bounds, refinement,
+   density balancing, and SVG rendering. *)
+
+module G = Mpl.Decomp_graph
+module C = Mpl.Coloring
+
+let clique n =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  G.of_edges ~n !edges
+
+let dg_gen =
+  QCheck.Gen.(
+    int_range 2 9 >>= fun n ->
+    int_range 10 70 >>= fun p ->
+    int_range 0 10000 >|= fun seed ->
+    let rng = Mpl_util.Rng.create seed in
+    let ce = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        if Mpl_util.Rng.int rng 100 < p then ce := (i, j) :: !ce
+      done
+    done;
+    (n, !ce))
+
+let dg_arb =
+  QCheck.make
+    ~print:(fun (n, ce) ->
+      Printf.sprintf "n=%d ce=[%s]" n
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "%d-%d" u v) ce)))
+    dg_gen
+
+(* ------------------------- lower bounds -------------------------- *)
+
+let test_excess_pairs () =
+  Alcotest.(check int) "K4/4" 0 (Mpl.Lower_bound.excess_pairs 4 4);
+  Alcotest.(check int) "K5/4" 1 (Mpl.Lower_bound.excess_pairs 5 4);
+  Alcotest.(check int) "K6/4" 2 (Mpl.Lower_bound.excess_pairs 6 4);
+  Alcotest.(check int) "K8/4" 4 (Mpl.Lower_bound.excess_pairs 8 4);
+  Alcotest.(check int) "K6/5" 1 (Mpl.Lower_bound.excess_pairs 6 5);
+  Alcotest.(check int) "K6/3" 3 (Mpl.Lower_bound.excess_pairs 6 3)
+
+let test_max_clique_known () =
+  let g = Mpl_graph.Ugraph.of_edges 6
+      [ (0, 1); (0, 2); (1, 2); (2, 3); (3, 4); (4, 5); (3, 5) ]
+  in
+  Alcotest.(check int) "triangle found" 3
+    (Array.length (Mpl.Lower_bound.max_clique g))
+
+let prop_max_clique_is_clique =
+  QCheck.Test.make ~name:"max_clique returns a clique" ~count:200 dg_arb
+    (fun (n, ce) ->
+      let g = Mpl_graph.Ugraph.of_edges n ce in
+      let c = Mpl.Lower_bound.max_clique g in
+      Array.for_all
+        (fun u ->
+          Array.for_all (fun v -> u = v || Mpl_graph.Ugraph.mem_edge g u v) c)
+        c)
+
+let prop_lower_bound_sound =
+  QCheck.Test.make ~name:"clique LB <= chromatic optimum" ~count:200 dg_arb
+    (fun (n, ce) ->
+      let g = G.of_edges ~n ce in
+      let lb = Mpl.Lower_bound.conflict_lower_bound ~k:4 g in
+      let opt =
+        Mpl_graph.Oracle.chromatic_cost (Mpl_graph.Ugraph.of_edges n ce) ~k:4
+      in
+      lb <= opt)
+
+let test_lower_bound_tight_on_cliques () =
+  List.iter
+    (fun n ->
+      Alcotest.(check int)
+        (Printf.sprintf "tight on K%d" n)
+        (Mpl.Lower_bound.excess_pairs n 4)
+        (Mpl.Lower_bound.conflict_lower_bound ~k:4 (clique n)))
+    [ 4; 5; 6; 7; 8 ]
+
+(* --------------------------- refine ------------------------------ *)
+
+let prop_local_search_never_worse =
+  QCheck.Test.make ~name:"local search never increases cost" ~count:200
+    (QCheck.pair dg_arb QCheck.small_int)
+    (fun ((n, ce), seed) ->
+      let g = G.of_edges ~n ce in
+      let rng = Mpl_util.Rng.create seed in
+      let colors = Array.init n (fun _ -> Mpl_util.Rng.int rng 4) in
+      let refined = Mpl.Refine.local_search ~k:4 ~alpha:0.1 g colors in
+      (C.evaluate g refined).C.scaled <= (C.evaluate g colors).C.scaled)
+
+let prop_anneal_never_worse =
+  QCheck.Test.make ~name:"annealing never increases cost" ~count:50
+    (QCheck.pair dg_arb QCheck.small_int)
+    (fun ((n, ce), seed) ->
+      let g = G.of_edges ~n ce in
+      let rng = Mpl_util.Rng.create seed in
+      let colors = Array.init n (fun _ -> Mpl_util.Rng.int rng 4) in
+      let refined =
+        Mpl.Refine.anneal ~seed ~iterations:2000 ~k:4 ~alpha:0.1 g colors
+      in
+      (C.evaluate g refined).C.scaled <= (C.evaluate g colors).C.scaled
+      && C.check_range ~k:4 refined)
+
+let test_local_search_fixes_bad_coloring () =
+  (* A path colored all-0 has n-1 conflicts; one pass fixes them all. *)
+  let n = 10 in
+  let g = G.of_edges ~n (List.init (n - 1) (fun i -> (i, i + 1))) in
+  let refined = Mpl.Refine.local_search ~k:4 ~alpha:0.1 g (Array.make n 0) in
+  Alcotest.(check int) "path becomes conflict-free" 0
+    (C.evaluate g refined).C.conflicts
+
+let test_anneal_deterministic () =
+  let g = clique 6 in
+  let colors = Array.make 6 0 in
+  let a = Mpl.Refine.anneal ~seed:7 ~iterations:3000 ~k:4 ~alpha:0.1 g colors in
+  let b = Mpl.Refine.anneal ~seed:7 ~iterations:3000 ~k:4 ~alpha:0.1 g colors in
+  Alcotest.(check (array int)) "same seed, same result" a b
+
+(* --------------------------- balance ----------------------------- *)
+
+let test_usage_and_imbalance () =
+  Alcotest.(check (array int)) "usage" [| 2; 1; 0; 1 |]
+    (Mpl.Balance.usage ~k:4 [| 0; 0; 1; 3 |]);
+  Alcotest.(check (float 1e-9)) "balanced" 0.
+    (Mpl.Balance.imbalance ~k:4 [| 0; 1; 2; 3 |]);
+  Alcotest.(check (float 1e-9)) "empty" 0. (Mpl.Balance.imbalance ~k:4 [||])
+
+let prop_rebalance_preserves_cost =
+  QCheck.Test.make ~name:"rebalance never changes the cost" ~count:200
+    (QCheck.pair dg_arb QCheck.small_int)
+    (fun ((n, ce), seed) ->
+      let g = G.of_edges ~n ce in
+      let rng = Mpl_util.Rng.create seed in
+      let colors = Array.init n (fun _ -> Mpl_util.Rng.int rng 4) in
+      let balanced = Mpl.Balance.rebalance ~k:4 ~alpha:0.1 g colors in
+      let before = C.evaluate g colors and after = C.evaluate g balanced in
+      before.C.conflicts = after.C.conflicts
+      && before.C.stitches = after.C.stitches)
+
+let prop_rebalance_no_worse_imbalance =
+  QCheck.Test.make ~name:"rebalance never worsens the imbalance" ~count:200
+    (QCheck.pair dg_arb QCheck.small_int)
+    (fun ((n, ce), seed) ->
+      let g = G.of_edges ~n ce in
+      let rng = Mpl_util.Rng.create seed in
+      let colors = Array.init n (fun _ -> Mpl_util.Rng.int rng 4) in
+      let balanced = Mpl.Balance.rebalance ~k:4 ~alpha:0.1 g colors in
+      Mpl.Balance.imbalance ~k:4 balanced
+      <= Mpl.Balance.imbalance ~k:4 colors +. 1e-9)
+
+let test_rebalance_isolated_vertices () =
+  (* n isolated vertices all on mask 0 spread to perfect balance. *)
+  let g = G.of_edges ~n:8 [] in
+  let balanced = Mpl.Balance.rebalance ~k:4 ~alpha:0.1 g (Array.make 8 0) in
+  Alcotest.(check (float 1e-9)) "perfectly balanced" 0.
+    (Mpl.Balance.imbalance ~k:4 balanced)
+
+(* --------------------------- density ----------------------------- *)
+
+let density_layout () =
+  let contact x y =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:x ~y0:y ~x1:(x + 20) ~y1:(y + 20))
+  in
+  Mpl_layout.Layout.make Mpl_layout.Layout.default_tech
+    [ contact 0 0; contact 40 0; contact 0 40; contact 40 40 ]
+
+let test_density_totals () =
+  let layout = density_layout () in
+  let g = G.of_layout layout ~min_s:80 in
+  let r = Mpl.Decomposer.assign Mpl.Decomposer.Exact g in
+  let d =
+    Mpl.Density.compute ~min_s:80 ~window:100 ~k:4 layout g
+      r.Mpl.Decomposer.colors
+  in
+  (* Four 400 nm^2 contacts, one per mask (K4 forces all distinct). *)
+  Alcotest.(check (array int)) "each mask carries one contact"
+    [| 400; 400; 400; 400 |]
+    (Mpl.Density.mask_totals d)
+
+let test_density_window_clipping () =
+  (* A contact exactly astride two windows splits its area. *)
+  let wire =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:0 ~y0:0 ~x1:200 ~y1:20)
+  in
+  let layout = Mpl_layout.Layout.make Mpl_layout.Layout.default_tech [ wire ] in
+  let g = G.of_layout ~max_stitches_per_feature:0 layout ~min_s:80 in
+  let d =
+    Mpl.Density.compute ~max_stitches_per_feature:0 ~min_s:80 ~window:100
+      ~k:4 layout g [| 0 |]
+  in
+  Alcotest.(check (array int)) "area conserved across windows" [| 4000; 0; 0; 0 |]
+    (Mpl.Density.mask_totals d);
+  Alcotest.(check int) "first window gets half" 2000 d.Mpl.Density.area.(0).(0).(0)
+
+let prop_weighted_rebalance_preserves_cost =
+  QCheck.Test.make ~name:"weighted rebalance never changes the cost"
+    ~count:100
+    (QCheck.pair dg_arb QCheck.small_int)
+    (fun ((n, ce), seed) ->
+      let g = G.of_edges ~n ce in
+      let rng = Mpl_util.Rng.create seed in
+      let colors = Array.init n (fun _ -> Mpl_util.Rng.int rng 4) in
+      let weights = Array.init n (fun _ -> 1 + Mpl_util.Rng.int rng 100) in
+      let balanced =
+        Mpl.Balance.rebalance ~weights ~k:4 ~alpha:0.1 g colors
+      in
+      let before = C.evaluate g colors and after = C.evaluate g balanced in
+      before.C.conflicts = after.C.conflicts
+      && before.C.stitches = after.C.stitches)
+
+(* --------------------------- render ------------------------------ *)
+
+let test_svg_renders () =
+  let contact x y =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:x ~y0:y ~x1:(x + 20) ~y1:(y + 20))
+  in
+  let layout =
+    Mpl_layout.Layout.make Mpl_layout.Layout.default_tech
+      [ contact 0 0; contact 40 0; contact 0 40; contact 40 40 ]
+  in
+  let g = G.of_layout layout ~min_s:80 in
+  let report = Mpl.Decomposer.assign Mpl.Decomposer.Linear g in
+  let svg = Mpl.Render.to_svg layout g report.Mpl.Decomposer.colors in
+  Alcotest.(check bool) "svg header" true
+    (String.length svg > 0 && String.sub svg 0 4 = "<svg");
+  (* One background + four feature rects. *)
+  let count_sub needle s =
+    let n = ref 0 and i = ref 0 in
+    let len = String.length needle in
+    while !i + len <= String.length s do
+      if String.sub s !i len = needle then incr n;
+      incr i
+    done;
+    !n
+  in
+  Alcotest.(check int) "five rects" 5 (count_sub "<rect " svg);
+  (* The K4 is 4-colorable: no red conflict lines. *)
+  Alcotest.(check int) "no conflict markers" 0 (count_sub "#dd0000" svg)
+
+let test_svg_marks_conflicts () =
+  let contact x y =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:x ~y0:y ~x1:(x + 20) ~y1:(y + 20))
+  in
+  let layout =
+    Mpl_layout.Layout.make Mpl_layout.Layout.default_tech
+      [ contact 0 0; contact 40 0 ]
+  in
+  let g = G.of_layout layout ~min_s:80 in
+  (* Force both on the same mask. *)
+  let svg = Mpl.Render.to_svg layout g [| 1; 1 |] in
+  Alcotest.(check bool) "conflict marker present" true
+    (let rec find i =
+       i + 7 <= String.length svg
+       && (String.sub svg i 7 = "#dd0000" || find (i + 1))
+     in
+     find 0)
+
+let test_svg_mismatch_detected () =
+  let contact x y =
+    Mpl_geometry.Polygon.of_rect
+      (Mpl_geometry.Rect.make ~x0:x ~y0:y ~x1:(x + 20) ~y1:(y + 20))
+  in
+  let layout =
+    Mpl_layout.Layout.make Mpl_layout.Layout.default_tech [ contact 0 0 ]
+  in
+  let g = G.of_edges ~n:5 [] in
+  Alcotest.check_raises "node mismatch"
+    (Invalid_argument
+       "Render.to_svg: node count mismatch (wrong min_s or stitch limit?)")
+    (fun () -> ignore (Mpl.Render.to_svg layout g (Array.make 5 0)))
+
+let suite =
+  [
+    Alcotest.test_case "excess pairs" `Quick test_excess_pairs;
+    Alcotest.test_case "max clique known" `Quick test_max_clique_known;
+    QCheck_alcotest.to_alcotest prop_max_clique_is_clique;
+    QCheck_alcotest.to_alcotest prop_lower_bound_sound;
+    Alcotest.test_case "LB tight on cliques" `Quick
+      test_lower_bound_tight_on_cliques;
+    QCheck_alcotest.to_alcotest prop_local_search_never_worse;
+    QCheck_alcotest.to_alcotest prop_anneal_never_worse;
+    Alcotest.test_case "local search fixes path" `Quick
+      test_local_search_fixes_bad_coloring;
+    Alcotest.test_case "anneal deterministic" `Quick test_anneal_deterministic;
+    Alcotest.test_case "usage and imbalance" `Quick test_usage_and_imbalance;
+    QCheck_alcotest.to_alcotest prop_rebalance_preserves_cost;
+    QCheck_alcotest.to_alcotest prop_rebalance_no_worse_imbalance;
+    Alcotest.test_case "rebalance isolated" `Quick
+      test_rebalance_isolated_vertices;
+    Alcotest.test_case "density totals" `Quick test_density_totals;
+    Alcotest.test_case "density window clipping" `Quick
+      test_density_window_clipping;
+    QCheck_alcotest.to_alcotest prop_weighted_rebalance_preserves_cost;
+    Alcotest.test_case "svg renders" `Quick test_svg_renders;
+    Alcotest.test_case "svg marks conflicts" `Quick test_svg_marks_conflicts;
+    Alcotest.test_case "svg mismatch detected" `Quick
+      test_svg_mismatch_detected;
+  ]

@@ -1,0 +1,203 @@
+(* Unit and property tests for Mpl_geometry. *)
+
+module Rect = Mpl_geometry.Rect
+module Polygon = Mpl_geometry.Polygon
+module Grid_index = Mpl_geometry.Grid_index
+
+let rect_gen =
+  QCheck.Gen.(
+    map
+      (fun (x0, y0, w, h) ->
+        Rect.make ~x0 ~y0 ~x1:(x0 + 1 + w) ~y1:(y0 + 1 + h))
+      (quad (int_range (-500) 500) (int_range (-500) 500) (int_range 0 200)
+         (int_range 0 200)))
+
+let rect_arb = QCheck.make ~print:(Format.asprintf "%a" Rect.pp) rect_gen
+
+let test_make_rejects_degenerate () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Rect.make: degenerate rectangle (0,0)-(0,5)")
+    (fun () -> ignore (Rect.make ~x0:0 ~y0:0 ~x1:0 ~y1:5))
+
+let test_basic_ops () =
+  let r = Rect.make ~x0:0 ~y0:0 ~x1:10 ~y1:20 in
+  Alcotest.(check int) "width" 10 (Rect.width r);
+  Alcotest.(check int) "height" 20 (Rect.height r);
+  Alcotest.(check int) "area" 200 (Rect.area r);
+  let cx, cy = Rect.center r in
+  Alcotest.(check (float 1e-9)) "cx" 5. cx;
+  Alcotest.(check (float 1e-9)) "cy" 10. cy;
+  let t = Rect.translate r ~dx:5 ~dy:(-3) in
+  Alcotest.(check bool) "translate" true
+    (Rect.equal t (Rect.make ~x0:5 ~y0:(-3) ~x1:15 ~y1:17))
+
+let test_distance_cases () =
+  let a = Rect.make ~x0:0 ~y0:0 ~x1:10 ~y1:10 in
+  let b = Rect.make ~x0:20 ~y0:0 ~x1:30 ~y1:10 in
+  Alcotest.(check int) "horizontal gap" 100 (Rect.distance2 a b);
+  let c = Rect.make ~x0:20 ~y0:20 ~x1:30 ~y1:30 in
+  Alcotest.(check int) "diagonal gap" 200 (Rect.distance2 a c);
+  let d = Rect.make ~x0:5 ~y0:5 ~x1:15 ~y1:15 in
+  Alcotest.(check int) "overlap" 0 (Rect.distance2 a d)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"distance2 symmetric" ~count:500
+    (QCheck.pair rect_arb rect_arb)
+    (fun (a, b) -> Rect.distance2 a b = Rect.distance2 b a)
+
+let prop_distance_zero_iff_touches =
+  QCheck.Test.make ~name:"distance2 = 0 iff touching" ~count:500
+    (QCheck.pair rect_arb rect_arb)
+    (fun (a, b) -> Rect.distance2 a b = 0 = Rect.touches a b)
+
+let prop_inflate_monotone =
+  QCheck.Test.make ~name:"inflating shrinks distance" ~count:500
+    (QCheck.pair rect_arb rect_arb)
+    (fun (a, b) -> Rect.distance2 (Rect.inflate a 5) b <= Rect.distance2 a b)
+
+let prop_intersection_inside =
+  QCheck.Test.make ~name:"intersection inside both" ~count:500
+    (QCheck.pair rect_arb rect_arb)
+    (fun (a, b) ->
+      match Rect.intersection a b with
+      | None -> not (Rect.overlaps a b)
+      | Some i ->
+        Rect.overlaps a b
+        && Rect.area i <= min (Rect.area a) (Rect.area b)
+        && Rect.touches i a && Rect.touches i b)
+
+let prop_union_bbox_contains =
+  QCheck.Test.make ~name:"union bbox contains both" ~count:500
+    (QCheck.pair rect_arb rect_arb)
+    (fun (a, b) ->
+      let u = Rect.union_bbox a b in
+      Rect.distance2 u a = 0 && Rect.distance2 u b = 0
+      && Rect.area u >= max (Rect.area a) (Rect.area b))
+
+let test_polygon_connectivity () =
+  let a = Rect.make ~x0:0 ~y0:0 ~x1:10 ~y1:10 in
+  let b = Rect.make ~x0:10 ~y0:0 ~x1:20 ~y1:10 in
+  let far = Rect.make ~x0:100 ~y0:100 ~x1:110 ~y1:110 in
+  ignore (Polygon.of_rects [ a; b ]);
+  Alcotest.check_raises "disconnected"
+    (Invalid_argument "Polygon.of_rects: disconnected rectangle union")
+    (fun () -> ignore (Polygon.of_rects [ a; far ]));
+  Alcotest.check_raises "empty" (Invalid_argument "Polygon.of_rects: empty")
+    (fun () -> ignore (Polygon.of_rects []))
+
+let test_polygon_distance () =
+  let l =
+    Polygon.of_rects
+      [ Rect.make ~x0:0 ~y0:0 ~x1:10 ~y1:40; Rect.make ~x0:10 ~y0:0 ~x1:40 ~y1:10 ]
+  in
+  let dot = Polygon.of_rect (Rect.make ~x0:20 ~y0:20 ~x1:30 ~y1:30) in
+  (* Nearest sub-rectangle is the horizontal leg at distance 10 in y. *)
+  Alcotest.(check int) "L-shape distance" 100 (Polygon.distance2 l dot)
+
+(* The grid index must report every pair within the radius that a brute
+   force scan finds (it may report more; the consumer re-checks). *)
+let prop_grid_index_complete =
+  let gen =
+    QCheck.Gen.(list_size (int_range 2 40) rect_gen)
+  in
+  QCheck.Test.make ~name:"grid index finds all close pairs" ~count:100
+    (QCheck.make gen)
+    (fun rects ->
+      let radius = 50 in
+      let index = Grid_index.create ~cell:radius in
+      List.iteri (fun i r -> Grid_index.add index i r) rects;
+      let found = Hashtbl.create 16 in
+      Grid_index.iter_pairs index ~radius (fun i j ->
+          Hashtbl.replace found (min i j, max i j) ());
+      let arr = Array.of_list rects in
+      let ok = ref true in
+      Array.iteri
+        (fun i a ->
+          Array.iteri
+            (fun j b ->
+              if i < j && Rect.distance2 a b <= radius * radius then
+                if not (Hashtbl.mem found (i, j)) then ok := false)
+            arr)
+        arr;
+      !ok)
+
+let prop_grid_index_query =
+  QCheck.Test.make ~name:"query superset of in-radius items" ~count:100
+    (QCheck.pair rect_arb (QCheck.make QCheck.Gen.(list_size (int_range 1 30) rect_gen)))
+    (fun (probe, rects) ->
+      let radius = 60 in
+      let index = Grid_index.create ~cell:radius in
+      List.iteri (fun i r -> Grid_index.add index i r) rects;
+      let hits = Grid_index.query index probe ~radius in
+      List.for_all
+        (fun (i, r) ->
+          Rect.distance2 probe r > radius * radius || List.mem i hits)
+        (List.mapi (fun i r -> (i, r)) rects))
+
+module Interval = Mpl_geometry.Interval
+
+let test_interval_merge () =
+  Alcotest.(check (list (pair int int))) "merge overlapping"
+    [ (0, 5); (7, 10) ]
+    (Interval.merge [ (3, 5); (0, 2); (1, 4); (7, 9); (8, 10) ]);
+  Alcotest.(check (list (pair int int))) "touching coalesce" [ (0, 4) ]
+    (Interval.merge [ (0, 2); (2, 4) ]);
+  Alcotest.(check (list (pair int int))) "drops empties" [ (1, 2) ]
+    (Interval.merge [ (5, 3); (1, 2) ])
+
+let test_interval_complement () =
+  Alcotest.(check (list (pair int int))) "two gaps"
+    [ (2, 3); (5, 8) ]
+    (Interval.complement (0, 8) [ (0, 2); (3, 5) ]);
+  Alcotest.(check (list (pair int int))) "fully covered" []
+    (Interval.complement (0, 8) [ (-1, 9) ]);
+  Alcotest.(check (list (pair int int))) "uncovered" [ (0, 8) ]
+    (Interval.complement (0, 8) [])
+
+let interval_gen =
+  QCheck.Gen.(
+    list_size (int_range 0 8)
+      (map
+         (fun (a, b) -> (min a b, max a b))
+         (pair (int_range (-50) 50) (int_range (-50) 50))))
+
+let prop_interval_merge_complement =
+  QCheck.Test.make ~name:"merge/complement partition the span" ~count:300
+    (QCheck.make interval_gen)
+    (fun ivs ->
+      let span = (-60, 60) in
+      let covered = Interval.merge ivs in
+      let free = Interval.complement span covered in
+      (* Every integer point of the span is in exactly one side. *)
+      let in_any list x = List.exists (fun (lo, hi) -> lo <= x && x <= hi) list in
+      let ok = ref true in
+      for x = -59 to 59 do
+        (* Interior points: boundaries may belong to both sides. *)
+        let covered_here = in_any covered x in
+        let free_here =
+          List.exists (fun (lo, hi) -> lo < x && x < hi) free
+        in
+        if covered_here && free_here then ok := false;
+        if (not covered_here) && not (in_any free x) then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "interval merge" `Quick test_interval_merge;
+    Alcotest.test_case "interval complement" `Quick test_interval_complement;
+    QCheck_alcotest.to_alcotest prop_interval_merge_complement;
+    Alcotest.test_case "rect rejects degenerate" `Quick
+      test_make_rejects_degenerate;
+    Alcotest.test_case "rect basic ops" `Quick test_basic_ops;
+    Alcotest.test_case "rect distance cases" `Quick test_distance_cases;
+    QCheck_alcotest.to_alcotest prop_distance_symmetric;
+    QCheck_alcotest.to_alcotest prop_distance_zero_iff_touches;
+    QCheck_alcotest.to_alcotest prop_inflate_monotone;
+    QCheck_alcotest.to_alcotest prop_intersection_inside;
+    QCheck_alcotest.to_alcotest prop_union_bbox_contains;
+    Alcotest.test_case "polygon connectivity" `Quick test_polygon_connectivity;
+    Alcotest.test_case "polygon distance" `Quick test_polygon_distance;
+    QCheck_alcotest.to_alcotest prop_grid_index_complete;
+    QCheck_alcotest.to_alcotest prop_grid_index_query;
+  ]

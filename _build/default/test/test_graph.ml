@@ -1,0 +1,273 @@
+(* Unit and property tests for Mpl_graph, validated against brute-force
+   oracles on random graphs. *)
+
+module Ugraph = Mpl_graph.Ugraph
+module Dsu = Mpl_graph.Dsu
+module Connectivity = Mpl_graph.Connectivity
+module Biconnected = Mpl_graph.Biconnected
+module Maxflow = Mpl_graph.Maxflow
+module Gomory_hu = Mpl_graph.Gomory_hu
+module Oracle = Mpl_graph.Oracle
+
+(* Random graph generator: n in [2,10], each edge present with ~p. *)
+let graph_gen =
+  QCheck.Gen.(
+    int_range 2 10 >>= fun n ->
+    int_range 0 100 >>= fun p ->
+    let edges = ref [] in
+    let rec collect i j k =
+      if i >= n then return (n, !edges, k)
+      else if j >= n then collect (i + 1) (i + 2) k
+      else
+        int_range 0 99 >>= fun r ->
+        if r < p then begin
+          edges := (i, j) :: !edges;
+          collect i (j + 1) (k + 1)
+        end
+        else collect i (j + 1) k
+    in
+    collect 0 1 0 >|= fun (n, edges, _) -> (n, edges))
+
+let graph_arb =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges)))
+    graph_gen
+
+let build (n, edges) = Ugraph.of_edges n edges
+
+let test_dsu () =
+  let d = Dsu.create 5 in
+  Alcotest.(check int) "initial count" 5 (Dsu.count d);
+  Alcotest.(check bool) "union 0 1" true (Dsu.union d 0 1);
+  Alcotest.(check bool) "union again" false (Dsu.union d 1 0);
+  Alcotest.(check bool) "same" true (Dsu.same d 0 1);
+  Alcotest.(check bool) "not same" false (Dsu.same d 0 2);
+  ignore (Dsu.union d 2 3);
+  ignore (Dsu.union d 0 3);
+  Alcotest.(check int) "count after unions" 2 (Dsu.count d);
+  let sizes =
+    Array.to_list (Dsu.groups d) |> List.map List.length |> List.sort compare
+  in
+  Alcotest.(check (list int)) "group sizes" [ 1; 4 ] sizes
+
+let test_ugraph_basics () =
+  let g = Ugraph.create 4 in
+  Ugraph.add_edge g 0 1;
+  Ugraph.add_edge g 1 0;
+  (* duplicate collapses *)
+  Alcotest.(check int) "edge count" 1 (Ugraph.edge_count g);
+  Alcotest.(check bool) "mem" true (Ugraph.mem_edge g 1 0);
+  Alcotest.(check int) "degree" 1 (Ugraph.degree g 0);
+  Alcotest.check_raises "self loop"
+    (Invalid_argument "Ugraph.add_edge: self-loop") (fun () ->
+      Ugraph.add_edge g 2 2)
+
+let test_induced () =
+  let g = Ugraph.of_edges 5 [ (0, 1); (1, 2); (2, 3); (3, 4); (0, 4) ] in
+  let sub, back = Ugraph.induced g [| 0; 1; 4 |] in
+  Alcotest.(check int) "sub n" 3 (Ugraph.n sub);
+  Alcotest.(check int) "sub edges" 2 (Ugraph.edge_count sub);
+  Alcotest.(check (array int)) "back map" [| 0; 1; 4 |] back
+
+let prop_components_partition =
+  QCheck.Test.make ~name:"components partition the vertex set" ~count:300
+    graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let comps = Connectivity.components g in
+      let all = Array.concat (Array.to_list comps) in
+      Array.sort compare all;
+      all = Array.init n Fun.id)
+
+let prop_components_closed =
+  QCheck.Test.make ~name:"no edge crosses components" ~count:300 graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let lbl, _ = Connectivity.labels g in
+      List.for_all (fun (u, v) -> lbl.(u) = lbl.(v)) edges)
+
+let prop_articulation_matches_oracle =
+  QCheck.Test.make ~name:"articulation points match brute force" ~count:300
+    graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let fast = Biconnected.articulation_points g in
+      let ok = ref true in
+      for v = 0 to n - 1 do
+        if fast.(v) <> Oracle.is_articulation g v then ok := false
+      done;
+      !ok)
+
+let prop_blocks_cover_edges =
+  QCheck.Test.make ~name:"biconnected blocks cover all edges" ~count:300
+    graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let blocks = Biconnected.blocks g in
+      List.for_all
+        (fun (u, v) ->
+          List.exists
+            (fun b ->
+              let has x = Array.exists (( = ) x) b in
+              has u && has v)
+            blocks)
+        edges)
+
+let prop_maxflow_matches_oracle =
+  QCheck.Test.make ~name:"Dinic max-flow = brute-force min cut" ~count:200
+    graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let net = Maxflow.of_ugraph g in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let t = (s + 1) mod n in
+        if s <> t then begin
+          let flow = Maxflow.max_flow net ~s ~t:t in
+          if flow <> Oracle.min_st_cut g ~s ~t then ok := false
+        end
+      done;
+      !ok)
+
+let prop_min_cut_side_valid =
+  QCheck.Test.make ~name:"residual cut side has cut-value crossing edges"
+    ~count:200 graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      n < 2
+      ||
+      let net = Maxflow.of_ugraph g in
+      let flow = Maxflow.max_flow net ~s:0 ~t:(n - 1) in
+      let side = Maxflow.min_cut_side net ~s:0 in
+      let in_side = Array.make n false in
+      Array.iter (fun v -> in_side.(v) <- true) side;
+      let crossing =
+        List.length (List.filter (fun (u, v) -> in_side.(u) <> in_side.(v)) edges)
+      in
+      in_side.(0) && (not in_side.(n - 1)) && crossing = flow)
+
+(* The central Gomory-Hu property: tree min-edge on the path = min cut. *)
+let connected_graph_gen =
+  QCheck.Gen.(
+    graph_gen >|= fun (n, edges) ->
+    (* Chain all vertices so the graph is connected. *)
+    let chain = List.init (n - 1) (fun i -> (i, i + 1)) in
+    (n, List.sort_uniq compare (chain @ edges)))
+
+let connected_graph_arb =
+  QCheck.make
+    ~print:(fun (n, edges) ->
+      Printf.sprintf "n=%d edges=[%s]" n
+        (String.concat ";"
+           (List.map (fun (u, v) -> Printf.sprintf "(%d,%d)" u v) edges)))
+    connected_graph_gen
+
+let prop_gomory_hu_all_pairs =
+  QCheck.Test.make ~name:"GH-tree gives all-pairs min cut values" ~count:150
+    connected_graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let ght = Gomory_hu.build g in
+      let net = Maxflow.of_ugraph g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let tree = Gomory_hu.min_cut_value ght u v in
+          let direct = Maxflow.max_flow net ~s:u ~t:v in
+          if tree <> direct then ok := false
+        done
+      done;
+      !ok)
+
+let prop_gh_components_separated_by_small_cut =
+  QCheck.Test.make
+    ~name:"GH groups: inside pairs have cut >= w, cross pairs < w" ~count:100
+    connected_graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let ght = Gomory_hu.build g in
+      let w = 3 in
+      let groups = Gomory_hu.components_with_min_weight ght w in
+      let group_of = Array.make n (-1) in
+      Array.iteri
+        (fun gi vs -> Array.iter (fun v -> group_of.(v) <- gi) vs)
+        groups;
+      let net = Maxflow.of_ugraph g in
+      let ok = ref true in
+      for u = 0 to n - 1 do
+        for v = u + 1 to n - 1 do
+          let cut = Maxflow.max_flow net ~s:u ~t:v in
+          if group_of.(u) = group_of.(v) then begin
+            if cut < w then ok := false
+          end
+          else if cut >= w then ok := false
+        done
+      done;
+      !ok)
+
+let test_known_cut () =
+  (* Two triangles joined by one bridge: min cut across = 1. *)
+  let g =
+    Ugraph.of_edges 6 [ (0, 1); (1, 2); (0, 2); (3, 4); (4, 5); (3, 5); (2, 3) ]
+  in
+  let net = Maxflow.of_ugraph g in
+  Alcotest.(check int) "bridge cut" 1 (Maxflow.max_flow net ~s:0 ~t:5);
+  Alcotest.(check int) "triangle cut" 2 (Maxflow.max_flow net ~s:0 ~t:1);
+  let ght = Gomory_hu.build g in
+  Alcotest.(check int) "tree bridge value" 1 (Gomory_hu.min_cut_value ght 0 5);
+  let groups = Gomory_hu.components_with_min_weight ght 2 in
+  Alcotest.(check int) "two groups at w=2" 2 (Array.length groups)
+
+let test_gomory_hu_errors () =
+  let g = Ugraph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let ght = Gomory_hu.build g in
+  Alcotest.check_raises "u = v"
+    (Invalid_argument "Gomory_hu.min_cut_value: u = v") (fun () ->
+      ignore (Gomory_hu.min_cut_value ght 1 1));
+  Alcotest.(check int) "n" 3 (Gomory_hu.n ght);
+  Alcotest.(check int) "tree edges" 2 (Array.length (Gomory_hu.tree_edges ght));
+  (* Removing edges below weight 1 removes nothing. *)
+  Alcotest.(check int) "w=1 keeps everything" 1
+    (Array.length (Gomory_hu.components_with_min_weight ght 1));
+  (* Removing everything below weight 99 isolates all vertices. *)
+  Alcotest.(check int) "w=99 isolates" 3
+    (Array.length (Gomory_hu.components_with_min_weight ght 99))
+
+let test_maxflow_reset_between_queries () =
+  let g = Ugraph.of_edges 4 [ (0, 1); (1, 2); (2, 3); (0, 2); (1, 3) ] in
+  let net = Maxflow.of_ugraph g in
+  let a1 = Maxflow.max_flow net ~s:0 ~t:3 in
+  let a2 = Maxflow.max_flow net ~s:0 ~t:3 in
+  Alcotest.(check int) "repeatable" a1 a2;
+  let b = Maxflow.max_flow net ~s:1 ~t:2 in
+  let a3 = Maxflow.max_flow net ~s:0 ~t:3 in
+  Alcotest.(check int) "interleaved queries repeatable" a1 a3;
+  Alcotest.(check bool) "other pair sane" true (b >= 1)
+
+let test_weighted_maxflow () =
+  let net = Maxflow.create 3 in
+  Maxflow.add_edge net 0 1 ~cap:5;
+  Maxflow.add_edge net 1 2 ~cap:3;
+  Alcotest.(check int) "bottleneck" 3 (Maxflow.max_flow net ~s:0 ~t:2)
+
+let suite =
+  [
+    Alcotest.test_case "gomory-hu edge cases" `Quick test_gomory_hu_errors;
+    Alcotest.test_case "maxflow reset" `Quick test_maxflow_reset_between_queries;
+    Alcotest.test_case "weighted maxflow" `Quick test_weighted_maxflow;
+    Alcotest.test_case "dsu" `Quick test_dsu;
+    Alcotest.test_case "ugraph basics" `Quick test_ugraph_basics;
+    Alcotest.test_case "induced subgraph" `Quick test_induced;
+    QCheck_alcotest.to_alcotest prop_components_partition;
+    QCheck_alcotest.to_alcotest prop_components_closed;
+    QCheck_alcotest.to_alcotest prop_articulation_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_blocks_cover_edges;
+    QCheck_alcotest.to_alcotest prop_maxflow_matches_oracle;
+    QCheck_alcotest.to_alcotest prop_min_cut_side_valid;
+    QCheck_alcotest.to_alcotest prop_gomory_hu_all_pairs;
+    QCheck_alcotest.to_alcotest prop_gh_components_separated_by_small_cut;
+    Alcotest.test_case "known cuts" `Quick test_known_cut;
+  ]

@@ -1,0 +1,211 @@
+(* Tests for the simplex LP solver and the branch-and-bound MILP solver,
+   cross-checked against hand-solved programs and brute enumeration. *)
+
+module Lp = Mpl_ilp.Lp
+module Milp = Mpl_ilp.Milp
+
+let check_opt name expected_obj result =
+  match result with
+  | Lp.Optimal (obj, _) ->
+    Alcotest.(check (float 1e-6)) name expected_obj obj
+  | Lp.Infeasible -> Alcotest.fail (name ^ ": unexpectedly infeasible")
+  | Lp.Unbounded -> Alcotest.fail (name ^ ": unexpectedly unbounded")
+
+let test_lp_basic () =
+  (* min -x - y s.t. x + y <= 4, x <= 3, y <= 3, x,y >= 0: opt -4. *)
+  let lp =
+    {
+      Lp.nvars = 2;
+      objective = [| -1.; -1. |];
+      constraints =
+        [
+          { Lp.coeffs = [ (0, 1.); (1, 1.) ]; rel = Lp.Le; rhs = 4. };
+          { Lp.coeffs = [ (0, 1.) ]; rel = Lp.Le; rhs = 3. };
+          { Lp.coeffs = [ (1, 1.) ]; rel = Lp.Le; rhs = 3. };
+        ];
+    }
+  in
+  check_opt "basic LP" (-4.) (Lp.solve lp)
+
+let test_lp_equality_and_ge () =
+  (* min x + 2y s.t. x + y = 3, x >= 1: opt at (3,0) = 3. *)
+  let lp =
+    {
+      Lp.nvars = 2;
+      objective = [| 1.; 2. |];
+      constraints =
+        [
+          { Lp.coeffs = [ (0, 1.); (1, 1.) ]; rel = Lp.Eq; rhs = 3. };
+          { Lp.coeffs = [ (0, 1.) ]; rel = Lp.Ge; rhs = 1. };
+        ];
+    }
+  in
+  (match Lp.solve lp with
+  | Lp.Optimal (obj, x) ->
+    Alcotest.(check (float 1e-6)) "objective" 3. obj;
+    Alcotest.(check (float 1e-6)) "x" 3. x.(0);
+    Alcotest.(check (float 1e-6)) "y" 0. x.(1)
+  | Lp.Infeasible | Lp.Unbounded -> Alcotest.fail "should be optimal")
+
+let test_lp_infeasible () =
+  let lp =
+    {
+      Lp.nvars = 1;
+      objective = [| 1. |];
+      constraints =
+        [
+          { Lp.coeffs = [ (0, 1.) ]; rel = Lp.Le; rhs = 1. };
+          { Lp.coeffs = [ (0, 1.) ]; rel = Lp.Ge; rhs = 2. };
+        ];
+    }
+  in
+  Alcotest.(check bool) "infeasible" true (Lp.solve lp = Lp.Infeasible)
+
+let test_lp_unbounded () =
+  let lp =
+    {
+      Lp.nvars = 2;
+      objective = [| -1.; 0. |];
+      constraints = [ { Lp.coeffs = [ (1, 1.) ]; rel = Lp.Le; rhs = 1. } ];
+    }
+  in
+  Alcotest.(check bool) "unbounded" true (Lp.solve lp = Lp.Unbounded)
+
+let test_lp_negative_rhs () =
+  (* min x s.t. -x <= -2  (i.e. x >= 2): opt 2. *)
+  let lp =
+    {
+      Lp.nvars = 1;
+      objective = [| 1. |];
+      constraints = [ { Lp.coeffs = [ (0, -1.) ]; rel = Lp.Le; rhs = -2. } ];
+    }
+  in
+  check_opt "negative rhs" 2. (Lp.solve lp)
+
+let test_lp_degenerate () =
+  (* Redundant constraints should not break phase 1. *)
+  let lp =
+    {
+      Lp.nvars = 2;
+      objective = [| 1.; 1. |];
+      constraints =
+        [
+          { Lp.coeffs = [ (0, 1.); (1, 1.) ]; rel = Lp.Eq; rhs = 2. };
+          { Lp.coeffs = [ (0, 2.); (1, 2.) ]; rel = Lp.Eq; rhs = 4. };
+          { Lp.coeffs = [ (0, 1.) ]; rel = Lp.Ge; rhs = 0. };
+        ];
+    }
+  in
+  check_opt "degenerate" 2. (Lp.solve lp)
+
+(* Random 0/1 knapsack-style MILPs checked against enumeration:
+   min c.x  s.t.  a.x >= b, x binary. *)
+let milp_gen =
+  QCheck.Gen.(
+    int_range 2 8 >>= fun n ->
+    list_repeat n (int_range 1 9) >>= fun cost ->
+    list_repeat n (int_range 1 9) >>= fun weight ->
+    int_range 1 20 >|= fun b -> (n, cost, weight, b))
+
+let milp_arb =
+  QCheck.make
+    ~print:(fun (n, c, w, b) ->
+      Printf.sprintf "n=%d c=[%s] w=[%s] b=%d" n
+        (String.concat ";" (List.map string_of_int c))
+        (String.concat ";" (List.map string_of_int w))
+        b)
+    milp_gen
+
+let brute_min (n, cost, weight, b) =
+  let c = Array.of_list cost and w = Array.of_list weight in
+  let best = ref None in
+  for mask = 0 to (1 lsl n) - 1 do
+    let total_w = ref 0 and total_c = ref 0 in
+    for i = 0 to n - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        total_w := !total_w + w.(i);
+        total_c := !total_c + c.(i)
+      end
+    done;
+    if !total_w >= b then
+      match !best with
+      | Some bc when bc <= !total_c -> ()
+      | Some _ | None -> best := Some !total_c
+  done;
+  !best
+
+let prop_milp_matches_enumeration =
+  QCheck.Test.make ~name:"MILP = brute-force covering optimum" ~count:150
+    milp_arb
+    (fun ((n, cost, weight, b) as instance) ->
+      let lp =
+        {
+          Lp.nvars = n;
+          objective = Array.of_list (List.map float_of_int cost);
+          constraints =
+            [
+              {
+                Lp.coeffs = List.mapi (fun i w -> (i, float_of_int w)) weight;
+                rel = Lp.Ge;
+                rhs = float_of_int b;
+              };
+              (* x_i <= 1 *)
+            ]
+            @ List.init n (fun i ->
+                  { Lp.coeffs = [ (i, 1.) ]; rel = Lp.Le; rhs = 1. });
+        }
+      in
+      let model = { Milp.lp; binary = Array.make n true } in
+      match (Milp.solve model, brute_min instance) with
+      | Milp.Optimal (obj, _), Some best ->
+        abs_float (obj -. float_of_int best) < 1e-6
+      | Milp.Infeasible, None -> true
+      | Milp.Optimal _, None | Milp.Infeasible, Some _ -> false
+      | Milp.Timeout _, _ -> false)
+
+let test_milp_timeout () =
+  (* A 30-binary model with a conflicting objective and a microscopic
+     budget must report Timeout, not an answer. *)
+  let n = 30 in
+  let lp =
+    {
+      Lp.nvars = n;
+      objective = Array.make n (-1.);
+      constraints =
+        List.init n (fun i -> { Lp.coeffs = [ (i, 1.) ]; rel = Lp.Le; rhs = 0.5 });
+    }
+  in
+  let model = { Milp.lp; binary = Array.make n true } in
+  let budget = Mpl_util.Timer.budget 1e-9 in
+  Unix.sleepf 0.002;
+  match Milp.solve ~budget model with
+  | Milp.Timeout _ -> ()
+  | Milp.Optimal _ | Milp.Infeasible -> Alcotest.fail "expected timeout"
+
+let test_ilp_model_shape () =
+  (* The one-hot QPLD encoding: n*k color binaries + one z per conflict
+     edge + one s per stitch edge; n one-hot rows + k rows per conflict
+     edge + 2k rows per stitch edge. *)
+  let g =
+    Mpl.Decomp_graph.of_edges ~stitch_edges:[ (2, 3) ] ~n:4 [ (0, 1); (1, 2) ]
+  in
+  let model = Mpl.Ilp_color.build_model ~k:4 ~alpha:0.1 g in
+  Alcotest.(check int) "variables" ((4 * 4) + 2 + 1) model.Milp.lp.Lp.nvars;
+  Alcotest.(check int) "constraints"
+    (4 + (4 * 2) + (2 * 4 * 1))
+    (List.length model.Milp.lp.Lp.constraints);
+  Alcotest.(check int) "binaries" 16
+    (Array.to_list model.Milp.binary |> List.filter Fun.id |> List.length)
+
+let suite =
+  [
+    Alcotest.test_case "ilp model shape" `Quick test_ilp_model_shape;
+    Alcotest.test_case "lp basic" `Quick test_lp_basic;
+    Alcotest.test_case "lp eq and ge" `Quick test_lp_equality_and_ge;
+    Alcotest.test_case "lp infeasible" `Quick test_lp_infeasible;
+    Alcotest.test_case "lp unbounded" `Quick test_lp_unbounded;
+    Alcotest.test_case "lp negative rhs" `Quick test_lp_negative_rhs;
+    Alcotest.test_case "lp degenerate" `Quick test_lp_degenerate;
+    QCheck_alcotest.to_alcotest prop_milp_matches_enumeration;
+    Alcotest.test_case "milp timeout" `Quick test_milp_timeout;
+  ]

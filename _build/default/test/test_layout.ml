@@ -1,0 +1,371 @@
+(* Tests for the layout substrate: stitch generation, text I/O, and the
+   benchmark generator. *)
+
+module Layout = Mpl_layout.Layout
+module Stitch = Mpl_layout.Stitch
+module Layout_io = Mpl_layout.Layout_io
+module Benchgen = Mpl_layout.Benchgen
+module Rect = Mpl_geometry.Rect
+module Polygon = Mpl_geometry.Polygon
+
+let contact x y =
+  Polygon.of_rect (Rect.make ~x0:x ~y0:y ~x1:(x + 20) ~y1:(y + 20))
+
+let wire x0 x1 y =
+  Polygon.of_rect (Rect.make ~x0 ~y0:y ~x1 ~y1:(y + 20))
+
+let test_tech_distances () =
+  let t = Layout.default_tech in
+  Alcotest.(check int) "quadruple min_s" 80 (Layout.quadruple_min_s t);
+  Alcotest.(check int) "pentuple min_s" 110 (Layout.pentuple_min_s t);
+  Alcotest.(check int) "kclique min_s" 60 (Layout.kclique_min_s t)
+
+let test_stitch_none_for_contacts () =
+  let layout = Layout.make Layout.default_tech [ contact 0 0; contact 100 0 ] in
+  let s = Stitch.split layout ~min_s:80 in
+  Alcotest.(check int) "one node per contact" 2 (Array.length s.Stitch.nodes);
+  Alcotest.(check int) "no stitch edges" 0 (List.length s.Stitch.stitch_edges)
+
+let test_stitch_splits_wire_over_gap () =
+  (* A wire over two contact clusters separated by a gap: the free span
+     over the gap yields a stitch candidate. *)
+  let layout =
+    Layout.make Layout.default_tech
+      [ contact 0 0; contact 200 0; wire (-40) 260 60 ]
+  in
+  let s = Stitch.split layout ~min_s:80 in
+  let wire_nodes =
+    Array.to_list s.Stitch.nodes
+    |> List.filter (fun n -> n.Stitch.feature = 2)
+  in
+  Alcotest.(check bool) "wire was split" true (List.length wire_nodes >= 2);
+  Alcotest.(check int) "stitch edges chain the segments"
+    (List.length wire_nodes - 1)
+    (List.length s.Stitch.stitch_edges);
+  (* Segments tile the original wire exactly. *)
+  let total =
+    List.fold_left
+      (fun acc n -> acc + Mpl_geometry.Polygon.area n.Stitch.shape)
+      0 wire_nodes
+  in
+  Alcotest.(check int) "segments tile the wire" (300 * 20) total
+
+let test_stitch_limit () =
+  let layout =
+    Layout.make Layout.default_tech
+      [ contact 0 0; contact 200 0; contact 400 0; contact 600 0;
+        wire (-40) 660 60 ]
+  in
+  let s = Stitch.split ~max_stitches_per_feature:1 layout ~min_s:80 in
+  let wire_nodes =
+    Array.to_list s.Stitch.nodes
+    |> List.filter (fun n -> n.Stitch.feature = 4)
+  in
+  Alcotest.(check int) "at most limit+1 segments" 2 (List.length wire_nodes);
+  let s0 = Stitch.split ~max_stitches_per_feature:0 layout ~min_s:80 in
+  Alcotest.(check int) "limit 0 disables splitting" 5
+    (Array.length s0.Stitch.nodes)
+
+let test_io_roundtrip () =
+  let layout =
+    Layout.make ~name:"roundtrip" Layout.default_tech
+      [
+        contact 0 0;
+        Polygon.of_rects
+          [ Rect.make ~x0:0 ~y0:100 ~x1:20 ~y1:160;
+            Rect.make ~x0:20 ~y0:100 ~x1:80 ~y1:120 ];
+      ]
+  in
+  let s = Layout_io.to_string layout in
+  let back = Layout_io.of_string s in
+  Alcotest.(check string) "name" "roundtrip" back.Layout.name;
+  Alcotest.(check int) "features" 2 (Layout.feature_count back);
+  Alcotest.(check string) "stable serialization" s (Layout_io.to_string back)
+
+let test_io_errors () =
+  let check_fails name input =
+    match Layout_io.of_string input with
+    | exception Layout_io.Parse_error _ -> ()
+    | _ -> Alcotest.fail (name ^ ": expected parse error")
+  in
+  check_fails "garbage" "WHAT 1 2\n";
+  check_fails "R outside feature" "R 0 0 1 1\n";
+  check_fails "unterminated" "FEATURE\nR 0 0 1 1\n";
+  check_fails "empty feature" "FEATURE\nEND\n";
+  check_fails "degenerate rect" "FEATURE\nR 0 0 0 5\nEND\n"
+
+let test_io_comments_and_blanks () =
+  let layout =
+    Layout_io.of_string "# a comment\n\nNAME x\nTECH 20 20 20\nFEATURE\nR 0 0 5 5\nEND\n"
+  in
+  Alcotest.(check int) "one feature" 1 (Layout.feature_count layout)
+
+let test_benchgen_deterministic () =
+  let a = Benchgen.circuit "C432" and b = Benchgen.circuit "C432" in
+  Alcotest.(check string) "identical layouts"
+    (Layout_io.to_string a) (Layout_io.to_string b)
+
+let test_benchgen_circuits_exist () =
+  List.iter
+    (fun name ->
+      let spec = Benchgen.spec_of_circuit name in
+      Alcotest.(check string) "name matches" name spec.Benchgen.name)
+    Benchgen.table1_circuits;
+  Alcotest.(check bool) "table2 subset of table1" true
+    (List.for_all
+       (fun c -> List.mem c Benchgen.table1_circuits)
+       Benchgen.table2_circuits);
+  Alcotest.(check bool) "unknown raises" true
+    (match Benchgen.spec_of_circuit "nope" with
+    | exception Not_found -> true
+    | _ -> false)
+
+let test_benchgen_sizes_monotone () =
+  let count name = Layout.feature_count (Benchgen.circuit name) in
+  Alcotest.(check bool) "S-series bigger than C-series" true
+    (count "S38417" > 3 * count "C7552");
+  Alcotest.(check bool) "C432 smallest-ish" true (count "C432" < count "C7552")
+
+let test_injected_conflicts_exact () =
+  (* A spec with ONLY native clusters must cost exactly its textbook
+     conflict count under QPL. *)
+  let spec =
+    {
+      (Benchgen.spec_of_circuit "C432") with
+      Benchgen.rows = 0;
+      cells_per_row = 0;
+      native_five = 3;
+      native_six = 2;
+      hard_blocks = 0;
+      stitch_gadgets = 0;
+      penta_six = 0;
+      name = "injected";
+    }
+  in
+  let layout = Benchgen.generate spec in
+  let g = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+  let r = Mpl.Decomposer.assign Mpl.Decomposer.Exact g in
+  Alcotest.(check int) "3 fives + 2 sixes = 7 conflicts" 7
+    r.Mpl.Decomposer.cost.Mpl.Coloring.conflicts;
+  (* And under pentuple: fives free, sixes cost 1 each. *)
+  let g5 = Mpl.Decomp_graph.of_layout layout ~min_s:110 in
+  let params = { Mpl.Decomposer.default_params with Mpl.Decomposer.k = 5 } in
+  let r5 = Mpl.Decomposer.assign ~params Mpl.Decomposer.Exact g5 in
+  Alcotest.(check int) "pentuple: 2 conflicts" 2
+    r5.Mpl.Decomposer.cost.Mpl.Coloring.conflicts
+
+let test_stitch_gadget_costs_one_stitch () =
+  let spec =
+    {
+      (Benchgen.spec_of_circuit "C432") with
+      Benchgen.rows = 0;
+      cells_per_row = 0;
+      native_five = 0;
+      native_six = 0;
+      hard_blocks = 0;
+      stitch_gadgets = 5;
+      penta_six = 0;
+      name = "gadgets";
+    }
+  in
+  let layout = Benchgen.generate spec in
+  let g = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+  let r = Mpl.Decomposer.assign Mpl.Decomposer.Exact g in
+  Alcotest.(check int) "no conflicts" 0 r.Mpl.Decomposer.cost.Mpl.Coloring.conflicts;
+  Alcotest.(check int) "one stitch per gadget" 5
+    r.Mpl.Decomposer.cost.Mpl.Coloring.stitches
+
+let test_penta_six_cluster () =
+  let spec =
+    {
+      (Benchgen.spec_of_circuit "C432") with
+      Benchgen.rows = 0;
+      cells_per_row = 0;
+      native_five = 0;
+      native_six = 0;
+      hard_blocks = 0;
+      stitch_gadgets = 0;
+      penta_six = 4;
+      name = "penta";
+    }
+  in
+  let layout = Benchgen.generate spec in
+  let g4 = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+  let r4 = Mpl.Decomposer.assign Mpl.Decomposer.Exact g4 in
+  Alcotest.(check int) "QPL clean" 0 r4.Mpl.Decomposer.cost.Mpl.Coloring.conflicts;
+  let g5 = Mpl.Decomp_graph.of_layout layout ~min_s:110 in
+  let params = { Mpl.Decomposer.default_params with Mpl.Decomposer.k = 5 } in
+  let r5 = Mpl.Decomposer.assign ~params Mpl.Decomposer.Exact g5 in
+  Alcotest.(check int) "one pentuple conflict each" 4
+    r5.Mpl.Decomposer.cost.Mpl.Coloring.conflicts
+
+let test_hard_block_structure () =
+  let spec =
+    {
+      (Benchgen.spec_of_circuit "C432") with
+      Benchgen.rows = 0;
+      cells_per_row = 0;
+      native_five = 0;
+      native_six = 0;
+      hard_blocks = 1;
+      stitch_gadgets = 0;
+      penta_six = 0;
+      name = "hard";
+    }
+  in
+  let layout = Benchgen.generate spec in
+  let g = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+  Alcotest.(check int) "51 contacts" 51 g.Mpl.Decomp_graph.n;
+  let stats = Mpl.Division.fresh_stats () in
+  let solver piece =
+    (Mpl.Exact_color.solve ~k:4 ~alpha:0.1 piece).Mpl.Bnb.colors
+  in
+  let colors = Mpl.Division.assign ~stats ~k:4 ~alpha:0.1 ~solver g in
+  Alcotest.(check int) "one QPL conflict" 1
+    (Mpl.Coloring.evaluate g colors).Mpl.Coloring.conflicts;
+  (* The peeled interior must survive division as one large piece —
+     that is what makes the block hard for exact solvers. *)
+  Alcotest.(check bool) "large piece survives division" true
+    (stats.Mpl.Division.largest_piece >= 40)
+
+(* End-to-end: random layouts through geometry -> graph -> division ->
+   every algorithm; results are legal and heuristics never beat exact. *)
+let random_layout_gen =
+  QCheck.Gen.(
+    int_range 0 100000 >|= fun seed ->
+    let rng = Mpl_util.Rng.create seed in
+    let feats = ref [] in
+    let placed = ref [] in
+    let n_contacts = 5 + Mpl_util.Rng.int rng 20 in
+    let attempts = ref 0 in
+    while List.length !placed < n_contacts && !attempts < 500 do
+      incr attempts;
+      let x = Mpl_util.Rng.int rng 800 and y = Mpl_util.Rng.int rng 400 in
+      if
+        List.for_all
+          (fun (px, py) ->
+            let dx = x - px and dy = y - py in
+            (dx * dx) + (dy * dy) >= 40 * 40)
+          !placed
+      then placed := (x, y) :: !placed
+    done;
+    List.iter (fun (x, y) -> feats := contact x y :: !feats) !placed;
+    (* A couple of wires above the contacts. *)
+    for i = 0 to Mpl_util.Rng.int rng 3 - 1 do
+      let x0 = Mpl_util.Rng.int rng 400 in
+      let len = 200 + Mpl_util.Rng.int rng 400 in
+      feats := wire x0 (x0 + len) (500 + (i * 120)) :: !feats
+    done;
+    (seed, Layout.make Layout.default_tech !feats))
+
+let random_layout_arb =
+  QCheck.make ~print:(fun (seed, _) -> Printf.sprintf "seed=%d" seed)
+    random_layout_gen
+
+let prop_end_to_end_random_layouts =
+  QCheck.Test.make ~name:"random layouts: all algorithms legal, exact best"
+    ~count:60 random_layout_arb
+    (fun (_, layout) ->
+      let g = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+      let run algo = Mpl.Decomposer.assign algo g in
+      let exact = run Mpl.Decomposer.Exact in
+      List.for_all
+        (fun algo ->
+          let r = run algo in
+          (* Conflicts are the sound comparison: divided-exact attains
+             the global conflict optimum, which no coloring can beat.
+             (Stitch counts can tie-break either way across rotation
+             choices.) *)
+          Mpl.Coloring.is_complete r.Mpl.Decomposer.colors
+          && Mpl.Coloring.check_range ~k:4 r.Mpl.Decomposer.colors
+          && r.Mpl.Decomposer.cost.Mpl.Coloring.conflicts
+             >= exact.Mpl.Decomposer.cost.Mpl.Coloring.conflicts)
+        [
+          Mpl.Decomposer.Sdp_backtrack;
+          Mpl.Decomposer.Sdp_greedy;
+          Mpl.Decomposer.Linear;
+        ])
+
+(* Rigid transforms must preserve the decomposition problem exactly:
+   same graph size, same edge counts, same optimal cost. *)
+let test_transform_invariance () =
+  let layout = Benchgen.circuit "C432" in
+  let cost_of l =
+    let g = Mpl.Decomp_graph.of_layout l ~min_s:80 in
+    let r = Mpl.Decomposer.assign Mpl.Decomposer.Exact g in
+    ( g.Mpl.Decomp_graph.n,
+      List.length (Mpl.Decomp_graph.conflict_edges g),
+      List.length (Mpl.Decomp_graph.stitch_edges g),
+      r.Mpl.Decomposer.cost.Mpl.Coloring.scaled )
+  in
+  let quad_t =
+    Alcotest.(pair (pair int int) (pair int int))
+  in
+  let pack (a, b, c, d) = ((a, b), (c, d)) in
+  let reference = cost_of layout in
+  List.iter
+    (fun (name, transform) ->
+      Alcotest.check quad_t name (pack reference)
+        (pack (cost_of (transform layout))))
+    [
+      ("translate", Mpl_layout.Transform.translate ~dx:1234 ~dy:(-777));
+      ("mirror_x", Mpl_layout.Transform.mirror_x);
+      ("mirror_y", Mpl_layout.Transform.mirror_y);
+      ("rotate90", Mpl_layout.Transform.rotate90);
+    ]
+
+let test_transform_roundtrip () =
+  let layout = Benchgen.circuit "C880" in
+  let back =
+    layout
+    |> Mpl_layout.Transform.rotate90 |> Mpl_layout.Transform.rotate90
+    |> Mpl_layout.Transform.rotate90 |> Mpl_layout.Transform.rotate90
+  in
+  Alcotest.(check string) "four rotations are the identity"
+    (Layout_io.to_string layout) (Layout_io.to_string back);
+  let back2 =
+    layout |> Mpl_layout.Transform.mirror_x |> Mpl_layout.Transform.mirror_x
+  in
+  Alcotest.(check string) "double mirror is the identity"
+    (Layout_io.to_string layout) (Layout_io.to_string back2)
+
+let test_vertical_wire_split () =
+  let vwire =
+    Polygon.of_rect (Rect.make ~x0:60 ~y0:(-40) ~x1:80 ~y1:260)
+  in
+  let layout =
+    Layout.make Layout.default_tech [ contact 0 0; contact 0 200; vwire ]
+  in
+  let s = Stitch.split layout ~min_s:80 in
+  let wire_nodes =
+    Array.to_list s.Stitch.nodes
+    |> List.filter (fun n -> n.Stitch.feature = 2)
+  in
+  Alcotest.(check bool) "vertical wire split" true (List.length wire_nodes >= 2)
+
+let suite =
+  [
+    Alcotest.test_case "tech distances" `Quick test_tech_distances;
+    Alcotest.test_case "transform invariance" `Slow test_transform_invariance;
+    QCheck_alcotest.to_alcotest prop_end_to_end_random_layouts;
+    Alcotest.test_case "transform roundtrips" `Quick test_transform_roundtrip;
+    Alcotest.test_case "vertical wire split" `Quick test_vertical_wire_split;
+    Alcotest.test_case "contacts never split" `Quick
+      test_stitch_none_for_contacts;
+    Alcotest.test_case "wire split over gap" `Quick
+      test_stitch_splits_wire_over_gap;
+    Alcotest.test_case "stitch limit" `Quick test_stitch_limit;
+    Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip;
+    Alcotest.test_case "io errors" `Quick test_io_errors;
+    Alcotest.test_case "io comments" `Quick test_io_comments_and_blanks;
+    Alcotest.test_case "benchgen deterministic" `Quick
+      test_benchgen_deterministic;
+    Alcotest.test_case "benchgen circuits" `Quick test_benchgen_circuits_exist;
+    Alcotest.test_case "benchgen sizes" `Quick test_benchgen_sizes_monotone;
+    Alcotest.test_case "injected conflicts exact" `Quick
+      test_injected_conflicts_exact;
+    Alcotest.test_case "stitch gadget forces one stitch" `Quick
+      test_stitch_gadget_costs_one_stitch;
+    Alcotest.test_case "penta-six cluster" `Quick test_penta_six_cluster;
+    Alcotest.test_case "hard block structure" `Quick test_hard_block_structure;
+  ]

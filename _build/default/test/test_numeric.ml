@@ -1,0 +1,182 @@
+(* Tests for the numeric substrate: symmetric eigendecomposition, PSD
+   projection, and the coloring SDP solver. *)
+
+module Sym = Mpl_numeric.Symmetric
+module Sdp = Mpl_numeric.Sdp
+module Vec = Mpl_numeric.Vec
+
+let sym_gen n =
+  QCheck.Gen.(
+    list_repeat (n * n) (float_range (-3.) 3.) >|= fun l ->
+    let a = Array.of_list l in
+    Array.init n (fun i ->
+        Array.init n (fun j ->
+            (a.((i * n) + j) +. a.((j * n) + i)) /. 2.)))
+
+let test_vec_ops () =
+  let v = [| 3.; 4. |] in
+  Alcotest.(check (float 1e-9)) "norm" 5. (Vec.norm v);
+  let u = Vec.copy v in
+  Vec.normalize u;
+  Alcotest.(check (float 1e-9)) "unit" 1. (Vec.norm u);
+  let w = Vec.zero 2 in
+  Vec.axpy ~alpha:2. v w;
+  Alcotest.(check (float 1e-9)) "axpy" 6. w.(0);
+  let z = [| 0.; 0. |] in
+  Vec.normalize z;
+  Alcotest.(check (float 1e-9)) "degenerate normalize" 1. (Vec.norm z)
+
+let prop_eigh_reconstructs =
+  QCheck.Test.make ~name:"eigh reconstructs the matrix" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 1 8 >>= sym_gen))
+    (fun a ->
+      let n = Array.length a in
+      let w, v = Sym.eigh a in
+      let recon = Array.make_matrix n n 0. in
+      for e = 0 to n - 1 do
+        for i = 0 to n - 1 do
+          for j = 0 to n - 1 do
+            recon.(i).(j) <- recon.(i).(j) +. (w.(e) *. v.(i).(e) *. v.(j).(e))
+          done
+        done
+      done;
+      Sym.frobenius_distance a recon < 1e-6 *. float_of_int (n * n))
+
+let prop_eigh_orthonormal =
+  QCheck.Test.make ~name:"eigh eigenvectors orthonormal" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 1 8 >>= sym_gen))
+    (fun a ->
+      let n = Array.length a in
+      let _, v = Sym.eigh a in
+      let ok = ref true in
+      for e = 0 to n - 1 do
+        for f = 0 to n - 1 do
+          let dot = ref 0. in
+          for i = 0 to n - 1 do
+            dot := !dot +. (v.(i).(e) *. v.(i).(f))
+          done;
+          let expect = if e = f then 1. else 0. in
+          if abs_float (!dot -. expect) > 1e-6 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_project_psd =
+  QCheck.Test.make ~name:"PSD projection is PSD and idempotent-ish" ~count:60
+    (QCheck.make QCheck.Gen.(int_range 1 7 >>= sym_gen))
+    (fun a ->
+      let p = Sym.project_psd a in
+      let w, _ = Sym.eigh p in
+      Array.for_all (fun x -> x > -1e-7) w
+      && Sym.frobenius_distance p (Sym.project_psd p) < 1e-6)
+
+let clique_problem n k =
+  let edges = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      edges := (i, j) :: !edges
+    done
+  done;
+  {
+    Sdp.n;
+    conflict_edges = Array.of_list !edges;
+    stitch_edges = [||];
+    k;
+    alpha = 0.1;
+  }
+
+(* The SDP optimum of K_n with bound -1/(k-1):
+   - if n <= k, all pairs sit at the bound: C(n,2) * (-1/(k-1));
+   - if n > k, the barycentric spread gives -n/2 (sum of all pairs of n
+     unit vectors summing to zero). *)
+let test_clique_optima () =
+  let check n k expected =
+    let sol = Sdp.solve (clique_problem n k) in
+    Alcotest.(check (float 0.05))
+      (Printf.sprintf "K%d with k=%d" n k)
+      expected sol.Sdp.objective
+  in
+  check 4 4 (-2.0);
+  check 5 4 (-2.5);
+  check 6 4 (-3.0);
+  check 3 4 (-1.0);
+  check 5 5 (-2.5);
+  check 6 5 (-3.0)
+
+let test_gram_properties () =
+  let sol = Sdp.solve (clique_problem 5 4) in
+  for i = 0 to 4 do
+    Alcotest.(check (float 0.02)) "unit diagonal" 1. (Sdp.gram sol i i);
+    for j = 0 to 4 do
+      Alcotest.(check (float 1e-9))
+        "symmetric" (Sdp.gram sol i j) (Sdp.gram sol j i);
+      Alcotest.(check bool) "clamped" true
+        (Sdp.gram sol i j >= -1. && Sdp.gram sol i j <= 1.)
+    done
+  done
+
+let test_constraint_near_feasible () =
+  (* K4, k=4: every conflict Gram entry should be near the -1/3 bound. *)
+  let sol = Sdp.solve (clique_problem 4 4) in
+  for i = 0 to 3 do
+    for j = i + 1 to 3 do
+      Alcotest.(check bool) "above bound" true
+        (Sdp.gram sol i j >= Sdp.ideal_offdiag 4 -. 0.05)
+    done
+  done
+
+let test_stitch_attraction () =
+  (* Two vertices joined only by a stitch edge end up parallel. *)
+  let p =
+    {
+      Sdp.n = 2;
+      conflict_edges = [||];
+      stitch_edges = [| (0, 1) |];
+      k = 4;
+      alpha = 0.1;
+    }
+  in
+  let sol = Sdp.solve p in
+  (* The stitch pull is weak (alpha = 0.1), so the projected-gradient
+     iterate lands clearly positive but short of 1. *)
+  Alcotest.(check bool) "parallel" true (Sdp.gram sol 0 1 > 0.5)
+
+let test_modes_agree_on_k4 () =
+  List.iter
+    (fun mode ->
+      let options = { Sdp.default_options with Sdp.mode } in
+      let sol = Sdp.solve ~options (clique_problem 4 4) in
+      Alcotest.(check bool)
+        "objective within 20% of -2" true
+        (sol.Sdp.objective < -1.6))
+    [ Sdp.Projected; Sdp.Lagrangian; Sdp.Penalty ]
+
+let test_ideal_offdiag () =
+  Alcotest.(check (float 1e-9)) "k=4" (-1. /. 3.) (Sdp.ideal_offdiag 4);
+  Alcotest.(check (float 1e-9)) "k=5" (-0.25) (Sdp.ideal_offdiag 5);
+  Alcotest.check_raises "k=1" (Invalid_argument "Sdp.ideal_offdiag: k < 2")
+    (fun () -> ignore (Sdp.ideal_offdiag 1))
+
+let test_empty_problem () =
+  let sol =
+    Sdp.solve
+      { Sdp.n = 0; conflict_edges = [||]; stitch_edges = [||]; k = 4; alpha = 0.1 }
+  in
+  Alcotest.(check (float 1e-9)) "empty objective" 0. sol.Sdp.objective
+
+let suite =
+  [
+    Alcotest.test_case "vec ops" `Quick test_vec_ops;
+    QCheck_alcotest.to_alcotest prop_eigh_reconstructs;
+    QCheck_alcotest.to_alcotest prop_eigh_orthonormal;
+    QCheck_alcotest.to_alcotest prop_project_psd;
+    Alcotest.test_case "clique SDP optima" `Quick test_clique_optima;
+    Alcotest.test_case "gram properties" `Quick test_gram_properties;
+    Alcotest.test_case "near-feasible constraints" `Quick
+      test_constraint_near_feasible;
+    Alcotest.test_case "stitch attraction" `Quick test_stitch_attraction;
+    Alcotest.test_case "all modes reasonable on K4" `Quick
+      test_modes_agree_on_k4;
+    Alcotest.test_case "ideal offdiag" `Quick test_ideal_offdiag;
+    Alcotest.test_case "empty problem" `Quick test_empty_problem;
+  ]

@@ -1,0 +1,85 @@
+(* Unit and property tests for Mpl_util. *)
+
+module Rng = Mpl_util.Rng
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_int_range () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let x = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done
+
+let test_range_inclusive () =
+  let rng = Rng.create 9 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1000 do
+    let x = Rng.range rng 3 7 in
+    Alcotest.(check bool) "in [3,7]" true (x >= 3 && x <= 7);
+    seen.(x - 3) <- true
+  done;
+  Alcotest.(check bool) "all values hit" true (Array.for_all Fun.id seen)
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 10_000 do
+    let x = Rng.float rng 1.0 in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0. && x < 1.)
+  done
+
+let test_split_independent () =
+  let a = Rng.create 5 in
+  let b = Rng.split a in
+  let xa = Rng.int64 a and xb = Rng.int64 b in
+  Alcotest.(check bool) "streams differ" true (xa <> xb)
+
+let prop_shuffle_permutation =
+  QCheck.Test.make ~name:"shuffle is a permutation" ~count:200
+    QCheck.(pair small_int (small_list small_int))
+    (fun (seed, l) ->
+      let rng = Rng.create seed in
+      let a = Array.of_list l in
+      Rng.shuffle rng a;
+      List.sort compare (Array.to_list a) = List.sort compare l)
+
+let test_timer_budget () =
+  Alcotest.(check bool) "unlimited never expires" false
+    (Mpl_util.Timer.expired (Mpl_util.Timer.budget 0.));
+  Alcotest.(check bool) "tiny budget expires" true
+    (let b = Mpl_util.Timer.budget 1e-9 in
+     Unix.sleepf 0.002;
+     Mpl_util.Timer.expired b)
+
+let test_intset () =
+  Alcotest.(check (list int)) "sort_uniq" [ 1; 2; 3 ]
+    (Mpl_util.Intset.sort_uniq [ 3; 1; 2; 1; 3 ]);
+  Alcotest.(check int) "argmin" 2 (Mpl_util.Intset.argmin [| 3.; 2.; 1.; 5. |]);
+  Alcotest.(check int) "argmax" 3 (Mpl_util.Intset.argmax [| 3.; 2.; 1.; 5. |]);
+  Alcotest.(check int) "sum" 6 (Mpl_util.Intset.sum [| 1; 2; 3 |]);
+  Alcotest.(check int) "array_min" 1 (Mpl_util.Intset.array_min [| 3; 1; 2 |]);
+  Alcotest.(check int) "array_max" 3 (Mpl_util.Intset.array_max [| 3; 1; 2 |])
+
+let test_copy_independent () =
+  let a = Rng.create 3 in
+  ignore (Rng.int64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies advance identically" (Rng.int64 a)
+    (Rng.int64 b)
+
+let suite =
+  [
+    Alcotest.test_case "rng copy" `Quick test_copy_independent;
+    Alcotest.test_case "rng determinism" `Quick test_determinism;
+    Alcotest.test_case "rng int range" `Quick test_int_range;
+    Alcotest.test_case "rng range inclusive" `Quick test_range_inclusive;
+    Alcotest.test_case "rng float range" `Quick test_float_range;
+    Alcotest.test_case "rng split" `Quick test_split_independent;
+    QCheck_alcotest.to_alcotest prop_shuffle_permutation;
+    Alcotest.test_case "timer budget" `Quick test_timer_budget;
+    Alcotest.test_case "intset helpers" `Quick test_intset;
+  ]
