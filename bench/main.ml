@@ -9,6 +9,8 @@
      dune exec bench/main.exe -- --ablation
      dune exec bench/main.exe -- --beyond      (K=6 generalization)
      dune exec bench/main.exe -- --extensions  (LB / refine / balance)
+     dune exec bench/main.exe -- --parallel    (engine speedup + cache;
+                                               writes bench/results/latest.json)
      dune exec bench/main.exe -- --micro *)
 
 module D = Mpl.Decomposer
@@ -318,6 +320,120 @@ let extensions () =
     [ "C6288"; "C7552"; "S38417" ]
 
 (* ------------------------------------------------------------------ *)
+(* Parallel engine: wall-clock speedup vs --jobs and cache hit rates   *)
+(* on the four largest Table 1 circuits, where ILP/SDP runtime         *)
+(* dominates. Emits bench/results/latest.json for perf tracking.       *)
+
+let parallel_circuits = [ "S38417"; "S35932"; "S38584"; "S15850" ]
+
+type parallel_row = {
+  p_circuit : string;
+  p_algorithm : string;
+  p_jobs : int;
+  p_cache : bool;
+  p_wall_s : float;
+  p_cn : int;
+  p_st : int;
+  p_cache_hits : int;
+  p_pieces : int;
+}
+
+let json_of_rows rows =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "  {\"circuit\": %S, \"algorithm\": %S, \"jobs\": %d, \"cache\": \
+            %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \"cache_hits\": \
+            %d, \"pieces\": %d}"
+           r.p_circuit r.p_algorithm r.p_jobs r.p_cache r.p_wall_s r.p_cn
+           r.p_st r.p_cache_hits r.p_pieces))
+    rows;
+  Buffer.add_string b "\n]\n";
+  Buffer.contents b
+
+let write_results rows =
+  let dir = "bench/results" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "latest.json" in
+  let oc = open_out path in
+  output_string oc (json_of_rows rows);
+  close_out oc;
+  Format.printf "wrote %s (%d records)@." path (List.length rows)
+
+let parallel () =
+  Format.printf
+    "@.=== Parallel engine: speedup vs jobs, cache hit rates (largest 4 \
+     circuits) ===@.";
+  Format.printf "(host has %d core(s) available to domains)@."
+    (Domain.recommended_domain_count ());
+  let algo = D.Sdp_backtrack in
+  let settings =
+    [ (1, false); (2, false); (4, false); (1, true); (4, true) ]
+  in
+  let rows = ref [] in
+  List.iter
+    (fun name ->
+      let g = build_graph ~min_s:80 name in
+      let baseline = ref None in
+      let reference_cost = ref None in
+      List.iter
+        (fun (jobs, cache) ->
+          let params = { D.default_params with D.jobs; cache } in
+          let r = D.assign ~params algo g in
+          let cn = r.D.cost.C.conflicts and st = r.D.cost.C.stitches in
+          (match !reference_cost with
+          | None -> reference_cost := Some (cn, st)
+          | Some (cn0, st0) ->
+            if (cn0, st0) <> (cn, st) then
+              Format.printf
+                "!! cost mismatch on %s at jobs=%d cache=%b: (%d,%d) vs \
+                 (%d,%d)@."
+                name jobs cache cn st cn0 st0);
+          if jobs = 1 && not cache then baseline := Some r.D.elapsed_s;
+          let hits, pieces =
+            match r.D.engine with
+            | Some e ->
+              (e.Mpl_engine.Engine.hits + e.Mpl_engine.Engine.reused,
+               e.Mpl_engine.Engine.pieces)
+            | None -> (0, r.D.division.Mpl.Division.pieces)
+          in
+          let speedup =
+            match !baseline with
+            | Some t1 when r.D.elapsed_s > 0. -> t1 /. r.D.elapsed_s
+            | _ -> 1.
+          in
+          Format.printf
+            "%-8s %-13s jobs=%d cache=%-5b cn#=%-4d st#=%-4d wall=%.3fs \
+             speedup=%.2fx%s@."
+            name (D.algorithm_name algo) jobs cache cn st r.D.elapsed_s
+            speedup
+            (if cache then
+               Printf.sprintf " cache=%d/%d (%.0f%%)" hits pieces
+                 (100. *. float_of_int hits
+                 /. float_of_int (max 1 pieces))
+             else "");
+          rows :=
+            {
+              p_circuit = name;
+              p_algorithm = D.algorithm_name algo;
+              p_jobs = jobs;
+              p_cache = cache;
+              p_wall_s = r.D.elapsed_s;
+              p_cn = cn;
+              p_st = st;
+              p_cache_hits = hits;
+              p_pieces = pieces;
+            }
+            :: !rows)
+        settings)
+    parallel_circuits;
+  write_results (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
 
 let micro () =
@@ -381,6 +497,7 @@ let () =
   let any =
     has "--table1" || has "--table2" || has "--figures" || has "--ablation"
     || has "--micro" || has "--beyond" || has "--extensions"
+    || has "--parallel"
   in
   if (not any) || has "--table1" then table1 ();
   if (not any) || has "--table2" then table2 ();
@@ -388,4 +505,5 @@ let () =
   if (not any) || has "--ablation" then ablation ();
   if (not any) || has "--beyond" then beyond ();
   if (not any) || has "--extensions" then extensions ();
+  if (not any) || has "--parallel" then parallel ();
   if (not any) || has "--micro" then micro ()

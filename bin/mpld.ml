@@ -65,6 +65,35 @@ let budget_arg =
   let doc = "Wall-clock budget in seconds for exact algorithms." in
   Arg.(value & opt float 60. & info [ "budget" ] ~docv:"S" ~doc)
 
+let jobs_arg =
+  let doc =
+    "Number of concurrent piece solvers (domains). 1 = sequential."
+  in
+  Arg.(value & opt int 1 & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
+let no_cache_arg =
+  let doc =
+    "Disable the canonical-signature cache that deduplicates repeated \
+     components."
+  in
+  Arg.(value & flag & info [ "no-cache" ] ~doc)
+
+let cache_permuted_arg =
+  let doc =
+    "Let the cache reuse colorings across relabeled isomorphic components \
+     too (higher hit rate; colorings may differ from an uncached run, \
+     costs of reused components are preserved)."
+  in
+  Arg.(value & flag & info [ "cache-permuted" ] ~doc)
+
+let engine_params base ~jobs ~no_cache ~cache_permuted =
+  {
+    base with
+    Mpl.Decomposer.jobs;
+    cache = not no_cache;
+    cache_permuted;
+  }
+
 let refine_arg =
   let doc = "Run a local-search refinement pass after division." in
   Arg.(value & flag & info [ "refine" ] ~doc)
@@ -82,19 +111,21 @@ let resolve_min_s ~k ~min_s =
     else Mpl_layout.Layout.quadruple_min_s tech
 
 let decompose_cmd =
-  let run source k min_s algo budget refine balance =
+  let run source k min_s algo budget refine balance jobs no_cache
+      cache_permuted =
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
     let params =
-      {
-        Mpl.Decomposer.default_params with
-        k;
-        solver_budget_s = budget;
-        post =
-          (if refine then Mpl.Decomposer.Local_search
-           else Mpl.Decomposer.No_post);
-        balance;
-      }
+      engine_params ~jobs ~no_cache ~cache_permuted
+        {
+          Mpl.Decomposer.default_params with
+          k;
+          solver_budget_s = budget;
+          post =
+            (if refine then Mpl.Decomposer.Local_search
+             else Mpl.Decomposer.No_post);
+          balance;
+        }
     in
     let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
     Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
@@ -110,7 +141,8 @@ let decompose_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
-      $ refine_arg $ balance_arg)
+      $ refine_arg $ balance_arg $ jobs_arg $ no_cache_arg
+      $ cache_permuted_arg)
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
 
@@ -209,7 +241,7 @@ let svg_cmd =
   Cmd.v (Cmd.info "svg" ~doc:"Decompose a layout and render the masks to SVG") term
 
 let report_cmd =
-  let run source k min_s budget =
+  let run source k min_s budget jobs no_cache cache_permuted =
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
     let g = Mpl.Decomp_graph.of_layout layout ~min_s in
@@ -220,7 +252,8 @@ let report_cmd =
     List.iter
       (fun algo ->
         let params =
-          { Mpl.Decomposer.default_params with k; solver_budget_s = budget }
+          engine_params ~jobs ~no_cache ~cache_permuted
+            { Mpl.Decomposer.default_params with k; solver_budget_s = budget }
         in
         let r = Mpl.Decomposer.assign ~params algo g in
         let balanced =
@@ -237,7 +270,11 @@ let report_cmd =
         Mpl.Decomposer.Linear;
       ]
   in
-  let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg $ budget_arg) in
+  let term =
+    Term.(
+      const run $ circuit_arg $ k_arg $ min_s_arg $ budget_arg $ jobs_arg
+      $ no_cache_arg $ cache_permuted_arg)
+  in
   Cmd.v
     (Cmd.info "report"
        ~doc:

@@ -19,6 +19,9 @@ type params = {
   stages : Division.stages;
   post : post_pass;
   balance : bool;
+  jobs : int;
+  cache : bool;
+  cache_permuted : bool;
 }
 
 let default_params =
@@ -32,6 +35,9 @@ let default_params =
     stages = Division.all_stages;
     post = No_post;
     balance = false;
+    jobs = 1;
+    cache = false;
+    cache_permuted = false;
   }
 
 type report = {
@@ -42,12 +48,14 @@ type report = {
   elapsed_s : float;
   timed_out : bool;
   division : Division.stats;
+  engine : Mpl_engine.Engine.stats option;
 }
 
 (* Leaf solver for one divided piece. The exact algorithms share one
    wall-clock budget across all pieces (the paper reports a single CPU
    number per circuit); when it expires, remaining pieces fall back to a
-   greedy coloring and the run is flagged N/A. *)
+   greedy coloring and the run is flagged N/A. The budget deadline and
+   the timeout flag are both safe to touch from pool workers. *)
 let make_solver ~params ~budget ~timed_out algorithm (piece : Decomp_graph.t) =
   let k = params.k and alpha = params.alpha in
   match algorithm with
@@ -56,16 +64,16 @@ let make_solver ~params ~budget ~timed_out algorithm (piece : Decomp_graph.t) =
     let r =
       Exact_color.solve ~node_cap:params.node_cap ~budget ~k ~alpha piece
     in
-    if not r.Bnb.optimal then timed_out := true;
+    if not r.Bnb.optimal then Atomic.set timed_out true;
     r.Bnb.colors
   | Ilp ->
     if Mpl_util.Timer.expired budget then begin
-      timed_out := true;
+      Atomic.set timed_out true;
       Bnb.greedy ~k (Bnb.instance_of_graph ~alpha piece)
     end
     else begin
       let r = Ilp_color.solve ~budget ~k ~alpha piece in
-      if not r.Ilp_color.optimal then timed_out := true;
+      if not r.Ilp_color.optimal then Atomic.set timed_out true;
       r.Ilp_color.colors
     end
   | Sdp_greedy ->
@@ -82,20 +90,107 @@ let make_solver ~params ~budget ~timed_out algorithm (piece : Decomp_graph.t) =
         sol piece
     end
 
+(* Canonical signature of a piece for the engine cache: the three edge
+   relations are all a solver ever reads (feature ids only matter for
+   rendering), so they fully determine the solver's behavior up to its
+   vertex-order tie-breaks. Oversized pieces are not worth hashing. *)
+let signature_size_cap = 4096
+
+let piece_signature (piece : Decomp_graph.t) =
+  if piece.Decomp_graph.n > signature_size_cap then None
+  else
+    Some
+      (Mpl_engine.Cache.signature ~n:piece.Decomp_graph.n
+         ~relations:
+           [|
+             Decomp_graph.conflict_edges piece;
+             Decomp_graph.stitch_edges piece;
+             Decomp_graph.friendly_edges piece;
+           |])
+
+(* Parallel/cached assignment: split off the independent components
+   (the same split the sequential division pipeline performs first),
+   solve each component wholesale — internal division included — as one
+   pool task, and scatter the colorings back. Components are the reuse
+   unit precisely because they share no edge with the rest of the
+   graph: substituting any valid coloring of a component can never
+   change a crossing cost, so cache reuse is cost-exact by
+   construction. *)
+let engine_assign ~params ~stats ~solver (g : Decomp_graph.t) =
+  let jobs = max 1 params.jobs in
+  let comps =
+    if params.stages.Division.use_components then
+      Mpl_graph.Connectivity.components (Decomp_graph.union_graph g)
+    else [| Array.init g.Decomp_graph.n (fun v -> v) |]
+  in
+  let pieces = Array.map (Decomp_graph.subgraph g) comps in
+  let solve_piece (piece, _back) =
+    let local = Division.fresh_stats () in
+    let colors =
+      Division.assign ~stages:params.stages ~stats:local ~k:params.k
+        ~alpha:params.alpha ~solver piece
+    in
+    (colors, local)
+  in
+  let cache =
+    if params.cache then
+      Some
+        (Mpl_engine.Cache.create
+           ~mode:
+             (if params.cache_permuted then Mpl_engine.Cache.Permuted
+              else Mpl_engine.Cache.Exact)
+           ())
+    else None
+  in
+  let signature (piece, _back) =
+    if params.cache then piece_signature piece else None
+  in
+  Mpl_engine.Pool.with_pool ~jobs (fun pool ->
+      let results, estats =
+        Mpl_engine.Engine.solve_pieces ~pool ?cache ~signature
+          ~solve:solve_piece
+          (Array.to_list pieces)
+      in
+      let colors = Array.make g.Decomp_graph.n (-1) in
+      List.iteri
+        (fun i (pc, local) ->
+          let _piece, back = pieces.(i) in
+          Array.iteri (fun j v -> colors.(v) <- pc.(j)) back;
+          stats.Division.pieces <- stats.Division.pieces + local.Division.pieces;
+          if local.Division.largest_piece > stats.Division.largest_piece then
+            stats.Division.largest_piece <- local.Division.largest_piece;
+          stats.Division.peeled <- stats.Division.peeled + local.Division.peeled;
+          stats.Division.cuts <- stats.Division.cuts + local.Division.cuts)
+        results;
+      (colors, estats))
+
 let assign ?(params = default_params) algorithm g =
   let stats = Division.fresh_stats () in
-  let timed_out = ref false in
+  let timed_out = Atomic.make false in
   let budget =
     match algorithm with
     | Ilp | Exact -> Mpl_util.Timer.budget params.solver_budget_s
     | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
   in
   let solver = make_solver ~params ~budget ~timed_out algorithm in
+  let engine_stats = ref None in
   let (colors, elapsed_s) =
     Mpl_util.Timer.time (fun () ->
         let colors =
-          Division.assign ~stages:params.stages ~stats ~k:params.k
-            ~alpha:params.alpha ~solver g
+          (* jobs = 1 without the cache takes the exact historical
+             sequential path; anything else routes through the engine.
+             The two are output-identical at jobs = 1 (the engine's
+             component split mirrors the division pipeline's own first
+             stage), but keeping the legacy path makes the sequential
+             fallback trivially bit-for-bit. *)
+          if params.jobs <= 1 && not params.cache then
+            Division.assign ~stages:params.stages ~stats ~k:params.k
+              ~alpha:params.alpha ~solver g
+          else begin
+            let colors, estats = engine_assign ~params ~stats ~solver g in
+            engine_stats := Some estats;
+            colors
+          end
         in
         let colors =
           match params.post with
@@ -118,8 +213,9 @@ let assign ?(params = default_params) algorithm g =
     cost;
     colors;
     elapsed_s;
-    timed_out = !timed_out;
+    timed_out = Atomic.get timed_out;
     division = stats;
+    engine = !engine_stats;
   }
 
 let decompose ?params ?max_stitches_per_feature ~min_s algorithm layout =
@@ -128,9 +224,15 @@ let decompose ?params ?max_stitches_per_feature ~min_s algorithm layout =
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "%-13s cn#=%-4d st#=%-5d cost=%.1f CPU=%.3fs pieces=%d largest=%d%s"
+    "%-13s cn#=%-4d st#=%-5d cost=%.1f CPU=%.3fs pieces=%d largest=%d%s%s"
     (algorithm_name r.algorithm) r.cost.Coloring.conflicts
     r.cost.Coloring.stitches
     (float_of_int r.cost.Coloring.scaled /. 1000.)
     r.elapsed_s r.division.Division.pieces r.division.Division.largest_piece
+    (match r.engine with
+    | Some e when r.params.cache ->
+      Printf.sprintf " cache=%d/%d"
+        (e.Mpl_engine.Engine.hits + e.Mpl_engine.Engine.reused)
+        e.Mpl_engine.Engine.pieces
+    | Some _ | None -> "")
     (if r.timed_out then " (TIMEOUT)" else "")

@@ -1,6 +1,18 @@
 (** End-to-end layout decomposition (paper Fig. 2): decomposition-graph
     construction, graph division, per-piece color assignment, and cost
-    reporting. *)
+    reporting.
+
+    Division produces small *independent* pieces (paper Section 4), so
+    per-piece color assignment parallelizes: with [jobs > 1] the
+    independent components are solved concurrently on a
+    {!Mpl_engine.Pool} of domains, and with [cache = true] repeated
+    components — standard-cell layouts repeat the same conflict cliques
+    thousands of times — are solved once and reused through the
+    canonical-signature {!Mpl_engine.Cache}. Both knobs are pure
+    performance controls: the default (exact) cache mode and the
+    deterministic engine scheduling guarantee identical costs and
+    colorings at every [jobs]/[cache] setting, and [jobs = 1] without
+    the cache runs the historical sequential code path bit-for-bit. *)
 
 type algorithm =
   | Ilp  (** exact baseline via the MILP encoding (budgeted) *)
@@ -23,16 +35,25 @@ type params = {
   sdp_options : Mpl_numeric.Sdp.options;
   solver_budget_s : float;
       (** total wall-clock budget for exact solvers (Ilp / Exact) across
-          all components; <= 0 means unlimited *)
+          all components — shared by all pool workers through an
+          atomic-latched deadline; <= 0 means unlimited *)
   node_cap : int;  (** branch-and-bound node cap per piece *)
   stages : Division.stages;
   post : post_pass;  (** optional global refinement after division *)
   balance : bool;  (** cost-free mask-density rebalancing ({!Balance}) *)
+  jobs : int;
+      (** concurrent piece solvers; 1 = the sequential legacy path *)
+  cache : bool;  (** memoize solved components by canonical signature *)
+  cache_permuted : bool;
+      (** reuse cached colorings across *relabeled* isomorphic
+          components too ({!Mpl_engine.Cache.Permuted}); higher hit
+          rate, but heuristic tie-breaks may then produce (equally
+          valid) colorings differing from an uncached run *)
 }
 
 val default_params : params
 (** QPLD defaults: k = 4, alpha = 0.1, tth = 0.9, 60 s exact budget,
-    full division pipeline. *)
+    full division pipeline, jobs = 1, cache off. *)
 
 type report = {
   algorithm : algorithm;
@@ -42,6 +63,8 @@ type report = {
   elapsed_s : float;  (** color-assignment time (graph already built) *)
   timed_out : bool;  (** exact solver hit its budget: treat as N/A *)
   division : Division.stats;
+  engine : Mpl_engine.Engine.stats option;
+      (** pool/cache statistics; [None] on the sequential legacy path *)
 }
 
 val assign : ?params:params -> algorithm -> Decomp_graph.t -> report

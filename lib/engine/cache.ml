@@ -1,0 +1,199 @@
+type signature = {
+  n : int;
+  key : string;
+  serial : string;
+  perm : int array;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization: iterated refinement (1-WL). Class ids are assigned
+   by *structurally sorting* the per-round vertex signatures, so they
+   depend only on the isomorphism class of the graph, never on the
+   original labeling — the invariant that makes the canonical key a
+   sound isomorphism witness. *)
+
+let refine ~n ~(adj : int list array array) =
+  let nrel = Array.length adj in
+  let labels = Array.make n 0 in
+  (* Round 0: per-relation degree vector. *)
+  let sig0 v = Array.to_list (Array.init nrel (fun r -> List.length adj.(r).(v))) in
+  let assign_classes sigs =
+    (* sigs.(v) is this round's structural signature of v; rank the
+       distinct signatures in sorted order. *)
+    let distinct = List.sort_uniq compare (Array.to_list sigs) in
+    let rank = Hashtbl.create (List.length distinct) in
+    List.iteri (fun i s -> Hashtbl.replace rank s i) distinct;
+    for v = 0 to n - 1 do
+      labels.(v) <- Hashtbl.find rank sigs.(v)
+    done;
+    List.length distinct
+  in
+  let classes = ref (assign_classes (Array.init n sig0)) in
+  let stable = ref false in
+  while (not !stable) && !classes < n do
+    let sigs =
+      Array.init n (fun v ->
+          ( labels.(v),
+            Array.to_list
+              (Array.init nrel (fun r ->
+                   List.sort compare (List.map (fun u -> labels.(u)) adj.(r).(v))))
+          ))
+    in
+    let c = assign_classes sigs in
+    if c = !classes then stable := true;
+    classes := c
+  done;
+  labels
+
+let serialize ~n ~(edges : (int * int) list array) ~perm =
+  let buf = Buffer.create (64 + (8 * n)) in
+  Buffer.add_string buf (string_of_int n);
+  Array.iter
+    (fun es ->
+      Buffer.add_char buf '|';
+      let mapped =
+        List.map
+          (fun (u, v) ->
+            let pu = perm.(u) and pv = perm.(v) in
+            if pu <= pv then (pu, pv) else (pv, pu))
+          es
+      in
+      List.iter
+        (fun (u, v) ->
+          Buffer.add_string buf (string_of_int u);
+          Buffer.add_char buf ',';
+          Buffer.add_string buf (string_of_int v);
+          Buffer.add_char buf ';')
+        (List.sort compare mapped))
+    edges;
+  Buffer.contents buf
+
+let signature ~n ~relations =
+  let adj = Array.map (fun _ -> Array.make n []) relations in
+  Array.iteri
+    (fun r es ->
+      List.iter
+        (fun (u, v) ->
+          if u < 0 || u >= n || v < 0 || v >= n then
+            invalid_arg "Cache.signature: endpoint out of range";
+          adj.(r).(u) <- v :: adj.(r).(u);
+          adj.(r).(v) <- u :: adj.(r).(v))
+        es)
+    relations;
+  let labels = refine ~n ~adj in
+  (* Canonical order: by refinement class, remaining ties by original
+     index (heuristic tie-break: sound, may under-merge). *)
+  let order = Array.init n (fun v -> v) in
+  Array.sort
+    (fun a b ->
+      let c = compare labels.(a) labels.(b) in
+      if c <> 0 then c else compare a b)
+    order;
+  let perm = Array.make n 0 in
+  Array.iteri (fun pos v -> perm.(v) <- pos) order;
+  let identity = Array.init n (fun v -> v) in
+  {
+    n;
+    key = serialize ~n ~edges:relations ~perm;
+    serial = serialize ~n ~edges:relations ~perm:identity;
+    perm;
+  }
+
+let compatible ~exact sa sb =
+  String.equal sa.key sb.key
+  && ((not exact) || String.equal sa.serial sb.serial)
+
+let transfer sa sb colors =
+  if not (String.equal sa.key sb.key) then
+    invalid_arg "Cache.transfer: signatures have different keys";
+  let canon = Array.make sa.n 0 in
+  Array.iteri (fun v p -> canon.(p) <- colors.(v)) sa.perm;
+  Array.init sb.n (fun v -> canon.(sb.perm.(v)))
+
+(* ------------------------------------------------------------------ *)
+
+type mode = Exact | Permuted
+
+type 'v entry = {
+  e_serial : string;
+  colors_canon : int array;  (* exemplar coloring in canonical labels *)
+  value : 'v;
+}
+
+type 'v t = {
+  mode : mode;
+  table : (string, 'v entry list) Hashtbl.t;  (* key -> variants, oldest first *)
+  lock : Mutex.t;
+  hits_c : int Atomic.t;
+  misses_c : int Atomic.t;
+  mutable entries : int;
+  max_variants : int;
+}
+
+let create ?(mode = Exact) ?(max_variants = 8) () =
+  {
+    mode;
+    table = Hashtbl.create 256;
+    lock = Mutex.create ();
+    hits_c = Atomic.make 0;
+    misses_c = Atomic.make 0;
+    entries = 0;
+    max_variants;
+  }
+
+let mode t = t.mode
+
+let uncanon s colors_canon = Array.init s.n (fun v -> colors_canon.(s.perm.(v)))
+
+let find t s =
+  Mutex.lock t.lock;
+  let variants =
+    Option.value ~default:[] (Hashtbl.find_opt t.table s.key)
+  in
+  Mutex.unlock t.lock;
+  let found =
+    match t.mode with
+    | Permuted -> ( match variants with e :: _ -> Some e | [] -> None)
+    | Exact ->
+      List.find_opt (fun e -> String.equal e.e_serial s.serial) variants
+  in
+  match found with
+  | Some e ->
+    Atomic.incr t.hits_c;
+    Some (uncanon s e.colors_canon, e.value)
+  | None ->
+    Atomic.incr t.misses_c;
+    None
+
+let store t s (colors, value) =
+  if Array.length colors <> s.n then
+    invalid_arg "Cache.store: coloring length mismatch";
+  let colors_canon = Array.make s.n 0 in
+  Array.iteri (fun v p -> colors_canon.(p) <- colors.(v)) s.perm;
+  let entry = { e_serial = s.serial; colors_canon; value } in
+  Mutex.lock t.lock;
+  let variants =
+    Option.value ~default:[] (Hashtbl.find_opt t.table s.key)
+  in
+  let keep =
+    match t.mode with
+    | Permuted -> variants = []
+    | Exact ->
+      List.length variants < t.max_variants
+      && not
+           (List.exists (fun e -> String.equal e.e_serial s.serial) variants)
+  in
+  if keep then begin
+    Hashtbl.replace t.table s.key (variants @ [ entry ]);
+    t.entries <- t.entries + 1
+  end;
+  Mutex.unlock t.lock
+
+let hits t = Atomic.get t.hits_c
+let misses t = Atomic.get t.misses_c
+
+let length t =
+  Mutex.lock t.lock;
+  let n = t.entries in
+  Mutex.unlock t.lock;
+  n

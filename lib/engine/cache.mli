@@ -1,0 +1,81 @@
+(** Canonical-signature memo table for solved pieces.
+
+    Standard-cell layouts repeat the same small conflict cliques
+    thousands of times (paper Fig. 7 patterns); after graph division the
+    resulting pieces are tiny and massively duplicated. This cache
+    recognizes a repeated piece *up to vertex relabeling*: a piece's
+    multi-relation graph (conflict / stitch / friendly edge sets) is
+    canonicalized by iterated degree-sequence refinement
+    (1-dimensional Weisfeiler–Leman with structurally-sorted class ids)
+    and serialized under the canonical ordering. Two pieces share a key
+    only if their canonically relabeled graphs are *byte-identical* —
+    the key encodes the whole graph, so a key match is itself a proof
+    of isomorphism and false positives are impossible. (Ties the
+    refinement cannot break are resolved by original index, so some
+    isomorphic pairs may *miss*; that only costs a duplicate solve.)
+
+    Two reuse policies:
+
+    - {!Exact} (the default used by [Decomposer]): a hit additionally
+      requires the piece to be byte-identical to the stored exemplar in
+      its *original* labeling. The returned coloring is then exactly
+      what the deterministic solver would have produced, so enabling
+      the cache can never change any reported cost or coloring.
+    - {!Permuted}: a key match alone suffices; the exemplar's coloring
+      is mapped through the label permutation. The result is always a
+      valid coloring with the exemplar's internal cost, but because the
+      heuristic solvers break ties by vertex index, it may differ from
+      (be better or worse than) what a fresh solve of this labeling
+      would return. Higher hit rate, weaker reproducibility contract.
+
+    All operations are thread-safe (single internal mutex); hit/miss
+    counters are [Atomic]. *)
+
+type signature = private {
+  n : int;
+  key : string;  (** canonical-form serialization: the table key *)
+  serial : string;  (** original-labeling serialization *)
+  perm : int array;  (** original index -> canonical index *)
+}
+
+val signature : n:int -> relations:(int * int) list array -> signature
+(** [signature ~n ~relations] canonicalizes the graph on [n] vertices
+    whose [relations.(r)] is the edge list of relation [r] (relations
+    are distinguished: a conflict edge never matches a stitch edge).
+    Edges are undirected; endpoints must be in [0..n-1]. *)
+
+val compatible : exact:bool -> signature -> signature -> bool
+(** Would a piece with the second signature hit an entry stored under
+    the first? *)
+
+val transfer : signature -> signature -> int array -> int array
+(** [transfer sa sb colors] maps a coloring of the piece signed [sa]
+    onto the piece signed [sb] through the canonical permutations.
+    @raise Invalid_argument if the signatures' keys differ. *)
+
+type mode = Exact | Permuted
+
+type 'v t
+(** A memo table storing, per canonical key, solved colorings plus an
+    arbitrary metadata payload ['v] (e.g. division statistics). *)
+
+val create : ?mode:mode -> ?max_variants:int -> unit -> 'v t
+(** Default [mode] is [Exact]; [max_variants] (default 8) bounds the
+    number of distinct original labelings remembered per canonical key
+    in [Exact] mode. *)
+
+val mode : 'v t -> mode
+
+val find : 'v t -> signature -> (int array * 'v) option
+(** On a hit, the coloring is returned in the probing piece's own
+    labeling. Updates the hit/miss counters. *)
+
+val store : 'v t -> signature -> int array * 'v -> unit
+(** Remember a solved piece. First writer wins: an entry that would
+    duplicate (Exact: same original serialization; Permuted: same key)
+    is ignored, keeping replays deterministic. *)
+
+val hits : 'v t -> int
+val misses : 'v t -> int
+val length : 'v t -> int
+(** Number of stored entries (variants counted individually). *)

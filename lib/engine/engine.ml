@@ -1,0 +1,100 @@
+type stats = { pieces : int; solved : int; hits : int; reused : int }
+
+let no_stats = { pieces = 0; solved = 0; hits = 0; reused = 0 }
+
+let add_stats a b =
+  {
+    pieces = a.pieces + b.pieces;
+    solved = a.solved + b.solved;
+    hits = a.hits + b.hits;
+    reused = a.reused + b.reused;
+  }
+
+(* Per-piece resolution plan, decided sequentially in index order. *)
+type 'v plan =
+  | Hit of int array * 'v  (* found in the cache before solving *)
+  | Follower of int  (* reuse the result of batch leader [i] *)
+  | Leader  (* solve fresh on the pool *)
+
+let solve_pieces ~pool ?cache ?signature ~solve pieces =
+  let items = Array.of_list pieces in
+  let n = Array.length items in
+  let sigs =
+    match (cache, signature) with
+    | Some _, Some f -> Array.map f items
+    | _ -> Array.make n None
+  in
+  let exact =
+    match cache with
+    | Some c -> Cache.mode c = Cache.Exact
+    | None -> true
+  in
+  (* Batch-leader index per canonical key (Exact mode distinguishes the
+     original serialization too, so followers are byte-identical). *)
+  let leaders : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let hits = ref 0 and reused = ref 0 and solved = ref 0 in
+  let plans =
+    Array.init n (fun i ->
+        match sigs.(i) with
+        | None ->
+          incr solved;
+          Leader
+        | Some s -> (
+          match Option.bind cache (fun c -> Cache.find c s) with
+          | Some (colors, v) ->
+            incr hits;
+            Hit (colors, v)
+          | None -> (
+            let dedup_key = if exact then s.Cache.key ^ "\x00" ^ s.Cache.serial
+                            else s.Cache.key in
+            match Hashtbl.find_opt leaders dedup_key with
+            | Some j ->
+              incr reused;
+              Follower j
+            | None ->
+              Hashtbl.replace leaders dedup_key i;
+              incr solved;
+              Leader)))
+  in
+  let futures =
+    Array.mapi
+      (fun i plan ->
+        match plan with
+        | Leader -> Some (Pool.submit pool (fun () -> solve items.(i)))
+        | Hit _ | Follower _ -> None)
+      plans
+  in
+  (* Join in index order; leaders are resolved (and stored) before any
+     follower that points at them, because followers always reference a
+     smaller index. *)
+  let results : (int array * 'v) option array = Array.make n None in
+  for i = 0 to n - 1 do
+    match plans.(i) with
+    | Hit (colors, v) -> results.(i) <- Some (colors, v)
+    | Leader ->
+      let colors, v =
+        match futures.(i) with
+        | Some fut -> Pool.await pool fut
+        | None -> assert false
+      in
+      (match (cache, sigs.(i)) with
+      | Some c, Some s -> Cache.store c s (colors, v)
+      | _ -> ());
+      results.(i) <- Some (colors, v)
+    | Follower j ->
+      let lc, lv =
+        match results.(j) with Some r -> r | None -> assert false
+      in
+      let colors =
+        match (sigs.(j), sigs.(i)) with
+        | Some sj, Some si ->
+          if exact then Array.copy lc else Cache.transfer sj si lc
+        | _ -> assert false
+      in
+      results.(i) <- Some (colors, lv)
+  done;
+  let out =
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  in
+  (out, { pieces = n; solved = !solved; hits = !hits; reused = !reused })

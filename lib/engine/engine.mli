@@ -1,0 +1,39 @@
+(** Batch driver: route a list of independent pieces through the
+    {!Pool} with {!Cache}-based deduplication.
+
+    The driver is generic in the piece type ['a] and in the metadata
+    the solver returns alongside each coloring ['v] (the decomposer
+    threads per-piece division statistics through it). All cache probes
+    and stores happen on the calling thread in piece-index order, so a
+    given (piece list, cache mode) pair always resolves hits, batch
+    reuses, and fresh solves identically — regardless of how many
+    workers the pool has. This is what keeps [jobs] a pure performance
+    knob. *)
+
+type stats = {
+  pieces : int;  (** pieces routed through the driver *)
+  solved : int;  (** solved fresh (submitted to the pool) *)
+  hits : int;  (** served from pre-existing cache entries *)
+  reused : int;  (** deduplicated against an earlier piece of this batch *)
+}
+
+val no_stats : stats
+
+val add_stats : stats -> stats -> stats
+
+val solve_pieces :
+  pool:Pool.t ->
+  ?cache:'v Cache.t ->
+  ?signature:('a -> Cache.signature option) ->
+  solve:('a -> int array * 'v) ->
+  'a list ->
+  (int array * 'v) list * stats
+(** [solve_pieces ~pool ?cache ?signature ~solve pieces] returns the
+    solved colorings in input order. For a piece whose [signature] is
+    [Some s]: a cache hit returns the stored coloring (mapped per the
+    cache's mode); a piece compatible with an earlier *unsolved* piece
+    of the same batch reuses that leader's result without a second
+    solve; everything else is submitted to the pool and stored into the
+    cache once joined. Pieces with no signature (or when [cache] /
+    [signature] is omitted) are always solved fresh — the call then
+    degenerates to a deterministic parallel map. *)

@@ -1,0 +1,187 @@
+(* Work-stealing domain pool. One deque per worker; owners pop oldest
+   from the front (submission order — this is what makes jobs = 1
+   deterministic), thieves steal newest from the back. All deques hang
+   off a single mutex: tasks here are whole divided pieces (micro- to
+   multi-second solves), so queue contention is irrelevant and the
+   single lock keeps the blocking/wakeup protocol easy to audit. *)
+
+module Deque = struct
+  (* Amortized O(1) double-ended queue: [front] in front-to-back order,
+     [back] in back-to-front order. *)
+  type 'a t = { mutable front : 'a list; mutable back : 'a list }
+
+  let create () = { front = []; back = [] }
+  let push_back d x = d.back <- x :: d.back
+
+  let pop_front d =
+    match d.front with
+    | x :: tl ->
+      d.front <- tl;
+      Some x
+    | [] -> (
+      match List.rev d.back with
+      | [] -> None
+      | x :: tl ->
+        d.back <- [];
+        d.front <- tl;
+        Some x)
+
+  let pop_back d =
+    match d.back with
+    | x :: tl ->
+      d.back <- tl;
+      Some x
+    | [] -> (
+      match List.rev d.front with
+      | [] -> None
+      | x :: tl ->
+        d.front <- [];
+        d.back <- tl;
+        Some x)
+end
+
+type 'a state = Pending | Done of 'a | Failed of exn
+
+type 'a future = {
+  mutable state : 'a state;
+  fm : Mutex.t;
+  fc : Condition.t;
+}
+
+type t = {
+  jobs : int;
+  deques : (unit -> unit) Deque.t array;  (* index 0 belongs to the caller *)
+  lock : Mutex.t;
+  nonempty : Condition.t;
+  mutable next : int;  (* round-robin submission cursor *)
+  mutable closed : bool;
+  mutable domains : unit Domain.t array;
+  mutable joined : bool;
+}
+
+let jobs t = t.jobs
+
+(* Pop from our own deque front, else steal from another's back.
+   Must hold [t.lock]. *)
+let take_locked t own =
+  match Deque.pop_front t.deques.(own) with
+  | Some _ as r -> r
+  | None ->
+    let n = Array.length t.deques in
+    let rec scan k =
+      if k >= n then None
+      else
+        match Deque.pop_back t.deques.((own + k) mod n) with
+        | Some _ as r -> r
+        | None -> scan (k + 1)
+    in
+    scan 1
+
+let worker t own () =
+  Mutex.lock t.lock;
+  let rec loop () =
+    match take_locked t own with
+    | Some task ->
+      Mutex.unlock t.lock;
+      task ();
+      Mutex.lock t.lock;
+      loop ()
+    | None ->
+      if t.closed then Mutex.unlock t.lock
+      else begin
+        Condition.wait t.nonempty t.lock;
+        loop ()
+      end
+  in
+  loop ()
+
+let create ~jobs =
+  if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  let t =
+    {
+      jobs;
+      deques = Array.init jobs (fun _ -> Deque.create ());
+      lock = Mutex.create ();
+      nonempty = Condition.create ();
+      next = 0;
+      closed = false;
+      domains = [||];
+      joined = false;
+    }
+  in
+  t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
+  t
+
+let submit t f =
+  let fut = { state = Pending; fm = Mutex.create (); fc = Condition.create () } in
+  let task () =
+    let r = try Done (f ()) with e -> Failed e in
+    Mutex.lock fut.fm;
+    fut.state <- r;
+    Condition.broadcast fut.fc;
+    Mutex.unlock fut.fm
+  in
+  Mutex.lock t.lock;
+  if t.closed then begin
+    Mutex.unlock t.lock;
+    invalid_arg "Pool.submit: pool is shut down"
+  end;
+  Deque.push_back t.deques.(t.next) task;
+  t.next <- (t.next + 1) mod Array.length t.deques;
+  Condition.signal t.nonempty;
+  Mutex.unlock t.lock;
+  fut
+
+let await t fut =
+  let rec loop () =
+    Mutex.lock fut.fm;
+    match fut.state with
+    | Done v ->
+      Mutex.unlock fut.fm;
+      v
+    | Failed e ->
+      Mutex.unlock fut.fm;
+      raise e
+    | Pending ->
+      Mutex.unlock fut.fm;
+      (* Help: run a queued task of the pool instead of blocking. *)
+      Mutex.lock t.lock;
+      (match take_locked t 0 with
+      | Some task ->
+        Mutex.unlock t.lock;
+        task ();
+        loop ()
+      | None ->
+        Mutex.unlock t.lock;
+        (* Nothing to help with: the awaited task is running on a
+           worker. Block until some state change. The re-check under
+           [fut.fm] before waiting prevents a lost wakeup. *)
+        Mutex.lock fut.fm;
+        (match fut.state with
+        | Pending -> Condition.wait fut.fc fut.fm
+        | Done _ | Failed _ -> ());
+        Mutex.unlock fut.fm;
+        loop ())
+  in
+  loop ()
+
+let map_list t f xs =
+  let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
+  List.map (await t) futs
+
+let map_array t f xs =
+  let futs = Array.map (fun x -> submit t (fun () -> f x)) xs in
+  Array.map (await t) futs
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  let join = not t.joined in
+  t.joined <- true;
+  Mutex.unlock t.lock;
+  if join then Array.iter Domain.join t.domains
+
+let with_pool ~jobs f =
+  let t = create ~jobs in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

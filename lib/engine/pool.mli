@@ -1,0 +1,48 @@
+(** Fixed-size domain pool with one work-stealing deque per worker.
+
+    Built on OCaml 5 [Domain] / [Mutex] / [Condition] only — no external
+    dependencies. Designed for the coarse-grained tasks of the
+    decomposition engine (one task = one divided piece), so the deques
+    share a single lock: task bodies run for microseconds to seconds and
+    the queue operations are never the bottleneck.
+
+    A pool with [jobs = j] runs up to [j] tasks concurrently: [j - 1]
+    worker domains plus the calling thread, which helps execute queued
+    tasks whenever it blocks in {!await} (so [jobs = 1] spawns no domain
+    at all and degenerates to eager sequential execution in submission
+    order). Join order is deterministic: {!map_list} and {!map_array}
+    always deliver results in submission order regardless of which
+    worker ran which task. *)
+
+type t
+
+val create : jobs:int -> t
+(** [create ~jobs] spawns [jobs - 1] worker domains.
+    @raise Invalid_argument if [jobs < 1]. *)
+
+val jobs : t -> int
+
+type 'a future
+
+val submit : t -> (unit -> 'a) -> 'a future
+(** Enqueue a task (round-robin across the worker deques). Tasks must
+    not themselves call {!submit} or {!await} on the same pool.
+    @raise Invalid_argument if the pool was shut down. *)
+
+val await : t -> 'a future -> 'a
+(** Block until the task finished, running other queued tasks of the
+    pool while waiting. Re-raises the task's exception if it failed. *)
+
+val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Parallel [List.map] with results in input order. If several tasks
+    raise, the exception of the earliest submitted failing task is
+    re-raised (deterministic join order). *)
+
+val map_array : t -> ('a -> 'b) -> 'a array -> 'b array
+
+val shutdown : t -> unit
+(** Join all worker domains. Idempotent. Pending never-awaited tasks
+    are discarded. *)
+
+val with_pool : jobs:int -> (t -> 'a) -> 'a
+(** [create], run, then [shutdown] (also on exception). *)

@@ -9,10 +9,28 @@ let time f =
   let x = f () in
   (x, elapsed_s t)
 
-type budget = float option
+(* A budget is an absolute deadline shared by every solver working on
+   pieces of one decomposition run — including solvers running in other
+   domains ({!Mpl_engine.Pool}). The deadline itself is immutable, so
+   concurrent [expired] checks race only on the sticky [tripped] flag,
+   which is an [Atomic]: once any piece observes expiry, every piece
+   (and the coordinating thread) sees the run as budget-exceeded. *)
+type budget = { deadline : float option; tripped : bool Atomic.t }
 
-let budget s = if s <= 0. then None else Some (Unix.gettimeofday () +. s)
+let budget s =
+  {
+    deadline = (if s <= 0. then None else Some (Unix.gettimeofday () +. s));
+    tripped = Atomic.make false;
+  }
 
-let expired = function
+let expired b =
+  match b.deadline with
   | None -> false
-  | Some deadline -> Unix.gettimeofday () > deadline
+  | Some deadline ->
+    if Unix.gettimeofday () > deadline then begin
+      Atomic.set b.tripped true;
+      true
+    end
+    else false
+
+let tripped b = Atomic.get b.tripped

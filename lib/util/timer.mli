@@ -14,11 +14,20 @@ val time : (unit -> 'a) -> 'a * float
 (** [time f] runs [f ()] and returns its result with the elapsed seconds. *)
 
 type budget
-(** A deadline for bounded searches (e.g. the ILP baseline). *)
+(** A deadline for bounded searches (e.g. the ILP baseline). The
+    deadline is one absolute instant shared by every solver the budget
+    is handed to, so it is safe to consult from multiple domains: all
+    of them run out at the same wall-clock moment, and expiry is
+    latched in an [Atomic] flag readable afterwards via {!tripped}. *)
 
 val budget : float -> budget
 (** [budget s] expires [s] seconds from now. Non-positive [s] never
     expires. *)
 
 val expired : budget -> bool
-(** Has the deadline passed? *)
+(** Has the deadline passed? A [true] answer also latches the sticky
+    {!tripped} flag (thread-safe). *)
+
+val tripped : budget -> bool
+(** Did any [expired] check — from any domain — ever observe the
+    deadline as passed? *)

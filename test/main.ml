@@ -8,6 +8,7 @@ let () =
       ("numeric", Test_numeric.suite);
       ("layout", Test_layout.suite);
       ("core", Test_core.suite);
+      ("engine", Test_engine.suite);
       ("extensions", Test_extensions.suite);
       ("paper", Test_paper.suite);
     ]

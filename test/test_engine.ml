@@ -1,0 +1,323 @@
+(* Tests for the mpl_engine subsystem: the work-stealing domain pool
+   (ordering, exception propagation), the canonical-signature cache
+   (permutation-equivalent pieces hit, inequivalent pieces miss, exact
+   vs permuted reuse policies), the batch driver's deduplication, the
+   atomic shared solver budget, and the end-to-end determinism /
+   cache-correctness property: on random layouts, every algorithm
+   produces identical (cn#, st#) — and, in exact cache mode, identical
+   colorings — at every jobs / cache setting. *)
+
+module Pool = Mpl_engine.Pool
+module Cache = Mpl_engine.Cache
+module Engine = Mpl_engine.Engine
+module G = Mpl.Decomp_graph
+module C = Mpl.Coloring
+module D = Mpl.Decomposer
+
+(* ------------------------------------------------------------------ *)
+(* Pool *)
+
+let test_pool_ordering () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          let out = Pool.map_list pool (fun x -> x * x) (List.init 100 Fun.id) in
+          Alcotest.(check (list int))
+            (Printf.sprintf "squares in order at jobs=%d" jobs)
+            (List.init 100 (fun x -> x * x))
+            out))
+    [ 1; 2; 4 ]
+
+exception Boom of int
+
+let test_pool_exception () =
+  List.iter
+    (fun jobs ->
+      Pool.with_pool ~jobs (fun pool ->
+          match
+            Pool.map_list pool
+              (fun x -> if x = 37 then raise (Boom x) else x)
+              (List.init 100 Fun.id)
+          with
+          | _ -> Alcotest.fail "expected Boom"
+          | exception Boom x ->
+            Alcotest.(check int)
+              (Printf.sprintf "failing task's payload at jobs=%d" jobs)
+              37 x))
+    [ 1; 4 ]
+
+let test_pool_reuse_after_await () =
+  Pool.with_pool ~jobs:3 (fun pool ->
+      (* Interleave submit/await rounds on one pool. *)
+      for round = 0 to 4 do
+        let futs = List.init 20 (fun i -> Pool.submit pool (fun () -> (round * 100) + i)) in
+        List.iteri
+          (fun i fut ->
+            Alcotest.(check int) "round-trip" ((round * 100) + i) (Pool.await pool fut))
+          futs
+      done)
+
+let test_pool_invalid () =
+  Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Pool.create: jobs < 1")
+    (fun () -> ignore (Pool.create ~jobs:0));
+  let pool = Pool.create ~jobs:2 in
+  Pool.shutdown pool;
+  Pool.shutdown pool;
+  (* idempotent *)
+  Alcotest.check_raises "submit after shutdown"
+    (Invalid_argument "Pool.submit: pool is shut down") (fun () ->
+      ignore (Pool.submit pool (fun () -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Cache *)
+
+(* A labeled path a-b-c (conflict), plus one stitch edge. *)
+let sig_of_edges ~n ~ce ~se =
+  Cache.signature ~n ~relations:[| ce; se |]
+
+let test_cache_permuted_hit () =
+  (* The same 4-vertex gadget under two different labelings. *)
+  let s1 = sig_of_edges ~n:4 ~ce:[ (0, 1); (1, 2); (2, 3) ] ~se:[ (0, 3) ] in
+  let s2 = sig_of_edges ~n:4 ~ce:[ (3, 2); (2, 1); (1, 0) ] ~se:[ (3, 0) ] in
+  Alcotest.(check bool) "same canonical key" true (String.equal s1.Cache.key s2.Cache.key);
+  let cache = Cache.create ~mode:Cache.Permuted () in
+  Cache.store cache s1 ([| 0; 1; 2; 0 |], ());
+  (match Cache.find cache s2 with
+  | None -> Alcotest.fail "expected permuted hit"
+  | Some (colors, ()) ->
+    (* The mapped coloring must preserve the edge structure: conflict
+       endpoints differently colored, stitch endpoints equal here. *)
+    List.iter
+      (fun (u, v) ->
+        Alcotest.(check bool) "conflict stays bichromatic" true
+          (colors.(u) <> colors.(v)))
+      [ (3, 2); (2, 1); (1, 0) ];
+    Alcotest.(check bool) "stitch stays monochromatic" true
+      (colors.(3) = colors.(0)));
+  Alcotest.(check int) "one hit" 1 (Cache.hits cache)
+
+let test_cache_inequivalent_miss () =
+  (* C6 vs two triangles: identical degree sequences (all 2-regular),
+     indistinguishable by WL refinement — the full serialization in the
+     key is what keeps them apart. *)
+  let c6 = sig_of_edges ~n:6 ~ce:[ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5); (5, 0) ] ~se:[] in
+  let tri2 = sig_of_edges ~n:6 ~ce:[ (0, 1); (1, 2); (2, 0); (3, 4); (4, 5); (5, 3) ] ~se:[] in
+  Alcotest.(check bool) "different keys" false (String.equal c6.Cache.key tri2.Cache.key);
+  (* Relation identity matters: a conflict path is not a stitch path. *)
+  let conf = sig_of_edges ~n:3 ~ce:[ (0, 1); (1, 2) ] ~se:[] in
+  let stit = sig_of_edges ~n:3 ~ce:[] ~se:[ (0, 1); (1, 2) ] in
+  Alcotest.(check bool) "relations distinguished" false
+    (String.equal conf.Cache.key stit.Cache.key)
+
+let test_cache_exact_requires_same_labeling () =
+  let s1 = sig_of_edges ~n:3 ~ce:[ (0, 1); (1, 2) ] ~se:[] in
+  let s2 = sig_of_edges ~n:3 ~ce:[ (2, 1); (1, 0) ] ~se:[] in
+  (* same labeled graph, edges listed differently: serial equal *)
+  let s3 = sig_of_edges ~n:3 ~ce:[ (0, 2); (2, 1) ] ~se:[] in
+  (* relabeled path: key equal, serial different *)
+  let cache = Cache.create ~mode:Cache.Exact () in
+  Cache.store cache s1 ([| 0; 1; 0 |], ());
+  (match Cache.find cache s2 with
+  | Some (colors, ()) ->
+    Alcotest.(check (array int)) "byte-identical piece returns stored coloring"
+      [| 0; 1; 0 |] colors
+  | None -> Alcotest.fail "expected exact hit");
+  Alcotest.(check bool) "same key for relabeled path" true
+    (String.equal s1.Cache.key s3.Cache.key);
+  Alcotest.(check bool) "exact mode refuses relabeled piece" true
+    (Cache.find cache s3 = None)
+
+let test_cache_transfer () =
+  let s1 = sig_of_edges ~n:4 ~ce:[ (0, 1); (1, 2); (2, 3) ] ~se:[] in
+  let s2 = sig_of_edges ~n:4 ~ce:[ (3, 2); (2, 1); (1, 0) ] ~se:[] in
+  let colors = [| 0; 1; 2; 3 |] in
+  let mapped = Cache.transfer s1 s2 colors in
+  List.iter
+    (fun (u, v) ->
+      Alcotest.(check bool) "adjacent differ after transfer" true
+        (mapped.(u) <> mapped.(v)))
+    [ (3, 2); (2, 1); (1, 0) ]
+
+(* ------------------------------------------------------------------ *)
+(* Engine batch driver *)
+
+let test_engine_dedup () =
+  (* Five pieces, three distinct up to labeling: the driver must solve
+     each distinct labeled piece once in Exact mode. *)
+  let path a b c = (3, [ (a, b); (b, c) ]) in
+  let pieces = [ path 0 1 2; path 0 1 2; path 2 1 0; path 0 2 1; path 0 1 2 ] in
+  let solves = Atomic.make 0 in
+  let solve (n, ce) =
+    Atomic.incr solves;
+    (* proper 2-coloring of a path by BFS would be overkill: brute it *)
+    let s = sig_of_edges ~n ~ce ~se:[] in
+    ignore s;
+    (Array.init n (fun v -> v mod 2), ())
+  in
+  let signature (n, ce) = Some (sig_of_edges ~n ~ce ~se:[]) in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let cache = Cache.create ~mode:Cache.Exact () in
+      let results, stats =
+        Engine.solve_pieces ~pool ~cache ~signature ~solve pieces
+      in
+      Alcotest.(check int) "five results" 5 (List.length results);
+      (* [path 0 1 2] appears three times (one leader + two reuses);
+         [path 2 1 0] serializes identically to [path 0 1 2]?? No: the
+         serial lists edges as sorted (min,max) pairs, so 0-1,1-2 and
+         2-1,1-0 are the same labeled graph -> reused as well. [path 0 2 1]
+         is a different labeling -> solved fresh. *)
+      Alcotest.(check int) "distinct labelings solved"
+        (Atomic.get solves) stats.Engine.solved;
+      Alcotest.(check int) "two distinct labeled pieces" 2 stats.Engine.solved;
+      Alcotest.(check int) "three batch reuses" 3 stats.Engine.reused)
+
+let test_engine_prepopulated_cache () =
+  let piece = (2, [ (0, 1) ]) in
+  let signature (n, ce) = Some (sig_of_edges ~n ~ce ~se:[]) in
+  let cache = Cache.create ~mode:Cache.Exact () in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let _, s1 =
+        Engine.solve_pieces ~pool ~cache ~signature
+          ~solve:(fun (n, _) -> (Array.make n 0, ()))
+          [ piece ]
+      in
+      Alcotest.(check int) "first run solves" 1 s1.Engine.solved;
+      let _, s2 =
+        Engine.solve_pieces ~pool ~cache ~signature
+          ~solve:(fun _ -> Alcotest.fail "must not re-solve")
+          [ piece; piece ]
+      in
+      Alcotest.(check int) "second run all hits" 2 s2.Engine.hits)
+
+(* ------------------------------------------------------------------ *)
+(* Shared atomic budget *)
+
+let test_budget_atomic () =
+  let b = Mpl_util.Timer.budget 0. in
+  Alcotest.(check bool) "unlimited never expires" false (Mpl_util.Timer.expired b);
+  Alcotest.(check bool) "unlimited never trips" false (Mpl_util.Timer.tripped b);
+  let b = Mpl_util.Timer.budget 1e-9 in
+  Unix.sleepf 0.002;
+  (* Observe expiry from a pool worker; the latch must be visible to
+     the coordinating thread afterwards. *)
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let fut = Pool.submit pool (fun () -> Mpl_util.Timer.expired b) in
+      Alcotest.(check bool) "expired in worker" true (Pool.await pool fut));
+  Alcotest.(check bool) "trip latched across domains" true
+    (Mpl_util.Timer.tripped b)
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end determinism + cache correctness on random layouts *)
+
+let layout_gen =
+  QCheck.Gen.(
+    int_range 1 2 >>= fun rows ->
+    int_range 2 5 >>= fun cells ->
+    int_range 0 1 >>= fun five ->
+    int_range 0 2 >>= fun gadgets ->
+    int_range 0 10_000 >|= fun seed ->
+    {
+      Mpl_layout.Benchgen.name = "qcheck";
+      seed;
+      rows;
+      cells_per_row = cells;
+      density = 0.45;
+      wire_fraction = 0.4;
+      sparse_gap_prob = 0.8;
+      native_five = five;
+      native_six = 0;
+      hard_blocks = 0;
+      stitch_gadgets = gadgets;
+      penta_six = 0;
+    })
+
+let layout_print spec =
+  Printf.sprintf "rows=%d cells=%d five=%d gadgets=%d seed=%d"
+    spec.Mpl_layout.Benchgen.rows spec.Mpl_layout.Benchgen.cells_per_row
+    spec.Mpl_layout.Benchgen.native_five
+    spec.Mpl_layout.Benchgen.stitch_gadgets spec.Mpl_layout.Benchgen.seed
+
+let layout_arb = QCheck.make ~print:layout_print layout_gen
+
+let prop_jobs_cache_invariant =
+  QCheck.Test.make ~count:20 ~name:"jobs x cache: identical costs, valid colorings"
+    layout_arb (fun spec ->
+      let layout = Mpl_layout.Benchgen.generate spec in
+      let g = G.of_layout layout ~min_s:80 in
+      List.for_all
+        (fun algo ->
+          let run jobs cache =
+            let params =
+              {
+                D.default_params with
+                D.jobs;
+                cache;
+                solver_budget_s = 0. (* unlimited: keep runs deterministic *);
+              }
+            in
+            D.assign ~params algo g
+          in
+          let reference = run 1 false in
+          let ok r =
+            C.is_complete r.D.colors
+            && C.check_range ~k:4 r.D.colors
+            && C.evaluate g r.D.colors = r.D.cost
+            && r.D.cost.C.conflicts = reference.D.cost.C.conflicts
+            && r.D.cost.C.stitches = reference.D.cost.C.stitches
+            && r.D.colors = reference.D.colors
+            && r.D.division.Mpl.Division.pieces
+               = reference.D.division.Mpl.Division.pieces
+          in
+          List.for_all ok
+            [
+              run 2 false; run 4 false; run 1 true; run 2 true; run 4 true;
+            ])
+        [ D.Linear; D.Sdp_greedy; D.Sdp_backtrack; D.Exact ])
+
+let prop_permuted_cache_valid =
+  QCheck.Test.make ~count:15
+    ~name:"permuted cache: valid colorings, deterministic across jobs"
+    layout_arb (fun spec ->
+      let layout = Mpl_layout.Benchgen.generate spec in
+      let g = G.of_layout layout ~min_s:80 in
+      List.for_all
+        (fun algo ->
+          let run jobs =
+            let params =
+              {
+                D.default_params with
+                D.jobs;
+                cache = true;
+                cache_permuted = true;
+                solver_budget_s = 0.;
+              }
+            in
+            D.assign ~params algo g
+          in
+          let r1 = run 1 in
+          let r4 = run 4 in
+          C.is_complete r1.D.colors
+          && C.check_range ~k:4 r1.D.colors
+          && C.evaluate g r1.D.colors = r1.D.cost
+          && r1.D.colors = r4.D.colors
+          && r1.D.cost = r4.D.cost)
+        [ D.Linear; D.Sdp_backtrack ])
+
+let suite =
+  [
+    Alcotest.test_case "pool: map ordering" `Quick test_pool_ordering;
+    Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool: reuse across rounds" `Quick test_pool_reuse_after_await;
+    Alcotest.test_case "pool: argument validation" `Quick test_pool_invalid;
+    Alcotest.test_case "cache: permuted hit" `Quick test_cache_permuted_hit;
+    Alcotest.test_case "cache: inequivalent miss" `Quick test_cache_inequivalent_miss;
+    Alcotest.test_case "cache: exact labeling policy" `Quick
+      test_cache_exact_requires_same_labeling;
+    Alcotest.test_case "cache: transfer" `Quick test_cache_transfer;
+    Alcotest.test_case "engine: batch dedup" `Quick test_engine_dedup;
+    Alcotest.test_case "engine: prepopulated cache" `Quick
+      test_engine_prepopulated_cache;
+    Alcotest.test_case "timer: atomic shared budget" `Quick test_budget_atomic;
+    QCheck_alcotest.to_alcotest prop_jobs_cache_invariant;
+    QCheck_alcotest.to_alcotest prop_permuted_cache_valid;
+  ]

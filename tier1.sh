@@ -1,0 +1,13 @@
+#!/bin/sh
+# Tier-1 verification: full build + test suite + a parallel-path smoke run.
+set -e
+cd "$(dirname "$0")"
+
+dune build @all
+dune runtest
+
+# Smoke: end-to-end decompose through the mpl_engine path (2 domains,
+# cache on by default in the CLI).
+dune exec bin/mpld.exe -- decompose C880 -a linear -j 2
+
+echo "tier1: OK"
