@@ -346,23 +346,57 @@ let json_of_rows rows =
       if i > 0 then Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
-           "  {\"circuit\": %S, \"algorithm\": %S, \"jobs\": %d, \"cache\": \
+           "    {\"circuit\": %S, \"algorithm\": %S, \"jobs\": %d, \"cache\": \
             %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \"cache_hits\": \
             %d, \"pieces\": %d}"
            r.p_circuit r.p_algorithm r.p_jobs r.p_cache r.p_wall_s r.p_cn
            r.p_st r.p_cache_hits r.p_pieces))
     rows;
-  Buffer.add_string b "\n]\n";
+  Buffer.add_string b "\n  ]";
   Buffer.contents b
 
-let write_results rows =
+let git_commit () =
+  try
+    let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+    let line = try input_line ic with End_of_file -> "" in
+    ignore (Unix.close_process_in ic);
+    if line = "" then "unknown" else line
+  with _ -> "unknown"
+
+(* Schema v2: run metadata plus an optional metrics-registry sample next
+   to the raw result rows, so regressions can be traced to the machine
+   and commit that produced them. *)
+let results_schema_version = 2
+
+let write_results ?metrics rows =
   let dir = "bench/results" in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let path = Filename.concat dir "latest.json" in
+  let b = Buffer.create 8192 in
+  Buffer.add_string b "{\n";
+  Buffer.add_string b
+    (Printf.sprintf "  \"schema_version\": %d,\n" results_schema_version);
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"meta\": {\"git_commit\": %S, \"cores\": %d, \"ocaml_version\": \
+        %S},\n"
+       (git_commit ())
+       (Domain.recommended_domain_count ())
+       Sys.ocaml_version);
+  Buffer.add_string b "  \"results\": ";
+  Buffer.add_string b (json_of_rows rows);
+  (match metrics with
+  | None -> ()
+  | Some snap ->
+    Buffer.add_string b ",\n  \"metrics\": ";
+    Buffer.add_string b
+      (Mpl_obs.Json.to_string (Mpl_obs.Export.metrics_json snap)));
+  Buffer.add_string b "\n}\n";
   let oc = open_out path in
-  output_string oc (json_of_rows rows);
+  output_string oc (Buffer.contents b);
   close_out oc;
-  Format.printf "wrote %s (%d records)@." path (List.length rows)
+  Format.printf "wrote %s (%d records, schema v%d)@." path (List.length rows)
+    results_schema_version
 
 let parallel () =
   Format.printf
@@ -375,6 +409,7 @@ let parallel () =
     [ (1, false); (2, false); (4, false); (1, true); (4, true) ]
   in
   let rows = ref [] in
+  let metrics_sample = ref None in
   List.iter
     (fun name ->
       let g = build_graph ~min_s:80 name in
@@ -382,8 +417,15 @@ let parallel () =
       let reference_cost = ref None in
       List.iter
         (fun (jobs, cache) ->
-          let params = { D.default_params with D.jobs; cache } in
+          (* Sample the metrics registry once, on the first cached run:
+             metrics collection never changes colorings or costs. *)
+          let metrics = cache && !metrics_sample = None in
+          let params = { D.default_params with D.jobs; cache; metrics } in
           let r = D.assign ~params algo g in
+          (match r.D.metrics with
+          | Some snap when !metrics_sample = None ->
+            metrics_sample := Some snap
+          | Some _ | None -> ());
           let cn = r.D.cost.C.conflicts and st = r.D.cost.C.stitches in
           (match !reference_cost with
           | None -> reference_cost := Some (cn, st)
@@ -431,7 +473,7 @@ let parallel () =
             :: !rows)
         settings)
     parallel_circuits;
-  write_results (List.rev !rows)
+  write_results ?metrics:!metrics_sample (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)

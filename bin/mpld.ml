@@ -1,9 +1,10 @@
 (* mpld — multiple-patterning layout decomposer CLI.
 
    Subcommands:
-     gen        generate a synthetic benchmark layout file
-     decompose  decompose a layout file (or named benchmark) and report
-     stats      print decomposition-graph statistics for a layout *)
+     gen         generate a synthetic benchmark layout file
+     decompose   decompose a layout file (or named benchmark) and report
+     stats       print decomposition-graph and division statistics
+     trace-check validate a Chrome trace emitted by --trace *)
 
 open Cmdliner
 
@@ -94,6 +95,21 @@ let engine_params base ~jobs ~no_cache ~cache_permuted =
     cache_permuted;
   }
 
+let trace_arg =
+  let doc =
+    "Write a Chrome trace_event JSON profile of the run to $(docv) \
+     (open in chrome://tracing or ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let metrics_arg =
+  let doc = "Collect run metrics and print the registry to stderr." in
+  Arg.(value & flag & info [ "metrics" ] ~doc)
+
+let verbose_arg =
+  let doc = "Print per-phase timing summaries to stderr." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
 let refine_arg =
   let doc = "Run a local-search refinement pass after division." in
   Arg.(value & flag & info [ "refine" ] ~doc)
@@ -112,9 +128,13 @@ let resolve_min_s ~k ~min_s =
 
 let decompose_cmd =
   let run source k min_s algo budget refine balance jobs no_cache
-      cache_permuted =
+      cache_permuted trace metrics verbose =
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
+    (* -v needs span data even without a trace file. *)
+    let sink =
+      if trace <> None || verbose then Some (Mpl_obs.Sink.create ()) else None
+    in
     let params =
       engine_params ~jobs ~no_cache ~cache_permuted
         {
@@ -125,6 +145,8 @@ let decompose_cmd =
             (if refine then Mpl.Decomposer.Local_search
              else Mpl.Decomposer.No_post);
           balance;
+          trace = sink;
+          metrics;
         }
     in
     let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
@@ -136,13 +158,30 @@ let decompose_cmd =
         (String.concat " "
            (Array.to_list
               (Array.map string_of_int
-                 (Mpl.Balance.usage ~k report.Mpl.Decomposer.colors))))
+                 (Mpl.Balance.usage ~k report.Mpl.Decomposer.colors))));
+    (match sink with
+    | None -> ()
+    | Some sink ->
+      let events = Mpl_obs.Sink.events sink in
+      if verbose then
+        Format.eprintf "-- phases --@.%a" Mpl_obs.Export.pp_phases events;
+      match trace with
+      | None -> ()
+      | Some file ->
+        Mpl_obs.Export.write_chrome ~process_name:("mpld " ^ source) file
+          events;
+        Format.eprintf "trace: wrote %d spans to %s@." (List.length events)
+          file);
+    match report.Mpl.Decomposer.metrics with
+    | Some snap when metrics ->
+      Format.eprintf "-- metrics --@.%a" Mpl_obs.Export.pp_metrics snap
+    | Some _ | None -> ()
   in
   let term =
     Term.(
       const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
       $ refine_arg $ balance_arg $ jobs_arg $ no_cache_arg
-      $ cache_permuted_arg)
+      $ cache_permuted_arg $ trace_arg $ metrics_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
 
@@ -180,10 +219,57 @@ let stats_cmd =
     let largest = if Array.length sizes = 0 then 0 else sizes.(Array.length sizes - 1) in
     Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
     Format.printf "graph: %a (min_s=%d)@." Mpl.Decomp_graph.pp g min_s;
-    Format.printf "components: %d (largest %d)@." (Array.length comps) largest
+    Format.printf "components: %d (largest %d)@." (Array.length comps) largest;
+    (* Division-stage counts come from a metrics-enabled dry run of the
+       full division pipeline under the cheap linear solver. *)
+    let params = { Mpl.Decomposer.default_params with k; metrics = true } in
+    let r = Mpl.Decomposer.assign ~params Mpl.Decomposer.Linear g in
+    match r.Mpl.Decomposer.metrics with
+    | None -> ()
+    | Some snap ->
+      let c name =
+        Option.value ~default:0 (Mpl_obs.Metrics.find_counter snap name)
+      in
+      Format.printf
+        "division: pieces=%d peeled=%d bicon_splits=%d gh_cuts=%d \
+         maxflow_calls=%d@."
+        (c "division.pieces") (c "division.peeled")
+        (c "division.bicon_splits") (c "division.gh_cuts")
+        (c "division.maxflow_calls")
   in
   let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg) in
-  Cmd.v (Cmd.info "stats" ~doc:"Print decomposition-graph statistics") term
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Print decomposition-graph and division-pipeline statistics")
+    term
+
+let trace_check_cmd =
+  let file_arg =
+    let doc = "Chrome trace JSON file (as written by decompose --trace)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc)
+  in
+  let require_arg =
+    let doc = "Fail unless a span named $(docv) is present (repeatable)." in
+    Arg.(value & opt_all string [] & info [ "require" ] ~docv:"NAME" ~doc)
+  in
+  let run file required =
+    let ic = open_in_bin file in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Mpl_obs.Export.validate_chrome ~required s with
+    | Ok spans -> Format.printf "%s: valid, %d spans@." file spans
+    | Error e ->
+      Format.eprintf "%s: invalid trace: %s@." file e;
+      exit 1
+  in
+  let term = Term.(const run $ file_arg $ require_arg) in
+  Cmd.v
+    (Cmd.info "trace-check"
+       ~doc:"Validate a Chrome trace emitted by decompose --trace")
+    term
 
 let conflicts_cmd =
   let run source k min_s budget =
@@ -320,6 +406,7 @@ let () =
             decompose_cmd;
             gen_cmd;
             stats_cmd;
+            trace_check_cmd;
             conflicts_cmd;
             svg_cmd;
             report_cmd;

@@ -97,7 +97,12 @@ let greedy ~k inst =
     order;
   colors
 
-type result = { colors : int array; scaled_cost : int; optimal : bool }
+type result = {
+  colors : int array;
+  scaled_cost : int;
+  optimal : bool;
+  nodes : int;
+}
 
 let solve ?(node_cap = 2_000_000) ?(budget = Mpl_util.Timer.budget 0.)
     ?init ~k inst =
@@ -147,4 +152,9 @@ let solve ?(node_cap = 2_000_000) ?(budget = Mpl_util.Timer.budget 0.)
     end
   in
   if inst.n > 0 then branch 0 0 (-1);
-  { colors = !best; scaled_cost = !best_cost; optimal = not !aborted }
+  {
+    colors = !best;
+    scaled_cost = !best_cost;
+    optimal = not !aborted;
+    nodes = !nodes;
+  }

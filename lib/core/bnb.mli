@@ -33,6 +33,7 @@ type result = {
   colors : int array;
   scaled_cost : int;
   optimal : bool;  (** search space exhausted within the budget *)
+  nodes : int;  (** branch nodes expanded *)
 }
 
 val solve :

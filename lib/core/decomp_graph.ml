@@ -65,36 +65,54 @@ let of_edges ?(stitch_edges = []) ?(friendly_edges = []) ?feature ~n
     feature;
   }
 
-let of_layout ?max_stitches_per_feature (layout : Mpl_layout.Layout.t) ~min_s =
+let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
+    (layout : Mpl_layout.Layout.t) ~min_s =
+  Mpl_obs.Obs.span obs "graph.build" @@ fun () ->
   let split =
-    Mpl_layout.Stitch.split ?max_stitches_per_feature layout ~min_s
+    Mpl_obs.Obs.span obs "graph.stitch_split" (fun () ->
+        Mpl_layout.Stitch.split ?max_stitches_per_feature layout ~min_s)
   in
   let nodes = split.Mpl_layout.Stitch.nodes in
   let n = Array.length nodes in
-  let hp = layout.Mpl_layout.Layout.tech.Mpl_layout.Layout.half_pitch in
-  let friendly_radius = min_s + hp in
-  let index = Grid_index.create ~cell:(max friendly_radius 16) in
-  Array.iteri
-    (fun i node ->
-      Grid_index.add index i (Polygon.bbox node.Mpl_layout.Stitch.shape))
-    nodes;
   let conflicts = ref [] in
   let friendlies = ref [] in
-  let min_s2 = min_s * min_s in
-  let friendly2 = friendly_radius * friendly_radius in
-  Grid_index.iter_pairs index ~radius:friendly_radius (fun i j ->
-      let ni = nodes.(i) and nj = nodes.(j) in
-      if ni.Mpl_layout.Stitch.feature <> nj.Mpl_layout.Stitch.feature then begin
-        let d2 =
-          Polygon.distance2 ni.Mpl_layout.Stitch.shape
-            nj.Mpl_layout.Stitch.shape
-        in
-        if d2 <= min_s2 then conflicts := (i, j) :: !conflicts
-        else if d2 <= friendly2 then friendlies := (i, j) :: !friendlies
-      end);
+  Mpl_obs.Obs.span obs "graph.neighbor_search"
+    ~args:[ ("nodes", Mpl_obs.Sink.Int n) ]
+    (fun () ->
+      let hp = layout.Mpl_layout.Layout.tech.Mpl_layout.Layout.half_pitch in
+      let friendly_radius = min_s + hp in
+      let index = Grid_index.create ~cell:(max friendly_radius 16) in
+      Array.iteri
+        (fun i node ->
+          Grid_index.add index i (Polygon.bbox node.Mpl_layout.Stitch.shape))
+        nodes;
+      let min_s2 = min_s * min_s in
+      let friendly2 = friendly_radius * friendly_radius in
+      Grid_index.iter_pairs index ~radius:friendly_radius (fun i j ->
+          let ni = nodes.(i) and nj = nodes.(j) in
+          if ni.Mpl_layout.Stitch.feature <> nj.Mpl_layout.Stitch.feature
+          then begin
+            let d2 =
+              Polygon.distance2 ni.Mpl_layout.Stitch.shape
+                nj.Mpl_layout.Stitch.shape
+            in
+            if d2 <= min_s2 then conflicts := (i, j) :: !conflicts
+            else if d2 <= friendly2 then friendlies := (i, j) :: !friendlies
+          end));
   let feature =
     Array.map (fun node -> node.Mpl_layout.Stitch.feature) nodes
   in
+  let m = obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "graph.nodes") n;
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "graph.conflict_edges")
+    (List.length !conflicts);
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "graph.stitch_edges")
+    (List.length split.Mpl_layout.Stitch.stitch_edges);
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "graph.friendly_edges")
+    (List.length !friendlies);
   of_edges ~stitch_edges:split.Mpl_layout.Stitch.stitch_edges
     ~friendly_edges:!friendlies ~feature ~n !conflicts
 

@@ -27,10 +27,19 @@ val of_edges :
     edges that are both conflict and stitch are rejected. *)
 
 val of_layout :
-  ?max_stitches_per_feature:int -> Mpl_layout.Layout.t -> min_s:int -> t
+  ?obs:Mpl_obs.Obs.t ->
+  ?max_stitches_per_feature:int ->
+  Mpl_layout.Layout.t ->
+  min_s:int ->
+  t
 (** Build from a layout: stitch-split the features, then join sub-features
     of distinct features by conflict (distance <= min_s) and
-    color-friendly (min_s < distance <= min_s + half_pitch) edges. *)
+    color-friendly (min_s < distance <= min_s + half_pitch) edges.
+
+    With [obs], the construction runs under a [graph.build] span with
+    [graph.stitch_split] and [graph.neighbor_search] children, and the
+    registry accumulates [graph.nodes] / [graph.conflict_edges] /
+    [graph.stitch_edges] / [graph.friendly_edges] counters. *)
 
 val conflict_edges : t -> (int * int) list
 (** Each conflict edge once, [(u, v)] with [u < v]. *)

@@ -22,6 +22,8 @@ type params = {
   jobs : int;
   cache : bool;
   cache_permuted : bool;
+  trace : Mpl_obs.Sink.t option;
+  metrics : bool;
 }
 
 let default_params =
@@ -38,7 +40,22 @@ let default_params =
     jobs = 1;
     cache = false;
     cache_permuted = false;
+    trace = None;
+    metrics = false;
   }
+
+(* One observability context per run: the caller-supplied span sink (if
+   any) plus a private metrics registry whose snapshot lands in the
+   report. Both default to the null implementations, in which case
+   every probe in the pipeline is a no-op branch. *)
+let make_obs params =
+  let sink =
+    match params.trace with Some s -> s | None -> Mpl_obs.Sink.null
+  in
+  let metrics =
+    if params.metrics then Mpl_obs.Metrics.create () else Mpl_obs.Metrics.null
+  in
+  Mpl_obs.Obs.make ~sink ~metrics ()
 
 type report = {
   algorithm : algorithm;
@@ -49,6 +66,7 @@ type report = {
   timed_out : bool;
   division : Division.stats;
   engine : Mpl_engine.Engine.stats option;
+  metrics : Mpl_obs.Metrics.snapshot option;
 }
 
 (* Leaf solver for one divided piece. The exact algorithms share one
@@ -56,38 +74,60 @@ type report = {
    number per circuit); when it expires, remaining pieces fall back to a
    greedy coloring and the run is flagged N/A. The budget deadline and
    the timeout flag are both safe to touch from pool workers. *)
-let make_solver ~params ~budget ~timed_out algorithm (piece : Decomp_graph.t) =
+let make_solver ~obs ~params ~budget ~timed_out algorithm
+    (piece : Decomp_graph.t) =
   let k = params.k and alpha = params.alpha in
+  let m = obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.solves");
+  let trip () =
+    Atomic.set timed_out true;
+    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.budget_trips")
+  in
+  let observe_sdp (sol : Mpl_numeric.Sdp.solution) =
+    Mpl_obs.Metrics.observe
+      (Mpl_obs.Metrics.histogram m "solver.sdp_iterations")
+      (float_of_int sol.Mpl_numeric.Sdp.iterations)
+  in
+  Mpl_obs.Obs.span obs
+    ("solve." ^ algorithm_name algorithm)
+    ~cat:"solve"
+    ~args:[ ("n", Mpl_obs.Sink.Int piece.Decomp_graph.n) ]
+  @@ fun () ->
   match algorithm with
   | Linear -> Linear_color.solve ~k ~alpha piece
   | Exact ->
     let r =
       Exact_color.solve ~node_cap:params.node_cap ~budget ~k ~alpha piece
     in
-    if not r.Bnb.optimal then Atomic.set timed_out true;
+    Mpl_obs.Metrics.observe
+      (Mpl_obs.Metrics.histogram m "solver.bnb_nodes")
+      (float_of_int r.Bnb.nodes);
+    if not r.Bnb.optimal then trip ();
     r.Bnb.colors
   | Ilp ->
     if Mpl_util.Timer.expired budget then begin
-      Atomic.set timed_out true;
+      trip ();
       Bnb.greedy ~k (Bnb.instance_of_graph ~alpha piece)
     end
     else begin
       let r = Ilp_color.solve ~budget ~k ~alpha piece in
-      if not r.Ilp_color.optimal then Atomic.set timed_out true;
+      if not r.Ilp_color.optimal then trip ();
       r.Ilp_color.colors
     end
   | Sdp_greedy ->
     if piece.Decomp_graph.n <= 1 then Array.make piece.Decomp_graph.n 0
     else begin
       let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
+      observe_sdp sol;
       Sdp_color.greedy_map ~k sol piece
     end
   | Sdp_backtrack ->
     if piece.Decomp_graph.n <= 1 then Array.make piece.Decomp_graph.n 0
     else begin
       let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
-      Sdp_color.backtrack ~tth:params.tth ~node_cap:params.node_cap ~k ~alpha
-        sol piece
+      observe_sdp sol;
+      Sdp_color.backtrack ~obs ~tth:params.tth ~node_cap:params.node_cap ~k
+        ~alpha sol piece
     end
 
 (* Canonical signature of a piece for the engine cache: the three edge
@@ -116,18 +156,19 @@ let piece_signature (piece : Decomp_graph.t) =
    graph: substituting any valid coloring of a component can never
    change a crossing cost, so cache reuse is cost-exact by
    construction. *)
-let engine_assign ~params ~stats ~solver (g : Decomp_graph.t) =
+let engine_assign ~obs ~params ~stats ~solver (g : Decomp_graph.t) =
   let jobs = max 1 params.jobs in
   let comps =
     if params.stages.Division.use_components then
-      Mpl_graph.Connectivity.components (Decomp_graph.union_graph g)
+      Mpl_obs.Obs.span obs "division.components" (fun () ->
+          Mpl_graph.Connectivity.components (Decomp_graph.union_graph g))
     else [| Array.init g.Decomp_graph.n (fun v -> v) |]
   in
   let pieces = Array.map (Decomp_graph.subgraph g) comps in
   let solve_piece (piece, _back) =
     let local = Division.fresh_stats () in
     let colors =
-      Division.assign ~stages:params.stages ~stats:local ~k:params.k
+      Division.assign ~obs ~stages:params.stages ~stats:local ~k:params.k
         ~alpha:params.alpha ~solver piece
     in
     (colors, local)
@@ -139,15 +180,15 @@ let engine_assign ~params ~stats ~solver (g : Decomp_graph.t) =
            ~mode:
              (if params.cache_permuted then Mpl_engine.Cache.Permuted
               else Mpl_engine.Cache.Exact)
-           ())
+           ~obs ())
     else None
   in
   let signature (piece, _back) =
     if params.cache then piece_signature piece else None
   in
-  Mpl_engine.Pool.with_pool ~jobs (fun pool ->
+  Mpl_engine.Pool.with_pool ~obs ~jobs (fun pool ->
       let results, estats =
-        Mpl_engine.Engine.solve_pieces ~pool ?cache ~signature
+        Mpl_engine.Engine.solve_pieces ~obs ~pool ?cache ~signature
           ~solve:solve_piece
           (Array.to_list pieces)
       in
@@ -164,7 +205,8 @@ let engine_assign ~params ~stats ~solver (g : Decomp_graph.t) =
         results;
       (colors, estats))
 
-let assign ?(params = default_params) algorithm g =
+let assign ?(params = default_params) ?obs algorithm g =
+  let obs = match obs with Some o -> o | None -> make_obs params in
   let stats = Division.fresh_stats () in
   let timed_out = Atomic.make false in
   let budget =
@@ -172,10 +214,17 @@ let assign ?(params = default_params) algorithm g =
     | Ilp | Exact -> Mpl_util.Timer.budget params.solver_budget_s
     | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
   in
-  let solver = make_solver ~params ~budget ~timed_out algorithm in
+  let solver = make_solver ~obs ~params ~budget ~timed_out algorithm in
   let engine_stats = ref None in
   let (colors, elapsed_s) =
     Mpl_util.Timer.time (fun () ->
+        Mpl_obs.Obs.span obs "assign"
+          ~args:
+            [
+              ("algorithm", Mpl_obs.Sink.Str (algorithm_name algorithm));
+              ("n", Mpl_obs.Sink.Int g.Decomp_graph.n);
+            ]
+        @@ fun () ->
         let colors =
           (* jobs = 1 without the cache takes the exact historical
              sequential path; anything else routes through the engine.
@@ -184,10 +233,10 @@ let assign ?(params = default_params) algorithm g =
              stage), but keeping the legacy path makes the sequential
              fallback trivially bit-for-bit. *)
           if params.jobs <= 1 && not params.cache then
-            Division.assign ~stages:params.stages ~stats ~k:params.k
+            Division.assign ~obs ~stages:params.stages ~stats ~k:params.k
               ~alpha:params.alpha ~solver g
           else begin
-            let colors, estats = engine_assign ~params ~stats ~solver g in
+            let colors, estats = engine_assign ~obs ~params ~stats ~solver g in
             engine_stats := Some estats;
             colors
           end
@@ -196,17 +245,26 @@ let assign ?(params = default_params) algorithm g =
           match params.post with
           | No_post -> colors
           | Local_search ->
-            Refine.local_search ~k:params.k ~alpha:params.alpha g colors
+            Mpl_obs.Obs.span obs "post.local_search" (fun () ->
+                Refine.local_search ~k:params.k ~alpha:params.alpha g colors)
           | Anneal iterations ->
-            Refine.anneal ~iterations ~k:params.k ~alpha:params.alpha g colors
+            Mpl_obs.Obs.span obs "post.anneal" (fun () ->
+                Refine.anneal ~iterations ~k:params.k ~alpha:params.alpha g
+                  colors)
         in
         if params.balance then
-          Balance.rebalance ~k:params.k ~alpha:params.alpha g colors
+          Mpl_obs.Obs.span obs "post.balance" (fun () ->
+              Balance.rebalance ~k:params.k ~alpha:params.alpha g colors)
         else colors)
   in
   assert (Coloring.is_complete colors);
   assert (Coloring.check_range ~k:params.k colors);
   let cost = Coloring.evaluate ~alpha:params.alpha g colors in
+  let metrics =
+    let m = obs.Mpl_obs.Obs.metrics in
+    if Mpl_obs.Metrics.enabled m then Some (Mpl_obs.Metrics.snapshot m)
+    else None
+  in
   {
     algorithm;
     params;
@@ -216,11 +274,16 @@ let assign ?(params = default_params) algorithm g =
     timed_out = Atomic.get timed_out;
     division = stats;
     engine = !engine_stats;
+    metrics;
   }
 
-let decompose ?params ?max_stitches_per_feature ~min_s algorithm layout =
-  let g = Decomp_graph.of_layout ?max_stitches_per_feature layout ~min_s in
-  (g, assign ?params algorithm g)
+let decompose ?(params = default_params) ?max_stitches_per_feature ~min_s
+    algorithm layout =
+  (* One context for the whole run, so the graph-construction spans and
+     counters land in the same sink/registry as the assignment's. *)
+  let obs = make_obs params in
+  let g = Decomp_graph.of_layout ~obs ?max_stitches_per_feature layout ~min_s in
+  (g, assign ~params ~obs algorithm g)
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -49,6 +49,13 @@ type params = {
           components too ({!Mpl_engine.Cache.Permuted}); higher hit
           rate, but heuristic tie-breaks may then produce (equally
           valid) colorings differing from an uncached run *)
+  trace : Mpl_obs.Sink.t option;
+      (** span sink for structured tracing; [None] (the default)
+          disables tracing entirely — the traced and untraced runs
+          produce bit-identical colorings and costs either way *)
+  metrics : bool;
+      (** accumulate a metrics registry during the run and attach its
+          snapshot to the report *)
 }
 
 val default_params : params
@@ -65,10 +72,21 @@ type report = {
   division : Division.stats;
   engine : Mpl_engine.Engine.stats option;
       (** pool/cache statistics; [None] on the sequential legacy path *)
+  metrics : Mpl_obs.Metrics.snapshot option;
+      (** snapshot of the run's metrics registry when
+          [params.metrics]; [None] otherwise *)
 }
 
-val assign : ?params:params -> algorithm -> Decomp_graph.t -> report
-(** Run division + color assignment on a prebuilt decomposition graph. *)
+val assign :
+  ?params:params -> ?obs:Mpl_obs.Obs.t -> algorithm -> Decomp_graph.t -> report
+(** Run division + color assignment on a prebuilt decomposition graph.
+    An observability context is built from [params.trace] /
+    [params.metrics] unless one is passed explicitly ([obs] then takes
+    precedence; {!decompose} uses this to share one context between
+    graph construction and assignment). The whole assignment runs under
+    an [assign] span; each leaf solve under a [solve.<algorithm>] span;
+    post passes under [post.local_search] / [post.anneal] /
+    [post.balance]. *)
 
 val decompose :
   ?params:params ->
@@ -77,6 +95,8 @@ val decompose :
   algorithm ->
   Mpl_layout.Layout.t ->
   Decomp_graph.t * report
-(** Build the decomposition graph from the layout, then [assign]. *)
+(** Build the decomposition graph from the layout, then [assign] — both
+    under one observability context, so a trace covers graph
+    construction and assignment. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -112,20 +112,38 @@ let best_rotation ~k ~alpha colors_a colors_b crossing_conflict crossing_stitch 
   done;
   !best_r
 
-let assign ?(stages = all_stages) ?stats ~k ~alpha ~solver (g : Decomp_graph.t) =
+let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats ~k ~alpha
+    ~solver (g : Decomp_graph.t) =
   if k < 2 then invalid_arg "Division.assign: k < 2";
   let stats = match stats with Some s -> s | None -> fresh_stats () in
+  (* Metric handles resolve to no-ops on a null registry. The stage
+     spans below cover only each stage's own analysis (component scan,
+     peel fixpoint, block decomposition, GH tree + cut recovery), never
+     the recursive solves underneath — so phase totals don't multiply
+     count nested work. *)
+  let m = obs.Mpl_obs.Obs.metrics in
+  let c_pieces = Mpl_obs.Metrics.counter m "division.pieces" in
+  let c_peeled = Mpl_obs.Metrics.counter m "division.peeled" in
+  let c_bicon = Mpl_obs.Metrics.counter m "division.bicon_splits" in
+  let c_cuts = Mpl_obs.Metrics.counter m "division.gh_cuts" in
+  let c_maxflow = Mpl_obs.Metrics.counter m "division.maxflow_calls" in
+  let h_size = Mpl_obs.Metrics.histogram m "division.piece_size" in
   let leaf sub =
     stats.pieces <- stats.pieces + 1;
     if sub.Decomp_graph.n > stats.largest_piece then
       stats.largest_piece <- sub.Decomp_graph.n;
+    Mpl_obs.Metrics.incr c_pieces;
+    Mpl_obs.Metrics.observe h_size (float_of_int sub.Decomp_graph.n);
     let colors = solver sub in
     assert (Array.length colors = sub.Decomp_graph.n);
     colors
   in
   let rec conquer sub =
     if stages.use_components then begin
-      let comps = Connectivity.components (Decomp_graph.union_graph sub) in
+      let comps =
+        Mpl_obs.Obs.span obs "division.components" (fun () ->
+            Connectivity.components (Decomp_graph.union_graph sub))
+      in
       if Array.length comps > 1 then begin
         let colors = Array.make sub.Decomp_graph.n (-1) in
         Array.iter
@@ -141,11 +159,14 @@ let assign ?(stages = all_stages) ?stats ~k ~alpha ~solver (g : Decomp_graph.t) 
     else connected sub
   and connected sub =
     if stages.use_peel then begin
-      let alive, stack = peel ~k sub in
+      let alive, stack =
+        Mpl_obs.Obs.span obs "division.peel" (fun () -> peel ~k sub)
+      in
       match stack with
       | [] -> blocks sub
       | _ ->
         stats.peeled <- stats.peeled + List.length stack;
+        Mpl_obs.Metrics.add c_peeled (List.length stack);
         let core =
           Array.of_list
             (List.filter
@@ -164,9 +185,13 @@ let assign ?(stages = all_stages) ?stats ~k ~alpha ~solver (g : Decomp_graph.t) 
     else blocks sub
   and blocks sub =
     if stages.use_biconnected then begin
-      let bl = Array.of_list (Biconnected.blocks (Decomp_graph.union_graph sub)) in
+      let bl =
+        Mpl_obs.Obs.span obs "division.biconnected" (fun () ->
+            Array.of_list (Biconnected.blocks (Decomp_graph.union_graph sub)))
+      in
       if Array.length bl <= 1 then ghtree sub
       else begin
+        Mpl_obs.Metrics.add c_bicon (Array.length bl - 1);
         let colors = Array.make sub.Decomp_graph.n (-1) in
         (* BFS over the block-cut tree so every non-root block meets
            exactly one pre-colored (articulation) vertex. *)
@@ -217,25 +242,40 @@ let assign ?(stages = all_stages) ?stats ~k ~alpha ~solver (g : Decomp_graph.t) 
     else ghtree sub
   and ghtree sub =
     if stages.use_ghtree && sub.Decomp_graph.n >= 2 then begin
-      let ug = Decomp_graph.union_graph sub in
-      let ght = Gomory_hu.build ug in
-      let edges = Gomory_hu.tree_edges ght in
-      let best = ref None in
-      Array.iter
-        (fun (v, p, w) ->
-          match !best with
-          | Some (_, _, bw) when bw <= w -> ()
-          | _ -> if w < k then best := Some (v, p, w))
-        edges;
-      match !best with
+      let ug, best =
+        Mpl_obs.Obs.span obs "division.ghtree"
+          ~args:[ ("n", Mpl_obs.Sink.Int sub.Decomp_graph.n) ]
+          (fun () ->
+            let ug = Decomp_graph.union_graph sub in
+            let ght = Gomory_hu.build ug in
+            (* Gusfield's construction runs one max-flow per non-root
+               vertex. *)
+            Mpl_obs.Metrics.add c_maxflow (max 0 (sub.Decomp_graph.n - 1));
+            let edges = Gomory_hu.tree_edges ght in
+            let best = ref None in
+            Array.iter
+              (fun (v, p, w) ->
+                match !best with
+                | Some (_, _, bw) when bw <= w -> ()
+                | _ -> if w < k then best := Some (v, p, w))
+              edges;
+            (ug, !best))
+      in
+      match best with
       | None -> leaf sub
       | Some (s, t, _) ->
         stats.cuts <- stats.cuts + 1;
+        Mpl_obs.Metrics.incr c_cuts;
         (* Gusfield trees are only flow-equivalent: recover an actual
            minimum cut with one more max-flow before splitting. *)
-        let net = Maxflow.of_ugraph ug in
-        let _ = Maxflow.max_flow net ~s ~t in
-        let side = Maxflow.min_cut_side net ~s in
+        let side =
+          Mpl_obs.Obs.span obs "division.ghtree" ~cat:"division"
+            (fun () ->
+              let net = Maxflow.of_ugraph ug in
+              let _ = Maxflow.max_flow net ~s ~t in
+              Mpl_obs.Metrics.incr c_maxflow;
+              Maxflow.min_cut_side net ~s)
+        in
         let in_a = Array.make sub.Decomp_graph.n false in
         Array.iter (fun v -> in_a.(v) <- true) side;
         let part flag =

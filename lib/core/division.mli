@@ -42,6 +42,7 @@ type stats = {
 }
 
 val assign :
+  ?obs:Mpl_obs.Obs.t ->
   ?stages:stages ->
   ?stats:stats ->
   k:int ->
@@ -50,6 +51,15 @@ val assign :
   Decomp_graph.t ->
   int array
 (** Divide, color every piece with [solver], reassemble. The result
-    assigns every vertex a color in [0..k-1]. *)
+    assigns every vertex a color in [0..k-1].
+
+    With [obs], each stage's own analysis work (component scan, peel
+    fixpoint, block decomposition, GH tree and cut recovery — never the
+    recursive solves underneath) runs under [division.components] /
+    [division.peel] / [division.biconnected] / [division.ghtree] spans,
+    and the registry accumulates [division.pieces], [division.peeled],
+    [division.bicon_splits], [division.gh_cuts],
+    [division.maxflow_calls] counters plus a [division.piece_size]
+    histogram of leaf sizes. *)
 
 val fresh_stats : unit -> stats

@@ -62,8 +62,8 @@ let groups_compatible g members ra rb =
     (fun u -> List.for_all (fun v -> not (Decomp_graph.has_conflict g u v)) members.(rb))
     members.(ra)
 
-let backtrack ?(tth = 0.9) ?node_cap ?budget ~k ~alpha (sol : Sdp.solution)
-    (g : Decomp_graph.t) =
+let backtrack ?(obs = Mpl_obs.Obs.null) ?(tth = 0.9) ?node_cap ?budget ~k
+    ~alpha (sol : Sdp.solution) (g : Decomp_graph.t) =
   let n = g.Decomp_graph.n in
   if n = 0 then [||]
   else begin
@@ -143,5 +143,8 @@ let backtrack ?(tth = 0.9) ?node_cap ?budget ~k ~alpha (sol : Sdp.solution)
       init.(group_of.(v)) <- greedy.(v)
     done;
     let result = Bnb.solve ?node_cap ?budget ~init ~k inst in
+    Mpl_obs.Metrics.observe
+      (Mpl_obs.Metrics.histogram obs.Mpl_obs.Obs.metrics "solver.bnb_nodes")
+      (float_of_int result.Bnb.nodes);
     Array.init n (fun v -> result.Bnb.colors.(group_of.(v)))
   end

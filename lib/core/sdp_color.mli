@@ -18,6 +18,7 @@ val greedy_map :
     hard-penalizing same-color conflict neighbors. *)
 
 val backtrack :
+  ?obs:Mpl_obs.Obs.t ->
   ?tth:float ->
   ?node_cap:int ->
   ?budget:Mpl_util.Timer.budget ->
@@ -29,4 +30,6 @@ val backtrack :
 (** Paper Algorithm 1: merge every pair with Gram entry >= [tth]
     (default 0.9) into one vertex of a weighted merged graph, then
     branch-and-bound search on the merged graph. Anytime under the node
-    cap; seeded with the greedy mapping so it never does worse. *)
+    cap; seeded with the greedy mapping so it never does worse. With
+    [obs], the merged search's expanded node count is observed into the
+    [solver.bnb_nodes] histogram. *)

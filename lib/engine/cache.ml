@@ -120,6 +120,17 @@ type 'v entry = {
   value : 'v;
 }
 
+(* Observability handles: all no-ops (and [timed = false], so no clock
+   reads) unless [create] was given an enabled metrics registry. *)
+type stats = {
+  probes : Mpl_obs.Metrics.counter;
+  hit_c : Mpl_obs.Metrics.counter;
+  stores : Mpl_obs.Metrics.counter;
+  probe_ns : Mpl_obs.Metrics.histogram;
+  store_ns : Mpl_obs.Metrics.histogram;
+  timed : bool;
+}
+
 type 'v t = {
   mode : mode;
   table : (string, 'v entry list) Hashtbl.t;  (* key -> variants, oldest first *)
@@ -128,9 +139,21 @@ type 'v t = {
   misses_c : int Atomic.t;
   mutable entries : int;
   max_variants : int;
+  stats : stats;
 }
 
-let create ?(mode = Exact) ?(max_variants = 8) () =
+let make_stats (obs : Mpl_obs.Obs.t) =
+  let m = obs.Mpl_obs.Obs.metrics in
+  {
+    probes = Mpl_obs.Metrics.counter m "cache.probes";
+    hit_c = Mpl_obs.Metrics.counter m "cache.hits";
+    stores = Mpl_obs.Metrics.counter m "cache.stores";
+    probe_ns = Mpl_obs.Metrics.histogram m "cache.probe_ns";
+    store_ns = Mpl_obs.Metrics.histogram m "cache.store_ns";
+    timed = Mpl_obs.Metrics.enabled m;
+  }
+
+let create ?(mode = Exact) ?(max_variants = 8) ?(obs = Mpl_obs.Obs.null) () =
   {
     mode;
     table = Hashtbl.create 256;
@@ -139,55 +162,76 @@ let create ?(mode = Exact) ?(max_variants = 8) () =
     misses_c = Atomic.make 0;
     entries = 0;
     max_variants;
+    stats = make_stats obs;
   }
+
+(* Time [f ()] into histogram [h] when metrics are on. [f] never raises
+   here (both call sites are total up to programmer error). *)
+let timed_ns stats h f =
+  if stats.timed then begin
+    let t0 = Mpl_util.Timer.now_ns () in
+    let r = f () in
+    Mpl_obs.Metrics.observe h
+      (Int64.to_float (Int64.sub (Mpl_util.Timer.now_ns ()) t0));
+    r
+  end
+  else f ()
 
 let mode t = t.mode
 
 let uncanon s colors_canon = Array.init s.n (fun v -> colors_canon.(s.perm.(v)))
 
 let find t s =
-  Mutex.lock t.lock;
-  let variants =
-    Option.value ~default:[] (Hashtbl.find_opt t.table s.key)
-  in
-  Mutex.unlock t.lock;
-  let found =
-    match t.mode with
-    | Permuted -> ( match variants with e :: _ -> Some e | [] -> None)
-    | Exact ->
-      List.find_opt (fun e -> String.equal e.e_serial s.serial) variants
-  in
-  match found with
-  | Some e ->
-    Atomic.incr t.hits_c;
-    Some (uncanon s e.colors_canon, e.value)
-  | None ->
-    Atomic.incr t.misses_c;
-    None
+  Mpl_obs.Metrics.incr t.stats.probes;
+  timed_ns t.stats t.stats.probe_ns (fun () ->
+      let variants =
+        Mutex.lock t.lock;
+        let v = Option.value ~default:[] (Hashtbl.find_opt t.table s.key) in
+        Mutex.unlock t.lock;
+        v
+      in
+      let found =
+        match t.mode with
+        | Permuted -> ( match variants with e :: _ -> Some e | [] -> None)
+        | Exact ->
+          List.find_opt (fun e -> String.equal e.e_serial s.serial) variants
+      in
+      match found with
+      | Some e ->
+        Atomic.incr t.hits_c;
+        Mpl_obs.Metrics.incr t.stats.hit_c;
+        Some (uncanon s e.colors_canon, e.value)
+      | None ->
+        Atomic.incr t.misses_c;
+        None)
 
 let store t s (colors, value) =
   if Array.length colors <> s.n then
     invalid_arg "Cache.store: coloring length mismatch";
-  let colors_canon = Array.make s.n 0 in
-  Array.iteri (fun v p -> colors_canon.(p) <- colors.(v)) s.perm;
-  let entry = { e_serial = s.serial; colors_canon; value } in
-  Mutex.lock t.lock;
-  let variants =
-    Option.value ~default:[] (Hashtbl.find_opt t.table s.key)
-  in
-  let keep =
-    match t.mode with
-    | Permuted -> variants = []
-    | Exact ->
-      List.length variants < t.max_variants
-      && not
-           (List.exists (fun e -> String.equal e.e_serial s.serial) variants)
-  in
-  if keep then begin
-    Hashtbl.replace t.table s.key (variants @ [ entry ]);
-    t.entries <- t.entries + 1
-  end;
-  Mutex.unlock t.lock
+  Mpl_obs.Metrics.incr t.stats.stores;
+  timed_ns t.stats t.stats.store_ns (fun () ->
+      let colors_canon = Array.make s.n 0 in
+      Array.iteri (fun v p -> colors_canon.(p) <- colors.(v)) s.perm;
+      let entry = { e_serial = s.serial; colors_canon; value } in
+      Mutex.lock t.lock;
+      let variants =
+        Option.value ~default:[] (Hashtbl.find_opt t.table s.key)
+      in
+      let keep =
+        match t.mode with
+        | Permuted -> variants = []
+        | Exact ->
+          List.length variants < t.max_variants
+          && not
+               (List.exists
+                  (fun e -> String.equal e.e_serial s.serial)
+                  variants)
+      in
+      if keep then begin
+        Hashtbl.replace t.table s.key (variants @ [ entry ]);
+        t.entries <- t.entries + 1
+      end;
+      Mutex.unlock t.lock)
 
 let hits t = Atomic.get t.hits_c
 let misses t = Atomic.get t.misses_c

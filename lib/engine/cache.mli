@@ -59,10 +59,14 @@ type 'v t
 (** A memo table storing, per canonical key, solved colorings plus an
     arbitrary metadata payload ['v] (e.g. division statistics). *)
 
-val create : ?mode:mode -> ?max_variants:int -> unit -> 'v t
+val create :
+  ?mode:mode -> ?max_variants:int -> ?obs:Mpl_obs.Obs.t -> unit -> 'v t
 (** Default [mode] is [Exact]; [max_variants] (default 8) bounds the
     number of distinct original labelings remembered per canonical key
-    in [Exact] mode. *)
+    in [Exact] mode. When [obs] carries an enabled metrics registry the
+    cache maintains [cache.probes] / [cache.hits] / [cache.stores]
+    counters and [cache.probe_ns] / [cache.store_ns] latency
+    histograms; otherwise every probe is a no-op with no clock read. *)
 
 val mode : 'v t -> mode
 

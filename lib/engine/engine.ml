@@ -16,8 +16,12 @@ type 'v plan =
   | Follower of int  (* reuse the result of batch leader [i] *)
   | Leader  (* solve fresh on the pool *)
 
-let solve_pieces ~pool ?cache ?signature ~solve pieces =
+let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature ~solve
+    pieces =
   let items = Array.of_list pieces in
+  Mpl_obs.Obs.span obs "engine.batch"
+    ~args:[ ("pieces", Mpl_obs.Sink.Int (Array.length items)) ]
+  @@ fun () ->
   let n = Array.length items in
   let sigs =
     match (cache, signature) with
@@ -97,4 +101,9 @@ let solve_pieces ~pool ?cache ?signature ~solve pieces =
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)
   in
+  let m = obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.pieces") n;
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.solved") !solved;
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.cache_hits") !hits;
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.batch_reused") !reused;
   (out, { pieces = n; solved = !solved; hits = !hits; reused = !reused })

@@ -22,6 +22,7 @@ val no_stats : stats
 val add_stats : stats -> stats -> stats
 
 val solve_pieces :
+  ?obs:Mpl_obs.Obs.t ->
   pool:Pool.t ->
   ?cache:'v Cache.t ->
   ?signature:('a -> Cache.signature option) ->
@@ -36,4 +37,8 @@ val solve_pieces :
     solve; everything else is submitted to the pool and stored into the
     cache once joined. Pieces with no signature (or when [cache] /
     [signature] is omitted) are always solved fresh — the call then
-    degenerates to a deterministic parallel map. *)
+    degenerates to a deterministic parallel map.
+
+    With [obs], the whole batch runs under an [engine.batch] span and
+    the [engine.pieces] / [engine.solved] / [engine.cache_hits] /
+    [engine.batch_reused] counters accumulate the returned {!stats}. *)

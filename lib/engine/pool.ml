@@ -48,6 +48,18 @@ type 'a future = {
   fc : Condition.t;
 }
 
+(* Observability handles; all are no-op [None] handles when the pool is
+   created without [?obs] or the registry is the null one, so the
+   untraced pool pays one branch per event and reads no clocks. *)
+type stats = {
+  submitted : Mpl_obs.Metrics.counter;
+  steals : Mpl_obs.Metrics.counter;
+  helped : Mpl_obs.Metrics.counter;
+  idle_waits : Mpl_obs.Metrics.counter;
+  busy_ns : Mpl_obs.Metrics.counter array;  (* per worker slot, 0 = caller *)
+  timed : bool;  (* read the clock around task bodies *)
+}
+
 type t = {
   jobs : int;
   deques : (unit -> unit) Deque.t array;  (* index 0 belongs to the caller *)
@@ -57,22 +69,54 @@ type t = {
   mutable closed : bool;
   mutable domains : unit Domain.t array;
   mutable joined : bool;
+  stats : stats;
 }
 
 let jobs t = t.jobs
 
+let make_stats ~jobs (obs : Mpl_obs.Obs.t) =
+  let m = obs.Mpl_obs.Obs.metrics in
+  {
+    submitted = Mpl_obs.Metrics.counter m "pool.submitted";
+    steals = Mpl_obs.Metrics.counter m "pool.steals";
+    helped = Mpl_obs.Metrics.counter m "pool.helped";
+    idle_waits = Mpl_obs.Metrics.counter m "pool.idle_waits";
+    busy_ns =
+      Array.init jobs (fun i ->
+          Mpl_obs.Metrics.counter m (Printf.sprintf "pool.worker%d.busy_ns" i));
+    timed = Mpl_obs.Metrics.enabled m;
+  }
+
+(* Run [task] on worker slot [slot], charging wall time to that slot's
+   busy counter when metrics are on. *)
+let run_task t slot task =
+  if t.stats.timed then begin
+    let t0 = Mpl_util.Timer.now_ns () in
+    let finish () =
+      let dt = Int64.sub (Mpl_util.Timer.now_ns ()) t0 in
+      Mpl_obs.Metrics.add t.stats.busy_ns.(slot) (Int64.to_int dt)
+    in
+    match task () with
+    | () -> finish ()
+    | exception e ->
+      finish ();
+      raise e
+  end
+  else task ()
+
 (* Pop from our own deque front, else steal from another's back.
-   Must hold [t.lock]. *)
+   Must hold [t.lock]. Returns the task paired with [true] when it was
+   stolen from another worker's deque. *)
 let take_locked t own =
   match Deque.pop_front t.deques.(own) with
-  | Some _ as r -> r
+  | Some task -> Some (task, false)
   | None ->
     let n = Array.length t.deques in
     let rec scan k =
       if k >= n then None
       else
         match Deque.pop_back t.deques.((own + k) mod n) with
-        | Some _ as r -> r
+        | Some task -> Some (task, true)
         | None -> scan (k + 1)
     in
     scan 1
@@ -81,21 +125,23 @@ let worker t own () =
   Mutex.lock t.lock;
   let rec loop () =
     match take_locked t own with
-    | Some task ->
+    | Some (task, stolen) ->
       Mutex.unlock t.lock;
-      task ();
+      if stolen then Mpl_obs.Metrics.incr t.stats.steals;
+      run_task t own task;
       Mutex.lock t.lock;
       loop ()
     | None ->
       if t.closed then Mutex.unlock t.lock
       else begin
+        Mpl_obs.Metrics.incr t.stats.idle_waits;
         Condition.wait t.nonempty t.lock;
         loop ()
       end
   in
   loop ()
 
-let create ~jobs =
+let create ?(obs = Mpl_obs.Obs.null) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
   let t =
     {
@@ -107,6 +153,7 @@ let create ~jobs =
       closed = false;
       domains = [||];
       joined = false;
+      stats = make_stats ~jobs obs;
     }
   in
   t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
@@ -130,6 +177,7 @@ let submit t f =
   t.next <- (t.next + 1) mod Array.length t.deques;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock;
+  Mpl_obs.Metrics.incr t.stats.submitted;
   fut
 
 let await t fut =
@@ -147,9 +195,10 @@ let await t fut =
       (* Help: run a queued task of the pool instead of blocking. *)
       Mutex.lock t.lock;
       (match take_locked t 0 with
-      | Some task ->
+      | Some (task, _) ->
         Mutex.unlock t.lock;
-        task ();
+        Mpl_obs.Metrics.incr t.stats.helped;
+        run_task t 0 task;
         loop ()
       | None ->
         Mutex.unlock t.lock;
@@ -182,6 +231,6 @@ let shutdown t =
   Mutex.unlock t.lock;
   if join then Array.iter Domain.join t.domains
 
-let with_pool ~jobs f =
-  let t = create ~jobs in
+let with_pool ?obs ~jobs f =
+  let t = create ?obs ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -16,8 +16,13 @@
 
 type t
 
-val create : jobs:int -> t
-(** [create ~jobs] spawns [jobs - 1] worker domains.
+val create : ?obs:Mpl_obs.Obs.t -> jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains. When [obs]
+    carries an enabled metrics registry, the pool maintains
+    [pool.submitted], [pool.steals], [pool.helped], [pool.idle_waits]
+    counters plus a [pool.worker<i>.busy_ns] wall-time counter per
+    worker slot (slot 0 is the calling thread helping in {!await});
+    without it every probe is a no-op and no clock is read.
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
@@ -44,5 +49,5 @@ val shutdown : t -> unit
 (** Join all worker domains. Idempotent. Pending never-awaited tasks
     are discarded. *)
 
-val with_pool : jobs:int -> (t -> 'a) -> 'a
+val with_pool : ?obs:Mpl_obs.Obs.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)

@@ -39,7 +39,11 @@ let default_options =
     seed = 2014;
   }
 
-type solution = { gram : float array array; objective : float }
+type solution = {
+  gram : float array array;
+  objective : float;
+  iterations : int;
+}
 
 let ideal_offdiag k =
   if k < 2 then invalid_arg "Sdp.ideal_offdiag: k < 2";
@@ -128,7 +132,7 @@ let solve_projected ~options p =
   done;
   (* Final cleanup projection so reported Gram entries are near-feasible. *)
   x := dykstra p ~bound ~rounds:(2 * options.dykstra_rounds) !x;
-  { gram = !x; objective = objective_of_gram p !x }
+  { gram = !x; objective = objective_of_gram p !x; iterations = options.pg_iters }
 
 (* ------------------------------------------------------------------ *)
 (* Burer-Monteiro fallback for oversized pieces.                       *)
@@ -174,9 +178,13 @@ let sweep p adj vectors coeff g =
   done;
   !moved
 
-let run_inner ~max_sweeps ~tol p adj vectors coeff g =
+let run_inner ~max_sweeps ~tol ~sweeps p adj vectors coeff g =
   let rec go s =
-    if s < max_sweeps && sweep p adj vectors coeff g > tol then go (s + 1)
+    if s < max_sweeps then begin
+      let moved = sweep p adj vectors coeff g in
+      incr sweeps;
+      if moved > tol then go (s + 1)
+    end
   in
   go 0
 
@@ -195,11 +203,12 @@ let solve_factorized ~options ~lagrangian p =
   let g = Vec.zero r in
   let ne = Array.length p.conflict_edges in
   let coeff = Array.make ne 1.0 in
+  let sweeps = ref 0 in
   if lagrangian then begin
     let lambda = Array.make ne 0.0 in
     for _ = 1 to options.outer_rounds do
-      run_inner ~max_sweeps:options.max_sweeps ~tol:options.tol p adj vectors
-        coeff g;
+      run_inner ~max_sweeps:options.max_sweeps ~tol:options.tol ~sweeps p adj
+        vectors coeff g;
       Array.iteri
         (fun e (i, j) ->
           let x = Vec.dot vectors.(i) vectors.(j) in
@@ -208,8 +217,8 @@ let solve_factorized ~options ~lagrangian p =
           coeff.(e) <- 1. -. lambda.(e))
         p.conflict_edges
     done;
-    run_inner ~max_sweeps:options.max_sweeps ~tol:options.tol p adj vectors
-      coeff g
+    run_inner ~max_sweeps:options.max_sweeps ~tol:options.tol ~sweeps p adj
+      vectors coeff g
   end
   else
     List.iter
@@ -224,16 +233,18 @@ let solve_factorized ~options ~lagrangian p =
                   (if violation > 0. then 1. -. (2. *. mu *. violation)
                    else 1.))
               p.conflict_edges;
-            if sweep p adj vectors coeff g > options.tol then go (s + 1)
+            let moved = sweep p adj vectors coeff g in
+            incr sweeps;
+            if moved > options.tol then go (s + 1)
           end
         in
         go 0)
       options.penalties;
   let gram = gram_of_vectors vectors in
-  { gram; objective = objective_of_gram p gram }
+  { gram; objective = objective_of_gram p gram; iterations = !sweeps }
 
 let solve ?(options = default_options) p =
-  if p.n = 0 then { gram = [||]; objective = 0. }
+  if p.n = 0 then { gram = [||]; objective = 0.; iterations = 0 }
   else begin
     match options.mode with
     | Projected -> solve_projected ~options p

@@ -61,6 +61,9 @@ val default_options : options
 type solution = {
   gram : float array array;  (** the solved Gram matrix X *)
   objective : float;  (** paper objective (2)/(3) value at X *)
+  iterations : int;
+      (** work performed: projected-gradient steps ([Projected]) or
+          Mixing-method sweeps (factorized modes) *)
 }
 
 val solve : ?options:options -> problem -> solution

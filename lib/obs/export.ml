@@ -1,0 +1,171 @@
+let us_of_ns ns = Int64.to_float ns /. 1000.
+
+let json_of_arg = function
+  | Sink.Int i -> Json.Int i
+  | Sink.Float f -> Json.Float f
+  | Sink.Str s -> Json.Str s
+
+(* Streamed through a Buffer rather than a Json.t tree: a traced
+   S-series run emits tens of thousands of spans and the tree would
+   double peak memory for no benefit. *)
+let chrome_json ?(process_name = "mpl") events =
+  let b = Buffer.create (4096 + (160 * List.length events)) in
+  Buffer.add_string b "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  Buffer.add_string b
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"ts\":0,\"args\":{\"name\":%s}}"
+       (Json.escape process_name));
+  let tids = Hashtbl.create 8 in
+  List.iter
+    (fun (e : Sink.event) ->
+      if not (Hashtbl.mem tids e.Sink.tid) then begin
+        Hashtbl.replace tids e.Sink.tid ();
+        Buffer.add_string b
+          (Printf.sprintf
+             ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"ts\":0,\"args\":{\"name\":\"domain-%d\"}}"
+             e.Sink.tid e.Sink.tid)
+      end)
+    events;
+  List.iter
+    (fun (e : Sink.event) ->
+      Buffer.add_string b
+        (Printf.sprintf
+           ",{\"name\":%s,\"cat\":%s,\"ph\":\"X\",\"pid\":1,\"tid\":%d,\"ts\":%.3f,\"dur\":%.3f"
+           (Json.escape e.Sink.name) (Json.escape e.Sink.cat) e.Sink.tid
+           (us_of_ns e.Sink.ts_ns) (us_of_ns e.Sink.dur_ns));
+      (match e.Sink.args with
+      | [] -> ()
+      | args ->
+        Buffer.add_string b ",\"args\":";
+        Buffer.add_string b
+          (Json.to_string (Json.Obj (List.map (fun (k, v) -> (k, json_of_arg v)) args))));
+      Buffer.add_char b '}')
+    events;
+  Buffer.add_string b "]}";
+  Buffer.contents b
+
+let write_chrome ?process_name file events =
+  let oc = open_out file in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (chrome_json ?process_name events))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let metrics_json (s : Metrics.snapshot) =
+  let hist (h : Metrics.hist_snapshot) =
+    Json.Obj
+      [
+        ("count", Json.Int h.Metrics.count);
+        ("sum", Json.Float h.Metrics.sum);
+        ( "min",
+          if h.Metrics.count = 0 then Json.Null else Json.Float h.Metrics.min_v );
+        ( "max",
+          if h.Metrics.count = 0 then Json.Null else Json.Float h.Metrics.max_v );
+        ( "buckets",
+          Json.List
+            (List.map
+               (fun (lo, hi, n) ->
+                 Json.List [ Json.Float lo; Json.Float hi; Json.Int n ])
+               h.Metrics.buckets) );
+      ]
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) s.Metrics.counters) );
+      ( "gauges",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Float v)) s.Metrics.gauges) );
+      ( "histograms",
+        Json.Obj (List.map (fun (k, h) -> (k, hist h)) s.Metrics.histograms) );
+    ]
+
+let pp_metrics ppf (s : Metrics.snapshot) =
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-32s %d@." k v)
+    s.Metrics.counters;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "%-32s %g@." k v)
+    s.Metrics.gauges;
+  List.iter
+    (fun (k, (h : Metrics.hist_snapshot)) ->
+      if h.Metrics.count = 0 then Format.fprintf ppf "%-32s (empty)@." k
+      else
+        Format.fprintf ppf "%-32s n=%d sum=%g mean=%g min=%g max=%g@." k
+          h.Metrics.count h.Metrics.sum
+          (h.Metrics.sum /. float_of_int h.Metrics.count)
+          h.Metrics.min_v h.Metrics.max_v)
+    s.Metrics.histograms
+
+(* ------------------------------------------------------------------ *)
+(* Phase rollup *)
+
+let phase_totals events =
+  let table : (string, int ref * float ref) Hashtbl.t = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Sink.event) ->
+      let count, total =
+        match Hashtbl.find_opt table e.Sink.name with
+        | Some cell -> cell
+        | None ->
+          let cell = (ref 0, ref 0.) in
+          Hashtbl.replace table e.Sink.name cell;
+          cell
+      in
+      incr count;
+      total := !total +. (Int64.to_float e.Sink.dur_ns *. 1e-9))
+    events;
+  Hashtbl.fold (fun name (c, t) acc -> (name, (!c, !t)) :: acc) table []
+  |> List.sort (fun (_, (_, a)) (_, (_, b)) -> compare b a)
+
+let pp_phases ppf events =
+  List.iter
+    (fun (name, (count, total_s)) ->
+      Format.fprintf ppf "%-28s %8.3fs  x%d@." name total_s count)
+    (phase_totals events)
+
+(* ------------------------------------------------------------------ *)
+(* Validation *)
+
+let validate_chrome ?(required = []) s =
+  match Json.parse s with
+  | Error e -> Error e
+  | Ok root -> (
+    match Json.member "traceEvents" root with
+    | None -> Error "missing traceEvents field"
+    | Some (Json.List events) -> (
+      let spans = ref 0 in
+      let seen = Hashtbl.create 32 in
+      let check_event ev =
+        let field k = Json.member k ev in
+        match (field "name", field "ph") with
+        | Some (Json.Str name), Some (Json.Str ph) -> (
+          match field "ts" with
+          | Some ts when Json.to_float ts <> None ->
+            if String.equal ph "X" then begin
+              match field "dur" with
+              | Some d when Json.to_float d <> None ->
+                incr spans;
+                Hashtbl.replace seen name ();
+                Ok ()
+              | _ -> Error (Printf.sprintf "span %S lacks a numeric dur" name)
+            end
+            else Ok ()
+          | _ -> Error (Printf.sprintf "event %S lacks a numeric ts" name))
+        | _ -> Error "event lacks name/ph string fields"
+      in
+      let rec all = function
+        | [] -> Ok ()
+        | ev :: rest -> (
+          match check_event ev with Ok () -> all rest | Error _ as e -> e)
+      in
+      match all events with
+      | Error _ as e -> e
+      | Ok () -> (
+        match
+          List.find_opt (fun name -> not (Hashtbl.mem seen name)) required
+        with
+        | Some missing -> Error (Printf.sprintf "missing span %S" missing)
+        | None -> Ok !spans))
+    | Some _ -> Error "traceEvents is not a list")

@@ -1,0 +1,40 @@
+(** Exporters for traces and metrics.
+
+    - Chrome [trace_event] JSON (the ["traceEvents"] object form with
+      complete ["ph": "X"] events), loadable in [chrome://tracing] or
+      {{:https://ui.perfetto.dev}Perfetto};
+    - a flat JSON metrics summary and a human-readable text rendering;
+    - a validator for emitted traces, used by the test suite and the
+      [mpld trace-check] CI smoke step. *)
+
+val chrome_json : ?process_name:string -> Sink.event list -> string
+(** Chrome trace JSON: timestamps/durations in microseconds, one
+    ["X"] event per span, thread ids from the originating domain, plus
+    process/thread-name metadata events. *)
+
+val write_chrome : ?process_name:string -> string -> Sink.event list -> unit
+(** [write_chrome file events] writes {!chrome_json} to [file]. *)
+
+val metrics_json : Metrics.snapshot -> Json.t
+(** [{"counters": {..}, "gauges": {..}, "histograms": {name:
+    {"count","sum","min","max","buckets":[[lo,hi,n],..]}, ..}}] *)
+
+val pp_metrics : Format.formatter -> Metrics.snapshot -> unit
+(** Aligned text rendering, one metric per line, histograms with
+    count/sum/mean/min/max. *)
+
+val phase_totals : Sink.event list -> (string * (int * float)) list
+(** Aggregate [(count, total seconds)] per span name, sorted by total
+    descending. Nested spans of the same name all count, so this is a
+    self-time-inclusive rollup per name. *)
+
+val pp_phases : Format.formatter -> Sink.event list -> unit
+(** Text rendering of {!phase_totals}. *)
+
+val validate_chrome :
+  ?required:string list -> string -> (int, string) result
+(** [validate_chrome ~required s] parses [s] as JSON and checks it is a
+    well-formed Chrome trace ({"traceEvents": [...]} with name/ph/ts on
+    every event and ts+dur on every ["X"] event), and that every name
+    in [required] occurs as a span name. Returns the number of span
+    events on success. *)

@@ -1,0 +1,35 @@
+(** Minimal JSON tree, printer, and recursive-descent parser.
+
+    Exists so the exporters ({!Export}) can emit valid JSON and — more
+    importantly — so emitted artifacts (Chrome traces, metrics
+    summaries, bench results) can be re-parsed and validated by the
+    test suite and the [mpld trace-check] smoke step without any
+    external JSON dependency. Not a general-purpose library: numbers
+    are floats or OCaml ints, strings are byte sequences with the
+    standard escapes ([\uXXXX] is decoded to UTF-8). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+(** Parse a complete JSON document; the error string carries a byte
+    offset. Trailing whitespace is allowed, trailing garbage is not. *)
+
+val to_string : t -> string
+(** Compact (single-line) serialization. Floats are printed with
+    enough digits to round-trip; NaN/infinities become [null]. *)
+
+val escape : string -> string
+(** The quoted, escaped JSON form of a string (including the quotes). *)
+
+val member : string -> t -> t option
+(** Field lookup in an [Obj]; [None] on other constructors. *)
+
+val to_float : t -> float option
+(** Numeric value of an [Int] or [Float]. *)

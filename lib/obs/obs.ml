@@ -1,0 +1,9 @@
+type t = { sink : Sink.t; metrics : Metrics.t }
+
+let null = { sink = Sink.null; metrics = Metrics.null }
+
+let make ?(sink = Sink.null) ?(metrics = Metrics.null) () = { sink; metrics }
+
+let tracing t = Sink.enabled t.sink
+
+let span t ?cat ?args name f = Sink.span t.sink ?cat ?args name f

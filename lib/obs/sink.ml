@@ -1,0 +1,105 @@
+type arg = Int of int | Float of float | Str of string
+
+type event = {
+  name : string;
+  cat : string;
+  ts_ns : int64;
+  dur_ns : int64;
+  tid : int;
+  args : (string * arg) list;
+}
+
+(* Per-domain buffer: only its owning domain ever appends, so the
+   mutable list needs no synchronization. The buffer list itself is
+   only extended under [lock] (once per domain), and is read by
+   [events] after the workers are joined. *)
+type buffer = { tid : int; mutable items : event list }
+
+type t = {
+  enabled : bool;
+  epoch : int64;
+  key : buffer option ref Domain.DLS.key;
+  lock : Mutex.t;
+  mutable buffers : buffer list;
+}
+
+let make ~enabled =
+  {
+    enabled;
+    epoch = Mpl_util.Timer.now_ns ();
+    key = Domain.DLS.new_key (fun () -> ref None);
+    lock = Mutex.create ();
+    buffers = [];
+  }
+
+let null = make ~enabled:false
+
+let create () = make ~enabled:true
+
+let enabled t = t.enabled
+
+let epoch_ns t = t.epoch
+
+let buffer_of t =
+  let slot = Domain.DLS.get t.key in
+  match !slot with
+  | Some b -> b
+  | None ->
+    let b = { tid = (Domain.self () :> int); items = [] } in
+    Mutex.lock t.lock;
+    t.buffers <- b :: t.buffers;
+    Mutex.unlock t.lock;
+    slot := Some b;
+    b
+
+let push t ev =
+  let b = buffer_of t in
+  b.items <- ev :: b.items
+
+let default_cat name =
+  match String.index_opt name '.' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let record t ?cat ?(args = []) ~name ~ts_ns ~dur_ns () =
+  if t.enabled then
+    push t
+      {
+        name;
+        cat = (match cat with Some c -> c | None -> default_cat name);
+        ts_ns;
+        dur_ns;
+        tid = (Domain.self () :> int);
+        args;
+      }
+
+let span t ?cat ?args name f =
+  if not t.enabled then f ()
+  else begin
+    let t0 = Mpl_util.Timer.now_ns () in
+    let finish () =
+      let t1 = Mpl_util.Timer.now_ns () in
+      record t ?cat ?args ~name ~ts_ns:(Int64.sub t0 t.epoch)
+        ~dur_ns:(Int64.sub t1 t0) ()
+    in
+    match f () with
+    | x ->
+      finish ();
+      x
+    | exception e ->
+      finish ();
+      raise e
+  end
+
+let events t =
+  Mutex.lock t.lock;
+  let buffers = t.buffers in
+  Mutex.unlock t.lock;
+  let all = List.concat_map (fun b -> b.items) buffers in
+  (* Ties sort longer-duration first so an enclosing span precedes the
+     zero-width children it may have started at the same tick. *)
+  List.sort
+    (fun a b ->
+      let c = Int64.compare a.ts_ns b.ts_ns in
+      if c <> 0 then c else Int64.compare b.dur_ns a.dur_ns)
+    all

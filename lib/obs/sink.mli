@@ -1,0 +1,59 @@
+(** Span tracer with domain-local event buffers.
+
+    A sink collects *complete spans* (name, category, begin timestamp,
+    duration, arguments) from every domain that touches it. The hot
+    path is race-free without locking: the first append from a domain
+    registers a fresh buffer for that domain (one mutex acquisition per
+    domain per sink, ever); every later append is a plain push onto the
+    domain's own buffer. {!events} merges the buffers — call it only
+    after all worker domains have been joined (the decomposer flushes
+    after {!Mpl_engine.Pool.with_pool} returns).
+
+    {!null} is the disabled sink: {!span} on it runs the thunk with no
+    clock reads and no event allocation, so an untraced run pays only a
+    branch. Timestamps are monotonic ({!Mpl_util.Timer.now_ns}),
+    relative to the sink's creation instant. *)
+
+type arg = Int of int | Float of float | Str of string
+(** Span argument values, rendered into the Chrome trace [args] object. *)
+
+type event = {
+  name : string;  (** span name, e.g. ["division.ghtree"] *)
+  cat : string;  (** category, e.g. ["division"] — Chrome [cat] field *)
+  ts_ns : int64;  (** begin time, ns since sink creation *)
+  dur_ns : int64;  (** duration in ns *)
+  tid : int;  (** domain id the span ran on *)
+  args : (string * arg) list;
+}
+
+type t
+
+val null : t
+(** The disabled sink: every operation is a no-op. *)
+
+val create : unit -> t
+(** A fresh enabled sink; its epoch is the creation instant. *)
+
+val enabled : t -> bool
+
+val span : t -> ?cat:string -> ?args:(string * arg) list -> string ->
+  (unit -> 'a) -> 'a
+(** [span t name f] runs [f ()] and, on an enabled sink, records a
+    complete span around it (also when [f] raises). [cat] defaults to
+    the prefix of [name] up to the first ['.'] (or [name] itself).
+    Spans made by nested [span] calls on the same domain are properly
+    nested by construction. *)
+
+val record : t -> ?cat:string -> ?args:(string * arg) list -> name:string ->
+  ts_ns:int64 -> dur_ns:int64 -> unit -> unit
+(** Append an already-measured span ([ts_ns] in the sink's epoch, i.e.
+    a {!Mpl_util.Timer.now_ns} reading minus {!epoch_ns}). For hot
+    paths that avoid closure allocation. No-op on a disabled sink. *)
+
+val epoch_ns : t -> int64
+(** The sink's creation instant (absolute monotonic ns). *)
+
+val events : t -> event list
+(** All recorded events merged across domains, sorted by [ts_ns] (ties
+    by longer duration first, so parents sort before their children).
+    Only call after worker domains are joined. *)

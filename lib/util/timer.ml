@@ -1,8 +1,21 @@
+(* All timing is based on CLOCK_MONOTONIC (via the C stub below):
+   wall-clock sources like [Unix.gettimeofday] jump under NTP slews and
+   administrative clock changes, which would corrupt both reported
+   durations and the shared solver deadlines. The stub returns unboxed
+   nanoseconds, so reading the clock never allocates in native code. *)
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "mpl_monotonic_ns_byte" "mpl_monotonic_ns_unboxed"
+[@@noalloc]
+
+let now_ns = monotonic_ns
+
+let now_s () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
 type t = float
 
-let start () = Unix.gettimeofday ()
+let start () = now_s ()
 
-let elapsed_s t = Unix.gettimeofday () -. t
+let elapsed_s t = now_s () -. t
 
 let time f =
   let t = start () in
@@ -19,7 +32,7 @@ type budget = { deadline : float option; tripped : bool Atomic.t }
 
 let budget s =
   {
-    deadline = (if s <= 0. then None else Some (Unix.gettimeofday () +. s));
+    deadline = (if s <= 0. then None else Some (now_s () +. s));
     tripped = Atomic.make false;
   }
 
@@ -27,7 +40,7 @@ let expired b =
   match b.deadline with
   | None -> false
   | Some deadline ->
-    if Unix.gettimeofday () > deadline then begin
+    if now_s () > deadline then begin
       Atomic.set b.tripped true;
       true
     end

@@ -1,5 +1,17 @@
-(** Wall-clock timing helpers used by the decomposition flow and the
-    benchmark harness. *)
+(** Monotonic-clock timing used by the decomposition flow, the tracer
+    ({!Mpl_obs}), and the benchmark harness.
+
+    Every reading comes from [CLOCK_MONOTONIC]: unlike
+    [Unix.gettimeofday], it never jumps under NTP adjustments or
+    administrative clock changes, so durations and shared deadlines
+    stay consistent even across long runs. *)
+
+val now_ns : unit -> int64
+(** Monotonic nanoseconds since an arbitrary (per-boot) epoch. Only
+    differences are meaningful. Allocation-free in native code. *)
+
+val now_s : unit -> float
+(** {!now_ns} in seconds. *)
 
 type t
 (** A started stopwatch. *)
@@ -15,9 +27,9 @@ val time : (unit -> 'a) -> 'a * float
 
 type budget
 (** A deadline for bounded searches (e.g. the ILP baseline). The
-    deadline is one absolute instant shared by every solver the budget
-    is handed to, so it is safe to consult from multiple domains: all
-    of them run out at the same wall-clock moment, and expiry is
+    deadline is one absolute monotonic instant shared by every solver
+    the budget is handed to, so it is safe to consult from multiple
+    domains: all of them run out at the same moment, and expiry is
     latched in an [Atomic] flag readable afterwards via {!tripped}. *)
 
 val budget : float -> budget

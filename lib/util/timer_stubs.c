@@ -1,0 +1,21 @@
+/* Monotonic clock for Mpl_util.Timer: CLOCK_MONOTONIC is immune to the
+   NTP slews and administrative clock jumps that corrupt wall-clock
+   (gettimeofday) deltas. Nanoseconds since an arbitrary epoch. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <stdint.h>
+#include <time.h>
+
+int64_t mpl_monotonic_ns_unboxed(value unit)
+{
+  struct timespec ts;
+  (void)unit;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value mpl_monotonic_ns_byte(value unit)
+{
+  return caml_copy_int64(mpl_monotonic_ns_unboxed(unit));
+}

@@ -59,8 +59,8 @@ let test_pool_reuse_after_await () =
 
 let test_pool_invalid () =
   Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Pool.create: jobs < 1")
-    (fun () -> ignore (Pool.create ~jobs:0));
-  let pool = Pool.create ~jobs:2 in
+    (fun () -> ignore (Pool.create ~jobs:0 ()));
+  let pool = Pool.create ~jobs:2 () in
   Pool.shutdown pool;
   Pool.shutdown pool;
   (* idempotent *)

@@ -10,4 +10,14 @@ dune runtest
 # cache on by default in the CLI).
 dune exec bin/mpld.exe -- decompose C880 -a linear -j 2
 
+# Smoke: tracing + metrics emit parseable output covering the pipeline.
+trace=$(mktemp /tmp/mpld-trace.XXXXXX.json)
+dune exec bin/mpld.exe -- decompose C432 -a linear -j 2 \
+  --trace "$trace" --metrics
+dune exec bin/mpld.exe -- trace-check "$trace" \
+  --require graph.build --require graph.neighbor_search \
+  --require division.components --require division.peel \
+  --require engine.batch --require assign
+rm -f "$trace"
+
 echo "tier1: OK"
