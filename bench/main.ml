@@ -336,6 +336,7 @@ type parallel_row = {
   p_st : int;
   p_cache_hits : int;
   p_pieces : int;
+  p_degraded : int;
 }
 
 let json_of_rows rows =
@@ -348,9 +349,9 @@ let json_of_rows rows =
         (Printf.sprintf
            "    {\"circuit\": %S, \"algorithm\": %S, \"jobs\": %d, \"cache\": \
             %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \"cache_hits\": \
-            %d, \"pieces\": %d}"
+            %d, \"pieces\": %d, \"degraded_pieces\": %d}"
            r.p_circuit r.p_algorithm r.p_jobs r.p_cache r.p_wall_s r.p_cn
-           r.p_st r.p_cache_hits r.p_pieces))
+           r.p_st r.p_cache_hits r.p_pieces r.p_degraded))
     rows;
   Buffer.add_string b "\n  ]";
   Buffer.contents b
@@ -365,8 +366,10 @@ let git_commit () =
 
 (* Schema v2: run metadata plus an optional metrics-registry sample next
    to the raw result rows, so regressions can be traced to the machine
-   and commit that produced them. *)
-let results_schema_version = 2
+   and commit that produced them.
+   Schema v3: each result row gains "degraded_pieces" — pieces that fell
+   down the solver fallback ladder (should be 0 on healthy runs). *)
+let results_schema_version = 3
 
 let write_results ?metrics rows =
   let dir = "bench/results" in
@@ -469,6 +472,7 @@ let parallel () =
               p_st = st;
               p_cache_hits = hits;
               p_pieces = pieces;
+              p_degraded = r.D.resilience.D.degraded;
             }
             :: !rows)
         settings)

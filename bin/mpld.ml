@@ -29,7 +29,17 @@ let algorithm_conv =
   Arg.conv (parse, print)
 
 let load_layout source =
-  if Sys.file_exists source then Mpl_layout.Layout_io.load source
+  if Sys.file_exists source then begin
+    (* Bad input is a user error: report file:line and exit 2, never a
+       backtrace. *)
+    try Mpl_layout.Layout_io.load source with
+    | Mpl_layout.Layout_io.Parse_error { line; msg } ->
+      Printf.eprintf "error: %s:%d: %s\n" source line msg;
+      exit 2
+    | Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  end
   else
     try Mpl_layout.Benchgen.circuit source
     with Not_found ->
@@ -95,6 +105,29 @@ let engine_params base ~jobs ~no_cache ~cache_permuted =
     cache_permuted;
   }
 
+let fault_conv =
+  let parse s =
+    match Mpl_engine.Fault.parse s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf sp =
+    Format.pp_print_string ppf (Mpl_engine.Fault.spec_to_string sp)
+  in
+  Arg.conv (parse, print)
+
+let inject_arg =
+  let doc =
+    "Inject one deterministic fault: \
+     $(docv) = SITE[:seed=N][:shots=N] with SITE one of solver_raise, \
+     worker_delay, cache_corrupt, budget_trip. The run must still \
+     produce a legal coloring; degradations are reported."
+  in
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "inject" ] ~docv:"FAULT" ~doc)
+
 let trace_arg =
   let doc =
     "Write a Chrome trace_event JSON profile of the run to $(docv) \
@@ -128,7 +161,7 @@ let resolve_min_s ~k ~min_s =
 
 let decompose_cmd =
   let run source k min_s algo budget refine balance jobs no_cache
-      cache_permuted trace metrics verbose =
+      cache_permuted inject trace metrics verbose =
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
     (* -v needs span data even without a trace file. *)
@@ -147,12 +180,19 @@ let decompose_cmd =
           balance;
           trace = sink;
           metrics;
+          fault = inject;
         }
     in
     let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
     Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
     Format.printf "graph: %a (min_s=%d, k=%d)@." Mpl.Decomp_graph.pp g min_s k;
     Format.printf "%a@." Mpl.Decomposer.pp_report report;
+    let res = report.Mpl.Decomposer.resilience in
+    if inject <> None || res.Mpl.Decomposer.degraded > 0 then
+      Format.printf
+        "resilience: degraded=%d piece_failures=%d fallbacks=%d fired=%b@."
+        res.Mpl.Decomposer.degraded res.Mpl.Decomposer.piece_failures
+        res.Mpl.Decomposer.fallback_attempts res.Mpl.Decomposer.fault_fired;
     if balance then
       Format.printf "mask usage: %s@."
         (String.concat " "
@@ -181,7 +221,8 @@ let decompose_cmd =
     Term.(
       const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
       $ refine_arg $ balance_arg $ jobs_arg $ no_cache_arg
-      $ cache_permuted_arg $ trace_arg $ metrics_arg $ verbose_arg)
+      $ cache_permuted_arg $ inject_arg $ trace_arg $ metrics_arg
+      $ verbose_arg)
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
 

@@ -125,8 +125,15 @@ let solve ?(node_cap = 2_000_000) ?(budget = Mpl_util.Timer.budget 0.)
     if !aborted then ()
     else if partial >= !best_cost then ()
     else if t = inst.n then begin
-      best_cost := partial;
-      best := Array.copy colors
+      (* A full assignment reached after the deadline must not be
+         latched: the run is reported as aborted, and mixing in work
+         completed past the deadline would make the result depend on
+         scheduling noise. *)
+      if Mpl_util.Timer.expired budget then aborted := true
+      else begin
+        best_cost := partial;
+        best := Array.copy colors
+      end
     end
     else begin
       let v = order.(t) in

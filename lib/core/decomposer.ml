@@ -24,6 +24,7 @@ type params = {
   cache_permuted : bool;
   trace : Mpl_obs.Sink.t option;
   metrics : bool;
+  fault : Mpl_engine.Fault.spec option;
 }
 
 let default_params =
@@ -42,6 +43,7 @@ let default_params =
     cache_permuted = false;
     trace = None;
     metrics = false;
+    fault = None;
   }
 
 (* One observability context per run: the caller-supplied span sink (if
@@ -57,6 +59,77 @@ let make_obs params =
   in
   Mpl_obs.Obs.make ~sink ~metrics ()
 
+type piece_failure = {
+  piece_n : int;
+  failed_step : string;
+  error : string;
+  solved_by : string;
+  attempts : int;
+}
+
+type resilience = {
+  degraded : int;
+  piece_failures : int;
+  fallback_attempts : int;
+  failures : piece_failure list;
+  fault_fired : bool;
+}
+
+let no_resilience =
+  {
+    degraded = 0;
+    piece_failures = 0;
+    fallback_attempts = 0;
+    failures = [];
+    fault_fired = false;
+  }
+
+(* Mutable provenance accumulator shared by the leaf-solver wrapper and
+   the engine-level recovery hook; both run on pool workers, hence the
+   mutex. Individual failure records are capped — the counters stay
+   exact either way. *)
+let max_failure_records = 32
+
+type prov = {
+  mutable p_degraded : int;
+  mutable p_failures : int;
+  mutable p_fallbacks : int;
+  mutable p_records : piece_failure list;  (* newest first *)
+  p_lock : Mutex.t;
+}
+
+let fresh_prov () =
+  {
+    p_degraded = 0;
+    p_failures = 0;
+    p_fallbacks = 0;
+    p_records = [];
+    p_lock = Mutex.create ();
+  }
+
+let prov_record prov ~raised ~fallbacks (pf : piece_failure) =
+  Mutex.lock prov.p_lock;
+  prov.p_degraded <- prov.p_degraded + 1;
+  if raised then prov.p_failures <- prov.p_failures + 1;
+  prov.p_fallbacks <- prov.p_fallbacks + fallbacks;
+  if List.length prov.p_records < max_failure_records then
+    prov.p_records <- pf :: prov.p_records;
+  Mutex.unlock prov.p_lock
+
+let prov_snapshot prov ~fault =
+  Mutex.lock prov.p_lock;
+  let r =
+    {
+      degraded = prov.p_degraded;
+      piece_failures = prov.p_failures;
+      fallback_attempts = prov.p_fallbacks;
+      failures = List.rev prov.p_records;
+      fault_fired = Mpl_engine.Fault.fired fault;
+    }
+  in
+  Mutex.unlock prov.p_lock;
+  r
+
 type report = {
   algorithm : algorithm;
   params : params;
@@ -66,23 +139,17 @@ type report = {
   timed_out : bool;
   division : Division.stats;
   engine : Mpl_engine.Engine.stats option;
+  resilience : resilience;
   metrics : Mpl_obs.Metrics.snapshot option;
 }
 
-(* Leaf solver for one divided piece. The exact algorithms share one
-   wall-clock budget across all pieces (the paper reports a single CPU
-   number per circuit); when it expires, remaining pieces fall back to a
-   greedy coloring and the run is flagged N/A. The budget deadline and
-   the timeout flag are both safe to touch from pool workers. *)
-let make_solver ~obs ~params ~budget ~timed_out algorithm
-    (piece : Decomp_graph.t) =
+(* One attempt of one algorithm on one divided piece. Returns the
+   coloring plus whether the attempt completed cleanly — [false] means
+   the shared budget or the node cap cut the search short and the
+   coloring is only the best incumbent. *)
+let solve_once ~obs ~params ~budget algorithm (piece : Decomp_graph.t) =
   let k = params.k and alpha = params.alpha in
   let m = obs.Mpl_obs.Obs.metrics in
-  Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.solves");
-  let trip () =
-    Atomic.set timed_out true;
-    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.budget_trips")
-  in
   let observe_sdp (sol : Mpl_numeric.Sdp.solution) =
     Mpl_obs.Metrics.observe
       (Mpl_obs.Metrics.histogram m "solver.sdp_iterations")
@@ -94,7 +161,7 @@ let make_solver ~obs ~params ~budget ~timed_out algorithm
     ~args:[ ("n", Mpl_obs.Sink.Int piece.Decomp_graph.n) ]
   @@ fun () ->
   match algorithm with
-  | Linear -> Linear_color.solve ~k ~alpha piece
+  | Linear -> (Linear_color.solve ~k ~alpha piece, true)
   | Exact ->
     let r =
       Exact_color.solve ~node_cap:params.node_cap ~budget ~k ~alpha piece
@@ -102,33 +169,138 @@ let make_solver ~obs ~params ~budget ~timed_out algorithm
     Mpl_obs.Metrics.observe
       (Mpl_obs.Metrics.histogram m "solver.bnb_nodes")
       (float_of_int r.Bnb.nodes);
-    if not r.Bnb.optimal then trip ();
-    r.Bnb.colors
+    (r.Bnb.colors, r.Bnb.optimal)
   | Ilp ->
-    if Mpl_util.Timer.expired budget then begin
-      trip ();
-      Bnb.greedy ~k (Bnb.instance_of_graph ~alpha piece)
-    end
+    if Mpl_util.Timer.expired budget then
+      (Bnb.greedy ~k (Bnb.instance_of_graph ~alpha piece), false)
     else begin
       let r = Ilp_color.solve ~budget ~k ~alpha piece in
-      if not r.Ilp_color.optimal then trip ();
-      r.Ilp_color.colors
+      (r.Ilp_color.colors, r.Ilp_color.optimal)
     end
   | Sdp_greedy ->
-    if piece.Decomp_graph.n <= 1 then Array.make piece.Decomp_graph.n 0
+    if piece.Decomp_graph.n <= 1 then (Array.make piece.Decomp_graph.n 0, true)
     else begin
       let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
       observe_sdp sol;
-      Sdp_color.greedy_map ~k sol piece
+      (Sdp_color.greedy_map ~k sol piece, true)
     end
   | Sdp_backtrack ->
-    if piece.Decomp_graph.n <= 1 then Array.make piece.Decomp_graph.n 0
+    if piece.Decomp_graph.n <= 1 then (Array.make piece.Decomp_graph.n 0, true)
     else begin
       let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
       observe_sdp sol;
-      Sdp_color.backtrack ~obs ~tth:params.tth ~node_cap:params.node_cap ~k
-        ~alpha sol piece
+      ( Sdp_color.backtrack ~obs ~tth:params.tth ~node_cap:params.node_cap ~k
+          ~alpha sol piece,
+        true )
     end
+
+(* Escalation order when an attempt fails: strictly cheaper, more
+   robust algorithms. The terminal greedy rung is handled separately in
+   [recover_piece] — it cannot fail. *)
+let fallback_chain = function
+  | Ilp | Exact -> [ Sdp_backtrack; Linear ]
+  | Sdp_backtrack | Sdp_greedy -> [ Linear ]
+  | Linear -> []
+
+(* Fallback ladder for one piece whose primary attempt raised or was
+   cut short. Every remaining rung runs budget-free (a tripped shared
+   budget must not starve the heuristics — they are the recovery path),
+   and all rungs are tried so the cheapest resulting coloring wins;
+   ties keep the earliest candidate (the primary's partial result
+   first, then chain order). Rungs are themselves fault-eligible, so a
+   multi-shot injection can cascade all the way down to greedy. *)
+let recover_piece ~obs ~params ~fault ~prov ~primary ~partial ~error piece =
+  let k = params.k and alpha = params.alpha in
+  let m = obs.Mpl_obs.Obs.metrics in
+  let free_budget = Mpl_util.Timer.budget 0. in
+  let attempts = ref 1 in
+  let candidates = ref [] in
+  let add name colors = candidates := !candidates @ [ (name, colors) ] in
+  (match partial with
+  | Some colors -> add (algorithm_name primary) colors
+  | None -> ());
+  List.iter
+    (fun step ->
+      incr attempts;
+      Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.fallbacks");
+      match
+        if Mpl_engine.Fault.fires fault Mpl_engine.Fault.Solver_raise then
+          raise (Mpl_engine.Fault.Injected Mpl_engine.Fault.Solver_raise)
+        else fst (solve_once ~obs ~params ~budget:free_budget step piece)
+      with
+      | colors -> add (algorithm_name step) colors
+      | exception _ -> ())
+    (fallback_chain primary);
+  if !candidates = [] then begin
+    (* Everything raised: the greedy terminal rung always succeeds. *)
+    incr attempts;
+    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.fallbacks");
+    add "greedy" (Bnb.greedy ~k (Bnb.instance_of_graph ~alpha piece))
+  end;
+  let best =
+    List.fold_left
+      (fun acc (name, colors) ->
+        let cost = (Coloring.evaluate ~alpha piece colors).Coloring.scaled in
+        match acc with
+        | Some (_, _, best_cost) when best_cost <= cost -> acc
+        | _ -> Some (name, colors, cost))
+      None !candidates
+  in
+  let solved_by, colors, _ = Option.get best in
+  Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.degraded");
+  prov_record prov ~raised:(partial = None)
+    ~fallbacks:(!attempts - 1)
+    {
+      piece_n = piece.Decomp_graph.n;
+      failed_step = algorithm_name primary;
+      error;
+      solved_by;
+      attempts = !attempts;
+    };
+  colors
+
+(* Leaf solver for one divided piece. The exact algorithms share one
+   wall-clock budget across all pieces (the paper reports a single CPU
+   number per circuit). A clean attempt returns its coloring untouched —
+   the no-fault, no-trip path is bit-identical to a build without this
+   wrapper. An attempt that raises or is cut short (budget, node cap)
+   degrades through [recover_piece] instead of failing the run. The
+   budget deadline and the timeout flag are both safe to touch from
+   pool workers. *)
+let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov algorithm
+    (piece : Decomp_graph.t) =
+  let m = obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.solves");
+  let uses_budget = match algorithm with Ilp | Exact -> true | _ -> false in
+  let forced_trip =
+    uses_budget
+    && Mpl_engine.Fault.fires fault Mpl_engine.Fault.Budget_trip
+  in
+  if forced_trip then Mpl_util.Timer.force_expire budget;
+  let primary =
+    match
+      if Mpl_engine.Fault.fires fault Mpl_engine.Fault.Solver_raise then
+        raise (Mpl_engine.Fault.Injected Mpl_engine.Fault.Solver_raise)
+      else solve_once ~obs ~params ~budget algorithm piece
+    with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  match primary with
+  (* A forced trip must take the degradation path even when the solver
+     happened to finish before noticing the expired budget (e.g. its
+     seed already pruned the whole search): the fault's contract is
+     that this piece trips. *)
+  | Ok (colors, true) when not forced_trip -> colors
+  | Ok (colors, _) ->
+    Atomic.set timed_out true;
+    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.budget_trips");
+    recover_piece ~obs ~params ~fault ~prov ~primary:algorithm
+      ~partial:(Some colors) ~error:"budget/node-cap trip" piece
+  | Error e ->
+    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.piece_failures");
+    recover_piece ~obs ~params ~fault ~prov ~primary:algorithm ~partial:None
+      ~error:(Printexc.to_string e) piece
 
 (* Canonical signature of a piece for the engine cache: the three edge
    relations are all a solver ever reads (feature ids only matter for
@@ -156,7 +328,8 @@ let piece_signature (piece : Decomp_graph.t) =
    graph: substituting any valid coloring of a component can never
    change a crossing cost, so cache reuse is cost-exact by
    construction. *)
-let engine_assign ~obs ~params ~stats ~solver (g : Decomp_graph.t) =
+let engine_assign ~obs ~params ~stats ~solver ~fault ~prov
+    (g : Decomp_graph.t) =
   let jobs = max 1 params.jobs in
   let comps =
     if params.stages.Division.use_components then
@@ -180,16 +353,43 @@ let engine_assign ~obs ~params ~stats ~solver (g : Decomp_graph.t) =
            ~mode:
              (if params.cache_permuted then Mpl_engine.Cache.Permuted
               else Mpl_engine.Cache.Exact)
-           ~obs ())
+           ~obs ~fault ())
     else None
   in
   let signature (piece, _back) =
     if params.cache then piece_signature piece else None
   in
-  Mpl_engine.Pool.with_pool ~obs ~jobs (fun pool ->
+  (* Vet cached colorings before reuse (length, completeness, color
+     range) and isolate component-level failures: if a whole component
+     task dies outside the leaf-solver ladder, color it greedily rather
+     than abort the run. *)
+  let validate (piece, _back) colors =
+    Array.length colors = piece.Decomp_graph.n
+    && Coloring.is_complete colors
+    && Coloring.check_range ~k:params.k colors
+  in
+  let recover (piece, _back) e _bt =
+    let local = Division.fresh_stats () in
+    local.Division.pieces <- 1;
+    local.Division.largest_piece <- piece.Decomp_graph.n;
+    let colors =
+      Bnb.greedy ~k:params.k
+        (Bnb.instance_of_graph ~alpha:params.alpha piece)
+    in
+    prov_record prov ~raised:true ~fallbacks:1
+      {
+        piece_n = piece.Decomp_graph.n;
+        failed_step = "component";
+        error = Printexc.to_string e;
+        solved_by = "greedy";
+        attempts = 1;
+      };
+    (colors, local)
+  in
+  Mpl_engine.Pool.with_pool ~obs ~fault ~jobs (fun pool ->
       let results, estats =
-        Mpl_engine.Engine.solve_pieces ~obs ~pool ?cache ~signature
-          ~solve:solve_piece
+        Mpl_engine.Engine.solve_pieces ~obs ~pool ?cache ~signature ~validate
+          ~recover ~solve:solve_piece
           (Array.to_list pieces)
       in
       let colors = Array.make g.Decomp_graph.n (-1) in
@@ -209,12 +409,20 @@ let assign ?(params = default_params) ?obs algorithm g =
   let obs = match obs with Some o -> o | None -> make_obs params in
   let stats = Division.fresh_stats () in
   let timed_out = Atomic.make false in
+  let fault =
+    match params.fault with
+    | Some spec -> Mpl_engine.Fault.arm spec
+    | None -> Mpl_engine.Fault.none
+  in
+  let prov = fresh_prov () in
   let budget =
     match algorithm with
     | Ilp | Exact -> Mpl_util.Timer.budget params.solver_budget_s
     | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
   in
-  let solver = make_solver ~obs ~params ~budget ~timed_out algorithm in
+  let solver =
+    make_solver ~obs ~params ~budget ~timed_out ~fault ~prov algorithm
+  in
   let engine_stats = ref None in
   let (colors, elapsed_s) =
     Mpl_util.Timer.time (fun () ->
@@ -236,7 +444,9 @@ let assign ?(params = default_params) ?obs algorithm g =
             Division.assign ~obs ~stages:params.stages ~stats ~k:params.k
               ~alpha:params.alpha ~solver g
           else begin
-            let colors, estats = engine_assign ~obs ~params ~stats ~solver g in
+            let colors, estats =
+              engine_assign ~obs ~params ~stats ~solver ~fault ~prov g
+            in
             engine_stats := Some estats;
             colors
           end
@@ -274,6 +484,7 @@ let assign ?(params = default_params) ?obs algorithm g =
     timed_out = Atomic.get timed_out;
     division = stats;
     engine = !engine_stats;
+    resilience = prov_snapshot prov ~fault;
     metrics;
   }
 
@@ -287,7 +498,7 @@ let decompose ?(params = default_params) ?max_stitches_per_feature ~min_s
 
 let pp_report ppf r =
   Format.fprintf ppf
-    "%-13s cn#=%-4d st#=%-5d cost=%.1f CPU=%.3fs pieces=%d largest=%d%s%s"
+    "%-13s cn#=%-4d st#=%-5d cost=%.1f CPU=%.3fs pieces=%d largest=%d%s%s%s"
     (algorithm_name r.algorithm) r.cost.Coloring.conflicts
     r.cost.Coloring.stitches
     (float_of_int r.cost.Coloring.scaled /. 1000.)
@@ -298,4 +509,7 @@ let pp_report ppf r =
         (e.Mpl_engine.Engine.hits + e.Mpl_engine.Engine.reused)
         e.Mpl_engine.Engine.pieces
     | Some _ | None -> "")
+    (if r.resilience.degraded > 0 then
+       Printf.sprintf " degraded=%d" r.resilience.degraded
+     else "")
     (if r.timed_out then " (TIMEOUT)" else "")

@@ -12,7 +12,15 @@
     performance controls: the default (exact) cache mode and the
     deterministic engine scheduling guarantee identical costs and
     colorings at every [jobs]/[cache] setting, and [jobs = 1] without
-    the cache runs the historical sequential code path bit-for-bit. *)
+    the cache runs the historical sequential code path bit-for-bit.
+
+    Solving is fault-tolerant per piece: a leaf solver that raises, or
+    that is cut short by the shared budget or the node cap, degrades
+    through a fallback ladder (exact → SDP backtracking → linear →
+    greedy, run budget-free) instead of failing the run, and the report
+    records which pieces degraded and what finally colored them
+    ({!resilience}). Deterministic fault injection ({!Mpl_engine.Fault},
+    [params.fault]) exercises these paths on demand. *)
 
 type algorithm =
   | Ilp  (** exact baseline via the MILP encoding (budgeted) *)
@@ -56,11 +64,39 @@ type params = {
   metrics : bool;
       (** accumulate a metrics registry during the run and attach its
           snapshot to the report *)
+  fault : Mpl_engine.Fault.spec option;
+      (** deterministic fault injection ([None], the default, injects
+          nothing — the unarmed probes cost one branch each and the run
+          is bit-identical to a build without them) *)
 }
 
 val default_params : params
 (** QPLD defaults: k = 4, alpha = 0.1, tth = 0.9, 60 s exact budget,
     full division pipeline, jobs = 1, cache off. *)
+
+type piece_failure = {
+  piece_n : int;  (** vertex count of the affected piece *)
+  failed_step : string;
+      (** what failed: an algorithm name, or ["component"] for a failure
+          caught at the engine's component level *)
+  error : string;  (** exception text, or ["budget/node-cap trip"] *)
+  solved_by : string;
+      (** the step whose coloring was kept: an algorithm name, the
+          primary's name when its partial result won, or ["greedy"] *)
+  attempts : int;  (** solve attempts on this piece, primary included *)
+}
+
+type resilience = {
+  degraded : int;  (** pieces not solved cleanly by the primary solver *)
+  piece_failures : int;  (** degraded pieces whose solver raised *)
+  fallback_attempts : int;  (** total fallback-ladder rungs executed *)
+  failures : piece_failure list;
+      (** per-piece records, chronological, capped at 32 (the counters
+          above are exact regardless) *)
+  fault_fired : bool;  (** did an armed injection actually trigger? *)
+}
+
+val no_resilience : resilience
 
 type report = {
   algorithm : algorithm;
@@ -72,6 +108,10 @@ type report = {
   division : Division.stats;
   engine : Mpl_engine.Engine.stats option;
       (** pool/cache statistics; [None] on the sequential legacy path *)
+  resilience : resilience;
+      (** degradation provenance: which pieces fell down the fallback
+          ladder, and what finally colored them. Equal to
+          {!no_resilience} (modulo [fault_fired]) on a clean run. *)
   metrics : Mpl_obs.Metrics.snapshot option;
       (** snapshot of the run's metrics registry when
           [params.metrics]; [None] otherwise *)

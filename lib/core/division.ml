@@ -135,7 +135,11 @@ let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats ~k ~alpha
     Mpl_obs.Metrics.incr c_pieces;
     Mpl_obs.Metrics.observe h_size (float_of_int sub.Decomp_graph.n);
     let colors = solver sub in
-    assert (Array.length colors = sub.Decomp_graph.n);
+    if Array.length colors <> sub.Decomp_graph.n then
+      failwith
+        (Printf.sprintf
+           "Division.leaf: solver returned %d colors for a %d-vertex piece"
+           (Array.length colors) sub.Decomp_graph.n);
     colors
   in
   let rec conquer sub =

@@ -117,8 +117,20 @@ type mode = Exact | Permuted
 type 'v entry = {
   e_serial : string;
   colors_canon : int array;  (* exemplar coloring in canonical labels *)
+  check : int;  (* integrity checksum of [colors_canon] at store time *)
   value : 'v;
 }
+
+(* FNV-1a-style checksum over the length and colors, folded to 30 bits
+   so it stays a small immediate on 32- and 64-bit systems. Entries
+   whose stored colors no longer match their checksum (memory fault,
+   injected corruption) are detected and dropped in [find]. *)
+let checksum n colors =
+  let h = ref 0x811c9dc5 in
+  let mix x = h := (!h lxor x) * 16777619 land 0x3FFFFFFF in
+  mix n;
+  Array.iter (fun c -> mix (c + 0x100)) colors;
+  !h
 
 (* Observability handles: all no-ops (and [timed = false], so no clock
    reads) unless [create] was given an enabled metrics registry. *)
@@ -126,6 +138,7 @@ type stats = {
   probes : Mpl_obs.Metrics.counter;
   hit_c : Mpl_obs.Metrics.counter;
   stores : Mpl_obs.Metrics.counter;
+  corrupt : Mpl_obs.Metrics.counter;
   probe_ns : Mpl_obs.Metrics.histogram;
   store_ns : Mpl_obs.Metrics.histogram;
   timed : bool;
@@ -139,6 +152,8 @@ type 'v t = {
   misses_c : int Atomic.t;
   mutable entries : int;
   max_variants : int;
+  corrupt_c : int Atomic.t;  (* entries dropped by checksum validation *)
+  fault : Fault.t;
   stats : stats;
 }
 
@@ -148,12 +163,14 @@ let make_stats (obs : Mpl_obs.Obs.t) =
     probes = Mpl_obs.Metrics.counter m "cache.probes";
     hit_c = Mpl_obs.Metrics.counter m "cache.hits";
     stores = Mpl_obs.Metrics.counter m "cache.stores";
+    corrupt = Mpl_obs.Metrics.counter m "cache.corrupt_drops";
     probe_ns = Mpl_obs.Metrics.histogram m "cache.probe_ns";
     store_ns = Mpl_obs.Metrics.histogram m "cache.store_ns";
     timed = Mpl_obs.Metrics.enabled m;
   }
 
-let create ?(mode = Exact) ?(max_variants = 8) ?(obs = Mpl_obs.Obs.null) () =
+let create ?(mode = Exact) ?(max_variants = 8) ?(obs = Mpl_obs.Obs.null)
+    ?(fault = Fault.none) () =
   {
     mode;
     table = Hashtbl.create 256;
@@ -162,6 +179,8 @@ let create ?(mode = Exact) ?(max_variants = 8) ?(obs = Mpl_obs.Obs.null) () =
     misses_c = Atomic.make 0;
     entries = 0;
     max_variants;
+    corrupt_c = Atomic.make 0;
+    fault;
     stats = make_stats obs;
   }
 
@@ -181,14 +200,27 @@ let mode t = t.mode
 
 let uncanon s colors_canon = Array.init s.n (fun v -> colors_canon.(s.perm.(v)))
 
+let entry_valid s e =
+  Array.length e.colors_canon = s.n && e.check = checksum s.n e.colors_canon
+
 let find t s =
   Mpl_obs.Metrics.incr t.stats.probes;
   timed_ns t.stats t.stats.probe_ns (fun () ->
       let variants =
         Mutex.lock t.lock;
-        let v = Option.value ~default:[] (Hashtbl.find_opt t.table s.key) in
+        let all = Option.value ~default:[] (Hashtbl.find_opt t.table s.key) in
+        (* Checksum-validate before reuse; drop corrupted entries so the
+           caller falls through to a fresh solve. *)
+        let valid, corrupt = List.partition (entry_valid s) all in
+        if corrupt <> [] then begin
+          (if valid = [] then Hashtbl.remove t.table s.key
+           else Hashtbl.replace t.table s.key valid);
+          t.entries <- t.entries - List.length corrupt;
+          Atomic.fetch_and_add t.corrupt_c (List.length corrupt) |> ignore;
+          Mpl_obs.Metrics.add t.stats.corrupt (List.length corrupt)
+        end;
         Mutex.unlock t.lock;
-        v
+        valid
       in
       let found =
         match t.mode with
@@ -212,7 +244,14 @@ let store t s (colors, value) =
   timed_ns t.stats t.stats.store_ns (fun () ->
       let colors_canon = Array.make s.n 0 in
       Array.iteri (fun v p -> colors_canon.(p) <- colors.(v)) s.perm;
-      let entry = { e_serial = s.serial; colors_canon; value } in
+      let entry =
+        { e_serial = s.serial; colors_canon; check = checksum s.n colors_canon;
+          value }
+      in
+      (* Injected corruption happens *after* the checksum is computed, so
+         the mismatch is what [find] detects and drops. *)
+      if Fault.fires t.fault Fault.Cache_corrupt && s.n > 0 then
+        colors_canon.(0) <- colors_canon.(0) + 7919;
       Mutex.lock t.lock;
       let variants =
         Option.value ~default:[] (Hashtbl.find_opt t.table s.key)
@@ -235,6 +274,7 @@ let store t s (colors, value) =
 
 let hits t = Atomic.get t.hits_c
 let misses t = Atomic.get t.misses_c
+let corrupt_drops t = Atomic.get t.corrupt_c
 
 let length t =
   Mutex.lock t.lock;

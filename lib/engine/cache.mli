@@ -60,19 +60,31 @@ type 'v t
     arbitrary metadata payload ['v] (e.g. division statistics). *)
 
 val create :
-  ?mode:mode -> ?max_variants:int -> ?obs:Mpl_obs.Obs.t -> unit -> 'v t
+  ?mode:mode ->
+  ?max_variants:int ->
+  ?obs:Mpl_obs.Obs.t ->
+  ?fault:Fault.t ->
+  unit ->
+  'v t
 (** Default [mode] is [Exact]; [max_variants] (default 8) bounds the
     number of distinct original labelings remembered per canonical key
     in [Exact] mode. When [obs] carries an enabled metrics registry the
-    cache maintains [cache.probes] / [cache.hits] / [cache.stores]
-    counters and [cache.probe_ns] / [cache.store_ns] latency
-    histograms; otherwise every probe is a no-op with no clock read. *)
+    cache maintains [cache.probes] / [cache.hits] / [cache.stores] /
+    [cache.corrupt_drops] counters and [cache.probe_ns] /
+    [cache.store_ns] latency histograms; otherwise every probe is a
+    no-op with no clock read. When [fault] is armed for
+    {!Fault.Cache_corrupt}, the selected stores write a corrupted
+    coloring (checksummed first, so validation catches it). *)
 
 val mode : 'v t -> mode
 
 val find : 'v t -> signature -> (int array * 'v) option
 (** On a hit, the coloring is returned in the probing piece's own
-    labeling. Updates the hit/miss counters. *)
+    labeling. Updates the hit/miss counters. Every stored coloring
+    carries an integrity checksum computed at store time; entries that
+    fail validation (wrong length or checksum mismatch) are dropped —
+    counted in {!corrupt_drops} — and the probe reports a miss, so the
+    caller re-solves instead of reusing a damaged coloring. *)
 
 val store : 'v t -> signature -> int array * 'v -> unit
 (** Remember a solved piece. First writer wins: an entry that would
@@ -81,5 +93,9 @@ val store : 'v t -> signature -> int array * 'v -> unit
 
 val hits : 'v t -> int
 val misses : 'v t -> int
+
+val corrupt_drops : 'v t -> int
+(** Entries dropped by checksum validation in {!find}. *)
+
 val length : 'v t -> int
 (** Number of stored entries (variants counted individually). *)

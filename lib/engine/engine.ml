@@ -1,6 +1,14 @@
-type stats = { pieces : int; solved : int; hits : int; reused : int }
+type stats = {
+  pieces : int;
+  solved : int;
+  hits : int;
+  reused : int;
+  failed : int;
+  rejected : int;
+}
 
-let no_stats = { pieces = 0; solved = 0; hits = 0; reused = 0 }
+let no_stats =
+  { pieces = 0; solved = 0; hits = 0; reused = 0; failed = 0; rejected = 0 }
 
 let add_stats a b =
   {
@@ -8,6 +16,8 @@ let add_stats a b =
     solved = a.solved + b.solved;
     hits = a.hits + b.hits;
     reused = a.reused + b.reused;
+    failed = a.failed + b.failed;
+    rejected = a.rejected + b.rejected;
   }
 
 (* Per-piece resolution plan, decided sequentially in index order. *)
@@ -16,8 +26,8 @@ type 'v plan =
   | Follower of int  (* reuse the result of batch leader [i] *)
   | Leader  (* solve fresh on the pool *)
 
-let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature ~solve
-    pieces =
+let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature
+    ?(validate = fun _ _ -> true) ?recover ~solve pieces =
   let items = Array.of_list pieces in
   Mpl_obs.Obs.span obs "engine.batch"
     ~args:[ ("pieces", Mpl_obs.Sink.Int (Array.length items)) ]
@@ -37,6 +47,20 @@ let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature ~solve
      original serialization too, so followers are byte-identical). *)
   let leaders : (string, int) Hashtbl.t = Hashtbl.create 64 in
   let hits = ref 0 and reused = ref 0 and solved = ref 0 in
+  let failed = ref 0 and rejected = ref 0 in
+  let lead i s =
+    let dedup_key =
+      if exact then s.Cache.key ^ "\x00" ^ s.Cache.serial else s.Cache.key
+    in
+    match Hashtbl.find_opt leaders dedup_key with
+    | Some j ->
+      incr reused;
+      Follower j
+    | None ->
+      Hashtbl.replace leaders dedup_key i;
+      incr solved;
+      Leader
+  in
   let plans =
     Array.init n (fun i ->
         match sigs.(i) with
@@ -45,20 +69,15 @@ let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature ~solve
           Leader
         | Some s -> (
           match Option.bind cache (fun c -> Cache.find c s) with
-          | Some (colors, v) ->
+          | Some (colors, v) when validate items.(i) colors ->
             incr hits;
             Hit (colors, v)
-          | None -> (
-            let dedup_key = if exact then s.Cache.key ^ "\x00" ^ s.Cache.serial
-                            else s.Cache.key in
-            match Hashtbl.find_opt leaders dedup_key with
-            | Some j ->
-              incr reused;
-              Follower j
-            | None ->
-              Hashtbl.replace leaders dedup_key i;
-              incr solved;
-              Leader)))
+          | Some _ ->
+            (* Cached coloring failed validation: treat as a miss and
+               re-solve rather than propagate a bad reuse. *)
+            incr rejected;
+            lead i s
+          | None -> lead i s))
   in
   let futures =
     Array.mapi
@@ -76,15 +95,26 @@ let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature ~solve
     match plans.(i) with
     | Hit (colors, v) -> results.(i) <- Some (colors, v)
     | Leader ->
-      let colors, v =
+      let outcome =
         match futures.(i) with
-        | Some fut -> Pool.await pool fut
+        | Some fut -> Pool.try_await pool fut
         | None -> assert false
       in
-      (match (cache, sigs.(i)) with
-      | Some c, Some s -> Cache.store c s (colors, v)
-      | _ -> ());
-      results.(i) <- Some (colors, v)
+      (match outcome with
+      | Ok ((colors, v) as r) ->
+        (match (cache, sigs.(i)) with
+        | Some c, Some s -> Cache.store c s r
+        | _ -> ());
+        results.(i) <- Some (colors, v)
+      | Error (e, bt) -> (
+        match recover with
+        | None -> Printexc.raise_with_backtrace e bt
+        | Some recover ->
+          (* Isolate the failure to this piece: recover a substitute
+             result (never cached — it is not what [solve] returns) and
+             let any followers reuse it. *)
+          incr failed;
+          results.(i) <- Some (recover items.(i) e bt)))
     | Follower j ->
       let lc, lv =
         match results.(j) with Some r -> r | None -> assert false
@@ -106,4 +136,14 @@ let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature ~solve
   Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.solved") !solved;
   Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.cache_hits") !hits;
   Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.batch_reused") !reused;
-  (out, { pieces = n; solved = !solved; hits = !hits; reused = !reused })
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.piece_failures") !failed;
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.cache_rejects") !rejected;
+  ( out,
+    {
+      pieces = n;
+      solved = !solved;
+      hits = !hits;
+      reused = !reused;
+      failed = !failed;
+      rejected = !rejected;
+    } )

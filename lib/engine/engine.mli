@@ -15,6 +15,8 @@ type stats = {
   solved : int;  (** solved fresh (submitted to the pool) *)
   hits : int;  (** served from pre-existing cache entries *)
   reused : int;  (** deduplicated against an earlier piece of this batch *)
+  failed : int;  (** leaders whose solve raised and was recovered *)
+  rejected : int;  (** cache hits discarded by [validate] *)
 }
 
 val no_stats : stats
@@ -26,6 +28,8 @@ val solve_pieces :
   pool:Pool.t ->
   ?cache:'v Cache.t ->
   ?signature:('a -> Cache.signature option) ->
+  ?validate:('a -> int array -> bool) ->
+  ?recover:('a -> exn -> Printexc.raw_backtrace -> int array * 'v) ->
   solve:('a -> int array * 'v) ->
   'a list ->
   (int array * 'v) list * stats
@@ -39,6 +43,19 @@ val solve_pieces :
     [signature] is omitted) are always solved fresh — the call then
     degenerates to a deterministic parallel map.
 
+    [validate piece colors] (default: always [true]) vets every cache
+    hit before reuse; a rejected hit counts in [stats.rejected] and the
+    piece is re-solved as if it had missed.
+
+    [recover piece exn bt] isolates solver failures per piece: when a
+    leader's [solve] raises, the exception is confined to that piece and
+    [recover] supplies a substitute result (which followers of the same
+    leader also reuse, but which is never stored into the cache). The
+    piece counts in [stats.failed]. Without [recover] the first failing
+    leader's exception is re-raised with its original backtrace — the
+    pre-existing all-or-nothing contract.
+
     With [obs], the whole batch runs under an [engine.batch] span and
     the [engine.pieces] / [engine.solved] / [engine.cache_hits] /
-    [engine.batch_reused] counters accumulate the returned {!stats}. *)
+    [engine.batch_reused] / [engine.piece_failures] /
+    [engine.cache_rejects] counters accumulate the returned {!stats}. *)

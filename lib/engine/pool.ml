@@ -40,7 +40,13 @@ module Deque = struct
         Some x)
 end
 
-type 'a state = Pending | Done of 'a | Failed of exn
+(* Failures carry the backtrace captured at the raise site, so a
+   re-raise in [await] (possibly on another domain) keeps the original
+   trace instead of pointing at the join. *)
+type 'a state =
+  | Pending
+  | Done of 'a
+  | Failed of exn * Printexc.raw_backtrace
 
 type 'a future = {
   mutable state : 'a state;
@@ -70,6 +76,7 @@ type t = {
   mutable domains : unit Domain.t array;
   mutable joined : bool;
   stats : stats;
+  fault : Fault.t;
 }
 
 let jobs t = t.jobs
@@ -90,6 +97,7 @@ let make_stats ~jobs (obs : Mpl_obs.Obs.t) =
 (* Run [task] on worker slot [slot], charging wall time to that slot's
    busy counter when metrics are on. *)
 let run_task t slot task =
+  if Fault.fires t.fault Fault.Worker_delay then Fault.delay ();
   if t.stats.timed then begin
     let t0 = Mpl_util.Timer.now_ns () in
     let finish () =
@@ -141,7 +149,7 @@ let worker t own () =
   in
   loop ()
 
-let create ?(obs = Mpl_obs.Obs.null) ~jobs () =
+let create ?(obs = Mpl_obs.Obs.null) ?(fault = Fault.none) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
   let t =
     {
@@ -154,6 +162,7 @@ let create ?(obs = Mpl_obs.Obs.null) ~jobs () =
       domains = [||];
       joined = false;
       stats = make_stats ~jobs obs;
+      fault;
     }
   in
   t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
@@ -162,7 +171,10 @@ let create ?(obs = Mpl_obs.Obs.null) ~jobs () =
 let submit t f =
   let fut = { state = Pending; fm = Mutex.create (); fc = Condition.create () } in
   let task () =
-    let r = try Done (f ()) with e -> Failed e in
+    let r =
+      try Done (f ())
+      with e -> Failed (e, Printexc.get_raw_backtrace ())
+    in
     Mutex.lock fut.fm;
     fut.state <- r;
     Condition.broadcast fut.fc;
@@ -180,16 +192,16 @@ let submit t f =
   Mpl_obs.Metrics.incr t.stats.submitted;
   fut
 
-let await t fut =
+let try_await t fut =
   let rec loop () =
     Mutex.lock fut.fm;
     match fut.state with
     | Done v ->
       Mutex.unlock fut.fm;
-      v
-    | Failed e ->
+      Ok v
+    | Failed (e, bt) ->
       Mutex.unlock fut.fm;
-      raise e
+      Error (e, bt)
     | Pending ->
       Mutex.unlock fut.fm;
       (* Help: run a queued task of the pool instead of blocking. *)
@@ -214,6 +226,11 @@ let await t fut =
   in
   loop ()
 
+let await t fut =
+  match try_await t fut with
+  | Ok v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+
 let map_list t f xs =
   let futs = List.map (fun x -> submit t (fun () -> f x)) xs in
   List.map (await t) futs
@@ -231,6 +248,6 @@ let shutdown t =
   Mutex.unlock t.lock;
   if join then Array.iter Domain.join t.domains
 
-let with_pool ?obs ~jobs f =
-  let t = create ?obs ~jobs () in
+let with_pool ?obs ?fault ~jobs f =
+  let t = create ?obs ?fault ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -16,13 +16,16 @@
 
 type t
 
-val create : ?obs:Mpl_obs.Obs.t -> jobs:int -> unit -> t
+val create : ?obs:Mpl_obs.Obs.t -> ?fault:Fault.t -> jobs:int -> unit -> t
 (** [create ~jobs ()] spawns [jobs - 1] worker domains. When [obs]
     carries an enabled metrics registry, the pool maintains
     [pool.submitted], [pool.steals], [pool.helped], [pool.idle_waits]
     counters plus a [pool.worker<i>.busy_ns] wall-time counter per
     worker slot (slot 0 is the calling thread helping in {!await});
     without it every probe is a no-op and no clock is read.
+    When [fault] is armed for {!Fault.Worker_delay}, the selected task
+    executions are delayed by ~5 ms before running (outputs must be
+    unaffected — only schedules are perturbed).
     @raise Invalid_argument if [jobs < 1]. *)
 
 val jobs : t -> int
@@ -36,7 +39,13 @@ val submit : t -> (unit -> 'a) -> 'a future
 
 val await : t -> 'a future -> 'a
 (** Block until the task finished, running other queued tasks of the
-    pool while waiting. Re-raises the task's exception if it failed. *)
+    pool while waiting. Re-raises the task's exception if it failed,
+    preserving the backtrace captured at the original raise site. *)
+
+val try_await : t -> 'a future -> ('a, exn * Printexc.raw_backtrace) result
+(** Like {!await}, but a failed task yields [Error (exn, backtrace)]
+    instead of re-raising — the hook for per-piece failure isolation:
+    one poisoned task no longer aborts the whole batch. *)
 
 val map_list : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel [List.map] with results in input order. If several tasks
@@ -49,5 +58,6 @@ val shutdown : t -> unit
 (** Join all worker domains. Idempotent. Pending never-awaited tasks
     are discarded. *)
 
-val with_pool : ?obs:Mpl_obs.Obs.t -> jobs:int -> (t -> 'a) -> 'a
+val with_pool :
+  ?obs:Mpl_obs.Obs.t -> ?fault:Fault.t -> jobs:int -> (t -> 'a) -> 'a
 (** [create], run, then [shutdown] (also on exception). *)

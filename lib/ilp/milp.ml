@@ -83,7 +83,12 @@ let solve ?(budget = Mpl_util.Timer.budget 0.) t =
             Array.iteri
               (fun v b -> if b then full.(v) <- Float.round full.(v))
               t.binary;
-            if better obj then incumbent := Some (obj, full)
+            (* An integral solution found after the deadline is not
+               latched: the result is already reported as [Timeout], and
+               the incumbent must not depend on how far past the
+               deadline this branch happened to run. *)
+            if Mpl_util.Timer.expired budget then timed_out := true
+            else if better obj then incumbent := Some (obj, full)
           end
           else begin
             let v = !pick in

@@ -1,7 +1,7 @@
 module Rect = Mpl_geometry.Rect
 module Polygon = Mpl_geometry.Polygon
 
-exception Parse_error of string
+exception Parse_error of { line : int; msg : string }
 
 let to_string (t : Layout.t) =
   let buf = Buffer.create 4096 in
@@ -28,12 +28,12 @@ let of_string s =
   let tech = ref Layout.default_tech in
   let features = ref [] in
   let current = ref None in
-  let fail lineno msg =
-    raise (Parse_error (Printf.sprintf "line %d: %s" lineno msg))
-  in
+  let fail lineno msg = raise (Parse_error { line = lineno; msg }) in
+  let last_line = ref 0 in
   List.iteri
     (fun idx line ->
       let lineno = idx + 1 in
+      last_line := lineno;
       let line = String.trim line in
       if line = "" || line.[0] = '#' then ()
       else begin
@@ -42,6 +42,10 @@ let of_string s =
         | [ "TECH"; hp; wm; sm ] -> begin
           match (int_of_string_opt hp, int_of_string_opt wm, int_of_string_opt sm) with
           | Some half_pitch, Some min_width, Some min_space ->
+            (* Non-positive rule values make every geometric predicate
+               downstream meaningless; reject them at the boundary. *)
+            if half_pitch <= 0 || min_width <= 0 || min_space <= 0 then
+              fail lineno "TECH values must be positive";
             tech := { Layout.half_pitch; min_width; min_space }
           | _ -> fail lineno "bad TECH line"
         end
@@ -82,7 +86,8 @@ let of_string s =
         | _ -> fail lineno (Printf.sprintf "unrecognized line %S" line)
       end)
     lines;
-  if !current <> None then raise (Parse_error "unterminated FEATURE block");
+  if !current <> None then
+    raise (Parse_error { line = !last_line; msg = "unterminated FEATURE block" });
   { Layout.tech = !tech; features = Array.of_list (List.rev !features); name = !name }
 
 let save t path =

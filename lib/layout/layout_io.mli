@@ -13,8 +13,12 @@
     Each [FEATURE .. END] block is one polygon given by its rectangle
     decomposition. *)
 
-exception Parse_error of string
-(** Raised with a message naming the offending line. *)
+exception Parse_error of { line : int; msg : string }
+(** The only exception {!of_string} raises on malformed input: [line]
+    is the offending 1-based line number. Structural errors (bad
+    numbers, degenerate rectangles, non-positive TECH rules, stray or
+    unterminated blocks) are all reported this way — callers can print
+    [file:line: msg] without pattern-matching on exception internals. *)
 
 val to_string : Layout.t -> string
 val of_string : string -> Layout.t

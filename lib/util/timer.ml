@@ -28,22 +28,33 @@ let time f =
    concurrent [expired] checks race only on the sticky [tripped] flag,
    which is an [Atomic]: once any piece observes expiry, every piece
    (and the coordinating thread) sees the run as budget-exceeded. *)
-type budget = { deadline : float option; tripped : bool Atomic.t }
+type budget = {
+  deadline : float option;
+  tripped : bool Atomic.t;
+  forced : bool Atomic.t;  (* administratively expired (fault injection) *)
+}
 
 let budget s =
   {
     deadline = (if s <= 0. then None else Some (now_s () +. s));
     tripped = Atomic.make false;
+    forced = Atomic.make false;
   }
 
+let force_expire b =
+  Atomic.set b.forced true;
+  Atomic.set b.tripped true
+
 let expired b =
-  match b.deadline with
-  | None -> false
-  | Some deadline ->
-    if now_s () > deadline then begin
-      Atomic.set b.tripped true;
-      true
-    end
-    else false
+  if Atomic.get b.forced then true
+  else
+    match b.deadline with
+    | None -> false
+    | Some deadline ->
+      if now_s () > deadline then begin
+        Atomic.set b.tripped true;
+        true
+      end
+      else false
 
 let tripped b = Atomic.get b.tripped

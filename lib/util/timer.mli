@@ -36,9 +36,15 @@ val budget : float -> budget
 (** [budget s] expires [s] seconds from now. Non-positive [s] never
     expires. *)
 
+val force_expire : budget -> unit
+(** Expire the budget immediately, regardless of its deadline (even a
+    non-positive, never-expiring one): every subsequent {!expired} check
+    from any domain answers [true] and {!tripped} is latched. Used by
+    deterministic fault injection to simulate a budget trip. *)
+
 val expired : budget -> bool
-(** Has the deadline passed? A [true] answer also latches the sticky
-    {!tripped} flag (thread-safe). *)
+(** Has the deadline passed (or {!force_expire} been called)? A [true]
+    answer also latches the sticky {!tripped} flag (thread-safe). *)
 
 val tripped : budget -> bool
 (** Did any [expired] check — from any domain — ever observe the

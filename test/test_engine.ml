@@ -46,6 +46,21 @@ let test_pool_exception () =
               37 x))
     [ 1; 4 ]
 
+let test_pool_try_await () =
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let ok = Pool.submit pool (fun () -> 41 + 1) in
+      let bad = Pool.submit pool (fun () -> raise (Boom 7)) in
+      let also_ok = Pool.submit pool (fun () -> "fine") in
+      Alcotest.(check int) "ok future" 42
+        (match Pool.try_await pool ok with Ok v -> v | Error _ -> -1);
+      (match Pool.try_await pool bad with
+      | Ok () -> Alcotest.fail "expected Error"
+      | Error (Boom x, _bt) -> Alcotest.(check int) "payload isolated" 7 x
+      | Error (e, _) -> raise e);
+      (* The failure is confined to its own future. *)
+      Alcotest.(check string) "later future unaffected" "fine"
+        (Pool.await pool also_ok))
+
 let test_pool_reuse_after_await () =
   Pool.with_pool ~jobs:3 (fun pool ->
       (* Interleave submit/await rounds on one pool. *)
@@ -189,6 +204,83 @@ let test_engine_prepopulated_cache () =
       in
       Alcotest.(check int) "second run all hits" 2 s2.Engine.hits)
 
+let test_engine_recover () =
+  (* A solver that dies on one piece: with [recover], the batch survives
+     and only that piece gets the substitute result. *)
+  let pieces = [ (2, [ (0, 1) ]); (3, [ (0, 1); (1, 2) ]); (2, [ (0, 1) ]) ] in
+  let solve (n, ce) =
+    if n = 3 then raise (Boom n);
+    ignore ce;
+    (Array.make n 0, `Solved)
+  in
+  let recover (n, _ce) e _bt =
+    (match e with Boom 3 -> () | _ -> Alcotest.fail "wrong exception");
+    (Array.make n 9, `Recovered)
+  in
+  Pool.with_pool ~jobs:2 (fun pool ->
+      let results, stats =
+        Engine.solve_pieces ~pool ~recover ~solve pieces
+      in
+      Alcotest.(check int) "one failure" 1 stats.Engine.failed;
+      (match results with
+      | [ (_, `Solved); (c, `Recovered); (_, `Solved) ] ->
+        Alcotest.(check (array int)) "substitute coloring" [| 9; 9; 9 |] c
+      | _ -> Alcotest.fail "unexpected batch results");
+      (* Without [recover] the exception still escapes. *)
+      match
+        Engine.solve_pieces ~pool ~solve [ (3, [ (0, 1); (1, 2) ]) ]
+      with
+      | _ -> Alcotest.fail "expected Boom"
+      | exception Boom 3 -> ())
+
+let test_engine_validate_rejects () =
+  (* Prepopulate the cache with an out-of-range coloring; a validating
+     driver must reject the hit and re-solve. *)
+  let piece = (2, [ (0, 1) ]) in
+  let signature (n, ce) = Some (sig_of_edges ~n ~ce ~se:[]) in
+  let cache = Cache.create ~mode:Cache.Exact () in
+  let s = sig_of_edges ~n:2 ~ce:[ (0, 1) ] ~se:[] in
+  Cache.store cache s ([| 9; 9 |], ());
+  let solves = Atomic.make 0 in
+  let solve (n, _) =
+    Atomic.incr solves;
+    (Array.init n (fun v -> v), ())
+  in
+  let validate _ colors = Array.for_all (fun c -> c >= 0 && c < 4) colors in
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let results, stats =
+        Engine.solve_pieces ~pool ~cache ~signature ~validate ~solve [ piece ]
+      in
+      Alcotest.(check int) "hit rejected" 1 stats.Engine.rejected;
+      Alcotest.(check int) "no accepted hit" 0 stats.Engine.hits;
+      Alcotest.(check int) "re-solved" 1 (Atomic.get solves);
+      match results with
+      | [ (c, ()) ] ->
+        Alcotest.(check (array int)) "fresh coloring used" [| 0; 1 |] c
+      | _ -> Alcotest.fail "unexpected results")
+
+let test_cache_corrupt_dropped () =
+  (* An injected store-time corruption must be caught by the checksum:
+     the damaged entry is dropped on probe, never returned. *)
+  let fault =
+    Mpl_engine.Fault.arm
+      { Mpl_engine.Fault.site = Mpl_engine.Fault.Cache_corrupt;
+        seed = 0; shots = 1 }
+  in
+  let cache = Cache.create ~mode:Cache.Exact ~fault () in
+  let s = sig_of_edges ~n:2 ~ce:[ (0, 1) ] ~se:[] in
+  Cache.store cache s ([| 0; 1 |], ());
+  Alcotest.(check int) "entry stored" 1 (Cache.length cache);
+  Alcotest.(check bool) "corrupted entry not served" true
+    (Cache.find cache s = None);
+  Alcotest.(check int) "drop counted" 1 (Cache.corrupt_drops cache);
+  Alcotest.(check int) "entry evicted" 0 (Cache.length cache);
+  (* The next store is past the injection window and survives. *)
+  Cache.store cache s ([| 0; 1 |], ());
+  match Cache.find cache s with
+  | Some (c, ()) -> Alcotest.(check (array int)) "clean store hits" [| 0; 1 |] c
+  | None -> Alcotest.fail "expected hit after clean store"
+
 (* ------------------------------------------------------------------ *)
 (* Shared atomic budget *)
 
@@ -307,6 +399,8 @@ let suite =
   [
     Alcotest.test_case "pool: map ordering" `Quick test_pool_ordering;
     Alcotest.test_case "pool: exception propagation" `Quick test_pool_exception;
+    Alcotest.test_case "pool: try_await isolates failures" `Quick
+      test_pool_try_await;
     Alcotest.test_case "pool: reuse across rounds" `Quick test_pool_reuse_after_await;
     Alcotest.test_case "pool: argument validation" `Quick test_pool_invalid;
     Alcotest.test_case "cache: permuted hit" `Quick test_cache_permuted_hit;
@@ -317,6 +411,11 @@ let suite =
     Alcotest.test_case "engine: batch dedup" `Quick test_engine_dedup;
     Alcotest.test_case "engine: prepopulated cache" `Quick
       test_engine_prepopulated_cache;
+    Alcotest.test_case "engine: per-piece recovery" `Quick test_engine_recover;
+    Alcotest.test_case "engine: cache-hit validation" `Quick
+      test_engine_validate_rejects;
+    Alcotest.test_case "cache: corruption detected by checksum" `Quick
+      test_cache_corrupt_dropped;
     Alcotest.test_case "timer: atomic shared budget" `Quick test_budget_atomic;
     QCheck_alcotest.to_alcotest prop_jobs_cache_invariant;
     QCheck_alcotest.to_alcotest prop_permuted_cache_valid;

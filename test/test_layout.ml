@@ -92,7 +92,46 @@ let test_io_errors () =
   check_fails "R outside feature" "R 0 0 1 1\n";
   check_fails "unterminated" "FEATURE\nR 0 0 1 1\n";
   check_fails "empty feature" "FEATURE\nEND\n";
-  check_fails "degenerate rect" "FEATURE\nR 0 0 0 5\nEND\n"
+  check_fails "degenerate rect" "FEATURE\nR 0 0 0 5\nEND\n";
+  check_fails "negative-extent rect" "FEATURE\nR 10 0 0 5\nEND\n";
+  check_fails "non-integer coordinate" "FEATURE\nR 0 0 nan 5\nEND\n";
+  check_fails "zero TECH" "TECH 0 20 20\n";
+  check_fails "negative TECH" "TECH 20 -20 20\n";
+  (* The structured error names the offending line. *)
+  match Layout_io.of_string "NAME x\nTECH 20 20 20\nR 0 0 1 1\n" with
+  | exception Layout_io.Parse_error { line; msg = _ } ->
+    Alcotest.(check int) "error carries the line number" 3 line
+  | _ -> Alcotest.fail "expected parse error with line info"
+
+(* Fuzz the parser: random byte mutations and truncations of a valid
+   layout must either parse or raise [Parse_error] — never any other
+   exception, never a crash. *)
+let test_io_fuzz () =
+  let base = Layout_io.to_string (Benchgen.circuit "C432") in
+  let n = String.length base in
+  let rng = Mpl_util.Rng.create 0xF00D in
+  for _ = 1 to 1000 do
+    let b = Bytes.of_string base in
+    (* 1-4 random byte replacements from a hostile alphabet. *)
+    for _ = 0 to Mpl_util.Rng.int rng 4 do
+      let pos = Mpl_util.Rng.int rng n in
+      let repl = "RFE0-9 \nXD#.~\255" in
+      Bytes.set b pos repl.[Mpl_util.Rng.int rng (String.length repl)]
+    done;
+    (* Sometimes truncate mid-line as well. *)
+    let s =
+      if Mpl_util.Rng.int rng 4 = 0 then
+        Bytes.sub_string b 0 (Mpl_util.Rng.int rng n)
+      else Bytes.to_string b
+    in
+    match Layout_io.of_string s with
+    | _ -> ()
+    | exception Layout_io.Parse_error _ -> ()
+    | exception e ->
+      Alcotest.fail
+        (Printf.sprintf "parser leaked %s on mutated input"
+           (Printexc.to_string e))
+  done
 
 let test_io_comments_and_blanks () =
   let layout =
@@ -357,6 +396,7 @@ let suite =
     Alcotest.test_case "stitch limit" `Quick test_stitch_limit;
     Alcotest.test_case "io roundtrip" `Quick test_io_roundtrip;
     Alcotest.test_case "io errors" `Quick test_io_errors;
+    Alcotest.test_case "io fuzz: only Parse_error" `Quick test_io_fuzz;
     Alcotest.test_case "io comments" `Quick test_io_comments_and_blanks;
     Alcotest.test_case "benchgen deterministic" `Quick
       test_benchgen_deterministic;

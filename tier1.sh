@@ -20,4 +20,41 @@ dune exec bin/mpld.exe -- trace-check "$trace" \
   --require engine.batch --require assign
 rm -f "$trace"
 
+# Smoke: fault injection degrades gracefully. The injected solver raise
+# must not escape to the CLI (exit 0) and the run must report at least
+# one degraded piece in the metrics dump.
+out=$(dune exec bin/mpld.exe -- decompose C432 -a linear -j 2 \
+  --inject solver_raise:seed=0 --metrics 2>&1)
+echo "$out" | grep -q "resilience: degraded=[1-9]" || {
+  echo "tier1: fault injection did not degrade any piece" >&2
+  echo "$out" >&2
+  exit 1
+}
+echo "$out" | grep -Eq "solver\.degraded +[1-9]" || {
+  echo "tier1: solver.degraded metric missing from --metrics output" >&2
+  echo "$out" >&2
+  exit 1
+}
+
+# Smoke: malformed layouts are rejected with a file:line diagnostic and
+# exit code 2 — never a raw OCaml backtrace.
+bad=$(mktemp /tmp/mpld-bad.XXXXXX)
+printf 'NAME bad\nTECH 20 20 20\nFEATURE\nR 0 0 0 5\nEND\n' > "$bad"
+if err=$(dune exec bin/mpld.exe -- decompose "$bad" 2>&1); then
+  echo "tier1: malformed layout was accepted" >&2
+  rm -f "$bad"
+  exit 1
+fi
+rm -f "$bad"
+echo "$err" | grep -q ":4:" || {
+  echo "tier1: parse error lacks the offending line number" >&2
+  echo "$err" >&2
+  exit 1
+}
+case "$err" in
+*"Raised at"*)
+  echo "tier1: parse error leaked a backtrace" >&2
+  exit 1 ;;
+esac
+
 echo "tier1: OK"
