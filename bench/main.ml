@@ -10,7 +10,13 @@
      dune exec bench/main.exe -- --beyond      (K=6 generalization)
      dune exec bench/main.exe -- --extensions  (LB / refine / balance)
      dune exec bench/main.exe -- --parallel    (engine speedup + cache;
-                                               writes bench/results/latest.json)
+                                               writes bench/results/latest.json,
+                                               kernel rows included)
+     dune exec bench/main.exe -- --kernels     (hot-path kernel microbenches:
+                                               bounded vs full max-flow,
+                                               flat vs dense SDP; add --check
+                                               to run the parity gate instead —
+                                               exits nonzero on any mismatch)
      dune exec bench/main.exe -- --micro *)
 
 module D = Mpl.Decomposer
@@ -185,6 +191,27 @@ let figures () =
 (* ------------------------------------------------------------------ *)
 (* Ablations of the design choices DESIGN.md calls out.                *)
 
+(* One dense SDP-stressing component: a single "hard block" gadget with
+   no surrounding cells. Shared by the SDP-mode ablation and the kernel
+   microbenches. *)
+let hardblock_graph () =
+  let spec =
+    {
+      (Mpl_layout.Benchgen.spec_of_circuit "S38417") with
+      Mpl_layout.Benchgen.rows = 1;
+      cells_per_row = 1;
+      native_five = 0;
+      native_six = 0;
+      hard_blocks = 1;
+      stitch_gadgets = 0;
+      penta_six = 0;
+      wire_fraction = 0.;
+      name = "hardblock";
+    }
+  in
+  let layout = Mpl_layout.Benchgen.generate spec in
+  Mpl.Decomp_graph.of_layout layout ~min_s:80
+
 let ablation () =
   Format.printf
     "@.=== Ablation: graph division stages (S38417, Linear, k=4) ===@.";
@@ -236,22 +263,7 @@ let ablation () =
         without.C.stitches)
     [ "C6288"; "S38417" ];
   Format.printf "@.=== Ablation: SDP solver mode (one hard block, k=4) ===@.";
-  let spec =
-    {
-      (Mpl_layout.Benchgen.spec_of_circuit "S38417") with
-      Mpl_layout.Benchgen.rows = 1;
-      cells_per_row = 1;
-      native_five = 0;
-      native_six = 0;
-      hard_blocks = 1;
-      stitch_gadgets = 0;
-      penta_six = 0;
-      wire_fraction = 0.;
-      name = "hardblock";
-    }
-  in
-  let layout = Mpl_layout.Benchgen.generate spec in
-  let g = Mpl.Decomp_graph.of_layout layout ~min_s:80 in
+  let g = hardblock_graph () in
   List.iter
     (fun (name, mode) ->
       let sdp_options = { Mpl_numeric.Sdp.default_options with mode } in
@@ -320,6 +332,239 @@ let extensions () =
     [ "C6288"; "C7552"; "S38417" ]
 
 (* ------------------------------------------------------------------ *)
+(* Hot-path kernel microbenches and parity gate (--kernels [--check]): *)
+(* the K-bounded Gusfield construction vs the full one, and the flat   *)
+(* unboxed SDP kernel vs the boxed dense reference. The same kernel    *)
+(* rows are embedded in latest.json by --parallel.                     *)
+
+module MF = Mpl_graph.Maxflow
+module GH = Mpl_graph.Gomory_hu
+module Ugraph = Mpl_graph.Ugraph
+module Sdp = Mpl_numeric.Sdp
+
+type kernel_row = {
+  kr_kernel : string;  (* "ghtree" | "sdp" *)
+  kr_variant : string;  (* "full" | "bounded" | "dense" | "flat" *)
+  kr_case : string;
+  kr_runs : int;
+  kr_ns : float;  (* mean ns per run *)
+}
+
+let time_runs ~runs f =
+  ignore (f ());
+  (* warm-up *)
+  let _, secs =
+    Mpl_util.Timer.time (fun () ->
+        for _ = 1 to runs do
+          ignore (f ())
+        done)
+  in
+  secs *. 1e9 /. float_of_int runs
+
+(* Deterministic sparse random graph, roughly [deg] average degree. *)
+let random_ugraph ~seed ~n ~deg =
+  let rng = Mpl_util.Rng.create seed in
+  let edges = ref [] in
+  for _ = 1 to n * deg / 2 do
+    let u = Mpl_util.Rng.int rng n and v = Mpl_util.Rng.int rng n in
+    if u <> v then edges := (u, v) :: !edges
+  done;
+  Ugraph.of_edges n !edges
+
+let ghtree_cases () =
+  [
+    ("hardblock", Mpl.Decomp_graph.union_graph (hardblock_graph ()));
+    ("rand-n400", random_ugraph ~seed:11 ~n:400 ~deg:6);
+  ]
+
+(* Clique core plus a stitch ring: exercises both edge families of the
+   projected solver. *)
+let sdp_problem n =
+  let conflict = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      conflict := (i, j) :: !conflict
+    done
+  done;
+  let stitch = List.init n (fun i -> (i, (i + 1) mod n)) in
+  {
+    Sdp.n;
+    conflict_edges = Array.of_list !conflict;
+    stitch_edges = Array.of_list stitch;
+    k = 4;
+    alpha = 0.1;
+  }
+
+let kernel_rows () =
+  let rows = ref [] in
+  let add kr = rows := kr :: !rows in
+  List.iter
+    (fun (case, ug) ->
+      let runs = 3 in
+      add
+        {
+          kr_kernel = "ghtree";
+          kr_variant = "full";
+          kr_case = case;
+          kr_runs = runs;
+          kr_ns = time_runs ~runs (fun () -> GH.build ug);
+        };
+      add
+        {
+          kr_kernel = "ghtree";
+          kr_variant = "bounded";
+          kr_case = case;
+          kr_runs = runs;
+          kr_ns = time_runs ~runs (fun () -> GH.build ~bound:4 ug);
+        })
+    (ghtree_cases ());
+  List.iter
+    (fun n ->
+      let p = sdp_problem n in
+      let case = Printf.sprintf "clique+ring-n%d" n in
+      let runs = 3 in
+      add
+        {
+          kr_kernel = "sdp";
+          kr_variant = "dense";
+          kr_case = case;
+          kr_runs = runs;
+          kr_ns = time_runs ~runs (fun () -> Sdp.solve_dense p);
+        };
+      add
+        {
+          kr_kernel = "sdp";
+          kr_variant = "flat";
+          kr_case = case;
+          kr_runs = runs;
+          kr_ns = time_runs ~runs (fun () -> Sdp.solve p);
+        })
+    [ 16; 32 ];
+  List.rev !rows
+
+let print_kernel_rows rows =
+  Format.printf "@.=== Kernel microbenches ===@.";
+  Format.printf "%-8s %-8s %-16s %6s %14s@." "kernel" "variant" "case" "runs"
+    "ns/run";
+  List.iter
+    (fun r ->
+      Format.printf "%-8s %-8s %-16s %6d %14.0f@." r.kr_kernel r.kr_variant
+        r.kr_case r.kr_runs r.kr_ns)
+    rows;
+  (* Speedup summary per (kernel, case) pair. *)
+  List.iter
+    (fun (kernel, fast, slow) ->
+      List.iter
+        (fun r ->
+          if r.kr_kernel = kernel && r.kr_variant = slow then
+            match
+              List.find_opt
+                (fun f ->
+                  f.kr_kernel = kernel && f.kr_variant = fast
+                  && f.kr_case = r.kr_case)
+                rows
+            with
+            | Some f when f.kr_ns > 0. ->
+              Format.printf "%-8s %-16s %s/%s speedup: %.2fx@." kernel
+                r.kr_case slow fast (r.kr_ns /. f.kr_ns)
+            | Some _ | None -> ())
+        rows)
+    [ ("ghtree", "bounded", "full"); ("sdp", "flat", "dense") ]
+
+(* Parity gate (--kernels --check): the fast kernels must agree with
+   their reference implementations. Exits nonzero on any mismatch —
+   wired into tier1.sh as a smoke test. *)
+let kernels_check () =
+  Format.printf "@.=== Kernel parity checks ===@.";
+  let failures = ref 0 in
+  let fail fmt =
+    incr failures;
+    Format.printf fmt
+  in
+  (* 1. Bounded max-flow == min(full flow, bound), and below the bound
+        the residual witnesses the same minimal source side. *)
+  let rng = Mpl_util.Rng.create 2014 in
+  for _ = 1 to 200 do
+    let n = 2 + Mpl_util.Rng.int rng 9 in
+    let ug = random_ugraph ~seed:(Mpl_util.Rng.int rng 1_000_000) ~n ~deg:4 in
+    let s = 0 and t = n - 1 in
+    let full =
+      let net = MF.of_ugraph ug in
+      MF.max_flow net ~s ~t
+    in
+    for b = 0 to 5 do
+      let net = MF.of_ugraph ug in
+      let got = MF.max_flow_bounded net ~bound:b ~s ~t in
+      if got <> min full b then
+        fail "FAIL maxflow: n=%d b=%d got=%d want=%d@." n b got (min full b);
+      if got < b then begin
+        let side = MF.min_cut_side net ~s in
+        let net2 = MF.of_ugraph ug in
+        ignore (MF.max_flow net2 ~s ~t);
+        if side <> MF.min_cut_side net2 ~s then
+          fail "FAIL maxflow cut side: n=%d b=%d@." n b
+      end
+    done
+  done;
+  (* 2. The bounded Gusfield tree finds the same actionable (< k)
+        minimum as the exact tree. *)
+  for seed = 1 to 60 do
+    let n = 3 + (seed mod 8) in
+    let ug = random_ugraph ~seed:(1000 + seed) ~n ~deg:4 in
+    let k = 4 in
+    let min_below tree =
+      Array.fold_left
+        (fun acc (_, _, w) -> if w < k && w < acc then w else acc)
+        max_int (GH.tree_edges tree)
+    in
+    let exact = min_below (GH.build ug) in
+    let bounded = min_below (GH.build ~bound:k ug) in
+    if exact <> bounded then
+      fail "FAIL ghtree: seed=%d min<k exact=%d bounded=%d@." seed exact
+        bounded
+  done;
+  (* 3. End-to-end: bounded division must reproduce the unbounded
+        colorings bit-for-bit. *)
+  List.iter
+    (fun name ->
+      let g = build_graph ~min_s:80 name in
+      let solve bounded_cuts =
+        Mpl.Division.assign ~bounded_cuts ~k:4 ~alpha:0.1
+          ~solver:(Mpl.Linear_color.solve ~k:4 ~alpha:0.1)
+          g
+      in
+      if solve true <> solve false then
+        fail "FAIL division: %s bounded/unbounded colorings differ@." name)
+    [ "C432"; "C880"; "S1488" ];
+  (* 4. Flat SDP kernel is bit-identical to the dense reference. *)
+  List.iter
+    (fun n ->
+      let p = sdp_problem n in
+      let flat = Sdp.solve p and dense = Sdp.solve_dense p in
+      if flat.Sdp.objective <> dense.Sdp.objective then
+        fail "FAIL sdp objective: n=%d flat=%.17g dense=%.17g@." n
+          flat.Sdp.objective dense.Sdp.objective;
+      let exact_cells = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let a = Float.Array.get flat.Sdp.gram ((i * n) + j) in
+          let b = Float.Array.get dense.Sdp.gram ((i * n) + j) in
+          if Int64.bits_of_float a <> Int64.bits_of_float b then
+            exact_cells := false
+        done
+      done;
+      if not !exact_cells then fail "FAIL sdp gram: n=%d not bit-identical@." n)
+    [ 2; 5; 9; 16; 24 ];
+  if !failures = 0 then begin
+    Format.printf "kernel parity: all checks passed@.";
+    true
+  end
+  else begin
+    Format.printf "kernel parity: %d check(s) FAILED@." !failures;
+    false
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Parallel engine: wall-clock speedup vs --jobs and cache hit rates   *)
 (* on the four largest Table 1 circuits, where ILP/SDP runtime         *)
 (* dominates. Emits bench/results/latest.json for perf tracking.       *)
@@ -368,10 +613,30 @@ let git_commit () =
    to the raw result rows, so regressions can be traced to the machine
    and commit that produced them.
    Schema v3: each result row gains "degraded_pieces" — pieces that fell
-   down the solver fallback ladder (should be 0 on healthy runs). *)
-let results_schema_version = 3
+   down the solver fallback ladder (should be 0 on healthy runs).
+   Schema v4: "pieces" is now always the division's leaf-solve count
+   (engine rows used to report routed components instead — 1911 vs 540
+   on S38417 — making the column incomparable across settings), and a
+   top-level "kernels" array records the hot-path kernel microbenches
+   (ns/run for bounded vs full Gusfield, flat vs dense SDP). *)
+let results_schema_version = 4
 
-let write_results ?metrics rows =
+let json_of_kernels rows =
+  let b = Buffer.create 1024 in
+  Buffer.add_string b "[\n";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Buffer.add_string b
+        (Printf.sprintf
+           "    {\"kernel\": %S, \"variant\": %S, \"case\": %S, \"runs\": %d, \
+            \"ns_per_run\": %.0f}"
+           r.kr_kernel r.kr_variant r.kr_case r.kr_runs r.kr_ns))
+    rows;
+  Buffer.add_string b "\n  ]";
+  Buffer.contents b
+
+let write_results ?metrics ?kernels rows =
   let dir = "bench/results" in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let path = Filename.concat dir "latest.json" in
@@ -388,6 +653,11 @@ let write_results ?metrics rows =
        Sys.ocaml_version);
   Buffer.add_string b "  \"results\": ";
   Buffer.add_string b (json_of_rows rows);
+  (match kernels with
+  | None -> ()
+  | Some ks ->
+    Buffer.add_string b ",\n  \"kernels\": ";
+    Buffer.add_string b (json_of_kernels ks));
   (match metrics with
   | None -> ()
   | Some snap ->
@@ -418,6 +688,7 @@ let parallel () =
       let g = build_graph ~min_s:80 name in
       let baseline = ref None in
       let reference_cost = ref None in
+      let reference_pieces = ref None in
       List.iter
         (fun (jobs, cache) ->
           (* Sample the metrics registry once, on the first cached run:
@@ -439,13 +710,29 @@ let parallel () =
                  (%d,%d)@."
                 name jobs cache cn st cn0 st0);
           if jobs = 1 && not cache then baseline := Some r.D.elapsed_s;
-          let hits, pieces =
+          (* "pieces" is the division's leaf-solve count on EVERY row:
+             engine runs used to report routed components here instead
+             (1911 vs 540 on S38417), making the column incomparable
+             across settings. Division stats accumulate identically on
+             both paths (cached components carry their original stats),
+             so any mismatch is a real regression — fatal. *)
+          let hits, routed =
             match r.D.engine with
             | Some e ->
-              (e.Mpl_engine.Engine.hits + e.Mpl_engine.Engine.reused,
-               e.Mpl_engine.Engine.pieces)
-            | None -> (0, r.D.division.Mpl.Division.pieces)
+              ( e.Mpl_engine.Engine.hits + e.Mpl_engine.Engine.reused,
+                e.Mpl_engine.Engine.pieces )
+            | None -> (0, 0)
           in
+          let pieces = r.D.division.Mpl.Division.pieces in
+          (match !reference_pieces with
+          | None -> reference_pieces := Some pieces
+          | Some p0 ->
+            if p0 <> pieces then begin
+              Format.printf
+                "!! pieces mismatch on %s at jobs=%d cache=%b: %d vs %d@."
+                name jobs cache pieces p0;
+              exit 1
+            end);
           let speedup =
             match !baseline with
             | Some t1 when r.D.elapsed_s > 0. -> t1 /. r.D.elapsed_s
@@ -457,9 +744,9 @@ let parallel () =
             name (D.algorithm_name algo) jobs cache cn st r.D.elapsed_s
             speedup
             (if cache then
-               Printf.sprintf " cache=%d/%d (%.0f%%)" hits pieces
+               Printf.sprintf " cache=%d/%d (%.0f%%)" hits routed
                  (100. *. float_of_int hits
-                 /. float_of_int (max 1 pieces))
+                 /. float_of_int (max 1 routed))
              else "");
           rows :=
             {
@@ -477,7 +764,9 @@ let parallel () =
             :: !rows)
         settings)
     parallel_circuits;
-  write_results ?metrics:!metrics_sample (List.rev !rows)
+  let kernels = kernel_rows () in
+  print_kernel_rows kernels;
+  write_results ?metrics:!metrics_sample ~kernels (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
@@ -540,6 +829,15 @@ let () =
   in
   parse args;
   let has flag = List.mem flag args in
+  (* --kernels is its own mode: print microbench rows, or with --check
+     run the parity gate and exit nonzero on mismatch (tier1 smoke). *)
+  if has "--kernels" || has "kernels" then begin
+    if has "--check" then exit (if kernels_check () then 0 else 1)
+    else begin
+      print_kernel_rows (kernel_rows ());
+      exit 0
+    end
+  end;
   let any =
     has "--table1" || has "--table2" || has "--figures" || has "--ablation"
     || has "--micro" || has "--beyond" || has "--extensions"

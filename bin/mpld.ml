@@ -97,12 +97,22 @@ let cache_permuted_arg =
   in
   Arg.(value & flag & info [ "cache-permuted" ] ~doc)
 
-let engine_params base ~jobs ~no_cache ~cache_permuted =
+let cache_warm_arg =
+  let doc =
+    "Warm-start the SDP solver of each piece from the cached coloring of \
+     a previously solved piece with the same canonical signature. Never \
+     skips a solve; warm-started solves may converge early, so colorings \
+     can differ (equally valid) from a cold run."
+  in
+  Arg.(value & flag & info [ "cache-warm" ] ~doc)
+
+let engine_params base ~jobs ~no_cache ~cache_permuted ~cache_warm =
   {
     base with
     Mpl.Decomposer.jobs;
     cache = not no_cache;
     cache_permuted;
+    cache_warm;
   }
 
 let fault_conv =
@@ -161,7 +171,7 @@ let resolve_min_s ~k ~min_s =
 
 let decompose_cmd =
   let run source k min_s algo budget refine balance jobs no_cache
-      cache_permuted inject trace metrics verbose =
+      cache_permuted cache_warm inject trace metrics verbose =
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
     (* -v needs span data even without a trace file. *)
@@ -169,7 +179,7 @@ let decompose_cmd =
       if trace <> None || verbose then Some (Mpl_obs.Sink.create ()) else None
     in
     let params =
-      engine_params ~jobs ~no_cache ~cache_permuted
+      engine_params ~jobs ~no_cache ~cache_permuted ~cache_warm
         {
           Mpl.Decomposer.default_params with
           k;
@@ -221,8 +231,8 @@ let decompose_cmd =
     Term.(
       const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
       $ refine_arg $ balance_arg $ jobs_arg $ no_cache_arg
-      $ cache_permuted_arg $ inject_arg $ trace_arg $ metrics_arg
-      $ verbose_arg)
+      $ cache_permuted_arg $ cache_warm_arg $ inject_arg $ trace_arg
+      $ metrics_arg $ verbose_arg)
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
 
@@ -273,10 +283,11 @@ let stats_cmd =
       in
       Format.printf
         "division: pieces=%d peeled=%d bicon_splits=%d gh_cuts=%d \
-         maxflow_calls=%d@."
+         maxflow_calls=%d bounded_exits=%d@."
         (c "division.pieces") (c "division.peeled")
         (c "division.bicon_splits") (c "division.gh_cuts")
         (c "division.maxflow_calls")
+        (c "division.bounded_exits")
   in
   let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg) in
   Cmd.v
@@ -368,7 +379,7 @@ let svg_cmd =
   Cmd.v (Cmd.info "svg" ~doc:"Decompose a layout and render the masks to SVG") term
 
 let report_cmd =
-  let run source k min_s budget jobs no_cache cache_permuted =
+  let run source k min_s budget jobs no_cache cache_permuted cache_warm =
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
     let g = Mpl.Decomp_graph.of_layout layout ~min_s in
@@ -379,7 +390,7 @@ let report_cmd =
     List.iter
       (fun algo ->
         let params =
-          engine_params ~jobs ~no_cache ~cache_permuted
+          engine_params ~jobs ~no_cache ~cache_permuted ~cache_warm
             { Mpl.Decomposer.default_params with k; solver_budget_s = budget }
         in
         let r = Mpl.Decomposer.assign ~params algo g in
@@ -400,7 +411,7 @@ let report_cmd =
   let term =
     Term.(
       const run $ circuit_arg $ k_arg $ min_s_arg $ budget_arg $ jobs_arg
-      $ no_cache_arg $ cache_permuted_arg)
+      $ no_cache_arg $ cache_permuted_arg $ cache_warm_arg)
   in
   Cmd.v
     (Cmd.info "report"

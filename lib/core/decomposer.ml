@@ -22,6 +22,7 @@ type params = {
   jobs : int;
   cache : bool;
   cache_permuted : bool;
+  cache_warm : bool;
   trace : Mpl_obs.Sink.t option;
   metrics : bool;
   fault : Mpl_engine.Fault.spec option;
@@ -41,6 +42,7 @@ let default_params =
     jobs = 1;
     cache = false;
     cache_permuted = false;
+    cache_warm = false;
     trace = None;
     metrics = false;
     fault = None;
@@ -147,13 +149,17 @@ type report = {
    coloring plus whether the attempt completed cleanly — [false] means
    the shared budget or the node cap cut the search short and the
    coloring is only the best incumbent. *)
-let solve_once ~obs ~params ~budget algorithm (piece : Decomp_graph.t) =
+let solve_once ~obs ~params ~budget ?warm algorithm (piece : Decomp_graph.t) =
   let k = params.k and alpha = params.alpha in
   let m = obs.Mpl_obs.Obs.metrics in
   let observe_sdp (sol : Mpl_numeric.Sdp.solution) =
     Mpl_obs.Metrics.observe
       (Mpl_obs.Metrics.histogram m "solver.sdp_iterations")
-      (float_of_int sol.Mpl_numeric.Sdp.iterations)
+      (float_of_int sol.Mpl_numeric.Sdp.iterations);
+    (* Registered on every SDP solve (not just warm ones) so the counter
+       shows up as an explicit 0 in metrics snapshots of cold runs. *)
+    let warm_c = Mpl_obs.Metrics.counter m "sdp.warm_starts" in
+    if sol.Mpl_numeric.Sdp.warm then Mpl_obs.Metrics.incr warm_c
   in
   Mpl_obs.Obs.span obs
     ("solve." ^ algorithm_name algorithm)
@@ -180,14 +186,18 @@ let solve_once ~obs ~params ~budget algorithm (piece : Decomp_graph.t) =
   | Sdp_greedy ->
     if piece.Decomp_graph.n <= 1 then (Array.make piece.Decomp_graph.n 0, true)
     else begin
-      let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
+      let sol =
+        Sdp_color.relax ~options:params.sdp_options ?warm ~k ~alpha piece
+      in
       observe_sdp sol;
       (Sdp_color.greedy_map ~k sol piece, true)
     end
   | Sdp_backtrack ->
     if piece.Decomp_graph.n <= 1 then (Array.make piece.Decomp_graph.n 0, true)
     else begin
-      let sol = Sdp_color.relax ~options:params.sdp_options ~k ~alpha piece in
+      let sol =
+        Sdp_color.relax ~options:params.sdp_options ?warm ~k ~alpha piece
+      in
       observe_sdp sol;
       ( Sdp_color.backtrack ~obs ~tth:params.tth ~node_cap:params.node_cap ~k
           ~alpha sol piece,
@@ -215,7 +225,15 @@ let recover_piece ~obs ~params ~fault ~prov ~primary ~partial ~error piece =
   let free_budget = Mpl_util.Timer.budget 0. in
   let attempts = ref 1 in
   let candidates = ref [] in
-  let add name colors = candidates := !candidates @ [ (name, colors) ] in
+  (* Each rung restarts from the previous rung's coloring (initially the
+     primary's tripped incumbent, when there is one): the SDP rungs seed
+     their relaxation from it instead of a cold start, so the recovery
+     resumes the search rather than repeating it. *)
+  let last = ref None in
+  let add name colors =
+    candidates := !candidates @ [ (name, colors) ];
+    last := Some colors
+  in
   (match partial with
   | Some colors -> add (algorithm_name primary) colors
   | None -> ());
@@ -226,7 +244,10 @@ let recover_piece ~obs ~params ~fault ~prov ~primary ~partial ~error piece =
       match
         if Mpl_engine.Fault.fires fault Mpl_engine.Fault.Solver_raise then
           raise (Mpl_engine.Fault.Injected Mpl_engine.Fault.Solver_raise)
-        else fst (solve_once ~obs ~params ~budget:free_budget step piece)
+        else
+          fst
+            (solve_once ~obs ~params ~budget:free_budget ?warm:!last step
+               piece)
       with
       | colors -> add (algorithm_name step) colors
       | exception _ -> ())
@@ -259,49 +280,6 @@ let recover_piece ~obs ~params ~fault ~prov ~primary ~partial ~error piece =
     };
   colors
 
-(* Leaf solver for one divided piece. The exact algorithms share one
-   wall-clock budget across all pieces (the paper reports a single CPU
-   number per circuit). A clean attempt returns its coloring untouched —
-   the no-fault, no-trip path is bit-identical to a build without this
-   wrapper. An attempt that raises or is cut short (budget, node cap)
-   degrades through [recover_piece] instead of failing the run. The
-   budget deadline and the timeout flag are both safe to touch from
-   pool workers. *)
-let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov algorithm
-    (piece : Decomp_graph.t) =
-  let m = obs.Mpl_obs.Obs.metrics in
-  Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.solves");
-  let uses_budget = match algorithm with Ilp | Exact -> true | _ -> false in
-  let forced_trip =
-    uses_budget
-    && Mpl_engine.Fault.fires fault Mpl_engine.Fault.Budget_trip
-  in
-  if forced_trip then Mpl_util.Timer.force_expire budget;
-  let primary =
-    match
-      if Mpl_engine.Fault.fires fault Mpl_engine.Fault.Solver_raise then
-        raise (Mpl_engine.Fault.Injected Mpl_engine.Fault.Solver_raise)
-      else solve_once ~obs ~params ~budget algorithm piece
-    with
-    | r -> Ok r
-    | exception e -> Error e
-  in
-  match primary with
-  (* A forced trip must take the degradation path even when the solver
-     happened to finish before noticing the expired budget (e.g. its
-     seed already pruned the whole search): the fault's contract is
-     that this piece trips. *)
-  | Ok (colors, true) when not forced_trip -> colors
-  | Ok (colors, _) ->
-    Atomic.set timed_out true;
-    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.budget_trips");
-    recover_piece ~obs ~params ~fault ~prov ~primary:algorithm
-      ~partial:(Some colors) ~error:"budget/node-cap trip" piece
-  | Error e ->
-    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.piece_failures");
-    recover_piece ~obs ~params ~fault ~prov ~primary:algorithm ~partial:None
-      ~error:(Printexc.to_string e) piece
-
 (* Canonical signature of a piece for the engine cache: the three edge
    relations are all a solver ever reads (feature ids only matter for
    rendering), so they fully determine the solver's behavior up to its
@@ -319,6 +297,80 @@ let piece_signature (piece : Decomp_graph.t) =
              Decomp_graph.stitch_edges piece;
              Decomp_graph.friendly_edges piece;
            |])
+
+(* Leaf solver for one divided piece. The exact algorithms share one
+   wall-clock budget across all pieces (the paper reports a single CPU
+   number per circuit). A clean attempt returns its coloring untouched —
+   the no-fault, no-trip path is bit-identical to a build without this
+   wrapper. An attempt that raises or is cut short (budget, node cap)
+   degrades through [recover_piece] instead of failing the run. The
+   budget deadline and the timeout flag are both safe to touch from
+   pool workers. *)
+let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
+    algorithm (piece : Decomp_graph.t) =
+  let m = obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.solves");
+  (* Warm-hint probe: a previously solved piece with the same canonical
+     key (near-isomorphic: same 1-WL structure, possibly different
+     labeling) seeds this piece's SDP initial point. Only the SDP
+     algorithms consume hints, and a hint never skips a solve. *)
+  let uses_sdp =
+    match algorithm with
+    | Sdp_backtrack | Sdp_greedy -> true
+    | Ilp | Exact | Linear -> false
+  in
+  let wsig =
+    match warm_cache with
+    | Some _ when uses_sdp && piece.Decomp_graph.n > 1 ->
+      piece_signature piece
+    | Some _ | None -> None
+  in
+  let warm =
+    match (warm_cache, wsig) with
+    | Some wc, Some s -> (
+      match Mpl_engine.Cache.find_similar wc s with
+      | Some hint when Coloring.check_range ~k:params.k hint -> Some hint
+      | Some _ | None -> None)
+    | _ -> None
+  in
+  let uses_budget = match algorithm with Ilp | Exact -> true | _ -> false in
+  let forced_trip =
+    uses_budget
+    && Mpl_engine.Fault.fires fault Mpl_engine.Fault.Budget_trip
+  in
+  if forced_trip then Mpl_util.Timer.force_expire budget;
+  let primary =
+    match
+      if Mpl_engine.Fault.fires fault Mpl_engine.Fault.Solver_raise then
+        raise (Mpl_engine.Fault.Injected Mpl_engine.Fault.Solver_raise)
+      else solve_once ~obs ~params ~budget ?warm algorithm piece
+    with
+    | r -> Ok r
+    | exception e -> Error e
+  in
+  let finish colors =
+    (match (warm_cache, wsig) with
+    | Some wc, Some s -> Mpl_engine.Cache.store wc s (colors, ())
+    | _ -> ());
+    colors
+  in
+  finish
+  @@
+  match primary with
+  (* A forced trip must take the degradation path even when the solver
+     happened to finish before noticing the expired budget (e.g. its
+     seed already pruned the whole search): the fault's contract is
+     that this piece trips. *)
+  | Ok (colors, true) when not forced_trip -> colors
+  | Ok (colors, _) ->
+    Atomic.set timed_out true;
+    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.budget_trips");
+    recover_piece ~obs ~params ~fault ~prov ~primary:algorithm
+      ~partial:(Some colors) ~error:"budget/node-cap trip" piece
+  | Error e ->
+    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.piece_failures");
+    recover_piece ~obs ~params ~fault ~prov ~primary:algorithm ~partial:None
+      ~error:(Printexc.to_string e) piece
 
 (* Parallel/cached assignment: split off the independent components
    (the same split the sequential division pipeline performs first),
@@ -420,8 +472,22 @@ let assign ?(params = default_params) ?obs algorithm g =
     | Ilp | Exact -> Mpl_util.Timer.budget params.solver_budget_s
     | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
   in
+  (* Leaf-level warm-hint cache (opt-in): remembers every solved piece
+     under its canonical key and seeds SDP solves of near-isomorphic
+     pieces from the stored coloring. Unlike the engine's component
+     cache this never skips a solve, but warm-started solves may stop
+     early, so it is off by default to preserve the bit-identity
+     contract of the cold path. *)
+  let warm_cache =
+    if params.cache_warm then
+      Some
+        (Mpl_engine.Cache.create ~mode:Mpl_engine.Cache.Permuted ~obs ~fault
+           ())
+    else None
+  in
   let solver =
-    make_solver ~obs ~params ~budget ~timed_out ~fault ~prov algorithm
+    make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
+      algorithm
   in
   let engine_stats = ref None in
   let (colors, elapsed_s) =

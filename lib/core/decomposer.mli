@@ -57,6 +57,13 @@ type params = {
           components too ({!Mpl_engine.Cache.Permuted}); higher hit
           rate, but heuristic tie-breaks may then produce (equally
           valid) colorings differing from an uncached run *)
+  cache_warm : bool;
+      (** leaf-level warm-hint cache: remember every solved piece under
+          its canonical signature and seed the SDP initial point of
+          near-isomorphic pieces from the stored coloring
+          ({!Mpl_engine.Cache.find_similar}). Never skips a solve, but
+          warm-started solves may converge early, so results can differ
+          (equally valid) from a cold run; off by default *)
   trace : Mpl_obs.Sink.t option;
       (** span sink for structured tracing; [None] (the default)
           disables tracing entirely — the traced and untraced runs

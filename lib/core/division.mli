@@ -45,6 +45,7 @@ val assign :
   ?obs:Mpl_obs.Obs.t ->
   ?stages:stages ->
   ?stats:stats ->
+  ?bounded_cuts:bool ->
   k:int ->
   alpha:float ->
   solver:(Decomp_graph.t -> int array) ->
@@ -53,13 +54,21 @@ val assign :
 (** Divide, color every piece with [solver], reassemble. The result
     assigns every vertex a color in [0..k-1].
 
+    [bounded_cuts] (default [true]) caps every Gusfield max-flow of the
+    GH-tree stage at [k]: only cuts strictly below [k] are actionable
+    (Theorem 2), so Dinic may stop as soon as the flow reaches [k] —
+    O(k*E) per flow instead of O(V^2*E). Flows that hit the cap are
+    counted in the [division.bounded_exits] metric. [false] rebuilds the
+    exact (unbounded) tree; both settings select identical cuts, which
+    the test suite checks end-to-end.
+
     With [obs], each stage's own analysis work (component scan, peel
     fixpoint, block decomposition, GH tree and cut recovery — never the
     recursive solves underneath) runs under [division.components] /
     [division.peel] / [division.biconnected] / [division.ghtree] spans,
     and the registry accumulates [division.pieces], [division.peeled],
     [division.bicon_splits], [division.gh_cuts],
-    [division.maxflow_calls] counters plus a [division.piece_size]
-    histogram of leaf sizes. *)
+    [division.maxflow_calls], [division.bounded_exits] counters plus a
+    [division.piece_size] histogram of leaf sizes. *)
 
 val fresh_stats : unit -> stats

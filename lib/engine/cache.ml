@@ -137,6 +137,7 @@ let checksum n colors =
 type stats = {
   probes : Mpl_obs.Metrics.counter;
   hit_c : Mpl_obs.Metrics.counter;
+  warm_c : Mpl_obs.Metrics.counter;
   stores : Mpl_obs.Metrics.counter;
   corrupt : Mpl_obs.Metrics.counter;
   probe_ns : Mpl_obs.Metrics.histogram;
@@ -150,6 +151,7 @@ type 'v t = {
   lock : Mutex.t;
   hits_c : int Atomic.t;
   misses_c : int Atomic.t;
+  warm_hits_c : int Atomic.t;  (* key-only matches served as warm hints *)
   mutable entries : int;
   max_variants : int;
   corrupt_c : int Atomic.t;  (* entries dropped by checksum validation *)
@@ -162,6 +164,7 @@ let make_stats (obs : Mpl_obs.Obs.t) =
   {
     probes = Mpl_obs.Metrics.counter m "cache.probes";
     hit_c = Mpl_obs.Metrics.counter m "cache.hits";
+    warm_c = Mpl_obs.Metrics.counter m "cache.warm_hits";
     stores = Mpl_obs.Metrics.counter m "cache.stores";
     corrupt = Mpl_obs.Metrics.counter m "cache.corrupt_drops";
     probe_ns = Mpl_obs.Metrics.histogram m "cache.probe_ns";
@@ -177,6 +180,7 @@ let create ?(mode = Exact) ?(max_variants = 8) ?(obs = Mpl_obs.Obs.null)
     lock = Mutex.create ();
     hits_c = Atomic.make 0;
     misses_c = Atomic.make 0;
+    warm_hits_c = Atomic.make 0;
     entries = 0;
     max_variants;
     corrupt_c = Atomic.make 0;
@@ -203,25 +207,26 @@ let uncanon s colors_canon = Array.init s.n (fun v -> colors_canon.(s.perm.(v)))
 let entry_valid s e =
   Array.length e.colors_canon = s.n && e.check = checksum s.n e.colors_canon
 
+(* Checksum-validate the variants under [s.key] before reuse; drop
+   corrupted entries so callers fall through to a fresh solve. *)
+let valid_variants t s =
+  Mutex.lock t.lock;
+  let all = Option.value ~default:[] (Hashtbl.find_opt t.table s.key) in
+  let valid, corrupt = List.partition (entry_valid s) all in
+  if corrupt <> [] then begin
+    (if valid = [] then Hashtbl.remove t.table s.key
+     else Hashtbl.replace t.table s.key valid);
+    t.entries <- t.entries - List.length corrupt;
+    Atomic.fetch_and_add t.corrupt_c (List.length corrupt) |> ignore;
+    Mpl_obs.Metrics.add t.stats.corrupt (List.length corrupt)
+  end;
+  Mutex.unlock t.lock;
+  valid
+
 let find t s =
   Mpl_obs.Metrics.incr t.stats.probes;
   timed_ns t.stats t.stats.probe_ns (fun () ->
-      let variants =
-        Mutex.lock t.lock;
-        let all = Option.value ~default:[] (Hashtbl.find_opt t.table s.key) in
-        (* Checksum-validate before reuse; drop corrupted entries so the
-           caller falls through to a fresh solve. *)
-        let valid, corrupt = List.partition (entry_valid s) all in
-        if corrupt <> [] then begin
-          (if valid = [] then Hashtbl.remove t.table s.key
-           else Hashtbl.replace t.table s.key valid);
-          t.entries <- t.entries - List.length corrupt;
-          Atomic.fetch_and_add t.corrupt_c (List.length corrupt) |> ignore;
-          Mpl_obs.Metrics.add t.stats.corrupt (List.length corrupt)
-        end;
-        Mutex.unlock t.lock;
-        valid
-      in
+      let variants = valid_variants t s in
       let found =
         match t.mode with
         | Permuted -> ( match variants with e :: _ -> Some e | [] -> None)
@@ -236,6 +241,20 @@ let find t s =
       | None ->
         Atomic.incr t.misses_c;
         None)
+
+(* Key-only probe: any stored exemplar whose canonical key matches,
+   regardless of mode or serial. The transferred coloring is NOT an
+   answer — same 1-WL key does not imply isomorphism — only a plausible
+   starting point, so callers may use it to warm-start a solver but
+   never to skip one. Does not touch the hit/miss counters. *)
+let find_similar t s =
+  timed_ns t.stats t.stats.probe_ns (fun () ->
+      match valid_variants t s with
+      | e :: _ ->
+        Atomic.incr t.warm_hits_c;
+        Mpl_obs.Metrics.incr t.stats.warm_c;
+        Some (uncanon s e.colors_canon)
+      | [] -> None)
 
 let store t s (colors, value) =
   if Array.length colors <> s.n then
@@ -274,6 +293,7 @@ let store t s (colors, value) =
 
 let hits t = Atomic.get t.hits_c
 let misses t = Atomic.get t.misses_c
+let warm_hits t = Atomic.get t.warm_hits_c
 let corrupt_drops t = Atomic.get t.corrupt_c
 
 let length t =

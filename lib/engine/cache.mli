@@ -91,8 +91,23 @@ val store : 'v t -> signature -> int array * 'v -> unit
     duplicate (Exact: same original serialization; Permuted: same key)
     is ignored, keeping replays deterministic. *)
 
+val find_similar : 'v t -> signature -> int array option
+(** Key-only probe serving *warm hints*: returns the stored exemplar
+    under the matching canonical key mapped into the probing piece's
+    labeling, regardless of {!mode} and without requiring a serial
+    match. A 1-WL key match proves isomorphism here (the key encodes
+    the whole canonical graph), but the transferred coloring reflects
+    the exemplar's tie-breaks, not this labeling's — so callers must
+    treat it as a solver starting point (e.g. an SDP warm start), never
+    as an answer. Does not touch the {!hits}/{!misses} counters;
+    successful probes are counted in {!warm_hits} and the
+    [cache.warm_hits] metric. *)
+
 val hits : 'v t -> int
 val misses : 'v t -> int
+
+val warm_hits : 'v t -> int
+(** Successful {!find_similar} probes. *)
 
 val corrupt_drops : 'v t -> int
 (** Entries dropped by checksum validation in {!find}. *)

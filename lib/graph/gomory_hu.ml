@@ -1,25 +1,53 @@
-type t = { parent : int array; weight : int array }
+type t = {
+  parent : int array;
+  weight : int array;
+  mutable capped : int;
+}
 
-let build g =
+(* Gusfield's construction, optionally K-bounded. With [bound = Some b]
+   every flow runs through [Maxflow.max_flow_bounded ~bound:b]: a flow
+   that reaches [b] proves the pair's minimum cut is >= b, the tree edge
+   weight is recorded as the stand-in [b] ("uncuttable" for any consumer
+   that only cares about cuts < b), and the reparenting step is skipped —
+   the truncated residual network does not witness a minimum cut, so
+   there is no valid side to reparent from. Skipping it is sound for the
+   < b structure: recorded weights never exceed the true pairwise cut,
+   and min-cut submodularity (cut(u,v) >= min over any u..v vertex
+   sequence of the consecutive cuts) gives cut(u,v) >= the minimum
+   recorded weight on the u..v tree path, so a tree with no edge below b
+   proves no pair has a cut below b, and when the global minimum cut
+   lambda is < b some tree edge records exactly lambda. *)
+let build ?bound g =
   let n = Ugraph.n g in
   let parent = Array.make n 0 in
   let weight = Array.make n 0 in
+  let t = { parent; weight; capped = 0 } in
   if n > 1 then begin
     let net = Maxflow.of_ugraph g in
     for i = 1 to n - 1 do
-      let f = Maxflow.max_flow net ~s:i ~t:parent.(i) in
+      let f =
+        match bound with
+        | None -> Maxflow.max_flow net ~s:i ~t:parent.(i)
+        | Some b -> Maxflow.max_flow_bounded net ~bound:b ~s:i ~t:parent.(i)
+      in
       weight.(i) <- f;
-      let side = Maxflow.min_cut_side net ~s:i in
-      let on_side = Array.make n false in
-      Array.iter (fun v -> on_side.(v) <- true) side;
-      for j = i + 1 to n - 1 do
-        if on_side.(j) && parent.(j) = parent.(i) then parent.(j) <- i
-      done
+      let exact = match bound with None -> true | Some b -> f < b in
+      if exact then begin
+        let side = Maxflow.min_cut_side net ~s:i in
+        let on_side = Array.make n false in
+        Array.iter (fun v -> on_side.(v) <- true) side;
+        for j = i + 1 to n - 1 do
+          if on_side.(j) && parent.(j) = parent.(i) then parent.(j) <- i
+        done
+      end
+      else t.capped <- t.capped + 1
     done
   end;
-  { parent; weight }
+  t
 
 let n t = Array.length t.parent
+
+let capped t = t.capped
 
 let tree_edges t =
   Array.init

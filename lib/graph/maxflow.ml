@@ -8,7 +8,7 @@ type t = {
   mutable head : int array; (* arc -> target vertex *)
   mutable cap : int array; (* arc -> residual capacity *)
   mutable cap0 : int array; (* arc -> initial capacity *)
-  mutable first : int list array; (* vertex -> incident arc ids *)
+  first : int list array; (* vertex -> incident arc ids *)
   mutable arcs : int;
   level : int array;
   cursor : int list array;
@@ -113,21 +113,43 @@ let rec dfs t u sink pushed =
     advance ()
   end
 
-let max_flow t ~s ~t:sink =
-  if s = sink then invalid_arg "Maxflow.max_flow: s = t";
+(* Dinic phases until either the level graph no longer reaches the sink
+   (the flow is then maximum) or the accumulated flow reaches [limit].
+   Each phase augments by at least one unit, so the number of phases is
+   bounded by the returned flow — with a small [limit] the whole run
+   costs O(limit * E) instead of the general O(V^2 * E). The DFS is
+   seeded with the remaining headroom, so the result never overshoots
+   [limit]: it is exactly [min (true max flow) limit]. *)
+let run t ~limit ~s ~sink =
   reset t;
   let flow = ref 0 in
-  while bfs t ~s ~t:sink do
+  let bounded = ref false in
+  while (not !bounded) && bfs t ~s ~t:sink do
     for v = 0 to t.n - 1 do
       t.cursor.(v) <- t.first.(v)
     done;
     let continue = ref true in
     while !continue do
-      let got = dfs t s sink max_int in
-      if got = 0 then continue := false else flow := !flow + got
+      if !flow >= limit then begin
+        bounded := true;
+        continue := false
+      end
+      else begin
+        let got = dfs t s sink (limit - !flow) in
+        if got = 0 then continue := false else flow := !flow + got
+      end
     done
   done;
   !flow
+
+let max_flow t ~s ~t:sink =
+  if s = sink then invalid_arg "Maxflow.max_flow: s = t";
+  run t ~limit:max_int ~s ~sink
+
+let max_flow_bounded t ~bound ~s ~t:sink =
+  if s = sink then invalid_arg "Maxflow.max_flow_bounded: s = t";
+  if bound < 0 then invalid_arg "Maxflow.max_flow_bounded: bound < 0";
+  run t ~limit:bound ~s ~sink
 
 let min_cut_side t ~s =
   let seen = Array.make t.n false in

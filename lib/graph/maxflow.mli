@@ -19,6 +19,18 @@ val max_flow : t -> s:int -> t:int -> int
 (** Maximum flow value between two distinct vertices. Resets any previous
     flow first. *)
 
+val max_flow_bounded : t -> bound:int -> s:int -> t:int -> int
+(** [max_flow_bounded t ~bound ~s ~t] is [min (max_flow t ~s ~t) bound],
+    but Dinic terminates as soon as the accumulated flow reaches
+    [bound]: each phase augments by at least one unit, so the cost is
+    O([bound] * E) instead of O(V^2 * E). This is all the GH-tree
+    division stage needs — it only asks whether a cut is < K (paper
+    Lemma 1 / Theorem 2), never the exact weight of a heavier one. When
+    the returned value is < [bound] it is the exact maximum flow and the
+    residual network is complete, so {!min_cut_side} is valid; when it
+    equals [bound] the flow was truncated and the residual network does
+    NOT witness a minimum cut. *)
+
 val min_cut_side : t -> s:int -> int array
 (** After [max_flow], the source-side vertex set of a minimum cut
     (vertices reachable from [s] in the residual network), ascending. *)

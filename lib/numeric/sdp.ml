@@ -1,3 +1,8 @@
+module FA = Float.Array
+
+let fget = FA.unsafe_get
+let fset = FA.unsafe_set
+
 type problem = {
   n : int;
   conflict_edges : (int * int) array;
@@ -40,99 +45,188 @@ let default_options =
   }
 
 type solution = {
-  gram : float array array;
+  gram : floatarray;
+  gn : int;
   objective : float;
   iterations : int;
+  warm : bool;
 }
 
 let ideal_offdiag k =
   if k < 2 then invalid_arg "Sdp.ideal_offdiag: k < 2";
   -1. /. float_of_int (k - 1)
 
-let objective_of_gram p x =
+let objective_of_flat p x =
+  let n = p.n in
   let s = ref 0. in
-  Array.iter (fun (i, j) -> s := !s +. x.(i).(j)) p.conflict_edges;
-  Array.iter (fun (i, j) -> s := !s -. (p.alpha *. x.(i).(j))) p.stitch_edges;
+  Array.iter (fun (i, j) -> s := !s +. fget x ((i * n) + j)) p.conflict_edges;
+  Array.iter
+    (fun (i, j) -> s := !s -. (p.alpha *. fget x ((i * n) + j)))
+    p.stitch_edges;
   !s
 
 (* ------------------------------------------------------------------ *)
-(* Projected subgradient on the Gram matrix (convex, exact).           *)
+(* Projected subgradient on the Gram matrix (convex, exact), on a flat
+   row-major floatarray with preallocated scratch: the iteration loop
+   performs no allocation, and every float operation happens in the same
+   order as the dense reference kernel below, so results are
+   bit-identical. *)
 
 (* Componentwise projection onto diag = 1, X_ij >= b on CE, and
    -1 <= X_ij <= 1. *)
-let project_box p ~bound x =
-  let n = Array.length x in
+let project_box_flat p ~bound x =
+  let n = p.n in
   for i = 0 to n - 1 do
-    x.(i).(i) <- 1.;
+    fset x ((i * n) + i) 1.;
     for j = 0 to n - 1 do
       if i <> j then begin
-        if x.(i).(j) > 1. then x.(i).(j) <- 1.;
-        if x.(i).(j) < -1. then x.(i).(j) <- -1.
+        let c = (i * n) + j in
+        if fget x c > 1. then fset x c 1.;
+        if fget x c < -1. then fset x c (-1.)
       end
     done
   done;
   Array.iter
     (fun (i, j) ->
-      if x.(i).(j) < bound then begin
-        x.(i).(j) <- bound;
-        x.(j).(i) <- bound
+      if fget x ((i * n) + j) < bound then begin
+        fset x ((i * n) + j) bound;
+        fset x ((j * n) + i) bound
       end)
     p.conflict_edges
 
-let matrix_sub a b =
-  Array.mapi (fun i row -> Array.mapi (fun j v -> v -. b.(i).(j)) row) a
+(* The objective is linear, so its gradient is a constant supported on
+   the edge cells only. Merge per-cell contributions once (conflict +1,
+   stitch -alpha, in the same accumulation order the dense kernel uses
+   to fill its n x n gradient), keeping O(E) cells instead of n^2. *)
+let sparse_gradient p =
+  let tbl = Hashtbl.create (Array.length p.conflict_edges * 2) in
+  let order = ref [] in
+  let bump i j dv =
+    let key = if i <= j then (i, j) else (j, i) in
+    match Hashtbl.find_opt tbl key with
+    | Some v -> Hashtbl.replace tbl key (v +. dv)
+    | None ->
+      Hashtbl.add tbl key dv;
+      order := key :: !order
+  in
+  Array.iter (fun (i, j) -> bump i j 1.) p.conflict_edges;
+  Array.iter (fun (i, j) -> bump i j (-.p.alpha)) p.stitch_edges;
+  let cells = Array.of_list (List.rev !order) in
+  Array.map (fun ((i, j) as key) -> (i, j, Hashtbl.find tbl key)) cells
 
-let matrix_add a b =
-  Array.mapi (fun i row -> Array.mapi (fun j v -> v +. b.(i).(j)) row) a
+type scratch = {
+  cur : floatarray;
+  pc : floatarray;
+  qc : floatarray;
+  tm : floatarray;
+  am : floatarray;
+  work : floatarray;
+  ev : floatarray;
+  ew : floatarray;
+}
+
+let make_scratch n =
+  let m () = FA.make (n * n) 0. in
+  {
+    cur = m ();
+    pc = m ();
+    qc = m ();
+    tm = m ();
+    am = m ();
+    work = m ();
+    ev = m ();
+    ew = FA.make n 0.;
+  }
 
 (* Dykstra's alternating projection onto PSD /\ box: unlike plain
    alternation, the correction terms make it converge to the exact
-   projection onto the intersection. *)
-let dykstra p ~bound ~rounds y =
-  let n = Array.length y in
-  let zero () = Array.make_matrix n n 0. in
-  let pc = ref (zero ()) and qc = ref (zero ()) in
-  let cur = ref y in
-  for _ = 1 to rounds do
-    let t = matrix_add !cur !pc in
-    let a = Symmetric.project_psd t in
-    pc := matrix_sub t a;
-    let t2 = matrix_add a !qc in
-    let b = Array.map Array.copy t2 in
-    project_box p ~bound b;
-    qc := matrix_sub t2 b;
-    cur := b
-  done;
-  !cur
-
-let solve_projected ~options p =
+   projection onto the intersection. Runs on [s.cur] in place. *)
+let dykstra_flat p ~bound ~rounds s =
   let n = p.n in
-  let bound = ideal_offdiag p.k in
-  (* Identity start: PSD, unit diagonal, all constraints slack. *)
-  let x = ref (Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.))) in
-  let grad = Array.make_matrix n n 0. in
-  Array.iter
-    (fun (i, j) ->
-      grad.(i).(j) <- grad.(i).(j) +. 1.;
-      grad.(j).(i) <- grad.(j).(i) +. 1.)
-    p.conflict_edges;
-  Array.iter
-    (fun (i, j) ->
-      grad.(i).(j) <- grad.(i).(j) -. p.alpha;
-      grad.(j).(i) <- grad.(j).(i) -. p.alpha)
-    p.stitch_edges;
-  for t = 0 to options.pg_iters - 1 do
-    let eta = options.pg_step /. sqrt (float_of_int (t + 1)) in
-    let y =
-      Array.mapi
-        (fun i row -> Array.mapi (fun j v -> v -. (eta *. grad.(i).(j))) row)
-        !x
-    in
-    x := dykstra p ~bound ~rounds:options.dykstra_rounds y
+  let nn = n * n in
+  for c = 0 to nn - 1 do
+    fset s.pc c 0.;
+    fset s.qc c 0.
   done;
+  for _ = 1 to rounds do
+    for c = 0 to nn - 1 do
+      fset s.tm c (fget s.cur c +. fget s.pc c)
+    done;
+    Symmetric.project_psd_flat ~n ~src:s.tm ~work:s.work ~v:s.ev ~w:s.ew
+      ~dst:s.am;
+    for c = 0 to nn - 1 do
+      fset s.pc c (fget s.tm c -. fget s.am c)
+    done;
+    for c = 0 to nn - 1 do
+      fset s.tm c (fget s.am c +. fget s.qc c)
+    done;
+    FA.blit s.tm 0 s.cur 0 nn;
+    project_box_flat p ~bound s.cur;
+    for c = 0 to nn - 1 do
+      fset s.qc c (fget s.tm c -. fget s.cur c)
+    done
+  done
+
+(* Gram matrix of the K ideal color vectors under a coloring: 1 on
+   same-color pairs, -1/(k-1) across colors. PSD and feasible, so it is
+   a legal warm-start iterate. *)
+let ideal_gram_of_colors ~n ~k colors x =
+  let bound = ideal_offdiag k in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      fset x ((i * n) + j) (if colors.(i) = colors.(j) then 1. else bound)
+    done
+  done
+
+let solve_projected ~options ?warm p =
+  let n = p.n in
+  let nn = n * n in
+  let bound = ideal_offdiag p.k in
+  let s = make_scratch n in
+  (match warm with
+  | Some colors -> ideal_gram_of_colors ~n ~k:p.k colors s.cur
+  | None ->
+    (* Identity start: PSD, unit diagonal, all constraints slack. *)
+    for i = 0 to n - 1 do
+      fset s.cur ((i * n) + i) 1.
+    done);
+  let grad = sparse_gradient p in
+  (* Warm-started solves may stop early once the iterate stalls; the
+     cold path always runs the full schedule (and never touches [prev])
+     so its trajectory is bit-identical to the dense reference. *)
+  let prev = if warm = None then FA.create 0 else FA.make nn 0. in
+  let iters = ref 0 in
+  (try
+     for t = 0 to options.pg_iters - 1 do
+       let eta = options.pg_step /. sqrt (float_of_int (t + 1)) in
+       Array.iter
+         (fun (i, j, g) ->
+           let cij = (i * n) + j and cji = (j * n) + i in
+           fset s.cur cij (fget s.cur cij -. (eta *. g));
+           if cij <> cji then fset s.cur cji (fget s.cur cji -. (eta *. g)))
+         grad;
+       if warm <> None then FA.blit s.cur 0 prev 0 nn;
+       dykstra_flat p ~bound ~rounds:options.dykstra_rounds s;
+       incr iters;
+       if warm <> None then begin
+         let moved = ref 0. in
+         for c = 0 to nn - 1 do
+           let d = abs_float (fget s.cur c -. fget prev c) in
+           if d > !moved then moved := d
+         done;
+         if !moved < options.tol then raise Exit
+       end
+     done
+   with Exit -> ());
   (* Final cleanup projection so reported Gram entries are near-feasible. *)
-  x := dykstra p ~bound ~rounds:(2 * options.dykstra_rounds) !x;
-  { gram = !x; objective = objective_of_gram p !x; iterations = options.pg_iters }
+  dykstra_flat p ~bound ~rounds:(2 * options.dykstra_rounds) s;
+  {
+    gram = FA.copy s.cur;
+    gn = n;
+    objective = objective_of_flat p s.cur;
+    iterations = !iters;
+    warm = warm <> None;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Burer-Monteiro fallback for oversized pieces.                       *)
@@ -159,21 +253,22 @@ let build_adj p =
    v_i <- -normalize(weighted neighbor sum) is its exact spherical
    minimizer. *)
 let sweep p adj vectors coeff g =
+  let r = FA.length g in
   let moved = ref 0. in
   for i = 0 to p.n - 1 do
-    Array.fill g 0 (Array.length g) 0.;
+    FA.fill g 0 r 0.;
     let vi = vectors.(i) in
     List.iter
-      (fun (j, e) -> Vec.axpy ~alpha:coeff.(e) vectors.(j) g)
+      (fun (j, e) -> Vec.axpy ~alpha:(Array.unsafe_get coeff e) vectors.(j) g)
       adj.conflict.(i);
     List.iter (fun j -> Vec.axpy ~alpha:(-.p.alpha) vectors.(j) g) adj.stitch.(i);
     let gnorm = Vec.norm g in
     if gnorm > 1e-12 then
-      for d = 0 to Array.length g - 1 do
-        let nv = -.g.(d) /. gnorm in
-        let delta = abs_float (nv -. vi.(d)) in
+      for d = 0 to r - 1 do
+        let nv = -.fget g d /. gnorm in
+        let delta = abs_float (nv -. fget vi d) in
         if delta > !moved then moved := delta;
-        vi.(d) <- nv
+        fset vi d nv
       done
   done;
   !moved
@@ -188,16 +283,40 @@ let run_inner ~max_sweeps ~tol ~sweeps p adj vectors coeff g =
   in
   go 0
 
-let gram_of_vectors vectors =
-  let n = Array.length vectors in
-  Array.init n (fun i -> Array.init n (fun j -> Vec.dot vectors.(i) vectors.(j)))
+let flat_gram_of_vectors n vectors =
+  let x = FA.make (n * n) 0. in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      fset x ((i * n) + j) (Vec.dot vectors.(i) vectors.(j))
+    done
+  done;
+  x
 
-let solve_factorized ~options ~lagrangian p =
+(* The K ideal color vectors embedded in R^r (requires r >= k): the
+   centered scaled basis v_c = sqrt(k/(k-1)) (e_c - (1/k) sum e), whose
+   pairwise inner products are exactly -1/(k-1). *)
+let simplex_vectors ~r ~k =
+  let scale = sqrt (float_of_int k /. float_of_int (k - 1)) in
+  let shift = 1. /. float_of_int k in
+  Array.init k (fun c ->
+      FA.init r (fun d ->
+          if d >= k then 0.
+          else scale *. ((if d = c then 1. else 0.) -. shift)))
+
+let solve_factorized ~options ~lagrangian ?warm p =
   let r =
     match options.rank with Some r -> max 2 r | None -> max (p.k - 1) 8
   in
   let rng = Mpl_util.Rng.create options.seed in
-  let vectors = Array.init p.n (fun _ -> Vec.random_unit rng r) in
+  let warm_used = ref false in
+  let vectors =
+    match warm with
+    | Some colors when r >= p.k ->
+      warm_used := true;
+      let ideal = simplex_vectors ~r ~k:p.k in
+      Array.init p.n (fun i -> FA.copy ideal.(colors.(i)))
+    | Some _ | None -> Array.init p.n (fun _ -> Vec.random_unit rng r)
+  in
   let adj = build_adj p in
   let bound = ideal_offdiag p.k in
   let g = Vec.zero r in
@@ -240,21 +359,136 @@ let solve_factorized ~options ~lagrangian p =
         in
         go 0)
       options.penalties;
-  let gram = gram_of_vectors vectors in
-  { gram; objective = objective_of_gram p gram; iterations = !sweeps }
+  let gram = flat_gram_of_vectors p.n vectors in
+  {
+    gram;
+    gn = p.n;
+    objective = objective_of_flat p gram;
+    iterations = !sweeps;
+    warm = !warm_used;
+  }
 
-let solve ?(options = default_options) p =
-  if p.n = 0 then { gram = [||]; objective = 0.; iterations = 0 }
+let solve ?(options = default_options) ?warm p =
+  (match warm with
+  | Some colors when Array.length colors <> p.n ->
+    invalid_arg "Sdp.solve: warm coloring length mismatch"
+  | Some _ | None -> ());
+  if p.n = 0 then
+    { gram = FA.create 0; gn = 0; objective = 0.; iterations = 0; warm = false }
   else begin
     match options.mode with
-    | Projected -> solve_projected ~options p
-    | Lagrangian -> solve_factorized ~options ~lagrangian:true p
-    | Penalty -> solve_factorized ~options ~lagrangian:false p
+    | Projected -> solve_projected ~options ?warm p
+    | Lagrangian -> solve_factorized ~options ~lagrangian:true ?warm p
+    | Penalty -> solve_factorized ~options ~lagrangian:false ?warm p
     | Auto ->
-      if p.n <= options.projected_max then solve_projected ~options p
-      else solve_factorized ~options ~lagrangian:true p
+      if p.n <= options.projected_max then solve_projected ~options ?warm p
+      else solve_factorized ~options ~lagrangian:true ?warm p
   end
 
 let gram s i j =
-  let x = s.gram.(i).(j) in
+  let x = FA.get s.gram ((i * s.gn) + j) in
   if x > 1. then 1. else if x < -1. then -1. else x
+
+(* ------------------------------------------------------------------ *)
+(* Dense reference kernel: the original boxed [float array array]
+   projected solver, kept verbatim for parity tests and the
+   [bench kernels] dense-vs-flat comparison. The factorized modes never
+   had a dense variant (they were always edge-sparse), so they are
+   shared with [solve]. *)
+
+let objective_of_gram p x =
+  let s = ref 0. in
+  Array.iter (fun (i, j) -> s := !s +. x.(i).(j)) p.conflict_edges;
+  Array.iter (fun (i, j) -> s := !s -. (p.alpha *. x.(i).(j))) p.stitch_edges;
+  !s
+
+let project_box_dense p ~bound x =
+  let n = Array.length x in
+  for i = 0 to n - 1 do
+    x.(i).(i) <- 1.;
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        if x.(i).(j) > 1. then x.(i).(j) <- 1.;
+        if x.(i).(j) < -1. then x.(i).(j) <- -1.
+      end
+    done
+  done;
+  Array.iter
+    (fun (i, j) ->
+      if x.(i).(j) < bound then begin
+        x.(i).(j) <- bound;
+        x.(j).(i) <- bound
+      end)
+    p.conflict_edges
+
+let matrix_sub a b =
+  Array.mapi (fun i row -> Array.mapi (fun j v -> v -. b.(i).(j)) row) a
+
+let matrix_add a b =
+  Array.mapi (fun i row -> Array.mapi (fun j v -> v +. b.(i).(j)) row) a
+
+let dykstra_dense p ~bound ~rounds y =
+  let n = Array.length y in
+  let zero () = Array.make_matrix n n 0. in
+  let pc = ref (zero ()) and qc = ref (zero ()) in
+  let cur = ref y in
+  for _ = 1 to rounds do
+    let t = matrix_add !cur !pc in
+    let a = Symmetric.project_psd t in
+    pc := matrix_sub t a;
+    let t2 = matrix_add a !qc in
+    let b = Array.map Array.copy t2 in
+    project_box_dense p ~bound b;
+    qc := matrix_sub t2 b;
+    cur := b
+  done;
+  !cur
+
+let solve_projected_dense ~options p =
+  let n = p.n in
+  let bound = ideal_offdiag p.k in
+  let x =
+    ref (Array.init n (fun i -> Array.init n (fun j -> if i = j then 1. else 0.)))
+  in
+  let grad = Array.make_matrix n n 0. in
+  Array.iter
+    (fun (i, j) ->
+      grad.(i).(j) <- grad.(i).(j) +. 1.;
+      grad.(j).(i) <- grad.(j).(i) +. 1.)
+    p.conflict_edges;
+  Array.iter
+    (fun (i, j) ->
+      grad.(i).(j) <- grad.(i).(j) -. p.alpha;
+      grad.(j).(i) <- grad.(j).(i) -. p.alpha)
+    p.stitch_edges;
+  for t = 0 to options.pg_iters - 1 do
+    let eta = options.pg_step /. sqrt (float_of_int (t + 1)) in
+    let y =
+      Array.mapi
+        (fun i row -> Array.mapi (fun j v -> v -. (eta *. grad.(i).(j))) row)
+        !x
+    in
+    x := dykstra_dense p ~bound ~rounds:options.dykstra_rounds y
+  done;
+  x := dykstra_dense p ~bound ~rounds:(2 * options.dykstra_rounds) !x;
+  let flat = FA.init (n * n) (fun c -> !x.(c / n).(c mod n)) in
+  {
+    gram = flat;
+    gn = n;
+    objective = objective_of_gram p !x;
+    iterations = options.pg_iters;
+    warm = false;
+  }
+
+let solve_dense ?(options = default_options) p =
+  if p.n = 0 then
+    { gram = FA.create 0; gn = 0; objective = 0.; iterations = 0; warm = false }
+  else begin
+    match options.mode with
+    | Projected -> solve_projected_dense ~options p
+    | Lagrangian -> solve_factorized ~options ~lagrangian:true p
+    | Penalty -> solve_factorized ~options ~lagrangian:false p
+    | Auto ->
+      if p.n <= options.projected_max then solve_projected_dense ~options p
+      else solve_factorized ~options ~lagrangian:true p
+  end

@@ -24,6 +24,14 @@
     - [Penalty]: the one-sided quadratic-penalty variant, kept for the
       ablation bench.
 
+    The production kernels run on a flat row-major [floatarray] Gram
+    with edge-sparse gradient accumulation and preallocated scratch (the
+    iteration loop allocates nothing); {!solve_dense} retains the
+    original boxed [float array array] projected kernel as a reference —
+    the flat path executes the identical float-operation sequence, so
+    the two agree bit-for-bit (checked by [bench kernels --check] and
+    the qcheck parity property).
+
     Consumers only read Gram entries [gram s i j], which is all the
     paper's backtrack / greedy mapping stages use. *)
 
@@ -59,14 +67,35 @@ type options = {
 val default_options : options
 
 type solution = {
-  gram : float array array;  (** the solved Gram matrix X *)
+  gram : floatarray;  (** the solved Gram matrix X, row-major n x n *)
+  gn : int;  (** row length of [gram] *)
   objective : float;  (** paper objective (2)/(3) value at X *)
   iterations : int;
       (** work performed: projected-gradient steps ([Projected]) or
           Mixing-method sweeps (factorized modes) *)
+  warm : bool;  (** whether a warm-start coloring actually seeded the solve *)
 }
 
-val solve : ?options:options -> problem -> solution
+val solve : ?options:options -> ?warm:int array -> problem -> solution
+(** [solve ?options ?warm p] solves the relaxation. When [warm] is given
+    (a length-n coloring with values in [0, k)), the solver starts from
+    that coloring's ideal Gram matrix — X_ij = 1 on same-color pairs and
+    -1/(K-1) across colors, which is PSD and feasible — instead of the
+    identity ([Projected]) or from the corresponding simplex color
+    vectors instead of random ones (factorized modes, when the rank
+    admits it). Warm-started [Projected] solves may additionally stop
+    early once the per-step movement drops below [tol]; the cold path
+    always runs the full schedule, keeping its output bit-identical to
+    {!solve_dense}. Raises [Invalid_argument] if [warm] has the wrong
+    length. *)
+
+val solve_dense : ?options:options -> problem -> solution
+(** Reference implementation of the [Projected] kernel on boxed
+    [float array array] matrices with per-iteration allocation — the
+    original code path, kept for parity testing and [bench kernels].
+    Factorized modes are shared with {!solve} (they were always
+    edge-sparse). The returned Gram is flattened for a uniform
+    [solution] type. *)
 
 val gram : solution -> int -> int -> float
 (** [gram s i j] is [X_ij], clamped to [-1, 1]. *)

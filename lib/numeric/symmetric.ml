@@ -89,3 +89,106 @@ let frobenius_distance a b =
     done
   done;
   sqrt !s
+
+(* ------------------------------------------------------------------ *)
+(* Flat unboxed kernels. Same cyclic-Jacobi arithmetic as [eigh] above,
+   executed in the same operation order so results are bit-identical,
+   but on a single row-major [floatarray] (one contiguous block, no row
+   pointers, no bounds checks) and into caller-provided buffers, so the
+   projected SDP solver's hot loop allocates nothing. *)
+
+module FA = Float.Array
+
+let fget = FA.unsafe_get
+let fset = FA.unsafe_set
+
+(* Diagonalize [a] (n x n row-major, destroyed) in place; eigenvectors
+   land in the COLUMNS of [v] (v.{i*n+e} is component i of eigenvector
+   e), eigenvalues in [w]. *)
+let eigh_flat ~n ~a ~v ~w =
+  for i = 0 to (n * n) - 1 do
+    fset v i 0.
+  done;
+  for i = 0 to n - 1 do
+    fset v ((i * n) + i) 1.
+  done;
+  let off () =
+    let s = ref 0. in
+    for p = 0 to n - 1 do
+      for q = p + 1 to n - 1 do
+        let apq = fget a ((p * n) + q) in
+        s := !s +. (apq *. apq)
+      done
+    done;
+    !s
+  in
+  let rotate p q =
+    let apq = fget a ((p * n) + q) in
+    if abs_float apq > 1e-13 then begin
+      let tau = (fget a ((q * n) + q) -. fget a ((p * n) + p)) /. (2. *. apq) in
+      let t =
+        let s = if tau >= 0. then 1. else -1. in
+        s /. (abs_float tau +. sqrt (1. +. (tau *. tau)))
+      in
+      let c = 1. /. sqrt (1. +. (t *. t)) in
+      let s = t *. c in
+      for i = 0 to n - 1 do
+        if i <> p && i <> q then begin
+          let aip = fget a ((i * n) + p) and aiq = fget a ((i * n) + q) in
+          let nip = (c *. aip) -. (s *. aiq) in
+          fset a ((i * n) + p) nip;
+          fset a ((p * n) + i) nip;
+          let niq = (s *. aip) +. (c *. aiq) in
+          fset a ((i * n) + q) niq;
+          fset a ((q * n) + i) niq
+        end
+      done;
+      let app = fget a ((p * n) + p) and aqq = fget a ((q * n) + q) in
+      fset a ((p * n) + p) (app -. (t *. apq));
+      fset a ((q * n) + q) (aqq +. (t *. apq));
+      fset a ((p * n) + q) 0.;
+      fset a ((q * n) + p) 0.;
+      for i = 0 to n - 1 do
+        let vip = fget v ((i * n) + p) and viq = fget v ((i * n) + q) in
+        fset v ((i * n) + p) ((c *. vip) -. (s *. viq));
+        fset v ((i * n) + q) ((s *. vip) +. (c *. viq))
+      done
+    end
+  in
+  let max_sweeps = 30 in
+  let rec sweeps k =
+    if k < max_sweeps && off () > 1e-18 *. float_of_int (n * n) then begin
+      for p = 0 to n - 1 do
+        for q = p + 1 to n - 1 do
+          rotate p q
+        done
+      done;
+      sweeps (k + 1)
+    end
+  in
+  if n > 0 then sweeps 0;
+  for i = 0 to n - 1 do
+    fset w i (fget a ((i * n) + i))
+  done
+
+(* [dst] <- nearest-PSD projection of [src]; [work] is clobbered (the
+   Jacobi working copy), [v]/[w] receive the eigendecomposition. All
+   buffers are n*n (w: n); [dst] must not alias [src] or [work]. *)
+let project_psd_flat ~n ~src ~work ~v ~w ~dst =
+  FA.blit src 0 work 0 (n * n);
+  eigh_flat ~n ~a:work ~v ~w;
+  for i = 0 to (n * n) - 1 do
+    fset dst i 0.
+  done;
+  for e = 0 to n - 1 do
+    let we = fget w e in
+    if we > 0. then
+      for i = 0 to n - 1 do
+        let vie = fget v ((i * n) + e) *. we in
+        if vie <> 0. then
+          for j = 0 to n - 1 do
+            fset dst ((i * n) + j)
+              (fget dst ((i * n) + j) +. (vie *. fget v ((j * n) + e)))
+          done
+      done
+  done

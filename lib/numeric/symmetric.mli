@@ -1,8 +1,20 @@
-(** Dense symmetric-matrix kernels for the projected SDP solver.
+(** Symmetric-matrix kernels for the projected SDP solver.
 
-    Matrices are [float array array] of shape n x n; symmetry is the
-    caller's invariant. Sizes here are post-division component sizes
-    (tens of vertices), so O(n^3) cyclic Jacobi is the right tool. *)
+    Two families share the same cyclic-Jacobi arithmetic:
+
+    - the dense [float array array] functions — the original reference
+      kernels, kept for tests, parity benchmarks ([bench kernels]) and
+      small one-off uses;
+    - the [_flat] functions — the production hot path, operating on a
+      single row-major [floatarray] (unboxed, contiguous, no per-row
+      indirection) with caller-provided scratch buffers so the solver's
+      iteration loop performs no allocation. They execute the identical
+      operation sequence as the dense kernels, so their results are
+      bit-identical — a guarantee the decomposer relies on to keep
+      colorings reproducible across the kernel swap.
+
+    Sizes here are post-division component sizes (tens of vertices), so
+    O(n^3) cyclic Jacobi is the right tool. *)
 
 val eigh : float array array -> float array * float array array
 (** [eigh a] returns [(w, v)] with eigenvalues [w] and orthonormal
@@ -14,3 +26,22 @@ val project_psd : float array array -> float array array
     eigenvalues clipped to zero. *)
 
 val frobenius_distance : float array array -> float array array -> float
+
+val eigh_flat : n:int -> a:floatarray -> v:floatarray -> w:floatarray -> unit
+(** Flat in-place Jacobi: diagonalizes [a] (n x n row-major, destroyed),
+    writes the orthonormal eigenvectors into the columns of [v]
+    ([v.{i*n+e}] is component i of eigenvector e) and the eigenvalues
+    into [w] (length n). Bit-identical to {!eigh}. *)
+
+val project_psd_flat :
+  n:int ->
+  src:floatarray ->
+  work:floatarray ->
+  v:floatarray ->
+  w:floatarray ->
+  dst:floatarray ->
+  unit
+(** [dst <- ] nearest-PSD projection of [src] (both n x n row-major).
+    [work] is clobbered (the Jacobi working copy); [v] and [w] receive
+    the eigendecomposition. [dst] must not alias [src] or [work].
+    Bit-identical to {!project_psd}. *)

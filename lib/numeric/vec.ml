@@ -1,37 +1,45 @@
-type t = float array
+module FA = Float.Array
 
-let zero n = Array.make n 0.
+type t = floatarray
 
-let copy = Array.copy
+let zero n = FA.make n 0.
+
+let copy = FA.copy
+
+let of_array a = FA.init (Array.length a) (Array.unsafe_get a)
+
+let to_array v = Array.init (FA.length v) (FA.unsafe_get v)
+
+let get = FA.get
 
 let dot a b =
   let s = ref 0. in
-  for i = 0 to Array.length a - 1 do
-    s := !s +. (a.(i) *. b.(i))
+  for i = 0 to FA.length a - 1 do
+    s := !s +. (FA.unsafe_get a i *. FA.unsafe_get b i)
   done;
   !s
 
 let norm a = sqrt (dot a a)
 
 let axpy ~alpha x y =
-  for i = 0 to Array.length x - 1 do
-    y.(i) <- (alpha *. x.(i)) +. y.(i)
+  for i = 0 to FA.length x - 1 do
+    FA.unsafe_set y i ((alpha *. FA.unsafe_get x i) +. FA.unsafe_get y i)
   done
 
 let scale c a =
-  for i = 0 to Array.length a - 1 do
-    a.(i) <- c *. a.(i)
+  for i = 0 to FA.length a - 1 do
+    FA.unsafe_set a i (c *. FA.unsafe_get a i)
   done
 
 let normalize a =
   let n = norm a in
   if n < 1e-12 then begin
-    Array.fill a 0 (Array.length a) 0.;
-    a.(0) <- 1.
+    FA.fill a 0 (FA.length a) 0.;
+    FA.set a 0 1.
   end
   else scale (1. /. n) a
 
 let random_unit rng r =
-  let v = Array.init r (fun _ -> Mpl_util.Rng.float rng 2.0 -. 1.0) in
+  let v = FA.init r (fun _ -> Mpl_util.Rng.float rng 2.0 -. 1.0) in
   normalize v;
   v

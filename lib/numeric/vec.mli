@@ -1,10 +1,21 @@
 (** Small dense float vectors (the unit "color vectors" of the SDP
-    relaxation live in R^r for a configurable rank r). *)
+    relaxation live in R^r for a configurable rank r).
 
-type t = float array
+    Backed by [floatarray]: the flat unboxed float representation, with
+    bounds checks elided in the O(length) kernels ([dot] / [axpy] /
+    [scale]) — these run inside the Mixing-method sweep, the innermost
+    loop of the factorized SDP solver. *)
+
+type t = floatarray
 
 val zero : int -> t
 val copy : t -> t
+
+val of_array : float array -> t
+val to_array : t -> float array
+
+val get : t -> int -> float
+
 val dot : t -> t -> float
 val norm : t -> float
 

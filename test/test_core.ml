@@ -226,6 +226,22 @@ let prop_division_stage_toggles =
           };
         ])
 
+let prop_bounded_cuts_invariant =
+  (* The K-bounded GH-tree stage is a pure optimization: the division
+     must select identical cuts and hence reassemble the bit-identical
+     coloring, end to end. *)
+  QCheck.Test.make
+    ~name:"bounded GH cuts leave division output bit-identical" ~count:200
+    dg_arb
+    (fun inst ->
+      let g = build inst in
+      let solve bounded_cuts =
+        Mpl.Division.assign ~bounded_cuts ~k:4 ~alpha:0.1
+          ~solver:(Mpl.Linear_color.solve ~k:4 ~alpha:0.1)
+          g
+      in
+      solve true = solve false)
+
 let prop_k_patterning_general =
   (* Section 5: the whole pipeline works for any K; K_n needs exactly
      C(n - k, 2)-free... just check cliques: cn(K_n, k) = sum of excess
@@ -338,6 +354,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_division_preserves_conflict_optimum;
     QCheck_alcotest.to_alcotest prop_division_no_worse_for_heuristics;
     QCheck_alcotest.to_alcotest prop_division_stage_toggles;
+    QCheck_alcotest.to_alcotest prop_bounded_cuts_invariant;
     QCheck_alcotest.to_alcotest prop_k_patterning_general;
     Alcotest.test_case "rotation lemma (3-cut)" `Quick test_rotation_lemma;
     Alcotest.test_case "report consistency" `Quick test_report_consistency;

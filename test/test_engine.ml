@@ -153,6 +153,68 @@ let test_cache_transfer () =
         (mapped.(u) <> mapped.(v)))
     [ (3, 2); (2, 1); (1, 0) ]
 
+let test_cache_find_similar () =
+  let s1 = sig_of_edges ~n:4 ~ce:[ (0, 1); (1, 2); (2, 3) ] ~se:[ (0, 3) ] in
+  let s2 = sig_of_edges ~n:4 ~ce:[ (3, 2); (2, 1); (1, 0) ] ~se:[ (3, 0) ] in
+  (* Even an Exact-mode cache serves warm hints on a key-only match. *)
+  let cache = Cache.create ~mode:Cache.Exact () in
+  Alcotest.(check bool) "empty cache: no hint" true
+    (Cache.find_similar cache s2 = None);
+  Cache.store cache s1 ([| 0; 1; 2; 0 |], ());
+  (match Cache.find_similar cache s2 with
+  | None -> Alcotest.fail "expected a warm hint"
+  | Some colors ->
+    (* The hint is a structurally valid coloring of s2's labeling. *)
+    List.iter
+      (fun (u, v) ->
+        Alcotest.(check bool) "hint keeps conflicts bichromatic" true
+          (colors.(u) <> colors.(v)))
+      [ (3, 2); (2, 1); (1, 0) ]);
+  Alcotest.(check int) "warm hit counted" 1 (Cache.warm_hits cache);
+  (* Hint probes never touch the answer-cache hit/miss counters. *)
+  Alcotest.(check int) "no answer hits" 0 (Cache.hits cache);
+  Alcotest.(check int) "no answer misses" 0 (Cache.misses cache)
+
+let test_decomposer_cache_warm () =
+  (* Four disjoint copies of the same K5 gadget (degree 4 = k, so
+     low-degree peeling cannot dissolve them): the first solve
+     populates the warm cache, later isomorphic pieces probe it. *)
+  let ce = ref [] in
+  for b = 0 to 3 do
+    let base = b * 5 in
+    for i = 0 to 4 do
+      for j = i + 1 to 4 do
+        ce := (base + i, base + j) :: !ce
+      done
+    done
+  done;
+  let g = Mpl.Decomp_graph.of_edges ~n:20 !ce in
+  let params =
+    {
+      Mpl.Decomposer.default_params with
+      Mpl.Decomposer.cache_warm = true;
+      metrics = true;
+    }
+  in
+  let r = Mpl.Decomposer.assign ~params Mpl.Decomposer.Sdp_backtrack g in
+  Alcotest.(check bool) "complete coloring" true
+    (Mpl.Coloring.is_complete r.Mpl.Decomposer.colors);
+  (* K5 on 4 masks costs exactly one conflict per copy. *)
+  Alcotest.(check int) "K5 x4 conflict count" 4
+    r.Mpl.Decomposer.cost.Mpl.Coloring.conflicts;
+  match r.Mpl.Decomposer.metrics with
+  | None -> Alcotest.fail "expected a metrics snapshot"
+  | Some snap ->
+    let counter name =
+      match Mpl_obs.Metrics.find_counter snap name with
+      | Some v -> v
+      | None -> Alcotest.failf "missing %s counter" name
+    in
+    Alcotest.(check bool) "warm hits on repeated pieces" true
+      (counter "cache.warm_hits" > 0);
+    Alcotest.(check bool) "warm starts reached the SDP" true
+      (counter "sdp.warm_starts" > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Engine batch driver *)
 
@@ -408,6 +470,9 @@ let suite =
     Alcotest.test_case "cache: exact labeling policy" `Quick
       test_cache_exact_requires_same_labeling;
     Alcotest.test_case "cache: transfer" `Quick test_cache_transfer;
+    Alcotest.test_case "cache: warm hints" `Quick test_cache_find_similar;
+    Alcotest.test_case "decomposer: warm-start cache" `Quick
+      test_decomposer_cache_warm;
     Alcotest.test_case "engine: batch dedup" `Quick test_engine_dedup;
     Alcotest.test_case "engine: prepopulated cache" `Quick
       test_engine_prepopulated_cache;

@@ -149,6 +149,38 @@ let prop_min_cut_side_valid =
       in
       in_side.(0) && (not in_side.(n - 1)) && crossing = flow)
 
+let prop_bounded_flow_is_min =
+  QCheck.Test.make ~name:"bounded max-flow = min(max flow, bound)" ~count:200
+    graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let net = Maxflow.of_ugraph g in
+      let ok = ref true in
+      for s = 0 to n - 1 do
+        let t = (s + 1) mod n in
+        if s <> t then begin
+          let full = Maxflow.max_flow net ~s ~t:t in
+          for b = 0 to 5 do
+            let f = Maxflow.max_flow_bounded net ~bound:b ~s ~t:t in
+            if f <> min full b then ok := false;
+            (* Below the bound the run ended on an empty level graph, so
+               the residual witnesses a genuine minimum cut. *)
+            if f < b then begin
+              let side = Maxflow.min_cut_side net ~s in
+              let in_side = Array.make n false in
+              Array.iter (fun v -> in_side.(v) <- true) side;
+              let crossing =
+                List.length
+                  (List.filter (fun (u, v) -> in_side.(u) <> in_side.(v)) edges)
+              in
+              if not (in_side.(s) && (not in_side.(t)) && crossing = f) then
+                ok := false
+            end
+          done
+        end
+      done;
+      !ok)
+
 (* The central Gomory-Hu property: tree min-edge on the path = min cut. *)
 let connected_graph_gen =
   QCheck.Gen.(
@@ -207,6 +239,41 @@ let prop_gh_components_separated_by_small_cut =
         done
       done;
       !ok)
+
+(* The structure the division stage relies on from a K-bounded tree:
+   every uncapped edge records its pair's true min cut, capped edges
+   record exactly the bound, and the minimum recorded weight equals
+   min(lambda, K) where lambda is the graph's global min cut — so "is
+   there a cut < K, and how small" answers identically to the exact
+   tree. *)
+let prop_bounded_gh_small_cut_structure =
+  QCheck.Test.make
+    ~name:"K-bounded GH tree: sound edges, exact global min below K"
+    ~count:150 connected_graph_arb
+    (fun (n, edges) ->
+      let g = build (n, edges) in
+      let b = 4 in
+      let full = Gomory_hu.build g in
+      let bounded = Gomory_hu.build ~bound:b g in
+      let net = Maxflow.of_ugraph g in
+      let min_w t =
+        Array.fold_left
+          (fun acc (_, _, w) -> min acc w)
+          max_int (Gomory_hu.tree_edges t)
+      in
+      let sound = ref true and at_cap = ref 0 in
+      Array.iter
+        (fun (v, p, w) ->
+          if w >= b then begin
+            incr at_cap;
+            if w > b then sound := false
+          end
+          else if w <> Maxflow.max_flow net ~s:v ~t:p then sound := false)
+        (Gomory_hu.tree_edges bounded);
+      ignore edges;
+      !sound
+      && !at_cap = Gomory_hu.capped bounded
+      && (n < 2 || min_w bounded = min (min_w full) b))
 
 let test_known_cut () =
   (* Two triangles joined by one bridge: min cut across = 1. *)
@@ -267,7 +334,9 @@ let suite =
     QCheck_alcotest.to_alcotest prop_blocks_cover_edges;
     QCheck_alcotest.to_alcotest prop_maxflow_matches_oracle;
     QCheck_alcotest.to_alcotest prop_min_cut_side_valid;
+    QCheck_alcotest.to_alcotest prop_bounded_flow_is_min;
     QCheck_alcotest.to_alcotest prop_gomory_hu_all_pairs;
+    QCheck_alcotest.to_alcotest prop_bounded_gh_small_cut_structure;
     QCheck_alcotest.to_alcotest prop_gh_components_separated_by_small_cut;
     Alcotest.test_case "known cuts" `Quick test_known_cut;
   ]

@@ -14,15 +14,16 @@ let sym_gen n =
             (a.((i * n) + j) +. a.((j * n) + i)) /. 2.)))
 
 let test_vec_ops () =
-  let v = [| 3.; 4. |] in
+  let v = Vec.of_array [| 3.; 4. |] in
   Alcotest.(check (float 1e-9)) "norm" 5. (Vec.norm v);
   let u = Vec.copy v in
   Vec.normalize u;
   Alcotest.(check (float 1e-9)) "unit" 1. (Vec.norm u);
   let w = Vec.zero 2 in
   Vec.axpy ~alpha:2. v w;
-  Alcotest.(check (float 1e-9)) "axpy" 6. w.(0);
-  let z = [| 0.; 0. |] in
+  Alcotest.(check (float 1e-9)) "axpy" 6. (Vec.get w 0);
+  Alcotest.(check (float 1e-9)) "roundtrip" 4. (Vec.to_array v).(1);
+  let z = Vec.of_array [| 0.; 0. |] in
   Vec.normalize z;
   Alcotest.(check (float 1e-9)) "degenerate normalize" 1. (Vec.norm z)
 
@@ -151,6 +152,80 @@ let test_modes_agree_on_k4 () =
         (sol.Sdp.objective < -1.6))
     [ Sdp.Projected; Sdp.Lagrangian; Sdp.Penalty ]
 
+(* Random SDP instances mixing conflict and stitch edges. *)
+let sdp_problem_gen =
+  QCheck.Gen.(
+    triple (int_range 2 12) (int_range 10 70) (int_range 0 9999)
+    >|= fun (n, p, seed) ->
+    let rng = Mpl_util.Rng.create seed in
+    let ce = ref [] and se = ref [] in
+    for i = 0 to n - 1 do
+      for j = i + 1 to n - 1 do
+        let r = Mpl_util.Rng.int rng 100 in
+        if r < p then ce := (i, j) :: !ce
+        else if r < p + 15 then se := (i, j) :: !se
+      done
+    done;
+    {
+      Sdp.n;
+      conflict_edges = Array.of_list !ce;
+      stitch_edges = Array.of_list !se;
+      k = 4;
+      alpha = 0.1;
+    })
+
+let sdp_problem_arb =
+  QCheck.make
+    ~print:(fun p ->
+      Printf.sprintf "n=%d ce=%d se=%d" p.Sdp.n
+        (Array.length p.Sdp.conflict_edges)
+        (Array.length p.Sdp.stitch_edges))
+    sdp_problem_gen
+
+(* The flat edge-sparse kernel must replicate the dense reference's
+   float-operation sequence exactly: not "close", bit-identical. *)
+let prop_flat_matches_dense =
+  QCheck.Test.make ~name:"flat SDP kernel bit-identical to dense reference"
+    ~count:40 sdp_problem_arb
+    (fun p ->
+      let options = { Sdp.default_options with Sdp.mode = Sdp.Projected } in
+      let flat = Sdp.solve ~options p in
+      let dense = Sdp.solve_dense ~options p in
+      Int64.bits_of_float flat.Sdp.objective
+      = Int64.bits_of_float dense.Sdp.objective
+      && flat.Sdp.iterations = dense.Sdp.iterations
+      &&
+      let ok = ref true in
+      for c = 0 to (p.Sdp.n * p.Sdp.n) - 1 do
+        if
+          Int64.bits_of_float (Float.Array.get flat.Sdp.gram c)
+          <> Int64.bits_of_float (Float.Array.get dense.Sdp.gram c)
+        then ok := false
+      done;
+      !ok)
+
+let test_warm_start () =
+  let p = clique_problem 5 4 in
+  let cold = Sdp.solve p in
+  Alcotest.(check bool) "cold solve not marked warm" false cold.Sdp.warm;
+  let warm = Sdp.solve ~warm:[| 0; 1; 2; 3; 0 |] p in
+  Alcotest.(check bool) "warm solve marked warm" true warm.Sdp.warm;
+  (* A warm start changes the trajectory, never the feasible set: the
+     solution still satisfies the box constraints and lands at a
+     comparable objective. *)
+  Alcotest.(check bool)
+    "warm objective comparable" true
+    (warm.Sdp.objective < cold.Sdp.objective +. 0.3);
+  for i = 0 to 4 do
+    for j = i + 1 to 4 do
+      Alcotest.(check bool) "warm above bound" true
+        (Sdp.gram warm i j >= Sdp.ideal_offdiag 4 -. 0.05)
+    done
+  done;
+  Alcotest.check_raises "warm length mismatch"
+    (Invalid_argument "Sdp.solve: warm coloring length mismatch") (fun () ->
+      ignore (Sdp.solve ~warm:[| 0; 1 |] p))
+
 let test_ideal_offdiag () =
   Alcotest.(check (float 1e-9)) "k=4" (-1. /. 3.) (Sdp.ideal_offdiag 4);
   Alcotest.(check (float 1e-9)) "k=5" (-0.25) (Sdp.ideal_offdiag 5);
@@ -177,6 +252,8 @@ let suite =
     Alcotest.test_case "stitch attraction" `Quick test_stitch_attraction;
     Alcotest.test_case "all modes reasonable on K4" `Quick
       test_modes_agree_on_k4;
+    QCheck_alcotest.to_alcotest prop_flat_matches_dense;
+    Alcotest.test_case "warm start" `Quick test_warm_start;
     Alcotest.test_case "ideal offdiag" `Quick test_ideal_offdiag;
     Alcotest.test_case "empty problem" `Quick test_empty_problem;
   ]

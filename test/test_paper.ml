@@ -111,12 +111,13 @@ let test_fig7 () =
    inner product -1/3; general K uses -1/(K-1). *)
 let test_fig3_vectors () =
   let vectors =
-    [|
-      [| 0.; 0.; 1. |];
-      [| 0.; 2. *. sqrt 2. /. 3.; -1. /. 3. |];
-      [| sqrt 6. /. 3.; -.sqrt 2. /. 3.; -1. /. 3. |];
-      [| -.sqrt 6. /. 3.; -.sqrt 2. /. 3.; -1. /. 3. |];
-    |]
+    Array.map Mpl_numeric.Vec.of_array
+      [|
+        [| 0.; 0.; 1. |];
+        [| 0.; 2. *. sqrt 2. /. 3.; -1. /. 3. |];
+        [| sqrt 6. /. 3.; -.sqrt 2. /. 3.; -1. /. 3. |];
+        [| -.sqrt 6. /. 3.; -.sqrt 2. /. 3.; -1. /. 3. |];
+      |]
   in
   Array.iteri
     (fun i vi ->

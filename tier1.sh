@@ -10,6 +10,12 @@ dune runtest
 # cache on by default in the CLI).
 dune exec bin/mpld.exe -- decompose C880 -a linear -j 2
 
+# Smoke: kernel parity. Exits nonzero if the bounded max-flow, bounded
+# Gomory–Hu tree, or flat SDP kernels ever disagree with their
+# reference implementations (bit-identical grams, identical cut
+# structure, identical end-to-end colorings).
+dune exec bench/main.exe -- --kernels --check
+
 # Smoke: tracing + metrics emit parseable output covering the pipeline.
 trace=$(mktemp /tmp/mpld-trace.XXXXXX.json)
 dune exec bin/mpld.exe -- decompose C432 -a linear -j 2 \
