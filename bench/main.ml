@@ -582,6 +582,8 @@ type parallel_row = {
   p_cache_hits : int;
   p_pieces : int;
   p_degraded : int;
+  p_build_s : float;  (* graph construction (shared across settings) *)
+  p_phases : D.phases;  (* division / solve / merge breakdown *)
 }
 
 let json_of_rows rows =
@@ -594,9 +596,12 @@ let json_of_rows rows =
         (Printf.sprintf
            "    {\"circuit\": %S, \"algorithm\": %S, \"jobs\": %d, \"cache\": \
             %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \"cache_hits\": \
-            %d, \"pieces\": %d, \"degraded_pieces\": %d}"
+            %d, \"pieces\": %d, \"degraded_pieces\": %d, \"phases\": \
+            {\"build_s\": %.6f, \"division_s\": %.6f, \"solve_s\": %.6f, \
+            \"merge_s\": %.6f}}"
            r.p_circuit r.p_algorithm r.p_jobs r.p_cache r.p_wall_s r.p_cn
-           r.p_st r.p_cache_hits r.p_pieces r.p_degraded))
+           r.p_st r.p_cache_hits r.p_pieces r.p_degraded r.p_build_s
+           r.p_phases.D.division_s r.p_phases.D.solve_s r.p_phases.D.merge_s))
     rows;
   Buffer.add_string b "\n  ]";
   Buffer.contents b
@@ -618,8 +623,12 @@ let git_commit () =
    (engine rows used to report routed components instead — 1911 vs 540
    on S38417 — making the column incomparable across settings), and a
    top-level "kernels" array records the hot-path kernel microbenches
-   (ns/run for bounded vs full Gusfield, flat vs dense SDP). *)
-let results_schema_version = 4
+   (ns/run for bounded vs full Gusfield, flat vs dense SDP).
+   Schema v5: each result row gains a "phases" object breaking the wall
+   down into graph construction ("build_s", shared across the circuit's
+   settings), structural division, leaf solving (summed over domains, so
+   it can exceed "wall_s" when jobs > 1) and reassembly ("merge_s"). *)
+let results_schema_version = 5
 
 let json_of_kernels rows =
   let b = Buffer.create 1024 in
@@ -685,7 +694,9 @@ let parallel () =
   let metrics_sample = ref None in
   List.iter
     (fun name ->
-      let g = build_graph ~min_s:80 name in
+      let g, build_s =
+        Mpl_util.Timer.time (fun () -> build_graph ~min_s:80 name)
+      in
       let baseline = ref None in
       let reference_cost = ref None in
       let reference_pieces = ref None in
@@ -740,9 +751,10 @@ let parallel () =
           in
           Format.printf
             "%-8s %-13s jobs=%d cache=%-5b cn#=%-4d st#=%-4d wall=%.3fs \
-             speedup=%.2fx%s@."
+             speedup=%.2fx [div=%.2fs solve=%.2fs merge=%.2fs]%s@."
             name (D.algorithm_name algo) jobs cache cn st r.D.elapsed_s
-            speedup
+            speedup r.D.phases.D.division_s r.D.phases.D.solve_s
+            r.D.phases.D.merge_s
             (if cache then
                Printf.sprintf " cache=%d/%d (%.0f%%)" hits routed
                  (100. *. float_of_int hits
@@ -760,6 +772,8 @@ let parallel () =
               p_cache_hits = hits;
               p_pieces = pieces;
               p_degraded = r.D.resilience.D.degraded;
+              p_build_s = build_s;
+              p_phases = r.D.phases;
             }
             :: !rows)
         settings)

@@ -9,22 +9,15 @@ type cost = { conflicts : int; stitches : int; scaled : int }
 let evaluate ?(alpha = 0.1) (g : Decomp_graph.t) colors =
   let conflicts = ref 0 in
   let stitches = ref 0 in
-  Array.iteri
-    (fun u nbrs ->
-      if colors.(u) >= 0 then
-        Array.iter
-          (fun v -> if u < v && colors.(v) = colors.(u) then incr conflicts)
-          nbrs)
-    g.Decomp_graph.conflict;
-  Array.iteri
-    (fun u nbrs ->
-      if colors.(u) >= 0 then
-        Array.iter
-          (fun v ->
-            if u < v && colors.(v) >= 0 && colors.(v) <> colors.(u) then
-              incr stitches)
-          nbrs)
-    g.Decomp_graph.stitch;
+  for u = 0 to g.Decomp_graph.n - 1 do
+    if colors.(u) >= 0 then begin
+      Decomp_graph.iter g.Decomp_graph.conflict u (fun v ->
+          if u < v && colors.(v) = colors.(u) then incr conflicts);
+      Decomp_graph.iter g.Decomp_graph.stitch u (fun v ->
+          if u < v && colors.(v) >= 0 && colors.(v) <> colors.(u) then
+            incr stitches)
+    end
+  done;
   let scaled =
     (weight_conflict * !conflicts) + (stitch_weight ~alpha * !stitches)
   in

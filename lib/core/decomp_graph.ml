@@ -1,14 +1,63 @@
 module Ugraph = Mpl_graph.Ugraph
 module Polygon = Mpl_geometry.Polygon
 module Grid_index = Mpl_geometry.Grid_index
+module Intbuf = Mpl_util.Intbuf
+module Intsort = Mpl_util.Intsort
+
+(* Each relation is stored in CSR form: [nbr.(off.(v)) .. off.(v+1)-1]
+   is the sorted neighbor run of [v]. Construction is two flat passes
+   over an endpoint stream — no intermediate list adjacency and no
+   per-edge tuples on the hot [of_layout] / [subgraph] paths. *)
+
+type adj = { off : int array; nbr : int array }
 
 type t = {
   n : int;
-  conflict : int array array;
-  stitch : int array array;
-  friendly : int array array;
+  conflict : adj;
+  stitch : adj;
+  friendly : adj;
   feature : int array;
+  mutable union_memo : Mpl_graph.Ugraph.t option;
 }
+
+let deg a v = a.off.(v + 1) - a.off.(v)
+
+let iter a v f =
+  for s = a.off.(v) to a.off.(v + 1) - 1 do
+    f (Array.unsafe_get a.nbr s)
+  done
+
+(* CSR from [len] undirected edge pairs held in two flat endpoint
+   arrays. Pairs must be in range, self-loop free, and deduplicated
+   (checked by the callers that take user input). *)
+let csr_of_pairs ~n eu ev len =
+  let cnt = Array.make (n + 1) 0 in
+  for e = 0 to len - 1 do
+    let u = Array.unsafe_get eu e and v = Array.unsafe_get ev e in
+    cnt.(u) <- cnt.(u) + 1;
+    cnt.(v) <- cnt.(v) + 1
+  done;
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + cnt.(v)
+  done;
+  let nbr = Array.make off.(n) 0 in
+  Array.blit off 0 cnt 0 (n + 1);
+  for e = 0 to len - 1 do
+    let u = Array.unsafe_get eu e and v = Array.unsafe_get ev e in
+    nbr.(cnt.(u)) <- v;
+    cnt.(u) <- cnt.(u) + 1;
+    nbr.(cnt.(v)) <- u;
+    cnt.(v) <- cnt.(v) + 1
+  done;
+  for v = 0 to n - 1 do
+    if not (Intsort.is_sorted_range nbr off.(v) off.(v + 1)) then
+      Intsort.sort_range nbr off.(v) off.(v + 1)
+  done;
+  { off; nbr }
+
+let csr_of_bufs ~n eu ev =
+  csr_of_pairs ~n (Intbuf.data eu) (Intbuf.data ev) (Intbuf.length eu)
 
 let normalize_edges n edges =
   let seen = Hashtbl.create (List.length edges) in
@@ -26,19 +75,15 @@ let normalize_edges n edges =
     edges
   |> List.map (fun (u, v) -> (min u v, max u v))
 
-let adjacency n edges =
-  let adj = Array.make n [] in
-  List.iter
-    (fun (u, v) ->
-      adj.(u) <- v :: adj.(u);
-      adj.(v) <- u :: adj.(v))
+let csr_of_list ~n edges =
+  let len = List.length edges in
+  let eu = Array.make (max len 1) 0 and ev = Array.make (max len 1) 0 in
+  List.iteri
+    (fun i (u, v) ->
+      eu.(i) <- u;
+      ev.(i) <- v)
     edges;
-  Array.map
-    (fun l ->
-      let a = Array.of_list l in
-      Array.sort compare a;
-      a)
-    adj
+  csr_of_pairs ~n eu ev len
 
 let of_edges ?(stitch_edges = []) ?(friendly_edges = []) ?feature ~n
     conflict_edges =
@@ -59,10 +104,11 @@ let of_edges ?(stitch_edges = []) ?(friendly_edges = []) ?feature ~n
     invalid_arg "Decomp_graph: feature array length mismatch";
   {
     n;
-    conflict = adjacency n ce;
-    stitch = adjacency n se;
-    friendly = adjacency n fe;
+    conflict = csr_of_list ~n ce;
+    stitch = csr_of_list ~n se;
+    friendly = csr_of_list ~n fe;
     feature;
+    union_memo = None;
   }
 
 let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
@@ -74,8 +120,8 @@ let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
   in
   let nodes = split.Mpl_layout.Stitch.nodes in
   let n = Array.length nodes in
-  let conflicts = ref [] in
-  let friendlies = ref [] in
+  let cu = Intbuf.create () and cv = Intbuf.create () in
+  let fu = Intbuf.create () and fv = Intbuf.create () in
   Mpl_obs.Obs.span obs "graph.neighbor_search"
     ~args:[ ("nodes", Mpl_obs.Sink.Int n) ]
     (fun () ->
@@ -96,80 +142,158 @@ let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
               Polygon.distance2 ni.Mpl_layout.Stitch.shape
                 nj.Mpl_layout.Stitch.shape
             in
-            if d2 <= min_s2 then conflicts := (i, j) :: !conflicts
-            else if d2 <= friendly2 then friendlies := (i, j) :: !friendlies
+            if d2 <= min_s2 then begin
+              Intbuf.push cu i;
+              Intbuf.push cv j
+            end
+            else if d2 <= friendly2 then begin
+              Intbuf.push fu i;
+              Intbuf.push fv j
+            end
           end));
   let feature =
     Array.map (fun node -> node.Mpl_layout.Stitch.feature) nodes
   in
+  (* The sweep reports each unordered pair once and never a self-loop,
+     and stitch edges join distinct segments of one feature while
+     conflicts join distinct features — so the CSR can be built directly
+     with no normalization pass. *)
+  let su = Intbuf.create () and sv = Intbuf.create () in
+  List.iter
+    (fun (a, b) ->
+      Intbuf.push su a;
+      Intbuf.push sv b)
+    split.Mpl_layout.Stitch.stitch_edges;
   let m = obs.Mpl_obs.Obs.metrics in
   Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "graph.nodes") n;
   Mpl_obs.Metrics.add
     (Mpl_obs.Metrics.counter m "graph.conflict_edges")
-    (List.length !conflicts);
+    (Intbuf.length cu);
   Mpl_obs.Metrics.add
     (Mpl_obs.Metrics.counter m "graph.stitch_edges")
-    (List.length split.Mpl_layout.Stitch.stitch_edges);
+    (Intbuf.length su);
   Mpl_obs.Metrics.add
     (Mpl_obs.Metrics.counter m "graph.friendly_edges")
-    (List.length !friendlies);
-  of_edges ~stitch_edges:split.Mpl_layout.Stitch.stitch_edges
-    ~friendly_edges:!friendlies ~feature ~n !conflicts
+    (Intbuf.length fu);
+  {
+    n;
+    conflict = csr_of_bufs ~n cu cv;
+    stitch = csr_of_bufs ~n su sv;
+    friendly = csr_of_bufs ~n fu fv;
+    feature;
+    union_memo = None;
+  }
 
-let edges_of adj =
+let edges_of (a : adj) =
+  let n = Array.length a.off - 1 in
   let out = ref [] in
-  Array.iteri
-    (fun u nbrs -> Array.iter (fun v -> if u < v then out := (u, v) :: !out) nbrs)
-    adj;
-  List.rev !out
+  for u = n - 1 downto 0 do
+    for s = a.off.(u + 1) - 1 downto a.off.(u) do
+      let v = a.nbr.(s) in
+      if u < v then out := (u, v) :: !out
+    done
+  done;
+  !out
 
 let conflict_edges t = edges_of t.conflict
 let stitch_edges t = edges_of t.stitch
 let friendly_edges t = edges_of t.friendly
 
-let conflict_degree t v = Array.length t.conflict.(v)
-let stitch_degree t v = Array.length t.stitch.(v)
+let conflict_degree t v = deg t.conflict v
+let stitch_degree t v = deg t.stitch v
 
 let has_conflict t u v =
   (* Adjacency is sorted: binary search. *)
-  let a = t.conflict.(u) in
+  let a = t.conflict in
   let rec bin lo hi =
     if lo >= hi then false
     else begin
       let mid = (lo + hi) / 2 in
-      if a.(mid) = v then true
-      else if a.(mid) < v then bin (mid + 1) hi
+      if a.nbr.(mid) = v then true
+      else if a.nbr.(mid) < v then bin (mid + 1) hi
       else bin lo mid
     end
   in
-  bin 0 (Array.length a)
+  bin a.off.(u) a.off.(u + 1)
+
+(* Conflict and stitch runs are disjoint and each sorted, so the union
+   adjacency is a linear merge per vertex — handed to Ugraph as
+   ready-made CSR, skipping its edge buffer entirely. Memoized: the
+   division pipeline asks for the union of the same subgraph at up to
+   three stages (components, biconnected, GH tree). The value is
+   immutable, so a racing duplicate build is merely wasted work. *)
+let build_union t =
+  let c = t.conflict and s = t.stitch in
+  let n = t.n in
+  let off = Array.make (n + 1) 0 in
+  for v = 0 to n - 1 do
+    off.(v + 1) <- off.(v) + deg c v + deg s v
+  done;
+  let nbr = Array.make off.(n) 0 in
+  for v = 0 to n - 1 do
+    let i = ref c.off.(v)
+    and j = ref s.off.(v)
+    and w = ref off.(v) in
+    let ci = c.off.(v + 1) and sj = s.off.(v + 1) in
+    while !i < ci || !j < sj do
+      let from_c =
+        !j >= sj || (!i < ci && c.nbr.(!i) < s.nbr.(!j))
+      in
+      if from_c then begin
+        nbr.(!w) <- c.nbr.(!i);
+        incr i
+      end
+      else begin
+        nbr.(!w) <- s.nbr.(!j);
+        incr j
+      end;
+      incr w
+    done
+  done;
+  Ugraph.of_csr ~n ~off ~nbr
 
 let union_graph t =
-  let g = Ugraph.create t.n in
-  List.iter (fun (u, v) -> Ugraph.add_edge g u v) (conflict_edges t);
-  List.iter (fun (u, v) -> Ugraph.add_edge g u v) (stitch_edges t);
-  g
+  match t.union_memo with
+  | Some ug -> ug
+  | None ->
+    let ug = build_union t in
+    t.union_memo <- Some ug;
+    ug
 
 let conflict_graph t =
-  let g = Ugraph.create t.n in
-  List.iter (fun (u, v) -> Ugraph.add_edge g u v) (conflict_edges t);
-  g
+  Ugraph.of_csr ~n:t.n ~off:t.conflict.off ~nbr:t.conflict.nbr
 
 let subgraph t vs =
   let m = Array.length vs in
-  let fwd = Hashtbl.create m in
-  Array.iteri (fun i v -> Hashtbl.add fwd v i) vs;
-  let restrict adj =
-    Array.map
-      (fun v ->
-        let nbrs =
-          Array.to_list adj.(v)
-          |> List.filter_map (fun u -> Hashtbl.find_opt fwd u)
-        in
-        let a = Array.of_list nbrs in
-        Array.sort compare a;
-        a)
-      vs
+  let fwd = Array.make t.n (-1) in
+  Array.iteri (fun i v -> fwd.(v) <- i) vs;
+  let restrict (a : adj) =
+    let off = Array.make (m + 1) 0 in
+    for i = 0 to m - 1 do
+      let v = vs.(i) in
+      let c = ref 0 in
+      for s = a.off.(v) to a.off.(v + 1) - 1 do
+        if fwd.(a.nbr.(s)) >= 0 then incr c
+      done;
+      off.(i + 1) <- off.(i) + !c
+    done;
+    let nbr = Array.make off.(m) 0 in
+    let w = ref 0 in
+    for i = 0 to m - 1 do
+      let v = vs.(i) in
+      for s = a.off.(v) to a.off.(v + 1) - 1 do
+        let j = fwd.(a.nbr.(s)) in
+        if j >= 0 then begin
+          nbr.(!w) <- j;
+          incr w
+        end
+      done;
+      (* [fwd] is monotone when [vs] is ascending (the common case);
+         otherwise restore the sorted-run invariant. *)
+      if not (Intsort.is_sorted_range nbr off.(i) off.(i + 1)) then
+        Intsort.sort_range nbr off.(i) off.(i + 1)
+    done;
+    { off; nbr }
   in
   let sub =
     {
@@ -178,6 +302,7 @@ let subgraph t vs =
       stitch = restrict t.stitch;
       friendly = restrict t.friendly;
       feature = Array.map (fun v -> t.feature.(v)) vs;
+      union_memo = None;
     }
   in
   (sub, Array.copy vs)

@@ -5,15 +5,31 @@
     edges join distinct features within the minimum coloring distance
     [min_s]; stitch edges join touching segments of one split feature;
     color-friendly edges join features at distance in (min_s, min_s+hp],
-    which the linear color assignment uses as a same-color hint. *)
+    which the linear color assignment uses as a same-color hint.
+
+    Each relation is a CSR adjacency: flat offset and neighbor arrays
+    with sorted, deduplicated per-vertex runs, built in two passes with
+    no intermediate list adjacency. *)
+
+type adj = { off : int array; nbr : int array }
+(** The neighbors of [v] are [nbr.(off.(v)) .. nbr.(off.(v+1) - 1)],
+    sorted ascending. Owned by the graph; callers must not mutate. *)
 
 type t = private {
   n : int;
-  conflict : int array array;  (** sorted adjacency *)
-  stitch : int array array;
-  friendly : int array array;
+  conflict : adj;
+  stitch : adj;
+  friendly : adj;
   feature : int array;  (** vertex -> originating feature id *)
+  mutable union_memo : Mpl_graph.Ugraph.t option;
+      (** lazily built {!union_graph}; internal *)
 }
+
+val deg : adj -> int -> int
+(** Run length of a vertex. *)
+
+val iter : adj -> int -> (int -> unit) -> unit
+(** Apply to each neighbor in ascending order. Allocation-free. *)
 
 val of_edges :
   ?stitch_edges:(int * int) list ->
@@ -53,7 +69,10 @@ val stitch_degree : t -> int -> int
 val has_conflict : t -> int -> int -> bool
 
 val union_graph : t -> Mpl_graph.Ugraph.t
-(** Conflict and stitch edges together — connectivity for division. *)
+(** Conflict and stitch edges together — connectivity for division.
+    Built by merging the two sorted CSR runs per vertex straight into a
+    [Ugraph] without touching its edge buffer, then memoized on the
+    graph (the division pipeline needs it at up to three stages). *)
 
 val conflict_graph : t -> Mpl_graph.Ugraph.t
 

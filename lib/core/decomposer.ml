@@ -20,6 +20,8 @@ type params = {
   post : post_pass;
   balance : bool;
   jobs : int;
+  chunk_below : int;
+  chunk_len : int;
   cache : bool;
   cache_permuted : bool;
   cache_warm : bool;
@@ -40,6 +42,8 @@ let default_params =
     post = No_post;
     balance = false;
     jobs = 1;
+    chunk_below = 32;
+    chunk_len = 16;
     cache = false;
     cache_permuted = false;
     cache_warm = false;
@@ -132,6 +136,15 @@ let prov_snapshot prov ~fault =
   Mutex.unlock prov.p_lock;
   r
 
+(* Wall-clock breakdown of one assignment. [division_s] and [merge_s]
+   are coordinator-thread time (structural analysis / reassembly, with
+   any solver work the coordinator picked up while helping the pool
+   subtracted out); [solve_s] is total solver time summed over every
+   domain, so it can exceed the elapsed wall when jobs > 1. *)
+type phases = { division_s : float; solve_s : float; merge_s : float }
+
+let no_phases = { division_s = 0.; solve_s = 0.; merge_s = 0. }
+
 type report = {
   algorithm : algorithm;
   params : params;
@@ -140,6 +153,7 @@ type report = {
   elapsed_s : float;
   timed_out : bool;
   division : Division.stats;
+  phases : phases;
   engine : Mpl_engine.Engine.stats option;
   resilience : resilience;
   metrics : Mpl_obs.Metrics.snapshot option;
@@ -372,15 +386,25 @@ let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
     recover_piece ~obs ~params ~fault ~prov ~primary:algorithm ~partial:None
       ~error:(Printexc.to_string e) piece
 
-(* Parallel/cached assignment: split off the independent components
-   (the same split the sequential division pipeline performs first),
-   solve each component wholesale — internal division included — as one
-   pool task, and scatter the colorings back. Components are the reuse
-   unit precisely because they share no edge with the rest of the
-   graph: substituting any valid coloring of a component can never
-   change a crossing cost, so cache reuse is cost-exact by
-   construction. *)
-let engine_assign ~obs ~params ~stats ~solver ~fault ~prov
+(* Streaming parallel/cached assignment: split off the independent
+   components (the same split the sequential division pipeline performs
+   first), then run each component through an {!Mpl_engine.Engine}
+   stream. Components are the reuse unit precisely because they share
+   no edge with the rest of the graph: substituting any valid coloring
+   of a component can never change a crossing cost, so cache reuse is
+   cost-exact by construction.
+
+   Unlike the old one-task-per-component batch, a component that must
+   be solved fresh is *divided on the coordinating thread the moment it
+   is pushed* ({!Division.plan}), and every leaf piece it sheds is
+   submitted to the pool right away — largest pieces at highest
+   priority, tiny pieces chunked into grouped submissions. Workers
+   therefore start solving the first component's leaves while the
+   coordinator is still dividing later components, which is where the
+   old pipeline serialized (division is cheap but the leaf solves
+   behind one big component used to be invisible to the pool until the
+   whole component's recursion finished on a single worker). *)
+let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
     (g : Decomp_graph.t) =
   let jobs = max 1 params.jobs in
   let comps =
@@ -390,14 +414,6 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov
     else [| Array.init g.Decomp_graph.n (fun v -> v) |]
   in
   let pieces = Array.map (Decomp_graph.subgraph g) comps in
-  let solve_piece (piece, _back) =
-    let local = Division.fresh_stats () in
-    let colors =
-      Division.assign ~obs ~stages:params.stages ~stats:local ~k:params.k
-        ~alpha:params.alpha ~solver piece
-    in
-    (colors, local)
-  in
   let cache =
     if params.cache then
       Some
@@ -413,8 +429,8 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov
   in
   (* Vet cached colorings before reuse (length, completeness, color
      range) and isolate component-level failures: if a whole component
-     task dies outside the leaf-solver ladder, color it greedily rather
-     than abort the run. *)
+     plan/merge dies outside the leaf-solver ladder, color it greedily
+     rather than abort the run. *)
   let validate (piece, _back) colors =
     Array.length colors = piece.Decomp_graph.n
     && Coloring.is_complete colors
@@ -438,14 +454,80 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov
       };
     (colors, local)
   in
+  let chunk_below = max 0 params.chunk_below in
+  let chunk_len = max 1 params.chunk_len in
   Mpl_engine.Pool.with_pool ~obs ~fault ~jobs (fun pool ->
-      let results, estats =
-        Mpl_engine.Engine.solve_pieces ~obs ~pool ?cache ~signature ~validate
-          ~recover ~solve:solve_piece
-          (Array.to_list pieces)
+      (* Tiny leaves (n < chunk_below) are buffered and submitted
+         [chunk_len] at a time as one pool task ({!Pool.submit_group}):
+         dominant-share circuits shed thousands of 2..10-vertex pieces
+         whose per-task dispatch otherwise costs more than their solve.
+         The buffer only lives on the coordinating thread; a join thunk
+         that runs ahead of the flush flushes on demand. *)
+      let pending = ref [] and pending_len = ref 0 in
+      let flush () =
+        match !pending with
+        | [] -> ()
+        | ps ->
+          let ps = List.rev ps in
+          pending := [];
+          pending_len := 0;
+          let prio =
+            List.fold_left
+              (fun m ((p : Decomp_graph.t), _) -> max m p.Decomp_graph.n)
+              0 ps
+          in
+          let futs =
+            Mpl_engine.Pool.submit_group ~priority:prio pool
+              (List.map (fun (p, _) () -> solver p) ps)
+          in
+          List.iter2 (fun (_, slot) fut -> slot := Some fut) ps futs
       in
+      let emit_leaf (piece : Decomp_graph.t) =
+        if piece.Decomp_graph.n >= chunk_below then begin
+          let fut =
+            Mpl_engine.Pool.submit ~priority:piece.Decomp_graph.n pool
+              (fun () -> solver piece)
+          in
+          fun () -> Mpl_engine.Pool.await pool fut
+        end
+        else begin
+          let slot = ref None in
+          pending := (piece, slot) :: !pending;
+          incr pending_len;
+          if !pending_len >= chunk_len then flush ();
+          fun () ->
+            (match !slot with None -> flush () | Some _ -> ());
+            Mpl_engine.Pool.await pool (Option.get !slot)
+        end
+      in
+      (* Plant = divide now (coordinating thread), emitting leaves into
+         the pool; join later. The division analysis and the emit order
+         are deterministic and color-independent, so scheduling stays
+         a pure performance knob. *)
+      let plant (piece, _back) =
+        let local = Division.fresh_stats () in
+        let join =
+          Division.plan ~obs ~stages:params.stages ~stats:local ~k:params.k
+            ~alpha:params.alpha ~emit:emit_leaf piece
+        in
+        fun () -> (join (), local)
+      in
+      let t =
+        Mpl_engine.Engine.stream ~obs ?cache ~signature ~validate ~recover
+          ~plant ()
+      in
+      Mpl_obs.Obs.span obs "engine.batch"
+        ~args:[ ("pieces", Mpl_obs.Sink.Int (Array.length pieces)) ]
+      @@ fun () ->
+      let t0 = Mpl_util.Timer.now_ns () and c0 = !caller_ns in
+      let cells = Array.map (Mpl_engine.Engine.push t) pieces in
+      flush ();
+      let t1 = Mpl_util.Timer.now_ns () and c1 = !caller_ns in
+      let results = Array.map (Mpl_engine.Engine.force t) cells in
+      let t2 = Mpl_util.Timer.now_ns () and c2 = !caller_ns in
+      let estats = Mpl_engine.Engine.finish t in
       let colors = Array.make g.Decomp_graph.n (-1) in
-      List.iteri
+      Array.iteri
         (fun i (pc, local) ->
           let _piece, back = pieces.(i) in
           Array.iteri (fun j v -> colors.(v) <- pc.(j)) back;
@@ -455,7 +537,10 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov
           stats.Division.peeled <- stats.Division.peeled + local.Division.peeled;
           stats.Division.cuts <- stats.Division.cuts + local.Division.cuts)
         results;
-      (colors, estats))
+      let s ns = Int64.to_float ns /. 1e9 in
+      let division_s = max 0. (s (Int64.sub t1 t0) -. (c1 -. c0)) in
+      let merge_s = max 0. (s (Int64.sub t2 t1) -. (c2 -. c1)) in
+      (colors, estats, division_s, merge_s))
 
 let assign ?(params = default_params) ?obs algorithm g =
   let obs = match obs with Some o -> o | None -> make_obs params in
@@ -485,11 +570,31 @@ let assign ?(params = default_params) ?obs algorithm g =
            ())
     else None
   in
-  let solver =
+  let base_solver =
     make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
       algorithm
   in
+  (* Phase accounting. [solve_ns] totals solver wall across every
+     domain; [caller_ns] (coordinating thread only — no lock needed)
+     lets the engine path subtract solver work the coordinator picked
+     up while helping the pool out of its division/merge walls. *)
+  let solve_ns = Atomic.make 0 in
+  let caller_ns = ref 0. in
+  let coord = Domain.self () in
+  let solver piece =
+    let s0 = Mpl_util.Timer.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt =
+          Int64.to_int (Int64.sub (Mpl_util.Timer.now_ns ()) s0)
+        in
+        ignore (Atomic.fetch_and_add solve_ns dt);
+        if Domain.self () = coord then
+          caller_ns := !caller_ns +. (float_of_int dt /. 1e9))
+      (fun () -> base_solver piece)
+  in
   let engine_stats = ref None in
+  let phases = ref no_phases in
   let (colors, elapsed_s) =
     Mpl_util.Timer.time (fun () ->
         Mpl_obs.Obs.span obs "assign"
@@ -506,14 +611,36 @@ let assign ?(params = default_params) ?obs algorithm g =
              component split mirrors the division pipeline's own first
              stage), but keeping the legacy path makes the sequential
              fallback trivially bit-for-bit. *)
-          if params.jobs <= 1 && not params.cache then
-            Division.assign ~obs ~stages:params.stages ~stats ~k:params.k
-              ~alpha:params.alpha ~solver g
+          if params.jobs <= 1 && not params.cache then begin
+            let a0 = Mpl_util.Timer.now_ns () in
+            let colors =
+              Division.assign ~obs ~stages:params.stages ~stats ~k:params.k
+                ~alpha:params.alpha ~solver g
+            in
+            let wall =
+              Int64.to_float (Int64.sub (Mpl_util.Timer.now_ns ()) a0) /. 1e9
+            in
+            let solve_s = float_of_int (Atomic.get solve_ns) /. 1e9 in
+            phases :=
+              {
+                division_s = max 0. (wall -. solve_s);
+                solve_s;
+                merge_s = 0.;
+              };
+            colors
+          end
           else begin
-            let colors, estats =
-              engine_assign ~obs ~params ~stats ~solver ~fault ~prov g
+            let colors, estats, division_s, merge_s =
+              engine_assign ~obs ~params ~stats ~solver ~fault ~prov
+                ~caller_ns g
             in
             engine_stats := Some estats;
+            phases :=
+              {
+                division_s;
+                solve_s = float_of_int (Atomic.get solve_ns) /. 1e9;
+                merge_s;
+              };
             colors
           end
         in
@@ -549,6 +676,7 @@ let assign ?(params = default_params) ?obs algorithm g =
     elapsed_s;
     timed_out = Atomic.get timed_out;
     division = stats;
+    phases = !phases;
     engine = !engine_stats;
     resilience = prov_snapshot prov ~fault;
     metrics;

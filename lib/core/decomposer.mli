@@ -51,6 +51,13 @@ type params = {
   balance : bool;  (** cost-free mask-density rebalancing ({!Balance}) *)
   jobs : int;
       (** concurrent piece solvers; 1 = the sequential legacy path *)
+  chunk_below : int;
+      (** engine path: leaf pieces with fewer vertices than this are
+          buffered and submitted to the pool in grouped chunks instead
+          of one task each (default 32; 0 disables chunking) *)
+  chunk_len : int;
+      (** engine path: how many tiny leaves ride in one grouped
+          submission (default 16) *)
   cache : bool;  (** memoize solved components by canonical signature *)
   cache_permuted : bool;
       (** reuse cached colorings across *relabeled* isomorphic
@@ -105,6 +112,23 @@ type resilience = {
 
 val no_resilience : resilience
 
+type phases = {
+  division_s : float;
+      (** coordinator wall spent on structural division (component
+          scan, peel, biconnected, GH trees, subgraph extraction),
+          solver work excluded *)
+  solve_s : float;
+      (** leaf-solver wall summed over every domain — can exceed the
+          elapsed wall when [jobs > 1] *)
+  merge_s : float;
+      (** coordinator wall spent joining and reassembling colorings,
+          solver work the coordinator picked up while helping the pool
+          excluded; 0 on the sequential path (merging is interleaved
+          with division there) *)
+}
+
+val no_phases : phases
+
 type report = {
   algorithm : algorithm;
   params : params;
@@ -113,6 +137,7 @@ type report = {
   elapsed_s : float;  (** color-assignment time (graph already built) *)
   timed_out : bool;  (** exact solver hit its budget: treat as N/A *)
   division : Division.stats;
+  phases : phases;  (** wall-clock breakdown of this assignment *)
   engine : Mpl_engine.Engine.stats option;
       (** pool/cache statistics; [None] on the sequential legacy path *)
   resilience : resilience;

@@ -36,12 +36,12 @@ let fresh_stats () = { pieces = 0; largest_piece = 0; peeled = 0; cuts = 0 }
 let peel ~k (g : Decomp_graph.t) =
   let n = g.Decomp_graph.n in
   let alive = Array.make n true in
-  let dconf = Array.init n (fun v -> Array.length g.Decomp_graph.conflict.(v)) in
+  let dconf = Array.init n (Decomp_graph.deg g.Decomp_graph.conflict) in
   let stack = ref [] in
   let queue = Queue.create () in
   let queued = Array.make n false in
   let removable v =
-    alive.(v) && dconf.(v) < k && Array.length g.Decomp_graph.stitch.(v) = 0
+    alive.(v) && dconf.(v) < k && Decomp_graph.deg g.Decomp_graph.stitch v = 0
   in
   for v = 0 to n - 1 do
     if removable v then begin
@@ -55,8 +55,7 @@ let peel ~k (g : Decomp_graph.t) =
     if removable v then begin
       alive.(v) <- false;
       stack := v :: !stack;
-      Array.iter
-        (fun u ->
+      Decomp_graph.iter g.Decomp_graph.conflict v (fun u ->
           if alive.(u) then begin
             dconf.(u) <- dconf.(u) - 1;
             if removable u && not queued.(u) then begin
@@ -64,7 +63,6 @@ let peel ~k (g : Decomp_graph.t) =
               queued.(u) <- true
             end
           end)
-        g.Decomp_graph.conflict.(v)
     end
   done;
   (alive, !stack)
@@ -75,12 +73,10 @@ let pop_color ~k (g : Decomp_graph.t) colors v =
   let best = ref 0 and best_pen = ref max_int in
   for c = 0 to k - 1 do
     let pen = ref 0 in
-    Array.iter
-      (fun u -> if colors.(u) = c then pen := !pen + wc)
-      g.Decomp_graph.conflict.(v);
-    Array.iter
-      (fun u -> if colors.(u) = c then pen := !pen - 1)
-      g.Decomp_graph.friendly.(v);
+    Decomp_graph.iter g.Decomp_graph.conflict v (fun u ->
+        if colors.(u) = c then pen := !pen + wc);
+    Decomp_graph.iter g.Decomp_graph.friendly v (fun u ->
+        if colors.(u) = c then pen := !pen - 1);
     if !pen < !best_pen then begin
       best_pen := !pen;
       best := c
@@ -112,15 +108,279 @@ let best_rotation ~k ~alpha colors_a colors_b crossing_conflict crossing_stitch 
   done;
   !best_r
 
-let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
-    ?(bounded_cuts = true) ~k ~alpha ~solver (g : Decomp_graph.t) =
-  if k < 2 then invalid_arg "Division.assign: k < 2";
+(* The division pipeline is a two-phase producer. [plan ~emit g] runs
+   ALL structural analysis up front — component scan, peel fixpoint,
+   block decomposition, GH trees, cut recovery, crossing-edge collection
+   — none of which depends on any color. Every leaf piece is handed to
+   [emit] the moment it is carved out; [emit] returns a thunk for that
+   piece's eventual coloring (it may solve inline, or submit to a pool
+   and return the join). [plan] returns the merge thunk, which forces
+   the leaf thunks in exactly the order the eager recursion consumed
+   them and reassembles: component scatter, core-then-popped peel
+   replay, block-cut-tree BFS rotation alignment, GH-cut best-rotation
+   stitching. Because analysis is color-independent and the merge
+   consumes results in the plan's deterministic emit order, [plan]-then-
+   [join] computes bit-identical colors to the old interleaved
+   recursion — regardless of when or where the emitted thunks actually
+   run. *)
+let plan ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
+    ?(bounded_cuts = true) ~k ~alpha ~emit (g : Decomp_graph.t) =
+  if k < 2 then invalid_arg "Division.plan: k < 2";
   let stats = match stats with Some s -> s | None -> fresh_stats () in
   (* Metric handles resolve to no-ops on a null registry. The stage
      spans below cover only each stage's own analysis (component scan,
      peel fixpoint, block decomposition, GH tree + cut recovery), never
-     the recursive solves underneath — so phase totals don't multiply
-     count nested work. *)
+     the emitted solves — so phase totals don't multiply count nested
+     work. *)
+  let m = obs.Mpl_obs.Obs.metrics in
+  let c_pieces = Mpl_obs.Metrics.counter m "division.pieces" in
+  let c_peeled = Mpl_obs.Metrics.counter m "division.peeled" in
+  let c_bicon = Mpl_obs.Metrics.counter m "division.bicon_splits" in
+  let c_cuts = Mpl_obs.Metrics.counter m "division.gh_cuts" in
+  let c_maxflow = Mpl_obs.Metrics.counter m "division.maxflow_calls" in
+  let c_bounded = Mpl_obs.Metrics.counter m "division.bounded_exits" in
+  let h_size = Mpl_obs.Metrics.histogram m "division.piece_size" in
+  let leaf sub =
+    stats.pieces <- stats.pieces + 1;
+    if sub.Decomp_graph.n > stats.largest_piece then
+      stats.largest_piece <- sub.Decomp_graph.n;
+    Mpl_obs.Metrics.incr c_pieces;
+    Mpl_obs.Metrics.observe h_size (float_of_int sub.Decomp_graph.n);
+    let th = emit sub in
+    fun () ->
+      let colors = th () in
+      if Array.length colors <> sub.Decomp_graph.n then
+        failwith
+          (Printf.sprintf
+             "Division.leaf: solver returned %d colors for a %d-vertex piece"
+             (Array.length colors) sub.Decomp_graph.n);
+      colors
+  in
+  let rec conquer sub =
+    if stages.use_components then begin
+      let comps =
+        Mpl_obs.Obs.span obs "division.components" (fun () ->
+            Connectivity.components (Decomp_graph.union_graph sub))
+      in
+      if Array.length comps > 1 then begin
+        let parts =
+          Array.map
+            (fun comp ->
+              let piece, back = Decomp_graph.subgraph sub comp in
+              (connected piece, back))
+            comps
+        in
+        fun () ->
+          let colors = Array.make sub.Decomp_graph.n (-1) in
+          Array.iter
+            (fun (th, back) ->
+              let pc = th () in
+              Array.iteri (fun i v -> colors.(v) <- pc.(i)) back)
+            parts;
+          colors
+      end
+      else connected sub
+    end
+    else connected sub
+  and connected sub =
+    if stages.use_peel then begin
+      let alive, stack =
+        Mpl_obs.Obs.span obs "division.peel" (fun () -> peel ~k sub)
+      in
+      match stack with
+      | [] -> blocks sub
+      | _ ->
+        stats.peeled <- stats.peeled + List.length stack;
+        Mpl_obs.Metrics.add c_peeled (List.length stack);
+        let core =
+          Array.of_list
+            (List.filter
+               (fun v -> alive.(v))
+               (List.init sub.Decomp_graph.n (fun v -> v)))
+        in
+        let core_th =
+          if Array.length core > 0 then begin
+            let piece, back = Decomp_graph.subgraph sub core in
+            Some (conquer piece, back)
+          end
+          else None
+        in
+        fun () ->
+          let colors = Array.make sub.Decomp_graph.n (-1) in
+          (match core_th with
+          | Some (th, back) ->
+            let pc = th () in
+            Array.iteri (fun i v -> colors.(v) <- pc.(i)) back
+          | None -> ());
+          List.iter (fun v -> colors.(v) <- pop_color ~k sub colors v) stack;
+          colors
+    end
+    else blocks sub
+  and blocks sub =
+    if stages.use_biconnected then begin
+      let bl =
+        Mpl_obs.Obs.span obs "division.biconnected" (fun () ->
+            Array.of_list (Biconnected.blocks (Decomp_graph.union_graph sub)))
+      in
+      if Array.length bl <= 1 then ghtree sub
+      else begin
+        Mpl_obs.Metrics.add c_bicon (Array.length bl - 1);
+        (* BFS over the block-cut tree so every non-root block meets
+           exactly one pre-colored (articulation) vertex. The traversal
+           is purely structural, so it runs at plan time; the merge
+           replays the blocks in the same visit order, aligning each
+           with the already-colored shared vertex. *)
+        let blocks_of = Array.make sub.Decomp_graph.n [] in
+        Array.iteri
+          (fun bi verts ->
+            Array.iter (fun v -> blocks_of.(v) <- bi :: blocks_of.(v)) verts)
+          bl;
+        let visited = Array.make (Array.length bl) false in
+        let queue = Queue.create () in
+        let order = ref [] in
+        for start = 0 to Array.length bl - 1 do
+          if not visited.(start) then begin
+            visited.(start) <- true;
+            Queue.add start queue;
+            while not (Queue.is_empty queue) do
+              let bi = Queue.pop queue in
+              let verts = bl.(bi) in
+              let piece, back = Decomp_graph.subgraph sub verts in
+              order := (connected piece, back) :: !order;
+              Array.iter
+                (fun v ->
+                  List.iter
+                    (fun bj ->
+                      if not visited.(bj) then begin
+                        visited.(bj) <- true;
+                        Queue.add bj queue
+                      end)
+                    blocks_of.(v))
+                verts
+            done
+          end
+        done;
+        let order = List.rev !order in
+        fun () ->
+          let colors = Array.make sub.Decomp_graph.n (-1) in
+          List.iter
+            (fun (th, back) ->
+              let pc = th () in
+              (* Align with the already-colored shared vertex, if any. *)
+              let rotation = ref 0 in
+              Array.iteri
+                (fun i v ->
+                  if colors.(v) >= 0 && !rotation = 0 then
+                    rotation := ((colors.(v) - pc.(i)) mod k + k) mod k)
+                back;
+              Array.iteri
+                (fun i v ->
+                  if colors.(v) < 0 then colors.(v) <- (pc.(i) + !rotation) mod k)
+                back)
+            order;
+          colors
+      end
+    end
+    else ghtree sub
+  and ghtree sub =
+    if stages.use_ghtree && sub.Decomp_graph.n >= 2 then begin
+      let ug, best =
+        Mpl_obs.Obs.span obs "division.ghtree"
+          ~args:[ ("n", Mpl_obs.Sink.Int sub.Decomp_graph.n) ]
+          (fun () ->
+            let ug = Decomp_graph.union_graph sub in
+            (* Only cuts strictly below k are actionable, so cap each
+               Gusfield max-flow at k: Dinic runs O(k*E) instead of
+               O(V^2*E), and [capped] counts flows that hit the bound
+               (recorded as "at least k", which Theorem 2 never needs to
+               distinguish further). *)
+            let ght =
+              Gomory_hu.build ?bound:(if bounded_cuts then Some k else None) ug
+            in
+            Mpl_obs.Metrics.add c_bounded (Gomory_hu.capped ght);
+            (* Gusfield's construction runs one max-flow per non-root
+               vertex. *)
+            Mpl_obs.Metrics.add c_maxflow (max 0 (sub.Decomp_graph.n - 1));
+            let edges = Gomory_hu.tree_edges ght in
+            let best = ref None in
+            Array.iter
+              (fun (v, p, w) ->
+                match !best with
+                | Some (_, _, bw) when bw <= w -> ()
+                | _ -> if w < k then best := Some (v, p, w))
+              edges;
+            (ug, !best))
+      in
+      match best with
+      | None -> leaf sub
+      | Some (s, t, _) ->
+        stats.cuts <- stats.cuts + 1;
+        Mpl_obs.Metrics.incr c_cuts;
+        (* Gusfield trees are only flow-equivalent: recover an actual
+           minimum cut with one more max-flow before splitting. *)
+        let side =
+          Mpl_obs.Obs.span obs "division.ghtree" ~cat:"division"
+            (fun () ->
+              let net = Maxflow.of_ugraph ug in
+              let _ = Maxflow.max_flow net ~s ~t in
+              Mpl_obs.Metrics.incr c_maxflow;
+              Maxflow.min_cut_side net ~s)
+        in
+        let in_a = Array.make sub.Decomp_graph.n false in
+        Array.iter (fun v -> in_a.(v) <- true) side;
+        let part flag =
+          Array.of_list
+            (List.filter
+               (fun v -> in_a.(v) = flag)
+               (List.init sub.Decomp_graph.n (fun v -> v)))
+        in
+        let va = part true and vb = part false in
+        let piece_a, back_a = Decomp_graph.subgraph sub va in
+        let piece_b, back_b = Decomp_graph.subgraph sub vb in
+        let th_a = conquer piece_a in
+        let th_b = conquer piece_b in
+        (* Collect crossing edges expressed in local (A-global, B-local)
+           indices for the rotation scan — structural, so plan-time. *)
+        let pos_b = Hashtbl.create (Array.length vb) in
+        Array.iteri (fun i v -> Hashtbl.add pos_b v i) back_b;
+        let crossing edges_of =
+          List.filter_map
+            (fun (u, v) ->
+              match (in_a.(u), in_a.(v)) with
+              | true, false -> Some (u, Hashtbl.find pos_b v)
+              | false, true -> Some (v, Hashtbl.find pos_b u)
+              | true, true | false, false -> None)
+            edges_of
+        in
+        let cross_conf = crossing (Decomp_graph.conflict_edges sub) in
+        let cross_stit = crossing (Decomp_graph.stitch_edges sub) in
+        fun () ->
+          let ca = th_a () in
+          let cb = th_b () in
+          let colors = Array.make sub.Decomp_graph.n (-1) in
+          Array.iteri (fun i v -> colors.(v) <- ca.(i)) back_a;
+          let r = best_rotation ~k ~alpha colors cb cross_conf cross_stit in
+          Array.iteri (fun i v -> colors.(v) <- (cb.(i) + r) mod k) back_b;
+          colors
+    end
+    else leaf sub
+  in
+  conquer g
+
+(* Eager sequential form. Output-identical to [plan] with an [emit]
+   that solves inline (the invariance test suite checks this end to
+   end), but implemented as the historical interleaved recursion: each
+   subgraph dies as soon as its subtree is colored, where [plan]'s
+   deferred join thunks keep every intermediate subgraph live until the
+   final merge — measurably slower (~1.7x on the S-circuit suite) from
+   promotion and major-GC pressure alone. The sequential path is the
+   reproducibility baseline and the single-core hot path, so it keeps
+   the allocation-friendly shape; the engine path pays [plan]'s
+   retention cost only where division genuinely overlaps solving. *)
+let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
+    ?(bounded_cuts = true) ~k ~alpha ~solver (g : Decomp_graph.t) =
+  if k < 2 then invalid_arg "Division.assign: k < 2";
+  let stats = match stats with Some s -> s | None -> fresh_stats () in
   let m = obs.Mpl_obs.Obs.metrics in
   let c_pieces = Mpl_obs.Metrics.counter m "division.pieces" in
   let c_peeled = Mpl_obs.Metrics.counter m "division.peeled" in
@@ -198,8 +458,6 @@ let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
       else begin
         Mpl_obs.Metrics.add c_bicon (Array.length bl - 1);
         let colors = Array.make sub.Decomp_graph.n (-1) in
-        (* BFS over the block-cut tree so every non-root block meets
-           exactly one pre-colored (articulation) vertex. *)
         let blocks_of = Array.make sub.Decomp_graph.n [] in
         Array.iteri
           (fun bi verts ->
@@ -216,7 +474,6 @@ let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
               let verts = bl.(bi) in
               let piece, back = Decomp_graph.subgraph sub verts in
               let pc = conquer piece in
-              (* Align with the already-colored shared vertex, if any. *)
               let rotation = ref 0 in
               Array.iteri
                 (fun i v ->
@@ -252,17 +509,10 @@ let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
           ~args:[ ("n", Mpl_obs.Sink.Int sub.Decomp_graph.n) ]
           (fun () ->
             let ug = Decomp_graph.union_graph sub in
-            (* Only cuts strictly below k are actionable, so cap each
-               Gusfield max-flow at k: Dinic runs O(k*E) instead of
-               O(V^2*E), and [capped] counts flows that hit the bound
-               (recorded as "at least k", which Theorem 2 never needs to
-               distinguish further). *)
             let ght =
               Gomory_hu.build ?bound:(if bounded_cuts then Some k else None) ug
             in
             Mpl_obs.Metrics.add c_bounded (Gomory_hu.capped ght);
-            (* Gusfield's construction runs one max-flow per non-root
-               vertex. *)
             Mpl_obs.Metrics.add c_maxflow (max 0 (sub.Decomp_graph.n - 1));
             let edges = Gomory_hu.tree_edges ght in
             let best = ref None in
@@ -279,8 +529,6 @@ let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
       | Some (s, t, _) ->
         stats.cuts <- stats.cuts + 1;
         Mpl_obs.Metrics.incr c_cuts;
-        (* Gusfield trees are only flow-equivalent: recover an actual
-           minimum cut with one more max-flow before splitting. *)
         let side =
           Mpl_obs.Obs.span obs "division.ghtree" ~cat:"division"
             (fun () ->
@@ -303,8 +551,6 @@ let assign ?(obs = Mpl_obs.Obs.null) ?(stages = all_stages) ?stats
         let ca = conquer piece_a and cb = conquer piece_b in
         let colors = Array.make sub.Decomp_graph.n (-1) in
         Array.iteri (fun i v -> colors.(v) <- ca.(i)) back_a;
-        (* Collect crossing edges expressed in local (A-global, B-local)
-           indices for the rotation scan. *)
         let pos_b = Hashtbl.create (Array.length vb) in
         Array.iteri (fun i v -> Hashtbl.add pos_b v i) back_b;
         let crossing edges_of =

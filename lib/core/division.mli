@@ -41,6 +41,32 @@ type stats = {
   mutable cuts : int;  (** GH-tree splits performed *)
 }
 
+val plan :
+  ?obs:Mpl_obs.Obs.t ->
+  ?stages:stages ->
+  ?stats:stats ->
+  ?bounded_cuts:bool ->
+  k:int ->
+  alpha:float ->
+  emit:(Decomp_graph.t -> unit -> int array) ->
+  Decomp_graph.t ->
+  unit ->
+  int array
+(** Streaming producer form of {!assign}. [plan ~emit g] runs the whole
+    division analysis immediately — every stage is color-independent —
+    and hands each leaf piece to [emit] the moment it is carved out.
+    [emit sub] starts (or performs) the solve and returns a thunk for
+    the piece's coloring; [plan] returns the merge thunk, which forces
+    the leaf thunks in exactly the order the eager recursion consumed
+    them and reassembles the full coloring (component scatter, peel
+    replay, block rotation alignment, GH-cut best-rotation stitching).
+    The merge result is bit-identical to [assign] with the same solver,
+    no matter when or on which domain the emitted work actually runs —
+    this is what lets the decomposer overlap division of later
+    components with solving of earlier pieces. [stats] fields [pieces],
+    [largest_piece], [peeled] and [cuts] are all fully counted by the
+    time [plan] returns. *)
+
 val assign :
   ?obs:Mpl_obs.Obs.t ->
   ?stages:stages ->
@@ -52,7 +78,8 @@ val assign :
   Decomp_graph.t ->
   int array
 (** Divide, color every piece with [solver], reassemble. The result
-    assigns every vertex a color in [0..k-1].
+    assigns every vertex a color in [0..k-1]. Equivalent to {!plan}
+    with an [emit] that solves inline at emission.
 
     [bounded_cuts] (default [true]) caps every Gusfield max-flow of the
     GH-tree stage at [k]: only cuts strictly below [k] are actionable

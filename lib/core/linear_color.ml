@@ -6,16 +6,13 @@ let friendly_bonus = 10
 let color_penalty ~k ~ws ~fb (g : Decomp_graph.t) colors v c =
   let wc = Coloring.weight_conflict in
   let pen = ref 0 in
-  Array.iter
-    (fun u -> if colors.(u) = c then pen := !pen + wc)
-    g.Decomp_graph.conflict.(v);
-  Array.iter
-    (fun u -> if colors.(u) >= 0 && colors.(u) <> c then pen := !pen + ws)
-    g.Decomp_graph.stitch.(v);
+  Decomp_graph.iter g.Decomp_graph.conflict v (fun u ->
+      if colors.(u) = c then pen := !pen + wc);
+  Decomp_graph.iter g.Decomp_graph.stitch v (fun u ->
+      if colors.(u) >= 0 && colors.(u) <> c then pen := !pen + ws);
   if fb > 0 then
-    Array.iter
-      (fun u -> if colors.(u) = c then pen := !pen - fb)
-      g.Decomp_graph.friendly.(v);
+    Decomp_graph.iter g.Decomp_graph.friendly v (fun u ->
+        if colors.(u) = c then pen := !pen - fb);
   ignore k;
   !pen
 
@@ -35,8 +32,8 @@ let best_color ~k ~ws ~fb g colors v =
 let peel ~k (g : Decomp_graph.t) =
   let n = g.Decomp_graph.n in
   let alive = Array.make n true in
-  let dconf = Array.init n (fun v -> Array.length g.Decomp_graph.conflict.(v)) in
-  let dstit = Array.init n (fun v -> Array.length g.Decomp_graph.stitch.(v)) in
+  let dconf = Array.init n (Decomp_graph.deg g.Decomp_graph.conflict) in
+  let dstit = Array.init n (Decomp_graph.deg g.Decomp_graph.stitch) in
   let stack = ref [] in
   let queue = Queue.create () in
   let queued = Array.make n false in
@@ -60,8 +57,10 @@ let peel ~k (g : Decomp_graph.t) =
           queued.(u) <- true
         end
       in
-      Array.iter (fun u -> if alive.(u) then relax u dconf) g.Decomp_graph.conflict.(v);
-      Array.iter (fun u -> if alive.(u) then relax u dstit) g.Decomp_graph.stitch.(v)
+      Decomp_graph.iter g.Decomp_graph.conflict v (fun u ->
+          if alive.(u) then relax u dconf);
+      Decomp_graph.iter g.Decomp_graph.stitch v (fun u ->
+          if alive.(u) then relax u dstit)
     end
   done;
   (alive, !stack)
@@ -88,12 +87,10 @@ let orders ~k (g : Decomp_graph.t) core =
   Array.iteri
     (fun i v ->
       if round.(i) = 1 then
-        Array.iter
-          (fun u ->
+        Decomp_graph.iter g.Decomp_graph.conflict v (fun u ->
             match Hashtbl.find_opt pos u with
             | Some j when round.(j) = 3 -> round.(j) <- 2
-            | Some _ | None -> ())
-          g.Decomp_graph.conflict.(v))
+            | Some _ | None -> ()))
     core;
   let three_round = Array.copy core in
   let key v =
@@ -110,22 +107,15 @@ let orders ~k (g : Decomp_graph.t) core =
 let partial_cost ~ws (g : Decomp_graph.t) colors =
   let wc = Coloring.weight_conflict in
   let total = ref 0 in
-  Array.iteri
-    (fun u nbrs ->
-      if colors.(u) >= 0 then
-        Array.iter
-          (fun v -> if u < v && colors.(v) = colors.(u) then total := !total + wc)
-          nbrs)
-    g.Decomp_graph.conflict;
-  Array.iteri
-    (fun u nbrs ->
-      if colors.(u) >= 0 then
-        Array.iter
-          (fun v ->
-            if u < v && colors.(v) >= 0 && colors.(v) <> colors.(u) then
-              total := !total + ws)
-          nbrs)
-    g.Decomp_graph.stitch;
+  for u = 0 to g.Decomp_graph.n - 1 do
+    if colors.(u) >= 0 then begin
+      Decomp_graph.iter g.Decomp_graph.conflict u (fun v ->
+          if u < v && colors.(v) = colors.(u) then total := !total + wc);
+      Decomp_graph.iter g.Decomp_graph.stitch u (fun v ->
+          if u < v && colors.(v) >= 0 && colors.(v) <> colors.(u) then
+            total := !total + ws)
+    end
+  done;
   !total
 
 let refine ~k ~ws ~fb ~passes (g : Decomp_graph.t) colors core =

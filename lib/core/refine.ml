@@ -5,18 +5,14 @@ let move_delta ~ws (g : Decomp_graph.t) colors v c =
   if c = old_c then 0
   else begin
     let delta = ref 0 in
-    Array.iter
-      (fun u ->
+    Decomp_graph.iter g.Decomp_graph.conflict v (fun u ->
         if colors.(u) = old_c then delta := !delta - wc
-        else if colors.(u) = c then delta := !delta + wc)
-      g.Decomp_graph.conflict.(v);
-    Array.iter
-      (fun u ->
+        else if colors.(u) = c then delta := !delta + wc);
+    Decomp_graph.iter g.Decomp_graph.stitch v (fun u ->
         if colors.(u) >= 0 then begin
           if colors.(u) = old_c then delta := !delta + ws
           else if colors.(u) = c then delta := !delta - ws
-        end)
-      g.Decomp_graph.stitch.(v);
+        end);
     !delta
   end
 

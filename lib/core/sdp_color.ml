@@ -32,20 +32,16 @@ let greedy_map ~k (sol : Sdp.solution) (g : Decomp_graph.t) =
         (fun u -> score.(colors.(u)) <- score.(colors.(u)) +. Sdp.gram sol v u)
         !colored;
       (* Hard local penalties dominate affinity. *)
-      Array.iter
-        (fun u ->
+      Decomp_graph.iter g.Decomp_graph.conflict v (fun u ->
           if colors.(u) >= 0 then
-            score.(colors.(u)) <- score.(colors.(u)) -. 1000.)
-        g.Decomp_graph.conflict.(v);
-      Array.iter
-        (fun u ->
+            score.(colors.(u)) <- score.(colors.(u)) -. 1000.);
+      Decomp_graph.iter g.Decomp_graph.stitch v (fun u ->
           if colors.(u) >= 0 then begin
             (* A stitch is paid on every color except the neighbor's. *)
             for c = 0 to k - 1 do
               if c <> colors.(u) then score.(c) <- score.(c) -. 0.5
             done
-          end)
-        g.Decomp_graph.stitch.(v);
+          end);
       let best = ref 0 in
       for c = 1 to k - 1 do
         if score.(c) > score.(!best) then best := c

@@ -20,130 +20,180 @@ let add_stats a b =
     rejected = a.rejected + b.rejected;
   }
 
-(* Per-piece resolution plan, decided sequentially in index order. *)
-type 'v plan =
-  | Hit of int array * 'v  (* found in the cache before solving *)
-  | Follower of int  (* reuse the result of batch leader [i] *)
-  | Leader  (* solve fresh on the pool *)
+(* ------------------------------------------------------------------ *)
+(* Streaming driver. A [stream] accepts items one at a time ([push]),
+   decides each item's resolution plan immediately — cache hit, batch
+   follower, or fresh leader — and returns a [cell] whose result is
+   demanded later with [force]. All cache probes and leader elections
+   happen on the pushing thread in push order, so a given (item
+   sequence, cache mode) pair always resolves hits, batch reuses and
+   fresh solves identically regardless of pool width or of how work is
+   scheduled behind the [plant] callback: [jobs] stays a pure
+   performance knob. *)
+
+type ('a, 'v) cell_state =
+  | Ready of int array * 'v
+  | Planned of (unit -> int array * 'v)  (* leader: demand-side join *)
+  | Follow of ('a, 'v) cell  (* reuse that leader's result *)
+
+and ('a, 'v) cell = {
+  item : 'a;
+  c_sig : Cache.signature option;
+  mutable cs : ('a, 'v) cell_state;
+}
+
+type ('a, 'v) t = {
+  obs : Mpl_obs.Obs.t;
+  cache : 'v Cache.t option;
+  exact : bool;
+  signature : 'a -> Cache.signature option;
+  validate : 'a -> int array -> bool;
+  recover : ('a -> exn -> Printexc.raw_backtrace -> int array * 'v) option;
+  plant : 'a -> unit -> int array * 'v;
+  leaders : (string, ('a, 'v) cell) Hashtbl.t;
+  mutable n_pieces : int;
+  mutable n_solved : int;
+  mutable n_hits : int;
+  mutable n_reused : int;
+  mutable n_failed : int;
+  mutable n_rejected : int;
+}
+
+let stream ?(obs = Mpl_obs.Obs.null) ?cache
+    ?(signature = fun _ -> None) ?(validate = fun _ _ -> true) ?recover
+    ~plant () =
+  let exact =
+    match cache with Some c -> Cache.mode c = Cache.Exact | None -> true
+  in
+  {
+    obs;
+    cache;
+    exact;
+    signature;
+    validate;
+    recover;
+    plant;
+    leaders = Hashtbl.create 64;
+    n_pieces = 0;
+    n_solved = 0;
+    n_hits = 0;
+    n_reused = 0;
+    n_failed = 0;
+    n_rejected = 0;
+  }
+
+let push t item =
+  t.n_pieces <- t.n_pieces + 1;
+  let c_sig = match t.cache with Some _ -> t.signature item | None -> None in
+  (* Batch-leader election per canonical key (Exact mode distinguishes
+     the original serialization too, so followers are byte-identical). *)
+  let lead () =
+    match c_sig with
+    | None ->
+      t.n_solved <- t.n_solved + 1;
+      { item; c_sig; cs = Planned (t.plant item) }
+    | Some s -> (
+      let dedup_key =
+        if t.exact then s.Cache.key ^ "\x00" ^ s.Cache.serial else s.Cache.key
+      in
+      match Hashtbl.find_opt t.leaders dedup_key with
+      | Some leader ->
+        t.n_reused <- t.n_reused + 1;
+        { item; c_sig; cs = Follow leader }
+      | None ->
+        t.n_solved <- t.n_solved + 1;
+        let cell = { item; c_sig; cs = Planned (t.plant item) } in
+        Hashtbl.replace t.leaders dedup_key cell;
+        cell)
+  in
+  match c_sig with
+  | None -> lead ()
+  | Some s -> (
+    match Option.bind t.cache (fun c -> Cache.find c s) with
+    | Some (colors, v) when t.validate item colors ->
+      t.n_hits <- t.n_hits + 1;
+      { item; c_sig; cs = Ready (colors, v) }
+    | Some _ ->
+      (* Cached coloring failed validation: treat as a miss and re-solve
+         rather than propagate a bad reuse. *)
+      t.n_rejected <- t.n_rejected + 1;
+      lead ()
+    | None -> lead ())
+
+let rec force t cell =
+  match cell.cs with
+  | Ready (colors, v) -> (colors, v)
+  | Planned join ->
+    let r =
+      match join () with
+      | r ->
+        (match (t.cache, cell.c_sig) with
+        | Some c, Some s -> Cache.store c s r
+        | _ -> ());
+        r
+      | exception e -> (
+        match t.recover with
+        | None -> raise e
+        | Some recover ->
+          (* Isolate the failure to this item: recover a substitute
+             result (never cached — it is not what the planner returns)
+             and let any followers reuse it. *)
+          let bt = Printexc.get_raw_backtrace () in
+          t.n_failed <- t.n_failed + 1;
+          recover cell.item e bt)
+    in
+    let colors, v = r in
+    cell.cs <- Ready (colors, v);
+    r
+  | Follow leader ->
+    let lc, lv = force t leader in
+    let colors =
+      match (leader.c_sig, cell.c_sig) with
+      | Some sj, Some si ->
+        if t.exact then Array.copy lc else Cache.transfer sj si lc
+      | _ -> assert false
+    in
+    cell.cs <- Ready (colors, lv);
+    (colors, lv)
+
+let finish t =
+  let m = t.obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.pieces") t.n_pieces;
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.solved") t.n_solved;
+  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.cache_hits") t.n_hits;
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "engine.batch_reused")
+    t.n_reused;
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "engine.piece_failures")
+    t.n_failed;
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "engine.cache_rejects")
+    t.n_rejected;
+  {
+    pieces = t.n_pieces;
+    solved = t.n_solved;
+    hits = t.n_hits;
+    reused = t.n_reused;
+    failed = t.n_failed;
+    rejected = t.n_rejected;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Batch driver, kept as the simple all-at-once entry point: push every
+   piece (submitting leaders to the pool), then force in index order.
+   Identical plan/store order to pushing-and-forcing interleaved. *)
 
 let solve_pieces ?(obs = Mpl_obs.Obs.null) ~pool ?cache ?signature
     ?(validate = fun _ _ -> true) ?recover ~solve pieces =
-  let items = Array.of_list pieces in
   Mpl_obs.Obs.span obs "engine.batch"
-    ~args:[ ("pieces", Mpl_obs.Sink.Int (Array.length items)) ]
+    ~args:[ ("pieces", Mpl_obs.Sink.Int (List.length pieces)) ]
   @@ fun () ->
-  let n = Array.length items in
-  let sigs =
-    match (cache, signature) with
-    | Some _, Some f -> Array.map f items
-    | _ -> Array.make n None
+  let plant item =
+    let fut = Pool.submit pool (fun () -> solve item) in
+    fun () -> Pool.await pool fut
   in
-  let exact =
-    match cache with
-    | Some c -> Cache.mode c = Cache.Exact
-    | None -> true
-  in
-  (* Batch-leader index per canonical key (Exact mode distinguishes the
-     original serialization too, so followers are byte-identical). *)
-  let leaders : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  let hits = ref 0 and reused = ref 0 and solved = ref 0 in
-  let failed = ref 0 and rejected = ref 0 in
-  let lead i s =
-    let dedup_key =
-      if exact then s.Cache.key ^ "\x00" ^ s.Cache.serial else s.Cache.key
-    in
-    match Hashtbl.find_opt leaders dedup_key with
-    | Some j ->
-      incr reused;
-      Follower j
-    | None ->
-      Hashtbl.replace leaders dedup_key i;
-      incr solved;
-      Leader
-  in
-  let plans =
-    Array.init n (fun i ->
-        match sigs.(i) with
-        | None ->
-          incr solved;
-          Leader
-        | Some s -> (
-          match Option.bind cache (fun c -> Cache.find c s) with
-          | Some (colors, v) when validate items.(i) colors ->
-            incr hits;
-            Hit (colors, v)
-          | Some _ ->
-            (* Cached coloring failed validation: treat as a miss and
-               re-solve rather than propagate a bad reuse. *)
-            incr rejected;
-            lead i s
-          | None -> lead i s))
-  in
-  let futures =
-    Array.mapi
-      (fun i plan ->
-        match plan with
-        | Leader -> Some (Pool.submit pool (fun () -> solve items.(i)))
-        | Hit _ | Follower _ -> None)
-      plans
-  in
-  (* Join in index order; leaders are resolved (and stored) before any
-     follower that points at them, because followers always reference a
-     smaller index. *)
-  let results : (int array * 'v) option array = Array.make n None in
-  for i = 0 to n - 1 do
-    match plans.(i) with
-    | Hit (colors, v) -> results.(i) <- Some (colors, v)
-    | Leader ->
-      let outcome =
-        match futures.(i) with
-        | Some fut -> Pool.try_await pool fut
-        | None -> assert false
-      in
-      (match outcome with
-      | Ok ((colors, v) as r) ->
-        (match (cache, sigs.(i)) with
-        | Some c, Some s -> Cache.store c s r
-        | _ -> ());
-        results.(i) <- Some (colors, v)
-      | Error (e, bt) -> (
-        match recover with
-        | None -> Printexc.raise_with_backtrace e bt
-        | Some recover ->
-          (* Isolate the failure to this piece: recover a substitute
-             result (never cached — it is not what [solve] returns) and
-             let any followers reuse it. *)
-          incr failed;
-          results.(i) <- Some (recover items.(i) e bt)))
-    | Follower j ->
-      let lc, lv =
-        match results.(j) with Some r -> r | None -> assert false
-      in
-      let colors =
-        match (sigs.(j), sigs.(i)) with
-        | Some sj, Some si ->
-          if exact then Array.copy lc else Cache.transfer sj si lc
-        | _ -> assert false
-      in
-      results.(i) <- Some (colors, lv)
-  done;
-  let out =
-    Array.to_list
-      (Array.map (function Some r -> r | None -> assert false) results)
-  in
-  let m = obs.Mpl_obs.Obs.metrics in
-  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.pieces") n;
-  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.solved") !solved;
-  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.cache_hits") !hits;
-  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.batch_reused") !reused;
-  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.piece_failures") !failed;
-  Mpl_obs.Metrics.add (Mpl_obs.Metrics.counter m "engine.cache_rejects") !rejected;
-  ( out,
-    {
-      pieces = n;
-      solved = !solved;
-      hits = !hits;
-      reused = !reused;
-      failed = !failed;
-      rejected = !rejected;
-    } )
+  let t = stream ~obs ?cache ?signature ~validate ?recover ~plant () in
+  let cells = List.map (push t) pieces in
+  let out = List.map (force t) cells in
+  (out, finish t)

@@ -1,20 +1,21 @@
-(** Batch driver: route a list of independent pieces through the
-    {!Pool} with {!Cache}-based deduplication.
+(** Streaming driver: route independent pieces through the {!Pool} with
+    {!Cache}-based deduplication, overlapping piece production with
+    solving.
 
     The driver is generic in the piece type ['a] and in the metadata
     the solver returns alongside each coloring ['v] (the decomposer
     threads per-piece division statistics through it). All cache probes
-    and stores happen on the calling thread in piece-index order, so a
-    given (piece list, cache mode) pair always resolves hits, batch
-    reuses, and fresh solves identically — regardless of how many
-    workers the pool has. This is what keeps [jobs] a pure performance
-    knob. *)
+    and leader elections happen on the pushing thread in push order, so
+    a given (piece sequence, cache mode) pair always resolves hits,
+    batch reuses, and fresh solves identically — regardless of how many
+    workers the pool has or how work is scheduled behind [plant]. This
+    is what keeps [jobs] a pure performance knob. *)
 
 type stats = {
   pieces : int;  (** pieces routed through the driver *)
-  solved : int;  (** solved fresh (submitted to the pool) *)
+  solved : int;  (** solved fresh (planted) *)
   hits : int;  (** served from pre-existing cache entries *)
-  reused : int;  (** deduplicated against an earlier piece of this batch *)
+  reused : int;  (** deduplicated against an earlier piece of this stream *)
   failed : int;  (** leaders whose solve raised and was recovered *)
   rejected : int;  (** cache hits discarded by [validate] *)
 }
@@ -22,6 +23,54 @@ type stats = {
 val no_stats : stats
 
 val add_stats : stats -> stats -> stats
+
+type ('a, 'v) t
+(** A piece stream. Not thread-safe: push and force from the
+    coordinating thread only (worker parallelism lives behind the
+    [plant] callback). *)
+
+type ('a, 'v) cell
+(** A pushed piece's pending result; redeem with {!force}. *)
+
+val stream :
+  ?obs:Mpl_obs.Obs.t ->
+  ?cache:'v Cache.t ->
+  ?signature:('a -> Cache.signature option) ->
+  ?validate:('a -> int array -> bool) ->
+  ?recover:('a -> exn -> Printexc.raw_backtrace -> int array * 'v) ->
+  plant:('a -> unit -> int array * 'v) ->
+  unit ->
+  ('a, 'v) t
+(** Create a stream. [plant item] is invoked at {!push} time for every
+    item that must be solved fresh (cache miss that is not a follower of
+    an earlier pushed item); it starts the work — typically by
+    submitting to a {!Pool} — and returns the join thunk {!force} later
+    calls for the result. [signature], [validate] and [recover] have the
+    same semantics as in {!solve_pieces}. *)
+
+val push : ('a, 'v) t -> 'a -> ('a, 'v) cell
+(** Route one piece: probe the cache, elect or follow a batch leader,
+    or plant a fresh solve. Returns immediately; the result is demanded
+    with {!force}. For a piece whose [signature] is [Some s]: a
+    validated cache hit is [Ready] at once; a piece compatible with an
+    earlier pushed *unsolved* piece follows that leader (one solve
+    serves both); everything else is planted. Pieces with no signature
+    (or no [cache]) are always planted. *)
+
+val force : ('a, 'v) t -> ('a, 'v) cell -> int array * 'v
+(** Redeem a cell (idempotent — the result is memoized). For a planted
+    leader this joins the work, stores the result into the cache, and —
+    if the join raises — routes the failure through [recover] (counted
+    in [stats.failed]; the substitute is never cached) or re-raises
+    with the original backtrace when no [recover] was given. Forcing a
+    follower forces its leader first. *)
+
+val finish : ('a, 'v) t -> stats
+(** Snapshot the stream's statistics and accumulate them into the
+    [engine.pieces] / [engine.solved] / [engine.cache_hits] /
+    [engine.batch_reused] / [engine.piece_failures] /
+    [engine.cache_rejects] counters of [obs]. Call once, after the last
+    {!force}. *)
 
 val solve_pieces :
   ?obs:Mpl_obs.Obs.t ->
@@ -33,15 +82,9 @@ val solve_pieces :
   solve:('a -> int array * 'v) ->
   'a list ->
   (int array * 'v) list * stats
-(** [solve_pieces ~pool ?cache ?signature ~solve pieces] returns the
-    solved colorings in input order. For a piece whose [signature] is
-    [Some s]: a cache hit returns the stored coloring (mapped per the
-    cache's mode); a piece compatible with an earlier *unsolved* piece
-    of the same batch reuses that leader's result without a second
-    solve; everything else is submitted to the pool and stored into the
-    cache once joined. Pieces with no signature (or when [cache] /
-    [signature] is omitted) are always solved fresh — the call then
-    degenerates to a deterministic parallel map.
+(** Batch entry point on top of {!stream}: push every piece (planting
+    leaders as pool submissions), then force in input order. Returns
+    the solved colorings in input order plus the stream's {!stats}.
 
     [validate piece colors] (default: always [true]) vets every cache
     hit before reuse; a rejected hit counts in [stats.rejected] and the
@@ -55,7 +98,4 @@ val solve_pieces :
     leader's exception is re-raised with its original backtrace — the
     pre-existing all-or-nothing contract.
 
-    With [obs], the whole batch runs under an [engine.batch] span and
-    the [engine.pieces] / [engine.solved] / [engine.cache_hits] /
-    [engine.batch_reused] / [engine.piece_failures] /
-    [engine.cache_rejects] counters accumulate the returned {!stats}. *)
+    With [obs], the whole batch runs under an [engine.batch] span. *)

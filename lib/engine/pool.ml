@@ -1,43 +1,79 @@
-(* Work-stealing domain pool. One deque per worker; owners pop oldest
-   from the front (submission order — this is what makes jobs = 1
-   deterministic), thieves steal newest from the back. All deques hang
-   off a single mutex: tasks here are whole divided pieces (micro- to
-   multi-second solves), so queue contention is irrelevant and the
-   single lock keeps the blocking/wakeup protocol easy to audit. *)
+(* Shared-queue domain pool with priorities and backpressure. Tasks are
+   whole divided pieces (micro- to multi-second solves), so one mutex
+   around a binary heap is never the bottleneck and keeps the
+   blocking/wakeup protocol easy to audit.
 
-module Deque = struct
-  (* Amortized O(1) double-ended queue: [front] in front-to-back order,
-     [back] in back-to-front order. *)
-  type 'a t = { mutable front : 'a list; mutable back : 'a list }
+   The queue is a max-heap on (priority, submission seq): higher
+   priority first, FIFO among equals — so with the default priority
+   every consumer sees exact submission order and jobs = 1 degenerates
+   to deterministic sequential execution. The heap is bounded: a
+   submission that finds it full first helps run queued tasks from the
+   calling thread until there is room, which both caps memory for
+   streaming producers and is deadlock-free at any [jobs] (the producer
+   never blocks on a condition another producer must signal). *)
 
-  let create () = { front = []; back = [] }
-  let push_back d x = d.back <- x :: d.back
+type task = { run : unit -> unit; prio : int; seq : int }
 
-  let pop_front d =
-    match d.front with
-    | x :: tl ->
-      d.front <- tl;
-      Some x
-    | [] -> (
-      match List.rev d.back with
-      | [] -> None
-      | x :: tl ->
-        d.back <- [];
-        d.front <- tl;
-        Some x)
+(* Binary max-heap ordered by (prio desc, seq asc). Plain array
+   storage, grown geometrically up to the queue bound. *)
+module Heap = struct
+  type t = {
+    mutable a : task array;
+    mutable len : int;
+  }
 
-  let pop_back d =
-    match d.back with
-    | x :: tl ->
-      d.back <- tl;
-      Some x
-    | [] -> (
-      match List.rev d.front with
-      | [] -> None
-      | x :: tl ->
-        d.front <- [];
-        d.back <- tl;
-        Some x)
+  let dummy = { run = ignore; prio = 0; seq = 0 }
+  let create () = { a = Array.make 64 dummy; len = 0 }
+  let length h = h.len
+
+  let before x y = x.prio > y.prio || (x.prio = y.prio && x.seq < y.seq)
+
+  let push h x =
+    if h.len = Array.length h.a then begin
+      let b = Array.make (2 * h.len) dummy in
+      Array.blit h.a 0 b 0 h.len;
+      h.a <- b
+    end;
+    let i = ref h.len in
+    h.len <- h.len + 1;
+    h.a.(!i) <- x;
+    while
+      !i > 0
+      &&
+      let p = (!i - 1) / 2 in
+      before h.a.(!i) h.a.(p)
+    do
+      let p = (!i - 1) / 2 in
+      let tmp = h.a.(p) in
+      h.a.(p) <- h.a.(!i);
+      h.a.(!i) <- tmp;
+      i := p
+    done
+
+  let pop h =
+    if h.len = 0 then None
+    else begin
+      let top = h.a.(0) in
+      h.len <- h.len - 1;
+      h.a.(0) <- h.a.(h.len);
+      h.a.(h.len) <- dummy;
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let best = ref !i in
+        if l < h.len && before h.a.(l) h.a.(!best) then best := l;
+        if r < h.len && before h.a.(r) h.a.(!best) then best := r;
+        if !best = !i then continue := false
+        else begin
+          let tmp = h.a.(!best) in
+          h.a.(!best) <- h.a.(!i);
+          h.a.(!i) <- tmp;
+          i := !best
+        end
+      done;
+      Some top
+    end
 end
 
 (* Failures carry the backtrace captured at the raise site, so a
@@ -59,8 +95,9 @@ type 'a future = {
    untraced pool pays one branch per event and reads no clocks. *)
 type stats = {
   submitted : Mpl_obs.Metrics.counter;
-  steals : Mpl_obs.Metrics.counter;
+  groups : Mpl_obs.Metrics.counter;
   helped : Mpl_obs.Metrics.counter;
+  backpressure : Mpl_obs.Metrics.counter;
   idle_waits : Mpl_obs.Metrics.counter;
   busy_ns : Mpl_obs.Metrics.counter array;  (* per worker slot, 0 = caller *)
   timed : bool;  (* read the clock around task bodies *)
@@ -68,10 +105,11 @@ type stats = {
 
 type t = {
   jobs : int;
-  deques : (unit -> unit) Deque.t array;  (* index 0 belongs to the caller *)
+  queue : Heap.t;
+  bound : int;
   lock : Mutex.t;
   nonempty : Condition.t;
-  mutable next : int;  (* round-robin submission cursor *)
+  mutable seq : int;  (* submission counter, FIFO tie-break *)
   mutable closed : bool;
   mutable domains : unit Domain.t array;
   mutable joined : bool;
@@ -80,13 +118,15 @@ type t = {
 }
 
 let jobs t = t.jobs
+let default_bound = 1024
 
 let make_stats ~jobs (obs : Mpl_obs.Obs.t) =
   let m = obs.Mpl_obs.Obs.metrics in
   {
     submitted = Mpl_obs.Metrics.counter m "pool.submitted";
-    steals = Mpl_obs.Metrics.counter m "pool.steals";
+    groups = Mpl_obs.Metrics.counter m "pool.groups";
     helped = Mpl_obs.Metrics.counter m "pool.helped";
+    backpressure = Mpl_obs.Metrics.counter m "pool.backpressure";
     idle_waits = Mpl_obs.Metrics.counter m "pool.idle_waits";
     busy_ns =
       Array.init jobs (fun i ->
@@ -112,31 +152,13 @@ let run_task t slot task =
   end
   else task ()
 
-(* Pop from our own deque front, else steal from another's back.
-   Must hold [t.lock]. Returns the task paired with [true] when it was
-   stolen from another worker's deque. *)
-let take_locked t own =
-  match Deque.pop_front t.deques.(own) with
-  | Some task -> Some (task, false)
-  | None ->
-    let n = Array.length t.deques in
-    let rec scan k =
-      if k >= n then None
-      else
-        match Deque.pop_back t.deques.((own + k) mod n) with
-        | Some task -> Some (task, true)
-        | None -> scan (k + 1)
-    in
-    scan 1
-
 let worker t own () =
   Mutex.lock t.lock;
   let rec loop () =
-    match take_locked t own with
-    | Some (task, stolen) ->
+    match Heap.pop t.queue with
+    | Some task ->
       Mutex.unlock t.lock;
-      if stolen then Mpl_obs.Metrics.incr t.stats.steals;
-      run_task t own task;
+      run_task t own task.run;
       Mutex.lock t.lock;
       loop ()
     | None ->
@@ -149,15 +171,18 @@ let worker t own () =
   in
   loop ()
 
-let create ?(obs = Mpl_obs.Obs.null) ?(fault = Fault.none) ~jobs () =
+let create ?(obs = Mpl_obs.Obs.null) ?(fault = Fault.none)
+    ?(bound = default_bound) ~jobs () =
   if jobs < 1 then invalid_arg "Pool.create: jobs < 1";
+  if bound < 1 then invalid_arg "Pool.create: bound < 1";
   let t =
     {
       jobs;
-      deques = Array.init jobs (fun _ -> Deque.create ());
+      queue = Heap.create ();
+      bound;
       lock = Mutex.create ();
       nonempty = Condition.create ();
-      next = 0;
+      seq = 0;
       closed = false;
       domains = [||];
       joined = false;
@@ -168,29 +193,63 @@ let create ?(obs = Mpl_obs.Obs.null) ?(fault = Fault.none) ~jobs () =
   t.domains <- Array.init (jobs - 1) (fun i -> Domain.spawn (worker t (i + 1)));
   t
 
-let submit t f =
-  let fut = { state = Pending; fm = Mutex.create (); fc = Condition.create () } in
-  let task () =
-    let r =
-      try Done (f ())
-      with e -> Failed (e, Printexc.get_raw_backtrace ())
-    in
-    Mutex.lock fut.fm;
-    fut.state <- r;
-    Condition.broadcast fut.fc;
-    Mutex.unlock fut.fm
+let fresh_future () =
+  { state = Pending; fm = Mutex.create (); fc = Condition.create () }
+
+let resolve fut r =
+  Mutex.lock fut.fm;
+  fut.state <- r;
+  Condition.broadcast fut.fc;
+  Mutex.unlock fut.fm
+
+let task_of fut f () =
+  let r =
+    try Done (f ()) with e -> Failed (e, Printexc.get_raw_backtrace ())
   in
+  resolve fut r
+
+(* Enqueue under the bound: while the queue is full, pop and run one
+   task on the calling thread (backpressure by helping — never waits on
+   a condition, so it cannot deadlock at jobs = 1). *)
+let enqueue t ~prio run =
   Mutex.lock t.lock;
   if t.closed then begin
     Mutex.unlock t.lock;
     invalid_arg "Pool.submit: pool is shut down"
   end;
-  Deque.push_back t.deques.(t.next) task;
-  t.next <- (t.next + 1) mod Array.length t.deques;
+  while Heap.length t.queue >= t.bound do
+    match Heap.pop t.queue with
+    | Some task ->
+      Mutex.unlock t.lock;
+      Mpl_obs.Metrics.incr t.stats.backpressure;
+      run_task t 0 task.run;
+      Mutex.lock t.lock
+    | None -> ()
+  done;
+  Heap.push t.queue { run; prio; seq = t.seq };
+  t.seq <- t.seq + 1;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock;
-  Mpl_obs.Metrics.incr t.stats.submitted;
+  Mpl_obs.Metrics.incr t.stats.submitted
+
+let submit ?(priority = 0) t f =
+  let fut = fresh_future () in
+  enqueue t ~prio:priority (task_of fut f);
   fut
+
+(* One queue slot, many logical tasks: the chunk runs its members
+   sequentially in submission order inside a single pool task, so tiny
+   pieces pay one enqueue/dequeue for the whole group. Each member still
+   gets its own future (failures stay isolated per member). *)
+let submit_group ?(priority = 0) t fs =
+  match fs with
+  | [] -> []
+  | fs ->
+    let cells = List.map (fun f -> (fresh_future (), f)) fs in
+    let run () = List.iter (fun (fut, f) -> task_of fut f ()) cells in
+    enqueue t ~prio:priority run;
+    Mpl_obs.Metrics.incr t.stats.groups;
+    List.map fst cells
 
 let try_await t fut =
   let rec loop () =
@@ -206,11 +265,11 @@ let try_await t fut =
       Mutex.unlock fut.fm;
       (* Help: run a queued task of the pool instead of blocking. *)
       Mutex.lock t.lock;
-      (match take_locked t 0 with
-      | Some (task, _) ->
+      (match Heap.pop t.queue with
+      | Some task ->
         Mutex.unlock t.lock;
         Mpl_obs.Metrics.incr t.stats.helped;
-        run_task t 0 task;
+        run_task t 0 task.run;
         loop ()
       | None ->
         Mutex.unlock t.lock;
@@ -248,6 +307,6 @@ let shutdown t =
   Mutex.unlock t.lock;
   if join then Array.iter Domain.join t.domains
 
-let with_pool ?obs ?fault ~jobs f =
-  let t = create ?obs ?fault ~jobs () in
+let with_pool ?obs ?fault ?bound ~jobs f =
+  let t = create ?obs ?fault ?bound ~jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,41 +1,69 @@
-(** Fixed-size domain pool with one work-stealing deque per worker.
+(** Fixed-size domain pool around one bounded priority queue.
 
     Built on OCaml 5 [Domain] / [Mutex] / [Condition] only — no external
     dependencies. Designed for the coarse-grained tasks of the
-    decomposition engine (one task = one divided piece), so the deques
-    share a single lock: task bodies run for microseconds to seconds and
-    the queue operations are never the bottleneck.
+    decomposition engine (one task = one divided piece or one chunk of
+    small pieces), so the queue shares a single lock: task bodies run
+    for microseconds to seconds and queue operations are never the
+    bottleneck.
+
+    The queue is a max-heap on (priority, submission order): higher
+    priority runs first, FIFO among equal priorities — so with the
+    default priority 0 tasks execute in exact submission order and
+    [jobs = 1] degenerates to deterministic sequential execution. The
+    queue is bounded ({!create}'s [bound]); a submission that finds it
+    full helps run queued tasks from the calling thread until there is
+    room, which caps memory under a fast streaming producer without
+    ever blocking on a condition (deadlock-free at any [jobs]).
 
     A pool with [jobs = j] runs up to [j] tasks concurrently: [j - 1]
     worker domains plus the calling thread, which helps execute queued
-    tasks whenever it blocks in {!await} (so [jobs = 1] spawns no domain
-    at all and degenerates to eager sequential execution in submission
-    order). Join order is deterministic: {!map_list} and {!map_array}
-    always deliver results in submission order regardless of which
-    worker ran which task. *)
+    tasks whenever it blocks in {!await}. Join order is deterministic:
+    {!map_list} and {!map_array} always deliver results in submission
+    order regardless of which worker ran which task. *)
 
 type t
 
-val create : ?obs:Mpl_obs.Obs.t -> ?fault:Fault.t -> jobs:int -> unit -> t
-(** [create ~jobs ()] spawns [jobs - 1] worker domains. When [obs]
-    carries an enabled metrics registry, the pool maintains
-    [pool.submitted], [pool.steals], [pool.helped], [pool.idle_waits]
-    counters plus a [pool.worker<i>.busy_ns] wall-time counter per
-    worker slot (slot 0 is the calling thread helping in {!await});
+val create :
+  ?obs:Mpl_obs.Obs.t ->
+  ?fault:Fault.t ->
+  ?bound:int ->
+  jobs:int ->
+  unit ->
+  t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains. [bound]
+    (default 1024) caps the number of queued-but-unstarted tasks; a
+    full queue applies backpressure by making {!submit} help run tasks
+    first. When [obs] carries an enabled metrics registry, the pool
+    maintains [pool.submitted], [pool.groups], [pool.helped],
+    [pool.backpressure], [pool.idle_waits] counters plus a
+    [pool.worker<i>.busy_ns] wall-time counter per worker slot (slot 0
+    is the calling thread helping in {!await} or under backpressure);
     without it every probe is a no-op and no clock is read.
     When [fault] is armed for {!Fault.Worker_delay}, the selected task
     executions are delayed by ~5 ms before running (outputs must be
     unaffected — only schedules are perturbed).
-    @raise Invalid_argument if [jobs < 1]. *)
+    @raise Invalid_argument if [jobs < 1] or [bound < 1]. *)
 
 val jobs : t -> int
 
 type 'a future
 
-val submit : t -> (unit -> 'a) -> 'a future
-(** Enqueue a task (round-robin across the worker deques). Tasks must
-    not themselves call {!submit} or {!await} on the same pool.
+val submit : ?priority:int -> t -> (unit -> 'a) -> 'a future
+(** Enqueue a task. Higher [priority] (default 0) runs first; equal
+    priorities run in submission order. If the queue is at its bound
+    the calling thread first helps run queued tasks (backpressure).
+    Tasks must not themselves call {!submit} or {!await} on the same
+    pool.
     @raise Invalid_argument if the pool was shut down. *)
+
+val submit_group : ?priority:int -> t -> (unit -> 'a) list -> 'a future list
+(** Enqueue a list of tasks as ONE queue entry: the group occupies a
+    single slot and its members run sequentially, in list order, on
+    whichever consumer dequeues it — amortizing per-task submission
+    and dispatch overhead for many tiny tasks. Each member still gets
+    its own future, and a member's exception is confined to its own
+    future (later members still run). *)
 
 val await : t -> 'a future -> 'a
 (** Block until the task finished, running other queued tasks of the
@@ -59,5 +87,10 @@ val shutdown : t -> unit
     are discarded. *)
 
 val with_pool :
-  ?obs:Mpl_obs.Obs.t -> ?fault:Fault.t -> jobs:int -> (t -> 'a) -> 'a
+  ?obs:Mpl_obs.Obs.t ->
+  ?fault:Fault.t ->
+  ?bound:int ->
+  jobs:int ->
+  (t -> 'a) ->
+  'a
 (** [create], run, then [shutdown] (also on exception). *)

@@ -1,77 +1,166 @@
-type entry = { id : int; box : Rect.t }
+module Intbuf = Mpl_util.Intbuf
+
+(* Flat uniform grid. Entries live in parallel coordinate buffers; the
+   first query compiles a CSR bucket table (cell -> entry slots) and a
+   per-entry stamp array. Queries then dedup candidates by bumping a
+   global epoch and stamping visited slots — no per-call Hashtbl, no
+   per-candidate allocation. Adding after a freeze just marks the table
+   stale; the next query rebuilds it. *)
 
 type t = {
   cell : int;
-  buckets : (int * int, entry list ref) Hashtbl.t;
-  mutable entries : entry list;
+  ids : Intbuf.t; (* slot -> caller id *)
+  bx0 : Intbuf.t;
+  by0 : Intbuf.t;
+  bx1 : Intbuf.t;
+  by1 : Intbuf.t;
+  cellmap : (int, int) Hashtbl.t; (* packed cell -> bucket index *)
+  mutable bucket_off : int array; (* bucket -> first slot in items *)
+  mutable bucket_items : int array; (* entry slots, grouped by bucket *)
+  mutable stamp : int array; (* slot -> epoch of last visit *)
+  mutable epoch : int;
+  mutable frozen : int; (* entry count covered by the bucket table *)
 }
 
 let create ~cell =
   if cell <= 0 then invalid_arg "Grid_index.create: cell must be positive";
-  { cell; buckets = Hashtbl.create 1024; entries = [] }
+  {
+    cell;
+    ids = Intbuf.create ();
+    bx0 = Intbuf.create ();
+    by0 = Intbuf.create ();
+    bx1 = Intbuf.create ();
+    by1 = Intbuf.create ();
+    cellmap = Hashtbl.create 1024;
+    bucket_off = [| 0 |];
+    bucket_items = [||];
+    stamp = [||];
+    epoch = 0;
+    frozen = 0;
+  }
 
-let cell_range t lo hi =
-  let a = if lo >= 0 then lo / t.cell else (lo - t.cell + 1) / t.cell in
-  let b = if hi >= 0 then hi / t.cell else (hi - t.cell + 1) / t.cell in
-  (a, b)
+(* Cells are packed into one int. Layout coordinates divided by the cell
+   size stay far below 2^29, so the packing is injective. *)
+let pack cx cy = (cx * 0x40000000) + cy
 
-let iter_cells t (r : Rect.t) f =
-  let cx0, cx1 = cell_range t r.Rect.x0 r.Rect.x1 in
-  let cy0, cy1 = cell_range t r.Rect.y0 r.Rect.y1 in
+let floor_div t c = if c >= 0 then c / t.cell else (c - t.cell + 1) / t.cell
+
+let add t id (box : Rect.t) =
+  Intbuf.push t.ids id;
+  Intbuf.push t.bx0 box.Rect.x0;
+  Intbuf.push t.by0 box.Rect.y0;
+  Intbuf.push t.bx1 box.Rect.x1;
+  Intbuf.push t.by1 box.Rect.y1;
+  t.frozen <- -1
+
+let freeze t =
+  let n = Intbuf.length t.ids in
+  if t.frozen <> n then begin
+    Hashtbl.reset t.cellmap;
+    (* Pass 1: assign bucket indices and count coverage per bucket,
+       streaming (bucket, slot) incidences into a scratch buffer. *)
+    let counts = Intbuf.create () in
+    let inc_b = Intbuf.create () in
+    let inc_e = Intbuf.create () in
+    for e = 0 to n - 1 do
+      let cx0 = floor_div t (Intbuf.unsafe_get t.bx0 e)
+      and cx1 = floor_div t (Intbuf.unsafe_get t.bx1 e)
+      and cy0 = floor_div t (Intbuf.unsafe_get t.by0 e)
+      and cy1 = floor_div t (Intbuf.unsafe_get t.by1 e) in
+      for cx = cx0 to cx1 do
+        for cy = cy0 to cy1 do
+          let key = pack cx cy in
+          let b =
+            match Hashtbl.find_opt t.cellmap key with
+            | Some b -> b
+            | None ->
+              let b = Intbuf.length counts in
+              Hashtbl.add t.cellmap key b;
+              Intbuf.push counts 0;
+              b
+          in
+          Intbuf.set counts b (Intbuf.get counts b + 1);
+          Intbuf.push inc_b b;
+          Intbuf.push inc_e e
+        done
+      done
+    done;
+    (* Pass 2: prefix sums, then scatter slots into the CSR table. *)
+    let nb = Intbuf.length counts in
+    let off = Array.make (nb + 1) 0 in
+    for b = 0 to nb - 1 do
+      off.(b + 1) <- off.(b) + Intbuf.get counts b
+    done;
+    let items = Array.make off.(nb) 0 in
+    let cursor = Array.copy off in
+    for i = 0 to Intbuf.length inc_b - 1 do
+      let b = Intbuf.unsafe_get inc_b i in
+      items.(cursor.(b)) <- Intbuf.unsafe_get inc_e i;
+      cursor.(b) <- cursor.(b) + 1
+    done;
+    t.bucket_off <- off;
+    t.bucket_items <- items;
+    t.stamp <- Array.make n 0;
+    t.epoch <- 0;
+    t.frozen <- n
+  end
+
+(* Visit every entry slot bucketed under a cell of the (already grown)
+   box exactly once, using the epoch stamps for dedup. *)
+let visit_region t ~gx0 ~gy0 ~gx1 ~gy1 f =
+  freeze t;
+  t.epoch <- t.epoch + 1;
+  let epoch = t.epoch in
+  let stamp = t.stamp in
+  let cx0 = floor_div t gx0
+  and cx1 = floor_div t gx1
+  and cy0 = floor_div t gy0
+  and cy1 = floor_div t gy1 in
   for cx = cx0 to cx1 do
     for cy = cy0 to cy1 do
-      f (cx, cy)
+      match Hashtbl.find_opt t.cellmap (pack cx cy) with
+      | None -> ()
+      | Some b ->
+        for s = t.bucket_off.(b) to t.bucket_off.(b + 1) - 1 do
+          let e = Array.unsafe_get t.bucket_items s in
+          if Array.unsafe_get stamp e <> epoch then begin
+            Array.unsafe_set stamp e epoch;
+            f e
+          end
+        done
     done
   done
 
-let add t id box =
-  let e = { id; box } in
-  t.entries <- e :: t.entries;
-  let record key =
-    match Hashtbl.find_opt t.buckets key with
-    | Some l -> l := e :: !l
-    | None -> Hashtbl.add t.buckets key (ref [ e ])
-  in
-  iter_cells t box record
+(* Closed-interval touch test against the grown box, on raw coords. *)
+let touches t e ~gx0 ~gy0 ~gx1 ~gy1 =
+  gx0 <= Intbuf.unsafe_get t.bx1 e
+  && Intbuf.unsafe_get t.bx0 e <= gx1
+  && gy0 <= Intbuf.unsafe_get t.by1 e
+  && Intbuf.unsafe_get t.by0 e <= gy1
 
-let query t r ~radius =
-  let grown = Rect.inflate r radius in
-  let seen = Hashtbl.create 16 in
+let query t (r : Rect.t) ~radius =
+  let gx0 = r.Rect.x0 - radius
+  and gy0 = r.Rect.y0 - radius
+  and gx1 = r.Rect.x1 + radius
+  and gy1 = r.Rect.y1 + radius in
   let out = ref [] in
-  let visit key =
-    match Hashtbl.find_opt t.buckets key with
-    | None -> ()
-    | Some l ->
-      List.iter
-        (fun e ->
-          if not (Hashtbl.mem seen e.id) then begin
-            Hashtbl.add seen e.id ();
-            if Rect.touches grown e.box then out := e.id :: !out
-          end)
-        !l
-  in
-  iter_cells t grown visit;
+  visit_region t ~gx0 ~gy0 ~gx1 ~gy1 (fun e ->
+      if touches t e ~gx0 ~gy0 ~gx1 ~gy1 then
+        out := Intbuf.unsafe_get t.ids e :: !out);
   !out
 
 let iter_pairs t ~radius f =
-  let entries = Array.of_list t.entries in
-  (* Visit each entry once; query the grid for candidate partners and
+  freeze t;
+  let n = Intbuf.length t.ids in
+  (* Visit each entry once; sweep the grid for candidate partners and
      report the pair only from the lower id so it fires exactly once. *)
-  Array.iter
-    (fun e ->
-      let grown = Rect.inflate e.box radius in
-      let seen = Hashtbl.create 16 in
-      let visit key =
-        match Hashtbl.find_opt t.buckets key with
-        | None -> ()
-        | Some l ->
-          List.iter
-            (fun e' ->
-              if e'.id > e.id && not (Hashtbl.mem seen e'.id) then begin
-                Hashtbl.add seen e'.id ();
-                if Rect.touches grown e'.box then f e.id e'.id
-              end)
-            !l
-      in
-      iter_cells t grown visit)
-    entries
+  for e = 0 to n - 1 do
+    let id = Intbuf.unsafe_get t.ids e in
+    let gx0 = Intbuf.unsafe_get t.bx0 e - radius
+    and gy0 = Intbuf.unsafe_get t.by0 e - radius
+    and gx1 = Intbuf.unsafe_get t.bx1 e + radius
+    and gy1 = Intbuf.unsafe_get t.by1 e + radius in
+    visit_region t ~gx0 ~gy0 ~gx1 ~gy1 (fun e' ->
+        let id' = Intbuf.unsafe_get t.ids e' in
+        if id' > id && touches t e' ~gx0 ~gy0 ~gx1 ~gy1 then f id id')
+  done

@@ -1,6 +1,8 @@
 (* Iterative Hopcroft-Tarjan DFS. An explicit stack of (vertex, parent,
    neighbor cursor) frames avoids native stack overflow on path-like
-   layout graphs with tens of thousands of vertices.
+   layout graphs with tens of thousands of vertices. Cursors index
+   straight into the graph's CSR neighbor array, so the walk allocates
+   only the frames themselves.
 
    Invariant: tree and back edges are pushed on [edge_stack] in DFS
    order. When a child v of u finishes with low(v) >= disc(u), every
@@ -10,10 +12,17 @@
    component, every root child closes a block, and the edge stack is
    empty between components. *)
 
-type frame = { v : int; parent : int; mutable rest : int list; mutable children : int }
+type frame = {
+  v : int;
+  parent : int;
+  mutable cur : int; (* next slot in [nbr] to examine *)
+  stop : int; (* end of [v]'s neighbor run *)
+  mutable children : int;
+}
 
 let run g ~on_block =
   let n = Ugraph.n g in
+  let off, nbr = Ugraph.csr g in
   let disc = Array.make n (-1) in
   let low = Array.make n 0 in
   let timer = ref 0 in
@@ -34,24 +43,31 @@ let run g ~on_block =
   in
   for root = 0 to n - 1 do
     if disc.(root) < 0 then begin
-      if Ugraph.degree g root = 0 then on_block []
+      if off.(root + 1) = off.(root) then on_block []
       else begin
         disc.(root) <- !timer;
         low.(root) <- !timer;
         incr timer;
         let stack =
-          ref [ { v = root; parent = -1; rest = Ugraph.neighbors g root; children = 0 } ]
+          ref
+            [
+              {
+                v = root;
+                parent = -1;
+                cur = off.(root);
+                stop = off.(root + 1);
+                children = 0;
+              };
+            ]
         in
         let rec step () =
           match !stack with
           | [] -> ()
-          | frame :: tail -> begin
-            match frame.rest with
-            | [] ->
+          | frame :: tail ->
+            if frame.cur >= frame.stop then begin
               stack := tail;
               (match tail with
-              | [] ->
-                if frame.children >= 2 then is_art.(frame.v) <- true
+              | [] -> if frame.children >= 2 then is_art.(frame.v) <- true
               | pframe :: _ ->
                 if low.(frame.v) < low.(pframe.v) then
                   low.(pframe.v) <- low.(frame.v);
@@ -60,8 +76,10 @@ let run g ~on_block =
                   pop_block pframe.v frame.v
                 end);
               step ()
-            | w :: rest ->
-              frame.rest <- rest;
+            end
+            else begin
+              let w = nbr.(frame.cur) in
+              frame.cur <- frame.cur + 1;
               if w <> frame.parent then begin
                 if disc.(w) < 0 then begin
                   frame.children <- frame.children + 1;
@@ -70,7 +88,13 @@ let run g ~on_block =
                   low.(w) <- !timer;
                   incr timer;
                   stack :=
-                    { v = w; parent = frame.v; rest = Ugraph.neighbors g w; children = 0 }
+                    {
+                      v = w;
+                      parent = frame.v;
+                      cur = off.(w);
+                      stop = off.(w + 1);
+                      children = 0;
+                    }
                     :: !stack
                 end
                 else if disc.(w) < disc.(frame.v) then begin
@@ -79,7 +103,7 @@ let run g ~on_block =
                 end
               end;
               step ()
-          end
+            end
         in
         step ()
       end

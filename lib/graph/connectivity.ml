@@ -9,13 +9,11 @@ let labels g =
       Queue.add s queue;
       while not (Queue.is_empty queue) do
         let u = Queue.pop queue in
-        List.iter
-          (fun v ->
+        Ugraph.iter_neighbors g u (fun v ->
             if lbl.(v) < 0 then begin
               lbl.(v) <- !k;
               Queue.add v queue
             end)
-          (Ugraph.neighbors g u)
       done;
       incr k
     end
@@ -45,13 +43,11 @@ let component_of g s =
   while not (Queue.is_empty queue) do
     let u = Queue.pop queue in
     acc := u :: !acc;
-    List.iter
-      (fun v ->
+    Ugraph.iter_neighbors g u (fun v ->
         if not seen.(v) then begin
           seen.(v) <- true;
           Queue.add v queue
         end)
-      (Ugraph.neighbors g u)
   done;
   let a = Array.of_list !acc in
   Array.sort compare a;

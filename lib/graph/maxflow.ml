@@ -59,7 +59,13 @@ let add_edge t u v ~cap =
 
 let of_ugraph g =
   let t = create (Ugraph.n g) in
-  List.iter (fun (u, v) -> add_edge t u v ~cap:1) (Ugraph.edges g);
+  let off, nbr = Ugraph.csr g in
+  for u = 0 to Ugraph.n g - 1 do
+    for s = off.(u) to off.(u + 1) - 1 do
+      let v = Array.unsafe_get nbr s in
+      if u < v then add_edge t u v ~cap:1
+    done
+  done;
   t
 
 let reset t = Array.blit t.cap0 0 t.cap 0 t.arcs

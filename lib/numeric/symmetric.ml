@@ -71,11 +71,19 @@ let project_psd m =
       for i = 0 to n - 1 do
         let vie = v.(i).(e) *. we in
         if vie <> 0. then
-          for j = 0 to n - 1 do
+          for j = i to n - 1 do
             out.(i).(j) <- out.(i).(j) +. (vie *. v.(j).(e))
           done
       done
     end
+  done;
+  (* Mirror the upper triangle so the projection is exactly symmetric
+     bit-for-bit: fl((a*w)*b) and fl((b*w)*a) can disagree in the last
+     ulp, and downstream kernels rely on exact symmetry. *)
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      out.(j).(i) <- out.(i).(j)
+    done
   done;
   out
 
@@ -103,8 +111,16 @@ let fget = FA.unsafe_get
 let fset = FA.unsafe_set
 
 (* Diagonalize [a] (n x n row-major, destroyed) in place; eigenvectors
-   land in the COLUMNS of [v] (v.{i*n+e} is component i of eigenvector
-   e), eigenvalues in [w]. *)
+   land in the ROWS of [v] (v.{e*n+i} is component i of eigenvector e),
+   eigenvalues in [w]. Only the upper triangle of [a] is read or
+   written — callers must pass an exactly symmetric matrix (the
+   projection pipeline guarantees this by mirroring its outputs).
+   Under that precondition the eigenpairs are bit-identical to [eigh]:
+   every float operation consumes the same values in the same order,
+   the dense kernel merely reads some of them from the mirror cell.
+   Row-stored eigenvectors keep the per-rotation update on two
+   contiguous rows; upper-triangle updates halve the A-matrix
+   stores. *)
 let eigh_flat ~n ~a ~v ~w =
   for i = 0 to (n * n) - 1 do
     fset v i 0.
@@ -115,43 +131,60 @@ let eigh_flat ~n ~a ~v ~w =
   let off () =
     let s = ref 0. in
     for p = 0 to n - 1 do
+      let rp = p * n in
       for q = p + 1 to n - 1 do
-        let apq = fget a ((p * n) + q) in
+        let apq = fget a (rp + q) in
         s := !s +. (apq *. apq)
       done
     done;
     !s
   in
   let rotate p q =
-    let apq = fget a ((p * n) + q) in
+    let rp = p * n and rq = q * n in
+    let apq = fget a (rp + q) in
     if abs_float apq > 1e-13 then begin
-      let tau = (fget a ((q * n) + q) -. fget a ((p * n) + p)) /. (2. *. apq) in
+      let tau = (fget a (rq + q) -. fget a (rp + p)) /. (2. *. apq) in
       let t =
         let s = if tau >= 0. then 1. else -1. in
         s /. (abs_float tau +. sqrt (1. +. (tau *. tau)))
       in
       let c = 1. /. sqrt (1. +. (t *. t)) in
       let s = t *. c in
-      for i = 0 to n - 1 do
-        if i <> p && i <> q then begin
-          let aip = fget a ((i * n) + p) and aiq = fget a ((i * n) + q) in
-          let nip = (c *. aip) -. (s *. aiq) in
-          fset a ((i * n) + p) nip;
-          fset a ((p * n) + i) nip;
-          let niq = (s *. aip) +. (c *. aiq) in
-          fset a ((i * n) + q) niq;
-          fset a ((q * n) + i) niq
-        end
+      (* Upper triangle only: the pair {i,p} lives at cell
+         (min, max), so the i <> p, q sweep splits into three
+         branch-free ranges — strided column walks above p, then
+         progressively contiguous row segments. Half the stores of the
+         mirrored dense update; the lower triangle is never read. *)
+      let ip = ref p and iq = ref q in
+      for _ = 0 to p - 1 do
+        let aip = fget a !ip and aiq = fget a !iq in
+        fset a !ip ((c *. aip) -. (s *. aiq));
+        fset a !iq ((s *. aip) +. (c *. aiq));
+        ip := !ip + n;
+        iq := !iq + n
       done;
-      let app = fget a ((p * n) + p) and aqq = fget a ((q * n) + q) in
-      fset a ((p * n) + p) (app -. (t *. apq));
-      fset a ((q * n) + q) (aqq +. (t *. apq));
-      fset a ((p * n) + q) 0.;
-      fset a ((q * n) + p) 0.;
+      let iq = ref (((p + 1) * n) + q) in
+      for i = p + 1 to q - 1 do
+        let aip = fget a (rp + i) and aiq = fget a !iq in
+        fset a (rp + i) ((c *. aip) -. (s *. aiq));
+        fset a !iq ((s *. aip) +. (c *. aiq));
+        iq := !iq + n
+      done;
+      for i = q + 1 to n - 1 do
+        let aip = fget a (rp + i) and aiq = fget a (rq + i) in
+        fset a (rp + i) ((c *. aip) -. (s *. aiq));
+        fset a (rq + i) ((s *. aip) +. (c *. aiq))
+      done;
+      let app = fget a (rp + p) and aqq = fget a (rq + q) in
+      fset a (rp + p) (app -. (t *. apq));
+      fset a (rq + q) (aqq +. (t *. apq));
+      fset a (rp + q) 0.;
+      (* Eigenvector update: rows p and q of the transposed store,
+         both contiguous. *)
       for i = 0 to n - 1 do
-        let vip = fget v ((i * n) + p) and viq = fget v ((i * n) + q) in
-        fset v ((i * n) + p) ((c *. vip) -. (s *. viq));
-        fset v ((i * n) + q) ((s *. vip) +. (c *. viq))
+        let vip = fget v (rp + i) and viq = fget v (rq + i) in
+        fset v (rp + i) ((c *. vip) -. (s *. viq));
+        fset v (rq + i) ((s *. vip) +. (c *. viq))
       done
     end
   in
@@ -180,15 +213,30 @@ let project_psd_flat ~n ~src ~work ~v ~w ~dst =
   for i = 0 to (n * n) - 1 do
     fset dst i 0.
   done;
+  (* Rank-one accumulation over positive eigenvalues, upper triangle
+     only; with eigenvectors stored as rows the inner loop streams row
+     e of [v] and row i of [dst], both contiguous. The mirror pass
+     makes [dst] exactly symmetric bit-for-bit — fl((a*w)*b) and
+     fl((b*w)*a) can disagree in the last ulp — which is what lets
+     [eigh_flat] ignore the lower triangle. *)
   for e = 0 to n - 1 do
     let we = fget w e in
-    if we > 0. then
+    if we > 0. then begin
+      let re = e * n in
       for i = 0 to n - 1 do
-        let vie = fget v ((i * n) + e) *. we in
-        if vie <> 0. then
-          for j = 0 to n - 1 do
-            fset dst ((i * n) + j)
-              (fget dst ((i * n) + j) +. (vie *. fget v ((j * n) + e)))
+        let vie = fget v (re + i) *. we in
+        if vie <> 0. then begin
+          let ri = i * n in
+          for j = i to n - 1 do
+            fset dst (ri + j) (fget dst (ri + j) +. (vie *. fget v (re + j)))
           done
+        end
       done
+    end
+  done;
+  for i = 0 to n - 1 do
+    let ri = i * n in
+    for j = i + 1 to n - 1 do
+      fset dst ((j * n) + i) (fget dst (ri + j))
+    done
   done

@@ -29,9 +29,13 @@ val frobenius_distance : float array array -> float array array -> float
 
 val eigh_flat : n:int -> a:floatarray -> v:floatarray -> w:floatarray -> unit
 (** Flat in-place Jacobi: diagonalizes [a] (n x n row-major, destroyed),
-    writes the orthonormal eigenvectors into the columns of [v]
-    ([v.{i*n+e}] is component i of eigenvector e) and the eigenvalues
-    into [w] (length n). Bit-identical to {!eigh}. *)
+    writes the orthonormal eigenvectors into the ROWS of [v]
+    ([v.{e*n+i}] is component i of eigenvector e — transposed relative
+    to {!eigh}, so the hot update touches contiguous rows) and the
+    eigenvalues into [w] (length n). [a] must be exactly symmetric:
+    only its upper triangle is read or written (half the stores of the
+    mirrored dense update). Under that precondition the eigenpairs are
+    bit-identical to {!eigh}; only the storage layout differs. *)
 
 val project_psd_flat :
   n:int ->
@@ -42,6 +46,8 @@ val project_psd_flat :
   dst:floatarray ->
   unit
 (** [dst <- ] nearest-PSD projection of [src] (both n x n row-major).
-    [work] is clobbered (the Jacobi working copy); [v] and [w] receive
-    the eigendecomposition. [dst] must not alias [src] or [work].
-    Bit-identical to {!project_psd}. *)
+    [src] must be exactly symmetric; [dst] is exactly symmetric
+    bit-for-bit (upper triangle accumulated, lower mirrored — exactly
+    as {!project_psd} does). [work] is clobbered (the Jacobi working
+    copy); [v] and [w] receive the eigendecomposition. [dst] must not
+    alias [src] or [work]. Bit-identical to {!project_psd}. *)

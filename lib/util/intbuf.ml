@@ -1,0 +1,38 @@
+type t = { mutable data : int array; mutable len : int }
+
+let create ?(capacity = 16) () =
+  let capacity = if capacity < 1 then 1 else capacity in
+  { data = Array.make capacity 0; len = 0 }
+
+let length t = t.len
+
+let clear t = t.len <- 0
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Intbuf.get: index out of bounds";
+  t.data.(i)
+
+let unsafe_get t i = Array.unsafe_get t.data i
+
+let set t i x =
+  if i < 0 || i >= t.len then invalid_arg "Intbuf.set: index out of bounds";
+  t.data.(i) <- x
+
+let push t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let data' = Array.make (cap * 2) 0 in
+    Array.blit t.data 0 data' 0 cap;
+    t.data <- data'
+  end;
+  Array.unsafe_set t.data t.len x;
+  t.len <- t.len + 1
+
+let data t = t.data
+
+let to_array t = Array.sub t.data 0 t.len
+
+let iter t f =
+  for i = 0 to t.len - 1 do
+    f (Array.unsafe_get t.data i)
+  done

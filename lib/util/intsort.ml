@@ -1,0 +1,39 @@
+(* In-place quicksort on a subrange of an int array; insertion sort
+   below a small cutoff. CSR neighbor runs are short, so the cutoff
+   path dominates in practice. *)
+let rec sort_range a lo hi =
+  if hi - lo <= 12 then
+    for i = lo + 1 to hi - 1 do
+      let x = a.(i) in
+      let j = ref (i - 1) in
+      while !j >= lo && a.(!j) > x do
+        a.(!j + 1) <- a.(!j);
+        decr j
+      done;
+      a.(!j + 1) <- x
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let pivot = a.(mid) in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while a.(!i) < pivot do incr i done;
+      while a.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        let tmp = a.(!i) in
+        a.(!i) <- a.(!j);
+        a.(!j) <- tmp;
+        incr i;
+        decr j
+      end
+    done;
+    sort_range a lo (!j + 1);
+    sort_range a !i hi
+  end
+
+let is_sorted_range a lo hi =
+  let ok = ref true in
+  for s = lo + 1 to hi - 1 do
+    if a.(s - 1) > a.(s) then ok := false
+  done;
+  !ok

@@ -1,0 +1,9 @@
+(** Allocation-free sorting of int-array subranges, for keeping CSR
+    neighbor runs in ascending order. *)
+
+val sort_range : int array -> int -> int -> unit
+(** [sort_range a lo hi] sorts [a.(lo) .. a.(hi - 1)] ascending in
+    place. *)
+
+val is_sorted_range : int array -> int -> int -> bool
+(** Whether [a.(lo) .. a.(hi - 1)] is already ascending. *)

@@ -100,6 +100,87 @@ let test_permutation_invariance () =
   Alcotest.(check int) "conflicts invariant" c1.C.conflicts c2.C.conflicts;
   Alcotest.(check int) "stitches invariant" c1.C.stitches c2.C.stitches
 
+(* The CSR adjacency must agree, relation by relation, with a naive
+   list-of-neighbors model built from the same (deduplicated) edge
+   list: identical degrees, identical sorted neighbor runs, and the
+   same answers under [has_conflict] and [subgraph]. *)
+let prop_csr_matches_list_adjacency =
+  QCheck.Test.make ~name:"CSR adjacency = naive list adjacency" ~count:300
+    dg_arb
+    (fun ((n, ce, se) as inst) ->
+      let g = build inst in
+      let naive edges =
+        let adj = Array.make n [] in
+        let seen = Hashtbl.create 16 in
+        List.iter
+          (fun (u, v) ->
+            let key = (min u v, max u v) in
+            if not (Hashtbl.mem seen key) then begin
+              Hashtbl.replace seen key ();
+              adj.(u) <- v :: adj.(u);
+              adj.(v) <- u :: adj.(v)
+            end)
+          edges;
+        Array.map (fun l -> List.sort_uniq compare l) adj
+      in
+      let run adj v =
+        let out = ref [] in
+        G.iter adj v (fun w -> out := w :: !out);
+        List.rev !out
+      in
+      let matches (adj : G.adj) reference =
+        List.for_all
+          (fun v ->
+            G.deg adj v = List.length reference.(v)
+            && run adj v = reference.(v))
+          (List.init n Fun.id)
+      in
+      let cref = naive ce and sref = naive se in
+      matches g.G.conflict cref
+      && matches g.G.stitch sref
+      && List.for_all
+           (fun u ->
+             List.for_all
+               (fun v -> G.has_conflict g u v = List.mem v cref.(u))
+               (List.init n Fun.id))
+           (List.init n Fun.id)
+      &&
+      (* Induced subgraph on the even vertices: CSR restriction must
+         equal the naive adjacency of the filtered edge lists. *)
+      let vs = Array.of_list (List.filter (fun v -> v mod 2 = 0) (List.init n Fun.id)) in
+      let m = Array.length vs in
+      if m = 0 then true
+      else begin
+        let fwd = Array.make n (-1) in
+        Array.iteri (fun i v -> fwd.(v) <- i) vs;
+        let restrict edges =
+          List.filter_map
+            (fun (u, v) ->
+              if fwd.(u) >= 0 && fwd.(v) >= 0 then Some (fwd.(u), fwd.(v))
+              else None)
+            edges
+        in
+        let sub, back = G.subgraph g vs in
+        let nsub edges =
+          let a = Array.make m [] in
+          List.iter
+            (fun (u, v) ->
+              a.(u) <- v :: a.(u);
+              a.(v) <- u :: a.(v))
+            edges;
+          Array.map (fun l -> List.sort_uniq compare l) a
+        in
+        back = vs
+        && (let cr = nsub (restrict (G.conflict_edges g)) in
+            List.for_all
+              (fun v -> run sub.G.conflict v = cr.(v))
+              (List.init m Fun.id))
+        && (let sr = nsub (restrict (G.stitch_edges g)) in
+            List.for_all
+              (fun v -> run sub.G.stitch v = sr.(v))
+              (List.init m Fun.id))
+      end)
+
 (* Conflict-only optimality: every solver path must match the oracle. *)
 let conflict_optimum (n, ce) =
   Mpl_graph.Oracle.chromatic_cost (Mpl_graph.Ugraph.of_edges n ce) ~k:4
@@ -345,6 +426,7 @@ let suite =
     Alcotest.test_case "coloring cost" `Quick test_coloring_cost;
     Alcotest.test_case "permutation invariance" `Quick
       test_permutation_invariance;
+    QCheck_alcotest.to_alcotest prop_csr_matches_list_adjacency;
     QCheck_alcotest.to_alcotest prop_exact_matches_oracle;
     QCheck_alcotest.to_alcotest prop_ilp_matches_exact;
     QCheck_alcotest.to_alcotest prop_sdp_backtrack_near_optimal;

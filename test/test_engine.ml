@@ -72,6 +72,56 @@ let test_pool_reuse_after_await () =
           futs
       done)
 
+let test_pool_priority () =
+  (* At jobs=1 nothing runs until the caller helps in [await], so the
+     whole queue is visible when execution starts: tasks must run in
+     (priority desc, submission order) heap order. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let ran = ref [] in
+      let task tag () = ran := tag :: !ran in
+      let futs =
+        List.map
+          (fun (prio, tag) -> Pool.submit ~priority:prio pool (task tag))
+          [ (0, "a0"); (5, "b5"); (1, "c1"); (5, "d5"); (9, "e9") ]
+      in
+      List.iter (fun f -> Pool.await pool f) futs;
+      Alcotest.(check (list string))
+        "priority desc, FIFO among equals"
+        [ "e9"; "b5"; "d5"; "c1"; "a0" ]
+        (List.rev !ran))
+
+let test_pool_bounded_backpressure () =
+  (* A bound smaller than the burst: submission must make progress by
+     helping (never deadlock, even at jobs=1) and every future must
+     still resolve to its own result. *)
+  Pool.with_pool ~jobs:1 ~bound:4 (fun pool ->
+      let futs = List.init 32 (fun i -> Pool.submit pool (fun () -> i * 3)) in
+      List.iteri
+        (fun i fut ->
+          Alcotest.(check int) "bounded round-trip" (i * 3) (Pool.await pool fut))
+        futs)
+
+let test_pool_group () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      (* Members run sequentially in list order and each gets its own
+         future; one member's failure never poisons its siblings. *)
+      let ran = ref [] in
+      let member i () =
+        ran := i :: !ran;
+        if i = 2 then raise (Boom i) else i * 10
+      in
+      let futs = Pool.submit_group pool (List.init 5 member) in
+      Alcotest.(check int) "five futures" 5 (List.length futs);
+      List.iteri
+        (fun i fut ->
+          match Pool.try_await pool fut with
+          | Ok v -> Alcotest.(check int) "member result" (i * 10) v
+          | Error (Boom 2, _) when i = 2 -> ()
+          | Error (e, _) -> raise e)
+        futs;
+      Alcotest.(check (list int)) "members ran in list order" [ 0; 1; 2; 3; 4 ]
+        (List.rev !ran))
+
 let test_pool_invalid () =
   Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Pool.create: jobs < 1")
     (fun () -> ignore (Pool.create ~jobs:0 ()));
@@ -344,6 +394,46 @@ let test_cache_corrupt_dropped () =
   | None -> Alcotest.fail "expected hit after clean store"
 
 (* ------------------------------------------------------------------ *)
+(* Phase breakdown *)
+
+let test_phases_report () =
+  (* Dense-enough layout that solving does real work on both paths. *)
+  let spec =
+    {
+      Mpl_layout.Benchgen.name = "phases";
+      seed = 11;
+      rows = 2;
+      cells_per_row = 6;
+      density = 0.5;
+      wire_fraction = 0.4;
+      sparse_gap_prob = 0.7;
+      native_five = 1;
+      native_six = 0;
+      hard_blocks = 0;
+      stitch_gadgets = 1;
+      penta_six = 0;
+    }
+  in
+  let layout = Mpl_layout.Benchgen.generate spec in
+  let g = G.of_layout layout ~min_s:80 in
+  let run jobs =
+    let params = { D.default_params with D.jobs; solver_budget_s = 0. } in
+    D.assign ~params D.Sdp_backtrack g
+  in
+  let seq = run 1 and par = run 2 in
+  let sane p =
+    p.D.division_s >= 0. && p.D.solve_s >= 0. && p.D.merge_s >= 0.
+  in
+  Alcotest.(check bool) "sequential phases sane" true (sane seq.D.phases);
+  Alcotest.(check bool) "sequential path has no merge phase" true
+    (seq.D.phases.D.merge_s = 0.);
+  Alcotest.(check bool) "streamed phases sane" true (sane par.D.phases);
+  Alcotest.(check bool) "streamed run solved something" true
+    (par.D.phases.D.solve_s > 0.);
+  Alcotest.(check (array int)) "same coloring both paths" seq.D.colors
+    par.D.colors
+
+(* ------------------------------------------------------------------ *)
 (* Shared atomic budget *)
 
 let test_budget_atomic () =
@@ -464,7 +554,12 @@ let suite =
     Alcotest.test_case "pool: try_await isolates failures" `Quick
       test_pool_try_await;
     Alcotest.test_case "pool: reuse across rounds" `Quick test_pool_reuse_after_await;
+    Alcotest.test_case "pool: priority ordering" `Quick test_pool_priority;
+    Alcotest.test_case "pool: bounded queue backpressure" `Quick
+      test_pool_bounded_backpressure;
+    Alcotest.test_case "pool: task groups" `Quick test_pool_group;
     Alcotest.test_case "pool: argument validation" `Quick test_pool_invalid;
+    Alcotest.test_case "decomposer: phase breakdown" `Quick test_phases_report;
     Alcotest.test_case "cache: permuted hit" `Quick test_cache_permuted_hit;
     Alcotest.test_case "cache: inequivalent miss" `Quick test_cache_inequivalent_miss;
     Alcotest.test_case "cache: exact labeling policy" `Quick

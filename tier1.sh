@@ -16,6 +16,22 @@ dune exec bin/mpld.exe -- decompose C880 -a linear -j 2
 # structure, identical end-to-end colorings).
 dune exec bench/main.exe -- --kernels --check
 
+# Smoke: streamed-pipeline parity on a real S-circuit. jobs is a pure
+# performance knob: the streamed run (-j 2) must report the identical
+# cn#/st#/pieces line as the sequential reference (-j 1, cache off).
+seq_line=$(dune exec bin/mpld.exe -- decompose S15850 -a linear -j 1 --no-cache \
+  | grep "cn#")
+par_line=$(dune exec bin/mpld.exe -- decompose S15850 -a linear -j 2 --no-cache \
+  | grep "cn#")
+seq_sig=$(echo "$seq_line" | sed 's/CPU=[0-9.]*s//')
+par_sig=$(echo "$par_line" | sed 's/CPU=[0-9.]*s//')
+if [ "$seq_sig" != "$par_sig" ]; then
+  echo "tier1: streamed run diverged from sequential reference" >&2
+  echo "  -j 1: $seq_line" >&2
+  echo "  -j 2: $par_line" >&2
+  exit 1
+fi
+
 # Smoke: tracing + metrics emit parseable output covering the pipeline.
 trace=$(mktemp /tmp/mpld-trace.XXXXXX.json)
 dune exec bin/mpld.exe -- decompose C432 -a linear -j 2 \
