@@ -580,6 +580,7 @@ type parallel_row = {
   p_cn : int;
   p_st : int;
   p_cache_hits : int;
+  p_cache_bytes : int;  (* resident cache footprint after the run *)
   p_pieces : int;
   p_degraded : int;
   p_build_s : float;  (* graph construction (shared across settings) *)
@@ -596,12 +597,13 @@ let json_of_rows rows =
         (Printf.sprintf
            "    {\"circuit\": %S, \"algorithm\": %S, \"jobs\": %d, \"cache\": \
             %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \"cache_hits\": \
-            %d, \"pieces\": %d, \"degraded_pieces\": %d, \"phases\": \
-            {\"build_s\": %.6f, \"division_s\": %.6f, \"solve_s\": %.6f, \
-            \"merge_s\": %.6f}}"
+            %d, \"cache_bytes\": %d, \"pieces\": %d, \"degraded_pieces\": \
+            %d, \"phases\": {\"build_s\": %.6f, \"division_s\": %.6f, \
+            \"solve_s\": %.6f, \"merge_s\": %.6f}}"
            r.p_circuit r.p_algorithm r.p_jobs r.p_cache r.p_wall_s r.p_cn
-           r.p_st r.p_cache_hits r.p_pieces r.p_degraded r.p_build_s
-           r.p_phases.D.division_s r.p_phases.D.solve_s r.p_phases.D.merge_s))
+           r.p_st r.p_cache_hits r.p_cache_bytes r.p_pieces r.p_degraded
+           r.p_build_s r.p_phases.D.division_s r.p_phases.D.solve_s
+           r.p_phases.D.merge_s))
     rows;
   Buffer.add_string b "\n  ]";
   Buffer.contents b
@@ -627,8 +629,13 @@ let git_commit () =
    Schema v5: each result row gains a "phases" object breaking the wall
    down into graph construction ("build_s", shared across the circuit's
    settings), structural division, leaf solving (summed over domains, so
-   it can exceed "wall_s" when jobs > 1) and reassembly ("merge_s"). *)
-let results_schema_version = 5
+   it can exceed "wall_s" when jobs > 1) and reassembly ("merge_s").
+   Schema v6: "meta" gains the run "stamp" (fixed once at startup or via
+   --stamp, never read from the clock inside the benchmark loop), result
+   rows gain "cache_bytes" (resident piece-cache footprint after the
+   run) and the same document is also written to the history file
+   <commit>-<stamp>.json next to latest.json. *)
+let results_schema_version = 6
 
 let json_of_kernels rows =
   let b = Buffer.create 1024 in
@@ -645,19 +652,25 @@ let json_of_kernels rows =
   Buffer.add_string b "\n  ]";
   Buffer.contents b
 
-let write_results ?metrics ?kernels rows =
+(* The run stamp is fixed once, before any benchmark work starts (or
+   supplied via --stamp for reproducible filenames in CI); nothing on
+   the timed path ever consults the clock for naming. *)
+let run_stamp = ref ""
+
+let write_results ?metrics ?kernels ~stamp rows =
   let dir = "bench/results" in
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
   let path = Filename.concat dir "latest.json" in
+  let commit = git_commit () in
   let b = Buffer.create 8192 in
   Buffer.add_string b "{\n";
   Buffer.add_string b
     (Printf.sprintf "  \"schema_version\": %d,\n" results_schema_version);
   Buffer.add_string b
     (Printf.sprintf
-       "  \"meta\": {\"git_commit\": %S, \"cores\": %d, \"ocaml_version\": \
-        %S},\n"
-       (git_commit ())
+       "  \"meta\": {\"git_commit\": %S, \"stamp\": %S, \"cores\": %d, \
+        \"ocaml_version\": %S},\n"
+       commit stamp
        (Domain.recommended_domain_count ())
        Sys.ocaml_version);
   Buffer.add_string b "  \"results\": ";
@@ -674,11 +687,21 @@ let write_results ?metrics ?kernels rows =
     Buffer.add_string b
       (Mpl_obs.Json.to_string (Mpl_obs.Export.metrics_json snap)));
   Buffer.add_string b "\n}\n";
-  let oc = open_out path in
-  output_string oc (Buffer.contents b);
-  close_out oc;
-  Format.printf "wrote %s (%d records, schema v%d)@." path (List.length rows)
-    results_schema_version
+  let doc = Buffer.contents b in
+  let write p =
+    let oc = open_out p in
+    output_string oc doc;
+    close_out oc
+  in
+  write path;
+  (* Timestamped history copy next to latest.json, so successive runs
+     on the same checkout are comparable without external archiving. *)
+  let stamped =
+    Filename.concat dir (Printf.sprintf "%s-%s.json" commit stamp)
+  in
+  write stamped;
+  Format.printf "wrote %s and %s (%d records, schema v%d)@." path stamped
+    (List.length rows) results_schema_version
 
 let parallel () =
   Format.printf
@@ -770,6 +793,10 @@ let parallel () =
               p_cn = cn;
               p_st = st;
               p_cache_hits = hits;
+              p_cache_bytes =
+                (match r.D.cache with
+                | Some cs -> cs.Mpl_engine.Cache.resident_bytes
+                | None -> 0);
               p_pieces = pieces;
               p_degraded = r.D.resilience.D.degraded;
               p_build_s = build_s;
@@ -780,7 +807,8 @@ let parallel () =
     parallel_circuits;
   let kernels = kernel_rows () in
   print_kernel_rows kernels;
-  write_results ?metrics:!metrics_sample ~kernels (List.rev !rows)
+  write_results ?metrics:!metrics_sample ~kernels ~stamp:!run_stamp
+    (List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
@@ -833,10 +861,20 @@ let micro () =
     results
 
 let () =
+  (* Stamp the run up front, before any benchmark work: filenames must
+     never depend on clock reads taken mid-run. --stamp overrides. *)
+  (let tm = Unix.localtime (Unix.gettimeofday ()) in
+   run_stamp :=
+     Printf.sprintf "%04d%02d%02d-%02d%02d%02d" (tm.Unix.tm_year + 1900)
+       (tm.Unix.tm_mon + 1) tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min
+       tm.Unix.tm_sec);
   let args = Array.to_list Sys.argv in
   let rec parse = function
     | "--budget" :: v :: rest ->
       ilp_budget := float_of_string v;
+      parse rest
+    | "--stamp" :: v :: rest ->
+      run_stamp := v;
       parse rest
     | _ :: rest -> parse rest
     | [] -> ()

@@ -161,6 +161,18 @@ let balance_arg =
   let doc = "Rebalance mask densities (cost-free) after assignment." in
   Arg.(value & flag & info [ "balance" ] ~doc)
 
+let colors_arg =
+  let doc =
+    "Write the final coloring to $(docv), one color per line in vertex \
+     order (diffable against $(b,mpld client --colors))."
+  in
+  Arg.(value & opt (some string) None & info [ "colors" ] ~docv:"FILE" ~doc)
+
+let write_colors path colors =
+  let oc = open_out path in
+  Array.iter (fun c -> Printf.fprintf oc "%d\n" c) colors;
+  close_out oc
+
 let resolve_min_s ~k ~min_s =
   match min_s with
   | Some m -> m
@@ -171,7 +183,7 @@ let resolve_min_s ~k ~min_s =
 
 let decompose_cmd =
   let run source k min_s algo budget refine balance jobs no_cache
-      cache_permuted cache_warm inject trace metrics verbose =
+      cache_permuted cache_warm inject trace metrics verbose colors_out =
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
     (* -v needs span data even without a trace file. *)
@@ -209,6 +221,13 @@ let decompose_cmd =
            (Array.to_list
               (Array.map string_of_int
                  (Mpl.Balance.usage ~k report.Mpl.Decomposer.colors))));
+    (match colors_out with
+    | Some path ->
+      write_colors path report.Mpl.Decomposer.colors;
+      Format.eprintf "colors: wrote %d entries to %s@."
+        (Array.length report.Mpl.Decomposer.colors)
+        path
+    | None -> ());
     (match sink with
     | None -> ()
     | Some sink ->
@@ -232,7 +251,7 @@ let decompose_cmd =
       const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
       $ refine_arg $ balance_arg $ jobs_arg $ no_cache_arg
       $ cache_permuted_arg $ cache_warm_arg $ inject_arg $ trace_arg
-      $ metrics_arg $ verbose_arg)
+      $ metrics_arg $ verbose_arg $ colors_arg)
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
 
@@ -272,10 +291,13 @@ let stats_cmd =
     Format.printf "graph: %a (min_s=%d)@." Mpl.Decomp_graph.pp g min_s;
     Format.printf "components: %d (largest %d)@." (Array.length comps) largest;
     (* Division-stage counts come from a metrics-enabled dry run of the
-       full division pipeline under the cheap linear solver. *)
-    let params = { Mpl.Decomposer.default_params with k; metrics = true } in
+       full division pipeline under the cheap linear solver; the cache
+       is on so its memory footprint can be reported too. *)
+    let params =
+      { Mpl.Decomposer.default_params with k; metrics = true; cache = true }
+    in
     let r = Mpl.Decomposer.assign ~params Mpl.Decomposer.Linear g in
-    match r.Mpl.Decomposer.metrics with
+    (match r.Mpl.Decomposer.metrics with
     | None -> ()
     | Some snap ->
       let c name =
@@ -287,7 +309,15 @@ let stats_cmd =
         (c "division.pieces") (c "division.peeled")
         (c "division.bicon_splits") (c "division.gh_cuts")
         (c "division.maxflow_calls")
-        (c "division.bounded_exits")
+        (c "division.bounded_exits"));
+    match r.Mpl.Decomposer.cache with
+    | None -> ()
+    | Some cs ->
+      Format.printf
+        "cache: entries=%d bytes=%d hits=%d misses=%d evictions=%d@."
+        cs.Mpl_engine.Cache.entries cs.Mpl_engine.Cache.resident_bytes
+        cs.Mpl_engine.Cache.s_hits cs.Mpl_engine.Cache.s_misses
+        cs.Mpl_engine.Cache.s_evictions
   in
   let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg) in
   Cmd.v
@@ -448,6 +478,258 @@ let density_cmd =
     (Cmd.info "density" ~doc:"Per-mask pattern-density map of a decomposition")
     term
 
+(* ---- serving ---- *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "TCP port." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "TCP host/bind address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let serve_cmd =
+  let max_inflight_arg =
+    let doc =
+      "Maximum concurrently decomposing requests; excess requests get an \
+       immediate BUSY reply."
+    in
+    Arg.(value & opt int 4 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
+  let cache_budget_arg =
+    let doc =
+      "Byte budget of the shared piece cache (least-recently-used entries \
+       are evicted beyond it). Unlimited when omitted."
+    in
+    Arg.(value & opt (some int) None & info [ "cache-budget" ] ~docv:"BYTES" ~doc)
+  in
+  let persist_arg =
+    let doc =
+      "Persist the shared cache to $(docv): loaded on boot, saved on \
+       graceful shutdown (and periodically, see --persist-every)."
+    in
+    Arg.(value & opt (some string) None & info [ "persist" ] ~docv:"FILE" ~doc)
+  in
+  let persist_every_arg =
+    let doc = "Also save the cache every N served requests (0 = off)." in
+    Arg.(value & opt int 0 & info [ "persist-every" ] ~docv:"N" ~doc)
+  in
+  let run socket port host jobs max_inflight cache_budget cache_permuted
+      persist persist_every =
+    if socket = None && port = None then begin
+      Printf.eprintf "error: serve needs --socket PATH and/or --port PORT\n";
+      exit 2
+    end;
+    let log msg = Printf.eprintf "mpld-serve: %s\n%!" msg in
+    let config =
+      {
+        Mpl_server.Server.unix_socket = socket;
+        tcp_port = port;
+        tcp_host = host;
+        jobs;
+        max_inflight;
+        cache_budget;
+        cache_permuted;
+        persist;
+        persist_every;
+        log = Some log;
+      }
+    in
+    let srv = Mpl_server.Server.create config in
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let stop _ = Mpl_server.Server.request_stop srv in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle stop);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle stop);
+    Mpl_server.Server.run srv
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ port_arg $ host_arg $ jobs_arg
+      $ max_inflight_arg $ cache_budget_arg $ cache_permuted_arg
+      $ persist_arg $ persist_every_arg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the decomposition server: concurrent requests on a shared \
+          solver pool and a persistent shared piece cache")
+    term
+
+let client_cmd =
+  let layout_arg =
+    let doc =
+      "Layout file, or a benchmark circuit name generated on the fly. \
+       Omit for admin requests (--stats, --metrics, --ping, --quit)."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"LAYOUT" ~doc)
+  in
+  let priority_cl_arg =
+    let doc =
+      "Request priority: pieces of a higher-priority request are solved \
+       before any lower-priority request's on the shared pool."
+    in
+    Arg.(value & opt int 0 & info [ "priority" ] ~docv:"P" ~doc)
+  in
+  let stats_flag =
+    Arg.(value & flag & info [ "stats" ] ~doc:"Print the server STATS JSON.")
+  in
+  let metrics_flag =
+    Arg.(
+      value & flag & info [ "metrics" ] ~doc:"Print the server METRICS JSON.")
+  in
+  let ping_flag =
+    Arg.(value & flag & info [ "ping" ] ~doc:"Check server liveness.")
+  in
+  let quit_flag =
+    Arg.(
+      value & flag
+      & info [ "quit" ] ~doc:"Ask the server to shut down gracefully.")
+  in
+  let run socket host port layout k min_s algo priority no_cache permuted
+      inject colors_out do_stats do_metrics do_ping do_quit =
+    let conn =
+      match (socket, port) with
+      | Some path, _ -> (
+        try Mpl_server.Client.connect_unix path
+        with Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: connect %s: %s\n" path (Unix.error_message e);
+          exit 2)
+      | None, Some p -> (
+        try Mpl_server.Client.connect_tcp host p
+        with
+        | Unix.Unix_error (e, _, _) ->
+          Printf.eprintf "error: connect %s:%d: %s\n" host p
+            (Unix.error_message e);
+          exit 2
+        | Not_found ->
+          Printf.eprintf "error: connect %s:%d: host not found\n" host p;
+          exit 2)
+      | None, None ->
+        Printf.eprintf "error: client needs --socket PATH or --port PORT\n";
+        exit 2
+    in
+    Fun.protect
+      ~finally:(fun () -> Mpl_server.Client.close conn)
+      (fun () ->
+        let fail e =
+          Printf.eprintf "error: %s\n" (Mpl_server.Client.error_to_string e);
+          exit (match e with Mpl_server.Client.Busy _ -> 3 | _ -> 1)
+        in
+        if do_quit then Mpl_server.Client.quit conn
+        else if do_stats || do_metrics then begin
+          (if do_stats then
+             match Mpl_server.Client.stats conn with
+             | Ok json -> print_endline json
+             | Error e -> fail e);
+          if do_metrics then
+            match Mpl_server.Client.metrics conn with
+            | Ok json -> print_endline json
+            | Error e -> fail e
+        end
+        else if do_ping then
+          if Mpl_server.Client.ping conn then print_endline "PONG"
+          else begin
+            Printf.eprintf "error: no PONG\n";
+            exit 1
+          end
+        else
+          match layout with
+          | None ->
+            Printf.eprintf
+              "error: LAYOUT required unless an admin flag is given\n";
+            exit 2
+          | Some source -> (
+            let body =
+              if Sys.file_exists source then begin
+                let ic = open_in_bin source in
+                Fun.protect
+                  ~finally:(fun () -> close_in_noerr ic)
+                  (fun () -> really_input_string ic (in_channel_length ic))
+              end
+              else
+                match Mpl_layout.Benchgen.circuit source with
+                | layout -> Mpl_layout.Layout_io.to_string layout
+                | exception Not_found ->
+                  Printf.eprintf
+                    "error: %s is neither a file nor a known benchmark \
+                     circuit\n"
+                    source;
+                  exit 2
+            in
+            let request =
+              {
+                Mpl_server.Proto.default_request with
+                k;
+                algo;
+                min_s;
+                priority;
+                cache = not no_cache;
+                permuted;
+                inject;
+              }
+            in
+            match Mpl_server.Client.decompose conn ~request body with
+            | Error e -> fail e
+            | Ok o ->
+              let c = o.Mpl_server.Client.cost in
+              Printf.printf
+                "cost: conflicts=%d stitches=%d scaled=%d elapsed=%.3f \
+                 timed_out=%b\n"
+                c.Mpl_server.Proto.conflicts c.Mpl_server.Proto.stitches
+                c.Mpl_server.Proto.scaled c.Mpl_server.Proto.elapsed_s
+                c.Mpl_server.Proto.timed_out;
+              (match o.Mpl_server.Client.engine with
+              | Some e ->
+                Printf.printf
+                  "engine: pieces=%d solved=%d hits=%d reused=%d failed=%d \
+                   rejected=%d\n"
+                  e.Mpl_engine.Engine.pieces e.Mpl_engine.Engine.solved
+                  e.Mpl_engine.Engine.hits e.Mpl_engine.Engine.reused
+                  e.Mpl_engine.Engine.failed e.Mpl_engine.Engine.rejected
+              | None -> ());
+              let r = o.Mpl_server.Client.resilience in
+              Printf.printf
+                "resilience: degraded=%d piece_failures=%d fallbacks=%d \
+                 fired=%b\n"
+                r.Mpl_server.Proto.degraded r.Mpl_server.Proto.piece_failures
+                r.Mpl_server.Proto.fallbacks r.Mpl_server.Proto.fired;
+              (match o.Mpl_server.Client.cache with
+              | Some cs ->
+                Printf.printf "cache: entries=%d bytes=%d evictions=%d\n"
+                  cs.Mpl_server.Proto.entries cs.Mpl_server.Proto.bytes
+                  cs.Mpl_server.Proto.evictions
+              | None -> ());
+              Printf.printf "stream: pieces=%d cells=%d consistent=%b\n"
+                o.Mpl_server.Client.streamed_pieces
+                o.Mpl_server.Client.streamed_cells
+                o.Mpl_server.Client.streams_consistent;
+              (match colors_out with
+              | Some path ->
+                write_colors path o.Mpl_server.Client.colors;
+                Printf.eprintf "colors: wrote %d entries to %s\n"
+                  (Array.length o.Mpl_server.Client.colors)
+                  path
+              | None -> ());
+              if not o.Mpl_server.Client.streams_consistent then exit 1))
+  in
+  let term =
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ layout_arg $ k_arg
+      $ min_s_arg $ algo_arg $ priority_cl_arg $ no_cache_arg
+      $ cache_permuted_arg $ inject_arg $ colors_arg $ stats_flag
+      $ metrics_flag $ ping_flag $ quit_flag)
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Submit a layout to a running mpld server (or query its admin \
+          endpoints)")
+    term
+
 let () =
   let doc = "multiple-patterning (K>=4) layout decomposition" in
   let info = Cmd.info "mpld" ~version:"1.0.0" ~doc in
@@ -463,4 +745,6 @@ let () =
             svg_cmd;
             report_cmd;
             density_cmd;
+            serve_cmd;
+            client_cmd;
           ]))

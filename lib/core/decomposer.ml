@@ -20,6 +20,7 @@ type params = {
   post : post_pass;
   balance : bool;
   jobs : int;
+  priority_bias : int;
   chunk_below : int;
   chunk_len : int;
   cache : bool;
@@ -42,6 +43,7 @@ let default_params =
     post = No_post;
     balance = false;
     jobs = 1;
+    priority_bias = 0;
     chunk_below = 32;
     chunk_len = 16;
     cache = false;
@@ -155,6 +157,7 @@ type report = {
   division : Division.stats;
   phases : phases;
   engine : Mpl_engine.Engine.stats option;
+  cache : Mpl_engine.Cache.stats option;
   resilience : resilience;
   metrics : Mpl_obs.Metrics.snapshot option;
 }
@@ -297,14 +300,25 @@ let recover_piece ~obs ~params ~fault ~prov ~primary ~partial ~error piece =
 (* Canonical signature of a piece for the engine cache: the three edge
    relations are all a solver ever reads (feature ids only matter for
    rendering), so they fully determine the solver's behavior up to its
-   vertex-order tie-breaks. Oversized pieces are not worth hashing. *)
+   vertex-order tie-breaks. Oversized pieces are not worth hashing.
+
+   The signature is salted with a fingerprint of every parameter that
+   can change what the solver returns for a given graph. Within one run
+   the salt is constant — hit patterns are unchanged — but it makes the
+   cache safe to *share across runs with different parameters* (the
+   serving daemon keeps one table for all clients): a piece solved at
+   k=4 under Linear can never be served to a k=5 SDP request. *)
 let signature_size_cap = 4096
 
-let piece_signature (piece : Decomp_graph.t) =
+let params_salt ~params algorithm =
+  Printf.sprintf "%s;k=%d;a=%h;t=%h;nc=%d" (algorithm_name algorithm)
+    params.k params.alpha params.tth params.node_cap
+
+let piece_signature ~salt (piece : Decomp_graph.t) =
   if piece.Decomp_graph.n > signature_size_cap then None
   else
     Some
-      (Mpl_engine.Cache.signature ~n:piece.Decomp_graph.n
+      (Mpl_engine.Cache.signature_salted ~salt ~n:piece.Decomp_graph.n
          ~relations:
            [|
              Decomp_graph.conflict_edges piece;
@@ -321,7 +335,7 @@ let piece_signature (piece : Decomp_graph.t) =
    budget deadline and the timeout flag are both safe to touch from
    pool workers. *)
 let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
-    algorithm (piece : Decomp_graph.t) =
+    ~salt algorithm (piece : Decomp_graph.t) =
   let m = obs.Mpl_obs.Obs.metrics in
   Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.solves");
   (* Warm-hint probe: a previously solved piece with the same canonical
@@ -336,7 +350,7 @@ let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
   let wsig =
     match warm_cache with
     | Some _ when uses_sdp && piece.Decomp_graph.n > 1 ->
-      piece_signature piece
+      piece_signature ~salt piece
     | Some _ | None -> None
   in
   let warm =
@@ -405,7 +419,7 @@ let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
    behind one big component used to be invisible to the pool until the
    whole component's recursion finished on a single worker). *)
 let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
-    (g : Decomp_graph.t) =
+    ~ext_pool ~shared_cache ~salt ~on_component (g : Decomp_graph.t) =
   let jobs = max 1 params.jobs in
   let comps =
     if params.stages.Division.use_components then
@@ -414,18 +428,26 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
     else [| Array.init g.Decomp_graph.n (fun v -> v) |]
   in
   let pieces = Array.map (Decomp_graph.subgraph g) comps in
+  (* Component cache: the caller's shared cross-request table when one
+     was provided (the serving daemon passes its own), a private
+     per-run table otherwise. Reuse from either is cost-exact: the salt
+     partitions entries by solver parameters, and the Exact default
+     additionally pins hits to byte-identical labelings. *)
   let cache =
-    if params.cache then
-      Some
-        (Mpl_engine.Cache.create
-           ~mode:
-             (if params.cache_permuted then Mpl_engine.Cache.Permuted
-              else Mpl_engine.Cache.Exact)
-           ~obs ~fault ())
-    else None
+    if not params.cache then None
+    else
+      match shared_cache with
+      | Some c -> Some c
+      | None ->
+        Some
+          (Mpl_engine.Cache.create
+             ~mode:
+               (if params.cache_permuted then Mpl_engine.Cache.Permuted
+                else Mpl_engine.Cache.Exact)
+             ~obs ~fault ())
   in
   let signature (piece, _back) =
-    if params.cache then piece_signature piece else None
+    if params.cache then piece_signature ~salt piece else None
   in
   (* Vet cached colorings before reuse (length, completeness, color
      range) and isolate component-level failures: if a whole component
@@ -456,7 +478,16 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
   in
   let chunk_below = max 0 params.chunk_below in
   let chunk_len = max 1 params.chunk_len in
-  Mpl_engine.Pool.with_pool ~obs ~fault ~jobs (fun pool ->
+  let bias = params.priority_bias in
+  (* A caller-owned pool (the serving daemon's, shared by every
+     in-flight request) is used as-is; otherwise spin up a private one
+     sized by [jobs] for the duration of this assignment. *)
+  let run_with_pool f =
+    match ext_pool with
+    | Some pool -> f pool
+    | None -> Mpl_engine.Pool.with_pool ~obs ~fault ~jobs f
+  in
+  run_with_pool (fun pool ->
       (* Tiny leaves (n < chunk_below) are buffered and submitted
          [chunk_len] at a time as one pool task ({!Pool.submit_group}):
          dominant-share circuits shed thousands of 2..10-vertex pieces
@@ -477,7 +508,7 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
               0 ps
           in
           let futs =
-            Mpl_engine.Pool.submit_group ~priority:prio pool
+            Mpl_engine.Pool.submit_group ~priority:(bias + prio) pool
               (List.map (fun (p, _) () -> solver p) ps)
           in
           List.iter2 (fun (_, slot) fut -> slot := Some fut) ps futs
@@ -485,8 +516,8 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
       let emit_leaf (piece : Decomp_graph.t) =
         if piece.Decomp_graph.n >= chunk_below then begin
           let fut =
-            Mpl_engine.Pool.submit ~priority:piece.Decomp_graph.n pool
-              (fun () -> solver piece)
+            Mpl_engine.Pool.submit ~priority:(bias + piece.Decomp_graph.n)
+              pool (fun () -> solver piece)
           in
           fun () -> Mpl_engine.Pool.await pool fut
         end
@@ -523,7 +554,22 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
       let cells = Array.map (Mpl_engine.Engine.push t) pieces in
       flush ();
       let t1 = Mpl_util.Timer.now_ns () and c1 = !caller_ns in
-      let results = Array.map (Mpl_engine.Engine.force t) cells in
+      (* Cells are forced in push (= component index) order, so the
+         [on_component] stream is deterministic regardless of which
+         worker finished which piece first — the serving layer relies
+         on this to keep streamed replies reproducible. *)
+      let results =
+        Array.mapi
+          (fun i cell ->
+            let ((pc, _local) as r) = Mpl_engine.Engine.force t cell in
+            (match on_component with
+            | Some f ->
+              let _piece, back = pieces.(i) in
+              f i back pc
+            | None -> ());
+            r)
+          cells
+      in
       let t2 = Mpl_util.Timer.now_ns () and c2 = !caller_ns in
       let estats = Mpl_engine.Engine.finish t in
       let colors = Array.make g.Decomp_graph.n (-1) in
@@ -540,10 +586,13 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
       let s ns = Int64.to_float ns /. 1e9 in
       let division_s = max 0. (s (Int64.sub t1 t0) -. (c1 -. c0)) in
       let merge_s = max 0. (s (Int64.sub t2 t1) -. (c2 -. c1)) in
-      (colors, estats, division_s, merge_s))
+      let cstats = Option.map Mpl_engine.Cache.stats cache in
+      (colors, estats, cstats, division_s, merge_s))
 
-let assign ?(params = default_params) ?obs algorithm g =
+let assign ?(params = default_params) ?obs ?pool ?shared_cache ?on_component
+    algorithm g =
   let obs = match obs with Some o -> o | None -> make_obs params in
+  let salt = params_salt ~params algorithm in
   let stats = Division.fresh_stats () in
   let timed_out = Atomic.make false in
   let fault =
@@ -572,7 +621,7 @@ let assign ?(params = default_params) ?obs algorithm g =
   in
   let base_solver =
     make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
-      algorithm
+      ~salt algorithm
   in
   (* Phase accounting. [solve_ns] totals solver wall across every
      domain; [caller_ns] (coordinating thread only — no lock needed)
@@ -594,7 +643,15 @@ let assign ?(params = default_params) ?obs algorithm g =
       (fun () -> base_solver piece)
   in
   let engine_stats = ref None in
+  let cache_stats = ref None in
   let phases = ref no_phases in
+  (* Any server-supplied machinery (shared pool, cross-request cache,
+     streaming callback) forces the engine path even at jobs = 1. *)
+  let use_engine =
+    params.jobs > 1 || params.cache || Option.is_some pool
+    || Option.is_some shared_cache
+    || Option.is_some on_component
+  in
   let (colors, elapsed_s) =
     Mpl_util.Timer.time (fun () ->
         Mpl_obs.Obs.span obs "assign"
@@ -611,7 +668,7 @@ let assign ?(params = default_params) ?obs algorithm g =
              component split mirrors the division pipeline's own first
              stage), but keeping the legacy path makes the sequential
              fallback trivially bit-for-bit. *)
-          if params.jobs <= 1 && not params.cache then begin
+          if not use_engine then begin
             let a0 = Mpl_util.Timer.now_ns () in
             let colors =
               Division.assign ~obs ~stages:params.stages ~stats ~k:params.k
@@ -630,11 +687,12 @@ let assign ?(params = default_params) ?obs algorithm g =
             colors
           end
           else begin
-            let colors, estats, division_s, merge_s =
+            let colors, estats, cstats, division_s, merge_s =
               engine_assign ~obs ~params ~stats ~solver ~fault ~prov
-                ~caller_ns g
+                ~caller_ns ~ext_pool:pool ~shared_cache ~salt ~on_component g
             in
             engine_stats := Some estats;
+            cache_stats := cstats;
             phases :=
               {
                 division_s;
@@ -678,17 +736,18 @@ let assign ?(params = default_params) ?obs algorithm g =
     division = stats;
     phases = !phases;
     engine = !engine_stats;
+    cache = !cache_stats;
     resilience = prov_snapshot prov ~fault;
     metrics;
   }
 
-let decompose ?(params = default_params) ?max_stitches_per_feature ~min_s
-    algorithm layout =
+let decompose ?(params = default_params) ?pool ?shared_cache ?on_component
+    ?max_stitches_per_feature ~min_s algorithm layout =
   (* One context for the whole run, so the graph-construction spans and
      counters land in the same sink/registry as the assignment's. *)
   let obs = make_obs params in
   let g = Decomp_graph.of_layout ~obs ?max_stitches_per_feature layout ~min_s in
-  (g, assign ~params ~obs algorithm g)
+  (g, assign ~params ~obs ?pool ?shared_cache ?on_component algorithm g)
 
 let pp_report ppf r =
   Format.fprintf ppf

@@ -51,6 +51,12 @@ type params = {
   balance : bool;  (** cost-free mask-density rebalancing ({!Balance}) *)
   jobs : int;
       (** concurrent piece solvers; 1 = the sequential legacy path *)
+  priority_bias : int;
+      (** added to every pool-submission priority on the engine path
+          (default 0). A server maps per-request priorities onto the
+          shared pool with this: requests with a higher bias get their
+          pieces dequeued first. Scheduling only — never changes any
+          result. *)
   chunk_below : int;
       (** engine path: leaf pieces with fewer vertices than this are
           buffered and submitted to the pool in grouped chunks instead
@@ -140,6 +146,10 @@ type report = {
   phases : phases;  (** wall-clock breakdown of this assignment *)
   engine : Mpl_engine.Engine.stats option;
       (** pool/cache statistics; [None] on the sequential legacy path *)
+  cache : Mpl_engine.Cache.stats option;
+      (** size + traffic snapshot of the component cache taken as this
+          run finished — the *shared* table's totals when one was
+          supplied; [None] when the run used no component cache *)
   resilience : resilience;
       (** degradation provenance: which pieces fell down the fallback
           ladder, and what finally colored them. Equal to
@@ -150,7 +160,14 @@ type report = {
 }
 
 val assign :
-  ?params:params -> ?obs:Mpl_obs.Obs.t -> algorithm -> Decomp_graph.t -> report
+  ?params:params ->
+  ?obs:Mpl_obs.Obs.t ->
+  ?pool:Mpl_engine.Pool.t ->
+  ?shared_cache:Division.stats Mpl_engine.Cache.t ->
+  ?on_component:(int -> int array -> int array -> unit) ->
+  algorithm ->
+  Decomp_graph.t ->
+  report
 (** Run division + color assignment on a prebuilt decomposition graph.
     An observability context is built from [params.trace] /
     [params.metrics] unless one is passed explicitly ([obs] then takes
@@ -158,10 +175,33 @@ val assign :
     graph construction and assignment). The whole assignment runs under
     an [assign] span; each leaf solve under a [solve.<algorithm>] span;
     post passes under [post.local_search] / [post.anneal] /
-    [post.balance]. *)
+    [post.balance].
+
+    The three server hooks all force the engine path (even at
+    [jobs = 1], which otherwise runs the sequential legacy code):
+
+    - [pool]: solve on this caller-owned {!Mpl_engine.Pool} instead of
+      spinning up a private one — the serving daemon shares one pool
+      across every in-flight request, with [params.priority_bias]
+      arbitrating between them. [params.jobs] is ignored then (the
+      pool's own worker count applies).
+    - [shared_cache]: use this component cache instead of a private
+      per-run table (only consulted when [params.cache]). Piece
+      signatures are salted with a fingerprint of every
+      result-affecting parameter (algorithm, k, alpha, tth, node cap),
+      so one table safely serves requests with different parameters:
+      entries from one setting can never hit probes from another.
+    - [on_component]: called as [f idx back colors] for each
+      independent component, in deterministic component-index order, as
+      soon as its coloring is forced — [back.(j)] is the original
+      vertex of the component's vertex [j]. Streaming replies hang off
+      this. Called on the coordinating thread. *)
 
 val decompose :
   ?params:params ->
+  ?pool:Mpl_engine.Pool.t ->
+  ?shared_cache:Division.stats Mpl_engine.Cache.t ->
+  ?on_component:(int -> int array -> int array -> unit) ->
   ?max_stitches_per_feature:int ->
   min_s:int ->
   algorithm ->
@@ -169,6 +209,7 @@ val decompose :
   Decomp_graph.t * report
 (** Build the decomposition graph from the layout, then [assign] — both
     under one observability context, so a trace covers graph
-    construction and assignment. *)
+    construction and assignment. The optional server hooks are passed
+    through to {!assign}. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -45,8 +45,12 @@ let refine ~n ~(adj : int list array array) =
   done;
   labels
 
-let serialize ~n ~(edges : (int * int) list array) ~perm =
+let serialize ~salt ~n ~(edges : (int * int) list array) ~perm =
   let buf = Buffer.create (64 + (8 * n)) in
+  if salt <> "" then begin
+    Buffer.add_string buf salt;
+    Buffer.add_char buf '!'
+  end;
   Buffer.add_string buf (string_of_int n);
   Array.iter
     (fun es ->
@@ -68,7 +72,9 @@ let serialize ~n ~(edges : (int * int) list array) ~perm =
     edges;
   Buffer.contents buf
 
-let signature ~n ~relations =
+let signature_salted ~salt ~n ~relations =
+  if String.contains salt '\n' then
+    invalid_arg "Cache.signature: salt must not contain newlines";
   let adj = Array.map (fun _ -> Array.make n []) relations in
   Array.iteri
     (fun r es ->
@@ -94,10 +100,12 @@ let signature ~n ~relations =
   let identity = Array.init n (fun v -> v) in
   {
     n;
-    key = serialize ~n ~edges:relations ~perm;
-    serial = serialize ~n ~edges:relations ~perm:identity;
+    key = serialize ~salt ~n ~edges:relations ~perm;
+    serial = serialize ~salt ~n ~edges:relations ~perm:identity;
     perm;
   }
+
+let signature ~n ~relations = signature_salted ~salt:"" ~n ~relations
 
 let compatible ~exact sa sb =
   String.equal sa.key sb.key
@@ -115,31 +123,54 @@ let transfer sa sb colors =
 type mode = Exact | Permuted
 
 type 'v entry = {
+  e_key : string;  (* table key; kept so LRU eviction can unindex *)
   e_serial : string;
   colors_canon : int array;  (* exemplar coloring in canonical labels *)
-  check : int;  (* integrity checksum of [colors_canon] at store time *)
+  check : int;  (* integrity checksum of the entry at store time *)
   value : 'v;
+  e_bytes : int;  (* approximate resident size of this entry *)
+  (* Intrusive LRU list, most recent first. [None] links mean "end of
+     list" — membership is tracked separately ([e_linked]) because the
+     single-element list has [None] on both sides too. *)
+  mutable e_prev : 'v entry option;  (* towards MRU head *)
+  mutable e_next : 'v entry option;  (* towards LRU tail *)
+  mutable e_linked : bool;
 }
 
-(* FNV-1a-style checksum over the length and colors, folded to 30 bits
-   so it stays a small immediate on 32- and 64-bit systems. Entries
-   whose stored colors no longer match their checksum (memory fault,
-   injected corruption) are detected and dropped in [find]. *)
-let checksum n colors =
+(* FNV-1a-style checksum over the length, the colors, and the key /
+   serial strings, folded to 30 bits so it stays a small immediate on
+   32- and 64-bit systems. Entries whose stored fields no longer match
+   their checksum (memory fault, injected corruption, damaged persist
+   file) are detected and dropped in [find] / [load]. *)
+let checksum ~key ~serial n colors =
   let h = ref 0x811c9dc5 in
   let mix x = h := (!h lxor x) * 16777619 land 0x3FFFFFFF in
   mix n;
   Array.iter (fun c -> mix (c + 0x100)) colors;
+  mix 0x1F;
+  String.iter (fun c -> mix (Char.code c)) key;
+  mix 0x2F;
+  String.iter (fun c -> mix (Char.code c)) serial;
   !h
+
+(* Resident-size estimate: the two strings dominate, plus one boxed int
+   array and the record/links themselves (words, charged at 8 bytes). *)
+let entry_size ~key ~serial colors =
+  String.length key + String.length serial
+  + (8 * Array.length colors)
+  + 96
 
 (* Observability handles: all no-ops (and [timed = false], so no clock
    reads) unless [create] was given an enabled metrics registry. *)
-type stats = {
+type handles = {
   probes : Mpl_obs.Metrics.counter;
   hit_c : Mpl_obs.Metrics.counter;
   warm_c : Mpl_obs.Metrics.counter;
   stores : Mpl_obs.Metrics.counter;
   corrupt : Mpl_obs.Metrics.counter;
+  evict_m : Mpl_obs.Metrics.counter;
+  bytes_g : Mpl_obs.Metrics.gauge;
+  entries_g : Mpl_obs.Metrics.gauge;
   probe_ns : Mpl_obs.Metrics.histogram;
   store_ns : Mpl_obs.Metrics.histogram;
   timed : bool;
@@ -153,13 +184,18 @@ type 'v t = {
   misses_c : int Atomic.t;
   warm_hits_c : int Atomic.t;  (* key-only matches served as warm hints *)
   mutable entries : int;
+  mutable bytes : int;  (* sum of e_bytes over resident entries *)
+  byte_budget : int option;
+  mutable lru_head : 'v entry option;  (* most recently used *)
+  mutable lru_tail : 'v entry option;  (* eviction candidate *)
   max_variants : int;
   corrupt_c : int Atomic.t;  (* entries dropped by checksum validation *)
+  evict_c : int Atomic.t;  (* entries evicted by the byte budget *)
   fault : Fault.t;
-  stats : stats;
+  h : handles;
 }
 
-let make_stats (obs : Mpl_obs.Obs.t) =
+let make_handles (obs : Mpl_obs.Obs.t) =
   let m = obs.Mpl_obs.Obs.metrics in
   {
     probes = Mpl_obs.Metrics.counter m "cache.probes";
@@ -167,13 +203,19 @@ let make_stats (obs : Mpl_obs.Obs.t) =
     warm_c = Mpl_obs.Metrics.counter m "cache.warm_hits";
     stores = Mpl_obs.Metrics.counter m "cache.stores";
     corrupt = Mpl_obs.Metrics.counter m "cache.corrupt_drops";
+    evict_m = Mpl_obs.Metrics.counter m "cache.evictions";
+    bytes_g = Mpl_obs.Metrics.gauge m "cache.bytes";
+    entries_g = Mpl_obs.Metrics.gauge m "cache.entries";
     probe_ns = Mpl_obs.Metrics.histogram m "cache.probe_ns";
     store_ns = Mpl_obs.Metrics.histogram m "cache.store_ns";
     timed = Mpl_obs.Metrics.enabled m;
   }
 
-let create ?(mode = Exact) ?(max_variants = 8) ?(obs = Mpl_obs.Obs.null)
-    ?(fault = Fault.none) () =
+let create ?(mode = Exact) ?(max_variants = 8) ?byte_budget
+    ?(obs = Mpl_obs.Obs.null) ?(fault = Fault.none) () =
+  (match byte_budget with
+  | Some b when b < 0 -> invalid_arg "Cache.create: negative byte budget"
+  | Some _ | None -> ());
   {
     mode;
     table = Hashtbl.create 256;
@@ -182,19 +224,24 @@ let create ?(mode = Exact) ?(max_variants = 8) ?(obs = Mpl_obs.Obs.null)
     misses_c = Atomic.make 0;
     warm_hits_c = Atomic.make 0;
     entries = 0;
+    bytes = 0;
+    byte_budget;
+    lru_head = None;
+    lru_tail = None;
     max_variants;
     corrupt_c = Atomic.make 0;
+    evict_c = Atomic.make 0;
     fault;
-    stats = make_stats obs;
+    h = make_handles obs;
   }
 
 (* Time [f ()] into histogram [h] when metrics are on. [f] never raises
    here (both call sites are total up to programmer error). *)
-let timed_ns stats h f =
-  if stats.timed then begin
+let timed_ns h hist f =
+  if h.timed then begin
     let t0 = Mpl_util.Timer.now_ns () in
     let r = f () in
-    Mpl_obs.Metrics.observe h
+    Mpl_obs.Metrics.observe hist
       (Int64.to_float (Int64.sub (Mpl_util.Timer.now_ns ()) t0));
     r
   end
@@ -204,11 +251,73 @@ let mode t = t.mode
 
 let uncanon s colors_canon = Array.init s.n (fun v -> colors_canon.(s.perm.(v)))
 
+(* --- LRU list management; every call site holds [t.lock]. --- *)
+
+let unlink t e =
+  if e.e_linked then begin
+    (match e.e_prev with
+    | Some p -> p.e_next <- e.e_next
+    | None -> t.lru_head <- e.e_next);
+    (match e.e_next with
+    | Some nx -> nx.e_prev <- e.e_prev
+    | None -> t.lru_tail <- e.e_prev);
+    e.e_prev <- None;
+    e.e_next <- None;
+    e.e_linked <- false
+  end
+
+let push_front t e =
+  e.e_prev <- None;
+  e.e_next <- t.lru_head;
+  (match t.lru_head with Some h -> h.e_prev <- Some e | None -> ());
+  t.lru_head <- Some e;
+  if t.lru_tail = None then t.lru_tail <- Some e;
+  e.e_linked <- true
+
+let touch t e =
+  unlink t e;
+  push_front t e
+
+let publish_size t =
+  Mpl_obs.Metrics.set t.h.bytes_g (float_of_int t.bytes);
+  Mpl_obs.Metrics.set t.h.entries_g (float_of_int t.entries)
+
+(* Drop [e] from the table's variant list and the LRU list; caller
+   holds the lock and accounts the drop (eviction vs corruption). *)
+let remove_entry t e =
+  (match Hashtbl.find_opt t.table e.e_key with
+  | None -> ()
+  | Some variants -> (
+    match List.filter (fun e' -> e' != e) variants with
+    | [] -> Hashtbl.remove t.table e.e_key
+    | rest -> Hashtbl.replace t.table e.e_key rest));
+  unlink t e;
+  t.entries <- t.entries - 1;
+  t.bytes <- t.bytes - e.e_bytes
+
+(* Evict least-recently-used entries until the resident bytes fit the
+   budget. Caller holds the lock. *)
+let enforce_budget t =
+  match t.byte_budget with
+  | None -> ()
+  | Some budget ->
+    let continue = ref true in
+    while !continue && t.bytes > budget do
+      match t.lru_tail with
+      | None -> continue := false
+      | Some victim ->
+        remove_entry t victim;
+        Atomic.incr t.evict_c;
+        Mpl_obs.Metrics.incr t.h.evict_m
+    done
+
 let entry_valid s e =
-  Array.length e.colors_canon = s.n && e.check = checksum s.n e.colors_canon
+  Array.length e.colors_canon = s.n
+  && e.check = checksum ~key:e.e_key ~serial:e.e_serial s.n e.colors_canon
 
 (* Checksum-validate the variants under [s.key] before reuse; drop
-   corrupted entries so callers fall through to a fresh solve. *)
+   corrupted entries so callers fall through to a fresh solve. A valid
+   hit is moved to the LRU front by the caller-specific paths below. *)
 let valid_variants t s =
   Mutex.lock t.lock;
   let all = Option.value ~default:[] (Hashtbl.find_opt t.table s.key) in
@@ -216,16 +325,22 @@ let valid_variants t s =
   if corrupt <> [] then begin
     (if valid = [] then Hashtbl.remove t.table s.key
      else Hashtbl.replace t.table s.key valid);
+    List.iter
+      (fun e ->
+        unlink t e;
+        t.bytes <- t.bytes - e.e_bytes)
+      corrupt;
     t.entries <- t.entries - List.length corrupt;
     Atomic.fetch_and_add t.corrupt_c (List.length corrupt) |> ignore;
-    Mpl_obs.Metrics.add t.stats.corrupt (List.length corrupt)
+    Mpl_obs.Metrics.add t.h.corrupt (List.length corrupt);
+    publish_size t
   end;
   Mutex.unlock t.lock;
   valid
 
 let find t s =
-  Mpl_obs.Metrics.incr t.stats.probes;
-  timed_ns t.stats t.stats.probe_ns (fun () ->
+  Mpl_obs.Metrics.incr t.h.probes;
+  timed_ns t.h t.h.probe_ns (fun () ->
       let variants = valid_variants t s in
       let found =
         match t.mode with
@@ -235,8 +350,11 @@ let find t s =
       in
       match found with
       | Some e ->
+        Mutex.lock t.lock;
+        if e.e_linked then touch t e;
+        Mutex.unlock t.lock;
         Atomic.incr t.hits_c;
-        Mpl_obs.Metrics.incr t.stats.hit_c;
+        Mpl_obs.Metrics.incr t.h.hit_c;
         Some (uncanon s e.colors_canon, e.value)
       | None ->
         Atomic.incr t.misses_c;
@@ -248,24 +366,46 @@ let find t s =
    starting point, so callers may use it to warm-start a solver but
    never to skip one. Does not touch the hit/miss counters. *)
 let find_similar t s =
-  timed_ns t.stats t.stats.probe_ns (fun () ->
+  timed_ns t.h t.h.probe_ns (fun () ->
       match valid_variants t s with
       | e :: _ ->
+        Mutex.lock t.lock;
+        if e.e_linked then touch t e;
+        Mutex.unlock t.lock;
         Atomic.incr t.warm_hits_c;
-        Mpl_obs.Metrics.incr t.stats.warm_c;
+        Mpl_obs.Metrics.incr t.h.warm_c;
         Some (uncanon s e.colors_canon)
       | [] -> None)
+
+(* Shared by [store] and [load]: index + link a fresh entry and apply
+   the byte budget. Caller holds the lock; dedup was already decided. *)
+let insert_locked t entry variants =
+  Hashtbl.replace t.table entry.e_key (variants @ [ entry ]);
+  t.entries <- t.entries + 1;
+  t.bytes <- t.bytes + entry.e_bytes;
+  push_front t entry;
+  enforce_budget t;
+  publish_size t
 
 let store t s (colors, value) =
   if Array.length colors <> s.n then
     invalid_arg "Cache.store: coloring length mismatch";
-  Mpl_obs.Metrics.incr t.stats.stores;
-  timed_ns t.stats t.stats.store_ns (fun () ->
+  Mpl_obs.Metrics.incr t.h.stores;
+  timed_ns t.h t.h.store_ns (fun () ->
       let colors_canon = Array.make s.n 0 in
       Array.iteri (fun v p -> colors_canon.(p) <- colors.(v)) s.perm;
       let entry =
-        { e_serial = s.serial; colors_canon; check = checksum s.n colors_canon;
-          value }
+        {
+          e_key = s.key;
+          e_serial = s.serial;
+          colors_canon;
+          check = checksum ~key:s.key ~serial:s.serial s.n colors_canon;
+          value;
+          e_bytes = entry_size ~key:s.key ~serial:s.serial colors_canon;
+          e_prev = None;
+          e_next = None;
+          e_linked = false;
+        }
       in
       (* Injected corruption happens *after* the checksum is computed, so
          the mismatch is what [find] detects and drops. *)
@@ -285,19 +425,211 @@ let store t s (colors, value) =
                   (fun e -> String.equal e.e_serial s.serial)
                   variants)
       in
-      if keep then begin
-        Hashtbl.replace t.table s.key (variants @ [ entry ]);
-        t.entries <- t.entries + 1
-      end;
+      if keep then insert_locked t entry variants;
       Mutex.unlock t.lock)
 
 let hits t = Atomic.get t.hits_c
 let misses t = Atomic.get t.misses_c
 let warm_hits t = Atomic.get t.warm_hits_c
 let corrupt_drops t = Atomic.get t.corrupt_c
+let evictions t = Atomic.get t.evict_c
 
 let length t =
   Mutex.lock t.lock;
   let n = t.entries in
   Mutex.unlock t.lock;
   n
+
+let bytes t =
+  Mutex.lock t.lock;
+  let b = t.bytes in
+  Mutex.unlock t.lock;
+  b
+
+type stats = {
+  entries : int;
+  resident_bytes : int;
+  byte_budget : int option;
+  s_hits : int;
+  s_misses : int;
+  s_warm_hits : int;
+  s_corrupt_drops : int;
+  s_evictions : int;
+}
+
+let stats t =
+  Mutex.lock t.lock;
+  let entries = t.entries and resident_bytes = t.bytes in
+  Mutex.unlock t.lock;
+  {
+    entries;
+    resident_bytes;
+    byte_budget = t.byte_budget;
+    s_hits = Atomic.get t.hits_c;
+    s_misses = Atomic.get t.misses_c;
+    s_warm_hits = Atomic.get t.warm_hits_c;
+    s_corrupt_drops = Atomic.get t.corrupt_c;
+    s_evictions = Atomic.get t.evict_c;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Disk persistence. Line-oriented format, one header plus four lines
+   per entry:
+
+     mplcache 1 <exact|permuted> <nentries>
+     <key>
+     <serial>
+     <check> <n> <c0> ... <c(n-1)>
+     <value line>
+
+   Keys and serials are '|'/','/';'/digit strings by construction (plus
+   a caller salt, which [signature] rejects if it contains a newline),
+   so every field is single-line safe. Entries are written LRU-first:
+   reloading pushes each entry to the LRU front, so the reloaded cache
+   reproduces the saved recency order. Each entry is validated against
+   its stored checksum on load — a corrupted line drops exactly that
+   entry, never its neighbours. *)
+
+let magic = "mplcache 1"
+
+let mode_name = function Exact -> "exact" | Permuted -> "permuted"
+
+let save t ~value_to_string path =
+  Mutex.lock t.lock;
+  (* Collect LRU-first (tail to head) under the lock. *)
+  let entries = ref [] in
+  let cur = ref t.lru_tail in
+  let continue = ref true in
+  while !continue do
+    match !cur with
+    | None -> continue := false
+    | Some e ->
+      entries := e :: !entries;
+      cur := e.e_prev
+  done;
+  let entries = List.rev !entries in
+  Mutex.unlock t.lock;
+  let buf = Buffer.create (4096 + (128 * List.length entries)) in
+  Buffer.add_string buf
+    (Printf.sprintf "%s %s %d\n" magic (mode_name t.mode)
+       (List.length entries));
+  List.iter
+    (fun e ->
+      let v = value_to_string e.value in
+      if String.contains v '\n' then
+        invalid_arg "Cache.save: serialized value contains a newline";
+      Buffer.add_string buf e.e_key;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf e.e_serial;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (string_of_int e.check);
+      Buffer.add_char buf ' ';
+      Buffer.add_string buf (string_of_int (Array.length e.colors_canon));
+      Array.iter
+        (fun c ->
+          Buffer.add_char buf ' ';
+          Buffer.add_string buf (string_of_int c))
+        e.colors_canon;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf v;
+      Buffer.add_char buf '\n')
+    entries;
+  (* Atomic publish: write to a sibling temp file, then rename. *)
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (Buffer.contents buf));
+  Sys.rename tmp path
+
+exception Bad_file of string
+
+let load t ~value_of_string path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let line () = try Some (input_line ic) with End_of_file -> None in
+  let header =
+    match line () with
+    | Some h -> h
+    | None -> raise (Bad_file "empty cache file")
+  in
+  let count =
+    match String.split_on_char ' ' header with
+    | [ "mplcache"; "1"; m; n ] -> (
+      if m <> mode_name t.mode then
+        raise
+          (Bad_file
+             (Printf.sprintf "cache file mode %s does not match cache mode %s"
+                m (mode_name t.mode)));
+      match int_of_string_opt n with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> raise (Bad_file "bad entry count"))
+    | _ -> raise (Bad_file "bad cache file header")
+  in
+  let loaded = ref 0 and dropped = ref 0 in
+  (try
+     for _ = 1 to count do
+       match (line (), line (), line (), line ()) with
+       | Some key, Some serial, Some colors_line, Some value_line ->
+         let parsed =
+           match String.split_on_char ' ' colors_line with
+           | check :: n :: colors -> (
+             match (int_of_string_opt check, int_of_string_opt n) with
+             | Some check, Some n when n >= 0 && List.length colors = n -> (
+               let cs = List.map int_of_string_opt colors in
+               if List.exists (( = ) None) cs then None
+               else
+                 let colors_canon =
+                   Array.of_list (List.map Option.get cs)
+                 in
+                 if check = checksum ~key ~serial n colors_canon then
+                   match value_of_string value_line with
+                   | Some value -> Some (n, colors_canon, check, value)
+                   | None -> None
+                 else None)
+             | _ -> None)
+           | _ -> None
+         in
+         (match parsed with
+         | None -> incr dropped
+         | Some (_n, colors_canon, check, value) ->
+           let entry =
+             {
+               e_key = key;
+               e_serial = serial;
+               colors_canon;
+               check;
+               value;
+               e_bytes = entry_size ~key ~serial colors_canon;
+               e_prev = None;
+               e_next = None;
+               e_linked = false;
+             }
+           in
+           Mutex.lock t.lock;
+           let variants =
+             Option.value ~default:[] (Hashtbl.find_opt t.table key)
+           in
+           let keep =
+             match t.mode with
+             | Permuted -> variants = []
+             | Exact ->
+               List.length variants < t.max_variants
+               && not
+                    (List.exists
+                       (fun e -> String.equal e.e_serial serial)
+                       variants)
+           in
+           if keep then begin
+             insert_locked t entry variants;
+             incr loaded
+           end
+           else incr dropped;
+           Mutex.unlock t.lock)
+       | _ ->
+         (* Truncated file: keep what we have. *)
+         incr dropped;
+         raise Exit
+     done
+   with Exit -> ());
+  (!loaded, !dropped)

@@ -1,4 +1,5 @@
-(** Canonical-signature memo table for solved pieces.
+(** Canonical-signature memo table for solved pieces — a shared,
+    byte-budgeted LRU with optional disk persistence.
 
     Standard-cell layouts repeat the same small conflict cliques
     thousands of times (paper Fig. 7 patterns); after graph division the
@@ -28,6 +29,13 @@
       (be better or worse than) what a fresh solve of this labeling
       would return. Higher hit rate, weaker reproducibility contract.
 
+    The table is designed to outlive a single run: [mpld serve] shares
+    one instance across every request, bounds its resident size with a
+    byte budget (least-recently-used entries are evicted first), and
+    persists it across restarts with {!save} / {!load}. Eviction can
+    only turn hits into re-solves, so sharing, budgeting and reloading
+    never change any result produced under {!Exact} reuse.
+
     All operations are thread-safe (single internal mutex); hit/miss
     counters are [Atomic]. *)
 
@@ -42,7 +50,19 @@ val signature : n:int -> relations:(int * int) list array -> signature
 (** [signature ~n ~relations] canonicalizes the graph on [n] vertices
     whose [relations.(r)] is the edge list of relation [r] (relations
     are distinguished: a conflict edge never matches a stitch edge).
-    Edges are undirected; endpoints must be in [0..n-1]. *)
+    Edges are undirected; endpoints must be in [0..n-1]. Equivalent to
+    {!signature_salted} with an empty salt. *)
+
+val signature_salted :
+  salt:string -> n:int -> relations:(int * int) list array -> signature
+(** Like {!signature}, with [salt] prefixed to both the canonical key
+    and the original-labeling serialization, partitioning the table:
+    signatures with different salts can never match each other. A cache
+    shared across requests with different solver parameters salts each
+    piece with a parameter fingerprint, so a piece solved under one
+    (k, algorithm, ...) setting is never served to another.
+    @raise Invalid_argument if [salt] contains a newline (salts are
+    embedded in the single-line persistence format). *)
 
 val compatible : exact:bool -> signature -> signature -> bool
 (** Would a piece with the second signature hit an entry stored under
@@ -62,19 +82,26 @@ type 'v t
 val create :
   ?mode:mode ->
   ?max_variants:int ->
+  ?byte_budget:int ->
   ?obs:Mpl_obs.Obs.t ->
   ?fault:Fault.t ->
   unit ->
   'v t
 (** Default [mode] is [Exact]; [max_variants] (default 8) bounds the
     number of distinct original labelings remembered per canonical key
-    in [Exact] mode. When [obs] carries an enabled metrics registry the
-    cache maintains [cache.probes] / [cache.hits] / [cache.stores] /
-    [cache.corrupt_drops] counters and [cache.probe_ns] /
-    [cache.store_ns] latency histograms; otherwise every probe is a
-    no-op with no clock read. When [fault] is armed for
-    {!Fault.Cache_corrupt}, the selected stores write a corrupted
-    coloring (checksummed first, so validation catches it). *)
+    in [Exact] mode. [byte_budget] (default: unlimited) bounds the
+    approximate resident size — each entry is charged its key, serial
+    and coloring lengths plus a fixed overhead — by evicting
+    least-recently-used entries on store ({!evictions}); both {!find}
+    and {!find_similar} hits refresh an entry's recency. When [obs]
+    carries an enabled metrics registry the cache maintains
+    [cache.probes] / [cache.hits] / [cache.stores] /
+    [cache.corrupt_drops] / [cache.evictions] counters, [cache.bytes] /
+    [cache.entries] gauges and [cache.probe_ns] / [cache.store_ns]
+    latency histograms; otherwise every probe is a no-op with no clock
+    read. When [fault] is armed for {!Fault.Cache_corrupt}, the
+    selected stores write a corrupted coloring (checksummed first, so
+    validation catches it). *)
 
 val mode : 'v t -> mode
 
@@ -89,7 +116,8 @@ val find : 'v t -> signature -> (int array * 'v) option
 val store : 'v t -> signature -> int array * 'v -> unit
 (** Remember a solved piece. First writer wins: an entry that would
     duplicate (Exact: same original serialization; Permuted: same key)
-    is ignored, keeping replays deterministic. *)
+    is ignored, keeping replays deterministic. May evict LRU entries
+    when a byte budget is set. *)
 
 val find_similar : 'v t -> signature -> int array option
 (** Key-only probe serving *warm hints*: returns the stored exemplar
@@ -112,5 +140,57 @@ val warm_hits : 'v t -> int
 val corrupt_drops : 'v t -> int
 (** Entries dropped by checksum validation in {!find}. *)
 
+val evictions : 'v t -> int
+(** Entries evicted by the byte budget. *)
+
 val length : 'v t -> int
 (** Number of stored entries (variants counted individually). *)
+
+val bytes : 'v t -> int
+(** Approximate resident size of all stored entries. *)
+
+type stats = {
+  entries : int;  (** resident entries (variants counted individually) *)
+  resident_bytes : int;  (** approximate resident size *)
+  byte_budget : int option;
+  s_hits : int;
+  s_misses : int;
+  s_warm_hits : int;
+  s_corrupt_drops : int;
+  s_evictions : int;
+}
+
+val stats : 'v t -> stats
+(** One consistent snapshot of the size and traffic counters. *)
+
+(** {1 Persistence}
+
+    The whole table round-trips through a line-oriented disk format so
+    a serving process can carry its accumulated entries across
+    restarts. Every entry is covered by the same integrity checksum
+    {!find} validates, recomputed on load: corrupting an entry on disk
+    drops exactly that entry. Files record the cache {!mode} and the
+    LRU order; {!load} refuses files whose mode differs. *)
+
+exception Bad_file of string
+(** Raised by {!load} on a structurally unusable file (bad header or
+    mode mismatch). Damaged {e entries} never raise — they are
+    dropped and counted instead. *)
+
+val save : 'v t -> value_to_string:('v -> string) -> string -> unit
+(** [save t ~value_to_string path] writes every resident entry to
+    [path] (via a temp file + rename, so a crash never leaves a
+    half-written file). [value_to_string] must produce a single-line
+    encoding of the payload.
+    @raise Invalid_argument if a serialized value contains a newline. *)
+
+val load : 'v t -> value_of_string:(string -> 'v option) -> string -> int * int
+(** [load t ~value_of_string path] inserts the file's entries into [t]
+    — normally freshly created with the same mode and budget — and
+    returns [(loaded, dropped)]. An entry is dropped (never raising)
+    when its checksum no longer matches, its payload fails
+    [value_of_string], it would duplicate a resident entry, or the file
+    is truncated mid-entry. Loading respects the byte budget, evicting
+    as it fills. Saved LRU order is preserved.
+    @raise Bad_file on a bad header or a mode mismatch.
+    @raise Sys_error if the file cannot be read. *)

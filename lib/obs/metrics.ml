@@ -164,3 +164,4 @@ let snapshot t =
   s
 
 let find_counter s name = List.assoc_opt name s.counters
+let find_gauge s name = List.assoc_opt name s.gauges

@@ -77,3 +77,6 @@ val snapshot : t -> snapshot
 
 val find_counter : snapshot -> string -> int option
 (** Value of a counter in a snapshot, [None] when never registered. *)
+
+val find_gauge : snapshot -> string -> float option
+(** Value of a gauge in a snapshot, [None] when never registered. *)

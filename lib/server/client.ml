@@ -1,0 +1,151 @@
+type t = { fd : Unix.file_descr; ic : in_channel }
+
+let connect_unix path =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_UNIX path)
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let connect_tcp host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  (try Unix.connect fd (Unix.ADDR_INET (addr, port))
+   with e ->
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     raise e);
+  { fd; ic = Unix.in_channel_of_descr fd }
+
+let close t = close_in_noerr t.ic
+
+type outcome = {
+  colors : int array;
+  streamed_pieces : int;
+  streamed_cells : int;
+  streams_consistent : bool;
+  cost : Proto.cost_reply;
+  engine : Mpl_engine.Engine.stats option;
+  resilience : Proto.resilience_reply;
+  cache : Proto.cache_reply option;
+}
+
+type error =
+  | Busy of int * int
+  | Remote of { code : string; line : int option; msg : string }
+  | Protocol of string
+
+let error_to_string = function
+  | Busy (inflight, limit) ->
+    Printf.sprintf "server busy (%d/%d requests in flight)" inflight limit
+  | Remote { code; line = Some l; msg } ->
+    Printf.sprintf "server error [%s] line %d: %s" code l msg
+  | Remote { code; line = None; msg } ->
+    Printf.sprintf "server error [%s]: %s" code msg
+  | Protocol msg -> Printf.sprintf "protocol error: %s" msg
+
+let send t s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write t.fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let read_reply t =
+  match input_line t.ic with
+  | exception End_of_file -> Error (Protocol "connection closed by server")
+  | exception Sys_error msg -> Error (Protocol msg)
+  | line -> (
+    match Proto.parse_reply line with
+    | Ok r -> Ok r
+    | Error msg -> Error (Protocol msg))
+
+let ( let* ) r f = Result.bind r f
+
+let decompose t ?(request = Proto.default_request) body =
+  send t (Proto.encode_request request ~body_len:(String.length body));
+  send t body;
+  (* Accumulate the reply stream until DONE; any ERR/BUSY ends it. *)
+  let pieces = ref [] in
+  let cost = ref None in
+  let engine = ref None in
+  let resilience = ref None in
+  let cache = ref None in
+  let rec loop () =
+    let* reply = read_reply t in
+    match reply with
+    | Proto.Ack -> loop ()
+    | Proto.Busy (i, l) -> Error (Busy (i, l))
+    | Proto.Err { code; line; msg } -> Error (Remote { code; line; msg })
+    | Proto.Piece { idx = _; cells } ->
+      pieces := cells :: !pieces;
+      loop ()
+    | Proto.Cost c ->
+      cost := Some c;
+      loop ()
+    | Proto.Engine e ->
+      engine := Some e;
+      loop ()
+    | Proto.Resilience r ->
+      resilience := Some r;
+      loop ()
+    | Proto.Cache_info c ->
+      cache := Some c;
+      loop ()
+    | Proto.Done colors -> (
+      match (!cost, !resilience) with
+      | Some cost, Some resilience ->
+        let streamed = List.rev !pieces in
+        let streamed_cells =
+          List.fold_left (fun n cs -> n + Array.length cs) 0 streamed
+        in
+        let streams_consistent =
+          List.for_all
+            (Array.for_all (fun (v, c) ->
+                 v >= 0 && v < Array.length colors && colors.(v) = c))
+            streamed
+        in
+        Ok
+          {
+            colors;
+            streamed_pieces = List.length streamed;
+            streamed_cells;
+            streams_consistent;
+            cost;
+            engine = !engine;
+            resilience;
+            cache = !cache;
+          }
+      | _ -> Error (Protocol "DONE before COST/RESILIENCE"))
+    | Proto.Pong | Proto.Bye | Proto.Json _ ->
+      Error (Protocol "unexpected admin reply in a DECOMPOSE stream")
+  in
+  loop ()
+
+let admin_json t verb =
+  send t (verb ^ "\n");
+  let* reply = read_reply t in
+  match reply with
+  | Proto.Json s -> Ok s
+  | Proto.Err { code; line; msg } -> Error (Remote { code; line; msg })
+  | _ -> Error (Protocol ("unexpected reply to " ^ verb))
+
+let stats t = admin_json t "STATS"
+let metrics t = admin_json t "METRICS"
+
+let ping t =
+  send t "PING\n";
+  match read_reply t with Ok Proto.Pong -> true | Ok _ | Error _ -> false
+
+let quit t =
+  match send t "QUIT\n" with
+  | () -> (
+    match read_reply t with Ok _ | Error _ -> ())
+  | exception Unix.Unix_error _ -> ()

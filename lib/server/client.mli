@@ -1,0 +1,54 @@
+(** Blocking client for the {!Proto} protocol, used by [mpld client]
+    and the test suite. One {!t} is one connection; requests on it are
+    strictly sequential (send, then read the full reply stream). *)
+
+type t
+
+val connect_unix : string -> t
+(** Connect to a Unix-domain socket path.
+    @raise Unix.Unix_error on failure. *)
+
+val connect_tcp : string -> int -> t
+(** Connect to host:port.
+    @raise Unix.Unix_error or [Not_found] (unresolvable host). *)
+
+val close : t -> unit
+
+type outcome = {
+  colors : int array;  (** the full coloring, original vertex indexing *)
+  streamed_pieces : int;  (** [PIECE] lines received before [DONE] *)
+  streamed_cells : int;  (** vertices covered by those lines *)
+  streams_consistent : bool;
+      (** every streamed [(vertex, color)] matched the final coloring *)
+  cost : Proto.cost_reply;
+  engine : Mpl_engine.Engine.stats option;
+  resilience : Proto.resilience_reply;
+  cache : Proto.cache_reply option;
+}
+
+type error =
+  | Busy of int * int  (** admission control: in-flight, limit *)
+  | Remote of { code : string; line : int option; msg : string }
+      (** the server's [ERR] reply *)
+  | Protocol of string  (** malformed reply / unexpected disconnect *)
+
+val error_to_string : error -> string
+
+val decompose :
+  t -> ?request:Proto.request -> string -> (outcome, error) result
+(** [decompose t body] submits the layout text [body] with the given
+    request parameters (default {!Proto.default_request}) and reads
+    replies until [DONE], [ERR] or [BUSY]. *)
+
+val stats : t -> (string, error) result
+(** The admin [STATS] JSON line. *)
+
+val metrics : t -> (string, error) result
+(** The admin [METRICS] JSON line. *)
+
+val ping : t -> bool
+(** [PING] round-trip; [false] on any protocol failure. *)
+
+val quit : t -> unit
+(** Send [QUIT] (starting a graceful server shutdown) and wait for
+    [BYE] (or the connection to drop). *)

@@ -1,0 +1,361 @@
+type request = {
+  k : int;
+  algo : Mpl.Decomposer.algorithm;
+  jobs : int;
+  priority : int;
+  min_s : int option;
+  cache : bool;
+  permuted : bool;
+  inject : Mpl_engine.Fault.spec option;
+}
+
+let default_request =
+  {
+    k = 4;
+    algo = Mpl.Decomposer.Linear;
+    jobs = 1;
+    priority = 0;
+    min_s = None;
+    cache = true;
+    permuted = false;
+    inject = None;
+  }
+
+let algorithm_of_name = function
+  | "ilp" -> Some Mpl.Decomposer.Ilp
+  | "exact" -> Some Mpl.Decomposer.Exact
+  | "sdp-backtrack" | "sdp" -> Some Mpl.Decomposer.Sdp_backtrack
+  | "sdp-greedy" -> Some Mpl.Decomposer.Sdp_greedy
+  | "linear" -> Some Mpl.Decomposer.Linear
+  | _ -> None
+
+let name_of_algorithm = function
+  | Mpl.Decomposer.Ilp -> "ilp"
+  | Mpl.Decomposer.Exact -> "exact"
+  | Mpl.Decomposer.Sdp_backtrack -> "sdp-backtrack"
+  | Mpl.Decomposer.Sdp_greedy -> "sdp-greedy"
+  | Mpl.Decomposer.Linear -> "linear"
+
+type command =
+  | Decompose of int * request
+  | Stats
+  | Metrics
+  | Ping
+  | Quit
+
+let encode_request r ~body_len =
+  let b = Buffer.create 128 in
+  Buffer.add_string b
+    (Printf.sprintf "DECOMPOSE %d k=%d algo=%s jobs=%d priority=%d cache=%d permuted=%d"
+       body_len r.k (name_of_algorithm r.algo) r.jobs r.priority
+       (if r.cache then 1 else 0)
+       (if r.permuted then 1 else 0));
+  (match r.min_s with
+  | Some m -> Buffer.add_string b (Printf.sprintf " min_s=%d" m)
+  | None -> ());
+  (match r.inject with
+  | Some spec ->
+    Buffer.add_string b (" inject=" ^ Mpl_engine.Fault.spec_to_string spec)
+  | None -> ());
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* Tokenizer shared by both directions: space-separated words, a
+   trailing \r stripped (so CRLF clients work over TCP). *)
+let tokens line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  List.filter (fun s -> s <> "") (String.split_on_char ' ' line)
+
+let int_of s = int_of_string_opt s
+
+(* key=value fields; unknown keys are ignored so the protocol can grow
+   without breaking older peers. *)
+let apply_field r tok =
+  match String.index_opt tok '=' with
+  | None -> Error (Printf.sprintf "malformed field %S (expected key=value)" tok)
+  | Some i -> (
+    let key = String.sub tok 0 i in
+    let v = String.sub tok (i + 1) (String.length tok - i - 1) in
+    let as_int f =
+      match int_of v with
+      | Some n -> Ok (f n)
+      | None -> Error (Printf.sprintf "field %s: not an integer: %S" key v)
+    in
+    match key with
+    | "k" -> as_int (fun k -> { r with k })
+    | "jobs" -> as_int (fun jobs -> { r with jobs })
+    | "priority" -> as_int (fun priority -> { r with priority })
+    | "min_s" -> as_int (fun m -> { r with min_s = Some m })
+    | "cache" -> as_int (fun c -> { r with cache = c <> 0 })
+    | "permuted" -> as_int (fun p -> { r with permuted = p <> 0 })
+    | "algo" -> (
+      match algorithm_of_name v with
+      | Some algo -> Ok { r with algo }
+      | None -> Error (Printf.sprintf "unknown algorithm %S" v))
+    | "inject" -> (
+      match Mpl_engine.Fault.parse v with
+      | Ok spec -> Ok { r with inject = Some spec }
+      | Error msg -> Error (Printf.sprintf "field inject: %s" msg))
+    | _ -> Ok r)
+
+let parse_command line =
+  match tokens line with
+  | [] -> Error "empty request line"
+  | [ "STATS" ] -> Ok Stats
+  | [ "METRICS" ] -> Ok Metrics
+  | [ "PING" ] -> Ok Ping
+  | [ "QUIT" ] -> Ok Quit
+  | "DECOMPOSE" :: nbytes :: fields -> (
+    match int_of nbytes with
+    | None -> Error (Printf.sprintf "DECOMPOSE: bad body length %S" nbytes)
+    | Some n when n < 0 -> Error "DECOMPOSE: negative body length"
+    | Some n ->
+      let rec go r = function
+        | [] -> Ok (Decompose (n, r))
+        | tok :: rest -> (
+          match apply_field r tok with
+          | Ok r -> go r rest
+          | Error _ as e -> e)
+      in
+      go default_request fields)
+  | verb :: _ -> Error (Printf.sprintf "unknown request %S" verb)
+
+type cost_reply = {
+  conflicts : int;
+  stitches : int;
+  scaled : int;
+  elapsed_s : float;
+  timed_out : bool;
+}
+
+type resilience_reply = {
+  degraded : int;
+  piece_failures : int;
+  fallbacks : int;
+  fired : bool;
+}
+
+type cache_reply = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  warm_hits : int;
+  corrupt_drops : int;
+  evictions : int;
+}
+
+type reply =
+  | Ack
+  | Busy of int * int
+  | Piece of { idx : int; cells : (int * int) array }
+  | Cost of cost_reply
+  | Engine of Mpl_engine.Engine.stats
+  | Resilience of resilience_reply
+  | Cache_info of cache_reply
+  | Done of int array
+  | Err of { code : string; line : int option; msg : string }
+  | Pong
+  | Bye
+  | Json of string
+
+let ack_line = "ACK\n"
+let pong_line = "PONG\n"
+let bye_line = "BYE\n"
+
+let busy_line ~inflight ~limit = Printf.sprintf "BUSY %d %d\n" inflight limit
+
+let piece_line ~idx ~back ~colors =
+  let b = Buffer.create (16 + (8 * Array.length back)) in
+  Buffer.add_string b (Printf.sprintf "PIECE %d %d" idx (Array.length back));
+  Array.iteri
+    (fun j v -> Buffer.add_string b (Printf.sprintf " %d:%d" v colors.(j)))
+    back;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let cost_line (c : cost_reply) =
+  Printf.sprintf
+    "COST conflicts=%d stitches=%d scaled=%d elapsed=%.6f timed_out=%d\n"
+    c.conflicts c.stitches c.scaled c.elapsed_s
+    (if c.timed_out then 1 else 0)
+
+let engine_line (e : Mpl_engine.Engine.stats) =
+  Printf.sprintf
+    "ENGINE pieces=%d solved=%d hits=%d reused=%d failed=%d rejected=%d\n"
+    e.Mpl_engine.Engine.pieces e.Mpl_engine.Engine.solved
+    e.Mpl_engine.Engine.hits e.Mpl_engine.Engine.reused
+    e.Mpl_engine.Engine.failed e.Mpl_engine.Engine.rejected
+
+let resilience_line (r : resilience_reply) =
+  Printf.sprintf
+    "RESILIENCE degraded=%d piece_failures=%d fallbacks=%d fired=%d\n"
+    r.degraded r.piece_failures r.fallbacks
+    (if r.fired then 1 else 0)
+
+let cache_line (c : cache_reply) =
+  Printf.sprintf
+    "CACHE entries=%d bytes=%d hits=%d misses=%d warm=%d drops=%d \
+     evictions=%d\n"
+    c.entries c.bytes c.hits c.misses c.warm_hits c.corrupt_drops c.evictions
+
+let done_line colors =
+  let b = Buffer.create (8 + (4 * Array.length colors)) in
+  Buffer.add_string b (Printf.sprintf "DONE %d" (Array.length colors));
+  Array.iter (fun c -> Buffer.add_string b (Printf.sprintf " %d" c)) colors;
+  Buffer.add_char b '\n';
+  Buffer.contents b
+
+let flatten_msg msg =
+  String.concat "; "
+    (List.filter (fun s -> s <> "") (String.split_on_char '\n' msg))
+
+let err_line ~code ?line msg =
+  match line with
+  | Some l -> Printf.sprintf "ERR %s line=%d %s\n" code l (flatten_msg msg)
+  | None -> Printf.sprintf "ERR %s %s\n" code (flatten_msg msg)
+
+(* Reply-side key=value parsing: fields are fixed per line kind, so a
+   missing or malformed field is a protocol error. *)
+let field_int fields key =
+  let prefix = key ^ "=" in
+  let rec go = function
+    | [] -> Error (Printf.sprintf "missing field %s" key)
+    | tok :: rest ->
+      if String.length tok > String.length prefix
+         && String.sub tok 0 (String.length prefix) = prefix
+      then
+        match
+          int_of
+            (String.sub tok (String.length prefix)
+               (String.length tok - String.length prefix))
+        with
+        | Some n -> Ok n
+        | None -> Error (Printf.sprintf "bad field %S" tok)
+      else go rest
+  in
+  go fields
+
+let field_float fields key =
+  let prefix = key ^ "=" in
+  let rec go = function
+    | [] -> Error (Printf.sprintf "missing field %s" key)
+    | tok :: rest ->
+      if String.length tok > String.length prefix
+         && String.sub tok 0 (String.length prefix) = prefix
+      then
+        match
+          float_of_string_opt
+            (String.sub tok (String.length prefix)
+               (String.length tok - String.length prefix))
+        with
+        | Some f -> Ok f
+        | None -> Error (Printf.sprintf "bad field %S" tok)
+      else go rest
+  in
+  go fields
+
+let ( let* ) r f = Result.bind r f
+
+let parse_reply line =
+  if String.length line > 0 && line.[0] = '{' then Ok (Json line)
+  else
+    match tokens line with
+    | [] -> Error "empty reply line"
+    | [ "ACK" ] -> Ok Ack
+    | [ "PONG" ] -> Ok Pong
+    | [ "BYE" ] -> Ok Bye
+    | [ "BUSY"; a; b ] -> (
+      match (int_of a, int_of b) with
+      | Some x, Some y -> Ok (Busy (x, y))
+      | _ -> Error "BUSY: bad counters")
+    | "PIECE" :: idx :: n :: cells -> (
+      match (int_of idx, int_of n) with
+      | Some idx, Some n when List.length cells = n -> (
+        let parse_cell tok =
+          match String.index_opt tok ':' with
+          | None -> None
+          | Some i -> (
+            match
+              ( int_of (String.sub tok 0 i),
+                int_of
+                  (String.sub tok (i + 1) (String.length tok - i - 1)) )
+            with
+            | Some v, Some c -> Some (v, c)
+            | _ -> None)
+        in
+        let parsed = List.filter_map parse_cell cells in
+        match List.length parsed = n with
+        | true -> Ok (Piece { idx; cells = Array.of_list parsed })
+        | false -> Error "PIECE: malformed cell")
+      | _ -> Error "PIECE: bad header")
+    | "COST" :: fields ->
+      let* conflicts = field_int fields "conflicts" in
+      let* stitches = field_int fields "stitches" in
+      let* scaled = field_int fields "scaled" in
+      let* elapsed_s = field_float fields "elapsed" in
+      let* t = field_int fields "timed_out" in
+      Ok (Cost { conflicts; stitches; scaled; elapsed_s; timed_out = t <> 0 })
+    | "ENGINE" :: fields ->
+      let* pieces = field_int fields "pieces" in
+      let* solved = field_int fields "solved" in
+      let* hits = field_int fields "hits" in
+      let* reused = field_int fields "reused" in
+      let* failed = field_int fields "failed" in
+      let* rejected = field_int fields "rejected" in
+      Ok
+        (Engine
+           {
+             Mpl_engine.Engine.pieces;
+             solved;
+             hits;
+             reused;
+             failed;
+             rejected;
+           })
+    | "RESILIENCE" :: fields ->
+      let* degraded = field_int fields "degraded" in
+      let* piece_failures = field_int fields "piece_failures" in
+      let* fallbacks = field_int fields "fallbacks" in
+      let* fired = field_int fields "fired" in
+      Ok (Resilience { degraded; piece_failures; fallbacks; fired = fired <> 0 })
+    | "CACHE" :: fields ->
+      let* entries = field_int fields "entries" in
+      let* bytes = field_int fields "bytes" in
+      let* hits = field_int fields "hits" in
+      let* misses = field_int fields "misses" in
+      let* warm_hits = field_int fields "warm" in
+      let* corrupt_drops = field_int fields "drops" in
+      let* evictions = field_int fields "evictions" in
+      Ok
+        (Cache_info
+           {
+             entries;
+             bytes;
+             hits;
+             misses;
+             warm_hits;
+             corrupt_drops;
+             evictions;
+           })
+    | "DONE" :: n :: colors -> (
+      match int_of n with
+      | Some n when List.length colors = n -> (
+        let parsed = List.filter_map int_of colors in
+        match List.length parsed = n with
+        | true -> Ok (Done (Array.of_list parsed))
+        | false -> Error "DONE: malformed color")
+      | _ -> Error "DONE: bad length")
+    | "ERR" :: code :: rest -> (
+      match rest with
+      | tok :: more
+        when String.length tok > 5 && String.sub tok 0 5 = "line=" -> (
+        match int_of (String.sub tok 5 (String.length tok - 5)) with
+        | Some l ->
+          Ok (Err { code; line = Some l; msg = String.concat " " more })
+        | None -> Error "ERR: bad line field")
+      | _ -> Ok (Err { code; line = None; msg = String.concat " " rest }))
+    | verb :: _ -> Error (Printf.sprintf "unknown reply %S" verb)

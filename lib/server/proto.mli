@@ -1,0 +1,136 @@
+(** Wire protocol of the decomposition server.
+
+    Text-based, newline-framed control lines with one length-prefixed
+    binary body. A connection carries any number of requests in
+    sequence. Client speaks first:
+
+    {v
+    DECOMPOSE <nbytes> k=4 algo=linear priority=0 cache=1 permuted=0 [min_s=N] [jobs=N] [inject=SPEC]
+    <nbytes bytes of layout text (Layout_io format)>
+    STATS | METRICS | PING | QUIT
+    v}
+
+    Server replies to a [DECOMPOSE] with either one [BUSY] line
+    (admission control rejected it), one [ERR] line (bad layout /
+    internal failure), or a stream
+
+    {v
+    ACK
+    PIECE <idx> <n> <v>:<c> ...     (one per independent component,
+                                     in deterministic component order)
+    COST conflicts=.. stitches=.. scaled=.. elapsed=.. timed_out=0|1
+    ENGINE pieces=.. solved=.. hits=.. reused=.. failed=.. rejected=..
+    RESILIENCE degraded=.. piece_failures=.. fallbacks=.. fired=0|1
+    CACHE entries=.. bytes=.. hits=.. misses=.. warm=.. drops=.. evictions=..
+    DONE <n> <c0> ... <c(n-1)>
+    v}
+
+    where [PIECE] vertex ids and the [DONE] coloring are in the
+    original decomposition-graph indexing. [STATS] and [METRICS] each
+    return a single JSON line; [PING] returns [PONG]; [QUIT] returns
+    [BYE] and starts a graceful server shutdown. All replies to one
+    request finish before the next request on the connection is read,
+    so a client never has to demultiplex. *)
+
+type request = {
+  k : int;  (** number of masks (default 4) *)
+  algo : Mpl.Decomposer.algorithm;  (** default Linear *)
+  jobs : int;
+      (** advisory: the server solves on its own shared pool, whose
+          worker count wins; accepted for one-shot compatibility *)
+  priority : int;
+      (** request priority; higher preempts lower-priority requests'
+          queued pieces on the shared pool (scheduling only — results
+          are identical at any priority) *)
+  min_s : int option;  (** coloring distance; [None] = paper default for k *)
+  cache : bool;  (** consult/populate the server's shared cache (default on) *)
+  permuted : bool;  (** request Permuted-mode reuse semantics *)
+  inject : Mpl_engine.Fault.spec option;  (** deterministic fault injection *)
+}
+
+val default_request : request
+
+val algorithm_of_name : string -> Mpl.Decomposer.algorithm option
+(** CLI spellings: [ilp], [exact], [sdp-backtrack] (or [sdp]),
+    [sdp-greedy], [linear]. *)
+
+val name_of_algorithm : Mpl.Decomposer.algorithm -> string
+
+type command =
+  | Decompose of int * request  (** body byte count + parameters *)
+  | Stats
+  | Metrics
+  | Ping
+  | Quit
+
+val encode_request : request -> body_len:int -> string
+(** The [DECOMPOSE] header line, newline included; the caller appends
+    exactly [body_len] body bytes. *)
+
+val parse_command : string -> (command, string) result
+(** Parse one client control line (no trailing newline; a trailing
+    [\r] is tolerated). *)
+
+(** {1 Reply lines}
+
+    Encoders return the full line, newline included. *)
+
+type cost_reply = {
+  conflicts : int;
+  stitches : int;
+  scaled : int;
+  elapsed_s : float;
+  timed_out : bool;
+}
+
+type resilience_reply = {
+  degraded : int;
+  piece_failures : int;
+  fallbacks : int;
+  fired : bool;
+}
+
+type cache_reply = {
+  entries : int;
+  bytes : int;
+  hits : int;
+  misses : int;
+  warm_hits : int;
+  corrupt_drops : int;
+  evictions : int;
+}
+
+type reply =
+  | Ack
+  | Busy of int * int  (** in-flight, limit *)
+  | Piece of { idx : int; cells : (int * int) array }
+      (** [(vertex, color)] pairs in the original graph indexing *)
+  | Cost of cost_reply
+  | Engine of Mpl_engine.Engine.stats
+  | Resilience of resilience_reply
+  | Cache_info of cache_reply
+  | Done of int array
+  | Err of { code : string; line : int option; msg : string }
+      (** [code] is [parse] (layout rejected, [line] set), [proto]
+          (malformed request), or [internal] *)
+  | Pong
+  | Bye
+  | Json of string  (** a [STATS] / [METRICS] JSON payload line *)
+
+val ack_line : string
+val busy_line : inflight:int -> limit:int -> string
+val piece_line : idx:int -> back:int array -> colors:int array -> string
+val cost_line : cost_reply -> string
+val engine_line : Mpl_engine.Engine.stats -> string
+val resilience_line : resilience_reply -> string
+val cache_line : cache_reply -> string
+val done_line : int array -> string
+val err_line : code:string -> ?line:int -> string -> string
+(** Newlines in the message are flattened to ["; "]. *)
+
+val pong_line : string
+val bye_line : string
+
+val parse_reply : string -> (reply, string) result
+(** Parse one server reply line (client side). A line starting with
+    [{] is returned as {!Json} verbatim. *)

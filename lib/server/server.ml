@@ -1,0 +1,502 @@
+type config = {
+  unix_socket : string option;
+  tcp_port : int option;
+  tcp_host : string;
+  jobs : int;
+  max_inflight : int;
+  cache_budget : int option;
+  cache_permuted : bool;
+  persist : string option;
+  persist_every : int;
+  log : (string -> unit) option;
+}
+
+let default_config =
+  {
+    unix_socket = None;
+    tcp_port = None;
+    tcp_host = "127.0.0.1";
+    jobs = 1;
+    max_inflight = 4;
+    cache_budget = None;
+    cache_permuted = false;
+    persist = None;
+    persist_every = 0;
+    log = None;
+  }
+
+type t = {
+  config : config;
+  obs : Mpl_obs.Obs.t;
+  metrics : Mpl_obs.Metrics.t;
+  pool : Mpl_engine.Pool.t;
+  cache : Mpl.Division.stats Mpl_engine.Cache.t;
+  served_c : Mpl_obs.Metrics.counter;
+  rejected_c : Mpl_obs.Metrics.counter;
+  errors_c : Mpl_obs.Metrics.counter;
+  admin_c : Mpl_obs.Metrics.counter;
+  latency_h : Mpl_obs.Metrics.histogram;
+  inflight_g : Mpl_obs.Metrics.gauge;
+  lock : Mutex.t;
+  drained : Condition.t;
+  mutable inflight : int;
+  mutable served : int;
+  mutable rejected : int;
+  mutable errors : int;
+  mutable conns : (Unix.file_descr * Thread.t option ref) list;
+  save_lock : Mutex.t;
+  stop : bool Atomic.t;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+}
+
+let log t msg = match t.config.log with Some f -> f msg | None -> ()
+
+(* Persistence codec for the cache's metadata payload (the division
+   statistics recorded with each solved component). *)
+let stats_to_string (s : Mpl.Division.stats) =
+  Printf.sprintf "%d %d %d %d" s.Mpl.Division.pieces
+    s.Mpl.Division.largest_piece s.Mpl.Division.peeled s.Mpl.Division.cuts
+
+let stats_of_string line =
+  match
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  with
+  | [ a; b; c; d ] -> (
+    match
+      ( int_of_string_opt a,
+        int_of_string_opt b,
+        int_of_string_opt c,
+        int_of_string_opt d )
+    with
+    | Some pieces, Some largest_piece, Some peeled, Some cuts ->
+      Some { Mpl.Division.pieces; largest_piece; peeled; cuts }
+    | _ -> None)
+  | _ -> None
+
+let create config =
+  if config.unix_socket = None && config.tcp_port = None then
+    invalid_arg "Server.create: no listener configured";
+  if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
+  if config.max_inflight < 1 then invalid_arg "Server.create: max_inflight < 1";
+  let metrics = Mpl_obs.Metrics.create () in
+  let obs = Mpl_obs.Obs.make ~sink:Mpl_obs.Sink.null ~metrics () in
+  let pool = Mpl_engine.Pool.create ~obs ~jobs:config.jobs () in
+  let cache =
+    Mpl_engine.Cache.create
+      ~mode:
+        (if config.cache_permuted then Mpl_engine.Cache.Permuted
+         else Mpl_engine.Cache.Exact)
+      ?byte_budget:config.cache_budget ~obs ()
+  in
+  let stop_r, stop_w = Unix.pipe () in
+  let t =
+    {
+      config;
+      obs;
+      metrics;
+      pool;
+      cache;
+      served_c = Mpl_obs.Metrics.counter metrics "server.served";
+      rejected_c = Mpl_obs.Metrics.counter metrics "server.rejected";
+      errors_c = Mpl_obs.Metrics.counter metrics "server.errors";
+      admin_c = Mpl_obs.Metrics.counter metrics "server.admin";
+      latency_h = Mpl_obs.Metrics.histogram metrics "server.request_ns";
+      inflight_g = Mpl_obs.Metrics.gauge metrics "server.inflight";
+      lock = Mutex.create ();
+      drained = Condition.create ();
+      inflight = 0;
+      served = 0;
+      rejected = 0;
+      errors = 0;
+      conns = [];
+      save_lock = Mutex.create ();
+      stop = Atomic.make false;
+      stop_r;
+      stop_w;
+    }
+  in
+  (match config.persist with
+  | Some path when Sys.file_exists path -> (
+    match
+      Mpl_engine.Cache.load t.cache ~value_of_string:stats_of_string path
+    with
+    | loaded, dropped ->
+      log t
+        (Printf.sprintf "cache: loaded %d entries from %s%s" loaded path
+           (if dropped > 0 then Printf.sprintf " (%d dropped)" dropped
+            else ""))
+    | exception Mpl_engine.Cache.Bad_file msg ->
+      log t (Printf.sprintf "cache: ignoring %s: %s" path msg)
+    | exception Sys_error msg -> log t (Printf.sprintf "cache: %s" msg))
+  | Some _ | None -> ());
+  t
+
+let request_stop t =
+  if not (Atomic.exchange t.stop true) then
+    try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1)
+    with Unix.Unix_error _ | Sys_error _ -> ()
+
+let save_cache t =
+  match t.config.persist with
+  | None -> ()
+  | Some path ->
+    Mutex.lock t.save_lock;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock t.save_lock)
+      (fun () ->
+        match
+          Mpl_engine.Cache.save t.cache ~value_to_string:stats_to_string path
+        with
+        | () ->
+          log t
+            (Printf.sprintf "cache: saved %d entries (%d bytes) to %s"
+               (Mpl_engine.Cache.length t.cache)
+               (Mpl_engine.Cache.bytes t.cache)
+               path)
+        | exception e ->
+          log t (Printf.sprintf "cache: save failed: %s" (Printexc.to_string e)))
+
+(* Direct-fd writes (no out_channel): the input side owns the only
+   buffered channel on the descriptor, so closing never double-closes
+   and a handler thread can stream PIECE lines without flush
+   bookkeeping. *)
+let send fd s =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let rec go off =
+    if off < n then
+      match Unix.write fd b off (n - off) with
+      | w -> go (off + w)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0
+
+let stats_json t =
+  Mutex.lock t.lock;
+  let served = t.served
+  and rejected = t.rejected
+  and errors = t.errors
+  and inflight = t.inflight in
+  Mutex.unlock t.lock;
+  let cs = Mpl_engine.Cache.stats t.cache in
+  let open Mpl_obs.Json in
+  to_string
+    (Obj
+       [
+         ( "server",
+           Obj
+             [
+               ("served", Int served);
+               ("rejected", Int rejected);
+               ("errors", Int errors);
+               ("inflight", Int inflight);
+               ("max_inflight", Int t.config.max_inflight);
+               ("jobs", Int (Mpl_engine.Pool.jobs t.pool));
+             ] );
+         ( "cache",
+           Obj
+             [
+               ("entries", Int cs.Mpl_engine.Cache.entries);
+               ("bytes", Int cs.Mpl_engine.Cache.resident_bytes);
+               ( "budget",
+                 match cs.Mpl_engine.Cache.byte_budget with
+                 | Some b -> Int b
+                 | None -> Null );
+               ("hits", Int cs.Mpl_engine.Cache.s_hits);
+               ("misses", Int cs.Mpl_engine.Cache.s_misses);
+               ("warm_hits", Int cs.Mpl_engine.Cache.s_warm_hits);
+               ("corrupt_drops", Int cs.Mpl_engine.Cache.s_corrupt_drops);
+               ("evictions", Int cs.Mpl_engine.Cache.s_evictions);
+             ] );
+       ])
+
+let metrics_json t =
+  Mpl_obs.Json.to_string
+    (Mpl_obs.Export.metrics_json (Mpl_obs.Metrics.snapshot t.metrics))
+
+let bump_errors t =
+  Mpl_obs.Metrics.incr t.errors_c;
+  Mutex.lock t.lock;
+  t.errors <- t.errors + 1;
+  Mutex.unlock t.lock
+
+(* Request priorities dominate piece sizes on the shared pool: the
+   per-piece priority within one request is its vertex count, so
+   scaling the request priority by 2^20 keeps requests strictly
+   ordered unless a single piece exceeds a million vertices. *)
+let priority_scale = 1 lsl 20
+
+let resolve_min_s ~k = function
+  | Some m -> m
+  | None ->
+    let tech = Mpl_layout.Layout.default_tech in
+    if k >= 5 then Mpl_layout.Layout.pentuple_min_s tech
+    else Mpl_layout.Layout.quadruple_min_s tech
+
+let run_request t fd (rp : Proto.request) body =
+  match Mpl_layout.Layout_io.of_string body with
+  | exception Mpl_layout.Layout_io.Parse_error { line; msg } ->
+    bump_errors t;
+    send fd (Proto.err_line ~code:"parse" ~line msg)
+  | layout -> (
+    send fd Proto.ack_line;
+    let min_s = resolve_min_s ~k:rp.Proto.k rp.Proto.min_s in
+    let params =
+      {
+        Mpl.Decomposer.default_params with
+        k = rp.Proto.k;
+        jobs = max 1 rp.Proto.jobs;
+        priority_bias = rp.Proto.priority * priority_scale;
+        cache = rp.Proto.cache;
+        cache_permuted = rp.Proto.permuted;
+        fault = rp.Proto.inject;
+      }
+    in
+    (* The shared table serves only requests whose reuse semantics
+       match its mode; a mode-mismatched request gets a private
+       per-request cache from the engine instead. *)
+    let shared_cache =
+      if
+        rp.Proto.cache
+        && rp.Proto.permuted
+           = (Mpl_engine.Cache.mode t.cache = Mpl_engine.Cache.Permuted)
+      then Some t.cache
+      else None
+    in
+    let on_component idx back colors =
+      send fd (Proto.piece_line ~idx ~back ~colors)
+    in
+    let t0 = Mpl_util.Timer.now_ns () in
+    match
+      let g = Mpl.Decomp_graph.of_layout ~obs:t.obs layout ~min_s in
+      Mpl.Decomposer.assign ~params ~obs:t.obs ~pool:t.pool ?shared_cache
+        ~on_component rp.Proto.algo g
+    with
+    | exception e ->
+      bump_errors t;
+      send fd (Proto.err_line ~code:"internal" (Printexc.to_string e))
+    | report ->
+      let cost = report.Mpl.Decomposer.cost in
+      send fd
+        (Proto.cost_line
+           {
+             Proto.conflicts = cost.Mpl.Coloring.conflicts;
+             stitches = cost.Mpl.Coloring.stitches;
+             scaled = cost.Mpl.Coloring.scaled;
+             elapsed_s = report.Mpl.Decomposer.elapsed_s;
+             timed_out = report.Mpl.Decomposer.timed_out;
+           });
+      (match report.Mpl.Decomposer.engine with
+      | Some e -> send fd (Proto.engine_line e)
+      | None -> ());
+      let res = report.Mpl.Decomposer.resilience in
+      send fd
+        (Proto.resilience_line
+           {
+             Proto.degraded = res.Mpl.Decomposer.degraded;
+             piece_failures = res.Mpl.Decomposer.piece_failures;
+             fallbacks = res.Mpl.Decomposer.fallback_attempts;
+             fired = res.Mpl.Decomposer.fault_fired;
+           });
+      (match report.Mpl.Decomposer.cache with
+      | Some cs ->
+        send fd
+          (Proto.cache_line
+             {
+               Proto.entries = cs.Mpl_engine.Cache.entries;
+               bytes = cs.Mpl_engine.Cache.resident_bytes;
+               hits = cs.Mpl_engine.Cache.s_hits;
+               misses = cs.Mpl_engine.Cache.s_misses;
+               warm_hits = cs.Mpl_engine.Cache.s_warm_hits;
+               corrupt_drops = cs.Mpl_engine.Cache.s_corrupt_drops;
+               evictions = cs.Mpl_engine.Cache.s_evictions;
+             })
+      | None -> ());
+      send fd (Proto.done_line report.Mpl.Decomposer.colors);
+      Mpl_obs.Metrics.observe t.latency_h
+        (Int64.to_float (Int64.sub (Mpl_util.Timer.now_ns ()) t0));
+      Mpl_obs.Metrics.incr t.served_c;
+      let served =
+        Mutex.lock t.lock;
+        t.served <- t.served + 1;
+        let s = t.served in
+        Mutex.unlock t.lock;
+        s
+      in
+      if
+        t.config.persist_every > 0
+        && served mod t.config.persist_every = 0
+      then save_cache t)
+
+let handle_decompose t fd ic nbytes rp =
+  match really_input_string ic nbytes with
+  | exception End_of_file ->
+    send fd (Proto.err_line ~code:"proto" "truncated request body");
+    false
+  | body ->
+    let admitted, inflight =
+      Mutex.lock t.lock;
+      let ok =
+        (not (Atomic.get t.stop)) && t.inflight < t.config.max_inflight
+      in
+      if ok then begin
+        t.inflight <- t.inflight + 1;
+        Mpl_obs.Metrics.set t.inflight_g (float_of_int t.inflight)
+      end
+      else t.rejected <- t.rejected + 1;
+      let infl = t.inflight in
+      Mutex.unlock t.lock;
+      (ok, infl)
+    in
+    if not admitted then begin
+      Mpl_obs.Metrics.incr t.rejected_c;
+      send fd (Proto.busy_line ~inflight ~limit:t.config.max_inflight)
+    end
+    else
+      Fun.protect
+        ~finally:(fun () ->
+          Mutex.lock t.lock;
+          t.inflight <- t.inflight - 1;
+          Mpl_obs.Metrics.set t.inflight_g (float_of_int t.inflight);
+          Condition.broadcast t.drained;
+          Mutex.unlock t.lock)
+        (fun () -> run_request t fd rp body);
+    true
+
+let handle_line t fd ic line =
+  match Proto.parse_command line with
+  | Error msg ->
+    send fd (Proto.err_line ~code:"proto" msg);
+    false
+  | Ok Proto.Ping ->
+    Mpl_obs.Metrics.incr t.admin_c;
+    send fd Proto.pong_line;
+    true
+  | Ok Proto.Stats ->
+    Mpl_obs.Metrics.incr t.admin_c;
+    send fd (stats_json t ^ "\n");
+    true
+  | Ok Proto.Metrics ->
+    Mpl_obs.Metrics.incr t.admin_c;
+    send fd (metrics_json t ^ "\n");
+    true
+  | Ok Proto.Quit ->
+    Mpl_obs.Metrics.incr t.admin_c;
+    send fd Proto.bye_line;
+    request_stop t;
+    false
+  | Ok (Proto.Decompose (nbytes, rp)) -> handle_decompose t fd ic nbytes rp
+
+let rec serve_conn t fd ic =
+  match input_line ic with
+  | exception End_of_file -> ()
+  | exception Sys_error _ -> ()
+  | line -> if handle_line t fd ic line then serve_conn t fd ic
+
+let spawn_handler t fd =
+  let cell = ref None in
+  Mutex.lock t.lock;
+  t.conns <- (fd, cell) :: t.conns;
+  Mutex.unlock t.lock;
+  let th =
+    Thread.create
+      (fun () ->
+        let ic = Unix.in_channel_of_descr fd in
+        (try serve_conn t fd ic
+         with _ -> () (* a dying connection never takes the server down *));
+        Mutex.lock t.lock;
+        t.conns <- List.filter (fun (f, _) -> f != fd) t.conns;
+        Mutex.unlock t.lock;
+        (* the in_channel owns the descriptor: this is the single close *)
+        close_in_noerr ic)
+      ()
+  in
+  cell := Some th
+
+let make_unix_listener path =
+  (match Unix.lstat path with
+  | st when st.Unix.st_kind = Unix.S_SOCK -> (
+    try Unix.unlink path with Unix.Unix_error _ -> ())
+  | _ -> ()
+  | exception Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind fd (Unix.ADDR_UNIX path);
+  Unix.listen fd 64;
+  fd
+
+let make_tcp_listener host port =
+  let addr =
+    try Unix.inet_addr_of_string host
+    with Failure _ -> (Unix.gethostbyname host).Unix.h_addr_list.(0)
+  in
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt fd Unix.SO_REUSEADDR true;
+  Unix.bind fd (Unix.ADDR_INET (addr, port));
+  Unix.listen fd 64;
+  fd
+
+let run t =
+  let listeners =
+    (match t.config.unix_socket with
+    | Some path ->
+      let fd = make_unix_listener path in
+      log t (Printf.sprintf "listening on unix:%s" path);
+      [ (fd, Some path) ]
+    | None -> [])
+    @
+    match t.config.tcp_port with
+    | Some port ->
+      let fd = make_tcp_listener t.config.tcp_host port in
+      log t (Printf.sprintf "listening on tcp:%s:%d" t.config.tcp_host port);
+      [ (fd, None) ]
+    | None -> []
+  in
+  let listen_fds = List.map fst listeners in
+  let rec accept_loop () =
+    if not (Atomic.get t.stop) then begin
+      match Unix.select (t.stop_r :: listen_fds) [] [] (-1.) with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      | ready, _, _ ->
+        if List.mem t.stop_r ready || Atomic.get t.stop then ()
+        else begin
+          List.iter
+            (fun lfd ->
+              if List.mem lfd ready then
+                match Unix.accept lfd with
+                | cfd, _ -> spawn_handler t cfd
+                | exception Unix.Unix_error _ -> ())
+            listen_fds;
+          accept_loop ()
+        end
+    end
+  in
+  accept_loop ();
+  (* Graceful drain: no new connections, in-flight requests finish and
+     send their full reply streams, then lingering idle connections are
+     broken so their handlers exit. *)
+  List.iter
+    (fun (lfd, path) ->
+      (try Unix.close lfd with Unix.Unix_error _ -> ());
+      match path with
+      | Some p -> ( try Unix.unlink p with Unix.Unix_error _ -> ())
+      | None -> ())
+    listeners;
+  Mutex.lock t.lock;
+  while t.inflight > 0 do
+    Condition.wait t.drained t.lock
+  done;
+  let conns = t.conns in
+  Mutex.unlock t.lock;
+  List.iter
+    (fun (fd, _) ->
+      try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+    conns;
+  List.iter
+    (fun (_, cell) -> match !cell with Some th -> Thread.join th | None -> ())
+    conns;
+  save_cache t;
+  Mpl_engine.Pool.shutdown t.pool;
+  (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
+  (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
+  log t "stopped"

@@ -1,0 +1,80 @@
+(** The decomposition daemon behind [mpld serve].
+
+    One process owns one work-stealing {!Mpl_engine.Pool} and one
+    shared, byte-budgeted {!Mpl_engine.Cache}; any number of client
+    connections (Unix-domain and/or TCP) submit {!Proto} requests that
+    are scheduled onto them. Three layers:
+
+    - {b transport}: one listener thread multiplexes the listening
+      sockets; each accepted connection gets a handler thread that
+      reads newline-framed requests and streams replies. Handler
+      threads coordinate pool work but solve nothing themselves, so
+      OCaml's systhread serialization costs nothing — the parallelism
+      lives in the pool's worker domains.
+    - {b scheduler}: admission control bounds the number of requests
+      decomposing at once ([max_inflight]); a request over the bound
+      gets an immediate [BUSY] reply instead of queueing (the client
+      owns its retry policy). Admitted requests map their protocol
+      priority onto pool priorities through
+      [Decomposer.params.priority_bias], scaled so that any
+      higher-priority request's pieces dequeue before any
+      lower-priority request's regardless of piece size.
+    - {b shared cache}: all requests with compatible reuse semantics
+      share one cache; piece signatures are salted with each request's
+      solver-parameter fingerprint, so entries can never cross
+      parameter settings. The cache is optionally persisted: loaded on
+      boot, saved on graceful shutdown and every [persist_every]
+      served requests. A request asking for the reuse mode the server
+      cache was not built with ([permuted] vs. exact) gets a private
+      per-request cache instead — never a mode-mismatched shared one.
+
+    Shutdown (SIGTERM via {!request_stop}, or a client [QUIT]) is a
+    clean drain: stop accepting, let in-flight requests finish, close
+    lingering idle connections, persist the cache, then release the
+    pool. *)
+
+type config = {
+  unix_socket : string option;  (** path to bind a Unix-domain listener *)
+  tcp_port : int option;  (** port to bind a TCP listener *)
+  tcp_host : string;  (** TCP bind address (default "127.0.0.1") *)
+  jobs : int;  (** worker domains of the shared pool *)
+  max_inflight : int;  (** concurrent DECOMPOSE bound; excess gets BUSY *)
+  cache_budget : int option;  (** shared-cache byte budget *)
+  cache_permuted : bool;  (** shared cache reuse mode (default exact) *)
+  persist : string option;  (** cache persistence file *)
+  persist_every : int;
+      (** also save the cache every N served requests (0 = only on
+          shutdown) *)
+  log : (string -> unit) option;  (** operational log lines (no newline) *)
+}
+
+val default_config : config
+(** No listeners (callers must set at least one), [jobs = 1],
+    [max_inflight = 4], unlimited exact-mode cache, no persistence,
+    no log. *)
+
+type t
+
+val create : config -> t
+(** Allocate the pool and the shared cache; load the persisted cache
+    if [persist] names a readable file (a structurally bad file is
+    logged and ignored — the server boots cold rather than not at
+    all).
+    @raise Invalid_argument if no listener is configured, [jobs < 1],
+    or [max_inflight < 1]. *)
+
+val request_stop : t -> unit
+(** Begin graceful shutdown; safe to call from a signal handler and
+    idempotent. {!run} returns once the drain completes. *)
+
+val run : t -> unit
+(** Bind the configured listeners and serve until {!request_stop} (or
+    a client [QUIT]). Returns after the drain: all in-flight requests
+    finished, sockets closed and the Unix socket path unlinked, cache
+    persisted, pool shut down.
+    @raise Unix.Unix_error if a listener cannot bind. *)
+
+val stats_json : t -> string
+(** The [STATS] payload: server counters (served / rejected / errors /
+    in-flight / limits) plus the shared cache's {!Mpl_engine.Cache.stats},
+    as one compact JSON line (no trailing newline). Exposed for tests. *)

@@ -9,6 +9,7 @@ let () =
       ("layout", Test_layout.suite);
       ("core", Test_core.suite);
       ("engine", Test_engine.suite);
+      ("server", Test_server.suite);
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);

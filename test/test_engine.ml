@@ -394,6 +394,156 @@ let test_cache_corrupt_dropped () =
   | None -> Alcotest.fail "expected hit after clean store"
 
 (* ------------------------------------------------------------------ *)
+(* LRU byte budget + disk persistence *)
+
+(* Distinct path graphs: every length gets its own canonical key. *)
+let path_sig n =
+  sig_of_edges ~n ~ce:(List.init (n - 1) (fun i -> (i, i + 1))) ~se:[]
+
+let path_colors s = Array.init s.Cache.n (fun v -> v mod 2)
+
+(* Measure what one entry is charged by storing it alone. *)
+let entry_size s =
+  let c = Cache.create ~mode:Cache.Exact () in
+  Cache.store c s (path_colors s, ());
+  Cache.bytes c
+
+let test_cache_lru_eviction_order () =
+  let a = path_sig 6 and b = path_sig 7 and c = path_sig 8 in
+  (* d is strictly smaller than any resident entry, so pushing it over
+     the budget evicts exactly one LRU victim. *)
+  let d = path_sig 3 in
+  let budget = entry_size a + entry_size b + entry_size c in
+  let cache = Cache.create ~mode:Cache.Exact ~byte_budget:budget () in
+  List.iter (fun s -> Cache.store cache s (path_colors s, ())) [ a; b; c ];
+  Alcotest.(check int) "all three resident" 3 (Cache.length cache);
+  (* Touch [a]: recency refresh makes [b] the LRU entry. *)
+  Alcotest.(check bool) "refresh probe hits" true (Cache.find cache a <> None);
+  Cache.store cache d (path_colors d, ());
+  Alcotest.(check int) "one eviction" 1 (Cache.evictions cache);
+  Alcotest.(check bool) "LRU victim evicted" true (Cache.find cache b = None);
+  List.iter
+    (fun (name, s) ->
+      Alcotest.(check bool) (name ^ " survives") true (Cache.find cache s <> None))
+    [ ("touched entry", a); ("recent entry", c); ("new entry", d) ];
+  Alcotest.(check bool) "still within budget" true (Cache.bytes cache <= budget)
+
+let test_cache_byte_budget_modes () =
+  List.iter
+    (fun mode ->
+      let sigs = List.init 10 (fun i -> path_sig (i + 3)) in
+      let total = List.fold_left (fun acc s -> acc + entry_size s) 0 sigs in
+      let budget = total / 2 in
+      let cache = Cache.create ~mode ~byte_budget:budget () in
+      List.iter
+        (fun s ->
+          Cache.store cache s (path_colors s, ());
+          Alcotest.(check bool) "resident bytes within budget" true
+            (Cache.bytes cache <= budget))
+        sigs;
+      Alcotest.(check bool) "budget forced evictions" true
+        (Cache.evictions cache > 0);
+      Alcotest.(check bool) "not all entries resident" true
+        (Cache.length cache < List.length sigs);
+      (* The snapshot agrees with the individual accessors. *)
+      let st = Cache.stats cache in
+      Alcotest.(check int) "stats entries" (Cache.length cache) st.Cache.entries;
+      Alcotest.(check int) "stats bytes" (Cache.bytes cache)
+        st.Cache.resident_bytes;
+      Alcotest.(check (option int)) "stats budget" (Some budget)
+        st.Cache.byte_budget;
+      Alcotest.(check int) "stats evictions" (Cache.evictions cache)
+        st.Cache.s_evictions)
+    [ Cache.Exact; Cache.Permuted ]
+
+let test_cache_salt_partitions () =
+  let relations = [| [ (0, 1); (1, 2) ]; [] |] in
+  let s4 = Cache.signature_salted ~salt:"k=4" ~n:3 ~relations in
+  let s5 = Cache.signature_salted ~salt:"k=5" ~n:3 ~relations in
+  Alcotest.(check bool) "salts split the key space" false
+    (String.equal s4.Cache.key s5.Cache.key);
+  let cache = Cache.create ~mode:Cache.Permuted () in
+  Cache.store cache s4 ([| 0; 1; 0 |], ());
+  Alcotest.(check bool) "same piece, other salt: miss" true
+    (Cache.find cache s5 = None);
+  Alcotest.check_raises "newline salts rejected"
+    (Invalid_argument "Cache.signature: salt must not contain newlines")
+    (fun () ->
+      ignore (Cache.signature_salted ~salt:"a\nb" ~n:1 ~relations:[| [] |]))
+
+let read_lines path =
+  let ic = open_in_bin path in
+  Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let write_lines path lines =
+  let oc = open_out_bin path in
+  Fun.protect ~finally:(fun () -> close_out_noerr oc) @@ fun () ->
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines
+
+let test_cache_persist_roundtrip_corruption () =
+  let sigs = [ path_sig 3; path_sig 4; path_sig 5 ] in
+  let cache = Cache.create ~mode:Cache.Exact () in
+  List.iter (fun s -> Cache.store cache s (path_colors s, ())) sigs;
+  let path = Filename.temp_file "mplcache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Cache.save cache ~value_to_string:(fun () -> "") path;
+      (* Clean round trip: every entry survives and hits. *)
+      let fresh = Cache.create ~mode:Cache.Exact () in
+      let loaded, dropped =
+        Cache.load fresh ~value_of_string:(fun _ -> Some ()) path
+      in
+      Alcotest.(check (pair int int)) "clean load" (3, 0) (loaded, dropped);
+      List.iter
+        (fun s ->
+          match Cache.find fresh s with
+          | Some (colors, ()) ->
+            Alcotest.(check (array int)) "round-tripped coloring"
+              (path_colors s) colors
+          | None -> Alcotest.fail "entry lost in round trip")
+        sigs;
+      (* Flip one character of the SECOND entry's coloring line (the
+         format is one header plus four lines per entry, LRU-first, so
+         that is line index 3 + 4*1). The checksum must drop exactly
+         that entry; its neighbours are untouched. *)
+      let lines = Array.of_list (read_lines path) in
+      Alcotest.(check int) "expected file shape" 13 (Array.length lines);
+      let idx = 3 + (4 * 1) in
+      let l = lines.(idx) in
+      let last = String.length l - 1 in
+      lines.(idx) <-
+        String.sub l 0 last ^ (if l.[last] = '0' then "1" else "0");
+      write_lines path (Array.to_list lines);
+      let damaged = Cache.create ~mode:Cache.Exact () in
+      let loaded, dropped =
+        Cache.load damaged ~value_of_string:(fun _ -> Some ()) path
+      in
+      Alcotest.(check (pair int int)) "one entry dropped" (2, 1)
+        (loaded, dropped);
+      Alcotest.(check bool) "corrupted entry gone" true
+        (Cache.find damaged (path_sig 4) = None);
+      Alcotest.(check bool) "first neighbour intact" true
+        (Cache.find damaged (path_sig 3) <> None);
+      Alcotest.(check bool) "second neighbour intact" true
+        (Cache.find damaged (path_sig 5) <> None);
+      (* A mode-mismatched file is refused outright. *)
+      let wrong = Cache.create ~mode:Cache.Permuted () in
+      match Cache.load wrong ~value_of_string:(fun _ -> Some ()) path with
+      | _ -> Alcotest.fail "expected Bad_file"
+      | exception Cache.Bad_file _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Phase breakdown *)
 
 let test_phases_report () =
@@ -576,6 +726,14 @@ let suite =
       test_engine_validate_rejects;
     Alcotest.test_case "cache: corruption detected by checksum" `Quick
       test_cache_corrupt_dropped;
+    Alcotest.test_case "cache: LRU eviction order" `Quick
+      test_cache_lru_eviction_order;
+    Alcotest.test_case "cache: byte budget in both modes" `Quick
+      test_cache_byte_budget_modes;
+    Alcotest.test_case "cache: salt partitions the table" `Quick
+      test_cache_salt_partitions;
+    Alcotest.test_case "cache: persistence round trip + corruption" `Quick
+      test_cache_persist_roundtrip_corruption;
     Alcotest.test_case "timer: atomic shared budget" `Quick test_budget_atomic;
     QCheck_alcotest.to_alcotest prop_jobs_cache_invariant;
     QCheck_alcotest.to_alcotest prop_permuted_cache_valid;

@@ -1,0 +1,344 @@
+(* End-to-end tests for the mpl_server subsystem: protocol round
+   trips, server/one-shot parity (bit-identical colorings over a Unix
+   socket, including under concurrent mixed-priority requests), the
+   shared cross-request cache (second identical request fully
+   cache-served), resilience reporting under fault injection, and the
+   persisted-cache warm restart. *)
+
+module Server = Mpl_server.Server
+module Client = Mpl_server.Client
+module Proto = Mpl_server.Proto
+module Engine = Mpl_engine.Engine
+module Fault = Mpl_engine.Fault
+module D = Mpl.Decomposer
+module C = Mpl.Coloring
+module G = Mpl.Decomp_graph
+
+(* ------------------------------------------------------------------ *)
+(* Protocol round trips (pure, no sockets) *)
+
+let test_proto_request_roundtrip () =
+  let r =
+    {
+      Proto.k = 5;
+      algo = D.Sdp_backtrack;
+      jobs = 3;
+      priority = 7;
+      min_s = Some 110;
+      cache = false;
+      permuted = true;
+      inject = Some { Fault.site = Fault.Solver_raise; seed = 9; shots = 2 };
+    }
+  in
+  let line = Proto.encode_request r ~body_len:123 in
+  Alcotest.(check bool) "newline-terminated" true
+    (String.length line > 0 && line.[String.length line - 1] = '\n');
+  match Proto.parse_command (String.sub line 0 (String.length line - 1)) with
+  | Ok (Proto.Decompose (len, r')) ->
+    Alcotest.(check int) "body length" 123 len;
+    Alcotest.(check bool) "request fields survive" true (r' = r)
+  | Ok _ -> Alcotest.fail "parsed as a different command"
+  | Error msg -> Alcotest.failf "round trip failed: %s" msg
+
+let test_proto_reply_roundtrips () =
+  let check_roundtrip name line expected =
+    Alcotest.(check bool) "line framed" true
+      (line.[String.length line - 1] = '\n');
+    match Proto.parse_reply (String.sub line 0 (String.length line - 1)) with
+    | Ok r -> Alcotest.(check bool) name true (r = expected)
+    | Error msg -> Alcotest.failf "%s: %s" name msg
+  in
+  check_roundtrip "busy" (Proto.busy_line ~inflight:4 ~limit:4)
+    (Proto.Busy (4, 4));
+  check_roundtrip "piece"
+    (Proto.piece_line ~idx:2 ~back:[| 5; 9; 11 |] ~colors:[| 0; 3; 1 |])
+    (Proto.Piece { idx = 2; cells = [| (5, 0); (9, 3); (11, 1) |] });
+  check_roundtrip "done" (Proto.done_line [| 1; 0; 2; 3 |])
+    (Proto.Done [| 1; 0; 2; 3 |]);
+  check_roundtrip "err"
+    (Proto.err_line ~code:"parse" ~line:12 "bad rect\nnext")
+    (Proto.Err { code = "parse"; line = Some 12; msg = "bad rect; next" });
+  let cost =
+    {
+      Proto.conflicts = 3;
+      stitches = 7;
+      scaled = 37;
+      elapsed_s = 0.25;
+      timed_out = false;
+    }
+  in
+  check_roundtrip "cost" (Proto.cost_line cost) (Proto.Cost cost)
+
+(* ------------------------------------------------------------------ *)
+(* A small but non-trivial layout shared by every server test. *)
+
+let spec =
+  {
+    Mpl_layout.Benchgen.name = "serve";
+    seed = 7;
+    rows = 2;
+    cells_per_row = 6;
+    density = 0.5;
+    wire_fraction = 0.4;
+    sparse_gap_prob = 0.7;
+    native_five = 1;
+    native_six = 0;
+    hard_blocks = 0;
+    stitch_gadgets = 1;
+    penta_six = 0;
+  }
+
+let layout = lazy (Mpl_layout.Benchgen.generate spec)
+let body = lazy (Mpl_layout.Layout_io.to_string (Lazy.force layout))
+let min_s = 80
+
+let reference = Hashtbl.create 4
+
+(* One-shot result for parity checks, computed once per algorithm. *)
+let one_shot algo =
+  match Hashtbl.find_opt reference algo with
+  | Some r -> r
+  | None ->
+    let _g, r = D.decompose ~min_s algo (Lazy.force layout) in
+    Hashtbl.add reference algo r;
+    r
+
+let request ?(algo = D.Sdp_backtrack) ?(priority = 0) ?(cache = true)
+    ?inject () =
+  {
+    Proto.default_request with
+    Proto.algo;
+    priority;
+    cache;
+    inject;
+    min_s = Some min_s;
+  }
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Server harness: boot on a fresh Unix socket, run the body, then
+   drain gracefully (request_stop + join runs the cache save). *)
+
+let sock_counter = ref 0
+
+let fresh_sock () =
+  incr sock_counter;
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "mpld-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
+
+let with_server ?(jobs = 2) ?(max_inflight = 8) ?cache_budget ?persist f =
+  let sock = fresh_sock () in
+  let cfg =
+    {
+      Server.default_config with
+      Server.unix_socket = Some sock;
+      jobs;
+      max_inflight;
+      cache_budget;
+      persist;
+    }
+  in
+  let t = Server.create cfg in
+  let th = Thread.create Server.run t in
+  Fun.protect
+    ~finally:(fun () ->
+      Server.request_stop t;
+      Thread.join th;
+      try Sys.remove sock with Sys_error _ -> ())
+    (fun () ->
+      (* The listener binds asynchronously: poll until it accepts. *)
+      let rec wait n =
+        if n = 0 then Alcotest.fail "server did not come up";
+        match Client.connect_unix sock with
+        | c -> Client.close c
+        | exception Unix.Unix_error _ ->
+          Thread.delay 0.01;
+          wait (n - 1)
+      in
+      wait 500;
+      f sock t)
+
+let with_client sock f =
+  let c = Client.connect_unix sock in
+  Fun.protect ~finally:(fun () -> Client.close c) (fun () -> f c)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Parity: the served result is bit-identical to the one-shot path. *)
+
+let check_parity algo (out : Client.outcome) =
+  let r = one_shot algo in
+  Alcotest.(check (array int)) "bit-identical coloring" r.D.colors out.colors;
+  Alcotest.(check int) "same conflicts" r.D.cost.C.conflicts
+    out.cost.Proto.conflicts;
+  Alcotest.(check int) "same stitches" r.D.cost.C.stitches
+    out.cost.Proto.stitches;
+  Alcotest.(check bool) "stream matches final coloring" true
+    out.streams_consistent;
+  Alcotest.(check bool) "pieces were streamed" true (out.streamed_pieces > 0)
+
+let test_serve_parity () =
+  with_server (fun sock _t ->
+      with_client sock (fun c ->
+          Alcotest.(check bool) "ping" true (Client.ping c);
+          (* Two algorithms through one shared cache: the parameter
+             salt keeps their entries apart. *)
+          List.iter
+            (fun algo ->
+              let out = ok (Client.decompose c ~request:(request ~algo ()) (Lazy.force body)) in
+              check_parity algo out)
+            [ D.Sdp_backtrack; D.Linear ];
+          (let s = ok (Client.stats c) in
+           Alcotest.(check bool) "stats is JSON" true (s.[0] = '{');
+           Alcotest.(check bool) "stats has server block" true
+             (contains s "\"served\"");
+           Alcotest.(check bool) "stats has cache block" true
+             (contains s "\"cache\""));
+          let m = ok (Client.metrics c) in
+          Alcotest.(check bool) "metrics is JSON" true (m.[0] = '{')))
+
+let test_serve_concurrent_priorities () =
+  with_server ~jobs:2 ~max_inflight:8 (fun sock _t ->
+      let algo = D.Sdp_backtrack in
+      let n = 8 in
+      let priorities = [| 0; 9; 1; 5; 9; 0; 5; 1 |] in
+      let results = Array.make n None in
+      let worker i =
+        let r =
+          try
+            with_client sock (fun c ->
+                Client.decompose c
+                  ~request:(request ~algo ~priority:priorities.(i) ())
+                  (Lazy.force body))
+          with e -> Error (Client.Protocol (Printexc.to_string e))
+        in
+        results.(i) <- Some r
+      in
+      let threads = List.init n (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i r ->
+          match r with
+          | None -> Alcotest.failf "request %d never completed" i
+          | Some r ->
+            (* Priority changes scheduling only: every concurrent
+               request must still be bit-identical to the one-shot. *)
+            check_parity algo (ok r))
+        results)
+
+(* ------------------------------------------------------------------ *)
+(* Shared cache: a repeated request is served without solving. *)
+
+let test_serve_repeat_cache_hits () =
+  with_server (fun sock _t ->
+      with_client sock (fun c ->
+          let req = request () in
+          let first = ok (Client.decompose c ~request:req (Lazy.force body)) in
+          let second = ok (Client.decompose c ~request:req (Lazy.force body)) in
+          Alcotest.(check (array int)) "identical colorings" first.colors
+            second.colors;
+          match second.engine with
+          | None -> Alcotest.fail "expected engine stats"
+          | Some e ->
+            Alcotest.(check bool) "routed pieces" true (e.Engine.pieces > 0);
+            Alcotest.(check int) "nothing solved fresh" 0 e.Engine.solved;
+            Alcotest.(check int) "every piece cache-served" e.Engine.pieces
+              e.Engine.hits;
+            (match second.cache with
+            | None -> Alcotest.fail "expected a CACHE line"
+            | Some ci ->
+              Alcotest.(check bool) "shared cache is resident" true
+                (ci.Proto.entries > 0 && ci.Proto.bytes > 0))))
+
+(* ------------------------------------------------------------------ *)
+(* Fault injection: the RESILIENCE line reflects the degraded solve,
+   and the degraded coloring is still complete, in range and honestly
+   costed. *)
+
+let test_serve_inject_resilience () =
+  with_server ~jobs:1 (fun sock _t ->
+      with_client sock (fun c ->
+          let inject = { Fault.site = Fault.Solver_raise; seed = 0; shots = 1 } in
+          let req = request ~cache:false ~inject () in
+          let out = ok (Client.decompose c ~request:req (Lazy.force body)) in
+          Alcotest.(check bool) "injection fired" true out.resilience.Proto.fired;
+          Alcotest.(check bool) "solver failure recorded" true
+            (out.resilience.Proto.piece_failures >= 1);
+          Alcotest.(check bool) "fallback ladder ran" true
+            (out.resilience.Proto.fallbacks >= 1);
+          (* The injected raise is absorbed by the fallback ladder, so
+             the engine driver itself never sees a failure. *)
+          (match out.engine with
+          | Some e -> Alcotest.(check int) "no driver-level failures" 0 e.Engine.failed
+          | None -> Alcotest.fail "expected engine stats");
+          (* Degraded, not wrong: the reply's cost must be the true cost
+             of the reply's coloring. *)
+          Alcotest.(check bool) "coloring complete" true
+            (C.is_complete out.colors);
+          Alcotest.(check bool) "coloring in range" true
+            (C.check_range ~k:4 out.colors);
+          let g = G.of_layout (Lazy.force layout) ~min_s in
+          let cost = C.evaluate g out.colors in
+          Alcotest.(check int) "honest conflicts" cost.C.conflicts
+            out.cost.Proto.conflicts;
+          Alcotest.(check int) "honest stitches" cost.C.stitches
+            out.cost.Proto.stitches))
+
+(* ------------------------------------------------------------------ *)
+(* Persistence: a restarted server answers from the reloaded cache. *)
+
+let test_serve_persist_warm_restart () =
+  let persist = Filename.temp_file "mpld-cache" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove persist with Sys_error _ -> ())
+    (fun () ->
+      Sys.remove persist;
+      (* first life: populate and (on drain) persist the cache *)
+      let first =
+        with_server ~persist (fun sock _t ->
+            with_client sock (fun c ->
+                ok (Client.decompose c ~request:(request ()) (Lazy.force body))))
+      in
+      Alcotest.(check bool) "cache file persisted" true
+        (Sys.file_exists persist);
+      (* second life: the very first request is answered warm *)
+      with_server ~persist (fun sock _t ->
+          with_client sock (fun c ->
+              let out =
+                ok (Client.decompose c ~request:(request ()) (Lazy.force body))
+              in
+              Alcotest.(check (array int)) "warm restart parity" first.colors
+                out.colors;
+              match out.engine with
+              | None -> Alcotest.fail "expected engine stats"
+              | Some e ->
+                Alcotest.(check int) "no fresh solves after reload" 0
+                  e.Engine.solved;
+                Alcotest.(check int) "all pieces from the reloaded cache"
+                  e.Engine.pieces e.Engine.hits)))
+
+let suite =
+  [
+    Alcotest.test_case "proto: request round trip" `Quick
+      test_proto_request_roundtrip;
+    Alcotest.test_case "proto: reply round trips" `Quick
+      test_proto_reply_roundtrips;
+    Alcotest.test_case "serve: one-shot parity + admin" `Quick
+      test_serve_parity;
+    Alcotest.test_case "serve: concurrent mixed priorities" `Quick
+      test_serve_concurrent_priorities;
+    Alcotest.test_case "serve: repeat request fully cached" `Quick
+      test_serve_repeat_cache_hits;
+    Alcotest.test_case "serve: resilience under injection" `Quick
+      test_serve_inject_resilience;
+    Alcotest.test_case "serve: persisted cache warm restart" `Quick
+      test_serve_persist_warm_restart;
+  ]

@@ -79,4 +79,69 @@ case "$err" in
   exit 1 ;;
 esac
 
+# Smoke: the decomposition server. Boot on a temp Unix socket with a
+# persisted cache; the served coloring must be byte-identical to the
+# one-shot CLI's, a repeated request must be answered entirely from the
+# shared cache, the admin endpoints must answer, and after a graceful
+# shutdown a restarted server must answer warm from the persisted file.
+MPLD=_build/default/bin/mpld.exe
+sock=/tmp/mpld-smoke-$$.sock
+cachef=/tmp/mpld-smoke-$$.cache
+srvlog=/tmp/mpld-smoke-$$.log
+ref=$(mktemp /tmp/mpld-ref.XXXXXX)
+got=$(mktemp /tmp/mpld-got.XXXXXX)
+srv=""
+server_fail() {
+  echo "tier1: $1" >&2
+  [ -n "$srv" ] && kill "$srv" 2>/dev/null
+  cat "$srvlog" >&2
+  exit 1
+}
+start_server() {
+  "$MPLD" serve --socket "$sock" -j 2 --persist "$cachef" 2>> "$srvlog" &
+  srv=$!
+  i=0
+  while [ ! -S "$sock" ]; do
+    i=$((i + 1))
+    [ "$i" -gt 100 ] && server_fail "server did not come up"
+    sleep 0.1
+  done
+}
+
+"$MPLD" decompose S15850 -a linear --colors "$ref" > /dev/null 2>&1
+
+start_server
+"$MPLD" client --socket "$sock" S15850 -a linear --colors "$got" \
+  > /dev/null 2>&1
+cmp -s "$ref" "$got" || server_fail "served coloring diverged from one-shot"
+
+# The identical repeat request must be answered without a single fresh
+# solve — every piece served from the shared cache.
+rep=$("$MPLD" client --socket "$sock" S15850 -a linear 2>/dev/null)
+echo "$rep" | grep -Eq "engine: pieces=[1-9][0-9]* solved=0 hits=[1-9]" \
+  || server_fail "repeat request was not fully cache-served: $rep"
+
+"$MPLD" client --socket "$sock" --stats 2>/dev/null | grep -q '"served"' \
+  || server_fail "STATS endpoint missing server counters"
+"$MPLD" client --socket "$sock" --metrics 2>/dev/null | grep -q 'cache' \
+  || server_fail "METRICS endpoint missing cache metrics"
+
+# Graceful shutdown persists the cache...
+"$MPLD" client --socket "$sock" --quit 2>/dev/null
+wait "$srv" || server_fail "server exited nonzero on graceful shutdown"
+srv=""
+[ -s "$cachef" ] || server_fail "shutdown did not persist the cache"
+
+# ...and a restarted server answers its very first request warm.
+start_server
+warm=$("$MPLD" client --socket "$sock" S15850 -a linear --colors "$got" \
+  2>/dev/null)
+echo "$warm" | grep -Eq "engine: pieces=[1-9][0-9]* solved=0 hits=[1-9]" \
+  || server_fail "restarted server did not reload the persisted cache: $warm"
+cmp -s "$ref" "$got" || server_fail "warm-restart coloring diverged"
+"$MPLD" client --socket "$sock" --quit 2>/dev/null
+wait "$srv" || server_fail "server exited nonzero after warm restart"
+srv=""
+rm -f "$sock" "$cachef" "$srvlog" "$ref" "$got"
+
 echo "tier1: OK"
