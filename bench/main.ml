@@ -574,6 +574,7 @@ let parallel_circuits = [ "S38417"; "S35932"; "S38584"; "S15850" ]
 type parallel_row = {
   p_circuit : string;
   p_algorithm : string;
+  p_k : int;  (* mask count of the run (4 unless the K sweep) *)
   p_jobs : int;
   p_cache : bool;
   p_wall_s : float;
@@ -595,15 +596,15 @@ let json_of_rows rows =
       if i > 0 then Buffer.add_string b ",\n";
       Buffer.add_string b
         (Printf.sprintf
-           "    {\"circuit\": %S, \"algorithm\": %S, \"jobs\": %d, \"cache\": \
-            %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \"cache_hits\": \
-            %d, \"cache_bytes\": %d, \"pieces\": %d, \"degraded_pieces\": \
-            %d, \"phases\": {\"build_s\": %.6f, \"division_s\": %.6f, \
-            \"solve_s\": %.6f, \"merge_s\": %.6f}}"
-           r.p_circuit r.p_algorithm r.p_jobs r.p_cache r.p_wall_s r.p_cn
-           r.p_st r.p_cache_hits r.p_cache_bytes r.p_pieces r.p_degraded
-           r.p_build_s r.p_phases.D.division_s r.p_phases.D.solve_s
-           r.p_phases.D.merge_s))
+           "    {\"circuit\": %S, \"algorithm\": %S, \"k\": %d, \"jobs\": %d, \
+            \"cache\": %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \
+            \"cache_hits\": %d, \"cache_bytes\": %d, \"pieces\": %d, \
+            \"degraded_pieces\": %d, \"phases\": {\"build_s\": %.6f, \
+            \"division_s\": %.6f, \"solve_s\": %.6f, \"merge_s\": %.6f}}"
+           r.p_circuit r.p_algorithm r.p_k r.p_jobs r.p_cache r.p_wall_s
+           r.p_cn r.p_st r.p_cache_hits r.p_cache_bytes r.p_pieces
+           r.p_degraded r.p_build_s r.p_phases.D.division_s
+           r.p_phases.D.solve_s r.p_phases.D.merge_s))
     rows;
   Buffer.add_string b "\n  ]";
   Buffer.contents b
@@ -634,8 +635,14 @@ let git_commit () =
    --stamp, never read from the clock inside the benchmark loop), result
    rows gain "cache_bytes" (resident piece-cache footprint after the
    run) and the same document is also written to the history file
-   <commit>-<stamp>.json next to latest.json. *)
-let results_schema_version = 6
+   <commit>-<stamp>.json next to latest.json.
+   Schema v7: result rows gain "k" (mask count; older documents imply
+   k=4) and the matrix grows single-job solver baselines — ILP (10s
+   budget), SDP+Greedy and Linear on C432/C880/S1488 at k=4, plus a
+   K=5/6 sweep of SDP+Backtrack and Linear on the same circuits — so
+   [bench compare] can gate every solver family and mask count, keyed
+   circuit|algorithm|jobs|cache|k. *)
+let results_schema_version = 7
 
 let json_of_kernels rows =
   let b = Buffer.create 1024 in
@@ -787,6 +794,7 @@ let parallel () =
             {
               p_circuit = name;
               p_algorithm = D.algorithm_name algo;
+              p_k = 4;
               p_jobs = jobs;
               p_cache = cache;
               p_wall_s = r.D.elapsed_s;
@@ -805,10 +813,181 @@ let parallel () =
             :: !rows)
         settings)
     parallel_circuits;
+  (* Single-job solver baselines on three small circuits: every solver
+     family at k=4 plus a K=5/6 sweep. Cheap to run, and they give the
+     compare gate a row per algorithm and mask count so a slowdown in
+     one solver can't hide behind the Sdp_backtrack-only matrix above. *)
+  Format.printf "@.=== Solver baselines: algorithm matrix and K sweep ===@.";
+  let small_circuits = [ "C432"; "C880"; "S1488" ] in
+  let sweep =
+    [
+      (4, 80, [ (D.Ilp, 10.); (D.Sdp_greedy, 0.); (D.Linear, 0.) ]);
+      (5, 110, [ (D.Sdp_backtrack, 0.); (D.Linear, 0.) ]);
+      (6, 135, [ (D.Sdp_backtrack, 0.); (D.Linear, 0.) ]);
+    ]
+  in
+  List.iter
+    (fun name ->
+      List.iter
+        (fun (k, min_s, algos) ->
+          let g, build_s =
+            Mpl_util.Timer.time (fun () -> build_graph ~min_s name)
+          in
+          List.iter
+            (fun (algo, budget) ->
+              let params =
+                { D.default_params with D.k; solver_budget_s = budget }
+              in
+              let r = D.assign ~params algo g in
+              Format.printf
+                "%-8s %-13s k=%d cn#=%-4d st#=%-4d wall=%.3fs@." name
+                (D.algorithm_name algo) k r.D.cost.C.conflicts
+                r.D.cost.C.stitches r.D.elapsed_s;
+              rows :=
+                {
+                  p_circuit = name;
+                  p_algorithm = D.algorithm_name algo;
+                  p_k = k;
+                  p_jobs = 1;
+                  p_cache = false;
+                  p_wall_s = r.D.elapsed_s;
+                  p_cn = r.D.cost.C.conflicts;
+                  p_st = r.D.cost.C.stitches;
+                  p_cache_hits = 0;
+                  p_cache_bytes = 0;
+                  p_pieces = r.D.division.Mpl.Division.pieces;
+                  p_degraded = r.D.resilience.D.degraded;
+                  p_build_s = build_s;
+                  p_phases = r.D.phases;
+                }
+                :: !rows)
+            algos)
+        sweep)
+    small_circuits;
   let kernels = kernel_rows () in
   print_kernel_rows kernels;
   write_results ?metrics:!metrics_sample ~kernels ~stamp:!run_stamp
     (List.rev !rows)
+
+(* ------------------------------------------------------------------ *)
+(* Regression gate (bench compare A.json B.json [--threshold PCT]):    *)
+(* compare two results documents row by row and exit nonzero if the    *)
+(* candidate B is slower than the baseline A past the threshold. Rows  *)
+(* are keyed circuit|algorithm|jobs|cache|k (k defaults to 4 for       *)
+(* schema <= 6 documents, which predate the per-row field); kernel     *)
+(* rows are keyed kernel|variant|case. Tiny timings are noise, so a    *)
+(* regression must also clear an absolute floor (0.01s seconds rows,   *)
+(* 10000ns kernel rows). Missing counterparts are noted, not fatal,    *)
+(* so the matrix can grow without breaking old baselines.              *)
+
+module J = Mpl_obs.Json
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let jnum name obj = Option.bind (J.member name obj) J.to_float
+
+let jstr name obj =
+  match J.member name obj with Some (J.Str s) -> Some s | _ -> None
+
+let jbool name obj =
+  match J.member name obj with Some (J.Bool b) -> Some b | _ -> None
+
+let row_key r =
+  Printf.sprintf "%s|%s|jobs=%.0f|cache=%b|k=%.0f"
+    (Option.value ~default:"?" (jstr "circuit" r))
+    (Option.value ~default:"?" (jstr "algorithm" r))
+    (Option.value ~default:1. (jnum "jobs" r))
+    (Option.value ~default:false (jbool "cache" r))
+    (Option.value ~default:4. (jnum "k" r))
+
+let kernel_key r =
+  Printf.sprintf "%s|%s|%s"
+    (Option.value ~default:"?" (jstr "kernel" r))
+    (Option.value ~default:"?" (jstr "variant" r))
+    (Option.value ~default:"?" (jstr "case" r))
+
+let compare_results ~threshold a_path b_path =
+  let load path =
+    match J.parse (read_file path) with
+    | Ok doc -> doc
+    | Error e ->
+      Printf.eprintf "error: %s: %s\n" path e;
+      exit 2
+    | exception Sys_error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+  in
+  let a = load a_path and b = load b_path in
+  let rows name doc =
+    match J.member name doc with Some (J.List l) -> l | _ -> []
+  in
+  let index keyf l =
+    let tbl = Hashtbl.create 64 in
+    List.iter (fun r -> Hashtbl.replace tbl (keyf r) r) l;
+    tbl
+  in
+  let regressions = ref 0 and compared = ref 0 and missing = ref 0 in
+  Format.printf "bench compare: baseline %s vs candidate %s (threshold \
+                 %.1f%%)@."
+    a_path b_path threshold;
+  Format.printf "%-46s %-12s %12s %12s %9s@." "row" "metric" "baseline"
+    "candidate" "delta";
+  let check ~unit ~floor key metric va vb =
+    incr compared;
+    let pct = if va > 0. then 100. *. (vb -. va) /. va else 0. in
+    let bad = vb > va *. (1. +. (threshold /. 100.)) && vb -. va > floor in
+    if bad then incr regressions;
+    Format.printf "%-46s %-12s %12.4f %12.4f %+8.1f%% %s%s@." key metric va
+      vb pct unit
+      (if bad then "  REGRESSION" else "")
+  in
+  let a_rows = index row_key (rows "results" a) in
+  List.iter
+    (fun rb ->
+      let key = row_key rb in
+      match Hashtbl.find_opt a_rows key with
+      | None -> incr missing
+      | Some ra ->
+        (match (jnum "wall_s" ra, jnum "wall_s" rb) with
+        | Some va, Some vb -> check ~unit:"s" ~floor:0.01 key "wall_s" va vb
+        | _ -> ());
+        List.iter
+          (fun ph ->
+            let get r = Option.bind (J.member "phases" r) (jnum ph) in
+            match (get ra, get rb) with
+            | Some va, Some vb -> check ~unit:"s" ~floor:0.01 key ph va vb
+            | _ -> ())
+          [ "build_s"; "division_s"; "solve_s"; "merge_s" ])
+    (rows "results" b);
+  let a_kernels = index kernel_key (rows "kernels" a) in
+  List.iter
+    (fun rb ->
+      let key = kernel_key rb in
+      match Hashtbl.find_opt a_kernels key with
+      | None -> incr missing
+      | Some ra -> (
+        match (jnum "ns_per_run" ra, jnum "ns_per_run" rb) with
+        | Some va, Some vb ->
+          check ~unit:"ns" ~floor:10_000. key "ns_per_run" va vb
+        | _ -> ()))
+    (rows "kernels" b);
+  if !missing > 0 then
+    Format.printf "note: %d candidate row(s) have no baseline counterpart@."
+      !missing;
+  if !regressions = 0 then begin
+    Format.printf "OK: %d comparison(s), none past %.1f%% + floor@."
+      !compared threshold;
+    0
+  end
+  else begin
+    Format.printf "FAIL: %d regression(s) out of %d comparison(s)@."
+      !regressions !compared;
+    1
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks: one Test.make per table.                 *)
@@ -881,6 +1060,34 @@ let () =
   in
   parse args;
   let has flag = List.mem flag args in
+  (* compare is its own mode and runs nothing else: the two positional
+     operands after "compare" are baseline and candidate documents. *)
+  if has "compare" || has "--compare" then begin
+    let rec after = function
+      | ("compare" | "--compare") :: rest -> rest
+      | _ :: rest -> after rest
+      | [] -> []
+    in
+    let threshold = ref 10. in
+    let files = ref [] in
+    let rec go = function
+      | "--threshold" :: v :: rest ->
+        threshold := float_of_string v;
+        go rest
+      | x :: rest ->
+        if String.length x < 2 || String.sub x 0 2 <> "--" then
+          files := x :: !files;
+        go rest
+      | [] -> ()
+    in
+    go (after args);
+    match List.rev !files with
+    | [ a; b ] -> exit (compare_results ~threshold:!threshold a b)
+    | _ ->
+      prerr_endline
+        "usage: bench compare BASELINE.json CANDIDATE.json [--threshold PCT]";
+      exit 2
+  end;
   (* --kernels is its own mode: print microbench rows, or with --check
      run the parity gate and exit nonzero on mismatch (tier1 smoke). *)
   if has "--kernels" || has "kernels" then begin

@@ -277,8 +277,134 @@ let gen_cmd =
   let term = Term.(const run $ name_arg $ out_arg) in
   Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic benchmark layout") term
 
+let socket_arg =
+  let doc = "Unix-domain socket path." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let port_arg =
+  let doc = "TCP port." in
+  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
+
+let host_arg =
+  let doc = "TCP host/bind address." in
+  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
+
+let connect_or_die ~socket ~host ~port =
+  match (socket, port) with
+  | Some path, _ -> (
+    try Mpl_server.Client.connect_unix path
+    with Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: connect %s: %s\n" path (Unix.error_message e);
+      exit 2)
+  | None, Some p -> (
+    try Mpl_server.Client.connect_tcp host p
+    with
+    | Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "error: connect %s:%d: %s\n" host p
+        (Unix.error_message e);
+      exit 2
+    | Not_found ->
+      Printf.eprintf "error: connect %s:%d: host not found\n" host p;
+      exit 2)
+  | None, None ->
+    Printf.eprintf "error: needs --socket PATH or --port PORT\n";
+    exit 2
+
+(* Pretty-print a live server's STATS JSON: counters one-per-line plus
+   the latency percentile estimates the SLO histograms feed. *)
+let print_server_stats json =
+  match Mpl_obs.Json.parse json with
+  | Error e ->
+    Printf.eprintf "error: unparseable STATS reply: %s\n" e;
+    exit 1
+  | Ok root ->
+    let open Mpl_obs.Json in
+    let num path obj =
+      match member path obj with
+      | Some v -> to_float v
+      | None -> None
+    in
+    let fmt_num = function
+      | Some f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Printf.sprintf "%.0f" f
+        else Printf.sprintf "%.3f" f
+      | None -> "-"
+    in
+    (match member "server" root with
+    | Some srv ->
+      Printf.printf
+        "server: served=%s rejected=%s errors=%s inflight=%s/%s jobs=%s \
+         uptime=%ss queue=%s/%s\n"
+        (fmt_num (num "served" srv))
+        (fmt_num (num "rejected" srv))
+        (fmt_num (num "errors" srv))
+        (fmt_num (num "inflight" srv))
+        (fmt_num (num "max_inflight" srv))
+        (fmt_num (num "jobs" srv))
+        (fmt_num (num "uptime_s" srv))
+        (fmt_num (num "queue_depth" srv))
+        (fmt_num (num "queue_bound" srv))
+    | None -> ());
+    (match member "latency" root with
+    | Some lat ->
+      List.iter
+        (fun key ->
+          match member key lat with
+          | Some (Obj _ as h) ->
+            Printf.printf "latency %-12s n=%s p50=%sms p90=%sms p99=%sms\n" key
+              (fmt_num (num "count" h))
+              (fmt_num (num "p50_ms" h))
+              (fmt_num (num "p90_ms" h))
+              (fmt_num (num "p99_ms" h))
+          | Some Null | None -> Printf.printf "latency %-12s (empty)\n" key
+          | Some _ -> ())
+        [ "e2e"; "queue_wait"; "first_piece"; "solve" ]
+    | None -> ());
+    match member "cache" root with
+    | Some c ->
+      Printf.printf
+        "cache: entries=%s bytes=%s hits=%s misses=%s evictions=%s\n"
+        (fmt_num (num "entries" c))
+        (fmt_num (num "bytes" c))
+        (fmt_num (num "hits" c))
+        (fmt_num (num "misses" c))
+        (fmt_num (num "evictions" c))
+    | None -> ()
+
 let stats_cmd =
-  let run source k min_s =
+  let layout_opt_arg =
+    let doc =
+      "Layout file or benchmark circuit name. Omit when querying a live \
+       server with --socket/--port."
+    in
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"LAYOUT" ~doc)
+  in
+  let run socket host port source k min_s =
+    if socket <> None || port <> None then begin
+      (* Live-server mode: fetch STATS and render it, percentiles
+         included, so p50/p90/p99 request latency is one command away
+         after load. *)
+      let conn = connect_or_die ~socket ~host ~port in
+      Fun.protect
+        ~finally:(fun () -> Mpl_server.Client.close conn)
+        (fun () ->
+          match Mpl_server.Client.stats conn with
+          | Ok json -> print_server_stats json
+          | Error e ->
+            Printf.eprintf "error: %s\n"
+              (Mpl_server.Client.error_to_string e);
+            exit 1)
+    end
+    else begin
+    let source =
+      match source with
+      | Some s -> s
+      | None ->
+        Printf.eprintf
+          "error: LAYOUT required (or --socket/--port for a live server)\n";
+        exit 2
+    in
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
     let g = Mpl.Decomp_graph.of_layout layout ~min_s in
@@ -318,11 +444,19 @@ let stats_cmd =
         cs.Mpl_engine.Cache.entries cs.Mpl_engine.Cache.resident_bytes
         cs.Mpl_engine.Cache.s_hits cs.Mpl_engine.Cache.s_misses
         cs.Mpl_engine.Cache.s_evictions
+    end
   in
-  let term = Term.(const run $ circuit_arg $ k_arg $ min_s_arg) in
+  let term =
+    Term.(
+      const run $ socket_arg $ host_arg $ port_arg $ layout_opt_arg $ k_arg
+      $ min_s_arg)
+  in
   Cmd.v
     (Cmd.info "stats"
-       ~doc:"Print decomposition-graph and division-pipeline statistics")
+       ~doc:
+         "Print decomposition-graph and division-pipeline statistics, or \
+          query a live server's counters and latency percentiles with \
+          --socket/--port")
     term
 
 let trace_check_cmd =
@@ -351,6 +485,30 @@ let trace_check_cmd =
   Cmd.v
     (Cmd.info "trace-check"
        ~doc:"Validate a Chrome trace emitted by decompose --trace")
+    term
+
+let prom_check_cmd =
+  let file_arg =
+    let doc = "Prometheus text-exposition file (as served by /metrics)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc)
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let s =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Mpl_obs.Export.validate_prometheus s with
+    | Ok samples -> Format.printf "%s: valid, %d samples@." file samples
+    | Error e ->
+      Format.eprintf "%s: invalid exposition: %s@." file e;
+      exit 1
+  in
+  let term = Term.(const run $ file_arg) in
+  Cmd.v
+    (Cmd.info "prom-check"
+       ~doc:"Validate a Prometheus text exposition fetched from /metrics")
     term
 
 let conflicts_cmd =
@@ -480,18 +638,6 @@ let density_cmd =
 
 (* ---- serving ---- *)
 
-let socket_arg =
-  let doc = "Unix-domain socket path." in
-  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
-
-let port_arg =
-  let doc = "TCP port." in
-  Arg.(value & opt (some int) None & info [ "port" ] ~docv:"PORT" ~doc)
-
-let host_arg =
-  let doc = "TCP host/bind address." in
-  Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
-
 let serve_cmd =
   let max_inflight_arg =
     let doc =
@@ -518,8 +664,31 @@ let serve_cmd =
     let doc = "Also save the cache every N served requests (0 = off)." in
     Arg.(value & opt int 0 & info [ "persist-every" ] ~docv:"N" ~doc)
   in
+  let ring_arg =
+    let doc =
+      "Keep the last $(docv) request summaries (with per-request traces) \
+       for the /requests and /trace admin endpoints. 0 disables \
+       per-request telemetry entirely — the served path then reads no \
+       clocks beyond the aggregate counters."
+    in
+    Arg.(value & opt int 32 & info [ "ring" ] ~docv:"N" ~doc)
+  in
+  let log_arg =
+    let doc = "Append one JSON line per finished request to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "log" ] ~docv:"FILE" ~doc)
+  in
+  let log_max_bytes_arg =
+    let doc =
+      "Rotate the access log (rename to FILE.1) when it would exceed \
+       $(docv) bytes."
+    in
+    Arg.(
+      value
+      & opt int (8 * 1024 * 1024)
+      & info [ "log-max-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let run socket port host jobs max_inflight cache_budget cache_permuted
-      persist persist_every =
+      persist persist_every ring access_log log_max_bytes =
     if socket = None && port = None then begin
       Printf.eprintf "error: serve needs --socket PATH and/or --port PORT\n";
       exit 2
@@ -536,6 +705,9 @@ let serve_cmd =
         cache_permuted;
         persist;
         persist_every;
+        ring;
+        access_log;
+        log_max_bytes;
         log = Some log;
       }
     in
@@ -550,7 +722,8 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ port_arg $ host_arg $ jobs_arg
       $ max_inflight_arg $ cache_budget_arg $ cache_permuted_arg
-      $ persist_arg $ persist_every_arg)
+      $ persist_arg $ persist_every_arg $ ring_arg $ log_arg
+      $ log_max_bytes_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -589,29 +762,17 @@ let client_cmd =
       value & flag
       & info [ "quit" ] ~doc:"Ask the server to shut down gracefully.")
   in
-  let run socket host port layout k min_s algo priority no_cache permuted
-      inject colors_out do_stats do_metrics do_ping do_quit =
-    let conn =
-      match (socket, port) with
-      | Some path, _ -> (
-        try Mpl_server.Client.connect_unix path
-        with Unix.Unix_error (e, _, _) ->
-          Printf.eprintf "error: connect %s: %s\n" path (Unix.error_message e);
-          exit 2)
-      | None, Some p -> (
-        try Mpl_server.Client.connect_tcp host p
-        with
-        | Unix.Unix_error (e, _, _) ->
-          Printf.eprintf "error: connect %s:%d: %s\n" host p
-            (Unix.error_message e);
-          exit 2
-        | Not_found ->
-          Printf.eprintf "error: connect %s:%d: host not found\n" host p;
-          exit 2)
-      | None, None ->
-        Printf.eprintf "error: client needs --socket PATH or --port PORT\n";
-        exit 2
+  let http_arg =
+    let doc =
+      "Fetch $(docv) from the server's HTTP admin plane (e.g. /metrics, \
+       /healthz, /requests, /trace?id=N) and print the body. Exits \
+       nonzero unless the status is 2xx."
     in
+    Arg.(value & opt (some string) None & info [ "http" ] ~docv:"PATH" ~doc)
+  in
+  let run socket host port layout k min_s algo priority no_cache permuted
+      inject colors_out do_stats do_metrics do_ping do_quit http_path =
+    let conn = connect_or_die ~socket ~host ~port in
     Fun.protect
       ~finally:(fun () -> Mpl_server.Client.close conn)
       (fun () ->
@@ -619,6 +780,19 @@ let client_cmd =
           Printf.eprintf "error: %s\n" (Mpl_server.Client.error_to_string e);
           exit (match e with Mpl_server.Client.Busy _ -> 3 | _ -> 1)
         in
+        match http_path with
+        | Some path -> (
+          match Mpl_server.Client.http conn path with
+          | Error e -> fail e
+          | Ok (status, body) ->
+            print_string body;
+            if String.length body > 0 && body.[String.length body - 1] <> '\n'
+            then print_newline ();
+            if status < 200 || status > 299 then begin
+              Printf.eprintf "error: HTTP %d\n" status;
+              exit 1
+            end)
+        | None ->
         if do_quit then Mpl_server.Client.quit conn
         else if do_stats || do_metrics then begin
           (if do_stats then
@@ -675,6 +849,9 @@ let client_cmd =
             match Mpl_server.Client.decompose conn ~request body with
             | Error e -> fail e
             | Ok o ->
+              (match o.Mpl_server.Client.rid with
+              | Some rid -> Printf.printf "rid: %d\n" rid
+              | None -> ());
               let c = o.Mpl_server.Client.cost in
               Printf.printf
                 "cost: conflicts=%d stitches=%d scaled=%d elapsed=%.3f \
@@ -721,7 +898,7 @@ let client_cmd =
       const run $ socket_arg $ host_arg $ port_arg $ layout_arg $ k_arg
       $ min_s_arg $ algo_arg $ priority_cl_arg $ no_cache_arg
       $ cache_permuted_arg $ inject_arg $ colors_arg $ stats_flag
-      $ metrics_flag $ ping_flag $ quit_flag)
+      $ metrics_flag $ ping_flag $ quit_flag $ http_arg)
   in
   Cmd.v
     (Cmd.info "client"
@@ -741,6 +918,7 @@ let () =
             gen_cmd;
             stats_cmd;
             trace_check_cmd;
+            prom_check_cmd;
             conflicts_cmd;
             svg_cmd;
             report_cmd;

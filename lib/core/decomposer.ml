@@ -29,6 +29,7 @@ type params = {
   trace : Mpl_obs.Sink.t option;
   metrics : bool;
   fault : Mpl_engine.Fault.spec option;
+  request_id : string option;
 }
 
 let default_params =
@@ -52,7 +53,17 @@ let default_params =
     trace = None;
     metrics = false;
     fault = None;
+    request_id = None;
   }
+
+(* Stamp the serving request id onto a span's arguments, so even the
+   aggregate (server-lifetime) trace attributes pipeline spans to the
+   request that ran them. Per-request sinks additionally tag every
+   event via [Sink.create ~tags]. *)
+let rid_args params rest =
+  match params.request_id with
+  | None -> rest
+  | Some id -> ("rid", Mpl_obs.Sink.Str id) :: rest
 
 (* One observability context per run: the caller-supplied span sink (if
    any) plus a private metrics registry whose snapshot lands in the
@@ -548,7 +559,9 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
           ~plant ()
       in
       Mpl_obs.Obs.span obs "engine.batch"
-        ~args:[ ("pieces", Mpl_obs.Sink.Int (Array.length pieces)) ]
+        ~args:
+          (rid_args params
+             [ ("pieces", Mpl_obs.Sink.Int (Array.length pieces)) ])
       @@ fun () ->
       let t0 = Mpl_util.Timer.now_ns () and c0 = !caller_ns in
       let cells = Array.map (Mpl_engine.Engine.push t) pieces in
@@ -656,10 +669,11 @@ let assign ?(params = default_params) ?obs ?pool ?shared_cache ?on_component
     Mpl_util.Timer.time (fun () ->
         Mpl_obs.Obs.span obs "assign"
           ~args:
-            [
-              ("algorithm", Mpl_obs.Sink.Str (algorithm_name algorithm));
-              ("n", Mpl_obs.Sink.Int g.Decomp_graph.n);
-            ]
+            (rid_args params
+               [
+                 ("algorithm", Mpl_obs.Sink.Str (algorithm_name algorithm));
+                 ("n", Mpl_obs.Sink.Int g.Decomp_graph.n);
+               ])
         @@ fun () ->
         let colors =
           (* jobs = 1 without the cache takes the exact historical

@@ -88,6 +88,12 @@ type params = {
       (** deterministic fault injection ([None], the default, injects
           nothing — the unarmed probes cost one branch each and the run
           is bit-identical to a build without them) *)
+  request_id : string option;
+      (** serving request id; when set, top-level spans ([assign],
+          [engine.batch]) carry a ["rid"] argument so traces collected
+          on a server-lifetime sink stay attributable per request.
+          Purely observational: never affects outputs or cache
+          signatures ([None], the default, adds nothing) *)
 }
 
 val default_params : params

@@ -120,6 +120,14 @@ type t = {
 let jobs t = t.jobs
 let default_bound = 1024
 
+let bound t = t.bound
+
+let queue_depth t =
+  Mutex.lock t.lock;
+  let n = Heap.length t.queue in
+  Mutex.unlock t.lock;
+  n
+
 let make_stats ~jobs (obs : Mpl_obs.Obs.t) =
   let m = obs.Mpl_obs.Obs.metrics in
   {

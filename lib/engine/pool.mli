@@ -47,6 +47,15 @@ val create :
 
 val jobs : t -> int
 
+val bound : t -> int
+(** The queue bound the pool was created with. *)
+
+val queue_depth : t -> int
+(** Number of tasks currently waiting in the queue (excludes tasks
+    already running on workers). Point-in-time: taken under the pool
+    lock, stale by the time the caller looks at it — meant for
+    admission gates and gauges, not synchronization. *)
+
 type 'a future
 
 val submit : ?priority:int -> t -> (unit -> 'a) -> 'a future

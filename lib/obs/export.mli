@@ -23,6 +23,24 @@ val pp_metrics : Format.formatter -> Metrics.snapshot -> unit
 (** Aligned text rendering, one metric per line, histograms with
     count/sum/mean/min/max. *)
 
+val prometheus : ?namespace:string -> Metrics.snapshot -> string
+(** Prometheus text exposition (format 0.0.4) of a snapshot. Metric
+    names are prefixed with [namespace] (default ["mpl"]) and
+    sanitized (characters outside [[a-zA-Z0-9_:]] become ['_']).
+    Counters and gauges emit a [# TYPE] line plus one sample;
+    histograms emit cumulative [_bucket{le="..."}] samples over the
+    non-empty log2 buckets, a closing [le="+Inf"] bucket, [_sum] and
+    [_count]. *)
+
+val validate_prometheus : string -> (int, string) result
+(** Check a text exposition body: every sample line parses (metric
+    name charset, label-set syntax, float-parseable value), every
+    sample belongs to a preceding [# TYPE] family (histogram/summary
+    samples may use the [_bucket]/[_sum]/[_count] suffixes), no family
+    is declared twice, and each histogram family has non-decreasing
+    [le]s with cumulative counts, a final [le="+Inf"] bucket, and a
+    [_count] equal to it. Returns the number of samples on success. *)
+
 val phase_totals : Sink.event list -> (string * (int * float)) list
 (** Aggregate [(count, total seconds)] per span name, sorted by total
     descending. Nested spans of the same name all count, so this is a

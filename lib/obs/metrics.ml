@@ -165,3 +165,32 @@ let snapshot t =
 
 let find_counter s name = List.assoc_opt name s.counters
 let find_gauge s name = List.assoc_opt name s.gauges
+let find_histogram s name = List.assoc_opt name s.histograms
+
+(* Percentile estimate from the log2 buckets: walk the cumulative
+   counts to the bucket containing rank q*count, then interpolate
+   linearly inside it. The result is clamped to the exact [min_v,
+   max_v] the histogram tracked, which makes constant distributions
+   exact and keeps tail estimates from overshooting the largest
+   observed value by up to a full power of two. *)
+let percentile h q =
+  if h.count = 0 then 0.
+  else if q <= 0. then h.min_v
+  else if q >= 1. then h.max_v
+  else begin
+    let rank = q *. float_of_int h.count in
+    let rec walk seen = function
+      | [] -> h.max_v
+      | (lo, hi, c) :: rest ->
+        let seen' = seen +. float_of_int c in
+        if seen' >= rank then begin
+          let frac = (rank -. seen) /. float_of_int c in
+          lo +. (frac *. (hi -. lo))
+        end
+        else walk seen' rest
+    in
+    let v = walk 0. h.buckets in
+    Float.min h.max_v (Float.max h.min_v v)
+  end
+
+let percentiles h qs = List.map (percentile h) qs

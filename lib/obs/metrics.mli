@@ -80,3 +80,22 @@ val find_counter : snapshot -> string -> int option
 
 val find_gauge : snapshot -> string -> float option
 (** Value of a gauge in a snapshot, [None] when never registered. *)
+
+val find_histogram : snapshot -> string -> hist_snapshot option
+(** A histogram's snapshot by name, [None] when never registered. *)
+
+(** {1 Percentile estimation}
+
+    Estimated from the log2 buckets by linear interpolation inside the
+    bucket containing the requested rank, clamped to the histogram's
+    exact [min_v, max_v]. With power-of-two buckets the relative error
+    is bounded by the bucket width (≤ 2x), in practice much tighter
+    for smooth distributions; constant distributions are exact thanks
+    to the min/max clamp. *)
+
+val percentile : hist_snapshot -> float -> float
+(** [percentile h q] for [q] in [[0, 1]]. Returns [0.] on an empty
+    histogram; [q <= 0] gives [min_v], [q >= 1] gives [max_v]. *)
+
+val percentiles : hist_snapshot -> float list -> float list
+(** [percentiles h qs = List.map (percentile h) qs]. *)

@@ -9,52 +9,69 @@ type event = {
   args : (string * arg) list;
 }
 
-(* Per-domain buffer: only its owning domain ever appends, so the
-   mutable list needs no synchronization. The buffer list itself is
-   only extended under [lock] (once per domain), and is read by
-   [events] after the workers are joined. *)
+(* Per-thread buffer: only its owning thread ever appends, so the
+   mutable list needs no synchronization. Buffers are keyed by
+   [Thread.id] rather than [Domain.self] because the server runs
+   several handler systhreads on domain 0, and pool "helping" lets one
+   request's thread execute another request's pieces — two threads on
+   the same domain may therefore hit the same sink concurrently (well,
+   interleaved under the domain lock, but with context switches between
+   a read and a write). The domain-local slot holds an association
+   list from thread id to buffer; it is only extended under [lock]
+   (once per thread per sink, ever) and read without it — the ref read
+   is atomic and the list cells are immutable. *)
 type buffer = { tid : int; mutable items : event list }
 
 type t = {
   enabled : bool;
   epoch : int64;
-  key : buffer option ref Domain.DLS.key;
+  tags : (string * arg) list;
+  key : (int * buffer) list ref Domain.DLS.key;
   lock : Mutex.t;
   mutable buffers : buffer list;
 }
 
-let make ~enabled =
+let make ~enabled ~tags =
   {
     enabled;
     epoch = Mpl_util.Timer.now_ns ();
-    key = Domain.DLS.new_key (fun () -> ref None);
+    tags;
+    key = Domain.DLS.new_key (fun () -> ref []);
     lock = Mutex.create ();
     buffers = [];
   }
 
-let null = make ~enabled:false
+let null = make ~enabled:false ~tags:[]
 
-let create () = make ~enabled:true
+let create ?(tags = []) () = make ~enabled:true ~tags
 
 let enabled t = t.enabled
 
 let epoch_ns t = t.epoch
 
+let tags t = t.tags
+
 let buffer_of t =
+  let tid = Thread.id (Thread.self ()) in
   let slot = Domain.DLS.get t.key in
-  match !slot with
+  match List.assq_opt tid !slot with
   | Some b -> b
   | None ->
-    let b = { tid = (Domain.self () :> int); items = [] } in
+    (* The slot is shared by every systhread on this domain, so the
+       read-modify-write below must not interleave with another
+       thread's — take the sink lock (which also guards [buffers]). *)
     Mutex.lock t.lock;
-    t.buffers <- b :: t.buffers;
+    let b =
+      match List.assq_opt tid !slot with
+      | Some b -> b
+      | None ->
+        let b = { tid; items = [] } in
+        t.buffers <- b :: t.buffers;
+        slot := (tid, b) :: !slot;
+        b
+    in
     Mutex.unlock t.lock;
-    slot := Some b;
     b
-
-let push t ev =
-  let b = buffer_of t in
-  b.items <- ev :: b.items
 
 let default_cat name =
   match String.index_opt name '.' with
@@ -62,16 +79,19 @@ let default_cat name =
   | None -> name
 
 let record t ?cat ?(args = []) ~name ~ts_ns ~dur_ns () =
-  if t.enabled then
-    push t
+  if t.enabled then begin
+    let b = buffer_of t in
+    b.items <-
       {
         name;
         cat = (match cat with Some c -> c | None -> default_cat name);
         ts_ns;
         dur_ns;
-        tid = (Domain.self () :> int);
-        args;
+        tid = b.tid;
+        args = (if t.tags == [] then args else args @ t.tags);
       }
+      :: b.items
+  end
 
 let span t ?cat ?args name f =
   if not t.enabled then f ()

@@ -1,13 +1,16 @@
-(** Span tracer with domain-local event buffers.
+(** Span tracer with thread-local event buffers.
 
     A sink collects *complete spans* (name, category, begin timestamp,
-    duration, arguments) from every domain that touches it. The hot
-    path is race-free without locking: the first append from a domain
-    registers a fresh buffer for that domain (one mutex acquisition per
-    domain per sink, ever); every later append is a plain push onto the
-    domain's own buffer. {!events} merges the buffers — call it only
-    after all worker domains have been joined (the decomposer flushes
-    after {!Mpl_engine.Pool.with_pool} returns).
+    duration, arguments) from every thread that touches it. The hot
+    path is race-free without locking: the first append from a thread
+    registers a fresh buffer for that thread (one mutex acquisition per
+    thread per sink, ever); every later append is a plain push onto the
+    thread's own buffer. Buffers are keyed per systhread, not per
+    domain, because the serving path runs several handler threads on
+    domain 0 and pool helping can interleave two requests' spans on one
+    domain. {!events} merges the buffers — call it only after all
+    workers have finished with the sink (the decomposer flushes after
+    the engine batch completes).
 
     {!null} is the disabled sink: {!span} on it runs the thunk with no
     clock reads and no event allocation, so an untraced run pays only a
@@ -22,7 +25,7 @@ type event = {
   cat : string;  (** category, e.g. ["division"] — Chrome [cat] field *)
   ts_ns : int64;  (** begin time, ns since sink creation *)
   dur_ns : int64;  (** duration in ns *)
-  tid : int;  (** domain id the span ran on *)
+  tid : int;  (** thread id the span ran on *)
   args : (string * arg) list;
 }
 
@@ -31,17 +34,24 @@ type t
 val null : t
 (** The disabled sink: every operation is a no-op. *)
 
-val create : unit -> t
-(** A fresh enabled sink; its epoch is the creation instant. *)
+val create : ?tags:(string * arg) list -> unit -> t
+(** A fresh enabled sink; its epoch is the creation instant. [tags]
+    are ambient span tags — appended to the [args] of every event the
+    sink records, so a request-scoped sink stamps its request id,
+    circuit, k and algorithm on every span without threading them
+    through each call site. *)
 
 val enabled : t -> bool
+
+val tags : t -> (string * arg) list
+(** The ambient tags passed at {!create} ([[]] for {!null}). *)
 
 val span : t -> ?cat:string -> ?args:(string * arg) list -> string ->
   (unit -> 'a) -> 'a
 (** [span t name f] runs [f ()] and, on an enabled sink, records a
     complete span around it (also when [f] raises). [cat] defaults to
     the prefix of [name] up to the first ['.'] (or [name] itself).
-    Spans made by nested [span] calls on the same domain are properly
+    Spans made by nested [span] calls on the same thread are properly
     nested by construction. *)
 
 val record : t -> ?cat:string -> ?args:(string * arg) list -> name:string ->
@@ -54,6 +64,6 @@ val epoch_ns : t -> int64
 (** The sink's creation instant (absolute monotonic ns). *)
 
 val events : t -> event list
-(** All recorded events merged across domains, sorted by [ts_ns] (ties
+(** All recorded events merged across threads, sorted by [ts_ns] (ties
     by longer duration first, so parents sort before their children).
-    Only call after worker domains are joined. *)
+    Only call after all threads are done recording. *)

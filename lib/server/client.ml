@@ -24,6 +24,7 @@ let close t = close_in_noerr t.ic
 
 type outcome = {
   colors : int array;
+  rid : int option;
   streamed_pieces : int;
   streamed_cells : int;
   streams_consistent : bool;
@@ -78,10 +79,13 @@ let decompose t ?(request = Proto.default_request) body =
   let engine = ref None in
   let resilience = ref None in
   let cache = ref None in
+  let rid = ref None in
   let rec loop () =
     let* reply = read_reply t in
     match reply with
-    | Proto.Ack -> loop ()
+    | Proto.Ack r ->
+      rid := r;
+      loop ()
     | Proto.Busy (i, l) -> Error (Busy (i, l))
     | Proto.Err { code; line; msg } -> Error (Remote { code; line; msg })
     | Proto.Piece { idx = _; cells } ->
@@ -115,6 +119,7 @@ let decompose t ?(request = Proto.default_request) body =
         Ok
           {
             colors;
+            rid = !rid;
             streamed_pieces = List.length streamed;
             streamed_cells;
             streams_consistent;
@@ -149,3 +154,48 @@ let quit t =
   | () -> (
     match read_reply t with Ok _ | Error _ -> ())
   | exception Unix.Unix_error _ -> ()
+
+(* One-shot HTTP/1.0 fetch over the protocol socket (the server sniffs
+   the request-line). The server closes after one response, so this
+   consumes the connection — callers should treat [t] as spent. *)
+let http t path =
+  send t (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
+  let strip_cr l =
+    let n = String.length l in
+    if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+  in
+  match input_line t.ic with
+  | exception End_of_file -> Error (Protocol "connection closed by server")
+  | exception Sys_error msg -> Error (Protocol msg)
+  | status_line -> (
+    match
+      List.filter
+        (fun s -> s <> "")
+        (String.split_on_char ' ' (strip_cr status_line))
+    with
+    | version :: code :: _
+      when String.length version >= 5 && String.sub version 0 5 = "HTTP/" -> (
+      match int_of_string_opt code with
+      | None -> Error (Protocol ("bad HTTP status line: " ^ status_line))
+      | Some status ->
+        (* headers to the blank line, then body to EOF *)
+        let rec headers () =
+          match input_line t.ic with
+          | exception End_of_file -> ()
+          | exception Sys_error _ -> ()
+          | l -> if strip_cr l <> "" then headers ()
+        in
+        headers ();
+        let buf = Buffer.create 4096 in
+        let chunk = Bytes.create 4096 in
+        let rec body () =
+          match input t.ic chunk 0 (Bytes.length chunk) with
+          | 0 -> ()
+          | n ->
+            Buffer.add_subbytes buf chunk 0 n;
+            body ()
+          | exception Sys_error _ -> ()
+        in
+        body ();
+        Ok (status, Buffer.contents buf))
+    | _ -> Error (Protocol ("bad HTTP status line: " ^ status_line)))

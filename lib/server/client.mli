@@ -16,6 +16,9 @@ val close : t -> unit
 
 type outcome = {
   colors : int array;  (** the full coloring, original vertex indexing *)
+  rid : int option;
+      (** the server-assigned request id from [ACK rid=N]; key for the
+          admin plane's [/trace?id=] *)
   streamed_pieces : int;  (** [PIECE] lines received before [DONE] *)
   streamed_cells : int;  (** vertices covered by those lines *)
   streams_consistent : bool;
@@ -52,3 +55,9 @@ val ping : t -> bool
 val quit : t -> unit
 (** Send [QUIT] (starting a graceful server shutdown) and wait for
     [BYE] (or the connection to drop). *)
+
+val http : t -> string -> (int * string, error) result
+(** [http t path] issues [GET path HTTP/1.0] on the connection and
+    returns the status code and response body. The server closes the
+    connection after one HTTP response, so the client is spent —
+    {!close} it and connect again for further requests. *)

@@ -149,7 +149,7 @@ type cache_reply = {
 }
 
 type reply =
-  | Ack
+  | Ack of int option
   | Busy of int * int
   | Piece of { idx : int; cells : (int * int) array }
   | Cost of cost_reply
@@ -162,7 +162,10 @@ type reply =
   | Bye
   | Json of string
 
-let ack_line = "ACK\n"
+let ack_line ?rid () =
+  match rid with
+  | Some id -> Printf.sprintf "ACK rid=%d\n" id
+  | None -> "ACK\n"
 let pong_line = "PONG\n"
 let bye_line = "BYE\n"
 
@@ -265,7 +268,9 @@ let parse_reply line =
   else
     match tokens line with
     | [] -> Error "empty reply line"
-    | [ "ACK" ] -> Ok Ack
+    | "ACK" :: fields ->
+      (* rid= is optional so pre-telemetry servers still parse *)
+      Ok (Ack (Result.to_option (field_int fields "rid")))
     | [ "PONG" ] -> Ok Pong
     | [ "BYE" ] -> Ok Bye
     | [ "BUSY"; a; b ] -> (

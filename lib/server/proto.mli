@@ -15,7 +15,7 @@
     internal failure), or a stream
 
     {v
-    ACK
+    ACK rid=<id>
     PIECE <idx> <n> <v>:<c> ...     (one per independent component,
                                      in deterministic component order)
     COST conflicts=.. stitches=.. scaled=.. elapsed=.. timed_out=0|1
@@ -101,7 +101,9 @@ type cache_reply = {
 }
 
 type reply =
-  | Ack
+  | Ack of int option
+      (** [Some rid]: the server-assigned request id ([ACK rid=N]);
+          [None] from servers predating request telemetry *)
   | Busy of int * int  (** in-flight, limit *)
   | Piece of { idx : int; cells : (int * int) array }
       (** [(vertex, color)] pairs in the original graph indexing *)
@@ -117,7 +119,9 @@ type reply =
   | Bye
   | Json of string  (** a [STATS] / [METRICS] JSON payload line *)
 
-val ack_line : string
+val ack_line : ?rid:int -> unit -> string
+(** [ACK rid=N] when [rid] is given, bare [ACK] otherwise. *)
+
 val busy_line : inflight:int -> limit:int -> string
 val piece_line : idx:int -> back:int array -> colors:int array -> string
 val cost_line : cost_reply -> string

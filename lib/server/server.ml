@@ -9,6 +9,9 @@ type config = {
   persist : string option;
   persist_every : int;
   log : (string -> unit) option;
+  ring : int;
+  access_log : string option;
+  log_max_bytes : int;
 }
 
 let default_config =
@@ -23,6 +26,9 @@ let default_config =
     persist = None;
     persist_every = 0;
     log = None;
+    ring = 32;
+    access_log = None;
+    log_max_bytes = 8 * 1024 * 1024;
   }
 
 type t = {
@@ -31,18 +37,29 @@ type t = {
   metrics : Mpl_obs.Metrics.t;
   pool : Mpl_engine.Pool.t;
   cache : Mpl.Division.stats Mpl_engine.Cache.t;
+  req_ring : Ring.t option;
+  access : Mpl_obs.Logfile.t option;
+  start_ns : int64;
   served_c : Mpl_obs.Metrics.counter;
   rejected_c : Mpl_obs.Metrics.counter;
   errors_c : Mpl_obs.Metrics.counter;
   admin_c : Mpl_obs.Metrics.counter;
   latency_h : Mpl_obs.Metrics.histogram;
+  queue_wait_h : Mpl_obs.Metrics.histogram;
+  first_piece_h : Mpl_obs.Metrics.histogram;
+  e2e_h : Mpl_obs.Metrics.histogram;
   inflight_g : Mpl_obs.Metrics.gauge;
+  pool_depth_g : Mpl_obs.Metrics.gauge;
+  uptime_g : Mpl_obs.Metrics.gauge;
+  cache_bytes_g : Mpl_obs.Metrics.gauge;
+  cache_entries_g : Mpl_obs.Metrics.gauge;
   lock : Mutex.t;
   drained : Condition.t;
   mutable inflight : int;
   mutable served : int;
   mutable rejected : int;
   mutable errors : int;
+  mutable next_rid : int;
   mutable conns : (Unix.file_descr * Thread.t option ref) list;
   save_lock : Mutex.t;
   stop : bool Atomic.t;
@@ -79,6 +96,7 @@ let create config =
     invalid_arg "Server.create: no listener configured";
   if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
   if config.max_inflight < 1 then invalid_arg "Server.create: max_inflight < 1";
+  if config.ring < 0 then invalid_arg "Server.create: ring < 0";
   let metrics = Mpl_obs.Metrics.create () in
   let obs = Mpl_obs.Obs.make ~sink:Mpl_obs.Sink.null ~metrics () in
   let pool = Mpl_engine.Pool.create ~obs ~jobs:config.jobs () in
@@ -97,18 +115,32 @@ let create config =
       metrics;
       pool;
       cache;
+      req_ring = (if config.ring > 0 then Some (Ring.create config.ring) else None);
+      access =
+        Option.map
+          (Mpl_obs.Logfile.open_ ~max_bytes:config.log_max_bytes)
+          config.access_log;
+      start_ns = Mpl_util.Timer.now_ns ();
       served_c = Mpl_obs.Metrics.counter metrics "server.served";
       rejected_c = Mpl_obs.Metrics.counter metrics "server.rejected";
       errors_c = Mpl_obs.Metrics.counter metrics "server.errors";
       admin_c = Mpl_obs.Metrics.counter metrics "server.admin";
       latency_h = Mpl_obs.Metrics.histogram metrics "server.request_ns";
+      queue_wait_h = Mpl_obs.Metrics.histogram metrics "server.queue_wait_ns";
+      first_piece_h = Mpl_obs.Metrics.histogram metrics "server.first_piece_ns";
+      e2e_h = Mpl_obs.Metrics.histogram metrics "server.e2e_ns";
       inflight_g = Mpl_obs.Metrics.gauge metrics "server.inflight";
+      pool_depth_g = Mpl_obs.Metrics.gauge metrics "pool.queue_depth";
+      uptime_g = Mpl_obs.Metrics.gauge metrics "server.uptime_s";
+      cache_bytes_g = Mpl_obs.Metrics.gauge metrics "cache.bytes";
+      cache_entries_g = Mpl_obs.Metrics.gauge metrics "cache.entries";
       lock = Mutex.create ();
       drained = Condition.create ();
       inflight = 0;
       served = 0;
       rejected = 0;
       errors = 0;
+      next_rid = 0;
       conns = [];
       save_lock = Mutex.create ();
       stop = Atomic.make false;
@@ -131,6 +163,13 @@ let create config =
     | exception Sys_error msg -> log t (Printf.sprintf "cache: %s" msg))
   | Some _ | None -> ());
   t
+
+let fresh_rid t =
+  Mutex.lock t.lock;
+  t.next_rid <- t.next_rid + 1;
+  let rid = t.next_rid in
+  Mutex.unlock t.lock;
+  rid
 
 let request_stop t =
   if not (Atomic.exchange t.stop true) then
@@ -172,7 +211,40 @@ let send fd s =
   in
   go 0
 
+(* One source of truth for the derived gauges: every snapshot consumer
+   (STATS, METRICS, /metrics, /healthz) refreshes them from the live
+   cache/pool/clock immediately before reading the registry, so the
+   text path and the admin plane can never disagree. *)
+let refresh_gauges t =
+  let cs = Mpl_engine.Cache.stats t.cache in
+  Mpl_obs.Metrics.set t.cache_bytes_g
+    (float_of_int cs.Mpl_engine.Cache.resident_bytes);
+  Mpl_obs.Metrics.set t.cache_entries_g
+    (float_of_int cs.Mpl_engine.Cache.entries);
+  Mpl_obs.Metrics.set t.pool_depth_g
+    (float_of_int (Mpl_engine.Pool.queue_depth t.pool));
+  Mpl_obs.Metrics.set t.uptime_g
+    (Int64.to_float (Int64.sub (Mpl_util.Timer.now_ns ()) t.start_ns) *. 1e-9)
+
+let ns_to_ms ns = ns *. 1e-6
+
+(* p50/p90/p99 of a nanosecond histogram, rendered in milliseconds. *)
+let percentile_json snap name =
+  match Mpl_obs.Metrics.find_histogram snap name with
+  | None -> Mpl_obs.Json.Null
+  | Some h when h.Mpl_obs.Metrics.count = 0 -> Mpl_obs.Json.Null
+  | Some h ->
+    let ps = Mpl_obs.Metrics.percentiles h [ 0.5; 0.9; 0.99 ] in
+    let open Mpl_obs.Json in
+    Obj
+      (("count", Int h.Mpl_obs.Metrics.count)
+      :: List.map2
+           (fun label v -> (label, Float (ns_to_ms v)))
+           [ "p50_ms"; "p90_ms"; "p99_ms" ]
+           ps)
+
 let stats_json t =
+  refresh_gauges t;
   Mutex.lock t.lock;
   let served = t.served
   and rejected = t.rejected
@@ -180,6 +252,10 @@ let stats_json t =
   and inflight = t.inflight in
   Mutex.unlock t.lock;
   let cs = Mpl_engine.Cache.stats t.cache in
+  let snap = Mpl_obs.Metrics.snapshot t.metrics in
+  let uptime_s =
+    Int64.to_float (Int64.sub (Mpl_util.Timer.now_ns ()) t.start_ns) *. 1e-9
+  in
   let open Mpl_obs.Json in
   to_string
     (Obj
@@ -193,6 +269,17 @@ let stats_json t =
                ("inflight", Int inflight);
                ("max_inflight", Int t.config.max_inflight);
                ("jobs", Int (Mpl_engine.Pool.jobs t.pool));
+               ("uptime_s", Float uptime_s);
+               ("queue_depth", Int (Mpl_engine.Pool.queue_depth t.pool));
+               ("queue_bound", Int (Mpl_engine.Pool.bound t.pool));
+             ] );
+         ( "latency",
+           Obj
+             [
+               ("e2e", percentile_json snap "server.e2e_ns");
+               ("queue_wait", percentile_json snap "server.queue_wait_ns");
+               ("first_piece", percentile_json snap "server.first_piece_ns");
+               ("solve", percentile_json snap "server.request_ns");
              ] );
          ( "cache",
            Obj
@@ -212,8 +299,13 @@ let stats_json t =
        ])
 
 let metrics_json t =
+  refresh_gauges t;
   Mpl_obs.Json.to_string
     (Mpl_obs.Export.metrics_json (Mpl_obs.Metrics.snapshot t.metrics))
+
+let prometheus t =
+  refresh_gauges t;
+  Mpl_obs.Export.prometheus (Mpl_obs.Metrics.snapshot t.metrics)
 
 let bump_errors t =
   Mpl_obs.Metrics.incr t.errors_c;
@@ -234,13 +326,127 @@ let resolve_min_s ~k = function
     if k >= 5 then Mpl_layout.Layout.pentuple_min_s tech
     else Mpl_layout.Layout.quadruple_min_s tech
 
-let run_request t fd (rp : Proto.request) body =
+(* ------------------------------------------------------------------ *)
+(* Request telemetry *)
+
+(* Cap on captured spans per ring entry: a traced S-circuit run emits
+   tens of thousands of spans; keeping the earliest [max_trace_events]
+   preserves the pipeline structure while bounding ring memory. *)
+let max_trace_events = 20_000
+
+let rec take n = function
+  | [] -> []
+  | _ when n <= 0 -> []
+  | x :: tl -> x :: take (n - 1) tl
+
+type req_timing = {
+  rid : int;
+  recv_ns : int64;  (* absolute, request line read *)
+  queue_wait_ns : int64;
+  mutable first_piece_ns : int64;  (* relative to admission; -1 = none *)
+}
+
+(* Every DECOMPOSE outcome — ok, error, parse failure or busy — lands
+   one ring entry and one access-log line, so the admin plane never
+   has blind spots for exactly the requests that went wrong. *)
+let finish_request t (rp : Proto.request) (tm : req_timing) ~body_len ~circuit
+    ~solve_ns ~pieces ~cache_hits ~degraded ~outcome ~sink =
+  let total_ns = Int64.sub (Mpl_util.Timer.now_ns ()) tm.recv_ns in
+  Mpl_obs.Metrics.observe t.e2e_h (Int64.to_float total_ns);
+  let algo = Proto.name_of_algorithm rp.Proto.algo in
+  (match t.req_ring with
+  | None -> ()
+  | Some ring ->
+    let trace =
+      match sink with
+      | None -> []
+      | Some s -> take max_trace_events (Mpl_obs.Sink.events s)
+    in
+    Ring.add ring
+      {
+        Ring.id = tm.rid;
+        circuit;
+        algo;
+        k = rp.Proto.k;
+        priority = rp.Proto.priority;
+        bytes = body_len;
+        pieces;
+        cache_hits;
+        queue_wait_ns = tm.queue_wait_ns;
+        first_piece_ns = tm.first_piece_ns;
+        solve_ns;
+        total_ns;
+        degraded;
+        outcome;
+        trace;
+      });
+  match t.access with
+  | None -> ()
+  | Some lg ->
+    let ms ns = ns_to_ms (Int64.to_float ns) in
+    let open Mpl_obs.Json in
+    Mpl_obs.Logfile.write lg
+      (to_string
+         (Obj
+            [
+              ("ts", Float (Unix.gettimeofday ()));
+              ("rid", Int tm.rid);
+              ("outcome", Str outcome);
+              ("circuit", Str circuit);
+              ("algo", Str algo);
+              ("k", Int rp.Proto.k);
+              ("priority", Int rp.Proto.priority);
+              ("bytes", Int body_len);
+              ("pieces", Int pieces);
+              ("cache_hits", Int cache_hits);
+              ("degraded", Int degraded);
+              ("queue_wait_ms", Float (ms tm.queue_wait_ns));
+              ( "first_piece_ms",
+                if tm.first_piece_ns < 0L then Null
+                else Float (ms tm.first_piece_ns) );
+              ("solve_ms", Float (ms solve_ns));
+              ("total_ms", Float (ms total_ns));
+            ]))
+
+let run_request t fd (rp : Proto.request) (tm : req_timing) body =
+  let finish = finish_request t rp tm ~body_len:(String.length body) in
   match Mpl_layout.Layout_io.of_string body with
   | exception Mpl_layout.Layout_io.Parse_error { line; msg } ->
     bump_errors t;
-    send fd (Proto.err_line ~code:"parse" ~line msg)
+    send fd (Proto.err_line ~code:"parse" ~line msg);
+    finish ~circuit:"" ~solve_ns:0L ~pieces:0 ~cache_hits:0 ~degraded:0
+      ~outcome:"parse" ~sink:None
   | layout -> (
-    send fd Proto.ack_line;
+    send fd (Proto.ack_line ~rid:tm.rid ());
+    let circuit = layout.Mpl_layout.Layout.name in
+    let rid_str = string_of_int tm.rid in
+    (* Per-request span sink (ring enabled only): shares the server's
+       aggregate metrics registry but collects spans privately, tagged
+       with the request's identity, so /trace?id= can replay exactly
+       one request. Ring off = the pre-telemetry null sink — the
+       served pipeline reads no extra clocks and stays bit-identical
+       (covered by the invariance property in the test suite). *)
+    let sink =
+      match t.req_ring with
+      | None -> None
+      | Some _ ->
+        Some
+          (Mpl_obs.Sink.create
+             ~tags:
+               [
+                 ("rid", Mpl_obs.Sink.Str rid_str);
+                 ("circuit", Mpl_obs.Sink.Str circuit);
+                 ("k", Mpl_obs.Sink.Int rp.Proto.k);
+                 ( "algo",
+                   Mpl_obs.Sink.Str (Proto.name_of_algorithm rp.Proto.algo) );
+               ]
+             ())
+    in
+    let req_obs =
+      match sink with
+      | None -> t.obs
+      | Some s -> Mpl_obs.Obs.make ~sink:s ~metrics:t.metrics ()
+    in
     let min_s = resolve_min_s ~k:rp.Proto.k rp.Proto.min_s in
     let params =
       {
@@ -251,6 +457,7 @@ let run_request t fd (rp : Proto.request) body =
         cache = rp.Proto.cache;
         cache_permuted = rp.Proto.permuted;
         fault = rp.Proto.inject;
+        request_id = Some rid_str;
       }
     in
     (* The shared table serves only requests whose reuse semantics
@@ -264,18 +471,29 @@ let run_request t fd (rp : Proto.request) body =
       then Some t.cache
       else None
     in
+    let admit_ns = Mpl_util.Timer.now_ns () in
     let on_component idx back colors =
+      (* Streamed on the coordinating thread in deterministic order,
+         so the first call is the true first piece. *)
+      if tm.first_piece_ns < 0L then begin
+        tm.first_piece_ns <- Int64.sub (Mpl_util.Timer.now_ns ()) admit_ns;
+        Mpl_obs.Metrics.observe t.first_piece_h
+          (Int64.to_float tm.first_piece_ns)
+      end;
       send fd (Proto.piece_line ~idx ~back ~colors)
     in
     let t0 = Mpl_util.Timer.now_ns () in
     match
-      let g = Mpl.Decomp_graph.of_layout ~obs:t.obs layout ~min_s in
-      Mpl.Decomposer.assign ~params ~obs:t.obs ~pool:t.pool ?shared_cache
+      let g = Mpl.Decomp_graph.of_layout ~obs:req_obs layout ~min_s in
+      Mpl.Decomposer.assign ~params ~obs:req_obs ~pool:t.pool ?shared_cache
         ~on_component rp.Proto.algo g
     with
     | exception e ->
       bump_errors t;
-      send fd (Proto.err_line ~code:"internal" (Printexc.to_string e))
+      send fd (Proto.err_line ~code:"internal" (Printexc.to_string e));
+      finish ~circuit
+        ~solve_ns:(Int64.sub (Mpl_util.Timer.now_ns ()) t0)
+        ~pieces:0 ~cache_hits:0 ~degraded:0 ~outcome:"error" ~sink
     | report ->
       let cost = report.Mpl.Decomposer.cost in
       send fd
@@ -314,9 +532,16 @@ let run_request t fd (rp : Proto.request) body =
              })
       | None -> ());
       send fd (Proto.done_line report.Mpl.Decomposer.colors);
-      Mpl_obs.Metrics.observe t.latency_h
-        (Int64.to_float (Int64.sub (Mpl_util.Timer.now_ns ()) t0));
+      let solve_ns = Int64.sub (Mpl_util.Timer.now_ns ()) t0 in
+      Mpl_obs.Metrics.observe t.latency_h (Int64.to_float solve_ns);
       Mpl_obs.Metrics.incr t.served_c;
+      let pieces, cache_hits =
+        match report.Mpl.Decomposer.engine with
+        | Some e -> (e.Mpl_engine.Engine.pieces, e.Mpl_engine.Engine.hits)
+        | None -> (0, 0)
+      in
+      finish ~circuit ~solve_ns ~pieces ~cache_hits
+        ~degraded:res.Mpl.Decomposer.degraded ~outcome:"ok" ~sink;
       let served =
         Mutex.lock t.lock;
         t.served <- t.served + 1;
@@ -330,6 +555,7 @@ let run_request t fd (rp : Proto.request) body =
       then save_cache t)
 
 let handle_decompose t fd ic nbytes rp =
+  let recv_ns = Mpl_util.Timer.now_ns () in
   match really_input_string ic nbytes with
   | exception End_of_file ->
     send fd (Proto.err_line ~code:"proto" "truncated request body");
@@ -349,9 +575,17 @@ let handle_decompose t fd ic nbytes rp =
       Mutex.unlock t.lock;
       (ok, infl)
     in
+    let queue_wait_ns = Int64.sub (Mpl_util.Timer.now_ns ()) recv_ns in
+    Mpl_obs.Metrics.observe t.queue_wait_h (Int64.to_float queue_wait_ns);
+    let tm =
+      { rid = fresh_rid t; recv_ns; queue_wait_ns; first_piece_ns = -1L }
+    in
     if not admitted then begin
       Mpl_obs.Metrics.incr t.rejected_c;
-      send fd (Proto.busy_line ~inflight ~limit:t.config.max_inflight)
+      send fd (Proto.busy_line ~inflight ~limit:t.config.max_inflight);
+      finish_request t rp tm ~body_len:(String.length body) ~circuit:""
+        ~solve_ns:0L ~pieces:0 ~cache_hits:0 ~degraded:0 ~outcome:"busy"
+        ~sink:None
     end
     else
       Fun.protect
@@ -361,32 +595,205 @@ let handle_decompose t fd ic nbytes rp =
           Mpl_obs.Metrics.set t.inflight_g (float_of_int t.inflight);
           Condition.broadcast t.drained;
           Mutex.unlock t.lock)
-        (fun () -> run_request t fd rp body);
+        (fun () -> run_request t fd rp tm body);
     true
 
+(* ------------------------------------------------------------------ *)
+(* HTTP admin plane *)
+
+(* The line listener doubles as a minimal HTTP/1.0 responder: a
+   connection whose first line is an HTTP request-line gets exactly one
+   response and is closed. This keeps curl/Prometheus reachable over
+   the very same socket the decompose protocol uses — no second
+   listener, no extra select loop. *)
+
+let requests_json t =
+  let entries = match t.req_ring with Some r -> Ring.entries r | None -> [] in
+  let open Mpl_obs.Json in
+  let entry_json (e : Ring.entry) =
+    Obj
+      [
+        ("id", Int e.Ring.id);
+        ("circuit", Str e.Ring.circuit);
+        ("algo", Str e.Ring.algo);
+        ("k", Int e.Ring.k);
+        ("priority", Int e.Ring.priority);
+        ("bytes", Int e.Ring.bytes);
+        ("pieces", Int e.Ring.pieces);
+        ("cache_hits", Int e.Ring.cache_hits);
+        ("degraded", Int e.Ring.degraded);
+        ("outcome", Str e.Ring.outcome);
+        ("queue_wait_ms", Float (ns_to_ms (Int64.to_float e.Ring.queue_wait_ns)));
+        ( "first_piece_ms",
+          if e.Ring.first_piece_ns < 0L then Null
+          else Float (ns_to_ms (Int64.to_float e.Ring.first_piece_ns)) );
+        ("solve_ms", Float (ns_to_ms (Int64.to_float e.Ring.solve_ns)));
+        ("total_ms", Float (ns_to_ms (Int64.to_float e.Ring.total_ns)));
+        ("trace_events", Int (List.length e.Ring.trace));
+      ]
+  in
+  to_string
+    (Obj
+       [
+         ("capacity", Int (match t.req_ring with Some r -> Ring.capacity r | None -> 0));
+         ("requests", List (List.map entry_json entries));
+       ])
+
+let healthz t =
+  refresh_gauges t;
+  Mutex.lock t.lock;
+  let inflight = t.inflight in
+  Mutex.unlock t.lock;
+  let stopping = Atomic.get t.stop in
+  let depth = Mpl_engine.Pool.queue_depth t.pool in
+  let bound = Mpl_engine.Pool.bound t.pool in
+  let cs = Mpl_engine.Cache.stats t.cache in
+  let accepting = not stopping in
+  let inflight_ok = inflight < t.config.max_inflight in
+  let queue_ok = depth < bound in
+  let cache_ok =
+    match cs.Mpl_engine.Cache.byte_budget with
+    | None -> true
+    | Some b -> cs.Mpl_engine.Cache.resident_bytes <= b
+  in
+  let ok = accepting && inflight_ok && queue_ok && cache_ok in
+  let open Mpl_obs.Json in
+  let body =
+    to_string
+      (Obj
+         [
+           ("status", Str (if ok then "ok" else "degraded"));
+           ("accepting", Bool accepting);
+           ("inflight", Int inflight);
+           ("max_inflight", Int t.config.max_inflight);
+           ("queue_depth", Int depth);
+           ("queue_bound", Int bound);
+           ("cache_bytes", Int cs.Mpl_engine.Cache.resident_bytes);
+           ( "cache_budget",
+             match cs.Mpl_engine.Cache.byte_budget with
+             | Some b -> Int b
+             | None -> Null );
+         ])
+  in
+  (ok, body)
+
+let http_status_reason = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 503 -> "Service Unavailable"
+  | _ -> "Error"
+
+let http_respond fd ~head_only ~status ~ctype body =
+  send fd
+    (Printf.sprintf
+       "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
+        Connection: close\r\n\r\n"
+       status (http_status_reason status) ctype (String.length body));
+  if not head_only then send fd body
+
+let query_param query key =
+  let prefix = key ^ "=" in
+  let plen = String.length prefix in
+  List.find_map
+    (fun tok ->
+      if String.length tok >= plen && String.sub tok 0 plen = prefix then
+        Some (String.sub tok plen (String.length tok - plen))
+      else None)
+    (String.split_on_char '&' query)
+
+let http_dispatch t path query =
+  match path with
+  | "/metrics" -> (200, "text/plain; version=0.0.4", prometheus t)
+  | "/healthz" ->
+    let ok, body = healthz t in
+    ((if ok then 200 else 503), "application/json", body ^ "\n")
+  | "/requests" -> (200, "application/json", requests_json t ^ "\n")
+  | "/trace" -> (
+    match query_param query "id" with
+    | None -> (400, "text/plain", "missing id query parameter\n")
+    | Some id_str -> (
+      match int_of_string_opt id_str with
+      | None -> (400, "text/plain", "id is not an integer\n")
+      | Some id -> (
+        match t.req_ring with
+        | None -> (404, "text/plain", "request tracing disabled (ring=0)\n")
+        | Some ring -> (
+          match Ring.find ring id with
+          | None -> (404, "text/plain", "unknown request id\n")
+          | Some e ->
+            ( 200,
+              "application/json",
+              Mpl_obs.Export.chrome_json
+                ~process_name:(Printf.sprintf "mpld rid=%d" id)
+                e.Ring.trace )))))
+  | _ -> (404, "text/plain", "not found\n")
+
+let is_http_line line =
+  let has_prefix p =
+    String.length line > String.length p && String.sub line 0 (String.length p) = p
+  in
+  has_prefix "GET " || has_prefix "HEAD "
+
+let handle_http t fd ic line =
+  Mpl_obs.Metrics.incr t.admin_c;
+  (* Drain the request headers up to the blank line; this responder
+     never reads a body (GET/HEAD only). *)
+  let rec drain () =
+    match input_line ic with
+    | exception End_of_file -> ()
+    | exception Sys_error _ -> ()
+    | l ->
+      let l =
+        let n = String.length l in
+        if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
+      in
+      if l <> "" then drain ()
+  in
+  drain ();
+  match
+    List.filter (fun s -> s <> "") (String.split_on_char ' ' (String.trim line))
+  with
+  | meth :: target :: _ ->
+    let path, query =
+      match String.index_opt target '?' with
+      | None -> (target, "")
+      | Some i ->
+        ( String.sub target 0 i,
+          String.sub target (i + 1) (String.length target - i - 1) )
+    in
+    let status, ctype, body = http_dispatch t path query in
+    http_respond fd ~head_only:(meth = "HEAD") ~status ~ctype body
+  | _ -> http_respond fd ~head_only:false ~status:400 ~ctype:"text/plain" "bad request\n"
+
 let handle_line t fd ic line =
-  match Proto.parse_command line with
-  | Error msg ->
-    send fd (Proto.err_line ~code:"proto" msg);
+  if is_http_line line then begin
+    handle_http t fd ic line;
     false
-  | Ok Proto.Ping ->
-    Mpl_obs.Metrics.incr t.admin_c;
-    send fd Proto.pong_line;
-    true
-  | Ok Proto.Stats ->
-    Mpl_obs.Metrics.incr t.admin_c;
-    send fd (stats_json t ^ "\n");
-    true
-  | Ok Proto.Metrics ->
-    Mpl_obs.Metrics.incr t.admin_c;
-    send fd (metrics_json t ^ "\n");
-    true
-  | Ok Proto.Quit ->
-    Mpl_obs.Metrics.incr t.admin_c;
-    send fd Proto.bye_line;
-    request_stop t;
-    false
-  | Ok (Proto.Decompose (nbytes, rp)) -> handle_decompose t fd ic nbytes rp
+  end
+  else
+    match Proto.parse_command line with
+    | Error msg ->
+      send fd (Proto.err_line ~code:"proto" msg);
+      false
+    | Ok Proto.Ping ->
+      Mpl_obs.Metrics.incr t.admin_c;
+      send fd Proto.pong_line;
+      true
+    | Ok Proto.Stats ->
+      Mpl_obs.Metrics.incr t.admin_c;
+      send fd (stats_json t ^ "\n");
+      true
+    | Ok Proto.Metrics ->
+      Mpl_obs.Metrics.incr t.admin_c;
+      send fd (metrics_json t ^ "\n");
+      true
+    | Ok Proto.Quit ->
+      Mpl_obs.Metrics.incr t.admin_c;
+      send fd Proto.bye_line;
+      request_stop t;
+      false
+    | Ok (Proto.Decompose (nbytes, rp)) -> handle_decompose t fd ic nbytes rp
 
 let rec serve_conn t fd ic =
   match input_line ic with
@@ -413,6 +820,14 @@ let spawn_handler t fd =
       ()
   in
   cell := Some th
+
+(* Test access to the telemetry ring. *)
+let requests t = match t.req_ring with Some r -> Ring.entries r | None -> []
+
+let trace_events t id =
+  match t.req_ring with
+  | None -> None
+  | Some r -> Option.map (fun e -> e.Ring.trace) (Ring.find r id)
 
 let make_unix_listener path =
   (match Unix.lstat path with
@@ -497,6 +912,7 @@ let run t =
     conns;
   save_cache t;
   Mpl_engine.Pool.shutdown t.pool;
+  (match t.access with Some lg -> Mpl_obs.Logfile.close lg | None -> ());
   (try Unix.close t.stop_r with Unix.Unix_error _ -> ());
   (try Unix.close t.stop_w with Unix.Unix_error _ -> ());
   log t "stopped"

@@ -10,7 +10,9 @@
       reads newline-framed requests and streams replies. Handler
       threads coordinate pool work but solve nothing themselves, so
       OCaml's systhread serialization costs nothing — the parallelism
-      lives in the pool's worker domains.
+      lives in the pool's worker domains. A connection whose first
+      line is an HTTP request-line is answered as HTTP/1.0 instead
+      (see below) and closed after one response.
     - {b scheduler}: admission control bounds the number of requests
       decomposing at once ([max_inflight]); a request over the bound
       gets an immediate [BUSY] reply instead of queueing (the client
@@ -27,6 +29,24 @@
       served requests. A request asking for the reuse mode the server
       cache was not built with ([permuted] vs. exact) gets a private
       per-request cache instead — never a mode-mismatched shared one.
+
+    {b Request telemetry}: every [DECOMPOSE] gets a server-assigned id
+    (echoed as [ACK rid=N]). With [ring > 0] each admitted request
+    runs under a private span sink tagged with its id/circuit/k/algo
+    (sharing the server-lifetime metrics registry), and every outcome
+    — ok, error, parse, busy — lands a summary in a bounded in-memory
+    ring and, with [access_log], one JSONL line in a size-rotated
+    access log. Latency SLO histograms (queue wait,
+    admission-to-first-piece, end-to-end) feed the p50/p90/p99
+    estimates in [STATS]. With [ring = 0] and no access log the
+    serving path reads no extra clocks per pipeline span and produces
+    bit-identical colorings — the pre-telemetry behaviour.
+
+    {b HTTP admin plane} (same listeners, sniffed per connection):
+    [GET /metrics] (Prometheus text exposition), [GET /healthz]
+    (admission/queue/cache gates; 200 or 503 + JSON), [GET /requests]
+    (the ring as JSON, newest first), [GET /trace?id=N] (one request's
+    Chrome trace). [HEAD] is honoured; anything else is 400/404.
 
     Shutdown (SIGTERM via {!request_stop}, or a client [QUIT]) is a
     clean drain: stop accepting, let in-flight requests finish, close
@@ -46,12 +66,18 @@ type config = {
       (** also save the cache every N served requests (0 = only on
           shutdown) *)
   log : (string -> unit) option;  (** operational log lines (no newline) *)
+  ring : int;
+      (** request-summary ring capacity (default 32); 0 disables both
+          the ring and per-request span tracing *)
+  access_log : string option;  (** JSONL access log path (default none) *)
+  log_max_bytes : int;
+      (** access-log rotation threshold (default 8 MiB) *)
 }
 
 val default_config : config
 (** No listeners (callers must set at least one), [jobs = 1],
     [max_inflight = 4], unlimited exact-mode cache, no persistence,
-    no log. *)
+    no log, [ring = 32], no access log. *)
 
 type t
 
@@ -59,9 +85,9 @@ val create : config -> t
 (** Allocate the pool and the shared cache; load the persisted cache
     if [persist] names a readable file (a structurally bad file is
     logged and ignored — the server boots cold rather than not at
-    all).
+    all); open the access log if configured.
     @raise Invalid_argument if no listener is configured, [jobs < 1],
-    or [max_inflight < 1]. *)
+    [max_inflight < 1], or [ring < 0]. *)
 
 val request_stop : t -> unit
 (** Begin graceful shutdown; safe to call from a signal handler and
@@ -71,10 +97,23 @@ val run : t -> unit
 (** Bind the configured listeners and serve until {!request_stop} (or
     a client [QUIT]). Returns after the drain: all in-flight requests
     finished, sockets closed and the Unix socket path unlinked, cache
-    persisted, pool shut down.
+    persisted, pool shut down, access log closed.
     @raise Unix.Unix_error if a listener cannot bind. *)
 
 val stats_json : t -> string
 (** The [STATS] payload: server counters (served / rejected / errors /
-    in-flight / limits) plus the shared cache's {!Mpl_engine.Cache.stats},
-    as one compact JSON line (no trailing newline). Exposed for tests. *)
+    in-flight / limits / uptime / pool queue depth), request-latency
+    percentiles, plus the shared cache's {!Mpl_engine.Cache.stats}, as
+    one compact JSON line (no trailing newline). Exposed for tests. *)
+
+val prometheus : t -> string
+(** The [GET /metrics] body: gauges refreshed, then the registry in
+    Prometheus text exposition format. Exposed for tests. *)
+
+val requests : t -> Ring.entry list
+(** The telemetry ring, newest first ([[]] when [ring = 0]). Exposed
+    for tests. *)
+
+val trace_events : t -> int -> Mpl_obs.Sink.event list option
+(** A finished request's captured spans by request id; [None] when the
+    id left the ring (or [ring = 0]). Exposed for tests. *)

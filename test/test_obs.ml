@@ -172,6 +172,173 @@ let test_metrics_export () =
     Alcotest.(check bool) "counter value" true
       (Json.member "a.count" counters = Some (Json.Int 3))
 
+let test_metrics_percentiles () =
+  let m = Metrics.create () in
+  let h = Metrics.histogram m "lat" in
+  for v = 1 to 1000 do
+    Metrics.observe h (float_of_int v)
+  done;
+  let s = Metrics.snapshot m in
+  let hs =
+    match Metrics.find_histogram s "lat" with
+    | Some hs -> hs
+    | None -> Alcotest.fail "histogram missing from snapshot"
+  in
+  (match Metrics.percentiles hs [ 0.5; 0.9; 0.99 ] with
+  | [ p50; p90; p99 ] ->
+    (* Log2 buckets bound any estimate within 2x of the true value. *)
+    let within true_v est =
+      est >= true_v /. 2. && est <= Float.min (true_v *. 2.) hs.Metrics.max_v
+    in
+    Alcotest.(check bool) "p50 within 2x of 500" true (within 500. p50);
+    Alcotest.(check bool) "p90 within 2x of 900" true (within 900. p90);
+    Alcotest.(check bool) "p99 within 2x of 990" true (within 990. p99);
+    Alcotest.(check bool) "monotone" true (p50 <= p90 && p90 <= p99)
+  | _ -> Alcotest.fail "percentiles arity");
+  (* Edge quantiles clamp to the observed extremes. *)
+  Alcotest.(check (float 1e-9)) "q=0 is min" 1. (Metrics.percentile hs 0.);
+  Alcotest.(check (float 1e-9)) "q=1 is max" 1000. (Metrics.percentile hs 1.);
+  (* A constant distribution is exact at every quantile: min = max
+     clamps the in-bucket interpolation. *)
+  let m2 = Metrics.create () in
+  let h2 = Metrics.histogram m2 "const" in
+  for _ = 1 to 100 do
+    Metrics.observe h2 42.
+  done;
+  let hs2 =
+    Option.get (Metrics.find_histogram (Metrics.snapshot m2) "const")
+  in
+  List.iter
+    (fun q ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "constant q=%.2f" q)
+        42. (Metrics.percentile hs2 q))
+    [ 0.01; 0.5; 0.99 ];
+  (* Empty histogram: everything is 0. *)
+  let hs3 = Option.get (Metrics.find_histogram (Metrics.snapshot m2) "const") in
+  ignore hs3;
+  let m3 = Metrics.create () in
+  let _ = Metrics.histogram m3 "empty" in
+  let hs4 = Option.get (Metrics.find_histogram (Metrics.snapshot m3) "empty") in
+  Alcotest.(check (float 1e-9)) "empty" 0. (Metrics.percentile hs4 0.5)
+
+(* ------------------------------------------------------------------ *)
+(* Prometheus exposition *)
+
+let test_prometheus_roundtrip () =
+  let m = Metrics.create () in
+  Metrics.add (Metrics.counter m "server.served") 12;
+  Metrics.set (Metrics.gauge m "cache.bytes") 4096.;
+  let h = Metrics.histogram m "server.e2e_ns" in
+  List.iter (Metrics.observe h) [ 0.25; 3.; 3.; 900.; 1.5e6 ];
+  let text = Export.prometheus (Metrics.snapshot m) in
+  (match Export.validate_prometheus text with
+  | Ok n -> Alcotest.(check bool) "sample count" true (n >= 7)
+  | Error e -> Alcotest.failf "own exposition rejected: %s" e);
+  Alcotest.(check bool) "namespaced, sanitized name" true
+    (let rec contains i =
+       i + 16 <= String.length text
+       && (String.sub text i 16 = "mpl_server_served" || contains (i + 1))
+     in
+     contains 0
+     ||
+     let rec c2 i =
+       i + 17 <= String.length text
+       && (String.sub text i 17 = "mpl_server_served" || c2 (i + 1))
+     in
+     c2 0)
+
+let test_prometheus_rejects () =
+  List.iter
+    (fun (what, text) ->
+      match Export.validate_prometheus text with
+      | Ok _ -> Alcotest.failf "accepted %s" what
+      | Error _ -> ())
+    [
+      ("bad metric name", "# TYPE 1bad counter\n1bad 0\n");
+      ("bad sample value", "# TYPE a counter\na zzz\n");
+      ("duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n");
+      ("unknown type", "# TYPE a sparkline\na 1\n");
+      ( "non-cumulative histogram",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"2\"} 3\n\
+         h_bucket{le=\"+Inf\"} 5\nh_sum 9\nh_count 5\n" );
+      ( "missing +Inf bucket",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 5\nh_count 5\n" );
+      ( "count disagrees with +Inf",
+        "# TYPE h histogram\nh_bucket{le=\"1\"} 5\n\
+         h_bucket{le=\"+Inf\"} 5\nh_sum 5\nh_count 7\n" );
+      ( "non-monotone le",
+        "# TYPE h histogram\nh_bucket{le=\"5\"} 1\nh_bucket{le=\"2\"} 2\n\
+         h_bucket{le=\"+Inf\"} 3\nh_sum 5\nh_count 3\n" );
+    ];
+  (* And a known-good handwritten document parses. *)
+  match
+    Export.validate_prometheus
+      "# TYPE up gauge\nup 1\n# TYPE h histogram\nh_bucket{le=\"1\"} 2\n\
+       h_bucket{le=\"+Inf\"} 4\nh_sum 6.5\nh_count 4\n"
+  with
+  | Ok n -> Alcotest.(check int) "handwritten samples" 5 n
+  | Error e -> Alcotest.failf "rejected good doc: %s" e
+
+(* ------------------------------------------------------------------ *)
+(* Access-log rotation *)
+
+let test_logfile_rotation () =
+  let path = Filename.temp_file "mpld-log" ".jsonl" in
+  let rotated = path ^ ".1" in
+  let cleanup () =
+    List.iter (fun p -> try Sys.remove p with Sys_error _ -> ()) [ path; rotated ]
+  in
+  Fun.protect ~finally:cleanup (fun () ->
+      let t = Mpl_obs.Logfile.open_ ~max_bytes:256 path in
+      let line = String.make 63 'x' in
+      for _ = 1 to 20 do
+        Mpl_obs.Logfile.write t line
+      done;
+      Mpl_obs.Logfile.close t;
+      Alcotest.(check bool) "rotated at least once" true
+        (Mpl_obs.Logfile.rotations t >= 1);
+      Alcotest.(check bool) "rotated file exists" true (Sys.file_exists rotated);
+      (* Disk footprint stays bounded by ~2x max_bytes. *)
+      let size p = (Unix.stat p).Unix.st_size in
+      Alcotest.(check bool) "live file within budget" true (size path <= 256);
+      Alcotest.(check bool) "rotated file within budget" true
+        (size rotated <= 256);
+      (* Every surviving line is intact (no torn writes across rotation). *)
+      let ic = open_in path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          try
+            while true do
+              Alcotest.(check string) "line intact" line (input_line ic)
+            done
+          with End_of_file -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* Sink ambient tags (request-scoped attribution) *)
+
+let test_sink_tags () =
+  let sink = Sink.create ~tags:[ ("rid", Sink.Str "7"); ("k", Sink.Int 4) ] () in
+  let obs = Obs.make ~sink () in
+  Obs.span obs "outer" (fun () ->
+      Obs.span obs "inner.x" ~args:[ ("n", Sink.Int 3) ] (fun () -> ()));
+  let events = Sink.events sink in
+  Alcotest.(check int) "both spans" 2 (List.length events);
+  List.iter
+    (fun (e : Sink.event) ->
+      Alcotest.(check bool) (e.Sink.name ^ " tagged rid") true
+        (List.mem ("rid", Sink.Str "7") e.Sink.args);
+      Alcotest.(check bool) (e.Sink.name ^ " tagged k") true
+        (List.mem ("k", Sink.Int 4) e.Sink.args))
+    events;
+  (* Explicit span args survive alongside the ambient tags. *)
+  let inner =
+    List.find (fun (e : Sink.event) -> e.Sink.name = "inner.x") events
+  in
+  Alcotest.(check bool) "own args kept" true
+    (List.mem ("n", Sink.Int 3) inner.Sink.args)
+
 (* ------------------------------------------------------------------ *)
 (* Monotonic timer (satellite: Timer now reads CLOCK_MONOTONIC) *)
 
@@ -328,6 +495,13 @@ let suite =
     Alcotest.test_case "json: member" `Quick test_json_member;
     Alcotest.test_case "metrics: basics" `Quick test_metrics_basics;
     Alcotest.test_case "metrics: null registry" `Quick test_metrics_null;
+    Alcotest.test_case "metrics: percentiles" `Quick test_metrics_percentiles;
+    Alcotest.test_case "export: prometheus round trip" `Quick
+      test_prometheus_roundtrip;
+    Alcotest.test_case "export: prometheus validator rejects" `Quick
+      test_prometheus_rejects;
+    Alcotest.test_case "logfile: rotation" `Quick test_logfile_rotation;
+    Alcotest.test_case "sink: ambient tags" `Quick test_sink_tags;
     Alcotest.test_case "sink: nesting" `Quick test_sink_nesting;
     Alcotest.test_case "sink: null" `Quick test_sink_null;
     Alcotest.test_case "sink: exception safety" `Quick test_sink_exception;

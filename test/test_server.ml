@@ -131,7 +131,8 @@ let fresh_sock () =
     (Filename.get_temp_dir_name ())
     (Printf.sprintf "mpld-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
 
-let with_server ?(jobs = 2) ?(max_inflight = 8) ?cache_budget ?persist f =
+let with_server ?(jobs = 2) ?(max_inflight = 8) ?cache_budget ?persist
+    ?(ring = 32) ?access_log f =
   let sock = fresh_sock () in
   let cfg =
     {
@@ -141,6 +142,8 @@ let with_server ?(jobs = 2) ?(max_inflight = 8) ?cache_budget ?persist f =
       max_inflight;
       cache_budget;
       persist;
+      ring;
+      access_log;
     }
   in
   let t = Server.create cfg in
@@ -293,6 +296,161 @@ let test_serve_inject_resilience () =
             out.cost.Proto.stitches))
 
 (* ------------------------------------------------------------------ *)
+(* HTTP admin plane: /metrics, /healthz, /requests, /trace?id= are all
+   served on the protocol socket (request-line sniffing), and the
+   artifacts pass the same validators tier1 runs on them. *)
+
+let http_get sock path =
+  with_client sock (fun c ->
+      match Client.http c path with
+      | Ok (status, body) -> (status, body)
+      | Error e -> Alcotest.failf "GET %s: %s" path (Client.error_to_string e))
+
+let test_serve_http_admin () =
+  with_server (fun sock t ->
+      (* Serve one request first so every endpoint has data. *)
+      let out =
+        with_client sock (fun c ->
+            ok (Client.decompose c ~request:(request ()) (Lazy.force body)))
+      in
+      let rid =
+        match out.Client.rid with
+        | Some rid -> rid
+        | None -> Alcotest.fail "ACK carried no rid"
+      in
+      (* /metrics: valid Prometheus text exposition. *)
+      let status, text = http_get sock "/metrics" in
+      Alcotest.(check int) "/metrics status" 200 status;
+      (match Mpl_obs.Export.validate_prometheus text with
+      | Ok n -> Alcotest.(check bool) "/metrics samples" true (n > 10)
+      | Error e -> Alcotest.failf "/metrics invalid: %s" e);
+      Alcotest.(check bool) "/metrics has served counter" true
+        (contains text "mpl_server_served");
+      Alcotest.(check bool) "/metrics has cache bytes gauge" true
+        (contains text "mpl_cache_bytes");
+      Alcotest.(check bool) "/metrics has e2e histogram" true
+        (contains text "mpl_server_e2e_ns_bucket");
+      (* /healthz: healthy and accepting. *)
+      let status, health = http_get sock "/healthz" in
+      Alcotest.(check int) "/healthz status" 200 status;
+      Alcotest.(check bool) "/healthz ok" true (contains health "\"ok\"");
+      (* /requests: the ring holds our request, newest first. *)
+      let status, reqs = http_get sock "/requests" in
+      Alcotest.(check int) "/requests status" 200 status;
+      (match Mpl_obs.Json.parse reqs with
+      | Error e -> Alcotest.failf "/requests not JSON: %s" e
+      | Ok v -> (
+        match Mpl_obs.Json.member "requests" v with
+        | Some (Mpl_obs.Json.List (entry :: _)) ->
+          Alcotest.(check bool) "entry has our rid" true
+            (Mpl_obs.Json.member "id" entry = Some (Mpl_obs.Json.Int rid));
+          Alcotest.(check bool) "entry outcome ok" true
+            (Mpl_obs.Json.member "outcome" entry
+            = Some (Mpl_obs.Json.Str "ok"))
+        | _ -> Alcotest.fail "/requests entries missing"));
+      (* /trace?id=: a valid Chrome trace of that one request. *)
+      let status, trace =
+        http_get sock (Printf.sprintf "/trace?id=%d" rid)
+      in
+      Alcotest.(check int) "/trace status" 200 status;
+      (match
+         Mpl_obs.Export.validate_chrome
+           ~required:[ "assign"; "engine.batch" ]
+           trace
+       with
+      | Ok spans -> Alcotest.(check bool) "/trace spans" true (spans > 0)
+      | Error e -> Alcotest.failf "/trace invalid: %s" e);
+      (* Unknown ids and paths fail cleanly. *)
+      let status, _ = http_get sock "/trace?id=999999" in
+      Alcotest.(check int) "unknown rid is 404" 404 status;
+      let status, _ = http_get sock "/nope" in
+      Alcotest.(check int) "unknown path is 404" 404 status;
+      ignore t)
+
+(* ------------------------------------------------------------------ *)
+(* Request-scoped traces: under concurrent mixed-priority load, every
+   ring entry's trace is well-nested and every one of its events is
+   tagged with that request's rid — even though the shared pool lets
+   one request's threads help solve another's pieces. *)
+
+let test_serve_request_traces_concurrent () =
+  with_server ~jobs:2 (fun sock t ->
+      let n = 4 in
+      let priorities = [| 0; 9; 5; 1 |] in
+      let rids = Array.make n None in
+      let worker i =
+        with_client sock (fun c ->
+            let out =
+              ok
+                (Client.decompose c
+                   ~request:(request ~priority:priorities.(i) ())
+                   (Lazy.force body))
+            in
+            rids.(i) <- out.Client.rid)
+      in
+      let threads = List.init n (fun i -> Thread.create worker i) in
+      List.iter Thread.join threads;
+      Array.iteri
+        (fun i rid ->
+          let rid =
+            match rid with
+            | Some rid -> rid
+            | None -> Alcotest.failf "request %d: no rid" i
+          in
+          match Server.trace_events t rid with
+          | None -> Alcotest.failf "rid %d: no trace in the ring" rid
+          | Some events ->
+            Alcotest.(check bool)
+              (Printf.sprintf "rid %d: non-empty trace" rid)
+              true (events <> []);
+            let tag = ("rid", Mpl_obs.Sink.Str (string_of_int rid)) in
+            List.iter
+              (fun (e : Mpl_obs.Sink.event) ->
+                if not (List.mem tag e.Mpl_obs.Sink.args) then
+                  Alcotest.failf "rid %d: event %s tagged %s" rid
+                    e.Mpl_obs.Sink.name
+                    (match
+                       List.assoc_opt "rid" e.Mpl_obs.Sink.args
+                     with
+                    | Some (Mpl_obs.Sink.Str s) -> s
+                    | _ -> "<none>"))
+              events;
+            Alcotest.(check bool)
+              (Printf.sprintf "rid %d: well-nested" rid)
+              true
+              (Test_obs.well_nested events))
+        rids;
+      (* The ring kept all four, one entry per request. *)
+      let entries = Server.requests t in
+      Alcotest.(check bool) "ring holds all requests" true
+        (List.length entries >= n))
+
+(* ------------------------------------------------------------------ *)
+(* Telemetry off (ring=0, no access log): the served path must stay
+   bit-identical to the direct decomposition — no per-request sink, no
+   clock-dependent behavior change. *)
+
+let test_serve_invariance_telemetry_off () =
+  with_server ~ring:0 (fun sock t ->
+      with_client sock (fun c ->
+          List.iter
+            (fun algo ->
+              let out =
+                ok
+                  (Client.decompose c ~request:(request ~algo ())
+                     (Lazy.force body))
+              in
+              check_parity algo out)
+            [ D.Sdp_backtrack; D.Linear ]);
+      Alcotest.(check int) "ring stays empty" 0
+        (List.length (Server.requests t));
+      (* The admin plane still answers; /trace just has nothing. *)
+      let status, _ = http_get sock "/metrics" in
+      Alcotest.(check int) "/metrics still served" 200 status;
+      let status, _ = http_get sock "/trace?id=1" in
+      Alcotest.(check int) "/trace disabled" 404 status)
+
+(* ------------------------------------------------------------------ *)
 (* Persistence: a restarted server answers from the reloaded cache. *)
 
 let test_serve_persist_warm_restart () =
@@ -339,6 +497,11 @@ let suite =
       test_serve_repeat_cache_hits;
     Alcotest.test_case "serve: resilience under injection" `Quick
       test_serve_inject_resilience;
+    Alcotest.test_case "serve: HTTP admin plane" `Quick test_serve_http_admin;
+    Alcotest.test_case "serve: per-request traces under concurrency" `Quick
+      test_serve_request_traces_concurrent;
+    Alcotest.test_case "serve: telemetry off is invariant" `Quick
+      test_serve_invariance_telemetry_off;
     Alcotest.test_case "serve: persisted cache warm restart" `Quick
       test_serve_persist_warm_restart;
   ]

@@ -98,7 +98,7 @@ server_fail() {
   exit 1
 }
 start_server() {
-  "$MPLD" serve --socket "$sock" -j 2 --persist "$cachef" 2>> "$srvlog" &
+  "$MPLD" serve --socket "$sock" -j 2 --persist "$cachef" "$@" 2>> "$srvlog" &
   srv=$!
   i=0
   while [ ! -S "$sock" ]; do
@@ -132,16 +132,62 @@ wait "$srv" || server_fail "server exited nonzero on graceful shutdown"
 srv=""
 [ -s "$cachef" ] || server_fail "shutdown did not persist the cache"
 
-# ...and a restarted server answers its very first request warm.
-start_server
+# ...and a restarted server answers its very first request warm. The
+# restart also carries the telemetry flags so the admin plane can be
+# smoked against a live server: per-request rid, /metrics passing the
+# exposition validator, /healthz, /requests, a per-request Chrome
+# trace, and the JSONL access log.
+accesslog=/tmp/mpld-smoke-$$.access.jsonl
+promf=/tmp/mpld-smoke-$$.prom
+tracef=/tmp/mpld-smoke-$$.trace.json
+start_server --ring 16 --log "$accesslog"
 warm=$("$MPLD" client --socket "$sock" S15850 -a linear --colors "$got" \
   2>/dev/null)
 echo "$warm" | grep -Eq "engine: pieces=[1-9][0-9]* solved=0 hits=[1-9]" \
   || server_fail "restarted server did not reload the persisted cache: $warm"
 cmp -s "$ref" "$got" || server_fail "warm-restart coloring diverged"
+echo "$warm" | grep -q "^rid: " \
+  || server_fail "served reply carried no request id: $warm"
+rid=$(echo "$warm" | sed -n 's/^rid: //p')
+
+"$MPLD" client --socket "$sock" --http /metrics > "$promf" 2>/dev/null \
+  || server_fail "GET /metrics failed"
+"$MPLD" prom-check "$promf" \
+  || server_fail "/metrics failed the Prometheus exposition validator"
+"$MPLD" client --socket "$sock" --http /healthz 2>/dev/null \
+  | grep -q '"status": *"ok"' \
+  || server_fail "/healthz did not report ok"
+"$MPLD" client --socket "$sock" --http /requests 2>/dev/null \
+  | grep -q "\"id\": *$rid" \
+  || server_fail "/requests ring does not list rid $rid"
+"$MPLD" client --socket "$sock" --http "/trace?id=$rid" > "$tracef" \
+  2>/dev/null || server_fail "GET /trace?id=$rid failed"
+"$MPLD" trace-check "$tracef" --require assign --require engine.batch \
+  || server_fail "per-request trace failed validation"
+"$MPLD" stats --socket "$sock" 2>/dev/null | grep -q "p99" \
+  || server_fail "live stats missing latency percentiles"
+grep -q "\"rid\":$rid" "$accesslog" \
+  || server_fail "access log missing the served request"
+
 "$MPLD" client --socket "$sock" --quit 2>/dev/null
 wait "$srv" || server_fail "server exited nonzero after warm restart"
 srv=""
-rm -f "$sock" "$cachef" "$srvlog" "$ref" "$got"
+rm -f "$sock" "$cachef" "$srvlog" "$ref" "$got" "$accesslog" "$promf" \
+  "$tracef"
+
+# Gate: bench compare. The committed baseline compared to itself must
+# pass, and a perturbed copy (one row slowed 2x) must fail.
+baseline=bench/results/latest.json
+perturbed=$(mktemp /tmp/mpld-perturbed.XXXXXX.json)
+dune exec bench/main.exe -- compare "$baseline" "$baseline" > /dev/null \
+  || { echo "tier1: bench compare rejected identical documents" >&2; exit 1; }
+sed 's/"wall_s": \([0-9]*\)\./"wall_s": 9\1./' "$baseline" > "$perturbed"
+if dune exec bench/main.exe -- compare "$baseline" "$perturbed" > /dev/null
+then
+  echo "tier1: bench compare missed a planted regression" >&2
+  rm -f "$perturbed"
+  exit 1
+fi
+rm -f "$perturbed"
 
 echo "tier1: OK"
