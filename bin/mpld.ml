@@ -130,8 +130,10 @@ let inject_arg =
   let doc =
     "Inject one deterministic fault: \
      $(docv) = SITE[:seed=N][:shots=N] with SITE one of solver_raise, \
-     worker_delay, cache_corrupt, budget_trip. The run must still \
-     produce a legal coloring; degradations are reported."
+     worker_delay, cache_corrupt, budget_trip (pipeline sites), or \
+     conn_drop, write_stall, torn_frame (network sites, honoured by \
+     $(b,mpld serve) on its connection I/O). A pipeline-site run must \
+     still produce a legal coloring; degradations are reported."
   in
   Arg.(
     value
@@ -289,26 +291,42 @@ let host_arg =
   let doc = "TCP host/bind address." in
   Arg.(value & opt string "127.0.0.1" & info [ "host" ] ~docv:"HOST" ~doc)
 
-let connect_or_die ~socket ~host ~port =
+(* Exit codes for anything talking to a server, so scripts can
+   distinguish "retry later" from "give up":
+     0 success          1 protocol / server error
+     2 usage            3 server busy (admission control)
+     4 deadline expired or cancelled server-side
+     5 could not connect *)
+let connect_target ~socket ~host ~port =
+  match (socket, port) with
+  | Some path, _ -> path
+  | None, Some p -> Printf.sprintf "%s:%d" host p
+  | None, None -> "?"
+
+let try_connect ~socket ~host ~port =
   match (socket, port) with
   | Some path, _ -> (
-    try Mpl_server.Client.connect_unix path
-    with Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "error: connect %s: %s\n" path (Unix.error_message e);
-      exit 2)
+    try Ok (Mpl_server.Client.connect_unix path) with e -> Error e)
   | None, Some p -> (
-    try Mpl_server.Client.connect_tcp host p
-    with
-    | Unix.Unix_error (e, _, _) ->
-      Printf.eprintf "error: connect %s:%d: %s\n" host p
-        (Unix.error_message e);
-      exit 2
-    | Not_found ->
-      Printf.eprintf "error: connect %s:%d: host not found\n" host p;
-      exit 2)
+    try Ok (Mpl_server.Client.connect_tcp host p) with e -> Error e)
   | None, None ->
     Printf.eprintf "error: needs --socket PATH or --port PORT\n";
     exit 2
+
+let connect_error_line ~socket ~host ~port e =
+  let target = connect_target ~socket ~host ~port in
+  match e with
+  | Unix.Unix_error (ue, _, _) ->
+    Printf.sprintf "connect %s: %s" target (Unix.error_message ue)
+  | Not_found -> Printf.sprintf "connect %s: host not found" target
+  | e -> Printf.sprintf "connect %s: %s" target (Printexc.to_string e)
+
+let connect_or_die ~socket ~host ~port =
+  match try_connect ~socket ~host ~port with
+  | Ok conn -> conn
+  | Error e ->
+    Printf.eprintf "error: %s\n" (connect_error_line ~socket ~host ~port e);
+    exit 5
 
 (* Pretty-print a live server's STATS JSON: counters one-per-line plus
    the latency percentile estimates the SLO histograms feed. *)
@@ -687,8 +705,44 @@ let serve_cmd =
       & opt int (8 * 1024 * 1024)
       & info [ "log-max-bytes" ] ~docv:"BYTES" ~doc)
   in
+  let read_timeout_arg =
+    let doc =
+      "Reap a connection whose partially sent command line or request \
+       body stalls longer than $(docv) milliseconds (slowloris \
+       protection). 0 disables the read deadline."
+    in
+    Arg.(value & opt int 10_000 & info [ "read-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let write_timeout_arg =
+    let doc =
+      "Reap a connection whose client stops draining its socket for \
+       $(docv) milliseconds mid-reply; the request's queued pieces are \
+       cancelled. 0 disables the write deadline."
+    in
+    Arg.(value & opt int 10_000 & info [ "write-timeout-ms" ] ~docv:"MS" ~doc)
+  in
+  let grace_arg =
+    let doc =
+      "Extra milliseconds past a request's deadline=MS before the hard \
+       cancel: the soft deadline degrades the solve via the fallback \
+       ladder; only if the degraded pipeline still cannot finish within \
+       the grace is the request cancelled with a TIMEOUT reply."
+    in
+    Arg.(value & opt int 1000 & info [ "grace-ms" ] ~docv:"MS" ~doc)
+  in
+  let max_body_arg =
+    let doc =
+      "Refuse DECOMPOSE bodies larger than $(docv) bytes (ERR proto, \
+       before any allocation)."
+    in
+    Arg.(
+      value
+      & opt int (64 * 1024 * 1024)
+      & info [ "max-body-bytes" ] ~docv:"BYTES" ~doc)
+  in
   let run socket port host jobs max_inflight cache_budget cache_permuted
-      persist persist_every ring access_log log_max_bytes =
+      persist persist_every ring access_log log_max_bytes read_timeout_ms
+      write_timeout_ms grace_ms max_body_bytes inject =
     if socket = None && port = None then begin
       Printf.eprintf "error: serve needs --socket PATH and/or --port PORT\n";
       exit 2
@@ -709,6 +763,11 @@ let serve_cmd =
         access_log;
         log_max_bytes;
         log = Some log;
+        read_timeout_s = float_of_int read_timeout_ms /. 1000.;
+        write_timeout_s = float_of_int write_timeout_ms /. 1000.;
+        grace_ms;
+        max_body_bytes;
+        fault = inject;
       }
     in
     let srv = Mpl_server.Server.create config in
@@ -723,7 +782,8 @@ let serve_cmd =
       const run $ socket_arg $ port_arg $ host_arg $ jobs_arg
       $ max_inflight_arg $ cache_budget_arg $ cache_permuted_arg
       $ persist_arg $ persist_every_arg $ ring_arg $ log_arg
-      $ log_max_bytes_arg)
+      $ log_max_bytes_arg $ read_timeout_arg $ write_timeout_arg
+      $ grace_arg $ max_body_arg $ inject_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -770,18 +830,50 @@ let client_cmd =
     in
     Arg.(value & opt (some string) None & info [ "http" ] ~docv:"PATH" ~doc)
   in
+  let deadline_arg =
+    let doc =
+      "Server-side deadline in milliseconds: past it the solve degrades \
+       to its cheapest rung, and past it plus the server's grace the \
+       request is cancelled with a TIMEOUT reply (exit code 4)."
+    in
+    Arg.(value & opt (some int) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+  in
+  let retries_arg =
+    let doc =
+      "Retry a BUSY reply, a dropped/torn connection, or a transient \
+       connect failure up to $(docv) times with capped exponential \
+       backoff. TIMEOUT/CANCELLED and server ERR replies are never \
+       retried."
+    in
+    Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
+  in
+  let backoff_arg =
+    let doc =
+      "Base backoff in milliseconds for --retries: sleep base*2^i with \
+       deterministic +/-25% jitter, capped at 2000 ms."
+    in
+    Arg.(value & opt int 100 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
+  in
   let run socket host port layout k min_s algo priority no_cache permuted
-      inject colors_out do_stats do_metrics do_ping do_quit http_path =
-    let conn = connect_or_die ~socket ~host ~port in
-    Fun.protect
-      ~finally:(fun () -> Mpl_server.Client.close conn)
-      (fun () ->
-        let fail e =
-          Printf.eprintf "error: %s\n" (Mpl_server.Client.error_to_string e);
-          exit (match e with Mpl_server.Client.Busy _ -> 3 | _ -> 1)
-        in
-        match http_path with
-        | Some path -> (
+      inject deadline_ms retries backoff_ms colors_out do_stats do_metrics
+      do_ping do_quit http_path =
+    let fail e =
+      Printf.eprintf "error: %s\n" (Mpl_server.Client.error_to_string e);
+      exit
+        (match e with
+        | Mpl_server.Client.Busy _ -> 3
+        | Mpl_server.Client.Timed_out _ | Mpl_server.Client.Cancelled _ -> 4
+        | Mpl_server.Client.Remote _ | Mpl_server.Client.Protocol _ -> 1)
+    in
+    let with_conn f =
+      let conn = connect_or_die ~socket ~host ~port in
+      Fun.protect
+        ~finally:(fun () -> Mpl_server.Client.close conn)
+        (fun () -> f conn)
+    in
+    match http_path with
+    | Some path ->
+      with_conn (fun conn ->
           match Mpl_server.Client.http conn path with
           | Error e -> fail e
           | Ok (status, body) ->
@@ -792,66 +884,108 @@ let client_cmd =
               Printf.eprintf "error: HTTP %d\n" status;
               exit 1
             end)
+    | None -> (
+      if do_quit then with_conn Mpl_server.Client.quit
+      else if do_stats || do_metrics then
+        with_conn (fun conn ->
+            (if do_stats then
+               match Mpl_server.Client.stats conn with
+               | Ok json -> print_endline json
+               | Error e -> fail e);
+            if do_metrics then
+              match Mpl_server.Client.metrics conn with
+              | Ok json -> print_endline json
+              | Error e -> fail e)
+      else if do_ping then
+        with_conn (fun conn ->
+            if Mpl_server.Client.ping conn then print_endline "PONG"
+            else begin
+              Printf.eprintf "error: no PONG\n";
+              exit 1
+            end)
+      else
+        match layout with
         | None ->
-        if do_quit then Mpl_server.Client.quit conn
-        else if do_stats || do_metrics then begin
-          (if do_stats then
-             match Mpl_server.Client.stats conn with
-             | Ok json -> print_endline json
-             | Error e -> fail e);
-          if do_metrics then
-            match Mpl_server.Client.metrics conn with
-            | Ok json -> print_endline json
-            | Error e -> fail e
-        end
-        else if do_ping then
-          if Mpl_server.Client.ping conn then print_endline "PONG"
-          else begin
-            Printf.eprintf "error: no PONG\n";
-            exit 1
-          end
-        else
-          match layout with
-          | None ->
-            Printf.eprintf
-              "error: LAYOUT required unless an admin flag is given\n";
-            exit 2
-          | Some source -> (
-            let body =
-              if Sys.file_exists source then begin
-                let ic = open_in_bin source in
+          Printf.eprintf
+            "error: LAYOUT required unless an admin flag is given\n";
+          exit 2
+        | Some source ->
+          let body =
+            if Sys.file_exists source then begin
+              let ic = open_in_bin source in
+              Fun.protect
+                ~finally:(fun () -> close_in_noerr ic)
+                (fun () -> really_input_string ic (in_channel_length ic))
+            end
+            else
+              match Mpl_layout.Benchgen.circuit source with
+              | layout -> Mpl_layout.Layout_io.to_string layout
+              | exception Not_found ->
+                Printf.eprintf
+                  "error: %s is neither a file nor a known benchmark \
+                   circuit\n"
+                  source;
+                exit 2
+          in
+          let request =
+            {
+              Mpl_server.Proto.default_request with
+              k;
+              algo;
+              min_s;
+              priority;
+              cache = not no_cache;
+              permuted;
+              inject;
+              deadline_ms;
+            }
+          in
+          (* Retry loop: each attempt opens a fresh connection (a BUSY
+             or torn reply leaves the old one unusable). Retryable
+             failures and transient connect errors draw sleeps from one
+             shared deterministic backoff schedule; a TIMEOUT/CANCELLED
+             or ERR reply fails immediately — an identical retry would
+             meet the same fate. *)
+          let rec go sleeps =
+            match try_connect ~socket ~host ~port with
+            | Error e -> (
+              match sleeps with
+              | s :: rest when Mpl_server.Client.transient_connect_error e ->
+                Printf.eprintf "retry: %s (backing off %.0f ms)\n%!"
+                  (connect_error_line ~socket ~host ~port e)
+                  (s *. 1000.);
+                Unix.sleepf s;
+                go rest
+              | _ ->
+                Printf.eprintf "error: %s\n"
+                  (connect_error_line ~socket ~host ~port e);
+                exit 5)
+            | Ok conn -> (
+              let r =
                 Fun.protect
-                  ~finally:(fun () -> close_in_noerr ic)
-                  (fun () -> really_input_string ic (in_channel_length ic))
-              end
-              else
-                match Mpl_layout.Benchgen.circuit source with
-                | layout -> Mpl_layout.Layout_io.to_string layout
-                | exception Not_found ->
-                  Printf.eprintf
-                    "error: %s is neither a file nor a known benchmark \
-                     circuit\n"
-                    source;
-                  exit 2
-            in
-            let request =
-              {
-                Mpl_server.Proto.default_request with
-                k;
-                algo;
-                min_s;
-                priority;
-                cache = not no_cache;
-                permuted;
-                inject;
-              }
-            in
-            match Mpl_server.Client.decompose conn ~request body with
-            | Error e -> fail e
-            | Ok o ->
-              (match o.Mpl_server.Client.rid with
-              | Some rid -> Printf.printf "rid: %d\n" rid
-              | None -> ());
+                  ~finally:(fun () -> Mpl_server.Client.close conn)
+                  (fun () -> Mpl_server.Client.decompose conn ~request body)
+              in
+              match r with
+              | Ok o -> o
+              | Error e -> (
+                match sleeps with
+                | s :: rest when Mpl_server.Client.retryable e ->
+                  Printf.eprintf "retry: %s (backing off %.0f ms)\n%!"
+                    (Mpl_server.Client.error_to_string e)
+                    (s *. 1000.);
+                  Unix.sleepf s;
+                  go rest
+                | _ -> fail e))
+          in
+          let o =
+            go
+              (Mpl_server.Client.backoff_schedule ~base_ms:backoff_ms ~retries
+                 ())
+          in
+          (match o.Mpl_server.Client.rid with
+          | Some rid -> Printf.printf "rid: %d\n" rid
+          | None -> ());
               let c = o.Mpl_server.Client.cost in
               Printf.printf
                 "cost: conflicts=%d stitches=%d scaled=%d elapsed=%.3f \
@@ -891,14 +1025,15 @@ let client_cmd =
                   (Array.length o.Mpl_server.Client.colors)
                   path
               | None -> ());
-              if not o.Mpl_server.Client.streams_consistent then exit 1))
+          if not o.Mpl_server.Client.streams_consistent then exit 1)
   in
   let term =
     Term.(
       const run $ socket_arg $ host_arg $ port_arg $ layout_arg $ k_arg
       $ min_s_arg $ algo_arg $ priority_cl_arg $ no_cache_arg
-      $ cache_permuted_arg $ inject_arg $ colors_arg $ stats_flag
-      $ metrics_flag $ ping_flag $ quit_flag $ http_arg)
+      $ cache_permuted_arg $ inject_arg $ deadline_arg $ retries_arg
+      $ backoff_arg $ colors_arg $ stats_flag $ metrics_flag $ ping_flag
+      $ quit_flag $ http_arg)
   in
   Cmd.v
     (Cmd.info "client"
@@ -908,6 +1043,10 @@ let client_cmd =
     term
 
 let () =
+  (* Writing to a server that reaped our connection must surface as
+     EPIPE (handled) in every subcommand, never kill the process. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let doc = "multiple-patterning (K>=4) layout decomposition" in
   let info = Cmd.info "mpld" ~version:"1.0.0" ~doc in
   exit

@@ -30,6 +30,8 @@ type params = {
   metrics : bool;
   fault : Mpl_engine.Fault.spec option;
   request_id : string option;
+  cancel : Mpl_engine.Pool.token option;
+  deadline_s : float option;
 }
 
 let default_params =
@@ -54,6 +56,8 @@ let default_params =
     metrics = false;
     fault = None;
     request_id = None;
+    cancel = None;
+    deadline_s = None;
   }
 
 (* Stamp the serving request id onto a span's arguments, so even the
@@ -247,7 +251,8 @@ let fallback_chain = function
    ties keep the earliest candidate (the primary's partial result
    first, then chain order). Rungs are themselves fault-eligible, so a
    multi-shot injection can cascade all the way down to greedy. *)
-let recover_piece ~obs ~params ~fault ~prov ~primary ~partial ~error piece =
+let recover_piece ?(cheap = false) ~obs ~params ~fault ~prov ~primary
+    ~partial ~error piece =
   let k = params.k and alpha = params.alpha in
   let m = obs.Mpl_obs.Obs.metrics in
   let free_budget = Mpl_util.Timer.budget 0. in
@@ -279,7 +284,10 @@ let recover_piece ~obs ~params ~fault ~prov ~primary ~partial ~error piece =
       with
       | colors -> add (algorithm_name step) colors
       | exception _ -> ())
-    (fallback_chain primary);
+    (* An expired deadline skips the expensive middle rungs: recovery
+       must cost less than the time that is already gone. *)
+    (if cheap then (match primary with Linear -> [] | _ -> [ Linear ])
+     else fallback_chain primary);
   if !candidates = [] then begin
     (* Everything raised: the greedy terminal rung always succeeds. *)
     incr attempts;
@@ -345,10 +353,21 @@ let piece_signature ~salt (piece : Decomp_graph.t) =
    degrades through [recover_piece] instead of failing the run. The
    budget deadline and the timeout flag are both safe to touch from
    pool workers. *)
-let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
-    ~salt algorithm (piece : Decomp_graph.t) =
+let make_solver ~obs ~params ~budget ~deadline_over ~timed_out ~fault ~prov
+    ~warm_cache ~salt algorithm (piece : Decomp_graph.t) =
   let m = obs.Mpl_obs.Obs.metrics in
   Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.solves");
+  (* Deadline trip: degrade instead of solving — the ladder-aware soft
+     phase of a per-request deadline. The piece still gets a legal
+     coloring from the cheapest rung; the hard phase (cancellation of
+     queued pieces) is the server watchdog's job. *)
+  if deadline_over () then begin
+    Atomic.set timed_out true;
+    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.deadline_trips");
+    recover_piece ~cheap:true ~obs ~params ~fault ~prov ~primary:algorithm
+      ~partial:None ~error:"deadline" piece
+  end
+  else begin
   (* Warm-hint probe: a previously solved piece with the same canonical
      key (near-isomorphic: same 1-WL structure, possibly different
      labeling) seeds this piece's SDP initial point. Only the SDP
@@ -406,10 +425,12 @@ let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
     Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.budget_trips");
     recover_piece ~obs ~params ~fault ~prov ~primary:algorithm
       ~partial:(Some colors) ~error:"budget/node-cap trip" piece
-  | Error e ->
-    Mpl_obs.Metrics.incr (Mpl_obs.Metrics.counter m "solver.piece_failures");
-    recover_piece ~obs ~params ~fault ~prov ~primary:algorithm ~partial:None
-      ~error:(Printexc.to_string e) piece
+    | Error e ->
+      Mpl_obs.Metrics.incr
+        (Mpl_obs.Metrics.counter m "solver.piece_failures");
+      recover_piece ~obs ~params ~fault ~prov ~primary:algorithm
+        ~partial:None ~error:(Printexc.to_string e) piece
+  end
 
 (* Streaming parallel/cached assignment: split off the independent
    components (the same split the sequential division pipeline performs
@@ -432,6 +453,17 @@ let make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
 let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
     ~ext_pool ~shared_cache ~salt ~on_component (g : Decomp_graph.t) =
   let jobs = max 1 params.jobs in
+  (* Coordinator-side cancellation checkpoints: one atomic read per
+     leaf emission / component push / component force. When the token
+     trips, the assignment unwinds with [Pool.Cancelled] — queued
+     pieces are dropped at dequeue, running ones finish but their
+     results are never looked at. *)
+  let check_cancel () =
+    match params.cancel with
+    | Some tok when Mpl_engine.Pool.cancelled tok ->
+      raise Mpl_engine.Pool.Cancelled
+    | _ -> ()
+  in
   let comps =
     if params.stages.Division.use_components then
       Mpl_obs.Obs.span obs "division.components" (fun () ->
@@ -469,7 +501,12 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
     && Coloring.is_complete colors
     && Coloring.check_range ~k:params.k colors
   in
-  let recover (piece, _back) e _bt =
+  let recover (piece, _back) e bt =
+    (* Cancellation is not a component failure: let it abort the whole
+       assignment instead of greedy-recovering a torn-down request. *)
+    (match e with
+    | Mpl_engine.Pool.Cancelled -> Printexc.raise_with_backtrace e bt
+    | _ -> ());
     let local = Division.fresh_stats () in
     local.Division.pieces <- 1;
     local.Division.largest_piece <- piece.Decomp_graph.n;
@@ -519,16 +556,18 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
               0 ps
           in
           let futs =
-            Mpl_engine.Pool.submit_group ~priority:(bias + prio) pool
+            Mpl_engine.Pool.submit_group ~priority:(bias + prio)
+              ?cancel:params.cancel pool
               (List.map (fun (p, _) () -> solver p) ps)
           in
           List.iter2 (fun (_, slot) fut -> slot := Some fut) ps futs
       in
       let emit_leaf (piece : Decomp_graph.t) =
+        check_cancel ();
         if piece.Decomp_graph.n >= chunk_below then begin
           let fut =
             Mpl_engine.Pool.submit ~priority:(bias + piece.Decomp_graph.n)
-              pool (fun () -> solver piece)
+              ?cancel:params.cancel pool (fun () -> solver piece)
           in
           fun () -> Mpl_engine.Pool.await pool fut
         end
@@ -564,7 +603,13 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
              [ ("pieces", Mpl_obs.Sink.Int (Array.length pieces)) ])
       @@ fun () ->
       let t0 = Mpl_util.Timer.now_ns () and c0 = !caller_ns in
-      let cells = Array.map (Mpl_engine.Engine.push t) pieces in
+      let cells =
+        Array.map
+          (fun p ->
+            check_cancel ();
+            Mpl_engine.Engine.push t p)
+          pieces
+      in
       flush ();
       let t1 = Mpl_util.Timer.now_ns () and c1 = !caller_ns in
       (* Cells are forced in push (= component index) order, so the
@@ -574,6 +619,7 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
       let results =
         Array.mapi
           (fun i cell ->
+            check_cancel ();
             let ((pc, _local) as r) = Mpl_engine.Engine.force t cell in
             (match on_component with
             | Some f ->
@@ -614,9 +660,41 @@ let assign ?(params = default_params) ?obs ?pool ?shared_cache ?on_component
     | None -> Mpl_engine.Fault.none
   in
   let prov = fresh_prov () in
+  (* Per-request deadline (opt-in). Armed, it is a second monotonic
+     budget: [deadline_over] is probed once per piece before the
+     primary solve (soft degrade through the cheap ladder rung), and
+     for the budgeted exact algorithms the shared solver budget is
+     clamped to it so an in-flight ILP/BnB returns its incumbent at
+     the deadline instead of running on. Unarmed, [deadline_over] is a
+     constant [false]: no clock is created, read, or registered — the
+     [solver.deadline_checks] counter only exists on deadline runs,
+     which is what the served-invariance test keys on. *)
+  let deadline_s =
+    match params.deadline_s with Some d when d > 0. -> Some d | _ -> None
+  in
+  let deadline_over =
+    match deadline_s with
+    | None -> fun () -> false
+    | Some d ->
+      let db = Mpl_util.Timer.budget d in
+      let checks =
+        Mpl_obs.Metrics.counter obs.Mpl_obs.Obs.metrics
+          "solver.deadline_checks"
+      in
+      fun () ->
+        Mpl_obs.Metrics.incr checks;
+        Mpl_util.Timer.expired db
+  in
   let budget =
     match algorithm with
-    | Ilp | Exact -> Mpl_util.Timer.budget params.solver_budget_s
+    | Ilp | Exact ->
+      let b = params.solver_budget_s in
+      let b =
+        match deadline_s with
+        | Some d -> if b <= 0. then d else Float.min b d
+        | None -> b
+      in
+      Mpl_util.Timer.budget b
     | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
   in
   (* Leaf-level warm-hint cache (opt-in): remembers every solved piece
@@ -633,8 +711,8 @@ let assign ?(params = default_params) ?obs ?pool ?shared_cache ?on_component
     else None
   in
   let base_solver =
-    make_solver ~obs ~params ~budget ~timed_out ~fault ~prov ~warm_cache
-      ~salt algorithm
+    make_solver ~obs ~params ~budget ~deadline_over ~timed_out ~fault ~prov
+      ~warm_cache ~salt algorithm
   in
   (* Phase accounting. [solve_ns] totals solver wall across every
      domain; [caller_ns] (coordinating thread only — no lock needed)
@@ -664,6 +742,7 @@ let assign ?(params = default_params) ?obs ?pool ?shared_cache ?on_component
     params.jobs > 1 || params.cache || Option.is_some pool
     || Option.is_some shared_cache
     || Option.is_some on_component
+    || Option.is_some params.cancel
   in
   let (colors, elapsed_s) =
     Mpl_util.Timer.time (fun () ->

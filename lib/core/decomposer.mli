@@ -94,6 +94,28 @@ type params = {
           on a server-lifetime sink stay attributable per request.
           Purely observational: never affects outputs or cache
           signatures ([None], the default, adds nothing) *)
+  cancel : Mpl_engine.Pool.token option;
+      (** cancellation token for mid-run teardown (forces the engine
+          path). The coordinator checks it at every leaf emission,
+          component push, and component force, and attaches it to every
+          pool submission: once {!Mpl_engine.Pool.cancel} is called,
+          queued pieces are dropped at dequeue without running, the
+          running ones finish but their results are discarded, and
+          {!assign} raises {!Mpl_engine.Pool.Cancelled}. [None] (the
+          default) adds one branch per checkpoint and nothing else *)
+  deadline_s : float option;
+      (** per-request deadline in seconds, measured from the start of
+          {!assign} on the monotonic clock. Soft, ladder-aware: each
+          piece probes the deadline once before its primary solve and,
+          once expired, degrades straight through the cheap ladder rung
+          (linear, then greedy) instead of solving — the run still
+          returns a complete legal coloring, with [timed_out] set and
+          the degradations recorded in {!resilience}. For the budgeted
+          exact algorithms the shared solver budget is clamped to the
+          deadline, so an in-flight ILP/BnB returns its incumbent at
+          the deadline. [None] (the default, also <= 0) arms nothing:
+          no deadline clock is created or read, and the
+          [solver.deadline_checks] counter is never registered *)
 }
 
 val default_params : params

@@ -9,7 +9,14 @@
    the robustness guarantees (legal output, accurate provenance) hold
    either way. *)
 
-type site = Solver_raise | Worker_delay | Cache_corrupt | Budget_trip
+type site =
+  | Solver_raise
+  | Worker_delay
+  | Cache_corrupt
+  | Budget_trip
+  | Conn_drop
+  | Write_stall
+  | Torn_frame
 
 type spec = { site : site; seed : int; shots : int }
 
@@ -26,12 +33,18 @@ let site_name = function
   | Worker_delay -> "worker_delay"
   | Cache_corrupt -> "cache_corrupt"
   | Budget_trip -> "budget_trip"
+  | Conn_drop -> "conn_drop"
+  | Write_stall -> "write_stall"
+  | Torn_frame -> "torn_frame"
 
 let site_of_name = function
   | "solver_raise" -> Some Solver_raise
   | "worker_delay" | "delay" -> Some Worker_delay
   | "cache_corrupt" -> Some Cache_corrupt
   | "budget_trip" -> Some Budget_trip
+  | "conn_drop" -> Some Conn_drop
+  | "write_stall" -> Some Write_stall
+  | "torn_frame" -> Some Torn_frame
   | _ -> None
 
 let spec_to_string sp =
@@ -47,7 +60,8 @@ let parse s =
       Error
         (Printf.sprintf
            "unknown fault site %S (expected solver_raise, worker_delay, \
-            cache_corrupt or budget_trip)"
+            cache_corrupt, budget_trip, conn_drop, write_stall or \
+            torn_frame)"
            name)
     | Some site ->
       let parse_opt acc opt =

@@ -19,9 +19,26 @@
       integrity checksum is computed first, so probes detect and drop
       the entry) — exercises cache-hit validation.
     - [Budget_trip]: the shared solver budget is force-expired before an
-      exact solve — exercises budget-free heuristic fallback. *)
+      exact solve — exercises budget-free heuristic fallback.
 
-type site = Solver_raise | Worker_delay | Cache_corrupt | Budget_trip
+    Network sites (probed by the server's connection I/O layer; an
+    occurrence is one send, flush, or body-read operation on the armed
+    site):
+    - [Conn_drop]: the connection is shut down at a send or body-read —
+      models a client vanishing mid-request.
+    - [Write_stall]: a flush reports an exhausted write deadline without
+      sleeping — models a reader that stops draining its socket.
+    - [Torn_frame]: a flush writes only the first half of its buffer and
+      then shuts the connection down — models a mid-frame disconnect. *)
+
+type site =
+  | Solver_raise
+  | Worker_delay
+  | Cache_corrupt
+  | Budget_trip
+  | Conn_drop
+  | Write_stall
+  | Torn_frame
 
 type spec = { site : site; seed : int; shots : int }
 

@@ -12,7 +12,31 @@
    streaming producers and is deadlock-free at any [jobs] (the producer
    never blocks on a condition another producer must signal). *)
 
-type task = { run : unit -> unit; prio : int; seq : int }
+(* A cancel token covers every task submitted with it (one token per
+   request in the server). Cancellation is checked only when a task is
+   about to be dequeued for execution: a cancelled task never runs, its
+   future is resolved to [Failed Cancelled], and the drop is counted on
+   the token. Tasks already running are unaffected — their results are
+   simply never looked at by the cancelled consumer. *)
+type token = {
+  tflag : bool Atomic.t;
+  tdrops : int Atomic.t;  (* logical tasks dropped without running *)
+}
+
+exception Cancelled
+
+let token () = { tflag = Atomic.make false; tdrops = Atomic.make 0 }
+let cancel tok = Atomic.set tok.tflag true
+let cancelled tok = Atomic.get tok.tflag
+let drops tok = Atomic.get tok.tdrops
+
+type task = {
+  run : unit -> unit;
+  drop : unit -> int;  (* resolve futures as Cancelled; # logical tasks *)
+  cancel : token option;
+  prio : int;
+  seq : int;
+}
 
 (* Binary max-heap ordered by (prio desc, seq asc). Plain array
    storage, grown geometrically up to the queue bound. *)
@@ -22,7 +46,8 @@ module Heap = struct
     mutable len : int;
   }
 
-  let dummy = { run = ignore; prio = 0; seq = 0 }
+  let dummy =
+    { run = ignore; drop = (fun () -> 0); cancel = None; prio = 0; seq = 0 }
   let create () = { a = Array.make 64 dummy; len = 0 }
   let length h = h.len
 
@@ -99,6 +124,7 @@ type stats = {
   helped : Mpl_obs.Metrics.counter;
   backpressure : Mpl_obs.Metrics.counter;
   idle_waits : Mpl_obs.Metrics.counter;
+  dropped : Mpl_obs.Metrics.counter;  (* cancelled before running *)
   busy_ns : Mpl_obs.Metrics.counter array;  (* per worker slot, 0 = caller *)
   timed : bool;  (* read the clock around task bodies *)
 }
@@ -136,6 +162,7 @@ let make_stats ~jobs (obs : Mpl_obs.Obs.t) =
     helped = Mpl_obs.Metrics.counter m "pool.helped";
     backpressure = Mpl_obs.Metrics.counter m "pool.backpressure";
     idle_waits = Mpl_obs.Metrics.counter m "pool.idle_waits";
+    dropped = Mpl_obs.Metrics.counter m "pool.dropped";
     busy_ns =
       Array.init jobs (fun i ->
           Mpl_obs.Metrics.counter m (Printf.sprintf "pool.worker%d.busy_ns" i));
@@ -160,10 +187,35 @@ let run_task t slot task =
   end
   else task ()
 
+(* Drop a cancelled task instead of running it: resolve its futures so
+   joiners raise [Cancelled], count the logical tasks on the token and
+   the pool counter. Called with [t.lock] held — safe, because the lock
+   order everywhere else is pool lock strictly before future lock. *)
+let drop_task t task =
+  let n = task.drop () in
+  (match task.cancel with
+  | Some tok -> ignore (Atomic.fetch_and_add tok.tdrops n)
+  | None -> ());
+  Mpl_obs.Metrics.add t.stats.dropped n;
+  n
+
+(* Pop the next runnable task, discarding cancelled ones in passing —
+   the O(1)-per-task dequeue-time cancellation check. Caller holds
+   [t.lock]. *)
+let rec pop_live t =
+  match Heap.pop t.queue with
+  | None -> None
+  | Some task -> (
+    match task.cancel with
+    | Some tok when Atomic.get tok.tflag ->
+      ignore (drop_task t task);
+      pop_live t
+    | _ -> Some task)
+
 let worker t own () =
   Mutex.lock t.lock;
   let rec loop () =
-    match Heap.pop t.queue with
+    match pop_live t with
     | Some task ->
       Mutex.unlock t.lock;
       run_task t own task.run;
@@ -219,14 +271,14 @@ let task_of fut f () =
 (* Enqueue under the bound: while the queue is full, pop and run one
    task on the calling thread (backpressure by helping — never waits on
    a condition, so it cannot deadlock at jobs = 1). *)
-let enqueue t ~prio run =
+let enqueue t ~prio ~cancel ~drop run =
   Mutex.lock t.lock;
   if t.closed then begin
     Mutex.unlock t.lock;
     invalid_arg "Pool.submit: pool is shut down"
   end;
   while Heap.length t.queue >= t.bound do
-    match Heap.pop t.queue with
+    match pop_live t with
     | Some task ->
       Mutex.unlock t.lock;
       Mpl_obs.Metrics.incr t.stats.backpressure;
@@ -234,28 +286,37 @@ let enqueue t ~prio run =
       Mutex.lock t.lock
     | None -> ()
   done;
-  Heap.push t.queue { run; prio; seq = t.seq };
+  Heap.push t.queue { run; drop; cancel; prio; seq = t.seq };
   t.seq <- t.seq + 1;
   Condition.signal t.nonempty;
   Mutex.unlock t.lock;
   Mpl_obs.Metrics.incr t.stats.submitted
 
-let submit ?(priority = 0) t f =
+let submit ?(priority = 0) ?cancel t f =
   let fut = fresh_future () in
-  enqueue t ~prio:priority (task_of fut f);
+  let drop () =
+    resolve fut (Failed (Cancelled, Printexc.get_callstack 0));
+    1
+  in
+  enqueue t ~prio:priority ~cancel ~drop (task_of fut f);
   fut
 
 (* One queue slot, many logical tasks: the chunk runs its members
    sequentially in submission order inside a single pool task, so tiny
    pieces pay one enqueue/dequeue for the whole group. Each member still
    gets its own future (failures stay isolated per member). *)
-let submit_group ?(priority = 0) t fs =
+let submit_group ?(priority = 0) ?cancel t fs =
   match fs with
   | [] -> []
   | fs ->
     let cells = List.map (fun f -> (fresh_future (), f)) fs in
     let run () = List.iter (fun (fut, f) -> task_of fut f ()) cells in
-    enqueue t ~prio:priority run;
+    let drop () =
+      let bt = Printexc.get_callstack 0 in
+      List.iter (fun (fut, _) -> resolve fut (Failed (Cancelled, bt))) cells;
+      List.length cells
+    in
+    enqueue t ~prio:priority ~cancel ~drop run;
     Mpl_obs.Metrics.incr t.stats.groups;
     List.map fst cells
 
@@ -273,7 +334,7 @@ let try_await t fut =
       Mutex.unlock fut.fm;
       (* Help: run a queued task of the pool instead of blocking. *)
       Mutex.lock t.lock;
-      (match Heap.pop t.queue with
+      (match pop_live t with
       | Some task ->
         Mutex.unlock t.lock;
         Mpl_obs.Metrics.incr t.stats.helped;
@@ -305,6 +366,29 @@ let map_list t f xs =
 let map_array t f xs =
   let futs = Array.map (fun x -> submit t (fun () -> f x)) xs in
   Array.map (await t) futs
+
+(* Eager sweep: with dequeue-time-only checks a cancelled task would
+   sit in the queue until a consumer reaches it (possibly never, on an
+   idle pool). The sweep settles the drop accounting promptly so a
+   teardown path can read [drops] right away. One O(queue) pass. *)
+let discard_cancelled t =
+  Mutex.lock t.lock;
+  let kept = ref [] in
+  let dropped = ref 0 in
+  let rec drain () =
+    match Heap.pop t.queue with
+    | None -> ()
+    | Some task ->
+      (match task.cancel with
+      | Some tok when Atomic.get tok.tflag ->
+        dropped := !dropped + drop_task t task
+      | _ -> kept := task :: !kept);
+      drain ()
+  in
+  drain ();
+  List.iter (Heap.push t.queue) !kept;
+  Mutex.unlock t.lock;
+  !dropped
 
 let shutdown t =
   Mutex.lock t.lock;

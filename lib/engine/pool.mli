@@ -24,6 +24,38 @@
 
 type t
 
+type token
+(** A cancellation token shared by every task submitted with it —
+    one token per request in the server. Cancellation is observed at
+    dequeue time: a cancelled task is dropped in O(1) instead of
+    running, and its future resolves to [Failed Cancelled]; a task
+    already running is unaffected (its result is simply discarded by
+    the cancelled consumer). Thread-safe. *)
+
+exception Cancelled
+(** Raised by {!await} on a future whose task was dropped. *)
+
+val token : unit -> token
+
+val cancel : token -> unit
+(** Flag the token. Queued tasks carrying it will be dropped at
+    dequeue (or eagerly by {!discard_cancelled}); already-running
+    tasks finish normally. Idempotent. *)
+
+val cancelled : token -> bool
+
+val drops : token -> int
+(** Logical tasks (group members count individually) dropped without
+    running so far on this token. *)
+
+val discard_cancelled : t -> int
+(** Sweep the queue, dropping every task whose token is cancelled —
+    resolving their futures and counting the drops — and return the
+    number of logical tasks dropped by this sweep. Without the sweep a
+    cancelled task is only dropped when a consumer would otherwise run
+    it, which on an idle pool may be never; teardown paths call this to
+    settle {!drops} accounting promptly. O(queue length). *)
+
 val create :
   ?obs:Mpl_obs.Obs.t ->
   ?fault:Fault.t ->
@@ -36,7 +68,8 @@ val create :
     full queue applies backpressure by making {!submit} help run tasks
     first. When [obs] carries an enabled metrics registry, the pool
     maintains [pool.submitted], [pool.groups], [pool.helped],
-    [pool.backpressure], [pool.idle_waits] counters plus a
+    [pool.backpressure], [pool.idle_waits], [pool.dropped] counters
+    plus a
     [pool.worker<i>.busy_ns] wall-time counter per worker slot (slot 0
     is the calling thread helping in {!await} or under backpressure);
     without it every probe is a no-op and no clock is read.
@@ -58,15 +91,18 @@ val queue_depth : t -> int
 
 type 'a future
 
-val submit : ?priority:int -> t -> (unit -> 'a) -> 'a future
+val submit : ?priority:int -> ?cancel:token -> t -> (unit -> 'a) -> 'a future
 (** Enqueue a task. Higher [priority] (default 0) runs first; equal
     priorities run in submission order. If the queue is at its bound
     the calling thread first helps run queued tasks (backpressure).
     Tasks must not themselves call {!submit} or {!await} on the same
-    pool.
+    pool. When [cancel] is given and the token is cancelled before the
+    task is dequeued, the task never runs and {!await} raises
+    {!Cancelled}.
     @raise Invalid_argument if the pool was shut down. *)
 
-val submit_group : ?priority:int -> t -> (unit -> 'a) list -> 'a future list
+val submit_group :
+  ?priority:int -> ?cancel:token -> t -> (unit -> 'a) list -> 'a future list
 (** Enqueue a list of tasks as ONE queue entry: the group occupies a
     single slot and its members run sequentially, in list order, on
     whichever consumer dequeues it — amortizing per-task submission

@@ -36,26 +36,71 @@ type outcome = {
 
 type error =
   | Busy of int * int
+  | Timed_out of { deadline_ms : int; elapsed_ms : int }
+  | Cancelled of string
   | Remote of { code : string; line : int option; msg : string }
   | Protocol of string
 
 let error_to_string = function
   | Busy (inflight, limit) ->
     Printf.sprintf "server busy (%d/%d requests in flight)" inflight limit
+  | Timed_out { deadline_ms; elapsed_ms } ->
+    Printf.sprintf "request timed out (deadline %d ms, elapsed %d ms)"
+      deadline_ms elapsed_ms
+  | Cancelled reason -> Printf.sprintf "request cancelled (%s)" reason
   | Remote { code; line = Some l; msg } ->
     Printf.sprintf "server error [%s] line %d: %s" code l msg
   | Remote { code; line = None; msg } ->
     Printf.sprintf "server error [%s]: %s" code msg
   | Protocol msg -> Printf.sprintf "protocol error: %s" msg
 
+let retryable = function
+  | Busy _ | Protocol _ -> true
+  | Timed_out _ | Cancelled _ | Remote _ -> false
+
+let transient_connect_error = function
+  | Unix.Unix_error
+      ( ( Unix.ECONNREFUSED | Unix.ECONNRESET | Unix.ECONNABORTED
+        | Unix.ENOENT | Unix.EAGAIN | Unix.EINTR | Unix.ETIMEDOUT ),
+        _,
+        _ ) ->
+    true
+  | _ -> false
+
+(* Capped exponential backoff with deterministic ±25% jitter: the
+   jitter stream is a fixed-seed SplitMix64, so two runs with the same
+   arguments sleep the same schedule (reproducible tests), while
+   different seeds decorrelate a thundering herd. *)
+let backoff_schedule ?(cap_ms = 2000) ?(seed = 0x6d706c64) ~base_ms ~retries
+    () =
+  let rng = Mpl_util.Rng.create seed in
+  List.init (max 0 retries) (fun i ->
+      let base =
+        Float.min (float_of_int (max 1 cap_ms))
+          (float_of_int (max 1 base_ms) *. (2. ** float_of_int i))
+      in
+      let jitter = 0.75 +. (0.5 *. Mpl_util.Rng.float rng 1.0) in
+      base *. jitter /. 1000.)
+
+(* A send to a server that vanished (reaped this connection, crashed)
+   must surface as a retryable error, not an exception: EPIPE here is
+   routine lifecycle, not a bug. *)
 let send t s =
   let b = Bytes.unsafe_of_string s in
   let n = Bytes.length b in
   let rec go off =
-    if off < n then
+    if off >= n then Ok ()
+    else
       match Unix.write t.fd b off (n - off) with
       | w -> go (off + w)
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+      | exception
+          Unix.Unix_error
+            ( ( Unix.EPIPE | Unix.ECONNRESET | Unix.ECONNABORTED
+              | Unix.EBADF | Unix.ENOTCONN ),
+              _,
+              _ ) ->
+        Error (Protocol "connection closed by server")
   in
   go 0
 
@@ -71,8 +116,10 @@ let read_reply t =
 let ( let* ) r f = Result.bind r f
 
 let decompose t ?(request = Proto.default_request) body =
-  send t (Proto.encode_request request ~body_len:(String.length body));
-  send t body;
+  let* () =
+    send t (Proto.encode_request request ~body_len:(String.length body))
+  in
+  let* () = send t body in
   (* Accumulate the reply stream until DONE; any ERR/BUSY ends it. *)
   let pieces = ref [] in
   let cost = ref None in
@@ -129,13 +176,16 @@ let decompose t ?(request = Proto.default_request) body =
             cache = !cache;
           }
       | _ -> Error (Protocol "DONE before COST/RESILIENCE"))
+    | Proto.Timeout { deadline_ms; elapsed_ms } ->
+      Error (Timed_out { deadline_ms; elapsed_ms })
+    | Proto.Cancelled reason -> Error (Cancelled reason)
     | Proto.Pong | Proto.Bye | Proto.Json _ ->
       Error (Protocol "unexpected admin reply in a DECOMPOSE stream")
   in
   loop ()
 
 let admin_json t verb =
-  send t (verb ^ "\n");
+  let* () = send t (verb ^ "\n") in
   let* reply = read_reply t in
   match reply with
   | Proto.Json s -> Ok s
@@ -146,20 +196,21 @@ let stats t = admin_json t "STATS"
 let metrics t = admin_json t "METRICS"
 
 let ping t =
-  send t "PING\n";
-  match read_reply t with Ok Proto.Pong -> true | Ok _ | Error _ -> false
+  match send t "PING\n" with
+  | Error _ -> false
+  | Ok () -> (
+    match read_reply t with Ok Proto.Pong -> true | Ok _ | Error _ -> false)
 
 let quit t =
   match send t "QUIT\n" with
-  | () -> (
-    match read_reply t with Ok _ | Error _ -> ())
-  | exception Unix.Unix_error _ -> ()
+  | Error _ -> ()
+  | Ok () -> ( match read_reply t with Ok _ | Error _ -> ())
 
 (* One-shot HTTP/1.0 fetch over the protocol socket (the server sniffs
    the request-line). The server closes after one response, so this
    consumes the connection — callers should treat [t] as spent. *)
 let http t path =
-  send t (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path);
+  let* () = send t (Printf.sprintf "GET %s HTTP/1.0\r\n\r\n" path) in
   let strip_cr l =
     let n = String.length l in
     if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l

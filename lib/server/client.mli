@@ -31,11 +31,35 @@ type outcome = {
 
 type error =
   | Busy of int * int  (** admission control: in-flight, limit *)
+  | Timed_out of { deadline_ms : int; elapsed_ms : int }
+      (** the server's [TIMEOUT] terminal: the request's deadline (and
+          grace period) expired server-side *)
+  | Cancelled of string  (** the server's [CANCELLED <reason>] terminal *)
   | Remote of { code : string; line : int option; msg : string }
       (** the server's [ERR] reply *)
   | Protocol of string  (** malformed reply / unexpected disconnect *)
 
 val error_to_string : error -> string
+
+val retryable : error -> bool
+(** Is retrying the identical request reasonable? [true] for {!Busy}
+    (admission pressure) and {!Protocol} (torn replies / dropped
+    connections — transport trouble, not request trouble); [false] for
+    {!Remote} (deterministic rejection), {!Timed_out} and {!Cancelled}
+    (an identical retry would meet the same deadline). *)
+
+val transient_connect_error : exn -> bool
+(** Is this exception from {!connect_unix} / {!connect_tcp} worth
+    retrying (connection refused / reset / socket file not there yet)?
+    [false] for anything that is not a transient [Unix_error]. *)
+
+val backoff_schedule :
+  ?cap_ms:int -> ?seed:int -> base_ms:int -> retries:int -> unit -> float list
+(** [backoff_schedule ~base_ms ~retries ()] is the sleep (in seconds)
+    before each retry: capped exponential ([base_ms * 2^i], capped at
+    [cap_ms], default 2000) with deterministic ±25% jitter drawn from
+    a SplitMix64 stream seeded by [seed] — identical arguments yield
+    an identical schedule. *)
 
 val decompose :
   t -> ?request:Proto.request -> string -> (outcome, error) result

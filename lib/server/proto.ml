@@ -7,6 +7,7 @@ type request = {
   cache : bool;
   permuted : bool;
   inject : Mpl_engine.Fault.spec option;
+  deadline_ms : int option;
 }
 
 let default_request =
@@ -19,6 +20,7 @@ let default_request =
     cache = true;
     permuted = false;
     inject = None;
+    deadline_ms = None;
   }
 
 let algorithm_of_name = function
@@ -57,6 +59,9 @@ let encode_request r ~body_len =
   | Some spec ->
     Buffer.add_string b (" inject=" ^ Mpl_engine.Fault.spec_to_string spec)
   | None -> ());
+  (match r.deadline_ms with
+  | Some ms -> Buffer.add_string b (Printf.sprintf " deadline=%d" ms)
+  | None -> ());
   Buffer.add_char b '\n';
   Buffer.contents b
 
@@ -89,6 +94,11 @@ let apply_field r tok =
     | "jobs" -> as_int (fun jobs -> { r with jobs })
     | "priority" -> as_int (fun priority -> { r with priority })
     | "min_s" -> as_int (fun m -> { r with min_s = Some m })
+    | "deadline" -> (
+      match int_of v with
+      | Some ms when ms > 0 -> Ok { r with deadline_ms = Some ms }
+      | Some _ -> Error "field deadline: must be positive milliseconds"
+      | None -> Error (Printf.sprintf "field deadline: not an integer: %S" v))
     | "cache" -> as_int (fun c -> { r with cache = c <> 0 })
     | "permuted" -> as_int (fun p -> { r with permuted = p <> 0 })
     | "algo" -> (
@@ -157,6 +167,8 @@ type reply =
   | Resilience of resilience_reply
   | Cache_info of cache_reply
   | Done of int array
+  | Timeout of { deadline_ms : int; elapsed_ms : int }
+  | Cancelled of string
   | Err of { code : string; line : int option; msg : string }
   | Pong
   | Bye
@@ -211,6 +223,14 @@ let done_line colors =
   Array.iter (fun c -> Buffer.add_string b (Printf.sprintf " %d" c)) colors;
   Buffer.add_char b '\n';
   Buffer.contents b
+
+let timeout_line ~deadline_ms ~elapsed_ms =
+  Printf.sprintf "TIMEOUT deadline_ms=%d elapsed_ms=%d\n" deadline_ms
+    elapsed_ms
+
+(* Reasons are single lower-case tokens ("disconnected", "shutdown")
+   so the line stays trivially tokenizable. *)
+let cancelled_line ~reason = Printf.sprintf "CANCELLED %s\n" reason
 
 let flatten_msg msg =
   String.concat "; "
@@ -354,6 +374,12 @@ let parse_reply line =
         | true -> Ok (Done (Array.of_list parsed))
         | false -> Error "DONE: malformed color")
       | _ -> Error "DONE: bad length")
+    | "TIMEOUT" :: fields ->
+      let* deadline_ms = field_int fields "deadline_ms" in
+      let* elapsed_ms = field_int fields "elapsed_ms" in
+      Ok (Timeout { deadline_ms; elapsed_ms })
+    | [ "CANCELLED"; reason ] -> Ok (Cancelled reason)
+    | [ "CANCELLED" ] -> Ok (Cancelled "unknown")
     | "ERR" :: code :: rest -> (
       match rest with
       | tok :: more

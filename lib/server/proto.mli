@@ -5,7 +5,7 @@
     sequence. Client speaks first:
 
     {v
-    DECOMPOSE <nbytes> k=4 algo=linear priority=0 cache=1 permuted=0 [min_s=N] [jobs=N] [inject=SPEC]
+    DECOMPOSE <nbytes> k=4 algo=linear priority=0 cache=1 permuted=0 [min_s=N] [jobs=N] [inject=SPEC] [deadline=MS]
     <nbytes bytes of layout text (Layout_io format)>
     STATS | METRICS | PING | QUIT
     v}
@@ -30,7 +30,13 @@
     return a single JSON line; [PING] returns [PONG]; [QUIT] returns
     [BYE] and starts a graceful server shutdown. All replies to one
     request finish before the next request on the connection is read,
-    so a client never has to demultiplex. *)
+    so a client never has to demultiplex.
+
+    A request armed with [deadline=MS] may instead end with a
+    [TIMEOUT deadline_ms=.. elapsed_ms=..] terminal line (the deadline
+    expired and its grace period passed before the stream completed);
+    a request torn down for another reason ends with
+    [CANCELLED <reason>]. Both are terminal: no [DONE] follows. *)
 
 type request = {
   k : int;  (** number of masks (default 4) *)
@@ -46,6 +52,12 @@ type request = {
   cache : bool;  (** consult/populate the server's shared cache (default on) *)
   permuted : bool;  (** request Permuted-mode reuse semantics *)
   inject : Mpl_engine.Fault.spec option;  (** deterministic fault injection *)
+  deadline_ms : int option;
+      (** per-request deadline in milliseconds, armed server-side from
+          request admission: past it, remaining solves degrade through
+          the cheap ladder rung, and past the server's grace period the
+          request is cancelled outright with a [TIMEOUT] terminal.
+          [None] (the default) arms nothing *)
 }
 
 val default_request : request
@@ -112,6 +124,12 @@ type reply =
   | Resilience of resilience_reply
   | Cache_info of cache_reply
   | Done of int array
+  | Timeout of { deadline_ms : int; elapsed_ms : int }
+      (** terminal: the request's deadline (plus the server's grace
+          period) expired before the stream finished *)
+  | Cancelled of string
+      (** terminal: the request was torn down; the payload is a
+          one-token reason (e.g. ["shutdown"]) *)
   | Err of { code : string; line : int option; msg : string }
       (** [code] is [parse] (layout rejected, [line] set), [proto]
           (malformed request), or [internal] *)
@@ -129,6 +147,10 @@ val engine_line : Mpl_engine.Engine.stats -> string
 val resilience_line : resilience_reply -> string
 val cache_line : cache_reply -> string
 val done_line : int array -> string
+val timeout_line : deadline_ms:int -> elapsed_ms:int -> string
+val cancelled_line : reason:string -> string
+(** [reason] must be a single token without spaces or newlines. *)
+
 val err_line : code:string -> ?line:int -> string -> string
 (** Newlines in the message are flattened to ["; "]. *)
 

@@ -19,7 +19,9 @@ type entry = {
   solve_ns : int64;  (** decompose call duration *)
   total_ns : int64;  (** receipt to full reply written *)
   degraded : int;  (** degraded pieces (resilience) *)
-  outcome : string;  (** ["ok"], ["busy"], ["parse"] or ["error"] *)
+  outcome : string;
+      (** ["ok"], ["busy"], ["parse"], ["error"], ["timeout"],
+          ["cancelled"] or ["disconnected"] *)
   trace : Mpl_obs.Sink.event list;
       (** per-request spans, capped; [[]] unless request tracing is on *)
 }

@@ -12,6 +12,11 @@ type config = {
   ring : int;
   access_log : string option;
   log_max_bytes : int;
+  read_timeout_s : float;
+  write_timeout_s : float;
+  grace_ms : int;
+  max_body_bytes : int;
+  fault : Mpl_engine.Fault.spec option;
 }
 
 let default_config =
@@ -29,6 +34,11 @@ let default_config =
     ring = 32;
     access_log = None;
     log_max_bytes = 8 * 1024 * 1024;
+    read_timeout_s = 10.;
+    write_timeout_s = 10.;
+    grace_ms = 1000;
+    max_body_bytes = 64 * 1024 * 1024;
+    fault = None;
   }
 
 type t = {
@@ -44,6 +54,10 @@ type t = {
   rejected_c : Mpl_obs.Metrics.counter;
   errors_c : Mpl_obs.Metrics.counter;
   admin_c : Mpl_obs.Metrics.counter;
+  cancelled_c : Mpl_obs.Metrics.counter;
+  timeouts_c : Mpl_obs.Metrics.counter;
+  reaped_c : Mpl_obs.Metrics.counter;
+  dropped_c : Mpl_obs.Metrics.counter;
   latency_h : Mpl_obs.Metrics.histogram;
   queue_wait_h : Mpl_obs.Metrics.histogram;
   first_piece_h : Mpl_obs.Metrics.histogram;
@@ -59,12 +73,17 @@ type t = {
   mutable served : int;
   mutable rejected : int;
   mutable errors : int;
+  mutable cancelled : int;
+  mutable timeouts : int;
+  mutable reaped : int;
+  mutable dropped : int;
   mutable next_rid : int;
   mutable conns : (Unix.file_descr * Thread.t option ref) list;
   save_lock : Mutex.t;
   stop : bool Atomic.t;
   stop_r : Unix.file_descr;
   stop_w : Unix.file_descr;
+  fault : Mpl_engine.Fault.t;  (* network sites, probed by Connio *)
 }
 
 let log t msg = match t.config.log with Some f -> f msg | None -> ()
@@ -97,6 +116,9 @@ let create config =
   if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
   if config.max_inflight < 1 then invalid_arg "Server.create: max_inflight < 1";
   if config.ring < 0 then invalid_arg "Server.create: ring < 0";
+  (* A client vanishing mid-stream must surface as EPIPE on the write,
+     not as a fatal SIGPIPE. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
   let metrics = Mpl_obs.Metrics.create () in
   let obs = Mpl_obs.Obs.make ~sink:Mpl_obs.Sink.null ~metrics () in
   let pool = Mpl_engine.Pool.create ~obs ~jobs:config.jobs () in
@@ -125,6 +147,10 @@ let create config =
       rejected_c = Mpl_obs.Metrics.counter metrics "server.rejected";
       errors_c = Mpl_obs.Metrics.counter metrics "server.errors";
       admin_c = Mpl_obs.Metrics.counter metrics "server.admin";
+      cancelled_c = Mpl_obs.Metrics.counter metrics "server.cancelled";
+      timeouts_c = Mpl_obs.Metrics.counter metrics "server.timeouts";
+      reaped_c = Mpl_obs.Metrics.counter metrics "server.reaped_conns";
+      dropped_c = Mpl_obs.Metrics.counter metrics "server.dropped_tasks";
       latency_h = Mpl_obs.Metrics.histogram metrics "server.request_ns";
       queue_wait_h = Mpl_obs.Metrics.histogram metrics "server.queue_wait_ns";
       first_piece_h = Mpl_obs.Metrics.histogram metrics "server.first_piece_ns";
@@ -140,12 +166,20 @@ let create config =
       served = 0;
       rejected = 0;
       errors = 0;
+      cancelled = 0;
+      timeouts = 0;
+      reaped = 0;
+      dropped = 0;
       next_rid = 0;
       conns = [];
       save_lock = Mutex.create ();
       stop = Atomic.make false;
       stop_r;
       stop_w;
+      fault =
+        (match config.fault with
+        | Some spec -> Mpl_engine.Fault.arm spec
+        | None -> Mpl_engine.Fault.none);
     }
   in
   (match config.persist with
@@ -196,20 +230,42 @@ let save_cache t =
         | exception e ->
           log t (Printf.sprintf "cache: save failed: %s" (Printexc.to_string e)))
 
-(* Direct-fd writes (no out_channel): the input side owns the only
-   buffered channel on the descriptor, so closing never double-closes
-   and a handler thread can stream PIECE lines without flush
-   bookkeeping. *)
-let send fd s =
-  let b = Bytes.unsafe_of_string s in
-  let n = Bytes.length b in
-  let rec go off =
-    if off < n then
-      match Unix.write fd b off (n - off) with
-      | w -> go (off + w)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0
+(* The peer stopped being a peer: its socket timed out on write (it
+   stopped draining), returned EPIPE/ECONNRESET (it vanished), or an
+   injected network fault tore the connection. Raised by the checked
+   send below and caught at exactly two levels — the request runner
+   (which cancels queued work) and the connection loop (which reaps the
+   connection). Never escapes the handler thread. *)
+exception Client_gone of Connio.werr
+
+(* All protocol writes go through here: a failed send is a lifecycle
+   event, not an I/O detail, so it must not be ignorable. *)
+let send cio s =
+  match Connio.send cio s with
+  | Ok () -> ()
+  | Error e -> raise (Client_gone e)
+
+(* The reply stream is buffered; terminal replies and admin responses
+   must actually reach the wire before the handler moves on. *)
+let send_flush cio s =
+  send cio s;
+  match Connio.flush cio with
+  | Ok () -> ()
+  | Error e -> raise (Client_gone e)
+
+let bump_reaped t =
+  Mpl_obs.Metrics.incr t.reaped_c;
+  Mutex.lock t.lock;
+  t.reaped <- t.reaped + 1;
+  Mutex.unlock t.lock
+
+let add_dropped t n =
+  if n > 0 then begin
+    Mpl_obs.Metrics.add t.dropped_c n;
+    Mutex.lock t.lock;
+    t.dropped <- t.dropped + n;
+    Mutex.unlock t.lock
+  end
 
 (* One source of truth for the derived gauges: every snapshot consumer
    (STATS, METRICS, /metrics, /healthz) refreshes them from the live
@@ -249,6 +305,10 @@ let stats_json t =
   let served = t.served
   and rejected = t.rejected
   and errors = t.errors
+  and cancelled = t.cancelled
+  and timeouts = t.timeouts
+  and reaped = t.reaped
+  and dropped = t.dropped
   and inflight = t.inflight in
   Mutex.unlock t.lock;
   let cs = Mpl_engine.Cache.stats t.cache in
@@ -266,6 +326,10 @@ let stats_json t =
                ("served", Int served);
                ("rejected", Int rejected);
                ("errors", Int errors);
+               ("cancelled", Int cancelled);
+               ("timeouts", Int timeouts);
+               ("reaped_conns", Int reaped);
+               ("dropped_tasks", Int dropped);
                ("inflight", Int inflight);
                ("max_inflight", Int t.config.max_inflight);
                ("jobs", Int (Mpl_engine.Pool.jobs t.pool));
@@ -353,6 +417,21 @@ let finish_request t (rp : Proto.request) (tm : req_timing) ~body_len ~circuit
     ~solve_ns ~pieces ~cache_hits ~degraded ~outcome ~sink =
   let total_ns = Int64.sub (Mpl_util.Timer.now_ns ()) tm.recv_ns in
   Mpl_obs.Metrics.observe t.e2e_h (Int64.to_float total_ns);
+  (* Outcome accounting lives here, next to the ring entry and access
+     line, so "every non-ok outcome is counted" holds by construction:
+     there is exactly one finish_request per request. *)
+  (match outcome with
+  | "timeout" ->
+    Mpl_obs.Metrics.incr t.timeouts_c;
+    Mutex.lock t.lock;
+    t.timeouts <- t.timeouts + 1;
+    Mutex.unlock t.lock
+  | "cancelled" | "disconnected" ->
+    Mpl_obs.Metrics.incr t.cancelled_c;
+    Mutex.lock t.lock;
+    t.cancelled <- t.cancelled + 1;
+    Mutex.unlock t.lock
+  | _ -> ());
   let algo = Proto.name_of_algorithm rp.Proto.algo in
   (match t.req_ring with
   | None -> ()
@@ -408,16 +487,22 @@ let finish_request t (rp : Proto.request) (tm : req_timing) ~body_len ~circuit
               ("total_ms", Float (ms total_ns));
             ]))
 
-let run_request t fd (rp : Proto.request) (tm : req_timing) body =
+(* Why a request is being torn down before its DONE line. [Run] is the
+   initial state; the first abort wins (compare-and-set), so a deadline
+   expiring while the disconnect teardown is in flight cannot flip a
+   "disconnected" into a "timeout". *)
+type abort_reason = Running | Deadline | Disconnect
+
+let run_request t cio (rp : Proto.request) (tm : req_timing) body =
   let finish = finish_request t rp tm ~body_len:(String.length body) in
   match Mpl_layout.Layout_io.of_string body with
   | exception Mpl_layout.Layout_io.Parse_error { line; msg } ->
     bump_errors t;
-    send fd (Proto.err_line ~code:"parse" ~line msg);
+    (try send_flush cio (Proto.err_line ~code:"parse" ~line msg)
+     with Client_gone _ -> ());
     finish ~circuit:"" ~solve_ns:0L ~pieces:0 ~cache_hits:0 ~degraded:0
       ~outcome:"parse" ~sink:None
-  | layout -> (
-    send fd (Proto.ack_line ~rid:tm.rid ());
+  | layout ->
     let circuit = layout.Mpl_layout.Layout.name in
     let rid_str = string_of_int tm.rid in
     (* Per-request span sink (ring enabled only): shares the server's
@@ -448,6 +533,18 @@ let run_request t fd (rp : Proto.request) (tm : req_timing) body =
       | Some s -> Mpl_obs.Obs.make ~sink:s ~metrics:t.metrics ()
     in
     let min_s = resolve_min_s ~k:rp.Proto.k rp.Proto.min_s in
+    (* Every request carries a cancel token. With no deadline and no
+       disconnect the flag is never set, so the flag-false path costs
+       one atomic read per coordinator checkpoint, reads no clock, and
+       the served pipeline stays bit-identical to the direct one. The
+       first abort wins: the teardown reason is decided at the
+       compare-and-set, not at whichever reply send happens last. *)
+    let token = Mpl_engine.Pool.token () in
+    let reason = Atomic.make Running in
+    let abort why =
+      ignore (Atomic.compare_and_set reason Running why);
+      Mpl_engine.Pool.cancel token
+    in
     let params =
       {
         Mpl.Decomposer.default_params with
@@ -458,6 +555,9 @@ let run_request t fd (rp : Proto.request) (tm : req_timing) body =
         cache_permuted = rp.Proto.permuted;
         fault = rp.Proto.inject;
         request_id = Some rid_str;
+        cancel = Some token;
+        deadline_s =
+          Option.map (fun ms -> float_of_int ms /. 1000.) rp.Proto.deadline_ms;
       }
     in
     (* The shared table serves only requests whose reuse semantics
@@ -480,87 +580,206 @@ let run_request t fd (rp : Proto.request) (tm : req_timing) body =
         Mpl_obs.Metrics.observe t.first_piece_h
           (Int64.to_float tm.first_piece_ns)
       end;
-      send fd (Proto.piece_line ~idx ~back ~colors)
+      (* Flushed per piece: streamed progress should reach the wire
+         promptly, and the flush is where a vanished or stalled client
+         is detected — mid-stream, while queued pieces can still be
+         dropped, not after all the solving is already done. *)
+      match
+        match Connio.send cio (Proto.piece_line ~idx ~back ~colors) with
+        | Ok () -> Connio.flush cio
+        | Error _ as e -> e
+      with
+      | Ok () -> ()
+      | Error e ->
+        abort Disconnect;
+        raise (Client_gone e)
+    in
+    (* Hard-deadline watchdog: the soft deadline (params.deadline_s)
+       degrades the solve via the fallback ladder; only if even the
+       degraded pipeline cannot finish within the grace period does the
+       watchdog cancel the token outright. Started only for requests
+       that carry a deadline — the common path spawns no thread. *)
+    let wd_stop = Atomic.make false in
+    let watchdog =
+      match rp.Proto.deadline_ms with
+      | None -> None
+      | Some ms ->
+        let hard_ns =
+          Int64.add admit_ns
+            (Int64.mul 1_000_000L
+               (Int64.of_int (ms + max 0 t.config.grace_ms)))
+        in
+        Some
+          (Thread.create
+             (fun () ->
+               let rec loop () =
+                 if not (Atomic.get wd_stop) then
+                   if Mpl_util.Timer.now_ns () >= hard_ns then abort Deadline
+                   else begin
+                     Thread.delay 0.01;
+                     loop ()
+                   end
+               in
+               loop ())
+             ())
+    in
+    let stop_watchdog () =
+      Atomic.set wd_stop true;
+      match watchdog with Some th -> Thread.join th | None -> ()
+    in
+    (* After any abort: queued-but-unstarted pieces of this request are
+       still sitting in the shared pool. Sweep them out now (so other
+       requests' tasks stop queueing behind dead work) and account
+       every dropped task to server.dropped_tasks. *)
+    let sweep () =
+      if Mpl_engine.Pool.cancelled token then begin
+        ignore (Mpl_engine.Pool.discard_cancelled t.pool);
+        add_dropped t (Mpl_engine.Pool.drops token)
+      end
     in
     let t0 = Mpl_util.Timer.now_ns () in
-    match
-      let g = Mpl.Decomp_graph.of_layout ~obs:req_obs layout ~min_s in
-      Mpl.Decomposer.assign ~params ~obs:req_obs ~pool:t.pool ?shared_cache
-        ~on_component rp.Proto.algo g
-    with
-    | exception e ->
+    let elapsed_solve () = Int64.sub (Mpl_util.Timer.now_ns ()) t0 in
+    (try
+       Fun.protect ~finally:stop_watchdog (fun () ->
+           send cio (Proto.ack_line ~rid:tm.rid ());
+           (match Connio.flush cio with
+           | Ok () -> ()
+           | Error e -> raise (Client_gone e));
+           let report =
+             let g = Mpl.Decomp_graph.of_layout ~obs:req_obs layout ~min_s in
+             Mpl.Decomposer.assign ~params ~obs:req_obs ~pool:t.pool
+               ?shared_cache ~on_component rp.Proto.algo g
+           in
+           let cost = report.Mpl.Decomposer.cost in
+           send cio
+             (Proto.cost_line
+                {
+                  Proto.conflicts = cost.Mpl.Coloring.conflicts;
+                  stitches = cost.Mpl.Coloring.stitches;
+                  scaled = cost.Mpl.Coloring.scaled;
+                  elapsed_s = report.Mpl.Decomposer.elapsed_s;
+                  timed_out = report.Mpl.Decomposer.timed_out;
+                });
+           (match report.Mpl.Decomposer.engine with
+           | Some e -> send cio (Proto.engine_line e)
+           | None -> ());
+           let res = report.Mpl.Decomposer.resilience in
+           send cio
+             (Proto.resilience_line
+                {
+                  Proto.degraded = res.Mpl.Decomposer.degraded;
+                  piece_failures = res.Mpl.Decomposer.piece_failures;
+                  fallbacks = res.Mpl.Decomposer.fallback_attempts;
+                  fired = res.Mpl.Decomposer.fault_fired;
+                });
+           (match report.Mpl.Decomposer.cache with
+           | Some cs ->
+             send cio
+               (Proto.cache_line
+                  {
+                    Proto.entries = cs.Mpl_engine.Cache.entries;
+                    bytes = cs.Mpl_engine.Cache.resident_bytes;
+                    hits = cs.Mpl_engine.Cache.s_hits;
+                    misses = cs.Mpl_engine.Cache.s_misses;
+                    warm_hits = cs.Mpl_engine.Cache.s_warm_hits;
+                    corrupt_drops = cs.Mpl_engine.Cache.s_corrupt_drops;
+                    evictions = cs.Mpl_engine.Cache.s_evictions;
+                  })
+           | None -> ());
+           send cio (Proto.done_line report.Mpl.Decomposer.colors);
+           (match Connio.flush cio with
+           | Ok () -> ()
+           | Error e ->
+             abort Disconnect;
+             raise (Client_gone e));
+           let solve_ns = elapsed_solve () in
+           Mpl_obs.Metrics.observe t.latency_h (Int64.to_float solve_ns);
+           Mpl_obs.Metrics.incr t.served_c;
+           let pieces, cache_hits =
+             match report.Mpl.Decomposer.engine with
+             | Some e -> (e.Mpl_engine.Engine.pieces, e.Mpl_engine.Engine.hits)
+             | None -> (0, 0)
+           in
+           finish ~circuit ~solve_ns ~pieces ~cache_hits
+             ~degraded:res.Mpl.Decomposer.degraded ~outcome:"ok" ~sink;
+           let served =
+             Mutex.lock t.lock;
+             t.served <- t.served + 1;
+             let s = t.served in
+             Mutex.unlock t.lock;
+             s
+           in
+           if
+             t.config.persist_every > 0
+             && served mod t.config.persist_every = 0
+           then save_cache t)
+     with
+    | Mpl_engine.Pool.Cancelled -> (
+      sweep ();
+      let solve_ns = elapsed_solve () in
+      match Atomic.get reason with
+      | Deadline ->
+        let deadline_ms = Option.value ~default:0 rp.Proto.deadline_ms in
+        let elapsed_ms =
+          Int64.to_int
+            (Int64.div
+               (Int64.sub (Mpl_util.Timer.now_ns ()) admit_ns)
+               1_000_000L)
+        in
+        (try send_flush cio (Proto.timeout_line ~deadline_ms ~elapsed_ms)
+         with Client_gone _ -> ());
+        finish ~circuit ~solve_ns ~pieces:0 ~cache_hits:0 ~degraded:0
+          ~outcome:"timeout" ~sink
+      | Disconnect ->
+        (* No reply: there is no one left to read it. *)
+        finish ~circuit ~solve_ns ~pieces:0 ~cache_hits:0 ~degraded:0
+          ~outcome:"disconnected" ~sink
+      | Running ->
+        (try send_flush cio (Proto.cancelled_line ~reason:"shutdown")
+         with Client_gone _ -> ());
+        finish ~circuit ~solve_ns ~pieces:0 ~cache_hits:0 ~degraded:0
+          ~outcome:"cancelled" ~sink)
+    | Client_gone w ->
+      abort Disconnect;
+      sweep ();
+      (* A write timeout is a reap (we gave up on a stalled reader); a
+         Closed is the peer giving up on us. Both cancel the same way. *)
+      if w = Connio.Timeout then bump_reaped t;
+      finish ~circuit ~solve_ns:(elapsed_solve ()) ~pieces:0 ~cache_hits:0
+        ~degraded:0 ~outcome:"disconnected" ~sink
+    | e ->
+      sweep ();
       bump_errors t;
-      send fd (Proto.err_line ~code:"internal" (Printexc.to_string e));
-      finish ~circuit
-        ~solve_ns:(Int64.sub (Mpl_util.Timer.now_ns ()) t0)
-        ~pieces:0 ~cache_hits:0 ~degraded:0 ~outcome:"error" ~sink
-    | report ->
-      let cost = report.Mpl.Decomposer.cost in
-      send fd
-        (Proto.cost_line
-           {
-             Proto.conflicts = cost.Mpl.Coloring.conflicts;
-             stitches = cost.Mpl.Coloring.stitches;
-             scaled = cost.Mpl.Coloring.scaled;
-             elapsed_s = report.Mpl.Decomposer.elapsed_s;
-             timed_out = report.Mpl.Decomposer.timed_out;
-           });
-      (match report.Mpl.Decomposer.engine with
-      | Some e -> send fd (Proto.engine_line e)
-      | None -> ());
-      let res = report.Mpl.Decomposer.resilience in
-      send fd
-        (Proto.resilience_line
-           {
-             Proto.degraded = res.Mpl.Decomposer.degraded;
-             piece_failures = res.Mpl.Decomposer.piece_failures;
-             fallbacks = res.Mpl.Decomposer.fallback_attempts;
-             fired = res.Mpl.Decomposer.fault_fired;
-           });
-      (match report.Mpl.Decomposer.cache with
-      | Some cs ->
-        send fd
-          (Proto.cache_line
-             {
-               Proto.entries = cs.Mpl_engine.Cache.entries;
-               bytes = cs.Mpl_engine.Cache.resident_bytes;
-               hits = cs.Mpl_engine.Cache.s_hits;
-               misses = cs.Mpl_engine.Cache.s_misses;
-               warm_hits = cs.Mpl_engine.Cache.s_warm_hits;
-               corrupt_drops = cs.Mpl_engine.Cache.s_corrupt_drops;
-               evictions = cs.Mpl_engine.Cache.s_evictions;
-             })
-      | None -> ());
-      send fd (Proto.done_line report.Mpl.Decomposer.colors);
-      let solve_ns = Int64.sub (Mpl_util.Timer.now_ns ()) t0 in
-      Mpl_obs.Metrics.observe t.latency_h (Int64.to_float solve_ns);
-      Mpl_obs.Metrics.incr t.served_c;
-      let pieces, cache_hits =
-        match report.Mpl.Decomposer.engine with
-        | Some e -> (e.Mpl_engine.Engine.pieces, e.Mpl_engine.Engine.hits)
-        | None -> (0, 0)
-      in
-      finish ~circuit ~solve_ns ~pieces ~cache_hits
-        ~degraded:res.Mpl.Decomposer.degraded ~outcome:"ok" ~sink;
-      let served =
-        Mutex.lock t.lock;
-        t.served <- t.served + 1;
-        let s = t.served in
-        Mutex.unlock t.lock;
-        s
-      in
-      if
-        t.config.persist_every > 0
-        && served mod t.config.persist_every = 0
-      then save_cache t)
+      (try
+         send_flush cio (Proto.err_line ~code:"internal" (Printexc.to_string e))
+       with Client_gone _ -> ());
+      finish ~circuit ~solve_ns:(elapsed_solve ()) ~pieces:0 ~cache_hits:0
+        ~degraded:0 ~outcome:"error" ~sink)
 
-let handle_decompose t fd ic nbytes rp =
+let handle_decompose t cio nbytes rp =
   let recv_ns = Mpl_util.Timer.now_ns () in
-  match really_input_string ic nbytes with
-  | exception End_of_file ->
-    send fd (Proto.err_line ~code:"proto" "truncated request body");
+  if nbytes > t.config.max_body_bytes then begin
+    (* Refuse before allocating or reading: an absurd length prefix
+       must not let one connection balloon server memory. *)
+    (try
+       send_flush cio
+         (Proto.err_line ~code:"proto"
+            (Printf.sprintf "request body too large (%d > %d bytes)" nbytes
+               t.config.max_body_bytes))
+     with Client_gone _ -> ());
     false
-  | body ->
+  end
+  else
+    match Connio.read_exact cio nbytes with
+    | Error `Eof ->
+      (try send_flush cio (Proto.err_line ~code:"proto" "truncated request body")
+       with Client_gone _ -> ());
+      false
+    | Error `Timeout ->
+      (* Stalled mid-upload: reap the connection. *)
+      bump_reaped t;
+      false
+    | Ok body ->
     let admitted, inflight =
       Mutex.lock t.lock;
       let ok =
@@ -582,7 +801,9 @@ let handle_decompose t fd ic nbytes rp =
     in
     if not admitted then begin
       Mpl_obs.Metrics.incr t.rejected_c;
-      send fd (Proto.busy_line ~inflight ~limit:t.config.max_inflight);
+      (try
+         send_flush cio (Proto.busy_line ~inflight ~limit:t.config.max_inflight)
+       with Client_gone _ -> ());
       finish_request t rp tm ~body_len:(String.length body) ~circuit:""
         ~solve_ns:0L ~pieces:0 ~cache_hits:0 ~degraded:0 ~outcome:"busy"
         ~sink:None
@@ -595,7 +816,7 @@ let handle_decompose t fd ic nbytes rp =
           Mpl_obs.Metrics.set t.inflight_g (float_of_int t.inflight);
           Condition.broadcast t.drained;
           Mutex.unlock t.lock)
-        (fun () -> run_request t fd rp tm body);
+        (fun () -> run_request t cio rp tm body);
     true
 
 (* ------------------------------------------------------------------ *)
@@ -642,7 +863,11 @@ let requests_json t =
 let healthz t =
   refresh_gauges t;
   Mutex.lock t.lock;
-  let inflight = t.inflight in
+  let inflight = t.inflight
+  and cancelled = t.cancelled
+  and timeouts = t.timeouts
+  and reaped = t.reaped
+  and dropped = t.dropped in
   Mutex.unlock t.lock;
   let stopping = Atomic.get t.stop in
   let depth = Mpl_engine.Pool.queue_depth t.pool in
@@ -668,6 +893,10 @@ let healthz t =
            ("max_inflight", Int t.config.max_inflight);
            ("queue_depth", Int depth);
            ("queue_bound", Int bound);
+           ("cancelled", Int cancelled);
+           ("timeouts", Int timeouts);
+           ("reaped_conns", Int reaped);
+           ("dropped_tasks", Int dropped);
            ("cache_bytes", Int cs.Mpl_engine.Cache.resident_bytes);
            ( "cache_budget",
              match cs.Mpl_engine.Cache.byte_budget with
@@ -684,13 +913,16 @@ let http_status_reason = function
   | 503 -> "Service Unavailable"
   | _ -> "Error"
 
-let http_respond fd ~head_only ~status ~ctype body =
-  send fd
+let http_respond cio ~head_only ~status ~ctype body =
+  send cio
     (Printf.sprintf
        "HTTP/1.0 %d %s\r\nContent-Type: %s\r\nContent-Length: %d\r\n\
         Connection: close\r\n\r\n"
        status (http_status_reason status) ctype (String.length body));
-  if not head_only then send fd body
+  if not head_only then send cio body;
+  match Connio.flush cio with
+  | Ok () -> ()
+  | Error e -> raise (Client_gone e)
 
 let query_param query key =
   let prefix = key ^ "=" in
@@ -735,15 +967,17 @@ let is_http_line line =
   in
   has_prefix "GET " || has_prefix "HEAD "
 
-let handle_http t fd ic line =
+let handle_http t cio line =
   Mpl_obs.Metrics.incr t.admin_c;
   (* Drain the request headers up to the blank line; this responder
-     never reads a body (GET/HEAD only). *)
+     never reads a body (GET/HEAD only). Every header line is timed —
+     a client that sent a request-line owes us the rest promptly
+     (slowloris protection for the admin plane). *)
   let rec drain () =
-    match input_line ic with
-    | exception End_of_file -> ()
-    | exception Sys_error _ -> ()
-    | l ->
+    match Connio.read_line ~timed:true cio with
+    | Error (`Eof | `Too_long) -> ()
+    | Error `Timeout -> bump_reaped t
+    | Ok l ->
       let l =
         let n = String.length l in
         if n > 0 && l.[n - 1] = '\r' then String.sub l 0 (n - 1) else l
@@ -763,43 +997,59 @@ let handle_http t fd ic line =
           String.sub target (i + 1) (String.length target - i - 1) )
     in
     let status, ctype, body = http_dispatch t path query in
-    http_respond fd ~head_only:(meth = "HEAD") ~status ~ctype body
-  | _ -> http_respond fd ~head_only:false ~status:400 ~ctype:"text/plain" "bad request\n"
+    http_respond cio ~head_only:(meth = "HEAD") ~status ~ctype body
+  | _ ->
+    http_respond cio ~head_only:false ~status:400 ~ctype:"text/plain"
+      "bad request\n"
 
-let handle_line t fd ic line =
+let handle_line t cio line =
   if is_http_line line then begin
-    handle_http t fd ic line;
+    handle_http t cio line;
     false
   end
   else
     match Proto.parse_command line with
     | Error msg ->
-      send fd (Proto.err_line ~code:"proto" msg);
+      send_flush cio (Proto.err_line ~code:"proto" msg);
       false
     | Ok Proto.Ping ->
       Mpl_obs.Metrics.incr t.admin_c;
-      send fd Proto.pong_line;
+      send_flush cio Proto.pong_line;
       true
     | Ok Proto.Stats ->
       Mpl_obs.Metrics.incr t.admin_c;
-      send fd (stats_json t ^ "\n");
+      send_flush cio (stats_json t ^ "\n");
       true
     | Ok Proto.Metrics ->
       Mpl_obs.Metrics.incr t.admin_c;
-      send fd (metrics_json t ^ "\n");
+      send_flush cio (metrics_json t ^ "\n");
       true
     | Ok Proto.Quit ->
       Mpl_obs.Metrics.incr t.admin_c;
-      send fd Proto.bye_line;
+      send_flush cio Proto.bye_line;
       request_stop t;
       false
-    | Ok (Proto.Decompose (nbytes, rp)) -> handle_decompose t fd ic nbytes rp
+    | Ok (Proto.Decompose (nbytes, rp)) -> handle_decompose t cio nbytes rp
 
-let rec serve_conn t fd ic =
-  match input_line ic with
-  | exception End_of_file -> ()
-  | exception Sys_error _ -> ()
-  | line -> if handle_line t fd ic line then serve_conn t fd ic
+let rec serve_conn t cio =
+  match Connio.read_line cio with
+  | Error `Eof -> ()
+  | Error `Timeout ->
+    (* A half-sent command line that stalled: slowloris, reaped. *)
+    bump_reaped t
+  | Error `Too_long -> (
+    try send_flush cio (Proto.err_line ~code:"proto" "line too long")
+    with Client_gone _ -> ())
+  | Ok line -> (
+    match handle_line t cio line with
+    | true -> serve_conn t cio
+    | false -> ()
+    | exception Client_gone Connio.Timeout ->
+      (* The peer stopped draining its socket mid-reply: reap it. The
+         request path handles its own Client_gone (it has a request to
+         account); what reaches here is admin/HTTP replies. *)
+      bump_reaped t
+    | exception Client_gone Connio.Closed -> ())
 
 let spawn_handler t fd =
   let cell = ref None in
@@ -809,14 +1059,18 @@ let spawn_handler t fd =
   let th =
     Thread.create
       (fun () ->
-        let ic = Unix.in_channel_of_descr fd in
-        (try serve_conn t fd ic
+        let cio =
+          Connio.create ~fault:t.fault
+            ~read_timeout_s:t.config.read_timeout_s
+            ~write_timeout_s:t.config.write_timeout_s fd
+        in
+        (try serve_conn t cio
          with _ -> () (* a dying connection never takes the server down *));
         Mutex.lock t.lock;
         t.conns <- List.filter (fun (f, _) -> f != fd) t.conns;
         Mutex.unlock t.lock;
-        (* the in_channel owns the descriptor: this is the single close *)
-        close_in_noerr ic)
+        (* Connio owns the descriptor: this is the single close *)
+        Connio.close cio)
       ()
   in
   cell := Some th

@@ -48,6 +48,23 @@
     (the ring as JSON, newest first), [GET /trace?id=N] (one request's
     Chrome trace). [HEAD] is honoured; anything else is 400/404.
 
+    {b Request lifecycle}: every admitted request carries a
+    {!Mpl_engine.Pool} cancel token threaded through the decomposition
+    pipeline. A request with [deadline=MS] first degrades (the solver
+    ladder drops to its cheap rung once the soft deadline passes) and,
+    [grace_ms] later, is hard-cancelled by a watchdog: queued pieces
+    are dropped at dequeue without running, the client gets a
+    [TIMEOUT] terminal, and [server.timeouts] ticks. A client that
+    disconnects or stops reading mid-stream is detected at the next
+    piece flush: the token is cancelled, queued pieces are swept out
+    of the shared pool ([server.dropped_tasks] counts them), the
+    connection is reaped ([server.reaped_conns]) and the outcome lands
+    in the ring/access log as ["disconnected"] — never a stuck handler
+    thread, never an unhandled [EPIPE]. All connection I/O is
+    non-blocking with read/write deadlines ({!Connio}), and the
+    deterministic fault injector can tear any of these paths open on
+    demand ([config.fault]).
+
     Shutdown (SIGTERM via {!request_stop}, or a client [QUIT]) is a
     clean drain: stop accepting, let in-flight requests finish, close
     lingering idle connections, persist the cache, then release the
@@ -72,12 +89,41 @@ type config = {
   access_log : string option;  (** JSONL access log path (default none) *)
   log_max_bytes : int;
       (** access-log rotation threshold (default 8 MiB) *)
+  read_timeout_s : float;
+      (** per-connection read deadline (default 10 s; [<= 0] disables):
+          bounds every wait for the rest of a partially received
+          command line (slowloris) and every stalled wait inside a
+          length-prefixed body upload. The wait for the {e first} byte
+          of a command line is always unbounded — idle keep-alive
+          connections are legitimate. *)
+  write_timeout_s : float;
+      (** per-connection write deadline (default 10 s; [<= 0]
+          disables): one absolute deadline per buffered flush. A
+          client that stops draining its socket is reaped — the
+          handler thread is never pinned behind a stalled reader, and
+          the request's queued pieces are cancelled. *)
+  grace_ms : int;
+      (** extra time past a request's [deadline=MS] before the hard
+          cancel (default 1000). The soft deadline degrades the solve
+          through the fallback ladder; the hard deadline at
+          [deadline + grace] cancels the request outright and replies
+          [TIMEOUT]. *)
+  max_body_bytes : int;
+      (** largest accepted [DECOMPOSE] length prefix (default 64 MiB);
+          an oversize prefix is refused with [ERR proto] before any
+          allocation or read. *)
+  fault : Mpl_engine.Fault.spec option;
+      (** network fault injection ([conn_drop] / [write_stall] /
+          [torn_frame]): armed once at {!create} and probed by every
+          connection's sends and body reads, so the occurrence count
+          is server-global and deterministic for sequential clients. *)
 }
 
 val default_config : config
 (** No listeners (callers must set at least one), [jobs = 1],
     [max_inflight = 4], unlimited exact-mode cache, no persistence,
-    no log, [ring = 32], no access log. *)
+    no log, [ring = 32], no access log, 10 s read/write timeouts,
+    1 s deadline grace, 64 MiB body cap, no fault. *)
 
 type t
 

@@ -122,6 +122,74 @@ let test_pool_group () =
       Alcotest.(check (list int)) "members ran in list order" [ 0; 1; 2; 3; 4 ]
         (List.rev !ran))
 
+let test_pool_cancel_drops_queued () =
+  (* jobs = 1 leaves every submitted task queued until the caller
+     helps, so a cancel before any await must drop all of them at
+     dequeue time without a single body running. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let tok = Pool.token () in
+      let ran = Atomic.make 0 in
+      let k = 16 in
+      let futs =
+        List.init k (fun i ->
+            Pool.submit ~cancel:tok pool (fun () ->
+                Atomic.incr ran;
+                i))
+      in
+      Alcotest.(check bool) "not yet cancelled" false (Pool.cancelled tok);
+      Pool.cancel tok;
+      Pool.cancel tok;
+      (* idempotent *)
+      Alcotest.(check bool) "cancelled" true (Pool.cancelled tok);
+      (* The eager sweep settles the drop accounting without waiting
+         for a consumer to stumble over the corpses. *)
+      Alcotest.(check int) "sweep drops every queued task" k
+        (Pool.discard_cancelled pool);
+      Alcotest.(check int) "token counted every drop" k (Pool.drops tok);
+      Alcotest.(check int) "queue emptied" 0 (Pool.queue_depth pool);
+      Alcotest.(check int) "no task body ever ran" 0 (Atomic.get ran);
+      List.iter
+        (fun fut ->
+          match Pool.try_await pool fut with
+          | Error (Pool.Cancelled, _) -> ()
+          | Ok _ -> Alcotest.fail "dropped task returned a value"
+          | Error (e, _) -> raise e)
+        futs;
+      (* The pool itself is unharmed: later uncancelled work runs. *)
+      let f = Pool.submit pool (fun () -> 7) in
+      Alcotest.(check int) "pool still serves" 7 (Pool.await pool f))
+
+let test_pool_cancel_at_dequeue () =
+  (* Without an eager sweep a cancelled task is dropped exactly when a
+     consumer would otherwise run it; awaiting the batch observes every
+     drop as Cancelled, and group members count individually. *)
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let tok = Pool.token () in
+      let ran = Atomic.make 0 in
+      let singles =
+        List.init 5 (fun i ->
+            Pool.submit ~cancel:tok pool (fun () ->
+                Atomic.incr ran;
+                i))
+      in
+      let group =
+        Pool.submit_group ~cancel:tok pool
+          (List.init 3 (fun i () ->
+               Atomic.incr ran;
+               i))
+      in
+      Pool.cancel tok;
+      List.iter
+        (fun fut ->
+          match Pool.try_await pool fut with
+          | Error (Pool.Cancelled, _) -> ()
+          | Ok _ -> Alcotest.fail "cancelled task ran"
+          | Error (e, _) -> raise e)
+        (singles @ group);
+      Alcotest.(check int) "every logical task dropped at dequeue" 8
+        (Pool.drops tok);
+      Alcotest.(check int) "no task body ever ran" 0 (Atomic.get ran))
+
 let test_pool_invalid () =
   Alcotest.check_raises "jobs=0 rejected" (Invalid_argument "Pool.create: jobs < 1")
     (fun () -> ignore (Pool.create ~jobs:0 ()));
@@ -708,6 +776,10 @@ let suite =
     Alcotest.test_case "pool: bounded queue backpressure" `Quick
       test_pool_bounded_backpressure;
     Alcotest.test_case "pool: task groups" `Quick test_pool_group;
+    Alcotest.test_case "pool: cancel sweeps queued tasks" `Quick
+      test_pool_cancel_drops_queued;
+    Alcotest.test_case "pool: cancel observed at dequeue" `Quick
+      test_pool_cancel_at_dequeue;
     Alcotest.test_case "pool: argument validation" `Quick test_pool_invalid;
     Alcotest.test_case "decomposer: phase breakdown" `Quick test_phases_report;
     Alcotest.test_case "cache: permuted hit" `Quick test_cache_permuted_hit;

@@ -252,7 +252,11 @@ let prop_single_fault =
         res.degraded = 0 && r.D.colors = reference.D.colors
       | F.Solver_raise | F.Budget_trip ->
         (* If the fault actually hit a solve, the report must say so. *)
-        (not res.fault_fired) || res.degraded >= 1)
+        (not res.fault_fired) || res.degraded >= 1
+      | F.Conn_drop | F.Write_stall | F.Torn_frame ->
+        (* Network sites are probed only by the server's connection
+           I/O; a pipeline run never reaches them. *)
+        res.degraded = 0 && r.D.colors = reference.D.colors)
 
 let suite =
   [

@@ -8,6 +8,7 @@
 module Server = Mpl_server.Server
 module Client = Mpl_server.Client
 module Proto = Mpl_server.Proto
+module Ring = Mpl_server.Ring
 module Engine = Mpl_engine.Engine
 module Fault = Mpl_engine.Fault
 module D = Mpl.Decomposer
@@ -28,6 +29,7 @@ let test_proto_request_roundtrip () =
       cache = false;
       permuted = true;
       inject = Some { Fault.site = Fault.Solver_raise; seed = 9; shots = 2 };
+      deadline_ms = Some 250;
     }
   in
   let line = Proto.encode_request r ~body_len:123 in
@@ -67,7 +69,13 @@ let test_proto_reply_roundtrips () =
       timed_out = false;
     }
   in
-  check_roundtrip "cost" (Proto.cost_line cost) (Proto.Cost cost)
+  check_roundtrip "cost" (Proto.cost_line cost) (Proto.Cost cost);
+  check_roundtrip "timeout"
+    (Proto.timeout_line ~deadline_ms:50 ~elapsed_ms:1312)
+    (Proto.Timeout { deadline_ms = 50; elapsed_ms = 1312 });
+  check_roundtrip "cancelled"
+    (Proto.cancelled_line ~reason:"shutdown")
+    (Proto.Cancelled "shutdown")
 
 (* ------------------------------------------------------------------ *)
 (* A small but non-trivial layout shared by every server test. *)
@@ -91,6 +99,23 @@ let spec =
 let layout = lazy (Mpl_layout.Benchgen.generate spec)
 let body = lazy (Mpl_layout.Layout_io.to_string (Lazy.force layout))
 let min_s = 80
+
+(* A wider layout for the lifecycle tests: enough independent pieces
+   that a request torn down mid-stream provably leaves work queued. *)
+let heavy_spec =
+  { spec with Mpl_layout.Benchgen.name = "serve-heavy"; rows = 6; cells_per_row = 16 }
+
+let heavy_body =
+  lazy (Mpl_layout.Layout_io.to_string (Mpl_layout.Benchgen.generate heavy_spec))
+
+(* Bigger still, for the hard-deadline test: even the soft-degraded
+   (cheap-rung) pipeline must still be mid-flight when the watchdog's
+   first 10 ms poll fires, so TIMEOUT is the deterministic outcome. *)
+let slow_spec =
+  { spec with Mpl_layout.Benchgen.name = "serve-slow"; rows = 16; cells_per_row = 48 }
+
+let slow_body =
+  lazy (Mpl_layout.Layout_io.to_string (Mpl_layout.Benchgen.generate slow_spec))
 
 let reference = Hashtbl.create 4
 
@@ -132,7 +157,8 @@ let fresh_sock () =
     (Printf.sprintf "mpld-test-%d-%d.sock" (Unix.getpid ()) !sock_counter)
 
 let with_server ?(jobs = 2) ?(max_inflight = 8) ?cache_budget ?persist
-    ?(ring = 32) ?access_log f =
+    ?(ring = 32) ?access_log
+    ?(grace_ms = Server.default_config.Server.grace_ms) ?fault f =
   let sock = fresh_sock () in
   let cfg =
     {
@@ -144,6 +170,8 @@ let with_server ?(jobs = 2) ?(max_inflight = 8) ?cache_budget ?persist
       persist;
       ring;
       access_log;
+      grace_ms;
+      fault;
     }
   in
   let t = Server.create cfg in
@@ -173,6 +201,52 @@ let with_client sock f =
 let ok = function
   | Ok v -> v
   | Error e -> Alcotest.failf "request failed: %s" (Client.error_to_string e)
+
+(* The lifecycle tests write into sockets the server may already have
+   torn down; EPIPE must surface as Unix_error, not kill the runner. *)
+let () =
+  try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+  with Invalid_argument _ -> ()
+
+(* One integer counter out of the STATS "server" block. *)
+let server_counter stats name =
+  match Mpl_obs.Json.parse stats with
+  | Error e -> Alcotest.failf "stats not JSON: %s" e
+  | Ok v -> (
+    match Mpl_obs.Json.member "server" v with
+    | None -> Alcotest.fail "stats has no server block"
+    | Some server -> (
+      match Mpl_obs.Json.member name server with
+      | Some (Mpl_obs.Json.Int n) -> n
+      | _ -> Alcotest.failf "stats server.%s missing" name))
+
+(* Teardown is asynchronous to the client's view of the connection:
+   poll for the server-side effect instead of sleeping blindly. *)
+let rec poll_until ?(tries = 500) msg f =
+  if not (f ()) then
+    if tries = 0 then Alcotest.fail msg
+    else begin
+      Thread.delay 0.01;
+      poll_until ~tries:(tries - 1) msg f
+    end
+
+(* Raw-socket client for misbehaving-peer tests (the Client module is
+   deliberately too well-behaved to vanish mid-request). *)
+let raw_connect sock =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX sock);
+  fd
+
+let raw_write fd s =
+  let n = String.length s in
+  let rec go i =
+    if i < n then
+      match Unix.write_substring fd s i (n - i) with
+      | w -> go (i + w)
+      | exception Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) -> ()
+  in
+  go 0
+
 
 (* ------------------------------------------------------------------ *)
 (* Parity: the served result is bit-identical to the one-shot path. *)
@@ -294,6 +368,223 @@ let test_serve_inject_resilience () =
             out.cost.Proto.conflicts;
           Alcotest.(check int) "honest stitches" cost.C.stitches
             out.cost.Proto.stitches))
+
+(* ------------------------------------------------------------------ *)
+(* Request lifecycle: disconnect mid-stream, hard deadlines, injected
+   write stalls, and protocol garbage — none of which may wedge a
+   handler thread, leak an inflight slot, or run queued pieces of a
+   dead request. *)
+
+let outcome_in ring outcomes =
+  List.exists (fun (e : Ring.entry) -> List.mem e.Ring.outcome outcomes) ring
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let test_serve_disconnect_drops_queued () =
+  (* The client vanishes exactly at the first PIECE send: Conn_drop's
+     third occurrence on this connection (body read, ACK, first piece).
+     Injection makes the race-free version of pulling the plug — with
+     jobs = 1 every later piece is still queued at that moment, and
+     none of them may ever run. *)
+  let access_log = Filename.temp_file "mpld-access" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove access_log with Sys_error _ -> ())
+    (fun () ->
+      with_server ~jobs:1 ~access_log
+        ~fault:{ Fault.site = Fault.Conn_drop; seed = 2; shots = 1 }
+        (fun sock t ->
+          (with_client sock (fun c ->
+               match
+                 Client.decompose c
+                   ~request:(request ~algo:D.Linear ~cache:false ())
+                   (Lazy.force heavy_body)
+               with
+               | Ok _ -> Alcotest.fail "expected the dropped conn to fail"
+               | Error e ->
+                 Alcotest.(check bool) "client sees transport trouble" true
+                   (Client.retryable e)));
+          poll_until "disconnect never landed in the ring" (fun () ->
+              outcome_in (Server.requests t) [ "disconnected" ]);
+          poll_until "inflight slot never released" (fun () ->
+              server_counter (Server.stats_json t) "inflight" = 0);
+          let stats = Server.stats_json t in
+          Alcotest.(check bool) "queued pieces were dropped unrun" true
+            (server_counter stats "dropped_tasks" >= 1);
+          Alcotest.(check bool) "teardown counted as cancelled" true
+            (server_counter stats "cancelled" >= 1);
+          (* One access-log line, outcome "disconnected", and never a
+             backtrace dumped into the log. *)
+          let log = read_file access_log in
+          Alcotest.(check bool) "access log has the disconnect" true
+            (contains log "\"disconnected\"");
+          Alcotest.(check bool) "no backtrace in the log" false
+            (contains log "Raised at");
+          (* The server shrugs it off: the fault is spent, so the same
+             request now round-trips bit-identically. *)
+          with_client sock (fun c ->
+              Alcotest.(check bool) "server still answers" true
+                (Client.ping c);
+              let out =
+                ok (Client.decompose c ~request:(request ()) (Lazy.force body))
+              in
+              check_parity D.Sdp_backtrack out)))
+
+let test_serve_deadline_timeout () =
+  with_server ~jobs:1 ~grace_ms:0 (fun sock t ->
+      with_client sock (fun c ->
+          let req =
+            { (request ~cache:false ()) with Proto.deadline_ms = Some 1 }
+          in
+          (match Client.decompose c ~request:req (Lazy.force slow_body) with
+          | Ok _ -> Alcotest.fail "expected TIMEOUT, the request completed"
+          | Error (Client.Timed_out { deadline_ms; elapsed_ms }) ->
+            Alcotest.(check int) "echoed deadline" 1 deadline_ms;
+            Alcotest.(check bool) "elapsed past the deadline" true
+              (elapsed_ms >= 1)
+          | Error e ->
+            Alcotest.failf "expected TIMEOUT, got %s"
+              (Client.error_to_string e));
+          (* TIMEOUT is terminal for the request, not the connection. *)
+          Alcotest.(check bool) "connection still usable" true (Client.ping c));
+      poll_until "timeout outcome never reached the ring" (fun () ->
+          outcome_in (Server.requests t) [ "timeout" ]);
+      let stats = Server.stats_json t in
+      Alcotest.(check bool) "timeouts counted" true
+        (server_counter stats "timeouts" >= 1);
+      Alcotest.(check bool) "cancelled pieces dropped unrun" true
+        (server_counter stats "dropped_tasks" >= 1))
+
+let test_serve_write_stall_reaps () =
+  with_server ~jobs:1
+    ~fault:{ Fault.site = Fault.Write_stall; seed = 0; shots = 1 }
+    (fun sock t ->
+      (* The server's very first reply write stalls: the connection is
+         reaped, the request torn down, and the client sees transport
+         trouble it may retry — never a hang. *)
+      (with_client sock (fun c ->
+           match Client.decompose c ~request:(request ()) (Lazy.force body) with
+           | Ok _ -> Alcotest.fail "expected the stalled reply to fail"
+           | Error e ->
+             Alcotest.(check bool) "transport error is retryable" true
+               (Client.retryable e)));
+      poll_until "stalled connection never reaped" (fun () ->
+          server_counter (Server.stats_json t) "reaped_conns" >= 1);
+      poll_until "torn-down request never left the ring" (fun () ->
+          outcome_in (Server.requests t) [ "disconnected" ]);
+      (* shots = 1: the fault is spent, a plain retry succeeds. *)
+      with_client sock (fun c ->
+          let out =
+            ok (Client.decompose c ~request:(request ()) (Lazy.force body))
+          in
+          check_parity D.Sdp_backtrack out))
+
+let test_serve_protocol_fuzz () =
+  with_server ~jobs:1 (fun sock t ->
+      let rng = Mpl_util.Rng.create 0xf02 in
+      let n_streams = 1000 in
+      for _ = 1 to n_streams do
+        let fd = raw_connect sock in
+        let payload =
+          match Mpl_util.Rng.int rng 4 with
+          | 0 ->
+            (* binary garbage, newlines included by chance *)
+            String.init
+              (Mpl_util.Rng.int rng 200)
+              (fun _ -> Char.chr (Mpl_util.Rng.int rng 256))
+          | 1 ->
+            (* truncated upload: promises a body, never delivers *)
+            Printf.sprintf
+              "DECOMPOSE %d k=4 algo=linear priority=0 cache=1 permuted=0\n"
+              (1 + Mpl_util.Rng.int rng 4096)
+          | 2 ->
+            (* absurd length prefix: refused before any allocation *)
+            "DECOMPOSE 999999999 k=4 algo=linear priority=0 cache=1 permuted=0\n"
+          | _ ->
+            (* a well-formed header torn mid-line *)
+            let line =
+              Proto.encode_request (request ()) ~body_len:64
+            in
+            String.sub line 0 (Mpl_util.Rng.int rng (String.length line))
+        in
+        raw_write fd payload;
+        Unix.close fd
+      done;
+      (* Whatever the garbage did, the server still serves: PING after
+         every stream, and not one inflight slot leaked. *)
+      with_client sock (fun c ->
+          Alcotest.(check bool) "ping after the storm" true (Client.ping c));
+      poll_until "inflight leaked under fuzz" (fun () ->
+          server_counter (Server.stats_json t) "inflight" = 0);
+      with_client sock (fun c ->
+          let out =
+            ok (Client.decompose c ~request:(request ()) (Lazy.force body))
+          in
+          check_parity D.Sdp_backtrack out))
+
+(* Any single armed network fault: a retrying client converges on the
+   bit-identical coloring, and cancelled + timeouts accounts for every
+   torn-down request in the ring. *)
+let prop_network_fault_retry =
+  QCheck.Test.make ~count:6 ~name:"serve: retry under one network fault"
+    QCheck.(
+      make
+        ~print:(fun (site, seed) ->
+          Printf.sprintf "%s seed=%d" (Fault.site_name site) seed)
+        Gen.(
+          pair
+            (oneofl [ Fault.Conn_drop; Fault.Write_stall; Fault.Torn_frame ])
+            (int_bound 3)))
+    (fun (site, seed) ->
+      with_server ~jobs:1 ~fault:{ Fault.site; seed; shots = 1 }
+        (fun sock t ->
+          let rec attempt n =
+            if n = 0 then
+              Alcotest.fail "fault never cleared within 10 attempts";
+            let r =
+              try
+                with_client sock (fun c ->
+                    Client.decompose c ~request:(request ()) (Lazy.force body))
+              with Unix.Unix_error _ -> Error (Client.Protocol "connect")
+            in
+            match r with
+            | Ok out -> out
+            | Error e when Client.retryable e -> attempt (n - 1)
+            | Error e ->
+              Alcotest.failf "non-retryable under %s: %s" (Fault.site_name site)
+                (Client.error_to_string e)
+          in
+          let out = attempt 10 in
+          let reference = one_shot D.Sdp_backtrack in
+          let parity = out.Client.colors = reference.D.colors in
+          (* Teardown bookkeeping finishes just after the client's view
+             of the failure; settle before auditing the ring. *)
+          poll_until "inflight never settled" (fun () ->
+              server_counter (Server.stats_json t) "inflight" = 0);
+          let entries = Server.requests t in
+          let torn =
+            List.length
+              (List.filter
+                 (fun (e : Ring.entry) ->
+                   List.mem e.Ring.outcome
+                     [ "timeout"; "cancelled"; "disconnected" ])
+                 entries)
+          in
+          let known =
+            List.for_all
+              (fun (e : Ring.entry) ->
+                List.mem e.Ring.outcome [ "ok"; "disconnected" ])
+              entries
+          in
+          let stats = Server.stats_json t in
+          let accounted =
+            server_counter stats "cancelled" + server_counter stats "timeouts"
+            = torn
+          in
+          parity && known && accounted))
 
 (* ------------------------------------------------------------------ *)
 (* HTTP admin plane: /metrics, /healthz, /requests, /trace?id= are all
@@ -444,6 +735,12 @@ let test_serve_invariance_telemetry_off () =
             [ D.Sdp_backtrack; D.Linear ]);
       Alcotest.(check int) "ring stays empty" 0
         (List.length (Server.requests t));
+      (* No request carried a deadline, so the deadline clock was never
+         armed: its probe counter must not even exist in the registry —
+         the invariant is "zero reads", not "zero elapsed". *)
+      let m = with_client sock (fun c -> ok (Client.metrics c)) in
+      Alcotest.(check bool) "deadline clock never armed" false
+        (contains m "deadline");
       (* The admin plane still answers; /trace just has nothing. *)
       let status, _ = http_get sock "/metrics" in
       Alcotest.(check int) "/metrics still served" 200 status;
@@ -497,6 +794,15 @@ let suite =
       test_serve_repeat_cache_hits;
     Alcotest.test_case "serve: resilience under injection" `Quick
       test_serve_inject_resilience;
+    Alcotest.test_case "serve: disconnect drops queued pieces" `Quick
+      test_serve_disconnect_drops_queued;
+    Alcotest.test_case "serve: hard deadline times out" `Quick
+      test_serve_deadline_timeout;
+    Alcotest.test_case "serve: write stall reaps the connection" `Quick
+      test_serve_write_stall_reaps;
+    Alcotest.test_case "serve: protocol fuzz leaves a live server" `Quick
+      test_serve_protocol_fuzz;
+    QCheck_alcotest.to_alcotest prop_network_fault_retry;
     Alcotest.test_case "serve: HTTP admin plane" `Quick test_serve_http_admin;
     Alcotest.test_case "serve: per-request traces under concurrency" `Quick
       test_serve_request_traces_concurrent;

@@ -175,6 +175,92 @@ srv=""
 rm -f "$sock" "$cachef" "$srvlog" "$ref" "$got" "$accesslog" "$promf" \
   "$tracef"
 
+# Smoke: request lifecycle hardening. Client exit codes: 0 ok,
+# 1 protocol/remote, 3 busy, 4 deadline, 5 connect failure.
+errf=$(mktemp /tmp/mpld-err.XXXXXX)
+
+# A dead socket is one clean error line and the connect exit code —
+# never a backtrace, for --stats and --quit alike.
+for flag in --stats --quit; do
+  rc=0
+  "$MPLD" client --socket "/tmp/mpld-gone-$$.sock" "$flag" \
+    > /dev/null 2> "$errf" || rc=$?
+  [ "$rc" -eq 5 ] || server_fail "dead-socket $flag exit: got $rc, want 5"
+  [ "$(wc -l < "$errf")" -eq 1 ] \
+    || server_fail "dead-socket $flag error is not one line"
+  if grep -q "Raised at" "$errf"; then
+    server_fail "dead-socket $flag error leaked a backtrace"
+  fi
+done
+
+# One server, three injuries: a write stall tears down the first
+# request (reaped conn, transport error to the client), a 1 ms
+# deadline with zero grace times out hard, and a held slot with
+# max-inflight 1 BUSYs a bounded retrier into giving up.
+# Teardown bookkeeping (slot release, queue sweep) is asynchronous to
+# the client's view of a failure, so health is polled, not asserted.
+wait_healthz() {
+  i=0
+  until "$MPLD" client --socket "$sock" --http /healthz 2>/dev/null \
+    | grep -q '"status": *"ok"'; do
+    i=$((i + 1))
+    if [ "$i" -gt 50 ]; then
+      server_fail "/healthz did not settle to ok $1"
+    fi
+    sleep 0.2
+  done
+}
+start_server --max-inflight 1 --grace-ms 0 --inject write_stall:shots=1
+
+rc=0
+"$MPLD" client --socket "$sock" S15850 -a linear --no-cache \
+  > /dev/null 2>> "$srvlog" || rc=$?
+[ "$rc" -eq 1 ] || server_fail "stalled-write client exit: got $rc, want 1"
+
+rc=0
+"$MPLD" client --socket "$sock" S15850 -a linear --no-cache \
+  --deadline-ms 1 > /dev/null 2> "$errf" || rc=$?
+[ "$rc" -eq 4 ] || server_fail "deadline client exit: got $rc, want 4"
+grep -q "timed out" "$errf" || server_fail "deadline error lacks the cause"
+
+wait_healthz "after the stall and the timeout"
+
+"$MPLD" client --socket "$sock" S38584 -a sdp-backtrack --no-cache \
+  > /dev/null 2>> "$srvlog" &
+holder=$!
+sleep 0.5
+rc=0
+"$MPLD" client --socket "$sock" S15850 -a linear --no-cache \
+  --retries 3 --backoff-ms 50 > /dev/null 2> "$errf" || rc=$?
+[ "$rc" -eq 3 ] || server_fail "busy retrier exit: got $rc, want 3"
+grep -q "^retry:" "$errf" || server_fail "retrier never logged a backoff"
+# Kill the holder mid-stream: the server must cancel its queued pieces
+# and free the slot for the next (patient) client.
+kill "$holder" 2>/dev/null
+wait "$holder" 2>/dev/null || true
+rc=0
+"$MPLD" client --socket "$sock" S15850 -a linear --no-cache \
+  --retries 10 --backoff-ms 200 > /dev/null 2>> "$srvlog" || rc=$?
+[ "$rc" -eq 0 ] || server_fail "post-recovery client exit: got $rc, want 0"
+
+wait_healthz "after the gauntlet"
+"$MPLD" client --socket "$sock" --http /metrics > "$promf" 2>/dev/null \
+  || server_fail "GET /metrics failed after the gauntlet"
+for m in mpl_server_cancelled mpl_server_timeouts mpl_server_reaped_conns \
+  mpl_server_dropped_tasks; do
+  grep -q "^$m " "$promf" \
+    || server_fail "/metrics missing lifecycle counter $m"
+done
+grep -Eq "^mpl_server_timeouts [1-9]" "$promf" \
+  || server_fail "/metrics never counted the deadline timeout"
+grep -Eq "^mpl_server_reaped_conns [1-9]" "$promf" \
+  || server_fail "/metrics never counted the reaped connection"
+
+"$MPLD" client --socket "$sock" --quit 2>/dev/null
+wait "$srv" || server_fail "server exited nonzero after the gauntlet"
+srv=""
+rm -f "$sock" "$cachef" "$errf" "$promf" "$srvlog"
+
 # Gate: bench compare. The committed baseline compared to itself must
 # pass, and a perturbed copy (one row slowed 2x) must fail.
 baseline=bench/results/latest.json
