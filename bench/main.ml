@@ -24,6 +24,16 @@ module C = Mpl.Coloring
 
 let ilp_budget = ref 20.
 
+(* Process heap high-water mark, in MB. [Gc.top_heap_words] is monotone
+   over the process lifetime, so a row's value is the high-water at the
+   moment that row finished: rows later in a run inherit earlier peaks.
+   Sections whose memory story matters (the shard pair) therefore run
+   first, smaller-footprint setting first, so their recorded peaks are
+   their own. *)
+let peak_mb () =
+  float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+  /. 1024. /. 1024.
+
 type row = {
   circuit : string;
   cells : (string * (int * int * float * bool)) list;
@@ -586,6 +596,9 @@ type parallel_row = {
   p_degraded : int;
   p_build_s : float;  (* graph construction (shared across settings) *)
   p_phases : D.phases;  (* division / solve / merge breakdown *)
+  p_windows : int;  (* geometric windows (1 = whole-layout graph) *)
+  p_inject : string option;  (* armed fault spec, if any *)
+  p_peak_mb : float;  (* process heap high-water when the row finished *)
 }
 
 let json_of_rows rows =
@@ -594,17 +607,29 @@ let json_of_rows rows =
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
+      (* "windows" and "inject" appear only on non-default rows so the
+         keys of the pre-v8 matrix are byte-stable. *)
+      let extras =
+        (if r.p_windows <> 1 then
+           Printf.sprintf ", \"windows\": %d" r.p_windows
+         else "")
+        ^
+        match r.p_inject with
+        | Some spec -> Printf.sprintf ", \"inject\": %S" spec
+        | None -> ""
+      in
       Buffer.add_string b
         (Printf.sprintf
            "    {\"circuit\": %S, \"algorithm\": %S, \"k\": %d, \"jobs\": %d, \
             \"cache\": %b, \"wall_s\": %.6f, \"cn\": %d, \"st\": %d, \
             \"cache_hits\": %d, \"cache_bytes\": %d, \"pieces\": %d, \
-            \"degraded_pieces\": %d, \"phases\": {\"build_s\": %.6f, \
-            \"division_s\": %.6f, \"solve_s\": %.6f, \"merge_s\": %.6f}}"
+            \"degraded_pieces\": %d, \"peak_mb\": %.1f%s, \"phases\": \
+            {\"build_s\": %.6f, \"division_s\": %.6f, \"solve_s\": %.6f, \
+            \"merge_s\": %.6f}}"
            r.p_circuit r.p_algorithm r.p_k r.p_jobs r.p_cache r.p_wall_s
            r.p_cn r.p_st r.p_cache_hits r.p_cache_bytes r.p_pieces
-           r.p_degraded r.p_build_s r.p_phases.D.division_s
-           r.p_phases.D.solve_s r.p_phases.D.merge_s))
+           r.p_degraded r.p_peak_mb extras r.p_build_s
+           r.p_phases.D.division_s r.p_phases.D.solve_s r.p_phases.D.merge_s))
     rows;
   Buffer.add_string b "\n  ]";
   Buffer.contents b
@@ -641,8 +666,18 @@ let git_commit () =
    budget), SDP+Greedy and Linear on C432/C880/S1488 at k=4, plus a
    K=5/6 sweep of SDP+Backtrack and Linear on the same circuits — so
    [bench compare] can gate every solver family and mask count, keyed
-   circuit|algorithm|jobs|cache|k. *)
-let results_schema_version = 7
+   circuit|algorithm|jobs|cache|k.
+   Schema v8: result rows gain "peak_mb" (the process heap high-water
+   mark when the row finished — monotone over the run, so only rows
+   early in a run carry their own peak; the geometric-sharding pair
+   runs first for exactly that reason), plus two optional fields that
+   extend the compare key only when present: "windows" (geometric
+   window count, emitted when > 1, key suffix "|win=N") and "inject"
+   (armed fault spec, key suffix "|inject=SPEC"). The matrix grows a
+   sharded-vs-whole-graph pair on a generated synthetic layout and a
+   clean-vs-injected fault overhead pair; keys of all pre-v8 rows are
+   unchanged. *)
+let results_schema_version = 8
 
 let json_of_kernels rows =
   let b = Buffer.create 1024 in
@@ -711,17 +746,141 @@ let write_results ?metrics ?kernels ~stamp rows =
     (List.length rows) results_schema_version
 
 let parallel () =
-  Format.printf
-    "@.=== Parallel engine: speedup vs jobs, cache hit rates (largest 4 \
-     circuits) ===@.";
-  Format.printf "(host has %d core(s) available to domains)@."
-    (Domain.recommended_domain_count ());
   let algo = D.Sdp_backtrack in
   let settings =
     [ (1, false); (2, false); (4, false); (1, true); (4, true) ]
   in
   let rows = ref [] in
   let metrics_sample = ref None in
+  (* Geometric window sharding on a generated synthetic layout. This
+     section runs before everything else, windowed run first, because
+     peak_mb is a process high-water mark: this ordering is the only
+     one under which both rows record their own peaks. The sharded and
+     whole-graph colorings must be byte-identical (the qcheck suite
+     checks the same contract on random small layouts) — any
+     divergence is fatal. *)
+  Format.printf
+    "@.=== Geometric sharding: windows=8 vs whole graph (Linear, jobs=2) \
+     ===@.";
+  let spec = Mpl_layout.Benchgen.synth ~seed:7 ~features:120_000 () in
+  let synth_name = spec.Mpl_layout.Benchgen.name in
+  let layout, gen_s =
+    Mpl_util.Timer.time (fun () -> Mpl_layout.Benchgen.generate spec)
+  in
+  Format.printf "generated %s: %d features in %.2fs@." synth_name
+    (Mpl_layout.Layout.feature_count layout)
+    gen_s;
+  let shard_params windows =
+    { D.default_params with D.jobs = 2; cache = false; windows }
+  in
+  let shard_row ~windows ~build_s (r : D.report) =
+    {
+      p_circuit = synth_name;
+      p_algorithm = D.algorithm_name D.Linear;
+      p_k = 4;
+      p_jobs = 2;
+      p_cache = false;
+      p_wall_s = r.D.elapsed_s;
+      p_cn = r.D.cost.C.conflicts;
+      p_st = r.D.cost.C.stitches;
+      p_cache_hits = 0;
+      p_cache_bytes = 0;
+      p_pieces = r.D.division.Mpl.Division.pieces;
+      p_degraded = r.D.resilience.D.degraded;
+      p_build_s = build_s;
+      p_phases = r.D.phases;
+      p_windows = windows;
+      p_inject = None;
+      p_peak_mb = peak_mb ();
+    }
+  in
+  let pp_shard_row label (r : D.report) =
+    Format.printf
+      "%-8s cn#=%-4d st#=%-4d wall=%.3fs peak=%.0fMB [div=%.2fs \
+       solve=%.2fs merge=%.2fs]@."
+      label r.D.cost.C.conflicts r.D.cost.C.stitches r.D.elapsed_s
+      (peak_mb ()) r.D.phases.D.division_s r.D.phases.D.solve_s
+      r.D.phases.D.merge_s
+  in
+  let r_sh =
+    D.decompose_sharded ~params:(shard_params 8) ~min_s:80 D.Linear layout
+  in
+  pp_shard_row "win=8" r_sh;
+  (* Window graph construction happens inside the windows (it is part
+     of the point — no whole-layout graph ever exists), so the sharded
+     row has no separate build phase. *)
+  rows := shard_row ~windows:8 ~build_s:0. r_sh :: !rows;
+  let g_full, full_build_s =
+    Mpl_util.Timer.time (fun () ->
+        Mpl.Decomp_graph.of_layout layout ~min_s:80)
+  in
+  let r_full = D.assign ~params:(shard_params 1) D.Linear g_full in
+  pp_shard_row "win=1" r_full;
+  rows := shard_row ~windows:1 ~build_s:full_build_s r_full :: !rows;
+  if r_sh.D.colors <> r_full.D.colors then begin
+    Format.printf "!! sharded coloring diverged from whole-graph on %s@."
+      synth_name;
+    exit 1
+  end;
+  Format.printf "sharded coloring identical to whole-graph reference@.";
+  (* Fault-injection overhead: the same run clean and with an armed
+     solver fault. The injected run pays the fallback ladder for the
+     struck piece; the delta bounds what arming the probe costs. *)
+  Format.printf
+    "@.=== Fault injection overhead (S38417, Linear, jobs=2) ===@.";
+  let g_fault, fault_build_s =
+    Mpl_util.Timer.time (fun () -> build_graph ~min_s:80 "S38417")
+  in
+  let fault_spec =
+    { Mpl_engine.Fault.site = Mpl_engine.Fault.Solver_raise;
+      seed = 0; shots = 1 }
+  in
+  let fault_pair = ref [] in
+  List.iter
+    (fun fault ->
+      let params = { D.default_params with D.jobs = 2; cache = false; fault }
+      in
+      let r = D.assign ~params D.Linear g_fault in
+      fault_pair := r :: !fault_pair;
+      rows :=
+        {
+          p_circuit = "S38417";
+          p_algorithm = D.algorithm_name D.Linear;
+          p_k = 4;
+          p_jobs = 2;
+          p_cache = false;
+          p_wall_s = r.D.elapsed_s;
+          p_cn = r.D.cost.C.conflicts;
+          p_st = r.D.cost.C.stitches;
+          p_cache_hits = 0;
+          p_cache_bytes = 0;
+          p_pieces = r.D.division.Mpl.Division.pieces;
+          p_degraded = r.D.resilience.D.degraded;
+          p_build_s = fault_build_s;
+          p_phases = r.D.phases;
+          p_windows = 1;
+          p_inject = Option.map Mpl_engine.Fault.spec_to_string fault;
+          p_peak_mb = peak_mb ();
+        }
+        :: !rows)
+    [ None; Some fault_spec ];
+  (match !fault_pair with
+  | [ injected; clean ] ->
+    Format.printf
+      "clean=%.3fs injected=%.3fs delta=%+.1f%% (degraded pieces: %d -> \
+       %d)@."
+      clean.D.elapsed_s injected.D.elapsed_s
+      (if clean.D.elapsed_s > 0. then
+         100. *. (injected.D.elapsed_s -. clean.D.elapsed_s)
+         /. clean.D.elapsed_s
+       else 0.)
+      clean.D.resilience.D.degraded injected.D.resilience.D.degraded
+  | _ -> assert false);
+  Format.printf
+    "@.=== Parallel engine: speedup vs jobs, cache hit rates (largest 4 \
+     circuits) ===@.";
+  Format.printf "(host has %d core(s) available to domains)@."
+    (Domain.recommended_domain_count ());
   List.iter
     (fun name ->
       let g, build_s =
@@ -809,6 +968,9 @@ let parallel () =
               p_degraded = r.D.resilience.D.degraded;
               p_build_s = build_s;
               p_phases = r.D.phases;
+              p_windows = 1;
+              p_inject = None;
+              p_peak_mb = peak_mb ();
             }
             :: !rows)
         settings)
@@ -859,6 +1021,9 @@ let parallel () =
                   p_degraded = r.D.resilience.D.degraded;
                   p_build_s = build_s;
                   p_phases = r.D.phases;
+                  p_windows = 1;
+                  p_inject = None;
+                  p_peak_mb = peak_mb ();
                 }
                 :: !rows)
             algos)
@@ -897,12 +1062,17 @@ let jbool name obj =
   match J.member name obj with Some (J.Bool b) -> Some b | _ -> None
 
 let row_key r =
-  Printf.sprintf "%s|%s|jobs=%.0f|cache=%b|k=%.0f"
+  let windows = Option.value ~default:1. (jnum "windows" r) in
+  Printf.sprintf "%s|%s|jobs=%.0f|cache=%b|k=%.0f%s%s"
     (Option.value ~default:"?" (jstr "circuit" r))
     (Option.value ~default:"?" (jstr "algorithm" r))
     (Option.value ~default:1. (jnum "jobs" r))
     (Option.value ~default:false (jbool "cache" r))
     (Option.value ~default:4. (jnum "k" r))
+    (if windows <> 1. then Printf.sprintf "|win=%.0f" windows else "")
+    (match jstr "inject" r with
+    | Some spec -> "|inject=" ^ spec
+    | None -> "")
 
 let kernel_key r =
   Printf.sprintf "%s|%s|%s"
@@ -930,7 +1100,9 @@ let compare_results ~threshold a_path b_path =
     List.iter (fun r -> Hashtbl.replace tbl (keyf r) r) l;
     tbl
   in
-  let regressions = ref 0 and compared = ref 0 and missing = ref 0 in
+  let regressions = ref 0 and compared = ref 0 in
+  let fresh = ref [] in
+  let note_fresh key = fresh := key :: !fresh in
   Format.printf "bench compare: baseline %s vs candidate %s (threshold \
                  %.1f%%)@."
     a_path b_path threshold;
@@ -950,7 +1122,7 @@ let compare_results ~threshold a_path b_path =
     (fun rb ->
       let key = row_key rb in
       match Hashtbl.find_opt a_rows key with
-      | None -> incr missing
+      | None -> note_fresh key
       | Some ra ->
         (match (jnum "wall_s" ra, jnum "wall_s" rb) with
         | Some va, Some vb -> check ~unit:"s" ~floor:0.01 key "wall_s" va vb
@@ -968,16 +1140,21 @@ let compare_results ~threshold a_path b_path =
     (fun rb ->
       let key = kernel_key rb in
       match Hashtbl.find_opt a_kernels key with
-      | None -> incr missing
+      | None -> note_fresh key
       | Some ra -> (
         match (jnum "ns_per_run" ra, jnum "ns_per_run" rb) with
         | Some va, Some vb ->
           check ~unit:"ns" ~floor:10_000. key "ns_per_run" va vb
         | _ -> ()))
     (rows "kernels" b);
-  if !missing > 0 then
-    Format.printf "note: %d candidate row(s) have no baseline counterpart@."
-      !missing;
+  (* Candidate-only rows are how the matrix grows: name each one so a
+     typo'd key is visible, but never fail on them. *)
+  List.iter (fun key -> Format.printf "new: %s@." key) (List.rev !fresh);
+  if !fresh <> [] then
+    Format.printf
+      "note: %d candidate row(s) are new (no baseline counterpart; \
+       informational)@."
+      (List.length !fresh);
   if !regressions = 0 then begin
     Format.printf "OK: %d comparison(s), none past %.1f%% + floor@."
       !compared threshold;

@@ -170,6 +170,54 @@ let colors_arg =
   in
   Arg.(value & opt (some string) None & info [ "colors" ] ~docv:"FILE" ~doc)
 
+let windows_arg =
+  let doc =
+    "Shard the layout into $(docv) geometric window strips with halo \
+     overlaps and decompose window by window, bounding peak memory to \
+     the largest window. Output is bit-identical to an unsharded run. \
+     1 (the default) decomposes whole-layout."
+  in
+  Arg.(value & opt int 1 & info [ "windows" ] ~docv:"N" ~doc)
+
+let window_size_arg =
+  let doc =
+    "Target window strip width in nm for sharding (takes precedence \
+     over --windows)."
+  in
+  Arg.(value & opt (some int) None & info [ "window-size" ] ~docv:"NM" ~doc)
+
+let max_heap_arg =
+  let doc =
+    "Abort with exit code 7 if the OCaml major heap exceeds $(docv) \
+     megabytes (checked at every major collection). Use with --windows \
+     to enforce the sharded memory bound."
+  in
+  Arg.(value & opt (some int) None & info [ "max-heap-mb" ] ~docv:"MB" ~doc)
+
+(* Heap-budget enforcement for --max-heap-mb: a Gc alarm fires at the
+   end of every major collection; breaching the budget is a hard,
+   deliberate failure (exit 7) so CI can assert the sharded path really
+   stays within its window-bounded footprint. OCAMLRUNPARAM has no true
+   heap cap, hence this alarm. *)
+let arm_heap_budget = function
+  | None -> ()
+  | Some mb ->
+    let budget_words = mb * 1024 * 1024 / (Sys.word_size / 8) in
+    ignore
+      (Gc.create_alarm (fun () ->
+           let hw = (Gc.quick_stat ()).Gc.heap_words in
+           if hw > budget_words then begin
+             Printf.eprintf
+               "error: heap budget exceeded: %d MB in use, budget %d MB\n%!"
+               (hw * (Sys.word_size / 8) / 1024 / 1024)
+               mb;
+             exit 7
+           end))
+
+let peak_heap_mb () =
+  float_of_int ((Gc.quick_stat ()).Gc.top_heap_words * (Sys.word_size / 8))
+  /. 1024. /. 1024.
+
 let write_colors path colors =
   let oc = open_out path in
   Array.iter (fun c -> Printf.fprintf oc "%d\n" c) colors;
@@ -185,9 +233,18 @@ let resolve_min_s ~k ~min_s =
 
 let decompose_cmd =
   let run source k min_s algo budget refine balance jobs no_cache
-      cache_permuted cache_warm inject trace metrics verbose colors_out =
+      cache_permuted cache_warm inject trace metrics verbose colors_out
+      windows window_nm max_heap_mb =
+    arm_heap_budget max_heap_mb;
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
+    let sharded = windows > 1 || window_nm <> None in
+    if sharded && (refine || balance) then begin
+      Printf.eprintf
+        "error: --windows is incompatible with --refine/--balance (global \
+         passes need the whole graph)\n";
+      exit 2
+    end;
     (* -v needs span data even without a trace file. *)
     let sink =
       if trace <> None || verbose then Some (Mpl_obs.Sink.create ()) else None
@@ -205,11 +262,32 @@ let decompose_cmd =
           trace = sink;
           metrics;
           fault = inject;
+          windows;
+          window_nm;
         }
     in
-    let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
     Format.printf "%a@." Mpl_layout.Layout.pp_summary layout;
-    Format.printf "graph: %a (min_s=%d, k=%d)@." Mpl.Decomp_graph.pp g min_s k;
+    let report =
+      if sharded then begin
+        let report =
+          Mpl.Decomposer.decompose_sharded ~params ~min_s algo layout
+        in
+        Format.printf
+          "sharded: windows=%s vertices=%d peak_heap=%.1fMB (min_s=%d, k=%d)@."
+          (match window_nm with
+          | Some nm -> Printf.sprintf "%dnm" nm
+          | None -> string_of_int windows)
+          (Array.length report.Mpl.Decomposer.colors)
+          (peak_heap_mb ()) min_s k;
+        report
+      end
+      else begin
+        let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
+        Format.printf "graph: %a (min_s=%d, k=%d)@." Mpl.Decomp_graph.pp g
+          min_s k;
+        report
+      end
+    in
     Format.printf "%a@." Mpl.Decomposer.pp_report report;
     let res = report.Mpl.Decomposer.resilience in
     if inject <> None || res.Mpl.Decomposer.degraded > 0 then
@@ -253,7 +331,8 @@ let decompose_cmd =
       const run $ circuit_arg $ k_arg $ min_s_arg $ algo_arg $ budget_arg
       $ refine_arg $ balance_arg $ jobs_arg $ no_cache_arg
       $ cache_permuted_arg $ cache_warm_arg $ inject_arg $ trace_arg
-      $ metrics_arg $ verbose_arg $ colors_arg)
+      $ metrics_arg $ verbose_arg $ colors_arg $ windows_arg
+      $ window_size_arg $ max_heap_arg)
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
 
@@ -262,22 +341,71 @@ let gen_cmd =
     let doc = "Output layout file." in
     Arg.(required & pos 1 (some string) None & info [] ~docv:"OUT" ~doc)
   in
-  let run name out =
-    match Mpl_layout.Benchgen.spec_of_circuit name with
-    | spec ->
+  let features_arg =
+    let doc =
+      "$(b,synth) mode: target feature count (100k-1M scale inputs for \
+       --windows)."
+    in
+    Arg.(value & opt int 100_000 & info [ "features" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "$(b,synth) mode: generator seed." in
+    Arg.(value & opt int 1 & info [ "seed" ] ~docv:"SEED" ~doc)
+  in
+  let density_arg =
+    let doc = "$(b,synth) mode: motif density in 0..1." in
+    Arg.(value & opt float 0.5 & info [ "density" ] ~docv:"D" ~doc)
+  in
+  let wires_arg =
+    let doc =
+      "$(b,synth) mode: routing-wire fraction in 0..1 (stitch richness)."
+    in
+    Arg.(value & opt float 0.4 & info [ "wires" ] ~docv:"W" ~doc)
+  in
+  let gadgets_arg =
+    let doc =
+      "$(b,synth) mode: number of guaranteed one-stitch gadgets to inject."
+    in
+    Arg.(value & opt int 0 & info [ "stitch-gadgets" ] ~docv:"N" ~doc)
+  in
+  let run name out features seed density wires gadgets =
+    let spec =
+      if name = "synth" then
+        Some
+          (Mpl_layout.Benchgen.synth ~density ~wire_fraction:wires
+             ~stitch_gadgets:gadgets ~seed ~features ())
+      else
+        match Mpl_layout.Benchgen.spec_of_circuit name with
+        | spec -> Some spec
+        | exception Not_found -> None
+    in
+    match spec with
+    | Some spec ->
       let layout = Mpl_layout.Benchgen.generate spec in
       Mpl_layout.Layout_io.save layout out;
       Format.printf "wrote %a to %s@." Mpl_layout.Layout.pp_summary layout out
-    | exception Not_found ->
-      Printf.eprintf "error: unknown circuit %s\n" name;
+    | None ->
+      Printf.eprintf "error: unknown circuit %s (or use \"synth\")\n" name;
       exit 2
   in
   let name_arg =
-    let doc = "Benchmark circuit name (C432 .. S15850)." in
+    let doc =
+      "Benchmark circuit name (C432 .. S15850), or $(b,synth) for the \
+       parametric generator sized by --features/--seed/--density/--wires."
+    in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
   in
-  let term = Term.(const run $ name_arg $ out_arg) in
-  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic benchmark layout") term
+  let term =
+    Term.(
+      const run $ name_arg $ out_arg $ features_arg $ seed_arg $ density_arg
+      $ wires_arg $ gadgets_arg)
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a synthetic benchmark layout (named circuit or \
+          parametric synth)")
+    term
 
 let socket_arg =
   let doc = "Unix-domain socket path." in
@@ -855,8 +983,8 @@ let client_cmd =
     Arg.(value & opt int 100 & info [ "backoff-ms" ] ~docv:"MS" ~doc)
   in
   let run socket host port layout k min_s algo priority no_cache permuted
-      inject deadline_ms retries backoff_ms colors_out do_stats do_metrics
-      do_ping do_quit http_path =
+      inject deadline_ms retries backoff_ms colors_out windows window_nm
+      do_stats do_metrics do_ping do_quit http_path =
     let fail e =
       Printf.eprintf "error: %s\n" (Mpl_server.Client.error_to_string e);
       exit
@@ -938,6 +1066,8 @@ let client_cmd =
               permuted;
               inject;
               deadline_ms;
+              windows;
+              window_nm;
             }
           in
           (* Retry loop: each attempt opens a fresh connection (a BUSY
@@ -1032,8 +1162,8 @@ let client_cmd =
       const run $ socket_arg $ host_arg $ port_arg $ layout_arg $ k_arg
       $ min_s_arg $ algo_arg $ priority_cl_arg $ no_cache_arg
       $ cache_permuted_arg $ inject_arg $ deadline_arg $ retries_arg
-      $ backoff_arg $ colors_arg $ stats_flag $ metrics_flag $ ping_flag
-      $ quit_flag $ http_arg)
+      $ backoff_arg $ colors_arg $ windows_arg $ window_size_arg
+      $ stats_flag $ metrics_flag $ ping_flag $ quit_flag $ http_arg)
   in
   Cmd.v
     (Cmd.info "client"

@@ -111,13 +111,15 @@ let of_edges ?(stitch_edges = []) ?(friendly_edges = []) ?feature ~n
     union_memo = None;
   }
 
-let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
-    (layout : Mpl_layout.Layout.t) ~min_s =
-  Mpl_obs.Obs.span obs "graph.build" @@ fun () ->
-  let split =
-    Mpl_obs.Obs.span obs "graph.stitch_split" (fun () ->
-        Mpl_layout.Stitch.split ?max_stitches_per_feature layout ~min_s)
-  in
+(* Neighbor search + CSR assembly over an already split node set. This
+   is the single construction path for every layout-derived graph: the
+   whole-layout build and the sharded per-window / border-component
+   rebuilds all classify edges with the same distance predicates and
+   sort the same CSR runs, which is what makes a reassembled border
+   component bit-identical to the matching [subgraph] of an unsharded
+   build. *)
+let of_nodes ?(obs = Mpl_obs.Obs.null) (split : Mpl_layout.Stitch.t) ~hp
+    ~min_s =
   let nodes = split.Mpl_layout.Stitch.nodes in
   let n = Array.length nodes in
   let cu = Intbuf.create () and cv = Intbuf.create () in
@@ -125,7 +127,6 @@ let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
   Mpl_obs.Obs.span obs "graph.neighbor_search"
     ~args:[ ("nodes", Mpl_obs.Sink.Int n) ]
     (fun () ->
-      let hp = layout.Mpl_layout.Layout.tech.Mpl_layout.Layout.half_pitch in
       let friendly_radius = min_s + hp in
       let index = Grid_index.create ~cell:(max friendly_radius 16) in
       Array.iteri
@@ -183,6 +184,16 @@ let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
     feature;
     union_memo = None;
   }
+
+let of_layout ?(obs = Mpl_obs.Obs.null) ?max_stitches_per_feature
+    (layout : Mpl_layout.Layout.t) ~min_s =
+  Mpl_obs.Obs.span obs "graph.build" @@ fun () ->
+  let split =
+    Mpl_obs.Obs.span obs "graph.stitch_split" (fun () ->
+        Mpl_layout.Stitch.split ?max_stitches_per_feature layout ~min_s)
+  in
+  let hp = layout.Mpl_layout.Layout.tech.Mpl_layout.Layout.half_pitch in
+  of_nodes ~obs split ~hp ~min_s
 
 let edges_of (a : adj) =
   let n = Array.length a.off - 1 in

@@ -42,6 +42,15 @@ val of_edges :
     is the conflict edges. Duplicate edges are collapsed; self-loops and
     edges that are both conflict and stitch are rejected. *)
 
+val of_nodes :
+  ?obs:Mpl_obs.Obs.t -> Mpl_layout.Stitch.t -> hp:int -> min_s:int -> t
+(** Build from an already split node set: join segments of distinct
+    features by conflict (distance <= [min_s]) and color-friendly
+    (min_s < distance <= min_s + [hp]) edges; the split's own stitch
+    edges are taken as-is. This is the construction path shared by
+    {!of_layout} and the sharded decomposer's border-component rebuild —
+    identical node shapes always produce identical CSR runs. *)
+
 val of_layout :
   ?obs:Mpl_obs.Obs.t ->
   ?max_stitches_per_feature:int ->

@@ -32,6 +32,8 @@ type params = {
   request_id : string option;
   cancel : Mpl_engine.Pool.token option;
   deadline_s : float option;
+  windows : int;
+  window_nm : int option;
 }
 
 let default_params =
@@ -58,6 +60,8 @@ let default_params =
     request_id = None;
     cancel = None;
     deadline_s = None;
+    windows = 1;
+    window_nm = None;
   }
 
 (* Stamp the serving request id onto a span's arguments, so even the
@@ -432,6 +436,115 @@ let make_solver ~obs ~params ~budget ~deadline_over ~timed_out ~fault ~prov
         ~partial:None ~error:(Printexc.to_string e) piece
   end
 
+(* Per-run solving context, shared by the whole-graph and sharded entry
+   points: armed fault injector, provenance, deadline probe, shared
+   solver budget, warm-hint cache, and the timed leaf solver with its
+   phase accounting. [rc_solve_ns] totals solver wall across every
+   domain; [rc_caller_ns] (written by the coordinating thread only — no
+   lock needed) lets the engine paths subtract solver work the
+   coordinator picked up while helping the pool out of their
+   division/merge walls. *)
+type run_ctx = {
+  rc_salt : string;
+  rc_stats : Division.stats;
+  rc_timed_out : bool Atomic.t;
+  rc_fault : Mpl_engine.Fault.t;
+  rc_prov : prov;
+  rc_solve_ns : int Atomic.t;
+  rc_caller_ns : float ref;
+  rc_solver : Decomp_graph.t -> int array;
+}
+
+let make_run_ctx ~obs ~params algorithm =
+  let salt = params_salt ~params algorithm in
+  let stats = Division.fresh_stats () in
+  let timed_out = Atomic.make false in
+  let fault =
+    match params.fault with
+    | Some spec -> Mpl_engine.Fault.arm spec
+    | None -> Mpl_engine.Fault.none
+  in
+  let prov = fresh_prov () in
+  (* Per-request deadline (opt-in). Armed, it is a second monotonic
+     budget: [deadline_over] is probed once per piece before the
+     primary solve (soft degrade through the cheap ladder rung), and
+     for the budgeted exact algorithms the shared solver budget is
+     clamped to it so an in-flight ILP/BnB returns its incumbent at
+     the deadline instead of running on. Unarmed, [deadline_over] is a
+     constant [false]: no clock is created, read, or registered — the
+     [solver.deadline_checks] counter only exists on deadline runs,
+     which is what the served-invariance test keys on. *)
+  let deadline_s =
+    match params.deadline_s with Some d when d > 0. -> Some d | _ -> None
+  in
+  let deadline_over =
+    match deadline_s with
+    | None -> fun () -> false
+    | Some d ->
+      let db = Mpl_util.Timer.budget d in
+      let checks =
+        Mpl_obs.Metrics.counter obs.Mpl_obs.Obs.metrics
+          "solver.deadline_checks"
+      in
+      fun () ->
+        Mpl_obs.Metrics.incr checks;
+        Mpl_util.Timer.expired db
+  in
+  let budget =
+    match algorithm with
+    | Ilp | Exact ->
+      let b = params.solver_budget_s in
+      let b =
+        match deadline_s with
+        | Some d -> if b <= 0. then d else Float.min b d
+        | None -> b
+      in
+      Mpl_util.Timer.budget b
+    | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
+  in
+  (* Leaf-level warm-hint cache (opt-in): remembers every solved piece
+     under its canonical key and seeds SDP solves of near-isomorphic
+     pieces from the stored coloring. Unlike the engine's component
+     cache this never skips a solve, but warm-started solves may stop
+     early, so it is off by default to preserve the bit-identity
+     contract of the cold path. *)
+  let warm_cache =
+    if params.cache_warm then
+      Some
+        (Mpl_engine.Cache.create ~mode:Mpl_engine.Cache.Permuted ~obs ~fault
+           ())
+    else None
+  in
+  let base_solver =
+    make_solver ~obs ~params ~budget ~deadline_over ~timed_out ~fault ~prov
+      ~warm_cache ~salt algorithm
+  in
+  let solve_ns = Atomic.make 0 in
+  let caller_ns = ref 0. in
+  let coord = Domain.self () in
+  let solver piece =
+    let s0 = Mpl_util.Timer.now_ns () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt =
+          Int64.to_int (Int64.sub (Mpl_util.Timer.now_ns ()) s0)
+        in
+        ignore (Atomic.fetch_and_add solve_ns dt);
+        if Domain.self () = coord then
+          caller_ns := !caller_ns +. (float_of_int dt /. 1e9))
+      (fun () -> base_solver piece)
+  in
+  {
+    rc_salt = salt;
+    rc_stats = stats;
+    rc_timed_out = timed_out;
+    rc_fault = fault;
+    rc_prov = prov;
+    rc_solve_ns = solve_ns;
+    rc_caller_ns = caller_ns;
+    rc_solver = solver;
+  }
+
 (* Streaming parallel/cached assignment: split off the independent
    components (the same split the sequential division pipeline performs
    first), then run each component through an {!Mpl_engine.Engine}
@@ -651,88 +764,11 @@ let engine_assign ~obs ~params ~stats ~solver ~fault ~prov ~caller_ns
 let assign ?(params = default_params) ?obs ?pool ?shared_cache ?on_component
     algorithm g =
   let obs = match obs with Some o -> o | None -> make_obs params in
-  let salt = params_salt ~params algorithm in
-  let stats = Division.fresh_stats () in
-  let timed_out = Atomic.make false in
-  let fault =
-    match params.fault with
-    | Some spec -> Mpl_engine.Fault.arm spec
-    | None -> Mpl_engine.Fault.none
-  in
-  let prov = fresh_prov () in
-  (* Per-request deadline (opt-in). Armed, it is a second monotonic
-     budget: [deadline_over] is probed once per piece before the
-     primary solve (soft degrade through the cheap ladder rung), and
-     for the budgeted exact algorithms the shared solver budget is
-     clamped to it so an in-flight ILP/BnB returns its incumbent at
-     the deadline instead of running on. Unarmed, [deadline_over] is a
-     constant [false]: no clock is created, read, or registered — the
-     [solver.deadline_checks] counter only exists on deadline runs,
-     which is what the served-invariance test keys on. *)
-  let deadline_s =
-    match params.deadline_s with Some d when d > 0. -> Some d | _ -> None
-  in
-  let deadline_over =
-    match deadline_s with
-    | None -> fun () -> false
-    | Some d ->
-      let db = Mpl_util.Timer.budget d in
-      let checks =
-        Mpl_obs.Metrics.counter obs.Mpl_obs.Obs.metrics
-          "solver.deadline_checks"
-      in
-      fun () ->
-        Mpl_obs.Metrics.incr checks;
-        Mpl_util.Timer.expired db
-  in
-  let budget =
-    match algorithm with
-    | Ilp | Exact ->
-      let b = params.solver_budget_s in
-      let b =
-        match deadline_s with
-        | Some d -> if b <= 0. then d else Float.min b d
-        | None -> b
-      in
-      Mpl_util.Timer.budget b
-    | Sdp_backtrack | Sdp_greedy | Linear -> Mpl_util.Timer.budget 0.
-  in
-  (* Leaf-level warm-hint cache (opt-in): remembers every solved piece
-     under its canonical key and seeds SDP solves of near-isomorphic
-     pieces from the stored coloring. Unlike the engine's component
-     cache this never skips a solve, but warm-started solves may stop
-     early, so it is off by default to preserve the bit-identity
-     contract of the cold path. *)
-  let warm_cache =
-    if params.cache_warm then
-      Some
-        (Mpl_engine.Cache.create ~mode:Mpl_engine.Cache.Permuted ~obs ~fault
-           ())
-    else None
-  in
-  let base_solver =
-    make_solver ~obs ~params ~budget ~deadline_over ~timed_out ~fault ~prov
-      ~warm_cache ~salt algorithm
-  in
-  (* Phase accounting. [solve_ns] totals solver wall across every
-     domain; [caller_ns] (coordinating thread only — no lock needed)
-     lets the engine path subtract solver work the coordinator picked
-     up while helping the pool out of its division/merge walls. *)
-  let solve_ns = Atomic.make 0 in
-  let caller_ns = ref 0. in
-  let coord = Domain.self () in
-  let solver piece =
-    let s0 = Mpl_util.Timer.now_ns () in
-    Fun.protect
-      ~finally:(fun () ->
-        let dt =
-          Int64.to_int (Int64.sub (Mpl_util.Timer.now_ns ()) s0)
-        in
-        ignore (Atomic.fetch_and_add solve_ns dt);
-        if Domain.self () = coord then
-          caller_ns := !caller_ns +. (float_of_int dt /. 1e9))
-      (fun () -> base_solver piece)
-  in
+  let rc = make_run_ctx ~obs ~params algorithm in
+  let salt = rc.rc_salt and stats = rc.rc_stats in
+  let fault = rc.rc_fault and prov = rc.rc_prov in
+  let timed_out = rc.rc_timed_out and solver = rc.rc_solver in
+  let solve_ns = rc.rc_solve_ns and caller_ns = rc.rc_caller_ns in
   let engine_stats = ref None in
   let cache_stats = ref None in
   let phases = ref no_phases in
@@ -841,6 +877,319 @@ let decompose ?(params = default_params) ?pool ?shared_cache ?on_component
   let obs = make_obs params in
   let g = Decomp_graph.of_layout ~obs ?max_stitches_per_feature layout ~min_s in
   (g, assign ~params ~obs ?pool ?shared_cache ?on_component algorithm g)
+
+(* Sharded streaming front-end (the million-feature path): cut the
+   layout into geometric windows with [min_s + hp]-wide halos
+   ({!Shard.plan}), build each window's decomposition graph
+   independently — bounding the resident graph-construction working set
+   to O(window) — and stream every globally closed component through
+   the same division/engine machinery as {!engine_assign}. Interior
+   components are pushed window by window; border-straddling
+   components are reconciled at feature granularity and rebuilt
+   bit-identically from canonical owner-window shapes, then pushed
+   last. Each border piece flows through the normal division pipeline,
+   whose GH-cut merge reconnects the window-spanning halves by Lemma 1
+   color rotation ({!Division.best_rotation}) via the same
+   deterministic replay-merge thunks an unsharded run uses.
+
+   Forcing lags pushing by a bounded number of cells, and a forced
+   cell retains only its coloring and back maps — the piece graph is
+   dropped — so peak residency is O(window) + O(output), not
+   O(layout).
+
+   Output bit-identity with the unsharded path: pieces are
+   bit-identical to the unsharded components (see {!Shard}), each
+   piece's division and solve are deterministic in the piece alone,
+   and the final coloring is a scatter through the canonical
+   (feature, segment) vertex order. Only the *emission order* of
+   components differs (windows first, border classes last), which the
+   cost cannot observe: every conflict and stitch edge is
+   intra-component, so the total is the sum of per-piece costs.
+   (Caveat: the shared-budget algorithms, Ilp/Exact, may trip their
+   budget at a different piece than an unsharded run under time
+   pressure — the bit-identity contract is for the self-contained
+   solvers.) *)
+let force_lag = 64
+
+let sharded_assign ~obs ~params ~(rc : run_ctx) ~ext_pool ~shared_cache
+    ~on_component ?max_stitches_per_feature ~min_s
+    (layout : Mpl_layout.Layout.t) =
+  let jobs = max 1 params.jobs in
+  let check_cancel () =
+    match params.cancel with
+    | Some tok when Mpl_engine.Pool.cancelled tok ->
+      raise Mpl_engine.Pool.Cancelled
+    | _ -> ()
+  in
+  let hp = layout.Mpl_layout.Layout.tech.Mpl_layout.Layout.half_pitch in
+  let halo = min_s + hp in
+  let sh =
+    Mpl_obs.Obs.span obs "shard.plan"
+      ~args:
+        (rid_args params
+           [
+             ( "features",
+               Mpl_obs.Sink.Int (Array.length layout.Mpl_layout.Layout.features)
+             );
+           ])
+      (fun () ->
+        Shard.plan ?window_nm:params.window_nm ~windows:params.windows ~halo
+          layout)
+  in
+  let m = obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "shard.windows")
+    (Array.length sh.Shard.windows);
+  let cache =
+    if not params.cache then None
+    else
+      match shared_cache with
+      | Some c -> Some c
+      | None ->
+        Some
+          (Mpl_engine.Cache.create
+             ~mode:
+               (if params.cache_permuted then Mpl_engine.Cache.Permuted
+                else Mpl_engine.Cache.Exact)
+             ~obs ~fault:rc.rc_fault ())
+  in
+  let signature (p : Shard.piece) =
+    if params.cache then piece_signature ~salt:rc.rc_salt p.Shard.graph
+    else None
+  in
+  let validate (p : Shard.piece) colors =
+    Array.length colors = p.Shard.graph.Decomp_graph.n
+    && Coloring.is_complete colors
+    && Coloring.check_range ~k:params.k colors
+  in
+  let recover (p : Shard.piece) e bt =
+    (match e with
+    | Mpl_engine.Pool.Cancelled -> Printexc.raise_with_backtrace e bt
+    | _ -> ());
+    let local = Division.fresh_stats () in
+    local.Division.pieces <- 1;
+    local.Division.largest_piece <- p.Shard.graph.Decomp_graph.n;
+    let colors =
+      Bnb.greedy ~k:params.k
+        (Bnb.instance_of_graph ~alpha:params.alpha p.Shard.graph)
+    in
+    prov_record rc.rc_prov ~raised:true ~fallbacks:1
+      {
+        piece_n = p.Shard.graph.Decomp_graph.n;
+        failed_step = "component";
+        error = Printexc.to_string e;
+        solved_by = "greedy";
+        attempts = 1;
+      };
+    (colors, local)
+  in
+  let chunk_below = max 0 params.chunk_below in
+  let chunk_len = max 1 params.chunk_len in
+  let bias = params.priority_bias in
+  let run_with_pool f =
+    match ext_pool with
+    | Some pool -> f pool
+    | None -> Mpl_engine.Pool.with_pool ~obs ~fault:rc.rc_fault ~jobs f
+  in
+  run_with_pool (fun pool ->
+      let pending = ref [] and pending_len = ref 0 in
+      let flush () =
+        match !pending with
+        | [] -> ()
+        | ps ->
+          let ps = List.rev ps in
+          pending := [];
+          pending_len := 0;
+          let prio =
+            List.fold_left
+              (fun mx ((p : Decomp_graph.t), _) -> max mx p.Decomp_graph.n)
+              0 ps
+          in
+          let futs =
+            Mpl_engine.Pool.submit_group ~priority:(bias + prio)
+              ?cancel:params.cancel pool
+              (List.map (fun (p, _) () -> rc.rc_solver p) ps)
+          in
+          List.iter2 (fun (_, slot) fut -> slot := Some fut) ps futs
+      in
+      let emit_leaf (piece : Decomp_graph.t) =
+        check_cancel ();
+        if piece.Decomp_graph.n >= chunk_below then begin
+          let fut =
+            Mpl_engine.Pool.submit ~priority:(bias + piece.Decomp_graph.n)
+              ?cancel:params.cancel pool (fun () -> rc.rc_solver piece)
+          in
+          fun () -> Mpl_engine.Pool.await pool fut
+        end
+        else begin
+          let slot = ref None in
+          pending := (piece, slot) :: !pending;
+          incr pending_len;
+          if !pending_len >= chunk_len then flush ();
+          fun () ->
+            (match !slot with None -> flush () | Some _ -> ());
+            Mpl_engine.Pool.await pool (Option.get !slot)
+        end
+      in
+      let plant (p : Shard.piece) =
+        let local = Division.fresh_stats () in
+        let join =
+          Division.plan ~obs ~stages:params.stages ~stats:local ~k:params.k
+            ~alpha:params.alpha ~emit:emit_leaf p.Shard.graph
+        in
+        fun () -> (join (), local)
+      in
+      let t =
+        Mpl_engine.Engine.stream ~obs ?cache ~signature ~validate ~recover
+          ~plant ()
+      in
+      Mpl_obs.Obs.span obs "engine.batch"
+        ~args:
+          (rid_args params
+             [ ("windows", Mpl_obs.Sink.Int (Array.length sh.Shard.windows)) ])
+      @@ fun () ->
+      let t0 = Mpl_util.Timer.now_ns () and c0 = !(rc.rc_caller_ns) in
+      let acc = Shard.fresh_acc sh in
+      let inflight = Queue.create () in
+      let done_rev = ref [] in
+      let cost_conf = ref 0 and cost_st = ref 0 and cost_sc = ref 0 in
+      let merge_ns = ref 0L and merge_caller = ref 0. in
+      let stats = rc.rc_stats in
+      (* Forcing a cell is merge work: it reassembles a component's
+         coloring and folds its cost and division stats, then drops the
+         piece graph, keeping only (colors, back maps). *)
+      let force_one () =
+        let cell, (p : Shard.piece) = Queue.pop inflight in
+        check_cancel ();
+        let f0 = Mpl_util.Timer.now_ns () and fc0 = !(rc.rc_caller_ns) in
+        let pc, (local : Division.stats) = Mpl_engine.Engine.force t cell in
+        let c = Coloring.evaluate ~alpha:params.alpha p.Shard.graph pc in
+        cost_conf := !cost_conf + c.Coloring.conflicts;
+        cost_st := !cost_st + c.Coloring.stitches;
+        cost_sc := !cost_sc + c.Coloring.scaled;
+        stats.Division.pieces <- stats.Division.pieces + local.Division.pieces;
+        if local.Division.largest_piece > stats.Division.largest_piece then
+          stats.Division.largest_piece <- local.Division.largest_piece;
+        stats.Division.peeled <- stats.Division.peeled + local.Division.peeled;
+        stats.Division.cuts <- stats.Division.cuts + local.Division.cuts;
+        done_rev := (pc, p.Shard.back_feature, p.Shard.back_seg) :: !done_rev;
+        merge_ns :=
+          Int64.add !merge_ns (Int64.sub (Mpl_util.Timer.now_ns ()) f0);
+        merge_caller := !merge_caller +. (!(rc.rc_caller_ns) -. fc0)
+      in
+      let push_piece (p : Shard.piece) =
+        check_cancel ();
+        let cell = Mpl_engine.Engine.push t p in
+        Queue.add (cell, p) inflight;
+        if Queue.length inflight > force_lag then force_one ()
+      in
+      Array.iter
+        (fun w ->
+          List.iter push_piece
+            (Shard.scan_window ~obs ?max_stitches_per_feature ~acc ~min_s ~hp
+               layout w))
+        sh.Shard.windows;
+      let border = Shard.border_pieces ~obs acc ~min_s ~hp in
+      Mpl_obs.Metrics.add
+        (Mpl_obs.Metrics.counter m "shard.border_pieces")
+        (List.length border);
+      List.iter push_piece border;
+      flush ();
+      while not (Queue.is_empty inflight) do
+        force_one ()
+      done;
+      let estats = Mpl_engine.Engine.finish t in
+      let off, n = Shard.offsets acc in
+      let colors = Array.make n (-1) in
+      let m0 = Mpl_util.Timer.now_ns () in
+      (* Scatter in emission (= push) order; [on_component] therefore
+         streams deterministically, exactly like the unsharded engine
+         path. Back maps translate to global vertex ids through the
+         canonical feature-major offsets. *)
+      List.iteri
+        (fun i (pc, bf, bs) ->
+          match on_component with
+          | Some f ->
+            let back =
+              Array.init (Array.length bf) (fun j -> off.(bf.(j)) + bs.(j))
+            in
+            Array.iteri (fun j v -> colors.(v) <- pc.(j)) back;
+            f i back pc
+          | None ->
+            Array.iteri (fun j c -> colors.(off.(bf.(j)) + bs.(j)) <- c) pc)
+        (List.rev !done_rev);
+      merge_ns := Int64.add !merge_ns (Int64.sub (Mpl_util.Timer.now_ns ()) m0);
+      let t1 = Mpl_util.Timer.now_ns () and c1 = !(rc.rc_caller_ns) in
+      let s ns = Int64.to_float ns /. 1e9 in
+      let merge_s = max 0. (s !merge_ns -. !merge_caller) in
+      let division_s =
+        max 0. (s (Int64.sub t1 t0) -. (c1 -. c0) -. merge_s)
+      in
+      let cost =
+        {
+          Coloring.conflicts = !cost_conf;
+          stitches = !cost_st;
+          scaled = !cost_sc;
+        }
+      in
+      let cstats = Option.map Mpl_engine.Cache.stats cache in
+      (colors, cost, estats, cstats, division_s, merge_s))
+
+let decompose_sharded ?(params = default_params) ?obs ?pool ?shared_cache
+    ?on_component ?max_stitches_per_feature ~min_s algorithm layout =
+  (match params.post with
+  | No_post -> ()
+  | Local_search | Anneal _ ->
+    invalid_arg "decompose_sharded: post passes need the whole graph");
+  if params.balance then
+    invalid_arg "decompose_sharded: balance needs the whole graph";
+  let obs = match obs with Some o -> o | None -> make_obs params in
+  let rc = make_run_ctx ~obs ~params algorithm in
+  let result = ref None in
+  let (), elapsed_s =
+    Mpl_util.Timer.time (fun () ->
+        Mpl_obs.Obs.span obs "assign"
+          ~args:
+            (rid_args params
+               [
+                 ("algorithm", Mpl_obs.Sink.Str (algorithm_name algorithm));
+                 ("windows", Mpl_obs.Sink.Int params.windows);
+               ])
+        @@ fun () ->
+        result :=
+          Some
+            (sharded_assign ~obs ~params ~rc ~ext_pool:pool ~shared_cache
+               ~on_component ?max_stitches_per_feature ~min_s layout))
+  in
+  let colors, cost, estats, cstats, division_s, merge_s =
+    Option.get !result
+  in
+  assert (Coloring.is_complete colors);
+  assert (Coloring.check_range ~k:params.k colors);
+  let metrics =
+    let mm = obs.Mpl_obs.Obs.metrics in
+    if Mpl_obs.Metrics.enabled mm then Some (Mpl_obs.Metrics.snapshot mm)
+    else None
+  in
+  {
+    algorithm;
+    params;
+    cost;
+    colors;
+    elapsed_s;
+    timed_out = Atomic.get rc.rc_timed_out;
+    division = rc.rc_stats;
+    phases =
+      {
+        division_s;
+        solve_s = float_of_int (Atomic.get rc.rc_solve_ns) /. 1e9;
+        merge_s;
+      };
+    engine = Some estats;
+    cache = cstats;
+    resilience = prov_snapshot rc.rc_prov ~fault:rc.rc_fault;
+    metrics;
+  }
 
 let pp_report ppf r =
   Format.fprintf ppf

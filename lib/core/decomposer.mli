@@ -116,6 +116,16 @@ type params = {
           the deadline. [None] (the default, also <= 0) arms nothing:
           no deadline clock is created or read, and the
           [solver.deadline_checks] counter is never registered *)
+  windows : int;
+      (** {!decompose_sharded}: cut the layout into this many geometric
+          window strips (default 1 = a single window covering the
+          layout). Ignored by {!decompose}/{!assign}. A pure
+          memory/locality knob: the sharded output is bit-identical at
+          every setting *)
+  window_nm : int option;
+      (** {!decompose_sharded}: target window strip width in nm; takes
+          precedence over [windows] when set. [None] (default) sizes by
+          [windows] *)
 }
 
 val default_params : params
@@ -239,5 +249,43 @@ val decompose :
     under one observability context, so a trace covers graph
     construction and assignment. The optional server hooks are passed
     through to {!assign}. *)
+
+val decompose_sharded :
+  ?params:params ->
+  ?obs:Mpl_obs.Obs.t ->
+  ?pool:Mpl_engine.Pool.t ->
+  ?shared_cache:Division.stats Mpl_engine.Cache.t ->
+  ?on_component:(int -> int array -> int array -> unit) ->
+  ?max_stitches_per_feature:int ->
+  min_s:int ->
+  algorithm ->
+  Mpl_layout.Layout.t ->
+  report
+(** Memory-bounded decomposition for very large layouts: cut the layout
+    into [params.windows] geometric window strips (or strips of
+    [params.window_nm] nm) with [min_s + half_pitch]-wide halo overlaps
+    ({!Shard}), build each window's decomposition graph independently,
+    and stream every connected component through the same
+    division/solve/cache machinery as {!decompose} — components
+    straddling window borders are reconciled exactly, at feature
+    granularity, and rebuilt bit-identically from their owner windows'
+    canonical segment shapes before flowing through the normal division
+    pipeline (whose GH-cut merge applies the Lemma 1 color rotation
+    across the former border). Peak residency is O(largest window) +
+    O(coloring), never O(whole-layout graph); no global graph is built
+    or returned.
+
+    For the self-contained algorithms (Linear, SDP, and unbudgeted
+    runs) the resulting coloring is bit-identical to
+    [snd (decompose ...)] at every [windows]/[jobs]/[cache] setting.
+    The engine path is always used (even at [jobs = 1]); cost is the
+    sum of per-component costs, which equals the global
+    {!Coloring.evaluate} because every conflict/stitch edge is
+    intra-component. [on_component] streams components in
+    deterministic emission order: window strips in geometric order,
+    then border-straddling components by smallest feature id.
+
+    @raise Invalid_argument when [params.post] or [params.balance]
+    request a global refinement pass — those need the whole graph. *)
 
 val pp_report : Format.formatter -> report -> unit

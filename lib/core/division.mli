@@ -99,3 +99,23 @@ val assign :
     [division.piece_size] histogram of leaf sizes. *)
 
 val fresh_stats : unit -> stats
+
+val best_rotation :
+  k:int ->
+  alpha:float ->
+  int array ->
+  int array ->
+  (int * int) list ->
+  (int * int) list ->
+  int
+(** [best_rotation ~k ~alpha colors_a colors_b crossing_conflict
+    crossing_stitch] is the rotation [r] minimizing the crossing cost of
+    recombining two independently colored sides: each crossing conflict
+    edge [(a, b)] (an index into [colors_a] paired with an index into
+    [colors_b]) costs {!Coloring.weight_conflict} when
+    [colors_a.(a) = (colors_b.(b) + r) mod k], each crossing stitch edge
+    costs {!Coloring.stitch_weight} when the rotated colors differ. Each
+    crossing conflict edge forbids exactly one rotation, so with fewer
+    than [k] of them a conflict-free rotation exists (paper Lemma 1).
+    This is the recombination rule of the GH-cut stage, exposed for the
+    sharded decomposer's window-border reconciliation. *)

@@ -262,6 +262,53 @@ let base name seed rows cells density wire_fraction sparse_gap_prob five six
     penta_six = penta;
   }
 
+(* Parametric synthetic spec, sized by target feature count instead of a
+   named circuit: standard-cell rows as above, near-square (a cell slot
+   is ~280 nm wide at the usual 1-column gap, a row 200 nm tall, so
+   rows ~ sqrt(1.4 * cells) balances the two extents — window strips cut
+   along either axis then stay meaningful). The expected feature yield
+   per cell follows from the motif weights analytically, so the actual
+   count lands within a few percent of [features] at any density. *)
+let synth ?(density = 0.5) ?(wire_fraction = 0.4) ?(stitch_gadgets = 0)
+    ~seed ~features () =
+  let d = density in
+  let weights =
+    [
+      (0, 1.2 -. (0.8 *. d));
+      (1, 2.0 -. d);
+      (2, 1.5);
+      (2, 1.0);
+      (3, 0.8 +. (0.8 *. d));
+      (4, 0.3 +. (1.2 *. d));
+    ]
+  in
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0. weights in
+  let esites =
+    List.fold_left (fun a (s, w) -> a +. (float_of_int s *. w)) 0. weights
+    /. total
+  in
+  (* A seeded wire only lands when its span clears the previous wire by
+     two columns; ~0.8 of seeds survive at the default gap layout. *)
+  let per_cell = esites +. (wire_fraction *. 0.8) in
+  let organic = max 1 (features - (5 * stitch_gadgets)) in
+  let cells = float_of_int organic /. per_cell in
+  let rows = max 1 (int_of_float (ceil (sqrt (cells *. 1.4)))) in
+  let cells_per_row = max 1 (int_of_float (ceil (cells /. float_of_int rows))) in
+  {
+    name = Printf.sprintf "synth-%d-s%d" features seed;
+    seed;
+    rows;
+    cells_per_row;
+    density;
+    wire_fraction;
+    sparse_gap_prob = 1.0;
+    native_five = 0;
+    native_six = 0;
+    hard_blocks = 0;
+    stitch_gadgets;
+    penta_six = 0;
+  }
+
 (* Sized to preserve the relative scale of the paper's suite: the C-series
    are small (ILP tractable), C6288 is the famously dense multiplier, the
    four S-series circuits are an order of magnitude larger with hard

@@ -42,6 +42,24 @@ type spec = {
 val generate : spec -> Layout.t
 (** Deterministic layout for the spec. *)
 
+val synth :
+  ?density:float ->
+  ?wire_fraction:float ->
+  ?stitch_gadgets:int ->
+  seed:int ->
+  features:int ->
+  unit ->
+  spec
+(** Parametric synthetic spec sized by target feature count (100k–1M
+    scale inputs for the sharded decomposer): tiled standard-cell rows
+    in a near-square extent, no injected hard blocks or native
+    clusters. [density] (default 0.5) shifts motif weights,
+    [wire_fraction] (default 0.4) controls routing-wire (and hence
+    organic stitch) richness, [stitch_gadgets] adds that many
+    guaranteed one-stitch gadgets. The generated feature count lands
+    within a few percent of [features]. Deterministic in the
+    arguments; named ["synth-<features>-s<seed>"]. *)
+
 val table1_circuits : string list
 (** The 15 circuit names of paper Table 1, in order. *)
 

@@ -8,6 +8,8 @@ type request = {
   permuted : bool;
   inject : Mpl_engine.Fault.spec option;
   deadline_ms : int option;
+  windows : int;
+  window_nm : int option;
 }
 
 let default_request =
@@ -21,6 +23,8 @@ let default_request =
     permuted = false;
     inject = None;
     deadline_ms = None;
+    windows = 1;
+    window_nm = None;
   }
 
 let algorithm_of_name = function
@@ -62,6 +66,11 @@ let encode_request r ~body_len =
   (match r.deadline_ms with
   | Some ms -> Buffer.add_string b (Printf.sprintf " deadline=%d" ms)
   | None -> ());
+  if r.windows <> 1 then
+    Buffer.add_string b (Printf.sprintf " windows=%d" r.windows);
+  (match r.window_nm with
+  | Some nm -> Buffer.add_string b (Printf.sprintf " window_nm=%d" nm)
+  | None -> ());
   Buffer.add_char b '\n';
   Buffer.contents b
 
@@ -101,6 +110,17 @@ let apply_field r tok =
       | None -> Error (Printf.sprintf "field deadline: not an integer: %S" v))
     | "cache" -> as_int (fun c -> { r with cache = c <> 0 })
     | "permuted" -> as_int (fun p -> { r with permuted = p <> 0 })
+    | "windows" -> (
+      match int_of v with
+      | Some n when n >= 1 -> Ok { r with windows = n }
+      | Some _ -> Error "field windows: must be >= 1"
+      | None -> Error (Printf.sprintf "field windows: not an integer: %S" v))
+    | "window_nm" -> (
+      match int_of v with
+      | Some nm when nm > 0 -> Ok { r with window_nm = Some nm }
+      | Some _ -> Error "field window_nm: must be positive nanometers"
+      | None ->
+        Error (Printf.sprintf "field window_nm: not an integer: %S" v))
     | "algo" -> (
       match algorithm_of_name v with
       | Some algo -> Ok { r with algo }

@@ -58,6 +58,14 @@ type request = {
           the cheap ladder rung, and past the server's grace period the
           request is cancelled outright with a [TIMEOUT] terminal.
           [None] (the default) arms nothing *)
+  windows : int;
+      (** > 1 decomposes through the sharded geometric-window front-end
+          ({!Mpl.Decomposer.decompose_sharded}), bounding the server's
+          per-request graph residency to the largest window. Output is
+          bit-identical to an unsharded run (default 1) *)
+  window_nm : int option;
+      (** window strip width in nm for sharding; takes precedence over
+          [windows] when set *)
 }
 
 val default_request : request

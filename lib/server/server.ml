@@ -558,6 +558,8 @@ let run_request t cio (rp : Proto.request) (tm : req_timing) body =
         cancel = Some token;
         deadline_s =
           Option.map (fun ms -> float_of_int ms /. 1000.) rp.Proto.deadline_ms;
+        windows = rp.Proto.windows;
+        window_nm = rp.Proto.window_nm;
       }
     in
     (* The shared table serves only requests whose reuse semantics
@@ -646,9 +648,20 @@ let run_request t cio (rp : Proto.request) (tm : req_timing) body =
            | Ok () -> ()
            | Error e -> raise (Client_gone e));
            let report =
-             let g = Mpl.Decomp_graph.of_layout ~obs:req_obs layout ~min_s in
-             Mpl.Decomposer.assign ~params ~obs:req_obs ~pool:t.pool
-               ?shared_cache ~on_component rp.Proto.algo g
+             (* Sharded requests never build the whole-layout graph:
+                the server's per-request residency stays bounded by the
+                largest window even for very large bodies. *)
+             if rp.Proto.windows > 1 || rp.Proto.window_nm <> None then
+               Mpl.Decomposer.decompose_sharded ~params ~obs:req_obs
+                 ~pool:t.pool ?shared_cache ~on_component ~min_s
+                 rp.Proto.algo layout
+             else begin
+               let g =
+                 Mpl.Decomp_graph.of_layout ~obs:req_obs layout ~min_s
+               in
+               Mpl.Decomposer.assign ~params ~obs:req_obs ~pool:t.pool
+                 ?shared_cache ~on_component rp.Proto.algo g
+             end
            in
            let cost = report.Mpl.Decomposer.cost in
            send cio

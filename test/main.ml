@@ -13,5 +13,6 @@ let () =
       ("fault", Test_fault.suite);
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
+      ("shard", Test_shard.suite);
       ("paper", Test_paper.suite);
     ]

@@ -30,6 +30,8 @@ let test_proto_request_roundtrip () =
       permuted = true;
       inject = Some { Fault.site = Fault.Solver_raise; seed = 9; shots = 2 };
       deadline_ms = Some 250;
+      windows = 4;
+      window_nm = Some 5000;
     }
   in
   let line = Proto.encode_request r ~body_len:123 in

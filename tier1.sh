@@ -276,4 +276,49 @@ then
 fi
 rm -f "$perturbed"
 
+# Gate: candidate-only bench rows are informational ("new: <key>"),
+# never regressions — the matrix must be able to grow without breaking
+# old baselines.
+emptyb=$(mktemp /tmp/mpld-empty.XXXXXX.json)
+printf '{"schema_version": 8, "results": [], "kernels": []}\n' > "$emptyb"
+newout=$(dune exec bench/main.exe -- compare "$emptyb" "$baseline") \
+  || { echo "tier1: bench compare failed a new-rows-only candidate" >&2
+       exit 1; }
+echo "$newout" | grep -q "^new: " \
+  || { echo "tier1: bench compare did not report candidate-only rows" >&2
+       exit 1; }
+rm -f "$emptyb"
+
+# Smoke: geometric window sharding. Generate a ~100k-feature synthetic
+# layout and decompose it sharded under a fixed heap budget — the
+# in-process Gc alarm implements the cap (exit 7 past it), since
+# OCAMLRUNPARAM has no hard heap limit. A sharded 8-window run fits in
+# a fraction of the whole-graph footprint.
+synth=$(mktemp /tmp/mpld-synth.XXXXXX)
+dune exec bin/mpld.exe -- gen synth "$synth" --features 100000 --seed 1 \
+  > /dev/null
+dune exec bin/mpld.exe -- decompose "$synth" -a linear -j 2 --windows 8 \
+  --max-heap-mb 512 > /dev/null \
+  || { echo "tier1: sharded 100k decompose failed or blew the budget" >&2
+       exit 1; }
+rm -f "$synth"
+
+# Sharded colorings must be byte-identical to the whole-graph path on
+# real circuits, cached-parallel and sequential-uncached alike.
+shref=$(mktemp /tmp/mpld-shref.XXXXXX)
+shgot=$(mktemp /tmp/mpld-shgot.XXXXXX)
+for c in C880 S38417 S35932 S38584 S15850; do
+  for opts in "-j 2" "-j 1 --no-cache"; do
+    dune exec bin/mpld.exe -- decompose "$c" -a linear $opts \
+      --colors "$shref" > /dev/null
+    dune exec bin/mpld.exe -- decompose "$c" -a linear $opts --windows 4 \
+      --colors "$shgot" > /dev/null
+    cmp -s "$shref" "$shgot" || {
+      echo "tier1: sharded coloring diverged from whole-graph on $c ($opts)" >&2
+      exit 1
+    }
+  done
+done
+rm -f "$shref" "$shgot"
+
 echo "tier1: OK"
