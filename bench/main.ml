@@ -599,7 +599,16 @@ type parallel_row = {
   p_windows : int;  (* geometric windows (1 = whole-layout graph) *)
   p_inject : string option;  (* armed fault spec, if any *)
   p_peak_mb : float;  (* process heap high-water when the row finished *)
+  p_balance : D.balance option;
+      (* per-mask tallies of the final coloring; None when the whole
+         graph was never materialized (sharded / incremental rows) *)
+  p_eco : (int * int * int) option;
+      (* redecompose rows only: components reused verbatim, components
+         re-solved, features inside the dirty window *)
 }
+
+let json_of_int_array a =
+  "[" ^ String.concat ", " (List.map string_of_int (Array.to_list a)) ^ "]"
 
 let json_of_rows rows =
   let b = Buffer.create 4096 in
@@ -607,15 +616,29 @@ let json_of_rows rows =
   List.iteri
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
-      (* "windows" and "inject" appear only on non-default rows so the
-         keys of the pre-v8 matrix are byte-stable. *)
+      (* "windows", "inject", "balance_*" and "eco_*" appear only on the
+         rows that have them so the keys of the pre-v8 matrix are
+         byte-stable. *)
       let extras =
         (if r.p_windows <> 1 then
            Printf.sprintf ", \"windows\": %d" r.p_windows
          else "")
+        ^ (match r.p_inject with
+          | Some spec -> Printf.sprintf ", \"inject\": %S" spec
+          | None -> "")
+        ^ (match r.p_balance with
+          | Some bal ->
+            Printf.sprintf ", \"balance_features\": %s, \"balance_area\": %s"
+              (json_of_int_array bal.D.mask_features)
+              (json_of_int_array bal.D.mask_area)
+          | None -> "")
         ^
-        match r.p_inject with
-        | Some spec -> Printf.sprintf ", \"inject\": %S" spec
+        match r.p_eco with
+        | Some (reused, dirty, features) ->
+          Printf.sprintf
+            ", \"eco_reused\": %d, \"eco_dirty\": %d, \
+             \"eco_dirty_features\": %d"
+            reused dirty features
         | None -> ""
       in
       Buffer.add_string b
@@ -676,8 +699,18 @@ let git_commit () =
    (armed fault spec, key suffix "|inject=SPEC"). The matrix grows a
    sharded-vs-whole-graph pair on a generated synthetic layout and a
    clean-vs-injected fault overhead pair; keys of all pre-v8 rows are
-   unchanged. *)
-let results_schema_version = 8
+   unchanged.
+   Schema v9: rows gain optional "balance_features"/"balance_area"
+   (per-mask tallies of the final coloring, present whenever the run
+   materialized the whole graph) and the ECO trio "eco_reused"/
+   "eco_dirty"/"eco_dirty_features" (present only on incremental
+   redecompose rows; the presence of "eco_reused" suffixes the compare
+   key with "|eco"). The matrix grows a cold-vs-incremental pair on
+   the synthetic 120k layout (~1% of features edited; the incremental
+   coloring must match the cold run bit-for-bit — fatal otherwise),
+   and [bench compare] gains [--mem-threshold PCT], gating per-row
+   "peak_mb" past an absolute 16 MB floor. *)
+let results_schema_version = 9
 
 let json_of_kernels rows =
   let b = Buffer.create 1024 in
@@ -792,6 +825,8 @@ let parallel () =
       p_windows = windows;
       p_inject = None;
       p_peak_mb = peak_mb ();
+      p_balance = r.D.balance;
+      p_eco = None;
     }
   in
   let pp_shard_row label (r : D.report) =
@@ -823,6 +858,88 @@ let parallel () =
     exit 1
   end;
   Format.printf "sharded coloring identical to whole-graph reference@.";
+  (* ECO pair: a ~1%-of-features edit of the same 120k layout, cold
+     decompose of the edited layout vs incremental redecompose from the
+     whole-graph run's session. Deterministic settings, so the
+     incremental coloring must be bit-identical to the cold one — any
+     divergence is fatal. The two rows share a circuit name; the
+     incremental row's "eco_reused" field keys it apart ("|eco"). *)
+  Format.printf
+    "@.=== ECO: cold vs incremental re-decomposition (1%% edit, Linear, \
+     jobs=2) ===@.";
+  let eco_params = shard_params 1 in
+  let session =
+    D.snapshot ~params:eco_params ~min_s:80 D.Linear g_full layout r_full
+  in
+  let n_edits = Mpl_layout.Layout.feature_count layout / 100 in
+  let edits = Mpl.Eco.generate ~seed:42 ~count:n_edits layout in
+  let eco_res, eco_wall =
+    Mpl_util.Timer.time (fun () ->
+        D.redecompose ~params:eco_params ~prev:session ~edits D.Linear)
+  in
+  (match eco_res with
+  | Error msg ->
+    Format.printf "!! redecompose failed: %s@." msg;
+    exit 1
+  | Ok (edited, r_eco, _next) ->
+    let g_cold, cold_build_s =
+      Mpl_util.Timer.time (fun () ->
+          Mpl.Decomp_graph.of_layout edited ~min_s:80)
+    in
+    let r_cold = D.assign ~params:eco_params D.Linear g_cold in
+    if r_eco.D.colors <> r_cold.D.colors then begin
+      Format.printf
+        "!! incremental coloring diverged from the cold run after %d \
+         edits on %s@."
+        n_edits synth_name;
+      exit 1
+    end;
+    let reused, dirty, dfeats =
+      match r_eco.D.eco with
+      | Some e ->
+        (e.D.reused_components, e.D.dirty_components, e.D.dirty_features)
+      | None -> (0, 0, 0)
+    in
+    let cold_wall = cold_build_s +. r_cold.D.elapsed_s in
+    Format.printf
+      "cold=%.3fs (build %.3fs + assign %.3fs) incremental=%.3fs \
+       speedup=%.1fx reused=%d dirty=%d dirty_features=%d@."
+      cold_wall cold_build_s r_cold.D.elapsed_s eco_wall
+      (if eco_wall > 0. then cold_wall /. eco_wall else 0.)
+      reused dirty dfeats;
+    if eco_wall > 0. && cold_wall /. eco_wall < 20. then
+      Format.printf
+        "warning: incremental speedup below the 20x target@.";
+    Format.printf "incremental coloring identical to cold reference@.";
+    let eco_row ~wall ~build_s ~eco (r : D.report) =
+      {
+        p_circuit = synth_name ^ "-eco";
+        p_algorithm = D.algorithm_name D.Linear;
+        p_k = 4;
+        p_jobs = 2;
+        p_cache = false;
+        p_wall_s = wall;
+        p_cn = r.D.cost.C.conflicts;
+        p_st = r.D.cost.C.stitches;
+        p_cache_hits = 0;
+        p_cache_bytes = 0;
+        p_pieces = r.D.division.Mpl.Division.pieces;
+        p_degraded = r.D.resilience.D.degraded;
+        p_build_s = build_s;
+        p_phases = r.D.phases;
+        p_windows = 1;
+        p_inject = None;
+        p_peak_mb = peak_mb ();
+        p_balance = r.D.balance;
+        p_eco = eco;
+      }
+    in
+    rows :=
+      eco_row ~wall:eco_wall ~build_s:0. ~eco:(Some (reused, dirty, dfeats))
+        r_eco
+      :: eco_row ~wall:r_cold.D.elapsed_s ~build_s:cold_build_s ~eco:None
+           r_cold
+      :: !rows);
   (* Fault-injection overhead: the same run clean and with an armed
      solver fault. The injected run pays the fallback ladder for the
      struck piece; the delta bounds what arming the probe costs. *)
@@ -861,6 +978,8 @@ let parallel () =
           p_windows = 1;
           p_inject = Option.map Mpl_engine.Fault.spec_to_string fault;
           p_peak_mb = peak_mb ();
+          p_balance = r.D.balance;
+          p_eco = None;
         }
         :: !rows)
     [ None; Some fault_spec ];
@@ -971,6 +1090,8 @@ let parallel () =
               p_windows = 1;
               p_inject = None;
               p_peak_mb = peak_mb ();
+              p_balance = r.D.balance;
+              p_eco = None;
             }
             :: !rows)
         settings)
@@ -1024,6 +1145,8 @@ let parallel () =
                   p_windows = 1;
                   p_inject = None;
                   p_peak_mb = peak_mb ();
+                  p_balance = r.D.balance;
+                  p_eco = None;
                 }
                 :: !rows)
             algos)
@@ -1070,9 +1193,10 @@ let row_key r =
     (Option.value ~default:false (jbool "cache" r))
     (Option.value ~default:4. (jnum "k" r))
     (if windows <> 1. then Printf.sprintf "|win=%.0f" windows else "")
-    (match jstr "inject" r with
-    | Some spec -> "|inject=" ^ spec
-    | None -> "")
+    ((match jstr "inject" r with
+     | Some spec -> "|inject=" ^ spec
+     | None -> "")
+    ^ match jnum "eco_reused" r with Some _ -> "|eco" | None -> "")
 
 let kernel_key r =
   Printf.sprintf "%s|%s|%s"
@@ -1080,7 +1204,7 @@ let kernel_key r =
     (Option.value ~default:"?" (jstr "variant" r))
     (Option.value ~default:"?" (jstr "case" r))
 
-let compare_results ~threshold a_path b_path =
+let compare_results ~threshold ~mem_threshold a_path b_path =
   let load path =
     match J.parse (read_file path) with
     | Ok doc -> doc
@@ -1104,11 +1228,14 @@ let compare_results ~threshold a_path b_path =
   let fresh = ref [] in
   let note_fresh key = fresh := key :: !fresh in
   Format.printf "bench compare: baseline %s vs candidate %s (threshold \
-                 %.1f%%)@."
-    a_path b_path threshold;
+                 %.1f%%%s)@."
+    a_path b_path threshold
+    (match mem_threshold with
+    | Some mt -> Printf.sprintf ", mem threshold %.1f%%" mt
+    | None -> "");
   Format.printf "%-46s %-12s %12s %12s %9s@." "row" "metric" "baseline"
     "candidate" "delta";
-  let check ~unit ~floor key metric va vb =
+  let check ?(threshold = threshold) ~unit ~floor key metric va vb =
     incr compared;
     let pct = if va > 0. then 100. *. (vb -. va) /. va else 0. in
     let bad = vb > va *. (1. +. (threshold /. 100.)) && vb -. va > floor in
@@ -1133,7 +1260,18 @@ let compare_results ~threshold a_path b_path =
             match (get ra, get rb) with
             | Some va, Some vb -> check ~unit:"s" ~floor:0.01 key ph va vb
             | _ -> ())
-          [ "build_s"; "division_s"; "solve_s"; "merge_s" ])
+          [ "build_s"; "division_s"; "solve_s"; "merge_s" ];
+        (* Memory is gated only on request (--mem-threshold): peak_mb
+           is a process high-water mark, so only rows early in a run
+           carry their own peak — the 16 MB absolute floor keeps
+           allocator noise out either way. *)
+        (match mem_threshold with
+        | None -> ()
+        | Some mt -> (
+          match (jnum "peak_mb" ra, jnum "peak_mb" rb) with
+          | Some va, Some vb ->
+            check ~threshold:mt ~unit:"MB" ~floor:16. key "peak_mb" va vb
+          | _ -> ())))
     (rows "results" b);
   let a_kernels = index kernel_key (rows "kernels" a) in
   List.iter
@@ -1246,10 +1384,14 @@ let () =
       | [] -> []
     in
     let threshold = ref 10. in
+    let mem_threshold = ref None in
     let files = ref [] in
     let rec go = function
       | "--threshold" :: v :: rest ->
         threshold := float_of_string v;
+        go rest
+      | "--mem-threshold" :: v :: rest ->
+        mem_threshold := Some (float_of_string v);
         go rest
       | x :: rest ->
         if String.length x < 2 || String.sub x 0 2 <> "--" then
@@ -1259,10 +1401,14 @@ let () =
     in
     go (after args);
     match List.rev !files with
-    | [ a; b ] -> exit (compare_results ~threshold:!threshold a b)
+    | [ a; b ] ->
+      exit
+        (compare_results ~threshold:!threshold
+           ~mem_threshold:!mem_threshold a b)
     | _ ->
       prerr_endline
-        "usage: bench compare BASELINE.json CANDIDATE.json [--threshold PCT]";
+        "usage: bench compare BASELINE.json CANDIDATE.json [--threshold \
+         PCT] [--mem-threshold PCT]";
       exit 2
   end;
   (* --kernels is its own mode: print microbench rows, or with --check

@@ -231,10 +231,30 @@ let resolve_min_s ~k ~min_s =
     if k >= 5 then Mpl_layout.Layout.pentuple_min_s tech
     else Mpl_layout.Layout.quadruple_min_s tech
 
+(* Per-mask usage table from report.balance: feature/vertex/area tallies
+   in mask order, shared by decompose -v and redecompose -v. *)
+let print_balance = function
+  | None -> ()
+  | Some b ->
+    Array.iteri
+      (fun c nf ->
+        Format.eprintf "mask %d: features=%d vertices=%d area=%d@." c nf
+          b.Mpl.Decomposer.mask_vertices.(c)
+          b.Mpl.Decomposer.mask_area.(c))
+      b.Mpl.Decomposer.mask_features
+
+let session_out_arg =
+  let doc =
+    "Write an ECO session snapshot of this decomposition to $(docv) for a \
+     later $(b,mpld redecompose). Incompatible with --windows (the \
+     snapshot needs the whole graph)."
+  in
+  Arg.(value & opt (some string) None & info [ "session" ] ~docv:"FILE" ~doc)
+
 let decompose_cmd =
   let run source k min_s algo budget refine balance jobs no_cache
       cache_permuted cache_warm inject trace metrics verbose colors_out
-      windows window_nm max_heap_mb =
+      windows window_nm max_heap_mb session_out =
     arm_heap_budget max_heap_mb;
     let layout = load_layout source in
     let min_s = resolve_min_s ~k ~min_s in
@@ -243,6 +263,12 @@ let decompose_cmd =
       Printf.eprintf
         "error: --windows is incompatible with --refine/--balance (global \
          passes need the whole graph)\n";
+      exit 2
+    end;
+    if sharded && session_out <> None then begin
+      Printf.eprintf
+        "error: --session is incompatible with --windows (the snapshot \
+         needs the whole graph)\n";
       exit 2
     end;
     (* -v needs span data even without a trace file. *)
@@ -285,10 +311,18 @@ let decompose_cmd =
         let g, report = Mpl.Decomposer.decompose ~params ~min_s algo layout in
         Format.printf "graph: %a (min_s=%d, k=%d)@." Mpl.Decomp_graph.pp g
           min_s k;
+        (match session_out with
+        | Some path ->
+          Mpl.Eco.save
+            (Mpl.Decomposer.snapshot ~params ~min_s algo g layout report)
+            path;
+          Format.eprintf "session: wrote %s@." path
+        | None -> ());
         report
       end
     in
     Format.printf "%a@." Mpl.Decomposer.pp_report report;
+    if verbose then print_balance report.Mpl.Decomposer.balance;
     let res = report.Mpl.Decomposer.resilience in
     if inject <> None || res.Mpl.Decomposer.degraded > 0 then
       Format.printf
@@ -332,9 +366,108 @@ let decompose_cmd =
       $ refine_arg $ balance_arg $ jobs_arg $ no_cache_arg
       $ cache_permuted_arg $ cache_warm_arg $ inject_arg $ trace_arg
       $ metrics_arg $ verbose_arg $ colors_arg $ windows_arg
-      $ window_size_arg $ max_heap_arg)
+      $ window_size_arg $ max_heap_arg $ session_out_arg)
   in
   Cmd.v (Cmd.info "decompose" ~doc:"Decompose a layout and report cost") term
+
+let redecompose_cmd =
+  let session_pos_arg =
+    let doc = "ECO session file written by $(b,mpld decompose --session)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"SESSION" ~doc)
+  in
+  let edits_pos_arg =
+    let doc =
+      "Edit-script file (ADD/REMOVE/MOVE lines, as written by \
+       $(b,mpld gen edits))."
+    in
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"EDITS" ~doc)
+  in
+  let save_layout_arg =
+    let doc = "Write the edited layout to $(docv) (Layout_io format)." in
+    Arg.(
+      value & opt (some string) None & info [ "save-layout" ] ~docv:"FILE" ~doc)
+  in
+  let run session_file edits_file k algo jobs no_cache cache_permuted
+      cache_warm metrics verbose colors_out session_out save_layout =
+    let prev =
+      try Mpl.Eco.load session_file with
+      | Mpl.Eco.Bad_file msg ->
+        Printf.eprintf "error: %s: %s\n" session_file msg;
+        exit 2
+      | Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    in
+    let edits_text =
+      try
+        let ic = open_in_bin edits_file in
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () -> really_input_string ic (in_channel_length ic))
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 2
+    in
+    let edits =
+      match Mpl.Eco.parse_edits edits_text with
+      | Ok e -> e
+      | Error msg ->
+        Printf.eprintf "error: %s: %s\n" edits_file msg;
+        exit 2
+    in
+    let params =
+      engine_params ~jobs ~no_cache ~cache_permuted ~cache_warm
+        { Mpl.Decomposer.default_params with k; metrics }
+    in
+    match Mpl.Decomposer.redecompose ~params ~prev ~edits algo with
+    | Error msg ->
+      Printf.eprintf "error: %s\n" msg;
+      exit 2
+    | Ok (edited, report, next) ->
+      Format.printf "%a@." Mpl_layout.Layout.pp_summary edited;
+      Format.printf "%a@." Mpl.Decomposer.pp_report report;
+      (match report.Mpl.Decomposer.eco with
+      | Some e ->
+        Format.printf "eco: reused=%d dirty=%d dirty_features=%d@."
+          e.Mpl.Decomposer.reused_components e.Mpl.Decomposer.dirty_components
+          e.Mpl.Decomposer.dirty_features
+      | None -> ());
+      if verbose then print_balance report.Mpl.Decomposer.balance;
+      (match save_layout with
+      | Some path ->
+        Mpl_layout.Layout_io.save edited path;
+        Format.eprintf "layout: wrote %s@." path
+      | None -> ());
+      (match session_out with
+      | Some path ->
+        Mpl.Eco.save next path;
+        Format.eprintf "session: wrote %s@." path
+      | None -> ());
+      (match colors_out with
+      | Some path ->
+        write_colors path report.Mpl.Decomposer.colors;
+        Format.eprintf "colors: wrote %d entries to %s@."
+          (Array.length report.Mpl.Decomposer.colors)
+          path
+      | None -> ());
+      match report.Mpl.Decomposer.metrics with
+      | Some snap when metrics ->
+        Format.eprintf "-- metrics --@.%a" Mpl_obs.Export.pp_metrics snap
+      | Some _ | None -> ()
+  in
+  let term =
+    Term.(
+      const run $ session_pos_arg $ edits_pos_arg $ k_arg $ algo_arg
+      $ jobs_arg $ no_cache_arg $ cache_permuted_arg $ cache_warm_arg
+      $ metrics_arg $ verbose_arg $ colors_arg $ session_out_arg
+      $ save_layout_arg)
+  in
+  Cmd.v
+    (Cmd.info "redecompose"
+       ~doc:
+         "Incrementally re-decompose an edited layout from an ECO session, \
+          re-solving only the components the edit touches")
+    term
 
 let gen_cmd =
   let out_arg =
@@ -368,7 +501,35 @@ let gen_cmd =
     in
     Arg.(value & opt int 0 & info [ "stitch-gadgets" ] ~docv:"N" ~doc)
   in
-  let run name out features seed density wires gadgets =
+  let base_layout_arg =
+    let doc =
+      "$(b,edits) mode: the base layout file (or circuit name) the edit \
+       script is generated against."
+    in
+    Arg.(value & opt (some string) None & info [ "layout" ] ~docv:"LAYOUT" ~doc)
+  in
+  let count_arg =
+    let doc = "$(b,edits) mode: number of edits to generate." in
+    Arg.(value & opt int 16 & info [ "count" ] ~docv:"N" ~doc)
+  in
+  let run name out features seed density wires gadgets base_layout count =
+    if name = "edits" then begin
+      (* Deterministic ECO edit script over an existing layout: the
+         redecompose benchmarks and smokes feed on this. *)
+      match base_layout with
+      | None ->
+        Printf.eprintf "error: gen edits needs --layout LAYOUT\n";
+        exit 2
+      | Some src ->
+        let layout = load_layout src in
+        let edits = Mpl.Eco.generate ~seed ~count layout in
+        let oc = open_out out in
+        output_string oc (Mpl.Eco.edits_to_string edits);
+        close_out oc;
+        Format.printf "wrote %d edits against %s to %s@." (List.length edits)
+          src out
+    end
+    else
     let spec =
       if name = "synth" then
         Some
@@ -390,21 +551,22 @@ let gen_cmd =
   in
   let name_arg =
     let doc =
-      "Benchmark circuit name (C432 .. S15850), or $(b,synth) for the \
-       parametric generator sized by --features/--seed/--density/--wires."
+      "Benchmark circuit name (C432 .. S15850), $(b,synth) for the \
+       parametric generator sized by --features/--seed/--density/--wires, \
+       or $(b,edits) for an ECO edit script over --layout."
     in
     Arg.(required & pos 0 (some string) None & info [] ~docv:"CIRCUIT" ~doc)
   in
   let term =
     Term.(
       const run $ name_arg $ out_arg $ features_arg $ seed_arg $ density_arg
-      $ wires_arg $ gadgets_arg)
+      $ wires_arg $ gadgets_arg $ base_layout_arg $ count_arg)
   in
   Cmd.v
     (Cmd.info "gen"
        ~doc:
          "Generate a synthetic benchmark layout (named circuit or \
-          parametric synth)")
+          parametric synth), or an ECO edit script")
     term
 
 let socket_arg =
@@ -868,9 +1030,17 @@ let serve_cmd =
       & opt int (64 * 1024 * 1024)
       & info [ "max-body-bytes" ] ~docv:"BYTES" ~doc)
   in
+  let sessions_arg =
+    let doc =
+      "Keep ECO sessions for the last $(docv) distinct decomposed layouts \
+       (keyed by layout hash), enabling REDECOMPOSE requests that re-solve \
+       only the edited region. 0 disables incremental serving."
+    in
+    Arg.(value & opt int 8 & info [ "sessions" ] ~docv:"N" ~doc)
+  in
   let run socket port host jobs max_inflight cache_budget cache_permuted
       persist persist_every ring access_log log_max_bytes read_timeout_ms
-      write_timeout_ms grace_ms max_body_bytes inject =
+      write_timeout_ms grace_ms max_body_bytes inject sessions =
     if socket = None && port = None then begin
       Printf.eprintf "error: serve needs --socket PATH and/or --port PORT\n";
       exit 2
@@ -896,6 +1066,7 @@ let serve_cmd =
         grace_ms;
         max_body_bytes;
         fault = inject;
+        sessions;
       }
     in
     let srv = Mpl_server.Server.create config in
@@ -911,7 +1082,7 @@ let serve_cmd =
       $ max_inflight_arg $ cache_budget_arg $ cache_permuted_arg
       $ persist_arg $ persist_every_arg $ ring_arg $ log_arg
       $ log_max_bytes_arg $ read_timeout_arg $ write_timeout_arg
-      $ grace_arg $ max_body_arg $ inject_arg)
+      $ grace_arg $ max_body_arg $ inject_arg $ sessions_arg)
   in
   Cmd.v
     (Cmd.info "serve"
@@ -975,6 +1146,15 @@ let client_cmd =
     in
     Arg.(value & opt int 0 & info [ "retries" ] ~docv:"N" ~doc)
   in
+  let edits_arg =
+    let doc =
+      "Send a REDECOMPOSE instead of a DECOMPOSE: $(docv) is an ECO \
+       edit-script file applied against the server's session for LAYOUT \
+       (which must have been decomposed on this server first). Only the \
+       re-solved pieces are streamed back."
+    in
+    Arg.(value & opt (some string) None & info [ "edits" ] ~docv:"FILE" ~doc)
+  in
   let backoff_arg =
     let doc =
       "Base backoff in milliseconds for --retries: sleep base*2^i with \
@@ -984,7 +1164,7 @@ let client_cmd =
   in
   let run socket host port layout k min_s algo priority no_cache permuted
       inject deadline_ms retries backoff_ms colors_out windows window_nm
-      do_stats do_metrics do_ping do_quit http_path =
+      do_stats do_metrics do_ping do_quit http_path edits_path =
     let fail e =
       Printf.eprintf "error: %s\n" (Mpl_server.Client.error_to_string e);
       exit
@@ -1038,22 +1218,47 @@ let client_cmd =
             "error: LAYOUT required unless an admin flag is given\n";
           exit 2
         | Some source ->
-          let body =
-            if Sys.file_exists source then begin
-              let ic = open_in_bin source in
-              Fun.protect
-                ~finally:(fun () -> close_in_noerr ic)
-                (fun () -> really_input_string ic (in_channel_length ic))
-            end
-            else
-              match Mpl_layout.Benchgen.circuit source with
-              | layout -> Mpl_layout.Layout_io.to_string layout
-              | exception Not_found ->
-                Printf.eprintf
-                  "error: %s is neither a file nor a known benchmark \
-                   circuit\n"
-                  source;
-                exit 2
+          (* With --edits the positional LAYOUT names the *base* layout:
+             its canonical hash keys the server-side session, and the
+             request body is the edit script. *)
+          let submit, body =
+            match edits_path with
+            | Some edits_file ->
+              let hash = Mpl.Eco.hash_layout (load_layout source) in
+              let body =
+                try
+                  let ic = open_in_bin edits_file in
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                with Sys_error msg ->
+                  Printf.eprintf "error: %s\n" msg;
+                  exit 2
+              in
+              ( (fun conn request body ->
+                  Mpl_server.Client.redecompose conn ~request ~hash body),
+                body )
+            | None ->
+              let body =
+                if Sys.file_exists source then begin
+                  let ic = open_in_bin source in
+                  Fun.protect
+                    ~finally:(fun () -> close_in_noerr ic)
+                    (fun () -> really_input_string ic (in_channel_length ic))
+                end
+                else
+                  match Mpl_layout.Benchgen.circuit source with
+                  | layout -> Mpl_layout.Layout_io.to_string layout
+                  | exception Not_found ->
+                    Printf.eprintf
+                      "error: %s is neither a file nor a known benchmark \
+                       circuit\n"
+                      source;
+                    exit 2
+              in
+              ( (fun conn request body ->
+                  Mpl_server.Client.decompose conn ~request body),
+                body )
           in
           let request =
             {
@@ -1094,7 +1299,7 @@ let client_cmd =
               let r =
                 Fun.protect
                   ~finally:(fun () -> Mpl_server.Client.close conn)
-                  (fun () -> Mpl_server.Client.decompose conn ~request body)
+                  (fun () -> submit conn request body)
               in
               match r with
               | Ok o -> o
@@ -1144,6 +1349,11 @@ let client_cmd =
                   cs.Mpl_server.Proto.entries cs.Mpl_server.Proto.bytes
                   cs.Mpl_server.Proto.evictions
               | None -> ());
+              (match o.Mpl_server.Client.reused with
+              | Some (reused, dirty, features) ->
+                Printf.printf "eco: reused=%d dirty=%d features=%d\n" reused
+                  dirty features
+              | None -> ());
               Printf.printf "stream: pieces=%d cells=%d consistent=%b\n"
                 o.Mpl_server.Client.streamed_pieces
                 o.Mpl_server.Client.streamed_cells
@@ -1163,7 +1373,8 @@ let client_cmd =
       $ min_s_arg $ algo_arg $ priority_cl_arg $ no_cache_arg
       $ cache_permuted_arg $ inject_arg $ deadline_arg $ retries_arg
       $ backoff_arg $ colors_arg $ windows_arg $ window_size_arg
-      $ stats_flag $ metrics_flag $ ping_flag $ quit_flag $ http_arg)
+      $ stats_flag $ metrics_flag $ ping_flag $ quit_flag $ http_arg
+      $ edits_arg)
   in
   Cmd.v
     (Cmd.info "client"
@@ -1184,6 +1395,7 @@ let () =
        (Cmd.group info
           [
             decompose_cmd;
+            redecompose_cmd;
             gen_cmd;
             stats_cmd;
             trace_check_cmd;

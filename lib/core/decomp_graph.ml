@@ -17,6 +17,7 @@ type t = {
   stitch : adj;
   friendly : adj;
   feature : int array;
+  varea : int array;
   mutable union_memo : Mpl_graph.Ugraph.t option;
 }
 
@@ -108,6 +109,7 @@ let of_edges ?(stitch_edges = []) ?(friendly_edges = []) ?feature ~n
     stitch = csr_of_list ~n se;
     friendly = csr_of_list ~n fe;
     feature;
+    varea = Array.make n 1;
     union_memo = None;
   }
 
@@ -182,6 +184,7 @@ let of_nodes ?(obs = Mpl_obs.Obs.null) (split : Mpl_layout.Stitch.t) ~hp
     stitch = csr_of_bufs ~n su sv;
     friendly = csr_of_bufs ~n fu fv;
     feature;
+    varea = Array.map (fun node -> Polygon.area node.Mpl_layout.Stitch.shape) nodes;
     union_memo = None;
   }
 
@@ -313,6 +316,7 @@ let subgraph t vs =
       stitch = restrict t.stitch;
       friendly = restrict t.friendly;
       feature = Array.map (fun v -> t.feature.(v)) vs;
+      varea = Array.map (fun v -> t.varea.(v)) vs;
       union_memo = None;
     }
   in

@@ -21,6 +21,10 @@ type t = private {
   stitch : adj;
   friendly : adj;
   feature : int array;  (** vertex -> originating feature id *)
+  varea : int array;
+      (** vertex -> polygon area (nm²) of its segment; 1 per vertex for
+          {!of_edges} graphs, which carry no geometry. Feeds the
+          per-mask area tallies of [Decomposer]'s balance report. *)
   mutable union_memo : Mpl_graph.Ugraph.t option;
       (** lazily built {!union_graph}; internal *)
 }

@@ -166,6 +166,22 @@ type phases = { division_s : float; solve_s : float; merge_s : float }
 
 let no_phases = { division_s = 0.; solve_s = 0.; merge_s = 0. }
 
+(* Per-mask usage tallies — the observational first slice of the
+   balanced-masks roadmap item. Purely derived from the final coloring;
+   no objective change. *)
+type balance = {
+  mask_features : int array;
+  mask_vertices : int array;
+  mask_area : int array;
+}
+
+(* What an incremental re-decomposition actually recomputed. *)
+type eco_stats = {
+  dirty_components : int;
+  reused_components : int;
+  dirty_features : int;
+}
+
 type report = {
   algorithm : algorithm;
   params : params;
@@ -179,7 +195,31 @@ type report = {
   cache : Mpl_engine.Cache.stats option;
   resilience : resilience;
   metrics : Mpl_obs.Metrics.snapshot option;
+  balance : balance option;
+  eco : eco_stats option;
 }
+
+(* Feature dedup relies on vertices of one feature being contiguous,
+   which holds for every layout-derived graph (feature-major vertex
+   order) and for [of_edges]'s identity default. *)
+let compute_balance ~k (g : Decomp_graph.t) colors =
+  let mask_features = Array.make k 0
+  and mask_vertices = Array.make k 0
+  and mask_area = Array.make k 0 in
+  let last = Array.make k (-1) in
+  for v = 0 to g.Decomp_graph.n - 1 do
+    let c = colors.(v) in
+    if c >= 0 then begin
+      mask_vertices.(c) <- mask_vertices.(c) + 1;
+      mask_area.(c) <- mask_area.(c) + g.Decomp_graph.varea.(v);
+      let f = g.Decomp_graph.feature.(v) in
+      if last.(c) <> f then begin
+        last.(c) <- f;
+        mask_features.(c) <- mask_features.(c) + 1
+      end
+    end
+  done;
+  { mask_features; mask_vertices; mask_area }
 
 (* One attempt of one algorithm on one divided piece. Returns the
    coloring plus whether the attempt completed cleanly — [false] means
@@ -455,7 +495,7 @@ type run_ctx = {
   rc_solver : Decomp_graph.t -> int array;
 }
 
-let make_run_ctx ~obs ~params algorithm =
+let make_run_ctx ?ext_warm ~obs ~params algorithm =
   let salt = params_salt ~params algorithm in
   let stats = Division.fresh_stats () in
   let timed_out = Atomic.make false in
@@ -509,11 +549,14 @@ let make_run_ctx ~obs ~params algorithm =
      early, so it is off by default to preserve the bit-identity
      contract of the cold path. *)
   let warm_cache =
-    if params.cache_warm then
-      Some
-        (Mpl_engine.Cache.create ~mode:Mpl_engine.Cache.Permuted ~obs ~fault
-           ())
-    else None
+    match ext_warm with
+    | Some _ as w -> w
+    | None ->
+      if params.cache_warm then
+        Some
+          (Mpl_engine.Cache.create ~mode:Mpl_engine.Cache.Permuted ~obs ~fault
+             ())
+      else None
   in
   let base_solver =
     make_solver ~obs ~params ~budget ~deadline_over ~timed_out ~fault ~prov
@@ -868,6 +911,8 @@ let assign ?(params = default_params) ?obs ?pool ?shared_cache ?on_component
     cache = !cache_stats;
     resilience = prov_snapshot prov ~fault;
     metrics;
+    balance = Some (compute_balance ~k:params.k g colors);
+    eco = None;
   }
 
 let decompose ?(params = default_params) ?pool ?shared_cache ?on_component
@@ -1189,6 +1234,11 @@ let decompose_sharded ?(params = default_params) ?obs ?pool ?shared_cache
     cache = cstats;
     resilience = prov_snapshot rc.rc_prov ~fault:rc.rc_fault;
     metrics;
+    (* The sharded path never materializes the whole graph, so the
+       per-mask tallies (which want every vertex's area) are skipped —
+       same reason the balance *pass* is rejected above. *)
+    balance = None;
+    eco = None;
   }
 
 let pp_report ppf r =
@@ -1208,3 +1258,477 @@ let pp_report ppf r =
        Printf.sprintf " degraded=%d" r.resilience.degraded
      else "")
     (if r.timed_out then " (TIMEOUT)" else "")
+
+(* ------------------------------------------------------------------ *)
+(* Incremental (ECO) re-decomposition                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Capture everything a later [redecompose] needs from a finished run.
+   Component colorings are stored in (feature, segment) order restricted
+   to each component's ascending vertex list — exactly the order
+   [Decomp_graph.subgraph] extracts, so reuse is a pure blit. *)
+let snapshot ?(params = default_params) ~min_s algorithm
+    (g : Decomp_graph.t) (layout : Mpl_layout.Layout.t) (report : report) =
+  let nf = Array.length layout.Mpl_layout.Layout.features in
+  let seg_counts = Array.make nf 0 in
+  Array.iter
+    (fun f -> seg_counts.(f) <- seg_counts.(f) + 1)
+    g.Decomp_graph.feature;
+  let comps =
+    Mpl_graph.Connectivity.components (Decomp_graph.union_graph g)
+  in
+  let colors = report.colors in
+  let comp_of vs =
+    let piece, _back = Decomp_graph.subgraph g vs in
+    let pc = Array.map (fun v -> colors.(v)) vs in
+    let cost = Coloring.evaluate ~alpha:params.alpha piece pc in
+    (* vertices are feature-major, so one scan dedups feature ids *)
+    let feats = ref [] in
+    Array.iter
+      (fun v ->
+        let f = g.Decomp_graph.feature.(v) in
+        match !feats with
+        | f' :: _ when f' = f -> ()
+        | _ -> feats := f :: !feats)
+      vs;
+    {
+      Eco.features = Array.of_list (List.rev !feats);
+      colors = pc;
+      conflicts = cost.Coloring.conflicts;
+      stitches = cost.Coloring.stitches;
+      scaled = cost.Coloring.scaled;
+    }
+  in
+  let layout_text = Mpl_layout.Layout_io.to_string layout in
+  {
+    Eco.layout_text;
+    layout_hash = Digest.to_hex (Digest.string layout_text);
+    min_s;
+    salt = params_salt ~params algorithm;
+    seg_counts;
+    comps = Array.map comp_of comps;
+  }
+
+(* The core of [redecompose], after all validation has passed. Runs
+   under the caller's span; returns [Ok (edited, report, session)]. *)
+let redecompose_run ~(params : params) ~obs ~pool ~shared_cache ~on_component
+    ~(prev : Eco.session) ~(base : Mpl_layout.Layout.t)
+    ~(edited : Mpl_layout.Layout.t) ~new_of_old ~comp_of_feature ~salt ~edits
+    algorithm =
+  let module L = Mpl_layout.Layout in
+  let module Geo = Mpl_geometry in
+  let t0 = Mpl_util.Timer.start () in
+  let nf_old = Array.length base.L.features in
+  let nf_new = Array.length edited.L.features in
+  let hp = base.L.tech.L.half_pitch in
+  let min_s = prev.Eco.min_s in
+  let halo = min_s + hp in
+  (* --- dirty window: base features within [halo] of any edited rect.
+     The Grid_index query is a superset; the polygon distance refine
+     uses the same integer predicate as graph construction, so the
+     touched set is exactly the features whose incident edges (or
+     stitch splits) the edit could have changed. --- *)
+  let touched = Array.make nf_old false in
+  let drects = Eco.dirty_rects base edits in
+  if nf_old > 0 && drects <> [] then begin
+    (* Index only the features near the edit, not the whole die: a
+       feature can be touched only if its bbox meets the dilated
+       bounding box of all dirty rects, and on a localized ECO that
+       window holds a few percent of the layout. The full pass is one
+       cheap bbox test per feature; the index build is proportional to
+       the window. *)
+    let win =
+      List.fold_left Geo.Rect.union_bbox (List.hd drects) (List.tl drects)
+    in
+    let win = Geo.Rect.inflate win halo in
+    let idx = Geo.Grid_index.create ~cell:(max halo 16) in
+    Array.iteri
+      (fun i p ->
+        let bb = Geo.Polygon.bbox p in
+        if Geo.Rect.overlaps bb win || Geo.Rect.touches bb win then
+          Geo.Grid_index.add idx i bb)
+      base.L.features;
+    let halo2 = halo * halo in
+    List.iter
+      (fun r ->
+        let rp = Geo.Polygon.of_rect r in
+        List.iter
+          (fun i ->
+            if
+              (not touched.(i))
+              && Geo.Polygon.distance2 base.L.features.(i) rp <= halo2
+            then touched.(i) <- true)
+          (Geo.Grid_index.query idx r ~radius:halo))
+      drects
+  end;
+  (* --- dirty vs. clean previous components --- *)
+  let ncomps_old = Array.length prev.Eco.comps in
+  let comp_dirty = Array.make ncomps_old false in
+  Array.iteri
+    (fun f t -> if t then comp_dirty.(comp_of_feature.(f)) <- true)
+    touched;
+  let nclean = ref 0 in
+  Array.iter (fun d -> if not d then incr nclean) comp_dirty;
+  let nclean = !nclean in
+  (* --- dirty features of the *edited* layout, ascending: survivors of
+     dirty components keep their relative order, and every added
+     feature (appended by [Eco.apply]) is dirty by definition --- *)
+  let dirty_mark = Array.make nf_new false in
+  Array.iteri
+    (fun f o ->
+      match o with
+      | Some j when comp_dirty.(comp_of_feature.(f)) -> dirty_mark.(j) <- true
+      | _ -> ())
+    new_of_old;
+  let n_surv =
+    Array.fold_left
+      (fun a o -> match o with Some _ -> a + 1 | None -> a)
+      0 new_of_old
+  in
+  for j = n_surv to nf_new - 1 do
+    dirty_mark.(j) <- true
+  done;
+  let ndirty_f = ref 0 in
+  Array.iter (fun d -> if d then incr ndirty_f) dirty_mark;
+  let dirty_new = Array.make !ndirty_f 0 in
+  let w = ref 0 in
+  Array.iteri
+    (fun j d ->
+      if d then begin
+        dirty_new.(!w) <- j;
+        incr w
+      end)
+    dirty_mark;
+  let ndirty_f = !ndirty_f in
+  let m = obs.Mpl_obs.Obs.metrics in
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "eco.reused_components")
+    nclean;
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "eco.dirty_features")
+    ndirty_f;
+  (* --- dirty sub-layout and its graph. Feature order is ascending
+     edited-layout order, so each rebuilt component is byte-identical
+     to the [subgraph] extraction a cold run on the whole edited layout
+     would hand the solver (see DESIGN.md §15). --- *)
+  let sub =
+    L.make ~name:edited.L.name edited.L.tech
+      (Array.to_list (Array.map (fun j -> edited.L.features.(j)) dirty_new))
+  in
+  let g_d = Decomp_graph.of_layout ~obs sub ~min_s in
+  (* --- seed the reuse machinery from the previous colorings of the
+     dirty components: the engine's component cache (Exact hits skip
+     byte-identical re-solves — repeated-pattern comps and comps whose
+     graph the edit left unchanged) and the warm-hint cache (key-only
+     matches seed SDP solves of near-isomorphic comps). The previous
+     dirty sub-layout rebuilds those components bit-identically for the
+     same reason [g_d] does. --- *)
+  let engine_cache, ext_warm =
+    if not (params.cache || params.cache_warm) then (shared_cache, None)
+    else begin
+      let ec =
+        if not params.cache then None
+        else
+          match shared_cache with
+          | Some _ as c -> c
+          | None ->
+            Some
+              (Mpl_engine.Cache.create
+                 ~mode:
+                   (if params.cache_permuted then Mpl_engine.Cache.Permuted
+                    else Mpl_engine.Cache.Exact)
+                 ~obs ())
+      in
+      let wc =
+        if params.cache_warm then
+          Some (Mpl_engine.Cache.create ~mode:Mpl_engine.Cache.Permuted ~obs ())
+        else None
+      in
+      let old_dirty = ref [] in
+      for f = nf_old - 1 downto 0 do
+        if comp_dirty.(comp_of_feature.(f)) then old_dirty := f :: !old_dirty
+      done;
+      let old_dirty = Array.of_list !old_dirty in
+      if Array.length old_dirty > 0 then begin
+        let sub_old =
+          L.make ~name:base.L.name base.L.tech
+            (Array.to_list (Array.map (fun f -> base.L.features.(f)) old_dirty))
+        in
+        let g_old = Decomp_graph.of_layout ~obs sub_old ~min_s in
+        let comps_old =
+          Mpl_graph.Connectivity.components (Decomp_graph.union_graph g_old)
+        in
+        Array.iter
+          (fun vs ->
+            let piece, _back = Decomp_graph.subgraph g_old vs in
+            let ci =
+              comp_of_feature.(old_dirty.(g_old.Decomp_graph.feature.(vs.(0))))
+            in
+            let c = prev.Eco.comps.(ci) in
+            if
+              Array.length c.Eco.colors = piece.Decomp_graph.n
+              && Coloring.is_complete c.Eco.colors
+              && Coloring.check_range ~k:params.k c.Eco.colors
+            then
+              match piece_signature ~salt piece with
+              | None -> ()
+              | Some s ->
+                Option.iter
+                  (fun cch ->
+                    let st = Division.fresh_stats () in
+                    st.Division.pieces <- 1;
+                    st.Division.largest_piece <- piece.Decomp_graph.n;
+                    Mpl_engine.Cache.store cch s (c.Eco.colors, st))
+                  ec;
+                Option.iter
+                  (fun wch -> Mpl_engine.Cache.store wch s (c.Eco.colors, ()))
+                  wc)
+          comps_old
+      end;
+      (ec, wc)
+    end
+  in
+  (* --- segment bookkeeping of the edited layout: clean features keep
+     their previous split (the min_s-neighborhood fact), dirty features
+     take theirs from [g_d] --- *)
+  let new_seg = Array.make nf_new 0 in
+  Array.iteri
+    (fun f o ->
+      match o with
+      | Some j when not dirty_mark.(j) -> new_seg.(j) <- prev.Eco.seg_counts.(f)
+      | _ -> ())
+    new_of_old;
+  for v = 0 to g_d.Decomp_graph.n - 1 do
+    let gid = dirty_new.(g_d.Decomp_graph.feature.(v)) in
+    new_seg.(gid) <- new_seg.(gid) + 1
+  done;
+  let off = Array.make (nf_new + 1) 0 in
+  for j = 0 to nf_new - 1 do
+    off.(j + 1) <- off.(j) + new_seg.(j)
+  done;
+  let n_new = off.(nf_new) in
+  (* dirty-graph vertex -> edited-layout (full-graph) vertex *)
+  let vmap = Array.make g_d.Decomp_graph.n 0 in
+  let run_start = ref 0 and cur_f = ref (-1) in
+  for v = 0 to g_d.Decomp_graph.n - 1 do
+    let fd = g_d.Decomp_graph.feature.(v) in
+    if fd <> !cur_f then begin
+      cur_f := fd;
+      run_start := v
+    end;
+    vmap.(v) <- off.(dirty_new.(fd)) + (v - !run_start)
+  done;
+  (* --- solve only the dirty graph through the standard engine path,
+     streaming dirty components remapped to edited-layout vertex ids --- *)
+  let rc = make_run_ctx ?ext_warm ~obs ~params algorithm in
+  let on_component =
+    Option.map
+      (fun f i back pc -> f i (Array.map (fun v -> vmap.(v)) back) pc)
+      on_component
+  in
+  let colors_d, estats, cstats, division_s, merge_s =
+    engine_assign ~obs ~params ~stats:rc.rc_stats ~solver:rc.rc_solver
+      ~fault:rc.rc_fault ~prov:rc.rc_prov ~caller_ns:rc.rc_caller_ns
+      ~ext_pool:pool ~shared_cache:engine_cache ~salt ~on_component g_d
+  in
+  let comps_d =
+    Mpl_graph.Connectivity.components (Decomp_graph.union_graph g_d)
+  in
+  Mpl_obs.Metrics.add
+    (Mpl_obs.Metrics.counter m "eco.dirty_components")
+    (Array.length comps_d);
+  (* --- assemble the full coloring: dirty vertices scattered through
+     [vmap], clean components blitted verbatim --- *)
+  let colors_full = Array.make n_new (-1) in
+  for v = 0 to g_d.Decomp_graph.n - 1 do
+    colors_full.(vmap.(v)) <- colors_d.(v)
+  done;
+  Array.iteri
+    (fun ci (c : Eco.comp) ->
+      if not comp_dirty.(ci) then begin
+        let cur = ref 0 in
+        Array.iter
+          (fun f ->
+            let j = Option.get new_of_old.(f) in
+            let len = prev.Eco.seg_counts.(f) in
+            Array.blit c.Eco.colors !cur colors_full off.(j) len;
+            cur := !cur + len)
+          c.Eco.features
+      end)
+    prev.Eco.comps;
+  assert (Coloring.is_complete colors_full);
+  assert (Coloring.check_range ~k:params.k colors_full);
+  (* --- total cost: clean components contribute their recorded costs
+     (no edge ever crosses a component boundary), dirty ones are
+     re-evaluated on [g_d] --- *)
+  let cost_d = Coloring.evaluate ~alpha:params.alpha g_d colors_d in
+  let conflicts = ref cost_d.Coloring.conflicts
+  and stitches = ref cost_d.Coloring.stitches
+  and scaled = ref cost_d.Coloring.scaled in
+  Array.iteri
+    (fun ci (c : Eco.comp) ->
+      if not comp_dirty.(ci) then begin
+        conflicts := !conflicts + c.Eco.conflicts;
+        stitches := !stitches + c.Eco.stitches;
+        scaled := !scaled + c.Eco.scaled
+      end)
+    prev.Eco.comps;
+  (* --- next session, so edits chain: clean components remapped to
+     edited-layout feature ids, dirty ones captured fresh --- *)
+  let clean_comps = ref [] in
+  Array.iteri
+    (fun ci (c : Eco.comp) ->
+      if not comp_dirty.(ci) then
+        clean_comps :=
+          {
+            c with
+            Eco.features =
+              Array.map (fun f -> Option.get new_of_old.(f)) c.Eco.features;
+          }
+          :: !clean_comps)
+    prev.Eco.comps;
+  let dirty_comps =
+    Array.map
+      (fun vs ->
+        let piece, _back = Decomp_graph.subgraph g_d vs in
+        let pc = Array.map (fun v -> colors_d.(v)) vs in
+        let cc = Coloring.evaluate ~alpha:params.alpha piece pc in
+        let feats = ref [] in
+        Array.iter
+          (fun v ->
+            let f = dirty_new.(g_d.Decomp_graph.feature.(v)) in
+            match !feats with
+            | f' :: _ when f' = f -> ()
+            | _ -> feats := f :: !feats)
+          vs;
+        {
+          Eco.features = Array.of_list (List.rev !feats);
+          colors = pc;
+          conflicts = cc.Coloring.conflicts;
+          stitches = cc.Coloring.stitches;
+          scaled = cc.Coloring.scaled;
+        })
+      comps_d
+  in
+  let comps =
+    Array.append (Array.of_list (List.rev !clean_comps)) dirty_comps
+  in
+  Array.sort
+    (fun (a : Eco.comp) (b : Eco.comp) ->
+      compare a.Eco.features.(0) b.Eco.features.(0))
+    comps;
+  let layout_text = Mpl_layout.Layout_io.to_string edited in
+  let session =
+    {
+      Eco.layout_text;
+      layout_hash = Digest.to_hex (Digest.string layout_text);
+      min_s;
+      salt;
+      seg_counts = new_seg;
+      comps;
+    }
+  in
+  let metrics =
+    if Mpl_obs.Metrics.enabled m then Some (Mpl_obs.Metrics.snapshot m)
+    else None
+  in
+  let report =
+    {
+      algorithm;
+      params;
+      cost =
+        {
+          Coloring.conflicts = !conflicts;
+          stitches = !stitches;
+          scaled = !scaled;
+        };
+      colors = colors_full;
+      elapsed_s = Mpl_util.Timer.elapsed_s t0;
+      timed_out = Atomic.get rc.rc_timed_out;
+      division = rc.rc_stats;
+      phases =
+        {
+          division_s;
+          solve_s = float_of_int (Atomic.get rc.rc_solve_ns) /. 1e9;
+          merge_s;
+        };
+      engine = Some estats;
+      cache = cstats;
+      resilience = prov_snapshot rc.rc_prov ~fault:rc.rc_fault;
+      metrics;
+      balance = None;
+      eco =
+        Some
+          {
+            dirty_components = Array.length comps_d;
+            reused_components = nclean;
+            dirty_features = ndirty_f;
+          };
+    }
+  in
+  Ok (edited, report, session)
+
+(* Re-decompose after an edit, reusing every component the edit cannot
+   have touched. Correctness argument (DESIGN.md §15, in brief): every
+   edge of the decomposition graph joins features within the
+   color-friendly radius [min_s + hp], and a feature's stitch split
+   depends only on its neighbors within [min_s]. Dilating the edited
+   rectangles by [min_s + hp] therefore bounds the region where the
+   graph can differ from the previous run's: a component none of whose
+   features intersects that window keeps exactly its previous vertex
+   set, edges, and (because the solver is deterministic) its previous
+   coloring — so we reuse its bytes instead of re-solving. The dirty
+   features are re-split and re-solved as a sub-layout, which rebuilds
+   their components bit-identically to a cold run on the whole edited
+   layout. *)
+let redecompose ?(params = default_params) ?obs ?pool ?shared_cache
+    ?on_component ~(prev : Eco.session) ~edits algorithm =
+  let module L = Mpl_layout.Layout in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let salt = params_salt ~params algorithm in
+  if salt <> prev.Eco.salt then
+    err "redecompose: session solved under different parameters (%s vs %s)"
+      prev.Eco.salt salt
+  else if params.post <> No_post then
+    Error "redecompose: post passes need the whole graph"
+  else if params.balance then
+    Error "redecompose: balance pass needs the whole graph"
+  else
+    match Mpl_layout.Layout_io.of_string prev.Eco.layout_text with
+    | exception Mpl_layout.Layout_io.Parse_error { line; msg } ->
+      err "redecompose: session layout line %d: %s" line msg
+    | base -> (
+      let nf_old = Array.length base.L.features in
+      if Array.length prev.Eco.seg_counts <> nf_old then
+        Error "redecompose: session corrupt (seg_counts/features mismatch)"
+      else
+        (* every base feature must belong to exactly one session comp *)
+        let comp_of_feature = Array.make nf_old (-1) in
+        let dup = ref false in
+        Array.iteri
+          (fun ci (c : Eco.comp) ->
+            Array.iter
+              (fun f ->
+                if f < 0 || f >= nf_old || comp_of_feature.(f) >= 0 then
+                  dup := true
+                else comp_of_feature.(f) <- ci)
+              c.Eco.features)
+          prev.Eco.comps;
+        if !dup || Array.exists (fun c -> c < 0) comp_of_feature then
+          Error "redecompose: session corrupt (component cover)"
+        else
+          match Eco.apply base edits with
+          | Error m -> Error m
+          | Ok (edited, new_of_old) ->
+            let obs = match obs with Some o -> o | None -> make_obs params in
+            let result =
+              Mpl_obs.Obs.span obs "redecompose"
+                ~args:
+                  (rid_args params
+                     [ ("edits", Mpl_obs.Sink.Int (List.length edits)) ])
+              @@ fun () ->
+              redecompose_run ~params ~obs ~pool ~shared_cache ~on_component
+                ~prev ~base ~edited ~new_of_old ~comp_of_feature ~salt
+                ~edits algorithm
+            in
+            result)

@@ -173,6 +173,25 @@ type phases = {
 
 val no_phases : phases
 
+type balance = {
+  mask_features : int array;
+      (** [mask_features.(c)]: features with at least one segment on
+          mask [c] — a stitched feature counts on each mask it uses *)
+  mask_vertices : int array;
+      (** [mask_vertices.(c)]: graph vertices (stitch segments) on [c] *)
+  mask_area : int array;
+      (** [mask_area.(c)]: polygon area (nm²) printed on mask [c] *)
+}
+(** Per-mask usage tallies — the observational first slice of the
+    balanced-masks roadmap item (density balancing affects etch bias).
+    Derived from the final coloring only; no objective change. *)
+
+type eco_stats = {
+  dirty_components : int;  (** components re-solved by {!redecompose} *)
+  reused_components : int;  (** components kept byte-for-byte *)
+  dirty_features : int;  (** features inside the dirty window *)
+}
+
 type report = {
   algorithm : algorithm;
   params : params;
@@ -195,6 +214,10 @@ type report = {
   metrics : Mpl_obs.Metrics.snapshot option;
       (** snapshot of the run's metrics registry when
           [params.metrics]; [None] otherwise *)
+  balance : balance option;
+      (** per-mask usage; [None] on the sharded and incremental paths,
+          which never materialize the whole graph *)
+  eco : eco_stats option;  (** set only by {!redecompose} *)
 }
 
 val assign :
@@ -287,5 +310,58 @@ val decompose_sharded :
 
     @raise Invalid_argument when [params.post] or [params.balance]
     request a global refinement pass — those need the whole graph. *)
+
+val snapshot :
+  ?params:params ->
+  min_s:int ->
+  algorithm ->
+  Decomp_graph.t ->
+  Mpl_layout.Layout.t ->
+  report ->
+  Eco.session
+(** Capture a finished {!decompose} run as a persistable {!Eco.session}
+    for later {!redecompose}: the canonical layout text, the per-feature
+    stitch-segment counts, and each connected component's feature set,
+    coloring (in the component's ascending vertex order — exactly what
+    {!Decomp_graph.subgraph} extracts) and cost. [params], [min_s],
+    [algorithm], [g] and [layout] must be the ones the report came
+    from. *)
+
+val redecompose :
+  ?params:params ->
+  ?obs:Mpl_obs.Obs.t ->
+  ?pool:Mpl_engine.Pool.t ->
+  ?shared_cache:Division.stats Mpl_engine.Cache.t ->
+  ?on_component:(int -> int array -> int array -> unit) ->
+  prev:Eco.session ->
+  edits:Eco.edit list ->
+  algorithm ->
+  (Mpl_layout.Layout.t * report * Eco.session, string) result
+(** Incremental (ECO) re-decomposition: apply [edits] to the session's
+    base layout and re-solve {e only} the components the edit can have
+    touched, reusing every other component's coloring byte-for-byte.
+
+    The dirty window is the edited rectangles dilated by
+    [min_s + half_pitch] — exactly the radius within which the
+    decomposition graph can change (every edge joins features within
+    that distance, and a feature's stitch split depends only on its
+    neighbors within [min_s]; DESIGN.md §15 gives the full argument).
+    Dirty components are rebuilt as a sub-layout — bit-identical to the
+    pieces a cold run on the whole edited layout would solve — and
+    streamed through the standard division → engine pipeline, with the
+    previous colorings seeded into the component cache (Exact hits skip
+    unchanged-graph re-solves) and the warm-hint cache (SDP warm
+    starts via {!Mpl_engine.Cache.find_similar}).
+
+    At the deterministic settings (no [cache_warm], no fault injection)
+    the full coloring is bit-identical to a cold {!decompose} of the
+    edited layout; untouched components are reused verbatim under every
+    setting. [on_component] fires only for dirty components, with
+    [back] remapped to edited-layout vertex ids. Returns the edited
+    layout, the report ([report.eco] set, [report.balance] absent —
+    the whole graph is never built), and the next session, so edits
+    chain. Errors (rather than raising) on a parameter fingerprint
+    mismatch with the session, a corrupt session, an invalid edit
+    script, or a requested global post/balance pass. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -32,6 +32,7 @@ type outcome = {
   engine : Mpl_engine.Engine.stats option;
   resilience : Proto.resilience_reply;
   cache : Proto.cache_reply option;
+  reused : (int * int * int) option;
 }
 
 type error =
@@ -115,17 +116,16 @@ let read_reply t =
 
 let ( let* ) r f = Result.bind r f
 
-let decompose t ?(request = Proto.default_request) body =
-  let* () =
-    send t (Proto.encode_request request ~body_len:(String.length body))
-  in
-  let* () = send t body in
-  (* Accumulate the reply stream until DONE; any ERR/BUSY ends it. *)
+(* Accumulate one reply stream until DONE; any ERR/BUSY ends it. The
+   same stream shape serves DECOMPOSE and REDECOMPOSE — the latter just
+   adds one REUSED line before DONE. *)
+let read_stream t =
   let pieces = ref [] in
   let cost = ref None in
   let engine = ref None in
   let resilience = ref None in
   let cache = ref None in
+  let reused = ref None in
   let rid = ref None in
   let rec loop () =
     let* reply = read_reply t in
@@ -149,6 +149,9 @@ let decompose t ?(request = Proto.default_request) body =
       loop ()
     | Proto.Cache_info c ->
       cache := Some c;
+      loop ()
+    | Proto.Reused { reused = r; dirty; features } ->
+      reused := Some (r, dirty, features);
       loop ()
     | Proto.Done colors -> (
       match (!cost, !resilience) with
@@ -174,6 +177,7 @@ let decompose t ?(request = Proto.default_request) body =
             engine = !engine;
             resilience;
             cache = !cache;
+            reused = !reused;
           }
       | _ -> Error (Protocol "DONE before COST/RESILIENCE"))
     | Proto.Timeout { deadline_ms; elapsed_ms } ->
@@ -183,6 +187,21 @@ let decompose t ?(request = Proto.default_request) body =
       Error (Protocol "unexpected admin reply in a DECOMPOSE stream")
   in
   loop ()
+
+let decompose t ?(request = Proto.default_request) body =
+  let* () =
+    send t (Proto.encode_request request ~body_len:(String.length body))
+  in
+  let* () = send t body in
+  read_stream t
+
+let redecompose t ?(request = Proto.default_request) ~hash body =
+  let* () =
+    send t
+      (Proto.encode_redecompose request ~hash ~body_len:(String.length body))
+  in
+  let* () = send t body in
+  read_stream t
 
 let admin_json t verb =
   let* () = send t (verb ^ "\n") in

@@ -27,6 +27,9 @@ type outcome = {
   engine : Mpl_engine.Engine.stats option;
   resilience : Proto.resilience_reply;
   cache : Proto.cache_reply option;
+  reused : (int * int * int) option;
+      (** [REDECOMPOSE] only: (components reused verbatim, components
+          re-solved, features re-solved) from the [REUSED] line *)
 }
 
 type error =
@@ -66,6 +69,17 @@ val decompose :
 (** [decompose t body] submits the layout text [body] with the given
     request parameters (default {!Proto.default_request}) and reads
     replies until [DONE], [ERR] or [BUSY]. *)
+
+val redecompose :
+  t -> ?request:Proto.request -> hash:string -> string -> (outcome, error) result
+(** [redecompose t ~hash body] submits the edit script [body] (in
+    [Mpl.Eco] text format) against the server-side session keyed by the
+    base layout's [hash] and the request's cache-mode salt, and reads
+    replies until [DONE], [ERR] or [BUSY]. The server streams only the
+    re-solved (dirty) pieces; [outcome.colors] is still the full
+    coloring of the edited layout, and [outcome.reused] reports how
+    much was reused. A missing session surfaces as [Remote] with code
+    ["session"] — fall back to {!decompose}. *)
 
 val stats : t -> (string, error) result
 (** The admin [STATS] JSON line. *)

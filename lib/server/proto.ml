@@ -44,18 +44,23 @@ let name_of_algorithm = function
 
 type command =
   | Decompose of int * request
+  | Redecompose of int * string * request
+      (** body length, previous-layout session hash, request *)
   | Stats
   | Metrics
   | Ping
   | Quit
 
-let encode_request r ~body_len =
+let encode_request_with ~verb ?hash r ~body_len =
   let b = Buffer.create 128 in
   Buffer.add_string b
-    (Printf.sprintf "DECOMPOSE %d k=%d algo=%s jobs=%d priority=%d cache=%d permuted=%d"
-       body_len r.k (name_of_algorithm r.algo) r.jobs r.priority
+    (Printf.sprintf "%s %d k=%d algo=%s jobs=%d priority=%d cache=%d permuted=%d"
+       verb body_len r.k (name_of_algorithm r.algo) r.jobs r.priority
        (if r.cache then 1 else 0)
        (if r.permuted then 1 else 0));
+  (match hash with
+  | Some h -> Buffer.add_string b (Printf.sprintf " hash=%s" h)
+  | None -> ());
   (match r.min_s with
   | Some m -> Buffer.add_string b (Printf.sprintf " min_s=%d" m)
   | None -> ());
@@ -73,6 +78,12 @@ let encode_request r ~body_len =
   | None -> ());
   Buffer.add_char b '\n';
   Buffer.contents b
+
+let encode_request r ~body_len =
+  encode_request_with ~verb:"DECOMPOSE" r ~body_len
+
+let encode_redecompose r ~hash ~body_len =
+  encode_request_with ~verb:"REDECOMPOSE" ~hash r ~body_len
 
 (* Tokenizer shared by both directions: space-separated words, a
    trailing \r stripped (so CRLF clients work over TCP). *)
@@ -151,6 +162,30 @@ let parse_command line =
           | Error _ as e -> e)
       in
       go default_request fields)
+  | "REDECOMPOSE" :: nbytes :: fields -> (
+    match int_of nbytes with
+    | None -> Error (Printf.sprintf "REDECOMPOSE: bad body length %S" nbytes)
+    | Some n when n < 0 -> Error "REDECOMPOSE: negative body length"
+    | Some n ->
+      (* the session hash is the only REDECOMPOSE-specific field; the
+         rest shares DECOMPOSE's vocabulary *)
+      let hash = ref None in
+      let rec go r = function
+        | [] -> (
+          match !hash with
+          | Some h -> Ok (Redecompose (n, h, r))
+          | None -> Error "REDECOMPOSE: missing hash= field")
+        | tok :: rest -> (
+          if String.length tok > 5 && String.sub tok 0 5 = "hash=" then begin
+            hash := Some (String.sub tok 5 (String.length tok - 5));
+            go r rest
+          end
+          else
+            match apply_field r tok with
+            | Ok r -> go r rest
+            | Error _ as e -> e)
+      in
+      go default_request fields)
   | verb :: _ -> Error (Printf.sprintf "unknown request %S" verb)
 
 type cost_reply = {
@@ -186,6 +221,7 @@ type reply =
   | Engine of Mpl_engine.Engine.stats
   | Resilience of resilience_reply
   | Cache_info of cache_reply
+  | Reused of { reused : int; dirty : int; features : int }
   | Done of int array
   | Timeout of { deadline_ms : int; elapsed_ms : int }
   | Cancelled of string
@@ -236,6 +272,9 @@ let cache_line (c : cache_reply) =
     "CACHE entries=%d bytes=%d hits=%d misses=%d warm=%d drops=%d \
      evictions=%d\n"
     c.entries c.bytes c.hits c.misses c.warm_hits c.corrupt_drops c.evictions
+
+let reused_line ~reused ~dirty ~features =
+  Printf.sprintf "REUSED n=%d dirty=%d features=%d\n" reused dirty features
 
 let done_line colors =
   let b = Buffer.create (8 + (4 * Array.length colors)) in
@@ -386,6 +425,11 @@ let parse_reply line =
              corrupt_drops;
              evictions;
            })
+    | "REUSED" :: fields ->
+      let* reused = field_int fields "n" in
+      let* dirty = field_int fields "dirty" in
+      let* features = field_int fields "features" in
+      Ok (Reused { reused; dirty; features })
     | "DONE" :: n :: colors -> (
       match int_of n with
       | Some n when List.length colors = n -> (

@@ -78,6 +78,11 @@ val name_of_algorithm : Mpl.Decomposer.algorithm -> string
 
 type command =
   | Decompose of int * request  (** body byte count + parameters *)
+  | Redecompose of int * string * request
+      (** body byte count + session layout hash + parameters. The body
+          is an edit script in [Mpl.Eco] text format; the hash names the
+          server-side session (captured by a previous [DECOMPOSE] or
+          [REDECOMPOSE] of the base layout) the edits apply to. *)
   | Stats
   | Metrics
   | Ping
@@ -86,6 +91,11 @@ type command =
 val encode_request : request -> body_len:int -> string
 (** The [DECOMPOSE] header line, newline included; the caller appends
     exactly [body_len] body bytes. *)
+
+val encode_redecompose : request -> hash:string -> body_len:int -> string
+(** The [REDECOMPOSE] header line, newline included; identical field
+    vocabulary to {!encode_request} plus [hash=]. The caller appends
+    exactly [body_len] bytes of edit-script text. *)
 
 val parse_command : string -> (command, string) result
 (** Parse one client control line (no trailing newline; a trailing
@@ -131,6 +141,9 @@ type reply =
   | Engine of Mpl_engine.Engine.stats
   | Resilience of resilience_reply
   | Cache_info of cache_reply
+  | Reused of { reused : int; dirty : int; features : int }
+      (** [REDECOMPOSE] only: components reused verbatim from the
+          session, components re-solved, and features re-solved *)
   | Done of int array
   | Timeout of { deadline_ms : int; elapsed_ms : int }
       (** terminal: the request's deadline (plus the server's grace
@@ -154,6 +167,7 @@ val cost_line : cost_reply -> string
 val engine_line : Mpl_engine.Engine.stats -> string
 val resilience_line : resilience_reply -> string
 val cache_line : cache_reply -> string
+val reused_line : reused:int -> dirty:int -> features:int -> string
 val done_line : int array -> string
 val timeout_line : deadline_ms:int -> elapsed_ms:int -> string
 val cancelled_line : reason:string -> string

@@ -17,6 +17,7 @@ type config = {
   grace_ms : int;
   max_body_bytes : int;
   fault : Mpl_engine.Fault.spec option;
+  sessions : int;
 }
 
 let default_config =
@@ -39,6 +40,7 @@ let default_config =
     grace_ms = 1000;
     max_body_bytes = 64 * 1024 * 1024;
     fault = None;
+    sessions = 8;
   }
 
 type t = {
@@ -54,6 +56,7 @@ type t = {
   rejected_c : Mpl_obs.Metrics.counter;
   errors_c : Mpl_obs.Metrics.counter;
   admin_c : Mpl_obs.Metrics.counter;
+  eco_c : Mpl_obs.Metrics.counter;
   cancelled_c : Mpl_obs.Metrics.counter;
   timeouts_c : Mpl_obs.Metrics.counter;
   reaped_c : Mpl_obs.Metrics.counter;
@@ -77,8 +80,15 @@ type t = {
   mutable timeouts : int;
   mutable reaped : int;
   mutable dropped : int;
+  mutable eco_requests : int;
   mutable next_rid : int;
   mutable conns : (Unix.file_descr * Thread.t option ref) list;
+  (* ECO session table: bounded, keyed by the base layout's canonical
+     hash, most-recently-used order in [session_lru]. Guarded by
+     [lock]. Auto-captured from unsharded DECOMPOSEs, consumed and
+     refreshed by REDECOMPOSE. *)
+  sessions_tbl : (string, Mpl.Eco.session) Hashtbl.t;
+  mutable session_lru : string list;
   save_lock : Mutex.t;
   stop : bool Atomic.t;
   stop_r : Unix.file_descr;
@@ -116,6 +126,7 @@ let create config =
   if config.jobs < 1 then invalid_arg "Server.create: jobs < 1";
   if config.max_inflight < 1 then invalid_arg "Server.create: max_inflight < 1";
   if config.ring < 0 then invalid_arg "Server.create: ring < 0";
+  if config.sessions < 0 then invalid_arg "Server.create: sessions < 0";
   (* A client vanishing mid-stream must surface as EPIPE on the write,
      not as a fatal SIGPIPE. *)
   (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore with Invalid_argument _ -> ());
@@ -147,6 +158,7 @@ let create config =
       rejected_c = Mpl_obs.Metrics.counter metrics "server.rejected";
       errors_c = Mpl_obs.Metrics.counter metrics "server.errors";
       admin_c = Mpl_obs.Metrics.counter metrics "server.admin";
+      eco_c = Mpl_obs.Metrics.counter metrics "server.eco_requests";
       cancelled_c = Mpl_obs.Metrics.counter metrics "server.cancelled";
       timeouts_c = Mpl_obs.Metrics.counter metrics "server.timeouts";
       reaped_c = Mpl_obs.Metrics.counter metrics "server.reaped_conns";
@@ -170,8 +182,11 @@ let create config =
       timeouts = 0;
       reaped = 0;
       dropped = 0;
+      eco_requests = 0;
       next_rid = 0;
       conns = [];
+      sessions_tbl = Hashtbl.create 16;
+      session_lru = [];
       save_lock = Mutex.create ();
       stop = Atomic.make false;
       stop_r;
@@ -309,6 +324,8 @@ let stats_json t =
   and timeouts = t.timeouts
   and reaped = t.reaped
   and dropped = t.dropped
+  and eco_requests = t.eco_requests
+  and sessions = Hashtbl.length t.sessions_tbl
   and inflight = t.inflight in
   Mutex.unlock t.lock;
   let cs = Mpl_engine.Cache.stats t.cache in
@@ -330,6 +347,9 @@ let stats_json t =
                ("timeouts", Int timeouts);
                ("reaped_conns", Int reaped);
                ("dropped_tasks", Int dropped);
+               ("eco_requests", Int eco_requests);
+               ("sessions", Int sessions);
+               ("session_cap", Int t.config.sessions);
                ("inflight", Int inflight);
                ("max_inflight", Int t.config.max_inflight);
                ("jobs", Int (Mpl_engine.Pool.jobs t.pool));
@@ -389,6 +409,40 @@ let resolve_min_s ~k = function
     let tech = Mpl_layout.Layout.default_tech in
     if k >= 5 then Mpl_layout.Layout.pentuple_min_s tech
     else Mpl_layout.Layout.quadruple_min_s tech
+
+(* ------------------------------------------------------------------ *)
+(* ECO session table *)
+
+let rec take_drop n = function
+  | [] -> ([], [])
+  | l when n <= 0 -> ([], l)
+  | x :: tl ->
+    let keep, drop = take_drop (n - 1) tl in
+    (x :: keep, drop)
+
+let session_store t (s : Mpl.Eco.session) =
+  let cap = t.config.sessions in
+  if cap > 0 then begin
+    let key = s.Mpl.Eco.layout_hash in
+    Mutex.lock t.lock;
+    Hashtbl.replace t.sessions_tbl key s;
+    let keep, drop =
+      take_drop cap (key :: List.filter (fun k -> k <> key) t.session_lru)
+    in
+    t.session_lru <- keep;
+    List.iter (Hashtbl.remove t.sessions_tbl) drop;
+    Mutex.unlock t.lock
+  end
+
+let session_find t key =
+  Mutex.lock t.lock;
+  let r = Hashtbl.find_opt t.sessions_tbl key in
+  (match r with
+  | Some _ ->
+    t.session_lru <- key :: List.filter (fun k -> k <> key) t.session_lru
+  | None -> ());
+  Mutex.unlock t.lock;
+  r
 
 (* ------------------------------------------------------------------ *)
 (* Request telemetry *)
@@ -493,17 +547,20 @@ let finish_request t (rp : Proto.request) (tm : req_timing) ~body_len ~circuit
    "disconnected" into a "timeout". *)
 type abort_reason = Running | Deadline | Disconnect
 
-let run_request t cio (rp : Proto.request) (tm : req_timing) body =
-  let finish = finish_request t rp tm ~body_len:(String.length body) in
-  match Mpl_layout.Layout_io.of_string body with
-  | exception Mpl_layout.Layout_io.Parse_error { line; msg } ->
-    bump_errors t;
-    (try send_flush cio (Proto.err_line ~code:"parse" ~line msg)
-     with Client_gone _ -> ());
-    finish ~circuit:"" ~solve_ns:0L ~pieces:0 ~cache_hits:0 ~degraded:0
-      ~outcome:"parse" ~sink:None
-  | layout ->
-    let circuit = layout.Mpl_layout.Layout.name in
+(* A deterministic refusal discovered mid-pipeline (unknown or
+   mismatched session, corrupt edit script): reply [ERR <code>] instead
+   of a stream, account it as an error. *)
+exception Rejected of { code : string; msg : string }
+
+(* The shared request runner: everything between the body read and the
+   terminal reply — per-request sink, cancel token, deadline watchdog,
+   the reply tail, outcome accounting — is identical for DECOMPOSE and
+   REDECOMPOSE. [solve] produces the report plus any extra reply lines
+   to send between CACHE and DONE (REDECOMPOSE's REUSED line). *)
+let run_pipeline t cio (rp : Proto.request) (tm : req_timing) ~body_len
+    ~circuit ~solve =
+  let finish = finish_request t rp tm ~body_len in
+  begin
     let rid_str = string_of_int tm.rid in
     (* Per-request span sink (ring enabled only): shares the server's
        aggregate metrics registry but collects spans privately, tagged
@@ -532,7 +589,6 @@ let run_request t cio (rp : Proto.request) (tm : req_timing) body =
       | None -> t.obs
       | Some s -> Mpl_obs.Obs.make ~sink:s ~metrics:t.metrics ()
     in
-    let min_s = resolve_min_s ~k:rp.Proto.k rp.Proto.min_s in
     (* Every request carries a cancel token. With no deadline and no
        disconnect the flag is never set, so the flag-false path costs
        one atomic read per coordinator checkpoint, reads no clock, and
@@ -647,21 +703,8 @@ let run_request t cio (rp : Proto.request) (tm : req_timing) body =
            (match Connio.flush cio with
            | Ok () -> ()
            | Error e -> raise (Client_gone e));
-           let report =
-             (* Sharded requests never build the whole-layout graph:
-                the server's per-request residency stays bounded by the
-                largest window even for very large bodies. *)
-             if rp.Proto.windows > 1 || rp.Proto.window_nm <> None then
-               Mpl.Decomposer.decompose_sharded ~params ~obs:req_obs
-                 ~pool:t.pool ?shared_cache ~on_component ~min_s
-                 rp.Proto.algo layout
-             else begin
-               let g =
-                 Mpl.Decomp_graph.of_layout ~obs:req_obs layout ~min_s
-               in
-               Mpl.Decomposer.assign ~params ~obs:req_obs ~pool:t.pool
-                 ?shared_cache ~on_component rp.Proto.algo g
-             end
+           let report, extra =
+             solve ~req_obs ~params ~shared_cache ~on_component
            in
            let cost = report.Mpl.Decomposer.cost in
            send cio
@@ -699,6 +742,7 @@ let run_request t cio (rp : Proto.request) (tm : req_timing) body =
                     evictions = cs.Mpl_engine.Cache.s_evictions;
                   })
            | None -> ());
+           List.iter (send cio) extra;
            send cio (Proto.done_line report.Mpl.Decomposer.colors);
            (match Connio.flush cio with
            | Ok () -> ()
@@ -760,6 +804,13 @@ let run_request t cio (rp : Proto.request) (tm : req_timing) body =
       if w = Connio.Timeout then bump_reaped t;
       finish ~circuit ~solve_ns:(elapsed_solve ()) ~pieces:0 ~cache_hits:0
         ~degraded:0 ~outcome:"disconnected" ~sink
+    | Rejected { code; msg } ->
+      sweep ();
+      bump_errors t;
+      (try send_flush cio (Proto.err_line ~code msg)
+       with Client_gone _ -> ());
+      finish ~circuit ~solve_ns:(elapsed_solve ()) ~pieces:0 ~cache_hits:0
+        ~degraded:0 ~outcome:"error" ~sink
     | e ->
       sweep ();
       bump_errors t;
@@ -768,8 +819,98 @@ let run_request t cio (rp : Proto.request) (tm : req_timing) body =
        with Client_gone _ -> ());
       finish ~circuit ~solve_ns:(elapsed_solve ()) ~pieces:0 ~cache_hits:0
         ~degraded:0 ~outcome:"error" ~sink)
+  end
 
-let handle_decompose t cio nbytes rp =
+let run_request t cio (rp : Proto.request) (tm : req_timing) body =
+  match Mpl_layout.Layout_io.of_string body with
+  | exception Mpl_layout.Layout_io.Parse_error { line; msg } ->
+    bump_errors t;
+    (try send_flush cio (Proto.err_line ~code:"parse" ~line msg)
+     with Client_gone _ -> ());
+    finish_request t rp tm ~body_len:(String.length body) ~circuit:""
+      ~solve_ns:0L ~pieces:0 ~cache_hits:0 ~degraded:0 ~outcome:"parse"
+      ~sink:None
+  | layout ->
+    let circuit = layout.Mpl_layout.Layout.name in
+    let min_s = resolve_min_s ~k:rp.Proto.k rp.Proto.min_s in
+    run_pipeline t cio rp tm ~body_len:(String.length body) ~circuit
+      ~solve:(fun ~req_obs ~params ~shared_cache ~on_component ->
+        (* Sharded requests never build the whole-layout graph: the
+           server's per-request residency stays bounded by the largest
+           window even for very large bodies. *)
+        if rp.Proto.windows > 1 || rp.Proto.window_nm <> None then
+          ( Mpl.Decomposer.decompose_sharded ~params ~obs:req_obs ~pool:t.pool
+              ?shared_cache ~on_component ~min_s rp.Proto.algo layout,
+            [] )
+        else begin
+          let g = Mpl.Decomp_graph.of_layout ~obs:req_obs layout ~min_s in
+          let report =
+            Mpl.Decomposer.assign ~params ~obs:req_obs ~pool:t.pool
+              ?shared_cache ~on_component rp.Proto.algo g
+          in
+          (* Capture the finished run as an ECO session, so a later
+             REDECOMPOSE against this layout can reuse every component
+             the edit does not touch. *)
+          if t.config.sessions > 0 then
+            session_store t
+              (Mpl.Decomposer.snapshot ~params ~min_s rp.Proto.algo g layout
+                 report);
+          (report, [])
+        end)
+
+let run_redecompose t cio ~hash (rp : Proto.request) (tm : req_timing) body =
+  Mpl_obs.Metrics.incr t.eco_c;
+  Mutex.lock t.lock;
+  t.eco_requests <- t.eco_requests + 1;
+  Mutex.unlock t.lock;
+  let body_len = String.length body in
+  let fail ~code ~outcome msg =
+    bump_errors t;
+    (try send_flush cio (Proto.err_line ~code msg) with Client_gone _ -> ());
+    finish_request t rp tm ~body_len ~circuit:"" ~solve_ns:0L ~pieces:0
+      ~cache_hits:0 ~degraded:0 ~outcome ~sink:None
+  in
+  if rp.Proto.windows > 1 || rp.Proto.window_nm <> None then
+    fail ~code:"proto" ~outcome:"error"
+      "REDECOMPOSE does not take windows (the dirty sub-layout is already \
+       bounded)"
+  else
+    match session_find t hash with
+    | None ->
+      fail ~code:"session" ~outcome:"session"
+        (Printf.sprintf
+           "no session for layout hash %s (DECOMPOSE the base layout first, \
+            or raise --sessions)"
+           hash)
+    | Some prev -> (
+      match Mpl.Eco.parse_edits body with
+      | Error msg -> fail ~code:"parse" ~outcome:"parse" msg
+      | Ok edits ->
+        let circuit =
+          "eco:" ^ String.sub hash 0 (min 12 (String.length hash))
+        in
+        run_pipeline t cio rp tm ~body_len ~circuit
+          ~solve:(fun ~req_obs ~params ~shared_cache ~on_component ->
+            match
+              Mpl.Decomposer.redecompose ~params ~obs:req_obs ~pool:t.pool
+                ?shared_cache ~on_component ~prev ~edits rp.Proto.algo
+            with
+            | Error msg -> raise (Rejected { code = "session"; msg })
+            | Ok (_edited, report, next) ->
+              session_store t next;
+              let reused, dirty, features =
+                match report.Mpl.Decomposer.eco with
+                | Some e ->
+                  ( e.Mpl.Decomposer.reused_components,
+                    e.Mpl.Decomposer.dirty_components,
+                    e.Mpl.Decomposer.dirty_features )
+                | None -> (0, 0, 0)
+              in
+              (report, [ Proto.reused_line ~reused ~dirty ~features ])))
+
+(* Shared admission front-end for the two body-carrying verbs: size
+   cap, body read, inflight accounting, BUSY, then [run]. *)
+let handle_submit t cio nbytes rp ~run =
   let recv_ns = Mpl_util.Timer.now_ns () in
   if nbytes > t.config.max_body_bytes then begin
     (* Refuse before allocating or reading: an absurd length prefix
@@ -829,8 +970,14 @@ let handle_decompose t cio nbytes rp =
           Mpl_obs.Metrics.set t.inflight_g (float_of_int t.inflight);
           Condition.broadcast t.drained;
           Mutex.unlock t.lock)
-        (fun () -> run_request t cio rp tm body);
+        (fun () -> run t cio rp tm body);
     true
+
+let handle_decompose t cio nbytes rp = handle_submit t cio nbytes rp ~run:run_request
+
+let handle_redecompose t cio nbytes hash rp =
+  handle_submit t cio nbytes rp ~run:(fun t cio rp tm body ->
+      run_redecompose t cio ~hash rp tm body)
 
 (* ------------------------------------------------------------------ *)
 (* HTTP admin plane *)
@@ -1043,6 +1190,8 @@ let handle_line t cio line =
       request_stop t;
       false
     | Ok (Proto.Decompose (nbytes, rp)) -> handle_decompose t cio nbytes rp
+    | Ok (Proto.Redecompose (nbytes, hash, rp)) ->
+      handle_redecompose t cio nbytes hash rp
 
 let rec serve_conn t cio =
   match Connio.read_line cio with

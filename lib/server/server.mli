@@ -117,13 +117,23 @@ type config = {
           [torn_frame]): armed once at {!create} and probed by every
           connection's sends and body reads, so the occurrence count
           is server-global and deterministic for sequential clients. *)
+  sessions : int;
+      (** ECO session table capacity (default 8; 0 disables). Every
+          successful unsharded [DECOMPOSE] captures an
+          {!Mpl.Eco.session} keyed by the layout's canonical hash; a
+          [REDECOMPOSE hash=H] applies its edit-script body against
+          that session, re-solves only the components inside the dirty
+          window, streams only those [PIECE]s plus one [REUSED] line,
+          and refreshes the table with the edited layout's session so
+          edits chain. Least-recently-used sessions are dropped past
+          the capacity. *)
 }
 
 val default_config : config
 (** No listeners (callers must set at least one), [jobs = 1],
     [max_inflight = 4], unlimited exact-mode cache, no persistence,
     no log, [ring = 32], no access log, 10 s read/write timeouts,
-    1 s deadline grace, 64 MiB body cap, no fault. *)
+    1 s deadline grace, 64 MiB body cap, no fault, [sessions = 8]. *)
 
 type t
 

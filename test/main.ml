@@ -14,5 +14,6 @@ let () =
       ("obs", Test_obs.suite);
       ("extensions", Test_extensions.suite);
       ("shard", Test_shard.suite);
+      ("eco", Test_eco.suite);
       ("paper", Test_paper.suite);
     ]

@@ -321,4 +321,58 @@ for c in C880 S38417 S35932 S38584 S15850; do
 done
 rm -f "$shref" "$shgot"
 
+# Smoke: incremental (ECO) re-decomposition. Decompose a synthetic
+# layout capturing a session, generate a deterministic edit script,
+# redecompose incrementally, and cold-decompose the edited layout: the
+# colorings must be byte-identical and the incremental run must have
+# reused at least one untouched component verbatim.
+esynth=$(mktemp /tmp/mpld-eco-base.XXXXXX)
+eedits=$(mktemp /tmp/mpld-eco-edits.XXXXXX)
+esess=$(mktemp /tmp/mpld-eco-sess.XXXXXX)
+eedited=$(mktemp /tmp/mpld-eco-edited.XXXXXX)
+ecoref=$(mktemp /tmp/mpld-eco-ref.XXXXXX)
+ecogot=$(mktemp /tmp/mpld-eco-got.XXXXXX)
+dune exec bin/mpld.exe -- gen synth "$esynth" --features 20000 --seed 3 \
+  > /dev/null
+dune exec bin/mpld.exe -- decompose "$esynth" -a linear -j 2 \
+  --session "$esess" > /dev/null 2>&1
+dune exec bin/mpld.exe -- gen edits "$eedits" --layout "$esynth" \
+  --count 40 --seed 5 > /dev/null
+ecoout=$(dune exec bin/mpld.exe -- redecompose "$esess" "$eedits" \
+  -a linear -j 2 --save-layout "$eedited" --colors "$ecogot" 2>/dev/null)
+echo "$ecoout" | grep -Eq "eco: reused=[1-9]" || {
+  echo "tier1: redecompose reused no component" >&2
+  echo "$ecoout" >&2
+  exit 1
+}
+dune exec bin/mpld.exe -- decompose "$eedited" -a linear -j 2 \
+  --colors "$ecoref" > /dev/null 2>&1
+cmp -s "$ecoref" "$ecogot" || {
+  echo "tier1: incremental coloring diverged from the cold run" >&2
+  exit 1
+}
+
+# The same contract over a socket: a DECOMPOSE captures the session
+# server-side (--sessions defaults to 8), then a REDECOMPOSE of the
+# same layout streams only the dirty pieces, reports a REUSED line,
+# and still hands back the full (cold-identical) coloring.
+sock=/tmp/mpld-eco-$$.sock
+cachef=/tmp/mpld-eco-$$.cache
+srvlog=/tmp/mpld-eco-$$.log
+start_server
+"$MPLD" client --socket "$sock" "$esynth" -a linear > /dev/null 2>&1 \
+  || server_fail "ECO base DECOMPOSE failed"
+srvout=$("$MPLD" client --socket "$sock" "$esynth" -a linear \
+  --edits "$eedits" --colors "$ecogot" 2>/dev/null) \
+  || server_fail "REDECOMPOSE over the socket failed: $srvout"
+echo "$srvout" | grep -Eq "eco: reused=[1-9]" \
+  || server_fail "socket redecompose reused no component: $srvout"
+cmp -s "$ecoref" "$ecogot" \
+  || server_fail "socket incremental coloring diverged from the cold run"
+"$MPLD" client --socket "$sock" --quit 2>/dev/null
+wait "$srv" || server_fail "ECO server exited nonzero on shutdown"
+srv=""
+rm -f "$sock" "$cachef" "$srvlog" "$esynth" "$eedits" "$esess" "$eedited" \
+  "$ecoref" "$ecogot"
+
 echo "tier1: OK"
